@@ -1,0 +1,136 @@
+//! Unique Mapping Clustering.
+//!
+//! The clustering step shared by BSL and SiGMa (paper §II): scored pairs
+//! enter a priority queue in decreasing similarity; the top pair becomes
+//! a match iff neither of its entities is already matched and its score
+//! exceeds the threshold `t`; the process stops at the first pair below
+//! `t`.
+
+use minoan_kb::{EntityId, Matching};
+
+/// A scored candidate pair.
+pub type ScoredPair = (EntityId, EntityId, f64);
+
+/// Runs Unique Mapping Clustering over `pairs` with threshold `t`.
+///
+/// Deterministic: ties in score are broken by `(e1, e2)` ascending.
+pub fn unique_mapping_clustering(pairs: &[ScoredPair], t: f64) -> Matching {
+    let accepted = umc_trace(pairs);
+    Matching::from_pairs(
+        accepted
+            .into_iter()
+            .filter(|&(_, _, s)| s > t)
+            .map(|(a, b, _)| (a, b)),
+    )
+}
+
+/// Runs the greedy acceptance *without* a threshold, returning the
+/// accepted pairs in decreasing score order.
+///
+/// Acceptance is prefix-stable in the threshold: UMC with threshold `t`
+/// is exactly the accepted prefix with scores `> t`. BSL exploits this to
+/// sweep 20 thresholds with a single greedy pass.
+pub fn umc_trace(pairs: &[ScoredPair]) -> Vec<ScoredPair> {
+    let mut sorted: Vec<&ScoredPair> = pairs.iter().collect();
+    sorted.sort_unstable_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+            .then(a.1.cmp(&b.1))
+    });
+    let mut used1 = minoan_kb::FxHashSet::default();
+    let mut used2 = minoan_kb::FxHashSet::default();
+    let mut out = Vec::new();
+    for &&(e1, e2, s) in &sorted {
+        if s <= 0.0 {
+            break;
+        }
+        if used1.contains(&e1) || used2.contains(&e2) {
+            continue;
+        }
+        used1.insert(e1);
+        used2.insert(e2);
+        out.push((e1, e2, s));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    #[test]
+    fn greedy_picks_best_unique_pairs() {
+        let pairs = vec![
+            (e(0), e(0), 0.9),
+            (e(0), e(1), 0.8),
+            (e(1), e(1), 0.7),
+            (e(1), e(0), 0.95),
+        ];
+        let m = unique_mapping_clustering(&pairs, 0.5);
+        // (1,0) wins first, locking e1=1 and e2=0; then (0,1).
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(e(1), e(0)));
+        assert!(m.contains(e(0), e(1)));
+        assert!(m.is_partial_matching());
+    }
+
+    #[test]
+    fn threshold_cuts_low_scores() {
+        let pairs = vec![(e(0), e(0), 0.9), (e(1), e(1), 0.3)];
+        let m = unique_mapping_clustering(&pairs, 0.5);
+        assert_eq!(m.len(), 1);
+        assert!(m.contains(e(0), e(0)));
+        let m = unique_mapping_clustering(&pairs, 0.0);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn output_is_always_a_partial_matching() {
+        let pairs: Vec<ScoredPair> = (0..20)
+            .flat_map(|i| (0..20).map(move |j| (e(i), e(j), ((i * j) % 7) as f64 / 7.0)))
+            .collect();
+        let m = unique_mapping_clustering(&pairs, 0.1);
+        assert!(m.is_partial_matching());
+    }
+
+    #[test]
+    fn trace_prefix_equals_thresholded_run() {
+        let pairs = vec![
+            (e(0), e(0), 0.9),
+            (e(1), e(1), 0.6),
+            (e(2), e(2), 0.4),
+            (e(2), e(0), 0.95),
+        ];
+        let trace = umc_trace(&pairs);
+        for t in [0.0, 0.3, 0.5, 0.7, 0.99] {
+            let direct = unique_mapping_clustering(&pairs, t);
+            let from_trace = Matching::from_pairs(
+                trace
+                    .iter()
+                    .filter(|&&(_, _, s)| s > t)
+                    .map(|&(a, b, _)| (a, b)),
+            );
+            assert_eq!(direct, from_trace, "threshold {t}");
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_scores_are_never_accepted() {
+        let pairs = vec![(e(0), e(0), 0.0), (e(1), e(1), -1.0)];
+        assert!(umc_trace(&pairs).is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let pairs = vec![(e(1), e(1), 0.5), (e(0), e(0), 0.5), (e(0), e(1), 0.5)];
+        let trace = umc_trace(&pairs);
+        assert_eq!(trace[0].0, e(0));
+        assert_eq!(trace[0].1, e(0));
+        assert_eq!(trace[1].0, e(1));
+    }
+}

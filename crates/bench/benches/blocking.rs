@@ -1,0 +1,35 @@
+//! Blocking-stage benchmarks (the machinery behind Table II): token
+//! blocking, name blocking and Block Purging per dataset profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minoan_blocking::{name_blocking, purge, token_blocking};
+use minoan_core::entity_names;
+use minoan_datagen::DatasetKind;
+use minoan_text::{TokenizedPair, Tokenizer};
+
+fn bench_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocking");
+    group.sample_size(10);
+    for kind in DatasetKind::ALL {
+        let d = kind.generate_scaled(7, 0.1);
+        let tokens = TokenizedPair::build(&d.pair, &Tokenizer::default());
+        group.bench_with_input(BenchmarkId::new("token_blocking", kind.name()), &tokens, |b, t| {
+            b.iter(|| token_blocking(t))
+        });
+        let bt = token_blocking(&tokens);
+        group.bench_with_input(BenchmarkId::new("purging", kind.name()), &bt, |b, bt| {
+            b.iter(|| purge(bt))
+        });
+        let names1 = entity_names(&d.pair.first, 2);
+        let names2 = entity_names(&d.pair.second, 2);
+        group.bench_with_input(
+            BenchmarkId::new("name_blocking", kind.name()),
+            &(&names1, &names2),
+            |b, (n1, n2)| b.iter(|| name_blocking(n1, n2)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocking);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Dataset-generation benchmarks: cost of the synthetic profiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minoan_datagen::DatasetKind;
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+    for kind in DatasetKind::ALL {
+        group.bench_with_input(BenchmarkId::new("generate", kind.name()), &kind, |b, &k| {
+            b.iter(|| k.generate_scaled(7, 0.1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_datagen);
+criterion_main!(benches);

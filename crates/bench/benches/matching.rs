@@ -1,0 +1,36 @@
+//! End-to-end matching benchmarks (the machinery behind Table III):
+//! the full MinoanER pipeline per dataset profile, plus a scale sweep
+//! for the complexity claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minoan_core::MinoanEr;
+use minoan_datagen::DatasetKind;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minoaner_pipeline");
+    group.sample_size(10);
+    for kind in DatasetKind::ALL {
+        let d = kind.generate_scaled(7, 0.1);
+        group.bench_with_input(BenchmarkId::new("end_to_end", kind.name()), &d.pair, |b, pair| {
+            b.iter(|| MinoanEr::with_defaults().run(pair))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minoaner_scaling");
+    group.sample_size(10);
+    for scale in [5, 10, 20] {
+        let d = DatasetKind::Restaurant.generate_scaled(7, scale as f64 / 100.0 * 2.0);
+        group.bench_with_input(
+            BenchmarkId::new("restaurant_scale_pct", scale * 2),
+            &d.pair,
+            |b, pair| b.iter(|| MinoanEr::with_defaults().run(pair)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Similarity benchmarks: the paper's `valueSim` against the vector-
+//! space measures BSL sweeps over.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minoan_datagen::DatasetKind;
+use minoan_kb::{EntityId, KbSide};
+use minoan_sim::{build_vectors, value_sim, Measure, Weighting};
+use minoan_text::{TokenizedPair, Tokenizer};
+
+fn bench_similarity(c: &mut Criterion) {
+    let d = DatasetKind::RexaDblp.generate_scaled(7, 0.1);
+    let tokens = TokenizedPair::build(&d.pair, &Tokenizer::default());
+    let n1 = tokens.entity_count(KbSide::First) as u32;
+    let n2 = tokens.entity_count(KbSide::Second) as u32;
+    let pairs: Vec<(EntityId, EntityId)> = (0..1000u32)
+        .map(|i| (EntityId(i % n1), EntityId((i * 7) % n2)))
+        .collect();
+    let mut group = c.benchmark_group("similarity");
+    group.bench_function("value_sim_1k_pairs", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(a, e)| value_sim(&tokens, a, e))
+                .sum::<f64>()
+        })
+    });
+    let docs1: Vec<Vec<String>> = d
+        .pair
+        .first
+        .entities()
+        .map(|e| d.pair.first.literals(e).map(str::to_string).collect())
+        .collect();
+    let docs2: Vec<Vec<String>> = d
+        .pair
+        .second
+        .entities()
+        .map(|e| d.pair.second.literals(e).map(str::to_string).collect())
+        .collect();
+    let (v1, v2) = build_vectors(&docs1, &docs2, Weighting::TfIdf);
+    for m in Measure::ALL {
+        group.bench_with_input(BenchmarkId::new("measure_1k_pairs", m.to_string()), &m, |b, &m| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .map(|&(a, e)| m.compute(&v1[a.index()], &v2[e.index()]))
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Unique Mapping Clustering benchmarks: the clustering step shared by
+//! BSL and SiGMa, at growing candidate-set sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minoan_baselines::unique_mapping_clustering;
+use minoan_kb::EntityId;
+
+fn bench_umc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("umc");
+    for n in [1_000usize, 10_000, 100_000] {
+        let pairs: Vec<(EntityId, EntityId, f64)> = (0..n)
+            .map(|i| {
+                (
+                    EntityId((i % 997) as u32),
+                    EntityId((i % 1009) as u32),
+                    ((i * 31) % 1000) as f64 / 1000.0,
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("pairs", n), &pairs, |b, p| {
+            b.iter(|| unique_mapping_clustering(p, 0.2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_umc);
+criterion_main!(benches);

@@ -1,0 +1,246 @@
+//! Reference numbers from the paper, for paper-vs-measured tables.
+//!
+//! Values are transcribed from the ICDE 2018 camera-ready. `None` means
+//! the paper reports no number for that cell (`-` in Table III).
+
+/// Table I (dataset statistics), one row per dataset in column order
+/// Restaurant, Rexa-DBLP, BBCmusic-DBpedia, YAGO-IMDb.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperDatasetStats {
+    /// Dataset name.
+    pub name: &'static str,
+    /// `|E1|`, `|E2|` entity counts.
+    pub entities: (u64, u64),
+    /// Triples per side.
+    pub triples: (u64, u64),
+    /// Average tokens per side.
+    pub avg_tokens: (f64, f64),
+    /// Attribute counts per side.
+    pub attributes: (u64, u64),
+    /// Relation counts per side.
+    pub relations: (u64, u64),
+    /// Type counts per side.
+    pub types: (u64, u64),
+    /// Vocabulary counts per side.
+    pub vocabularies: (u64, u64),
+    /// Ground-truth matches.
+    pub matches: u64,
+}
+
+/// The paper's Table I.
+pub const PAPER_TABLE1: [PaperDatasetStats; 4] = [
+    PaperDatasetStats {
+        name: "Restaurant",
+        entities: (339, 2256),
+        triples: (1130, 7519),
+        avg_tokens: (20.44, 20.61),
+        attributes: (7, 7),
+        relations: (2, 2),
+        types: (3, 3),
+        vocabularies: (2, 2),
+        matches: 89,
+    },
+    PaperDatasetStats {
+        name: "Rexa-DBLP",
+        entities: (18_492, 2_650_832),
+        triples: (87_519, 14_936_373),
+        avg_tokens: (40.71, 59.24),
+        attributes: (114, 145),
+        relations: (103, 123),
+        types: (4, 11),
+        vocabularies: (4, 4),
+        matches: 1309,
+    },
+    PaperDatasetStats {
+        name: "BBCmusic-DBpedia",
+        entities: (58_793, 256_602),
+        triples: (456_304, 8_044_247),
+        avg_tokens: (81.19, 324.75),
+        attributes: (27, 10_953),
+        relations: (9, 953),
+        types: (4, 59_801),
+        vocabularies: (4, 6),
+        matches: 22_770,
+    },
+    PaperDatasetStats {
+        name: "YAGO-IMDb",
+        entities: (5_208_100, 5_328_774),
+        triples: (27_547_595, 47_843_680),
+        avg_tokens: (15.56, 12.49),
+        attributes: (65, 29),
+        relations: (4, 13),
+        types: (11_767, 15),
+        vocabularies: (3, 1),
+        matches: 56_683,
+    },
+];
+
+/// Table II (block statistics), per dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperBlockStats {
+    /// Dataset name.
+    pub name: &'static str,
+    /// `|BN|` — number of name blocks.
+    pub bn_blocks: f64,
+    /// `|BT|` — number of token blocks.
+    pub bt_blocks: f64,
+    /// `||BN||` — comparisons in name blocks.
+    pub bn_comparisons: f64,
+    /// `||BT||` — comparisons in token blocks.
+    pub bt_comparisons: f64,
+    /// `|E1|·|E2|` — brute-force comparisons.
+    pub cartesian: f64,
+    /// Block precision (%), recall (%), F1 (%).
+    pub precision: f64,
+    /// Recall (%).
+    pub recall: f64,
+    /// F1 (%).
+    pub f1: f64,
+}
+
+/// The paper's Table II.
+pub const PAPER_TABLE2: [PaperBlockStats; 4] = [
+    PaperBlockStats {
+        name: "Restaurant",
+        bn_blocks: 83.0,
+        bt_blocks: 625.0,
+        bn_comparisons: 83.0,
+        bt_comparisons: 1.80e3,
+        cartesian: 7.65e5,
+        precision: 4.95,
+        recall: 100.0,
+        f1: 9.43,
+    },
+    PaperBlockStats {
+        name: "Rexa-DBLP",
+        bn_blocks: 15_912.0,
+        bt_blocks: 22_297.0,
+        bn_comparisons: 6.71e7,
+        bt_comparisons: 6.54e8,
+        cartesian: 4.90e10,
+        precision: 1.81e-4,
+        recall: 99.77,
+        f1: 3.62e-4,
+    },
+    PaperBlockStats {
+        name: "BBCmusic-DBpedia",
+        bn_blocks: 28_844.0,
+        bt_blocks: 54_380.0,
+        bn_comparisons: 1.25e7,
+        bt_comparisons: 1.73e8,
+        cartesian: 1.51e10,
+        precision: 0.01,
+        recall: 99.83,
+        f1: 0.02,
+    },
+    PaperBlockStats {
+        name: "YAGO-IMDb",
+        bn_blocks: 580_518.0,
+        bt_blocks: 495_973.0,
+        bn_comparisons: 6.59e6,
+        bt_comparisons: 2.28e10,
+        cartesian: 2.78e13,
+        precision: 2.46e-4,
+        recall: 99.35,
+        f1: 4.92e-4,
+    },
+];
+
+/// Table III: per method per dataset `(precision, recall, f1)` in
+/// percent, `None` where the paper prints `-`.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperMethodRow {
+    /// Method name as printed in the paper.
+    pub method: &'static str,
+    /// Whether this repository re-runs the method (vs quoting the paper).
+    pub reimplemented: bool,
+    /// `(P, R, F1)` per dataset in the Table I column order.
+    pub cells: [Option<(f64, f64, f64)>; 4],
+}
+
+/// The paper's Table III.
+pub const PAPER_TABLE3: [PaperMethodRow; 6] = [
+    PaperMethodRow {
+        method: "SiGMa",
+        reimplemented: true,
+        cells: [
+            Some((99.0, 94.0, 97.0)),
+            Some((97.0, 90.0, 94.0)),
+            None,
+            Some((98.0, 85.0, 91.0)),
+        ],
+    },
+    PaperMethodRow {
+        method: "LINDA",
+        reimplemented: false,
+        cells: [Some((100.0, 63.0, 77.0)), None, None, None],
+    },
+    PaperMethodRow {
+        method: "RiMOM",
+        reimplemented: false,
+        cells: [
+            Some((86.0, 77.0, 81.0)),
+            Some((80.0, 72.0, 76.0)),
+            None,
+            None,
+        ],
+    },
+    PaperMethodRow {
+        method: "PARIS",
+        reimplemented: true,
+        cells: [
+            Some((95.0, 88.0, 91.0)),
+            Some((93.95, 89.0, 91.41)),
+            Some((19.40, 0.29, 0.51)),
+            Some((94.0, 90.0, 92.0)),
+        ],
+    },
+    PaperMethodRow {
+        method: "BSL",
+        reimplemented: true,
+        cells: [
+            Some((100.0, 100.0, 100.0)),
+            Some((96.57, 83.96, 89.82)),
+            Some((85.20, 36.09, 50.70)),
+            Some((11.68, 4.87, 6.88)),
+        ],
+    },
+    PaperMethodRow {
+        method: "MinoanER",
+        reimplemented: true,
+        cells: [
+            Some((100.0, 100.0, 100.0)),
+            Some((96.74, 95.34, 96.04)),
+            Some((91.44, 88.55, 89.97)),
+            Some((91.02, 90.57, 90.79)),
+        ],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_cover_all_four_datasets() {
+        assert_eq!(PAPER_TABLE1.len(), 4);
+        assert_eq!(PAPER_TABLE2.len(), 4);
+        for (t1, t2) in PAPER_TABLE1.iter().zip(PAPER_TABLE2.iter()) {
+            assert_eq!(t1.name, t2.name);
+        }
+    }
+
+    #[test]
+    fn minoaner_row_is_complete() {
+        let row = PAPER_TABLE3.last().unwrap();
+        assert_eq!(row.method, "MinoanER");
+        assert!(row.cells.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn block_recall_exceeds_99_percent_everywhere() {
+        for r in PAPER_TABLE2 {
+            assert!(r.recall > 99.0, "{}", r.name);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Block Filtering — an optional comparison-reduction step from the
+//! meta-blocking line of work the paper builds on ([6]).
+//!
+//! Where Block Purging removes entire oversized blocks, Block Filtering
+//! is per-entity: each entity is retained only in the `ratio` fraction
+//! of its *smallest* blocks (its most distinctive keys). This shrinks
+//! large blocks without deleting them, trading a little recall for a
+//! large cut in comparisons. The `ablation_params` harness exposes it as
+//! an extension ablation; the paper's pipeline itself uses purging only.
+
+use minoan_kb::{BlockId, EntityId, KbSide};
+
+use crate::block::{Block, BlockCollection};
+
+/// Applies Block Filtering with the given retention `ratio ∈ (0, 1]`.
+///
+/// Every entity keeps its assignments only in the `⌈ratio · |blocks(e)|⌉`
+/// blocks with the fewest comparisons (ties broken by block id for
+/// determinism). Blocks left with an empty side are dropped.
+pub fn block_filtering(collection: &BlockCollection, ratio: f64) -> BlockCollection {
+    assert!(
+        ratio > 0.0 && ratio <= 1.0,
+        "retention ratio must be in (0, 1], got {ratio}"
+    );
+    // Per entity: keep the smallest-cardinality fraction of its blocks.
+    let keep_per_entity = |side: KbSide, n: usize, out: &mut Vec<Vec<BlockId>>| {
+        for e in (0..n as u32).map(EntityId) {
+            let mut blocks: Vec<BlockId> = collection.blocks_of(side, e).to_vec();
+            blocks.sort_by_key(|&b| (collection.block(b).comparisons(), b));
+            let keep = ((blocks.len() as f64 * ratio).ceil() as usize).max(1).min(blocks.len());
+            blocks.truncate(keep);
+            out.push(blocks);
+        }
+    };
+    let (n_first, n_second) = side_counts(collection);
+    let mut keep_first: Vec<Vec<BlockId>> = Vec::with_capacity(n_first);
+    let mut keep_second: Vec<Vec<BlockId>> = Vec::with_capacity(n_second);
+    keep_per_entity(KbSide::First, n_first, &mut keep_first);
+    keep_per_entity(KbSide::Second, n_second, &mut keep_second);
+
+    let retained = |kept: &[Vec<BlockId>], e: EntityId, b: BlockId| {
+        kept.get(e.index()).is_some_and(|v| v.contains(&b))
+    };
+    let blocks: Vec<Block> = collection
+        .blocks()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, b)| {
+            let id = BlockId(i as u32);
+            let firsts: Vec<EntityId> = b
+                .firsts
+                .iter()
+                .copied()
+                .filter(|&e| retained(&keep_first, e, id))
+                .collect();
+            let seconds: Vec<EntityId> = b
+                .seconds
+                .iter()
+                .copied()
+                .filter(|&e| retained(&keep_second, e, id))
+                .collect();
+            if firsts.is_empty() || seconds.is_empty() {
+                None
+            } else {
+                Some(Block {
+                    key: b.key,
+                    firsts,
+                    seconds,
+                })
+            }
+        })
+        .collect();
+    BlockCollection::new(collection.kind(), blocks, n_first, n_second)
+}
+
+/// Recovers the per-side entity-universe sizes of a collection.
+fn side_counts(collection: &BlockCollection) -> (usize, usize) {
+    let max1 = collection
+        .blocks()
+        .iter()
+        .flat_map(|b| b.firsts.iter())
+        .map(|e| e.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let max2 = collection
+        .blocks()
+        .iter()
+        .flat_map(|b| b.seconds.iter())
+        .map(|e| e.index() + 1)
+        .max()
+        .unwrap_or(0);
+    (max1, max2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockKind;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    fn sample() -> BlockCollection {
+        // Entity 0 (first side) is in a small block (1x1) and a big one
+        // (3x3). With ratio 0.5 it keeps only the small one.
+        let blocks = vec![
+            Block {
+                key: 0,
+                firsts: vec![e(0)],
+                seconds: vec![e(0)],
+            },
+            Block {
+                key: 1,
+                firsts: vec![e(0), e(1), e(2)],
+                seconds: vec![e(0), e(1), e(2)],
+            },
+        ];
+        BlockCollection::new(BlockKind::Token, blocks, 3, 3)
+    }
+
+    #[test]
+    fn keeps_the_smallest_blocks_per_entity() {
+        let filtered = block_filtering(&sample(), 0.5);
+        // Entity 0 keeps only block 0; entities 1 and 2 keep block 1
+        // (their only block).
+        let b1 = filtered
+            .blocks()
+            .iter()
+            .find(|b| b.key == 1)
+            .expect("big block survives for entities 1,2");
+        assert!(!b1.firsts.contains(&e(0)));
+        assert!(b1.firsts.contains(&e(1)) && b1.firsts.contains(&e(2)));
+        assert!(filtered.blocks().iter().any(|b| b.key == 0));
+    }
+
+    #[test]
+    fn ratio_one_is_identity_on_comparison_structure() {
+        let c = sample();
+        let filtered = block_filtering(&c, 1.0);
+        assert_eq!(filtered.total_comparisons(), c.total_comparisons());
+        assert_eq!(filtered.len(), c.len());
+    }
+
+    #[test]
+    fn filtering_never_increases_comparisons() {
+        let c = sample();
+        for ratio in [0.2, 0.5, 0.8, 1.0] {
+            let filtered = block_filtering(&c, ratio);
+            assert!(filtered.total_comparisons() <= c.total_comparisons());
+        }
+    }
+
+    #[test]
+    fn every_entity_keeps_at_least_one_block() {
+        let filtered = block_filtering(&sample(), 0.01);
+        for i in 0..3 {
+            assert!(
+                !filtered.blocks_of(KbSide::First, e(i)).is_empty(),
+                "entity {i} lost all blocks"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "retention ratio")]
+    fn zero_ratio_panics() {
+        block_filtering(&sample(), 0.0);
+    }
+
+    #[test]
+    fn empty_collection_is_fine() {
+        let c = BlockCollection::new(BlockKind::Token, vec![], 0, 0);
+        let filtered = block_filtering(&c, 0.5);
+        assert!(filtered.is_empty());
+    }
+}

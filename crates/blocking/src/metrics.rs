@@ -1,0 +1,147 @@
+//! Block-collection quality metrics (the bottom rows of Table II).
+//!
+//! - *recall* (pair completeness): fraction of ground-truth pairs that
+//!   co-occur in at least one block of the union `BN ∪ BT`;
+//! - *precision* (pair quality): ground-truth pairs found per distinct
+//!   candidate comparison;
+//! - *F1*: their harmonic mean.
+
+use minoan_kb::{FxHashSet, GroundTruth};
+
+use crate::block::BlockCollection;
+
+/// Quality metrics of (a union of) block collections w.r.t. ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockMetrics {
+    /// Distinct candidate comparisons across the union.
+    pub distinct_comparisons: u64,
+    /// Ground-truth pairs covered by at least one block.
+    pub covered_matches: usize,
+    /// Total ground-truth pairs.
+    pub total_matches: usize,
+}
+
+impl BlockMetrics {
+    /// Pair completeness: `covered / total` (1 for empty ground truth).
+    pub fn recall(&self) -> f64 {
+        if self.total_matches == 0 {
+            1.0
+        } else {
+            self.covered_matches as f64 / self.total_matches as f64
+        }
+    }
+
+    /// Pair quality: `covered / distinct_comparisons` (0 if no comparisons).
+    pub fn precision(&self) -> f64 {
+        if self.distinct_comparisons == 0 {
+            0.0
+        } else {
+            self.covered_matches as f64 / self.distinct_comparisons as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Computes [`BlockMetrics`] over the union of `collections`.
+///
+/// Comparisons are deduplicated across collections, matching the paper's
+/// "overall comparisons in `BT ∪ BN`".
+pub fn block_metrics(collections: &[&BlockCollection], truth: &GroundTruth) -> BlockMetrics {
+    let mut pairs: FxHashSet<(minoan_kb::EntityId, minoan_kb::EntityId)> = FxHashSet::default();
+    for c in collections {
+        for b in c.blocks() {
+            for &e1 in &b.firsts {
+                for &e2 in &b.seconds {
+                    pairs.insert((e1, e2));
+                }
+            }
+        }
+    }
+    let covered = truth.iter().filter(|&(a, b)| pairs.contains(&(a, b))).count();
+    BlockMetrics {
+        distinct_comparisons: pairs.len() as u64,
+        covered_matches: covered,
+        total_matches: truth.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, BlockKind};
+    use minoan_kb::{EntityId, Matching};
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    fn coll(blocks: Vec<Block>) -> BlockCollection {
+        BlockCollection::new(BlockKind::Token, blocks, 4, 4)
+    }
+
+    #[test]
+    fn perfect_blocks() {
+        let c = coll(vec![Block {
+            key: 0,
+            firsts: vec![e(0)],
+            seconds: vec![e(0)],
+        }]);
+        let truth = Matching::from_pairs([(e(0), e(0))]);
+        let m = block_metrics(&[&c], &truth);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn missed_match_lowers_recall() {
+        let c = coll(vec![Block {
+            key: 0,
+            firsts: vec![e(0)],
+            seconds: vec![e(0)],
+        }]);
+        let truth = Matching::from_pairs([(e(0), e(0)), (e(1), e(1))]);
+        let m = block_metrics(&[&c], &truth);
+        assert_eq!(m.recall(), 0.5);
+        assert_eq!(m.covered_matches, 1);
+    }
+
+    #[test]
+    fn union_deduplicates_across_collections() {
+        let c1 = coll(vec![Block {
+            key: 0,
+            firsts: vec![e(0), e(1)],
+            seconds: vec![e(0)],
+        }]);
+        let c2 = coll(vec![Block {
+            key: 1,
+            firsts: vec![e(0)],
+            seconds: vec![e(0)],
+        }]);
+        let truth = Matching::from_pairs([(e(0), e(0))]);
+        let m = block_metrics(&[&c1, &c2], &truth);
+        // (0,0) and (1,0): the repeat of (0,0) across collections is one.
+        assert_eq!(m.distinct_comparisons, 2);
+        assert_eq!(m.precision(), 0.5);
+    }
+
+    #[test]
+    fn empty_truth_has_full_recall_zero_precisionless_f1() {
+        let c = coll(vec![]);
+        let truth = Matching::new();
+        let m = block_metrics(&[&c], &truth);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Token Blocking — the schema-agnostic blocking method behind `BT`.
+//!
+//! Every distinct token appearing in the values of *both* KBs defines one
+//! block containing every entity (of either side) whose values contain
+//! that token. No schema knowledge is used, which is exactly why the
+//! method achieves the >99% recall the paper reports on highly
+//! heterogeneous KBs.
+
+use minoan_kb::{KbSide, TokenId};
+use minoan_text::TokenizedPair;
+
+use crate::block::{Block, BlockCollection, BlockKind};
+
+/// Builds the token block collection `BT` from a tokenized pair.
+///
+/// Blocks whose key occurs on only one side are dropped: they can never
+/// produce a comparison.
+pub fn token_blocking(tokens: &TokenizedPair) -> BlockCollection {
+    let dict = tokens.dict();
+    let n_tokens = dict.len();
+    // Invert entity -> tokens into token -> entities, per side.
+    let mut firsts: Vec<Vec<minoan_kb::EntityId>> = vec![Vec::new(); n_tokens];
+    let mut seconds: Vec<Vec<minoan_kb::EntityId>> = vec![Vec::new(); n_tokens];
+    let n1 = tokens.entity_count(KbSide::First);
+    let n2 = tokens.entity_count(KbSide::Second);
+    for e in (0..n1 as u32).map(minoan_kb::EntityId) {
+        for &t in tokens.tokens(KbSide::First, e) {
+            firsts[t.index()].push(e);
+        }
+    }
+    for e in (0..n2 as u32).map(minoan_kb::EntityId) {
+        for &t in tokens.tokens(KbSide::Second, e) {
+            seconds[t.index()].push(e);
+        }
+    }
+    let mut blocks = Vec::new();
+    for t in (0..n_tokens as u32).map(TokenId) {
+        let f = &firsts[t.index()];
+        let s = &seconds[t.index()];
+        if !f.is_empty() && !s.is_empty() {
+            blocks.push(Block {
+                key: t.0,
+                firsts: f.clone(),
+                seconds: s.clone(),
+            });
+        }
+    }
+    BlockCollection::new(BlockKind::Token, blocks, n1, n2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoan_kb::{EntityId, KbBuilder, KbPair};
+    use minoan_text::Tokenizer;
+
+    fn build() -> (TokenizedPair, BlockCollection) {
+        let mut a = KbBuilder::new("E1");
+        a.add_literal("a:1", "name", "kri kri taverna");
+        a.add_literal("a:2", "name", "labyrinth grill");
+        a.add_literal("a:3", "name", "palace");
+        let mut b = KbBuilder::new("E2");
+        b.add_literal("b:1", "title", "taverna kri");
+        b.add_literal("b:2", "title", "knossos palace hotel");
+        let pair = KbPair::new(a.finish(), b.finish());
+        let toks = TokenizedPair::build(&pair, &Tokenizer::default());
+        let bt = token_blocking(&toks);
+        (toks, bt)
+    }
+
+    #[test]
+    fn only_shared_tokens_create_blocks() {
+        let (toks, bt) = build();
+        // Shared tokens: kri, taverna, palace.
+        assert_eq!(bt.len(), 3);
+        let keys: Vec<&str> = bt
+            .blocks()
+            .iter()
+            .map(|b| toks.dict().token(TokenId(b.key)))
+            .collect();
+        assert!(keys.contains(&"kri"));
+        assert!(keys.contains(&"taverna"));
+        assert!(keys.contains(&"palace"));
+        assert!(!keys.contains(&"labyrinth"));
+    }
+
+    #[test]
+    fn block_membership_is_correct() {
+        let (toks, bt) = build();
+        let kri = toks.dict().token_id("kri").unwrap();
+        let block = bt.blocks().iter().find(|b| b.key == kri.0).unwrap();
+        assert_eq!(block.firsts, vec![EntityId(0)]);
+        assert_eq!(block.seconds, vec![EntityId(0)]);
+    }
+
+    #[test]
+    fn candidate_sets_follow_blocks() {
+        let (_, bt) = build();
+        // a:1 shares kri+taverna with b:1 only.
+        let cands = bt.co_occurring(KbSide::First, EntityId(0));
+        assert_eq!(cands, vec![EntityId(0)]);
+        // a:2 shares nothing.
+        assert!(bt.co_occurring(KbSide::First, EntityId(1)).is_empty());
+        // a:3 shares palace with b:2.
+        assert_eq!(bt.co_occurring(KbSide::First, EntityId(2)), vec![EntityId(1)]);
+    }
+
+    #[test]
+    fn matching_pair_always_shares_a_block_if_it_shares_a_token() {
+        let (_, bt) = build();
+        assert!(bt.pair_co_occurs(EntityId(0), EntityId(0)));
+        assert!(!bt.pair_co_occurs(EntityId(1), EntityId(0)));
+    }
+}

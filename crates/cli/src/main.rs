@@ -1,0 +1,226 @@
+//! `minoaner` — command-line entity resolution.
+//!
+//! ```text
+//! minoaner match  <first.(tsv|nt)> <second.(tsv|nt)> [--method minoaner|bsl|sigma|paris]
+//!                 [--truth <pairs.tsv>] [--json] [--theta F] [--k N] [--no-purge]
+//! minoaner demo   [restaurant|rexa|bbc|yago] [--scale F] [--seed N]
+//! minoaner stats  <kb.(tsv|nt)>
+//! ```
+//!
+//! `--truth` is a 2-column TSV of matching URIs (first-KB URI, second-KB
+//! URI); with it the tool reports precision/recall/F1.
+
+use std::process::exit;
+
+use minoan_baselines::{run_bsl, run_paris, run_sigma, ParisConfig, SigmaConfig};
+use minoan_blocking::unique_name_pairs;
+use minoan_core::{build_blocks, MinoanConfig, MinoanEr};
+use minoan_datagen::DatasetKind;
+use minoan_eval::MatchQuality;
+use minoan_kb::{parse, GroundTruth, KbPair, KnowledgeBase, Matching};
+use minoan_text::{TokenizedPair, Tokenizer};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  minoaner match <first> <second> [--method minoaner|bsl|sigma|paris] \
+         [--truth pairs.tsv] [--json] [--theta F] [--k N] [--no-purge]\n  \
+         minoaner demo [restaurant|rexa|bbc|yago] [--scale F] [--seed N]\n  \
+         minoaner stats <kb>"
+    );
+    exit(2);
+}
+
+fn load_kb(path: &str, name: &str) -> KnowledgeBase {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let result = if path.ends_with(".nt") || path.ends_with(".ntriples") {
+        parse::parse_ntriples(name, &text)
+    } else {
+        parse::parse_tsv(name, &text)
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1);
+    })
+}
+
+fn load_truth(path: &str, pair: &KbPair) -> GroundTruth {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let mut truth = Matching::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cols = line.splitn(2, '\t');
+        let (Some(u1), Some(u2)) = (cols.next(), cols.next()) else {
+            eprintln!("{path}:{}: expected two tab-separated URIs", i + 1);
+            exit(1);
+        };
+        match (pair.first.entity_by_uri(u1), pair.second.entity_by_uri(u2)) {
+            (Some(e1), Some(e2)) => {
+                truth.insert(e1, e2);
+            }
+            _ => eprintln!("warning: {path}:{}: unknown URI, pair skipped", i + 1),
+        }
+    }
+    truth
+}
+
+fn report(matching: &Matching, pair: &KbPair, truth: Option<&GroundTruth>, json: bool) {
+    if json {
+        let pairs: Vec<[String; 2]> = matching
+            .iter()
+            .map(|(a, b)| {
+                [
+                    pair.first.entity_uri(a).to_string(),
+                    pair.second.entity_uri(b).to_string(),
+                ]
+            })
+            .collect();
+        let quality = truth.map(|t| MatchQuality::evaluate(matching, t));
+        let out = serde_json::json!({
+            "matches": pairs,
+            "quality": quality.map(|q| serde_json::json!({
+                "precision": q.precision(),
+                "recall": q.recall(),
+                "f1": q.f1(),
+            })),
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+    } else {
+        for (a, b) in matching.iter() {
+            println!("{}\t{}", pair.first.entity_uri(a), pair.second.entity_uri(b));
+        }
+        if let Some(t) = truth {
+            let q = MatchQuality::evaluate(matching, t);
+            eprintln!(
+                "precision {:.2}%  recall {:.2}%  F1 {:.2}%  ({} matches)",
+                q.precision() * 100.0,
+                q.recall() * 100.0,
+                q.f1() * 100.0,
+                matching.len()
+            );
+        } else {
+            eprintln!("{} matches", matching.len());
+        }
+    }
+}
+
+fn run_method(method: &str, pair: &KbPair, config: &MinoanConfig, truth: Option<&GroundTruth>) -> Matching {
+    match method {
+        "minoaner" => MinoanEr::new(config.clone()).unwrap_or_else(|e| {
+            eprintln!("bad config: {e}");
+            exit(1);
+        })
+        .run(pair)
+        .matching,
+        "bsl" => {
+            let Some(t) = truth else {
+                eprintln!("--method bsl needs --truth (BSL is oracle-tuned by definition)");
+                exit(1);
+            };
+            let art = build_blocks(pair, config);
+            run_bsl(&pair.first, &pair.second, &[&art.name_blocks, &art.token_blocks], t).matching
+        }
+        "sigma" => {
+            let art = build_blocks(pair, config);
+            let tokens = TokenizedPair::build(pair, &Tokenizer::default());
+            let seeds = unique_name_pairs(&art.name_blocks);
+            run_sigma(pair, &tokens, &art.token_blocks, &seeds, SigmaConfig::default())
+        }
+        "paris" => run_paris(pair, ParisConfig::default()),
+        other => {
+            eprintln!("unknown method {other:?}");
+            exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("match") => {
+            let mut positional: Vec<&str> = Vec::new();
+            let mut method = "minoaner".to_string();
+            let mut truth_path: Option<String> = None;
+            let mut json = false;
+            let mut config = MinoanConfig::default();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--method" => method = it.next().cloned().unwrap_or_else(|| usage()),
+                    "--truth" => truth_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+                    "--json" => json = true,
+                    "--theta" => {
+                        config.theta = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                    }
+                    "--k" => {
+                        config.candidates_k =
+                            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                    }
+                    "--no-purge" => config.purge_blocks = false,
+                    other if !other.starts_with('-') => positional.push(other),
+                    _ => usage(),
+                }
+            }
+            if positional.len() != 2 {
+                usage();
+            }
+            let pair = KbPair::new(load_kb(positional[0], "E1"), load_kb(positional[1], "E2"));
+            let truth = truth_path.map(|p| load_truth(&p, &pair));
+            let matching = run_method(&method, &pair, &config, truth.as_ref());
+            report(&matching, &pair, truth.as_ref(), json);
+        }
+        Some("demo") => {
+            let mut kind = DatasetKind::Restaurant;
+            let mut scale = 0.3;
+            let mut seed = 20180416u64;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "restaurant" => kind = DatasetKind::Restaurant,
+                    "rexa" => kind = DatasetKind::RexaDblp,
+                    "bbc" => kind = DatasetKind::BbcDbpedia,
+                    "yago" => kind = DatasetKind::YagoImdb,
+                    "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+                    "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+                    _ => usage(),
+                }
+            }
+            let d = kind.generate_scaled(seed, scale);
+            eprintln!(
+                "{}: |E1|={} |E2|={} ground truth {}",
+                d.name,
+                d.pair.first.entity_count(),
+                d.pair.second.entity_count(),
+                d.truth.len()
+            );
+            let out = MinoanEr::with_defaults().run(&d.pair);
+            let q = MatchQuality::evaluate(&out.matching, &d.truth);
+            eprintln!(
+                "MinoanER: H1={} H2={} H3={} H4-removed={}",
+                out.report.h1_matches, out.report.h2_matches, out.report.h3_matches, out.report.h4_removed
+            );
+            eprintln!(
+                "precision {:.2}%  recall {:.2}%  F1 {:.2}%",
+                q.precision() * 100.0,
+                q.recall() * 100.0,
+                q.f1() * 100.0
+            );
+        }
+        Some("stats") => {
+            let Some(path) = it.next() else { usage() };
+            let kb = load_kb(path, "KB");
+            let stats = minoan_kb::KbStats::compute(&kb);
+            println!("{}", serde_json::to_string_pretty(&stats).expect("serializable"));
+        }
+        _ => usage(),
+    }
+}

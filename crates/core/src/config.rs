@@ -1,0 +1,120 @@
+//! Pipeline configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the MinoanER matching pipeline.
+///
+/// The defaults are the paper's robust setting (§IV): `K=15`, `N=3`,
+/// `k=2`, `θ=0.6`, with Block Purging enabled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinoanConfig {
+    /// `k`: number of most distinctive attributes per KB whose literal
+    /// values serve as entity names (H1).
+    pub name_attrs_k: usize,
+    /// `K`: number of candidate matches kept per entity from values and
+    /// from neighbors (H3 list size and H4 reciprocity window).
+    pub candidates_k: usize,
+    /// `N`: number of most important relations per KB defining
+    /// `topNneighbors` (H3).
+    pub top_relations_n: usize,
+    /// `θ ∈ (0,1)`: trade-off between value-based (weight `θ`) and
+    /// neighbor-based (weight `1-θ`) normalized ranks in H3.
+    pub theta: f64,
+    /// Whether to apply Block Purging to the token blocks.
+    pub purge_blocks: bool,
+    /// Smoothing factor for Block Purging.
+    pub purge_smoothing: f64,
+    /// Safety cap on `topNneighbors(e)` per entity. The paper leaves the
+    /// set unbounded; the cap only guards against pathological hubs and
+    /// is high enough to be inactive on the benchmark profiles.
+    pub max_top_neighbors: usize,
+}
+
+impl Default for MinoanConfig {
+    fn default() -> Self {
+        Self {
+            name_attrs_k: 2,
+            candidates_k: 15,
+            top_relations_n: 3,
+            theta: 0.6,
+            purge_blocks: true,
+            purge_smoothing: minoan_blocking::DEFAULT_SMOOTHING,
+            max_top_neighbors: 32,
+        }
+    }
+}
+
+impl MinoanConfig {
+    /// Validates parameter ranges, returning a description of the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0 < self.theta && self.theta < 1.0) {
+            return Err(format!("theta must be in (0,1), got {}", self.theta));
+        }
+        if self.name_attrs_k == 0 {
+            return Err("name_attrs_k must be at least 1".into());
+        }
+        if self.candidates_k == 0 {
+            return Err("candidates_k must be at least 1".into());
+        }
+        if self.top_relations_n == 0 {
+            return Err("top_relations_n must be at least 1".into());
+        }
+        if self.purge_smoothing < 1.0 {
+            return Err(format!(
+                "purge_smoothing must be >= 1, got {}",
+                self.purge_smoothing
+            ));
+        }
+        if self.max_top_neighbors == 0 {
+            return Err("max_top_neighbors must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = MinoanConfig::default();
+        assert_eq!(c.name_attrs_k, 2);
+        assert_eq!(c.candidates_k, 15);
+        assert_eq!(c.top_relations_n, 3);
+        assert!((c.theta - 0.6).abs() < 1e-12);
+        assert!(c.purge_blocks);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let mut c = MinoanConfig::default();
+        c.theta = 1.0;
+        assert!(c.validate().is_err());
+        c = MinoanConfig::default();
+        c.theta = 0.0;
+        assert!(c.validate().is_err());
+        c = MinoanConfig::default();
+        c.name_attrs_k = 0;
+        assert!(c.validate().is_err());
+        c = MinoanConfig::default();
+        c.candidates_k = 0;
+        assert!(c.validate().is_err());
+        c = MinoanConfig::default();
+        c.top_relations_n = 0;
+        assert!(c.validate().is_err());
+        c = MinoanConfig::default();
+        c.purge_smoothing = 0.9;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn config_serializes_round_trip() {
+        let c = MinoanConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: MinoanConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,44 @@
+//! # minoan-core — the MinoanER matching framework
+//!
+//! A Rust implementation of *"Simplifying Entity Resolution on Web Data
+//! with Schema-agnostic, Non-iterative Matching"* (Efthymiou, Papadakis,
+//! Stefanidis, Christophides — ICDE 2018).
+//!
+//! MinoanER resolves entities across two heterogeneous KBs with no
+//! schema alignment, no domain expert and no iterative convergence:
+//!
+//! 1. data statistics pick the *distinctive name attributes* and the
+//!    *important relations* ([`importance`]);
+//! 2. schema-agnostic blocks are built and purged (`minoan-blocking`);
+//! 3. a [`SimilarityIndex`] derives `valueSim` and `neighborNSim` for all
+//!    co-occurring pairs straight from block statistics;
+//! 4. four threshold-free heuristics decide:
+//!    `M = (H1 ∨ H2 ∨ H3) ∧ H4` ([`heuristics`], [`MinoanEr`]).
+//!
+//! ```
+//! use minoan_core::MinoanEr;
+//! use minoan_kb::{KbBuilder, KbPair};
+//!
+//! let mut a = KbBuilder::new("E1");
+//! a.add_literal("a:1", "name", "Palace of Knossos");
+//! let mut b = KbBuilder::new("E2");
+//! b.add_literal("b:1", "label", "Knossos Palace");
+//! let pair = KbPair::new(a.finish(), b.finish());
+//!
+//! let out = MinoanEr::with_defaults().run(&pair);
+//! assert_eq!(out.matching.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod heuristics;
+pub mod importance;
+pub mod pipeline;
+pub mod simindex;
+
+pub use config::MinoanConfig;
+pub use heuristics::{h1_name_matches, h2_value_matches, h3_rank_matches, h3_top_candidate, h4_reciprocal};
+pub use importance::{attribute_importance, entity_names, relation_importance, top_neighbors, Importance};
+pub use pipeline::{build_blocks, BlockingArtifacts, MatchOutput, MinoanEr, PipelineReport, Timings};
+pub use simindex::{Candidate, SimilarityIndex};

@@ -1,0 +1,357 @@
+//! The non-iterative MinoanER matching pipeline.
+//!
+//! `M(ei, ej) = (H1 ∨ H2 ∨ H3) ∧ H4` over the pruned disjunctive
+//! blocking graph (paper Definition 1). Every similarity is computed
+//! once, from blocks; no matching decision is ever revisited.
+
+use std::time::{Duration, Instant};
+
+use minoan_blocking::{
+    name_blocking, purge_with, token_blocking, BlockCollection, PurgeReport,
+};
+use minoan_kb::{EntityId, FxHashSet, KbPair, Matching};
+use minoan_text::{TokenizedPair, Tokenizer};
+
+use crate::config::MinoanConfig;
+use crate::heuristics::{h1_name_matches, h2_value_matches, h3_rank_matches, h4_reciprocal};
+use crate::importance::{entity_names, top_neighbors};
+use crate::simindex::SimilarityIndex;
+
+/// Per-stage counters and timings of one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Matches contributed by H1 (names).
+    pub h1_matches: usize,
+    /// Matches contributed by H2 (strong value similarity).
+    pub h2_matches: usize,
+    /// Matches contributed by H3 (rank aggregation).
+    pub h3_matches: usize,
+    /// Pairs discarded by H4 (reciprocity).
+    pub h4_removed: usize,
+    /// Name blocks (`|BN|`).
+    pub name_blocks: usize,
+    /// Name-block comparisons (`||BN||`).
+    pub name_comparisons: u64,
+    /// Token blocks after purging (`|BT|`).
+    pub token_blocks: usize,
+    /// Token-block comparisons after purging (`||BT||`).
+    pub token_comparisons: u64,
+    /// The Block Purging report, if purging ran.
+    pub purge: Option<PurgeReport>,
+    /// Wall-clock time per stage.
+    pub timings: Timings,
+}
+
+/// Wall-clock stage timings.
+#[derive(Debug, Clone, Default)]
+pub struct Timings {
+    /// Tokenization of both KBs.
+    pub tokenize: Duration,
+    /// Name extraction + name blocking + H1.
+    pub names_h1: Duration,
+    /// Token blocking + purging.
+    pub blocking: Duration,
+    /// Similarity-index construction.
+    pub similarities: Duration,
+    /// H2 + H3 + H4.
+    pub matching: Duration,
+}
+
+impl Timings {
+    /// Total pipeline time.
+    pub fn total(&self) -> Duration {
+        self.tokenize + self.names_h1 + self.blocking + self.similarities + self.matching
+    }
+}
+
+/// The result of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct MatchOutput {
+    /// The final matching (after H4).
+    pub matching: Matching,
+    /// Stage counters and timings.
+    pub report: PipelineReport,
+}
+
+/// Intermediate artifacts of the pipeline, exposed for the benchmark
+/// harness (Table II needs the block collections, BSL consumes the same
+/// `BN ∪ BT` input as MinoanER).
+pub struct BlockingArtifacts {
+    /// The tokenized pair with the shared dictionary.
+    pub tokens: TokenizedPair,
+    /// Name blocks `BN`.
+    pub name_blocks: BlockCollection,
+    /// Token blocks `BT` (purged when the config says so).
+    pub token_blocks: BlockCollection,
+    /// The purge report, if purging ran.
+    pub purge: Option<PurgeReport>,
+    /// Extracted entity names per side.
+    pub names: [Vec<Vec<String>>; 2],
+}
+
+/// Builds the schema-agnostic blocking input (`BN`, `BT`) for a pair.
+pub fn build_blocks(pair: &KbPair, config: &MinoanConfig) -> BlockingArtifacts {
+    let tokenizer = Tokenizer::default();
+    let tokens = TokenizedPair::build(pair, &tokenizer);
+    let names1 = entity_names(&pair.first, config.name_attrs_k);
+    let names2 = entity_names(&pair.second, config.name_attrs_k);
+    let (bn, _) = name_blocking(&names1, &names2);
+    let bt_raw = token_blocking(&tokens);
+    let (bt, purge) = if config.purge_blocks {
+        let (purged, report) = purge_with(&bt_raw, config.purge_smoothing);
+        (purged, Some(report))
+    } else {
+        (bt_raw, None)
+    };
+    BlockingArtifacts {
+        tokens,
+        name_blocks: bn,
+        token_blocks: bt,
+        purge,
+        names: [names1, names2],
+    }
+}
+
+/// The MinoanER matcher.
+#[derive(Debug, Clone, Default)]
+pub struct MinoanEr {
+    config: MinoanConfig,
+}
+
+impl MinoanEr {
+    /// Creates a matcher, validating the configuration.
+    pub fn new(config: MinoanConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// Creates a matcher with the paper's default parameters.
+    pub fn with_defaults() -> Self {
+        Self::default()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MinoanConfig {
+        &self.config
+    }
+
+    /// Resolves `pair`, returning the matching and a stage report.
+    pub fn run(&self, pair: &KbPair) -> MatchOutput {
+        let mut report = PipelineReport::default();
+
+        // Tokenize + block (tokenize timing is folded into build_blocks;
+        // split the clock around the call for the two coarse stages).
+        let t0 = Instant::now();
+        let artifacts = build_blocks(pair, &self.config);
+        report.timings.blocking = t0.elapsed();
+        report.name_blocks = artifacts.name_blocks.len();
+        report.name_comparisons = artifacts.name_blocks.total_comparisons();
+        report.token_blocks = artifacts.token_blocks.len();
+        report.token_comparisons = artifacts.token_blocks.total_comparisons();
+        report.purge = artifacts.purge.clone();
+
+        // H1: unique-name matches.
+        let t0 = Instant::now();
+        let h1 = h1_name_matches(&artifacts.name_blocks);
+        report.h1_matches = h1.len();
+        report.timings.names_h1 = t0.elapsed();
+
+        let mut matched: [FxHashSet<EntityId>; 2] = [FxHashSet::default(), FxHashSet::default()];
+        let mut matching = Matching::new();
+        for &(e1, e2) in &h1 {
+            matching.insert(e1, e2);
+            matched[0].insert(e1);
+            matched[1].insert(e2);
+        }
+
+        // Similarity index over the purged token blocks.
+        let t0 = Instant::now();
+        let tn1 = top_neighbors(
+            &pair.first,
+            self.config.top_relations_n,
+            self.config.max_top_neighbors,
+        );
+        let tn2 = top_neighbors(
+            &pair.second,
+            self.config.top_relations_n,
+            self.config.max_top_neighbors,
+        );
+        let idx = SimilarityIndex::build(&artifacts.token_blocks, &artifacts.tokens, [&tn1, &tn2]);
+        report.timings.similarities = t0.elapsed();
+
+        // H2 on the smaller KB.
+        let t0 = Instant::now();
+        let smaller = pair.smaller_side();
+        let n_smaller = pair.kb(smaller).entity_count();
+        let h2 = h2_value_matches(&idx, smaller, n_smaller, [&matched[0], &matched[1]]);
+        report.h2_matches = h2.len();
+        for &(e1, e2) in &h2 {
+            matching.insert(e1, e2);
+            matched[0].insert(e1);
+            matched[1].insert(e2);
+        }
+
+        // H3 on what is left.
+        let h3 = h3_rank_matches(
+            &idx,
+            smaller,
+            n_smaller,
+            self.config.candidates_k,
+            self.config.theta,
+            [&matched[0], &matched[1]],
+        );
+        report.h3_matches = h3.len();
+        for &(e1, e2) in &h3 {
+            matching.insert(e1, e2);
+        }
+
+        // H4: reciprocity filter over everything.
+        let before = matching.len();
+        let k = self.config.candidates_k;
+        matching.retain(|e1, e2| h4_reciprocal(&idx, k, e1, e2));
+        report.h4_removed = before - matching.len();
+        report.timings.matching = t0.elapsed();
+
+        MatchOutput { matching, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoan_kb::KbBuilder;
+
+    /// Two restaurant-style KBs with names, values and an address
+    /// relation; r0/r1/r2 match their counterparts.
+    fn restaurant_pair() -> KbPair {
+        let mut a = KbBuilder::new("E1");
+        for (i, (name, street)) in [
+            ("Kri Kri Taverna", "12 Minos Avenue"),
+            ("Labyrinth Grill", "3 Ariadne Street"),
+            ("Phaistos Disk Cafe", "77 Festos Road"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let r = format!("a:r{i}");
+            a.add_literal(&r, "name", name);
+            a.add_literal(&r, "cuisine", "greek traditional");
+            a.add_uri(&r, "address", &format!("a:addr{i}"));
+            a.add_literal(&format!("a:addr{i}"), "street", street);
+        }
+        let mut b = KbBuilder::new("E2");
+        for (i, (name, street)) in [
+            ("Kri Kri Taverna", "12 Minos Ave"),
+            ("Labyrinth Grill", "3 Ariadne St"),
+            ("Phaistos Disk Cafe", "77 Festos Rd"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let r = format!("b:r{i}");
+            b.add_literal(&r, "title", name);
+            b.add_literal(&r, "category", "restaurant");
+            b.add_uri(&r, "location", &format!("b:addr{i}"));
+            b.add_literal(&format!("b:addr{i}"), "street", street);
+        }
+        KbPair::new(a.finish(), b.finish())
+    }
+
+    #[test]
+    fn end_to_end_resolves_identical_names() {
+        let pair = restaurant_pair();
+        let out = MinoanEr::with_defaults().run(&pair);
+        // All three restaurants match their counterparts.
+        for i in 0..3u32 {
+            let e1 = pair.first.entity_by_uri(&format!("a:r{i}")).unwrap();
+            let e2 = pair.second.entity_by_uri(&format!("b:r{i}")).unwrap();
+            assert!(
+                out.matching.contains(e1, e2),
+                "restaurant {i} not matched; got {:?}",
+                out.matching.iter().collect::<Vec<_>>()
+            );
+        }
+        assert!(out.report.h1_matches >= 3, "names should drive H1");
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let pair = restaurant_pair();
+        let out = MinoanEr::with_defaults().run(&pair);
+        let r = &out.report;
+        assert_eq!(
+            out.matching.len() + r.h4_removed,
+            r.h1_matches + r.h2_matches + r.h3_matches
+        );
+        assert!(r.token_blocks > 0);
+        assert!(r.name_blocks > 0);
+        assert!(r.purge.is_some());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut c = MinoanConfig::default();
+        c.theta = 2.0;
+        assert!(MinoanEr::new(c).is_err());
+    }
+
+    #[test]
+    fn empty_pair_produces_empty_matching() {
+        let pair = KbPair::new(KbBuilder::new("x").finish(), KbBuilder::new("y").finish());
+        let out = MinoanEr::with_defaults().run(&pair);
+        assert!(out.matching.is_empty());
+        assert_eq!(out.report.h1_matches, 0);
+    }
+
+    #[test]
+    fn kb_without_relations_still_matches_on_values() {
+        let mut a = KbBuilder::new("E1");
+        a.add_literal("a:0", "name", "unique zanzibar artifact");
+        let mut b = KbBuilder::new("E2");
+        b.add_literal("b:0", "label", "unique zanzibar artifact museum");
+        let pair = KbPair::new(a.finish(), b.finish());
+        let out = MinoanEr::with_defaults().run(&pair);
+        let e1 = pair.first.entity_by_uri("a:0").unwrap();
+        let e2 = pair.second.entity_by_uri("b:0").unwrap();
+        assert!(out.matching.contains(e1, e2));
+    }
+
+    #[test]
+    fn purging_can_be_disabled() {
+        let pair = restaurant_pair();
+        let mut c = MinoanConfig::default();
+        c.purge_blocks = false;
+        let out = MinoanEr::new(c).unwrap().run(&pair);
+        assert!(out.report.purge.is_none());
+        assert!(!out.matching.is_empty());
+    }
+
+    #[test]
+    fn build_blocks_exposes_bn_and_bt() {
+        let pair = restaurant_pair();
+        let art = build_blocks(&pair, &MinoanConfig::default());
+        assert!(art.name_blocks.len() >= 3);
+        assert!(art.token_blocks.len() > art.name_blocks.len());
+        assert_eq!(art.names[0].len(), pair.first.entity_count());
+        assert_eq!(art.names[1].len(), pair.second.entity_count());
+    }
+
+    #[test]
+    fn h3_contributes_when_values_are_weak_but_neighbors_strong() {
+        // Movies share only a weak title token; their actors match
+        // strongly. H3's neighbor evidence must link the movies.
+        let mut a = KbBuilder::new("E1");
+        a.add_literal("a:m", "title", "the film");
+        a.add_uri("a:m", "starring", "a:p");
+        a.add_literal("a:p", "name", "melina mercouri unique");
+        let mut b = KbBuilder::new("E2");
+        b.add_literal("b:m", "label", "film");
+        b.add_uri("b:m", "actor", "b:p");
+        b.add_literal("b:p", "fullname", "unique melina mercouri");
+        let pair = KbPair::new(a.finish(), b.finish());
+        let out = MinoanEr::with_defaults().run(&pair);
+        let m1 = pair.first.entity_by_uri("a:m").unwrap();
+        let m2 = pair.second.entity_by_uri("b:m").unwrap();
+        assert!(out.matching.contains(m1, m2));
+    }
+}

@@ -1,0 +1,284 @@
+//! The similarity index: every similarity MinoanER needs, computed once
+//! from the purged token blocks.
+//!
+//! The paper's efficiency argument (§III) is that both `valueSim` and
+//! `neighborNSim` are functions of block statistics, so the matching
+//! process iterates over blocks instead of the KBs. This module realizes
+//! that: one pass over `BT` accumulates `valueSim` for every co-occurring
+//! pair (each shared token is exactly one shared block, contributing its
+//! `1/log2(EF1·EF2+1)` weight), and a second pass distributes those
+//! values onto the containing pairs through `topNneighbors` to obtain
+//! `neighborNSim`.
+
+use minoan_blocking::BlockCollection;
+use minoan_kb::{EntityId, FxHashMap, KbSide, TokenId};
+use minoan_sim::token_weight;
+use minoan_text::TokenizedPair;
+
+/// A scored candidate (the other side's entity plus a similarity).
+pub type Candidate = (EntityId, f64);
+
+/// Value and neighbor similarities for all co-occurring pairs, with
+/// per-entity candidate lists sorted by similarity (descending, ties by
+/// entity id for determinism).
+#[derive(Debug, Default)]
+pub struct SimilarityIndex {
+    value: FxHashMap<(u32, u32), f64>,
+    neighbor: FxHashMap<(u32, u32), f64>,
+    /// Per side, per entity: candidates by value similarity.
+    value_cands: [Vec<Vec<Candidate>>; 2],
+    /// Per side, per entity: candidates by (non-zero) neighbor similarity.
+    neighbor_cands: [Vec<Vec<Candidate>>; 2],
+}
+
+impl SimilarityIndex {
+    /// Builds the index from the (purged) token blocks.
+    ///
+    /// `top_neighbors` holds `topNneighbors(e)` per entity for each side
+    /// (see [`crate::importance::top_neighbors`]).
+    pub fn build(
+        blocks: &BlockCollection,
+        tokens: &TokenizedPair,
+        top_neighbors: [&[Vec<EntityId>]; 2],
+    ) -> Self {
+        let n1 = tokens.entity_count(KbSide::First);
+        let n2 = tokens.entity_count(KbSide::Second);
+        let mut value: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+        for b in blocks.blocks() {
+            let t = TokenId(b.key);
+            let w = token_weight(
+                tokens.dict().ef(KbSide::First, t),
+                tokens.dict().ef(KbSide::Second, t),
+            );
+            for &e1 in &b.firsts {
+                for &e2 in &b.seconds {
+                    *value.entry((e1.0, e2.0)).or_insert(0.0) += w;
+                }
+            }
+        }
+        let value_cands = pair_map_to_lists(&value, n1, n2);
+
+        // neighborNSim(e1, e2) = Σ_{n1 ∈ top(e1), n2 ∈ top(e2)} valueSim(n1, n2).
+        // For each e1: acc[n2] = Σ_{n1 ∈ top(e1)} valueSim(n1, n2), then
+        // sum acc over e2's top neighbors for each candidate e2.
+        let mut neighbor: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+        let mut acc: FxHashMap<u32, f64> = FxHashMap::default();
+        for e1 in 0..n1 as u32 {
+            let cands = &value_cands[0][e1 as usize];
+            if cands.is_empty() {
+                continue;
+            }
+            let tops1 = &top_neighbors[0][e1 as usize];
+            if tops1.is_empty() {
+                continue;
+            }
+            acc.clear();
+            for &nb1 in tops1 {
+                for &(nb2, v) in &value_cands[0][nb1.index()] {
+                    *acc.entry(nb2.0).or_insert(0.0) += v;
+                }
+            }
+            if acc.is_empty() {
+                continue;
+            }
+            for &(e2, _) in cands {
+                let mut s = 0.0;
+                for &nb2 in &top_neighbors[1][e2.index()] {
+                    if let Some(&v) = acc.get(&nb2.0) {
+                        s += v;
+                    }
+                }
+                if s > 0.0 {
+                    neighbor.insert((e1, e2.0), s);
+                }
+            }
+        }
+        let neighbor_cands = pair_map_to_lists(&neighbor, n1, n2);
+        Self {
+            value,
+            neighbor,
+            value_cands,
+            neighbor_cands,
+        }
+    }
+
+    /// `valueSim(e1, e2)` over the purged blocks (0 when the pair never
+    /// co-occurs).
+    pub fn value_sim(&self, e1: EntityId, e2: EntityId) -> f64 {
+        self.value.get(&(e1.0, e2.0)).copied().unwrap_or(0.0)
+    }
+
+    /// `neighborNSim(e1, e2)` (0 when no top-neighbor pair co-occurs).
+    pub fn neighbor_sim(&self, e1: EntityId, e2: EntityId) -> f64 {
+        self.neighbor.get(&(e1.0, e2.0)).copied().unwrap_or(0.0)
+    }
+
+    /// Candidates of `e` (an entity of `side`) sorted by value
+    /// similarity, descending.
+    pub fn value_candidates(&self, side: KbSide, e: EntityId) -> &[Candidate] {
+        &self.value_cands[side.index()][e.index()]
+    }
+
+    /// Candidates of `e` with non-zero neighbor similarity, descending.
+    pub fn neighbor_candidates(&self, side: KbSide, e: EntityId) -> &[Candidate] {
+        &self.neighbor_cands[side.index()][e.index()]
+    }
+
+    /// The best value candidate of `e`, if any.
+    pub fn top_value_candidate(&self, side: KbSide, e: EntityId) -> Option<Candidate> {
+        self.value_cands[side.index()][e.index()].first().copied()
+    }
+
+    /// Number of co-occurring pairs with recorded value similarity.
+    pub fn pair_count(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Number of pairs with non-zero neighbor similarity.
+    pub fn neighbor_pair_count(&self) -> usize {
+        self.neighbor.len()
+    }
+}
+
+/// Converts a pair→similarity map into per-entity sorted candidate lists
+/// for both sides.
+fn pair_map_to_lists(
+    map: &FxHashMap<(u32, u32), f64>,
+    n1: usize,
+    n2: usize,
+) -> [Vec<Vec<Candidate>>; 2] {
+    let mut firsts: Vec<Vec<Candidate>> = vec![Vec::new(); n1];
+    let mut seconds: Vec<Vec<Candidate>> = vec![Vec::new(); n2];
+    for (&(e1, e2), &v) in map {
+        firsts[e1 as usize].push((EntityId(e2), v));
+        seconds[e2 as usize].push((EntityId(e1), v));
+    }
+    for list in firsts.iter_mut().chain(seconds.iter_mut()) {
+        list.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+    }
+    [firsts, seconds]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoan_blocking::token_blocking;
+    use minoan_kb::{KbBuilder, KbPair};
+    use minoan_text::Tokenizer;
+
+    /// Two tiny movie KBs: movies m share a title token with their
+    /// counterpart, actors are linked via `starring`.
+    fn setup() -> (KbPair, TokenizedPair, BlockCollection, Vec<Vec<EntityId>>, Vec<Vec<EntityId>>) {
+        let mut a = KbBuilder::new("E1");
+        a.add_literal("a:m0", "title", "zorba dance");
+        a.add_uri("a:m0", "starring", "a:p0");
+        a.add_literal("a:p0", "name", "anthony quinn");
+        a.add_literal("a:m1", "title", "stella");
+        let mut b = KbBuilder::new("E2");
+        b.add_literal("b:m0", "label", "zorba the dance");
+        b.add_uri("b:m0", "actor", "b:p0");
+        b.add_literal("b:p0", "fullname", "quinn anthony");
+        b.add_literal("b:m1", "label", "stella nights");
+        let pair = KbPair::new(a.finish(), b.finish());
+        let tokens = TokenizedPair::build(&pair, &Tokenizer::default());
+        let bt = token_blocking(&tokens);
+        let tn1 = crate::importance::top_neighbors(&pair.first, 3, 32);
+        let tn2 = crate::importance::top_neighbors(&pair.second, 3, 32);
+        (pair, tokens, bt, tn1, tn2)
+    }
+
+    #[test]
+    fn value_sims_match_direct_computation() {
+        let (pair, tokens, bt, tn1, tn2) = setup();
+        let idx = SimilarityIndex::build(&bt, &tokens, [&tn1, &tn2]);
+        for e1 in pair.first.entities() {
+            for e2 in pair.second.entities() {
+                let direct = minoan_sim::value_sim(&tokens, e1, e2);
+                let indexed = idx.value_sim(e1, e2);
+                assert!(
+                    (direct - indexed).abs() < 1e-9,
+                    "mismatch for {e1:?},{e2:?}: {direct} vs {indexed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_lists_are_sorted_desc() {
+        let (_, tokens, bt, tn1, tn2) = setup();
+        let idx = SimilarityIndex::build(&bt, &tokens, [&tn1, &tn2]);
+        for side in [KbSide::First, KbSide::Second] {
+            for e in 0..tokens.entity_count(side) as u32 {
+                let c = idx.value_candidates(side, EntityId(e));
+                assert!(c.windows(2).all(|w| w[0].1 >= w[1].1));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_sim_propagates_actor_similarity_to_movies() {
+        let (pair, tokens, bt, tn1, tn2) = setup();
+        let idx = SimilarityIndex::build(&bt, &tokens, [&tn1, &tn2]);
+        let am0 = pair.first.entity_by_uri("a:m0").unwrap();
+        let bm0 = pair.second.entity_by_uri("b:m0").unwrap();
+        let ap0 = pair.first.entity_by_uri("a:p0").unwrap();
+        let bp0 = pair.second.entity_by_uri("b:p0").unwrap();
+        let actors = idx.value_sim(ap0, bp0);
+        assert!(actors > 0.0);
+        // The movies' neighbor similarity equals their actors' value sim.
+        assert!((idx.neighbor_sim(am0, bm0) - actors).abs() < 1e-9);
+        // And the actors' neighbor similarity equals the movies' value sim
+        // (via the incoming edge).
+        assert!((idx.neighbor_sim(ap0, bp0) - idx.value_sim(am0, bm0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_cooccurring_pairs_have_zero_sims() {
+        let (pair, tokens, bt, tn1, tn2) = setup();
+        let idx = SimilarityIndex::build(&bt, &tokens, [&tn1, &tn2]);
+        let am1 = pair.first.entity_by_uri("a:m1").unwrap();
+        let bm0 = pair.second.entity_by_uri("b:m0").unwrap();
+        assert_eq!(idx.value_sim(am1, bm0), 0.0);
+        assert_eq!(idx.neighbor_sim(am1, bm0), 0.0);
+    }
+
+    #[test]
+    fn neighbor_candidates_only_contain_nonzero_entries() {
+        let (_, tokens, bt, tn1, tn2) = setup();
+        let idx = SimilarityIndex::build(&bt, &tokens, [&tn1, &tn2]);
+        for side in [KbSide::First, KbSide::Second] {
+            for e in 0..tokens.entity_count(side) as u32 {
+                for &(_, v) in idx.neighbor_candidates(side, EntityId(e)) {
+                    assert!(v > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_directions_agree() {
+        let (_, tokens, bt, tn1, tn2) = setup();
+        let idx = SimilarityIndex::build(&bt, &tokens, [&tn1, &tn2]);
+        for e1 in 0..tokens.entity_count(KbSide::First) as u32 {
+            for &(e2, v) in idx.value_candidates(KbSide::First, EntityId(e1)) {
+                let back = idx.value_candidates(KbSide::Second, e2);
+                assert!(back.iter().any(|&(e, bv)| e == EntityId(e1) && (bv - v).abs() < 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn top_value_candidate_is_the_argmax() {
+        let (pair, tokens, bt, tn1, tn2) = setup();
+        let idx = SimilarityIndex::build(&bt, &tokens, [&tn1, &tn2]);
+        let am0 = pair.first.entity_by_uri("a:m0").unwrap();
+        let bm0 = pair.second.entity_by_uri("b:m0").unwrap();
+        let (top, v) = idx.top_value_candidate(KbSide::First, am0).unwrap();
+        assert_eq!(top, bm0);
+        assert!(v > 0.0);
+    }
+}

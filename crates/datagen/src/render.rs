@@ -1,0 +1,258 @@
+//! Rendering a canonical world into two KBs.
+//!
+//! Schema heterogeneity lives here: each side renders the same canonical
+//! entities under its own vocabulary (attribute names, URI prefixes,
+//! type assertions), optionally *scattering* a logical attribute across
+//! many concrete attribute names — the signature of DBpedia-style KBs
+//! with tens of thousands of predicates.
+
+use minoan_kb::{EntityId, GroundTruth, KbBuilder, KbPair, KnowledgeBase, Matching};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::world::World;
+
+/// How one entity class is rendered on one side.
+#[derive(Debug, Clone)]
+pub struct ClassRender {
+    /// Attribute name carrying the entity name.
+    pub name_attr: String,
+    /// Attribute names per field (same arity as the class's fields).
+    pub field_attrs: Vec<String>,
+    /// Type assertion, if any (`attr`, `value`).
+    pub type_assertion: Option<(String, String)>,
+    /// When > 1, each field statement picks one of `scatter` numbered
+    /// variants of its attribute name (simulating huge schemas).
+    pub attr_scatter: usize,
+    /// Probability that the rendered name literal is punctuation-
+    /// decorated ("kura, thesi") — formatting heterogeneity that exact
+    /// string matching trips over but tokenized name keys do not.
+    pub name_punctuation_prob: f64,
+}
+
+/// How one side renders the world.
+#[derive(Debug, Clone)]
+pub struct RenderSpec {
+    /// KB name.
+    pub kb_name: String,
+    /// URI prefix for entities.
+    pub uri_prefix: String,
+    /// Namespace prefix for attributes (the "vocabulary").
+    pub attr_prefix: String,
+    /// Per class: rendering rules.
+    pub classes: Vec<ClassRender>,
+    /// Per relation index: relation attribute name.
+    pub relation_attrs: Vec<String>,
+}
+
+/// A rendered side: the KB plus the canonical-index → entity-id map.
+pub struct RenderedSide {
+    /// The knowledge base.
+    pub kb: KnowledgeBase,
+    /// `map[canonical index] = Some(entity id)` when present on this side.
+    pub map: Vec<Option<EntityId>>,
+}
+
+/// Renders side `side_idx` (0 or 1) of `world` according to `spec`.
+pub fn render_side(
+    world: &World,
+    side_idx: usize,
+    spec: &RenderSpec,
+    rng: &mut StdRng,
+) -> RenderedSide {
+    let mut b = KbBuilder::new(&spec.kb_name);
+    let mut map: Vec<Option<EntityId>> = vec![None; world.entities.len()];
+    let uri = |i: usize| format!("{}{}", spec.uri_prefix, i);
+    // First pass: declare present entities so link targets resolve.
+    for (i, e) in world.entities.iter().enumerate() {
+        if e.presence.on(side_idx) {
+            map[i] = Some(b.declare_entity(&uri(i)));
+        }
+    }
+    for (i, e) in world.entities.iter().enumerate() {
+        if map[i].is_none() {
+            continue;
+        }
+        let cr = &spec.classes[e.class];
+        let subject = uri(i);
+        let name = if cr.name_punctuation_prob > 0.0 && rng.gen_bool(cr.name_punctuation_prob) {
+            e.names[side_idx].join(", ")
+        } else {
+            e.names[side_idx].join(" ")
+        };
+        if !name.is_empty() {
+            b.add_literal(&subject, &format!("{}{}", spec.attr_prefix, cr.name_attr), &name);
+        }
+        for (f, toks) in e.fields[side_idx].iter().enumerate() {
+            if toks.is_empty() {
+                continue;
+            }
+            let base = &cr.field_attrs[f];
+            let attr = if cr.attr_scatter > 1 {
+                format!(
+                    "{}{}_{}",
+                    spec.attr_prefix,
+                    base,
+                    rng.gen_range(0..cr.attr_scatter)
+                )
+            } else {
+                format!("{}{}", spec.attr_prefix, base)
+            };
+            b.add_literal(&subject, &attr, &toks.join(" "));
+        }
+        if let Some((attr, value)) = &cr.type_assertion {
+            b.add_literal(&subject, &format!("{}{}", spec.attr_prefix, attr), value);
+        }
+        for &(rel, target) in e.links.iter().chain(&e.side_links[side_idx]) {
+            if world.entities[target].presence.on(side_idx) {
+                b.add_uri(
+                    &subject,
+                    &format!("{}{}", spec.attr_prefix, spec.relation_attrs[rel]),
+                    &uri(target),
+                );
+            }
+        }
+    }
+    RenderedSide {
+        kb: b.finish(),
+        map,
+    }
+}
+
+/// Renders both sides and assembles the pair plus ground truth.
+pub fn render_pair(
+    world: &World,
+    specs: [&RenderSpec; 2],
+    rng: &mut StdRng,
+) -> (KbPair, GroundTruth) {
+    let first = render_side(world, 0, specs[0], rng);
+    let second = render_side(world, 1, specs[1], rng);
+    let mut truth = Matching::new();
+    for i in world.matches() {
+        if let (Some(e1), Some(e2)) = (first.map[i], second.map[i]) {
+            truth.insert(e1, e2);
+        }
+    }
+    (KbPair::new(first.kb, second.kb), truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{ClassSpec, FieldSpec, Presence, TokenPools};
+    use rand::SeedableRng;
+
+    fn tiny_world() -> World {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pools = TokenPools::generate(&mut rng, 300, 20, 100);
+        let spec = ClassSpec {
+            name_words: (2, 2),
+            name_exact_prob: 1.0,
+            name_drop_prob: 0.0,
+            fields: vec![FieldSpec::new((3, 4), 0.3, [1.0, 1.0], [(0, 0), (0, 0)])],
+        };
+        let mut w = World::default();
+        w.gt_classes = vec![0];
+        let a = w.add_entity(&mut rng, 0, Presence::Both, &spec, &pools);
+        let b = w.add_entity(&mut rng, 1, Presence::Both, &spec, &pools);
+        let c = w.add_entity(&mut rng, 0, Presence::FirstOnly, &spec, &pools);
+        let d = w.add_entity(&mut rng, 1, Presence::SecondOnly, &spec, &pools);
+        w.link(a, 0, b);
+        w.link(c, 0, d); // dangling on both sides (d absent on 0, c absent on 1)
+        w
+    }
+
+    fn spec_for(side: usize) -> RenderSpec {
+        RenderSpec {
+            kb_name: format!("E{}", side + 1),
+            uri_prefix: format!("kb{side}:e"),
+            attr_prefix: format!("http://v{side}/"),
+            classes: vec![
+                ClassRender {
+                    name_attr: "name".into(),
+                    field_attrs: vec!["detail".into()],
+                    type_assertion: Some(("type".into(), "Primary".into())),
+                    attr_scatter: 1,
+                    name_punctuation_prob: 0.0,
+                },
+                ClassRender {
+                    name_attr: "label".into(),
+                    field_attrs: vec!["info".into()],
+                    type_assertion: None,
+                    attr_scatter: if side == 1 { 5 } else { 1 },
+                    name_punctuation_prob: 0.0,
+                },
+            ],
+            relation_attrs: vec!["linked".into()],
+        }
+    }
+
+    #[test]
+    fn present_entities_are_rendered_with_truth() {
+        let w = tiny_world();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (pair, truth) = render_pair(&w, [&spec_for(0), &spec_for(1)], &mut rng);
+        assert_eq!(pair.first.entity_count(), 3);
+        assert_eq!(pair.second.entity_count(), 3);
+        // Only class 0 + Both -> entity a.
+        assert_eq!(truth.len(), 1);
+    }
+
+    #[test]
+    fn links_render_only_when_target_present() {
+        let w = tiny_world();
+        let mut rng = StdRng::seed_from_u64(2);
+        let first = render_side(&w, 0, &spec_for(0), &mut rng);
+        let a = first.map[0].unwrap();
+        assert_eq!(first.kb.out_edges(a).count(), 1);
+        let c = first.map[2].unwrap();
+        // c links to d which is SecondOnly -> no edge on side 0.
+        assert_eq!(first.kb.out_edges(c).count(), 0);
+    }
+
+    #[test]
+    fn attr_scatter_multiplies_attribute_names() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let pools = TokenPools::generate(&mut rng, 300, 20, 100);
+        let spec = ClassSpec {
+            name_words: (2, 2),
+            name_exact_prob: 1.0,
+            name_drop_prob: 0.0,
+            fields: vec![FieldSpec::new((3, 3), 0.0, [1.0, 1.0], [(0, 0), (0, 0)])],
+        };
+        let mut w = World::default();
+        w.gt_classes = vec![1];
+        for _ in 0..50 {
+            w.add_entity(&mut rng, 1, Presence::Both, &spec, &pools);
+        }
+        let scattered = render_side(&w, 1, &spec_for(1), &mut rng);
+        let flat = render_side(&w, 0, &spec_for(0), &mut rng);
+        assert!(scattered.kb.attr_count() > flat.kb.attr_count());
+    }
+
+    #[test]
+    fn vocabulary_prefixes_differ_across_sides() {
+        let w = tiny_world();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (pair, _) = render_pair(&w, [&spec_for(0), &spec_for(1)], &mut rng);
+        let a0 = pair.first.attr_name(minoan_kb::AttrId(0));
+        let a1 = pair.second.attr_name(minoan_kb::AttrId(0));
+        assert!(a0.starts_with("http://v0/"));
+        assert!(a1.starts_with("http://v1/"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let w = tiny_world();
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let (p1, t1) = render_pair(&w, [&spec_for(0), &spec_for(1)], &mut r1);
+        let (p2, t2) = render_pair(&w, [&spec_for(0), &spec_for(1)], &mut r2);
+        assert_eq!(p1.first.triple_count(), p2.first.triple_count());
+        assert_eq!(t1, t2);
+        assert_eq!(
+            minoan_kb::parse::to_tsv(&p1.second),
+            minoan_kb::parse::to_tsv(&p2.second)
+        );
+    }
+}

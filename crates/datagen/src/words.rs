@@ -1,0 +1,114 @@
+//! Deterministic synthetic lexicon.
+//!
+//! The generator needs control over token frequency distributions — the
+//! single statistic all of MinoanER's similarity evidence derives from —
+//! so it builds its own vocabulary instead of shipping word lists:
+//! pronounceable words assembled from consonant–vowel syllables, drawn
+//! from a seeded RNG.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const CONSONANTS: &[&str] = &[
+    "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "th", "ch", "st", "kr",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ou"];
+
+/// Generates one synthetic word with `syllables` syllables.
+pub fn synth_word(rng: &mut StdRng, syllables: usize) -> String {
+    let mut w = String::new();
+    for _ in 0..syllables {
+        w.push_str(CONSONANTS[rng.gen_range(0..CONSONANTS.len())]);
+        w.push_str(VOWELS[rng.gen_range(0..VOWELS.len())]);
+    }
+    w
+}
+
+/// A pool of distinct synthetic words.
+#[derive(Debug, Clone)]
+pub struct WordPool {
+    words: Vec<String>,
+}
+
+impl WordPool {
+    /// Builds a pool of `n` distinct words with 2–4 syllables.
+    pub fn generate(rng: &mut StdRng, n: usize) -> Self {
+        let mut words = Vec::with_capacity(n);
+        let mut seen = std::collections::HashSet::new();
+        while words.len() < n {
+            let syl = rng.gen_range(2..=4);
+            let mut w = synth_word(rng, syl);
+            // Suffix a counter when the syllable space collides, so pools
+            // stay exactly the requested size.
+            if !seen.insert(w.clone()) {
+                w.push_str(&words.len().to_string());
+                seen.insert(w.clone());
+            }
+            words.push(w);
+        }
+        Self { words }
+    }
+
+    /// A uniformly random word from the pool.
+    pub fn pick(&self, rng: &mut StdRng) -> &str {
+        &self.words[rng.gen_range(0..self.words.len())]
+    }
+
+    /// The `i`-th word (wrapping), for deterministic unique assignment.
+    pub fn nth(&self, i: usize) -> &str {
+        &self.words[i % self.words.len()]
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn words_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(synth_word(&mut a, 3), synth_word(&mut b, 3));
+        let pa = WordPool::generate(&mut a, 50);
+        let pb = WordPool::generate(&mut b, 50);
+        assert_eq!(pa.words, pb.words);
+    }
+
+    #[test]
+    fn pool_has_requested_size_and_distinct_words() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = WordPool::generate(&mut rng, 2000);
+        assert_eq!(p.len(), 2000);
+        let set: std::collections::HashSet<_> = p.words.iter().collect();
+        assert_eq!(set.len(), 2000);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn words_are_lowercase_alphanumeric() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = WordPool::generate(&mut rng, 200);
+        for w in &p.words {
+            assert!(w.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(w.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn nth_wraps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = WordPool::generate(&mut rng, 10);
+        assert_eq!(p.nth(0), p.nth(10));
+    }
+}

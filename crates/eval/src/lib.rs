@@ -1,0 +1,13 @@
+//! # minoan-eval — evaluation harness
+//!
+//! [`MatchQuality`]: pairwise precision/recall/F1 against ground truth,
+//! as the paper reports them; [`Table`]: plain-text tables for the
+//! `repro_*` binaries that regenerate the paper's Tables I–III.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod report;
+
+pub use metrics::MatchQuality;
+pub use report::{scientific, Table};

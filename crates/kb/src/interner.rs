@@ -1,0 +1,126 @@
+//! String interning.
+//!
+//! URIs, attribute names and tokens repeat heavily in Web KBs; interning
+//! maps each distinct string to a dense `u32` id once, after which the
+//! whole pipeline works on integers.
+
+use crate::hash::FxHashMap;
+
+/// A dense string interner: `intern` assigns ids in first-seen order,
+/// `resolve` maps an id back to the string.
+///
+/// Ids are dense (`0..len`), so they can index parallel `Vec`s directly.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: FxHashMap<Box<str>, u32>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty interner with capacity for `cap` distinct strings.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            map: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+            strings: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Interns `s`, returning its id. Idempotent.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.strings.len()).expect("interner overflow");
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, id);
+        id
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves an id back to its string.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates `(id, string)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        let a2 = i.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::with_capacity(4);
+        let id = i.intern("http://example.org/x");
+        assert_eq!(i.resolve(id), "http://example.org/x");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("missing"), None);
+        i.intern("present");
+        assert_eq!(i.get("present"), Some(0));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_preserves_first_seen_order() {
+        let mut i = Interner::new();
+        for s in ["c", "a", "b", "a"] {
+            i.intern(s);
+        }
+        let collected: Vec<_> = i.iter().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(collected, vec!["c", "a", "b"]);
+    }
+
+    #[test]
+    fn empty_interner_reports_empty() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

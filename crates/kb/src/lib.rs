@@ -1,0 +1,31 @@
+//! # minoan-kb — knowledge-base substrate for MinoanER
+//!
+//! This crate provides everything below the ER algorithms:
+//!
+//! - a compact, interned data model for *entity descriptions*
+//!   ([`KnowledgeBase`], [`KbBuilder`], [`Value`]): URI-identified sets of
+//!   attribute–value pairs whose values are literals or references to
+//!   other descriptions, forming an entity graph;
+//! - parsers for an N-Triples subset and a TSV exchange format
+//!   ([`parse::parse_ntriples`], [`parse::parse_tsv`]);
+//! - structural statistics mirroring the paper's Table I ([`KbStats`]);
+//! - pair/ground-truth containers ([`KbPair`], [`Matching`]);
+//! - fast hashing ([`FxHashMap`], [`FxHashSet`]) and string interning
+//!   ([`Interner`]) used across the workspace.
+
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod ids;
+pub mod interner;
+pub mod model;
+pub mod pair;
+pub mod parse;
+pub mod stats;
+
+pub use hash::{FxHashMap, FxHashSet};
+pub use ids::{AttrId, BlockId, EntityId, KbSide, PairEntity, TokenId};
+pub use interner::Interner;
+pub use model::{AttrProfile, Edge, KbBuilder, KnowledgeBase, Object, Statement, Value};
+pub use pair::{GroundTruth, KbPair, Matching};
+pub use stats::{is_type_attr, local_name, namespace_prefix, KbStats};

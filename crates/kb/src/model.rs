@@ -1,0 +1,476 @@
+//! The entity-description data model.
+//!
+//! Following the paper, an *entity description* is a URI-identifiable set
+//! of attribute–value pairs, where each value is either a literal or the
+//! URI of another description. Descriptions of one KB therefore form an
+//! *entity graph* whose edges are the object-valued statements.
+
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::ids::{AttrId, EntityId};
+use crate::interner::Interner;
+
+/// A statement value: a literal string or a reference to another entity
+/// of the same KB.
+///
+/// Object URIs that do not identify a described entity are kept as
+/// literals (their string content still contributes matching evidence,
+/// exactly as in the schema-agnostic "bag of strings" view).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A literal value (or an unresolvable URI, kept as its string form).
+    Literal(Box<str>),
+    /// A reference to another entity described in the same KB.
+    Entity(EntityId),
+}
+
+impl Value {
+    /// Returns the literal string, if this is a literal.
+    pub fn as_literal(&self) -> Option<&str> {
+        match self {
+            Value::Literal(s) => Some(s),
+            Value::Entity(_) => None,
+        }
+    }
+
+    /// Returns the referenced entity, if this is an entity reference.
+    pub fn as_entity(&self) -> Option<EntityId> {
+        match self {
+            Value::Literal(_) => None,
+            Value::Entity(e) => Some(*e),
+        }
+    }
+}
+
+/// One attribute–value pair of an entity description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement {
+    /// The attribute (predicate).
+    pub attr: AttrId,
+    /// The value (literal or entity reference).
+    pub value: Value,
+}
+
+/// An incoming or outgoing edge of the entity graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// The relation along which the neighbor is reached.
+    pub relation: AttrId,
+    /// The neighboring entity.
+    pub neighbor: EntityId,
+}
+
+/// A single, immutable knowledge base: a set of entity descriptions plus
+/// the interners that give entities and attributes their dense ids.
+///
+/// Build one with [`KbBuilder`]; entity ids are assigned in subject
+/// first-seen order and are dense `0..entity_count()`.
+#[derive(Debug, Clone)]
+pub struct KnowledgeBase {
+    name: String,
+    entity_uris: Interner,
+    attrs: Interner,
+    /// Statements per entity, indexed by `EntityId`.
+    statements: Vec<Vec<Statement>>,
+    /// Reverse edges per entity (who points at me, and via what).
+    in_edges: Vec<Vec<Edge>>,
+    triple_count: usize,
+}
+
+impl KnowledgeBase {
+    /// Human-readable KB name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of entity descriptions.
+    pub fn entity_count(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// Number of statements (triples) across all descriptions.
+    pub fn triple_count(&self) -> usize {
+        self.triple_count
+    }
+
+    /// Number of distinct attributes.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Iterates all entity ids.
+    pub fn entities(&self) -> impl Iterator<Item = EntityId> {
+        (0..self.statements.len() as u32).map(EntityId)
+    }
+
+    /// The URI of an entity.
+    pub fn entity_uri(&self, e: EntityId) -> &str {
+        self.entity_uris.resolve(e.0)
+    }
+
+    /// Looks up an entity by URI.
+    pub fn entity_by_uri(&self, uri: &str) -> Option<EntityId> {
+        self.entity_uris.get(uri).map(EntityId)
+    }
+
+    /// The name of an attribute.
+    pub fn attr_name(&self, a: AttrId) -> &str {
+        self.attrs.resolve(a.0)
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attr_by_name(&self, name: &str) -> Option<AttrId> {
+        self.attrs.get(name).map(AttrId)
+    }
+
+    /// Iterates all attribute ids.
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> {
+        (0..self.attrs.len() as u32).map(AttrId)
+    }
+
+    /// The statements of an entity description.
+    pub fn statements(&self, e: EntityId) -> &[Statement] {
+        &self.statements[e.index()]
+    }
+
+    /// Iterates the literal values of an entity (the schema-agnostic
+    /// "bag of strings" the paper matches on).
+    pub fn literals(&self, e: EntityId) -> impl Iterator<Item = &str> {
+        self.statements[e.index()]
+            .iter()
+            .filter_map(|s| s.value.as_literal())
+    }
+
+    /// Iterates the literal values of `e` restricted to attribute `a`.
+    pub fn literals_of_attr(&self, e: EntityId, a: AttrId) -> impl Iterator<Item = &str> {
+        self.statements[e.index()]
+            .iter()
+            .filter(move |s| s.attr == a)
+            .filter_map(|s| s.value.as_literal())
+    }
+
+    /// Outgoing edges of the entity graph (object-valued statements).
+    pub fn out_edges(&self, e: EntityId) -> impl Iterator<Item = Edge> + '_ {
+        self.statements[e.index()].iter().filter_map(|s| {
+            s.value.as_entity().map(|n| Edge {
+                relation: s.attr,
+                neighbor: n,
+            })
+        })
+    }
+
+    /// Incoming edges of the entity graph.
+    pub fn in_edges(&self, e: EntityId) -> &[Edge] {
+        &self.in_edges[e.index()]
+    }
+
+    /// Outgoing then incoming edges: the full neighborhood the paper uses
+    /// ("immediate in- and out-neighbors").
+    pub fn edges(&self, e: EntityId) -> impl Iterator<Item = Edge> + '_ {
+        self.out_edges(e).chain(self.in_edges(e).iter().copied())
+    }
+
+    /// Attributes that act as *relations*, i.e. have at least one
+    /// entity-valued statement, with their edge counts.
+    pub fn relation_edge_counts(&self) -> FxHashMap<AttrId, usize> {
+        let mut counts = FxHashMap::default();
+        for stmts in &self.statements {
+            for s in stmts {
+                if s.value.as_entity().is_some() {
+                    *counts.entry(s.attr).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Number of distinct relation attributes.
+    pub fn relation_count(&self) -> usize {
+        self.relation_edge_counts().len()
+    }
+
+    /// Per-attribute aggregates needed by the importance metric:
+    /// (number of entities containing the attribute, number of distinct
+    /// values associated with it). Entity-valued and literal values both
+    /// count as values, keyed by their canonical form.
+    pub fn attr_profile(&self) -> Vec<AttrProfile> {
+        let mut containing = vec![0usize; self.attrs.len()];
+        let mut distinct: Vec<FxHashSet<u64>> = vec![FxHashSet::default(); self.attrs.len()];
+        let mut seen_attr: FxHashSet<AttrId> = FxHashSet::default();
+        for stmts in &self.statements {
+            seen_attr.clear();
+            for s in stmts {
+                if seen_attr.insert(s.attr) {
+                    containing[s.attr.index()] += 1;
+                }
+                let key = match &s.value {
+                    Value::Literal(l) => hash_str(l),
+                    // Offset entity keys so they cannot collide with literal
+                    // hashes in a systematic way.
+                    Value::Entity(e) => u64::from(e.0) | (1u64 << 63),
+                };
+                distinct[s.attr.index()].insert(key);
+            }
+        }
+        containing
+            .into_iter()
+            .zip(distinct)
+            .enumerate()
+            .map(|(i, (entities_containing, distinct_values))| AttrProfile {
+                attr: AttrId(i as u32),
+                entities_containing,
+                distinct_values: distinct_values.len(),
+            })
+            .collect()
+    }
+}
+
+/// Per-attribute aggregates used for support/discriminability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttrProfile {
+    /// The attribute these aggregates describe.
+    pub attr: AttrId,
+    /// How many entities contain the attribute at least once.
+    pub entities_containing: usize,
+    /// How many distinct values the attribute takes across the KB.
+    pub distinct_values: usize,
+}
+
+fn hash_str(s: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = crate::hash::FxHasher::default();
+    s.hash(&mut h);
+    h.finish()
+}
+
+/// Object of a raw triple fed to [`KbBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Object {
+    /// An object URI; resolved to an entity reference if the URI is a
+    /// described subject, otherwise downgraded to a literal.
+    Uri(String),
+    /// A literal object.
+    Literal(String),
+}
+
+/// Incrementally builds a [`KnowledgeBase`] from raw triples.
+///
+/// Object URIs may reference subjects that are only described later; the
+/// resolution happens in [`KbBuilder::finish`].
+#[derive(Debug, Default)]
+pub struct KbBuilder {
+    name: String,
+    entity_uris: Interner,
+    attrs: Interner,
+    object_uris: Interner,
+    raw: Vec<Vec<(AttrId, RawValue)>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RawValue {
+    LiteralId(u32),
+    UriId(u32),
+}
+
+impl KbBuilder {
+    /// Creates an empty builder for a KB named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Ensures `uri` is a described entity (even if it never gets a
+    /// statement) and returns its id.
+    pub fn declare_entity(&mut self, uri: &str) -> EntityId {
+        let id = self.entity_uris.intern(uri);
+        if id as usize == self.raw.len() {
+            self.raw.push(Vec::new());
+        }
+        EntityId(id)
+    }
+
+    /// Adds one triple. The subject becomes a described entity.
+    pub fn add(&mut self, subject: &str, predicate: &str, object: Object) {
+        let subj = self.declare_entity(subject);
+        let attr = AttrId(self.attrs.intern(predicate));
+        let raw = match object {
+            // Literals are interned via the object interner too: repeated
+            // values (countries, genres, years) are extremely common.
+            Object::Literal(l) => RawValue::LiteralId(self.object_uris.intern(&format!("\u{1}{l}"))),
+            Object::Uri(u) => RawValue::UriId(self.object_uris.intern(&u)),
+        };
+        self.raw[subj.index()].push((attr, raw));
+    }
+
+    /// Convenience: adds a literal-valued triple.
+    pub fn add_literal(&mut self, subject: &str, predicate: &str, literal: &str) {
+        self.add(subject, predicate, Object::Literal(literal.to_string()));
+    }
+
+    /// Convenience: adds a URI-valued triple.
+    pub fn add_uri(&mut self, subject: &str, predicate: &str, object_uri: &str) {
+        self.add(subject, predicate, Object::Uri(object_uri.to_string()));
+    }
+
+    /// Resolves object URIs against the described subjects and freezes
+    /// the KB.
+    pub fn finish(self) -> KnowledgeBase {
+        let n = self.raw.len();
+        let mut statements: Vec<Vec<Statement>> = Vec::with_capacity(n);
+        let mut in_edges: Vec<Vec<Edge>> = vec![Vec::new(); n];
+        let mut triple_count = 0usize;
+        for (subj_idx, raw_stmts) in self.raw.into_iter().enumerate() {
+            let mut stmts = Vec::with_capacity(raw_stmts.len());
+            for (attr, raw) in raw_stmts {
+                triple_count += 1;
+                let value = match raw {
+                    RawValue::LiteralId(id) => {
+                        let s = self.object_uris.resolve(id);
+                        // Strip the \u{1} literal marker.
+                        Value::Literal(s[1..].into())
+                    }
+                    RawValue::UriId(id) => {
+                        let uri = self.object_uris.resolve(id);
+                        match self.entity_uris.get(uri) {
+                            Some(e) => {
+                                in_edges[e as usize].push(Edge {
+                                    relation: attr,
+                                    neighbor: EntityId(subj_idx as u32),
+                                });
+                                Value::Entity(EntityId(e))
+                            }
+                            None => Value::Literal(uri.into()),
+                        }
+                    }
+                };
+                stmts.push(Statement { attr, value });
+            }
+            statements.push(stmts);
+        }
+        KnowledgeBase {
+            name: self.name,
+            entity_uris: self.entity_uris,
+            attrs: self.attrs,
+            statements,
+            in_edges,
+            triple_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KnowledgeBase {
+        let mut b = KbBuilder::new("test");
+        b.add_literal("e:r1", "name", "Taverna Kri Kri");
+        b.add_literal("e:r1", "phone", "555-0199");
+        b.add_uri("e:r1", "address", "e:a1");
+        b.add_literal("e:a1", "street", "12 Minos Ave");
+        b.add_uri("e:r2", "address", "e:a1");
+        b.add_literal("e:r2", "name", "Labyrinth Grill");
+        b.add_uri("e:r2", "sameCity", "e:unknown-uri");
+        b.finish()
+    }
+
+    #[test]
+    fn builder_assigns_dense_entity_ids_in_subject_order() {
+        let kb = sample();
+        assert_eq!(kb.entity_count(), 3);
+        assert_eq!(kb.entity_uri(EntityId(0)), "e:r1");
+        assert_eq!(kb.entity_uri(EntityId(1)), "e:a1");
+        assert_eq!(kb.entity_uri(EntityId(2)), "e:r2");
+        assert_eq!(kb.triple_count(), 7);
+    }
+
+    #[test]
+    fn object_uri_resolution() {
+        let kb = sample();
+        let r1 = kb.entity_by_uri("e:r1").unwrap();
+        let a1 = kb.entity_by_uri("e:a1").unwrap();
+        let out: Vec<_> = kb.out_edges(r1).collect();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].neighbor, a1);
+        // Unresolvable URI stays a literal.
+        let r2 = kb.entity_by_uri("e:r2").unwrap();
+        assert!(kb
+            .literals(r2)
+            .any(|l| l == "e:unknown-uri"));
+    }
+
+    #[test]
+    fn in_edges_are_reverse_of_out_edges() {
+        let kb = sample();
+        let a1 = kb.entity_by_uri("e:a1").unwrap();
+        let incoming: Vec<_> = kb.in_edges(a1).iter().map(|e| e.neighbor).collect();
+        assert_eq!(incoming.len(), 2);
+        assert!(incoming.contains(&kb.entity_by_uri("e:r1").unwrap()));
+        assert!(incoming.contains(&kb.entity_by_uri("e:r2").unwrap()));
+    }
+
+    #[test]
+    fn edges_chains_out_then_in() {
+        let kb = sample();
+        let a1 = kb.entity_by_uri("e:a1").unwrap();
+        assert_eq!(kb.edges(a1).count(), 2);
+        let r1 = kb.entity_by_uri("e:r1").unwrap();
+        assert_eq!(kb.edges(r1).count(), 1);
+    }
+
+    #[test]
+    fn relation_counts_only_entity_valued_attrs() {
+        let kb = sample();
+        let rels = kb.relation_edge_counts();
+        assert_eq!(rels.len(), 1);
+        let addr = kb.attr_by_name("address").unwrap();
+        assert_eq!(rels[&addr], 2);
+        assert_eq!(kb.relation_count(), 1);
+    }
+
+    #[test]
+    fn attr_profile_counts_support_and_distinct_values() {
+        let kb = sample();
+        let profiles = kb.attr_profile();
+        let name = kb.attr_by_name("name").unwrap();
+        let p = profiles.iter().find(|p| p.attr == name).unwrap();
+        assert_eq!(p.entities_containing, 2);
+        assert_eq!(p.distinct_values, 2);
+        let addr = kb.attr_by_name("address").unwrap();
+        let p = profiles.iter().find(|p| p.attr == addr).unwrap();
+        assert_eq!(p.entities_containing, 2);
+        assert_eq!(p.distinct_values, 1);
+    }
+
+    #[test]
+    fn literal_marker_does_not_leak() {
+        let mut b = KbBuilder::new("m");
+        b.add_literal("s", "p", "plain");
+        let kb = b.finish();
+        let e = kb.entity_by_uri("s").unwrap();
+        assert_eq!(kb.literals(e).collect::<Vec<_>>(), vec!["plain"]);
+    }
+
+    #[test]
+    fn literal_and_uri_with_same_text_do_not_collide() {
+        let mut b = KbBuilder::new("m");
+        b.add_literal("s", "p", "e:target");
+        b.add_uri("s", "q", "e:target");
+        b.add_literal("e:target", "name", "t");
+        let kb = b.finish();
+        let s = kb.entity_by_uri("s").unwrap();
+        let lits: Vec<_> = kb.literals(s).collect();
+        assert_eq!(lits, vec!["e:target"]);
+        assert_eq!(kb.out_edges(s).count(), 1);
+    }
+
+    #[test]
+    fn declare_entity_without_statements() {
+        let mut b = KbBuilder::new("m");
+        b.declare_entity("lonely");
+        let kb = b.finish();
+        assert_eq!(kb.entity_count(), 1);
+        assert!(kb.statements(EntityId(0)).is_empty());
+    }
+}

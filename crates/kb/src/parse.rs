@@ -1,0 +1,280 @@
+//! Parsers for loading KBs from files.
+//!
+//! Two formats are supported:
+//!
+//! - A pragmatic **N-Triples subset**: `<s> <p> <o> .` and
+//!   `<s> <p> "literal"(^^<dt>|@lang)? .` lines, `#` comments, blank lines.
+//!   Datatype/language tags are dropped; the lexical form is kept.
+//! - A simple **TSV** format used by the synthetic datasets:
+//!   `subject \t predicate \t kind \t object` with `kind ∈ {uri, lit}`.
+
+use crate::model::{KbBuilder, KnowledgeBase, Object};
+use std::fmt;
+
+/// A parse failure, with 1-based line number and description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses N-Triples text into a KB named `name`.
+pub fn parse_ntriples(name: &str, text: &str) -> Result<KnowledgeBase, ParseError> {
+    let mut builder = KbBuilder::new(name);
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (subject, rest) = parse_uri_term(line, line_no)?;
+        let rest = rest.trim_start();
+        let (predicate, rest) = parse_uri_term(rest, line_no)?;
+        let rest = rest.trim_start();
+        let (object, rest) = parse_object_term(rest, line_no)?;
+        let rest = rest.trim_start();
+        if !rest.starts_with('.') {
+            return Err(err(line_no, "expected terminating '.'"));
+        }
+        builder.add(&subject, &predicate, object);
+    }
+    Ok(builder.finish())
+}
+
+fn parse_uri_term(s: &str, line: usize) -> Result<(String, &str), ParseError> {
+    let rest = s
+        .strip_prefix('<')
+        .ok_or_else(|| err(line, "expected '<' opening a URI term"))?;
+    let end = rest
+        .find('>')
+        .ok_or_else(|| err(line, "unterminated URI term"))?;
+    Ok((rest[..end].to_string(), &rest[end + 1..]))
+}
+
+fn parse_object_term(s: &str, line: usize) -> Result<(Object, &str), ParseError> {
+    if s.starts_with('<') {
+        let (uri, rest) = parse_uri_term(s, line)?;
+        return Ok((Object::Uri(uri), rest));
+    }
+    let rest = s
+        .strip_prefix('"')
+        .ok_or_else(|| err(line, "expected URI or literal object"))?;
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    let mut end = None;
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                end = Some(i);
+                break;
+            }
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, other)) => {
+                    // Unknown escape: keep it verbatim rather than failing;
+                    // Web data is messy and the lexical form is all we need.
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => return Err(err(line, "dangling escape in literal")),
+            },
+            c => out.push(c),
+        }
+    }
+    let end = end.ok_or_else(|| err(line, "unterminated literal"))?;
+    let mut rest = &rest[end + 1..];
+    // Skip datatype (^^<...>) or language (@lang) suffixes.
+    if let Some(dt) = rest.strip_prefix("^^") {
+        let (_, r) = parse_uri_term(dt, line)?;
+        rest = r;
+    } else if let Some(lang) = rest.strip_prefix('@') {
+        let stop = lang
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-'))
+            .unwrap_or(lang.len());
+        rest = &lang[stop..];
+    }
+    Ok((Object::Literal(out), rest))
+}
+
+/// Parses the 4-column TSV format into a KB named `name`.
+pub fn parse_tsv(name: &str, text: &str) -> Result<KnowledgeBase, ParseError> {
+    let mut builder = KbBuilder::new(name);
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cols = line.splitn(4, '\t');
+        let subject = cols.next().filter(|s| !s.is_empty());
+        let predicate = cols.next().filter(|s| !s.is_empty());
+        let kind = cols.next();
+        let object = cols.next();
+        match (subject, predicate, kind, object) {
+            (Some(s), Some(p), Some("uri"), Some(o)) => {
+                builder.add(s, p, Object::Uri(o.to_string()))
+            }
+            (Some(s), Some(p), Some("lit"), Some(o)) => {
+                builder.add(s, p, Object::Literal(o.to_string()))
+            }
+            (_, _, Some(k), _) if k != "uri" && k != "lit" => {
+                return Err(err(line_no, format!("unknown object kind {k:?}")))
+            }
+            _ => return Err(err(line_no, "expected 4 tab-separated columns")),
+        }
+    }
+    Ok(builder.finish())
+}
+
+/// Serializes a KB to the TSV format accepted by [`parse_tsv`].
+///
+/// Round-trips entities and statements (modulo the uri-vs-literal
+/// distinction for unresolvable URIs, which were already downgraded).
+pub fn to_tsv(kb: &KnowledgeBase) -> String {
+    let mut out = String::new();
+    for e in kb.entities() {
+        let uri = kb.entity_uri(e);
+        for stmt in kb.statements(e) {
+            let attr = kb.attr_name(stmt.attr);
+            match &stmt.value {
+                crate::model::Value::Literal(l) => {
+                    out.push_str(uri);
+                    out.push('\t');
+                    out.push_str(attr);
+                    out.push_str("\tlit\t");
+                    out.push_str(&l.replace(['\t', '\n'], " "));
+                    out.push('\n');
+                }
+                crate::model::Value::Entity(n) => {
+                    out.push_str(uri);
+                    out.push('\t');
+                    out.push_str(attr);
+                    out.push_str("\turi\t");
+                    out.push_str(kb.entity_uri(*n));
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_ntriples() {
+        let text = r#"
+# a comment
+<http://a/r1> <http://v/name> "Kri Kri" .
+<http://a/r1> <http://v/address> <http://a/addr1> .
+<http://a/addr1> <http://v/street> "12 Minos Ave"@en .
+<http://a/addr1> <http://v/zip> "71202"^^<http://www.w3.org/2001/XMLSchema#string> .
+"#;
+        let kb = parse_ntriples("t", text).unwrap();
+        assert_eq!(kb.entity_count(), 2);
+        assert_eq!(kb.triple_count(), 4);
+        let r1 = kb.entity_by_uri("http://a/r1").unwrap();
+        assert!(kb.literals(r1).any(|l| l == "Kri Kri"));
+        assert_eq!(kb.out_edges(r1).count(), 1);
+        let a1 = kb.entity_by_uri("http://a/addr1").unwrap();
+        assert!(kb.literals(a1).any(|l| l == "71202"));
+    }
+
+    #[test]
+    fn literal_escapes() {
+        let text = r#"<e:s> <e:p> "a \"quoted\" va\\lue\nnext" ."#;
+        let kb = parse_ntriples("t", text).unwrap();
+        let e = kb.entity_by_uri("e:s").unwrap();
+        assert_eq!(
+            kb.literals(e).next().unwrap(),
+            "a \"quoted\" va\\lue\nnext"
+        );
+    }
+
+    #[test]
+    fn unknown_escape_is_kept_verbatim() {
+        let text = r#"<e:s> <e:p> "weird \q escape" ."#;
+        let kb = parse_ntriples("t", text).unwrap();
+        let e = kb.entity_by_uri("e:s").unwrap();
+        assert_eq!(kb.literals(e).next().unwrap(), "weird \\q escape");
+    }
+
+    #[test]
+    fn missing_dot_is_an_error() {
+        let text = "<e:s> <e:p> <e:o>";
+        let e = parse_ntriples("t", text).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("terminating"));
+    }
+
+    #[test]
+    fn unterminated_literal_is_an_error() {
+        let text = "<e:s> <e:p> \"oops .";
+        let e = parse_ntriples("t", text).unwrap_err();
+        assert!(e.message.contains("unterminated literal"));
+    }
+
+    #[test]
+    fn bad_subject_reports_line_number() {
+        let text = "<e:a> <e:p> \"x\" .\nnot-a-uri <e:p> \"y\" .";
+        let e = parse_ntriples("t", text).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let text = "s1\tname\tlit\tAlpha Beta\ns1\tknows\turi\ts2\ns2\tname\tlit\tGamma\n";
+        let kb = parse_tsv("t", text).unwrap();
+        assert_eq!(kb.entity_count(), 2);
+        let dumped = to_tsv(&kb);
+        let kb2 = parse_tsv("t2", &dumped).unwrap();
+        assert_eq!(kb2.entity_count(), 2);
+        assert_eq!(kb2.triple_count(), 3);
+        let s1 = kb2.entity_by_uri("s1").unwrap();
+        assert!(kb2.literals(s1).any(|l| l == "Alpha Beta"));
+        assert_eq!(kb2.out_edges(s1).count(), 1);
+    }
+
+    #[test]
+    fn tsv_rejects_unknown_kind() {
+        let e = parse_tsv("t", "s\tp\tblank\tx").unwrap_err();
+        assert!(e.message.contains("unknown object kind"));
+    }
+
+    #[test]
+    fn tsv_rejects_short_rows() {
+        let e = parse_tsv("t", "s\tp\tlit").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn tsv_object_may_contain_further_tabs_no() {
+        // The object is the 4th column onward (splitn keeps the tail intact).
+        let kb = parse_tsv("t", "s\tp\tlit\ta\tb").unwrap();
+        let s = kb.entity_by_uri("s").unwrap();
+        assert_eq!(kb.literals(s).next().unwrap(), "a\tb");
+    }
+}

@@ -1,0 +1,150 @@
+//! Structural KB statistics (the schema-side columns of Table I).
+
+use crate::hash::FxHashSet;
+use crate::model::{KnowledgeBase, Value};
+use serde::Serialize;
+
+/// Structural statistics of one KB, mirroring the per-KB rows of the
+/// paper's Table I (token statistics are computed by `minoan-text`, which
+/// owns tokenization).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct KbStats {
+    /// KB name.
+    pub name: String,
+    /// Number of entity descriptions.
+    pub entities: usize,
+    /// Number of triples (statements).
+    pub triples: usize,
+    /// Number of distinct attributes (predicates).
+    pub attributes: usize,
+    /// Number of distinct relations (entity-valued predicates).
+    pub relations: usize,
+    /// Number of distinct entity types (distinct objects of type-like
+    /// predicates).
+    pub types: usize,
+    /// Number of distinct vocabularies (predicate namespace prefixes).
+    pub vocabularies: usize,
+}
+
+impl KbStats {
+    /// Computes structural statistics for `kb`.
+    pub fn compute(kb: &KnowledgeBase) -> Self {
+        let mut types: FxHashSet<&str> = FxHashSet::default();
+        let mut type_entities: FxHashSet<u32> = FxHashSet::default();
+        let type_attrs: Vec<_> = kb.attrs().filter(|a| is_type_attr(kb.attr_name(*a))).collect();
+        for e in kb.entities() {
+            for s in kb.statements(e) {
+                if type_attrs.contains(&s.attr) {
+                    match &s.value {
+                        Value::Literal(l) => {
+                            types.insert(l);
+                        }
+                        Value::Entity(t) => {
+                            type_entities.insert(t.0);
+                        }
+                    }
+                }
+            }
+        }
+        let mut vocab: FxHashSet<String> = FxHashSet::default();
+        for a in kb.attrs() {
+            vocab.insert(namespace_prefix(kb.attr_name(a)).to_string());
+        }
+        KbStats {
+            name: kb.name().to_string(),
+            entities: kb.entity_count(),
+            triples: kb.triple_count(),
+            attributes: kb.attr_count(),
+            relations: kb.relation_count(),
+            types: types.len() + type_entities.len(),
+            vocabularies: vocab.len(),
+        }
+    }
+}
+
+/// Whether a predicate name denotes an entity-type assertion.
+///
+/// Schema-agnostic heuristic: `rdf:type`-style predicates end in `type`
+/// (after the namespace separator), e.g. `http://www.w3.org/1999/02/22-rdf-syntax-ns#type`,
+/// `wordnet_type`, `type`.
+pub fn is_type_attr(name: &str) -> bool {
+    local_name(name).eq_ignore_ascii_case("type")
+}
+
+/// The local name of a URI-like identifier (text after the last `#` or `/`).
+pub fn local_name(name: &str) -> &str {
+    let after_hash = name.rsplit('#').next().unwrap_or(name);
+    after_hash.rsplit('/').next().unwrap_or(after_hash)
+}
+
+/// The namespace prefix of a URI-like identifier (text up to and including
+/// the last `#` or `/`, or the empty string for plain names).
+pub fn namespace_prefix(name: &str) -> &str {
+    match name.rfind(['#', '/']) {
+        Some(i) => &name[..=i],
+        None => "",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::KbBuilder;
+
+    #[test]
+    fn local_name_and_prefix() {
+        assert_eq!(local_name("http://x.org/v#name"), "name");
+        assert_eq!(local_name("http://x.org/v/name"), "name");
+        assert_eq!(local_name("name"), "name");
+        assert_eq!(namespace_prefix("http://x.org/v#name"), "http://x.org/v#");
+        assert_eq!(namespace_prefix("http://x.org/v/name"), "http://x.org/v/");
+        assert_eq!(namespace_prefix("name"), "");
+    }
+
+    #[test]
+    fn type_attr_detection() {
+        assert!(is_type_attr("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"));
+        assert!(is_type_attr("type"));
+        assert!(is_type_attr("ns/Type"));
+        assert!(!is_type_attr("subtype_of"));
+        assert!(!is_type_attr("name"));
+    }
+
+    #[test]
+    fn stats_on_small_kb() {
+        let mut b = KbBuilder::new("s");
+        b.add_literal("e1", "http://v1/name", "A");
+        b.add_literal("e1", "http://v1/type", "Restaurant");
+        b.add_uri("e1", "http://v2/address", "e2");
+        b.add_literal("e2", "http://v1/type", "Address");
+        let kb = b.finish();
+        let st = KbStats::compute(&kb);
+        assert_eq!(st.entities, 2);
+        assert_eq!(st.triples, 4);
+        assert_eq!(st.attributes, 3);
+        assert_eq!(st.relations, 1);
+        assert_eq!(st.types, 2);
+        assert_eq!(st.vocabularies, 2);
+    }
+
+    #[test]
+    fn entity_valued_types_are_counted() {
+        let mut b = KbBuilder::new("s");
+        b.add_uri("e1", "rdf:type-ish/type", "class:Movie");
+        b.declare_entity("class:Movie");
+        b.add_uri("e2", "rdf:type-ish/type", "class:Movie");
+        let kb = b.finish();
+        let st = KbStats::compute(&kb);
+        assert_eq!(st.types, 1);
+    }
+
+    #[test]
+    fn empty_kb_stats_are_zero() {
+        let kb = KbBuilder::new("empty").finish();
+        let st = KbStats::compute(&kb);
+        assert_eq!(st.entities, 0);
+        assert_eq!(st.triples, 0);
+        assert_eq!(st.types, 0);
+        assert_eq!(st.vocabularies, 0);
+    }
+}

@@ -1,0 +1,18 @@
+//! # minoan-sim — similarity substrate for MinoanER
+//!
+//! - [`value_sim`]: the paper's schema-agnostic ARCS variant
+//!   (`Σ 1/log2(EF1·EF2+1)` over shared tokens), the basis of H2, H3 and
+//!   neighbor similarity;
+//! - [`build_vectors`] + [`Measure`]: TF/TF-IDF weighted vector models
+//!   and the Cosine/Jaccard/GeneralizedJaccard/SiGMa measures the BSL
+//!   baseline sweeps over.
+
+#![warn(missing_docs)]
+
+pub mod arcs;
+pub mod measures;
+pub mod vector;
+
+pub use arcs::{token_weight, value_sim, value_sim_slices};
+pub use measures::{cosine, dice, generalized_jaccard, jaccard, sigma, Measure};
+pub use vector::{build_vectors, WeightedVector, Weighting};

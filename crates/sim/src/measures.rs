@@ -1,0 +1,202 @@
+//! Similarity measures over [`WeightedVector`]s.
+//!
+//! These are the four measures BSL sweeps over (paper §IV): Cosine,
+//! Jaccard (binary), Generalized Jaccard, and the SiGMa similarity
+//! (weighted Jaccard in the style of Lacoste-Julien et al., KDD 2013).
+
+use crate::vector::WeightedVector;
+
+/// The similarity measures available to BSL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Measure {
+    /// Cosine similarity of the weighted vectors.
+    Cosine,
+    /// Binary Jaccard over feature sets (weights ignored).
+    Jaccard,
+    /// Generalized Jaccard: `Σ min(w1,w2) / Σ max(w1,w2)`.
+    GeneralizedJaccard,
+    /// SiGMa's weighted Jaccard: `Σ_{common} min(w1,w2) / (Σ_a w + Σ_b w − Σ_{common} min(w1,w2))`.
+    SiGMa,
+}
+
+impl Measure {
+    /// All supported measures (for the BSL sweep).
+    pub const ALL: [Measure; 4] = [
+        Measure::Cosine,
+        Measure::Jaccard,
+        Measure::GeneralizedJaccard,
+        Measure::SiGMa,
+    ];
+
+    /// Computes the measure between two vectors. Result is in `[0, 1]`.
+    pub fn compute(self, a: &WeightedVector, b: &WeightedVector) -> f64 {
+        match self {
+            Measure::Cosine => cosine(a, b),
+            Measure::Jaccard => jaccard(a, b),
+            Measure::GeneralizedJaccard => generalized_jaccard(a, b),
+            Measure::SiGMa => sigma(a, b),
+        }
+    }
+}
+
+impl std::fmt::Display for Measure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Measure::Cosine => write!(f, "Cosine"),
+            Measure::Jaccard => write!(f, "Jaccard"),
+            Measure::GeneralizedJaccard => write!(f, "GenJaccard"),
+            Measure::SiGMa => write!(f, "SiGMa"),
+        }
+    }
+}
+
+/// Cosine similarity.
+pub fn cosine(a: &WeightedVector, b: &WeightedVector) -> f64 {
+    if a.norm() == 0.0 || b.norm() == 0.0 {
+        return 0.0;
+    }
+    let mut dot = 0.0;
+    a.merge_join(b, |x, y| dot += x * y);
+    dot / (a.norm() * b.norm())
+}
+
+/// Binary Jaccard over the feature *sets*.
+pub fn jaccard(a: &WeightedVector, b: &WeightedVector) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let mut inter = 0usize;
+    a.merge_join(b, |x, y| {
+        if x > 0.0 && y > 0.0 {
+            inter += 1;
+        }
+    });
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Generalized (weighted) Jaccard: `Σ min / Σ max`.
+pub fn generalized_jaccard(a: &WeightedVector, b: &WeightedVector) -> f64 {
+    let mut min_sum = 0.0;
+    let mut max_sum = 0.0;
+    a.merge_join(b, |x, y| {
+        min_sum += x.min(y);
+        max_sum += x.max(y);
+    });
+    if max_sum == 0.0 {
+        0.0
+    } else {
+        min_sum / max_sum
+    }
+}
+
+/// SiGMa similarity: shared weight relative to total weight mass,
+/// `Σ_common min / (Σ_a + Σ_b − Σ_common min)`.
+pub fn sigma(a: &WeightedVector, b: &WeightedVector) -> f64 {
+    let mut common = 0.0;
+    a.merge_join(b, |x, y| {
+        if x > 0.0 && y > 0.0 {
+            common += x.min(y);
+        }
+    });
+    let denom = a.weight_sum() + b.weight_sum() - common;
+    if denom <= 0.0 {
+        0.0
+    } else {
+        common / denom
+    }
+}
+
+/// Dice coefficient over binary feature sets (used by ablations).
+pub fn dice(a: &WeightedVector, b: &WeightedVector) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let mut inter = 0usize;
+    a.merge_join(b, |x, y| {
+        if x > 0.0 && y > 0.0 {
+            inter += 1;
+        }
+    });
+    2.0 * inter as f64 / (a.len() + b.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::{build_vectors, Weighting};
+
+    fn vecs(a: &[&str], b: &[&str]) -> (WeightedVector, WeightedVector) {
+        let (f, s) = build_vectors(
+            &[a.iter().map(|x| x.to_string()).collect()],
+            &[b.iter().map(|x| x.to_string()).collect()],
+            Weighting::Tf,
+        );
+        (f[0].clone(), s[0].clone())
+    }
+
+    #[test]
+    fn identical_vectors_score_one() {
+        let (a, b) = vecs(&["x", "y", "z"], &["x", "y", "z"]);
+        for m in Measure::ALL {
+            let v = m.compute(&a, &b);
+            assert!((v - 1.0).abs() < 1e-9, "{m} gave {v}");
+        }
+    }
+
+    #[test]
+    fn disjoint_vectors_score_zero() {
+        let (a, b) = vecs(&["x"], &["y"]);
+        for m in Measure::ALL {
+            assert_eq!(m.compute(&a, &b), 0.0, "{m}");
+        }
+    }
+
+    #[test]
+    fn empty_vectors_never_nan() {
+        let (a, b) = vecs(&[], &[]);
+        for m in Measure::ALL {
+            let v = m.compute(&a, &b);
+            assert!(v.is_finite());
+            assert_eq!(v, 0.0);
+        }
+        assert_eq!(dice(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn all_measures_are_bounded_and_symmetric() {
+        let (a, b) = vecs(&["x", "x", "y", "w"], &["x", "y", "z"]);
+        for m in Measure::ALL {
+            let v1 = m.compute(&a, &b);
+            let v2 = m.compute(&b, &a);
+            assert!((0.0..=1.0).contains(&v1), "{m} out of range: {v1}");
+            assert!((v1 - v2).abs() < 1e-12, "{m} asymmetric");
+        }
+    }
+
+    #[test]
+    fn binary_jaccard_ignores_weights() {
+        let (a, b) = vecs(&["x", "x", "x", "y"], &["x", "y"]);
+        assert!((jaccard(&a, &b) - 1.0).abs() < 1e-12);
+        assert!(generalized_jaccard(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_strictly_between() {
+        let (a, b) = vecs(&["x", "y"], &["y", "z"]);
+        for m in Measure::ALL {
+            let v = m.compute(&a, &b);
+            assert!(v > 0.0 && v < 1.0, "{m} gave {v}");
+        }
+        let d = dice(&a, &b);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_matches_manual_computation() {
+        let (a, b) = vecs(&["x", "y"], &["x"]);
+        // a = (0.5, 0.5), b = (1.0) on x.
+        let expected = 0.5 / ((0.5f64.powi(2) * 2.0).sqrt() * 1.0);
+        assert!((cosine(&a, &b) - expected).abs() < 1e-12);
+    }
+}

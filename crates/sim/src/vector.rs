@@ -1,0 +1,237 @@
+//! Weighted vector models for the BSL baseline.
+//!
+//! BSL represents every entity by the token n-grams of its values,
+//! weighted by TF or TF-IDF (paper §IV). This module builds those sparse
+//! vectors over a feature space shared by both KBs.
+
+use minoan_kb::{FxHashMap, Interner};
+
+/// Feature weighting scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Weighting {
+    /// Term frequency: `count / doc_len`.
+    Tf,
+    /// TF × IDF with `idf = ln(1 + N / df)` over the union corpus.
+    TfIdf,
+}
+
+impl Weighting {
+    /// All supported weightings (for the BSL sweep).
+    pub const ALL: [Weighting; 2] = [Weighting::Tf, Weighting::TfIdf];
+}
+
+impl std::fmt::Display for Weighting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Weighting::Tf => write!(f, "TF"),
+            Weighting::TfIdf => write!(f, "TF-IDF"),
+        }
+    }
+}
+
+/// A sparse weighted feature vector, sorted by feature id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WeightedVector {
+    feats: Vec<(u32, f64)>,
+    norm: f64,
+    weight_sum: f64,
+}
+
+impl WeightedVector {
+    /// The `(feature, weight)` entries, ascending by feature id.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.feats
+    }
+
+    /// Euclidean norm (cached for cosine).
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// Sum of weights (cached for SiGMa-style weighted Jaccard).
+    pub fn weight_sum(&self) -> f64 {
+        self.weight_sum
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.feats.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.feats.is_empty()
+    }
+
+    /// Merges two sorted vectors, invoking `f(weight_a, weight_b)` for
+    /// every feature present in either (absent side passes 0.0).
+    pub fn merge_join(&self, other: &Self, mut f: impl FnMut(f64, f64)) {
+        let (a, b) = (&self.feats, &other.feats);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    f(a[i].1, 0.0);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    f(0.0, b[j].1);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    f(a[i].1, b[j].1);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        while i < a.len() {
+            f(a[i].1, 0.0);
+            i += 1;
+        }
+        while j < b.len() {
+            f(0.0, b[j].1);
+            j += 1;
+        }
+    }
+}
+
+/// Builds TF or TF-IDF vectors for the two sides of a corpus.
+///
+/// `docs_first[e]` / `docs_second[e]` are the feature strings (e.g. token
+/// n-grams) of entity `e`. The feature space and document frequencies are
+/// shared across the union of both sides, as BSL requires.
+pub fn build_vectors(
+    docs_first: &[Vec<String>],
+    docs_second: &[Vec<String>],
+    weighting: Weighting,
+) -> (Vec<WeightedVector>, Vec<WeightedVector>) {
+    let mut space = Interner::new();
+    let mut counts_first: Vec<FxHashMap<u32, u32>> = Vec::with_capacity(docs_first.len());
+    let mut counts_second: Vec<FxHashMap<u32, u32>> = Vec::with_capacity(docs_second.len());
+    let mut df: Vec<u32> = Vec::new();
+    let count_side = |docs: &[Vec<String>],
+                          counts: &mut Vec<FxHashMap<u32, u32>>,
+                          space: &mut Interner,
+                          df: &mut Vec<u32>| {
+        for doc in docs {
+            let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+            for feat in doc {
+                let id = space.intern(feat);
+                *m.entry(id).or_insert(0) += 1;
+            }
+            for &id in m.keys() {
+                if df.len() <= id as usize {
+                    df.resize(id as usize + 1, 0);
+                }
+                df[id as usize] += 1;
+            }
+            counts.push(m);
+        }
+    };
+    count_side(docs_first, &mut counts_first, &mut space, &mut df);
+    count_side(docs_second, &mut counts_second, &mut space, &mut df);
+    let n_docs = (docs_first.len() + docs_second.len()) as f64;
+    let weigh = |counts: Vec<FxHashMap<u32, u32>>| -> Vec<WeightedVector> {
+        counts
+            .into_iter()
+            .map(|m| {
+                let doc_len: u32 = m.values().sum();
+                let mut feats: Vec<(u32, f64)> = m
+                    .into_iter()
+                    .map(|(id, c)| {
+                        let tf = c as f64 / doc_len.max(1) as f64;
+                        let w = match weighting {
+                            Weighting::Tf => tf,
+                            Weighting::TfIdf => {
+                                tf * (1.0 + n_docs / df[id as usize] as f64).ln()
+                            }
+                        };
+                        (id, w)
+                    })
+                    .collect();
+                feats.sort_unstable_by_key(|&(id, _)| id);
+                let norm = feats.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+                let weight_sum = feats.iter().map(|&(_, w)| w).sum();
+                WeightedVector {
+                    feats,
+                    norm,
+                    weight_sum,
+                }
+            })
+            .collect()
+    };
+    (weigh(counts_first), weigh(counts_second))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs(v: &[&[&str]]) -> Vec<Vec<String>> {
+        v.iter()
+            .map(|d| d.iter().map(|s| s.to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn tf_weights_are_normalized_counts() {
+        let (f, _) = build_vectors(&docs(&[&["a", "a", "b"]]), &docs(&[&["a"]]), Weighting::Tf);
+        let v = &f[0];
+        assert_eq!(v.len(), 2);
+        let a = v.entries().iter().find(|&&(id, _)| id == 0).unwrap().1;
+        let b = v.entries().iter().find(|&&(id, _)| id == 1).unwrap().1;
+        assert!((a - 2.0 / 3.0).abs() < 1e-12);
+        assert!((b - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idf_downweights_ubiquitous_features() {
+        let (f, _) = build_vectors(
+            &docs(&[&["common", "rare"]]),
+            &docs(&[&["common"], &["common"]]),
+            Weighting::TfIdf,
+        );
+        let v = &f[0];
+        let common = v.entries()[0].1;
+        let rare = v.entries()[1].1;
+        assert!(rare > common, "rare feature must outweigh ubiquitous one");
+    }
+
+    #[test]
+    fn vectors_are_sorted_with_cached_aggregates() {
+        let (f, _) = build_vectors(&docs(&[&["z", "a", "m"]]), &docs(&[]), Weighting::Tf);
+        let v = &f[0];
+        assert!(v.entries().windows(2).all(|w| w[0].0 < w[1].0));
+        let norm: f64 = v.entries().iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        assert!((v.norm() - norm).abs() < 1e-12);
+        assert!((v.weight_sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_doc_yields_empty_vector() {
+        let (f, s) = build_vectors(&docs(&[&[]]), &docs(&[&["x"]]), Weighting::TfIdf);
+        assert!(f[0].is_empty());
+        assert_eq!(f[0].norm(), 0.0);
+        assert_eq!(s[0].len(), 1);
+    }
+
+    #[test]
+    fn merge_join_visits_all_features() {
+        let (f, s) = build_vectors(
+            &docs(&[&["a", "b"]]),
+            &docs(&[&["b", "c"]]),
+            Weighting::Tf,
+        );
+        let mut visited = 0;
+        let mut both = 0;
+        f[0].merge_join(&s[0], |x, y| {
+            visited += 1;
+            if x > 0.0 && y > 0.0 {
+                both += 1;
+            }
+        });
+        assert_eq!(visited, 3);
+        assert_eq!(both, 1);
+    }
+}

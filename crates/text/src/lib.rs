@@ -1,0 +1,18 @@
+//! # minoan-text — schema-agnostic text processing for MinoanER
+//!
+//! Tokenization ([`Tokenizer`]), token n-grams ([`token_ngrams`]) for the
+//! BSL baseline, a small stop-word list, and the tokenized view of a KB
+//! pair ([`TokenizedPair`]) with shared dictionary and per-side entity
+//! frequencies — the statistic behind the paper's `valueSim`.
+
+#![warn(missing_docs)]
+
+pub mod ngram;
+pub mod stopwords;
+pub mod tokenized;
+pub mod tokenizer;
+
+pub use ngram::{token_ngrams, token_ngrams_into};
+pub use stopwords::{is_stopword, STOPWORDS};
+pub use tokenized::{TokenDictionary, TokenizedPair};
+pub use tokenizer::{Tokenizer, TokenizerOptions};

@@ -1,0 +1,79 @@
+//! Token n-grams.
+//!
+//! The BSL baseline represents every description by the token
+//! uni-/bi-/tri-grams of its values (paper §IV, "Baselines"). An n-gram
+//! is `n` consecutive tokens of one value, joined by a space; n-grams
+//! never span value boundaries.
+
+/// Emits the `n`-grams of one token sequence into `out`.
+///
+/// For `n == 1` this is the tokens themselves. Sequences shorter than `n`
+/// emit nothing.
+pub fn token_ngrams_into(tokens: &[String], n: usize, out: &mut Vec<String>) {
+    assert!(n >= 1, "n-gram size must be at least 1");
+    if tokens.len() < n {
+        return;
+    }
+    if n == 1 {
+        out.extend(tokens.iter().cloned());
+        return;
+    }
+    for window in tokens.windows(n) {
+        let mut gram = String::with_capacity(window.iter().map(|t| t.len() + 1).sum());
+        for (i, tok) in window.iter().enumerate() {
+            if i > 0 {
+                gram.push(' ');
+            }
+            gram.push_str(tok);
+        }
+        out.push(gram);
+    }
+}
+
+/// Returns the `n`-grams of one token sequence.
+pub fn token_ngrams(tokens: &[String], n: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    token_ngrams_into(tokens, n, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn unigrams_are_tokens() {
+        assert_eq!(
+            token_ngrams(&toks(&["a", "b", "c"]), 1),
+            toks(&["a", "b", "c"])
+        );
+    }
+
+    #[test]
+    fn bigrams_and_trigrams() {
+        assert_eq!(
+            token_ngrams(&toks(&["kri", "kri", "taverna"]), 2),
+            toks(&["kri kri", "kri taverna"])
+        );
+        assert_eq!(
+            token_ngrams(&toks(&["kri", "kri", "taverna"]), 3),
+            toks(&["kri kri taverna"])
+        );
+    }
+
+    #[test]
+    fn short_sequences_emit_nothing() {
+        assert!(token_ngrams(&toks(&["solo"]), 2).is_empty());
+        assert!(token_ngrams(&[], 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "n-gram size")]
+    fn zero_n_panics() {
+        token_ngrams(&[], 0);
+    }
+}

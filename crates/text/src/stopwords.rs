@@ -1,0 +1,46 @@
+//! A small built-in English stop-word list.
+//!
+//! MinoanER itself does not need stop-word removal (Block Purging removes
+//! excessively large blocks, which is where stop-words end up), but the
+//! BSL baseline's TF/TF-IDF models and the tokenizer expose it as an
+//! option.
+
+/// The built-in stop-word list (lower-case, sorted).
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "did", "do", "does", "doing", "down", "during", "each", "few", "for", "from",
+    "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how",
+    "i", "if", "in", "into", "is", "it", "its", "just", "me", "more", "most", "my", "no", "nor",
+    "not", "now", "of", "off", "on", "once", "only", "or", "other", "our", "ours", "out", "over",
+    "own", "same", "she", "should", "so", "some", "such", "than", "that", "the", "their",
+    "theirs", "them", "then", "there", "these", "they", "this", "those", "through", "to", "too",
+    "under", "until", "up", "very", "was", "we", "were", "what", "when", "where", "which",
+    "while", "who", "whom", "why", "will", "with", "you", "your", "yours",
+];
+
+/// Whether `token` (already lower-cased) is a stop-word.
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.binary_search(&token).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_deduped() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, STOPWORDS, "STOPWORDS must stay sorted for binary search");
+    }
+
+    #[test]
+    fn common_words_detected() {
+        assert!(is_stopword("the"));
+        assert!(is_stopword("and"));
+        assert!(!is_stopword("knossos"));
+        assert!(!is_stopword(""));
+    }
+}

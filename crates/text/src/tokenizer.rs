@@ -1,0 +1,155 @@
+//! Schema-agnostic tokenization.
+//!
+//! MinoanER treats every entity description as a *bag of strings*: all
+//! literal values, regardless of attribute, are lower-cased and split on
+//! non-alphanumeric boundaries. Token Blocking and `valueSim` both operate
+//! on the resulting token sets.
+
+use crate::stopwords::is_stopword;
+
+/// Tokenizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenizerOptions {
+    /// Minimum token length in characters; shorter tokens are dropped.
+    pub min_len: usize,
+    /// Drop common English stop-words. Off by default: the paper relies on
+    /// Block Purging, not stop-word lists, to neutralize frequent tokens.
+    pub remove_stopwords: bool,
+    /// Drop tokens that are purely numeric. Off by default.
+    pub remove_numeric: bool,
+}
+
+impl Default for TokenizerOptions {
+    fn default() -> Self {
+        Self {
+            min_len: 1,
+            remove_stopwords: false,
+            remove_numeric: false,
+        }
+    }
+}
+
+/// A configured tokenizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tokenizer {
+    opts: TokenizerOptions,
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer with the given options.
+    pub fn new(opts: TokenizerOptions) -> Self {
+        Self { opts }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> TokenizerOptions {
+        self.opts
+    }
+
+    /// Tokenizes `text`, pushing lower-cased tokens into `out`.
+    ///
+    /// Reuses the caller's buffer to avoid per-call allocations on the hot
+    /// path (see "Reusing Collections" in the perf guide).
+    pub fn tokenize_into(&self, text: &str, out: &mut Vec<String>) {
+        let mut cur = String::new();
+        for c in text.chars() {
+            if c.is_alphanumeric() {
+                cur.extend(c.to_lowercase());
+            } else if !cur.is_empty() {
+                self.flush(&mut cur, out);
+            }
+        }
+        if !cur.is_empty() {
+            self.flush(&mut cur, out);
+        }
+    }
+
+    /// Tokenizes `text` into a fresh vector.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        self.tokenize_into(text, &mut out);
+        out
+    }
+
+    fn flush(&self, cur: &mut String, out: &mut Vec<String>) {
+        let keep = cur.chars().count() >= self.opts.min_len
+            && !(self.opts.remove_stopwords && is_stopword(cur))
+            && !(self.opts.remove_numeric && cur.chars().all(|c| c.is_ascii_digit()));
+        if keep {
+            out.push(std::mem::take(cur));
+        } else {
+            cur.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_non_alphanumerics_and_lowercases() {
+        let t = Tokenizer::default();
+        assert_eq!(
+            t.tokenize("Taverna Kri-Kri, Heraklion (1982)"),
+            vec!["taverna", "kri", "kri", "heraklion", "1982"]
+        );
+    }
+
+    #[test]
+    fn unicode_text_is_handled() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("Μινωικός Πολιτισμός"), vec!["μινωικός", "πολιτισμός"]);
+    }
+
+    #[test]
+    fn uri_like_literals_are_split() {
+        let t = Tokenizer::default();
+        assert_eq!(
+            t.tokenize("http://dbpedia.org/resource/Knossos"),
+            vec!["http", "dbpedia", "org", "resource", "knossos"]
+        );
+    }
+
+    #[test]
+    fn min_len_filters_short_tokens() {
+        let t = Tokenizer::new(TokenizerOptions {
+            min_len: 3,
+            ..Default::default()
+        });
+        assert_eq!(t.tokenize("a bb ccc dddd"), vec!["ccc", "dddd"]);
+    }
+
+    #[test]
+    fn stopword_removal() {
+        let t = Tokenizer::new(TokenizerOptions {
+            remove_stopwords: true,
+            ..Default::default()
+        });
+        assert_eq!(t.tokenize("the house of the rising sun"), vec!["house", "rising", "sun"]);
+    }
+
+    #[test]
+    fn numeric_removal() {
+        let t = Tokenizer::new(TokenizerOptions {
+            remove_numeric: true,
+            ..Default::default()
+        });
+        assert_eq!(t.tokenize("route 66 west 1a"), vec!["route", "west", "1a"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        let t = Tokenizer::default();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("--- ~~~ !!!").is_empty());
+    }
+
+    #[test]
+    fn tokenize_into_appends() {
+        let t = Tokenizer::default();
+        let mut buf = vec!["seed".to_string()];
+        t.tokenize_into("x y", &mut buf);
+        assert_eq!(buf, vec!["seed", "x", "y"]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # minoaner — schema-agnostic, non-iterative entity resolution
+//!
+//! A Rust implementation of **MinoanER** (Efthymiou, Papadakis,
+//! Stefanidis, Christophides: *"Simplifying Entity Resolution on Web
+//! Data with Schema-agnostic, Non-iterative Matching"*, ICDE 2018),
+//! together with every substrate it needs: a knowledge-base model,
+//! schema-agnostic blocking, similarity measures, the baselines it is
+//! evaluated against, synthetic benchmark datasets and an evaluation
+//! harness.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! - [`kb`] — entity descriptions, interning, parsing, statistics;
+//! - [`text`] — tokenization, n-grams, the tokenized pair view;
+//! - [`blocking`] — token/name blocking, Block Purging, block metrics;
+//! - [`sim`] — `valueSim` (ARCS variant) and vector-space measures;
+//! - [`core`] — attribute/relation importance, heuristics H1–H4, the
+//!   non-iterative pipeline;
+//! - [`baselines`] — Unique Mapping Clustering, BSL, SiGMa-like,
+//!   PARIS-like;
+//! - [`datagen`] — the four synthetic benchmark profiles;
+//! - [`eval`] — precision/recall/F1 and report tables.
+//!
+//! ```
+//! use minoaner::core::MinoanEr;
+//! use minoaner::kb::{KbBuilder, KbPair};
+//!
+//! let mut a = KbBuilder::new("E1");
+//! a.add_literal("a:1", "name", "Palace of Knossos");
+//! let mut b = KbBuilder::new("E2");
+//! b.add_literal("b:1", "label", "Knossos Palace");
+//! let pair = KbPair::new(a.finish(), b.finish());
+//! let out = MinoanEr::with_defaults().run(&pair);
+//! assert_eq!(out.matching.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use minoan_baselines as baselines;
+pub use minoan_blocking as blocking;
+pub use minoan_core as core;
+pub use minoan_datagen as datagen;
+pub use minoan_eval as eval;
+pub use minoan_kb as kb;
+pub use minoan_sim as sim;
+pub use minoan_text as text;

@@ -1,0 +1,151 @@
+//! Failure-injection and edge-case tests: the pipeline must degrade
+//! gracefully, never panic, on degenerate or corrupted inputs.
+
+use minoaner::core::{build_blocks, MinoanConfig, MinoanEr};
+use minoaner::kb::{parse, KbBuilder, KbPair};
+
+#[test]
+fn empty_kbs() {
+    let pair = KbPair::new(KbBuilder::new("a").finish(), KbBuilder::new("b").finish());
+    let out = MinoanEr::with_defaults().run(&pair);
+    assert!(out.matching.is_empty());
+}
+
+#[test]
+fn one_empty_side() {
+    let mut a = KbBuilder::new("a");
+    a.add_literal("a:1", "name", "something");
+    let pair = KbPair::new(a.finish(), KbBuilder::new("b").finish());
+    let out = MinoanEr::with_defaults().run(&pair);
+    assert!(out.matching.is_empty());
+}
+
+#[test]
+fn entities_without_literals() {
+    let mut a = KbBuilder::new("a");
+    a.add_uri("a:1", "knows", "a:2");
+    a.declare_entity("a:2");
+    let mut b = KbBuilder::new("b");
+    b.add_uri("b:1", "knows", "b:2");
+    b.declare_entity("b:2");
+    let pair = KbPair::new(a.finish(), b.finish());
+    let out = MinoanEr::with_defaults().run(&pair);
+    // Nothing to match on, but nothing crashes either.
+    assert!(out.matching.is_empty());
+}
+
+#[test]
+fn kb_without_relations_disables_neighbor_evidence_gracefully() {
+    let mut a = KbBuilder::new("a");
+    let mut b = KbBuilder::new("b");
+    for i in 0..20 {
+        a.add_literal(&format!("a:{i}"), "name", &format!("distinct name number {i}"));
+        b.add_literal(&format!("b:{i}"), "label", &format!("distinct name number {i}"));
+    }
+    let pair = KbPair::new(a.finish(), b.finish());
+    let out = MinoanEr::with_defaults().run(&pair);
+    assert_eq!(out.matching.len(), 20);
+}
+
+#[test]
+fn self_loops_and_dangling_uris() {
+    let mut a = KbBuilder::new("a");
+    a.add_uri("a:1", "rel", "a:1"); // self-loop
+    a.add_uri("a:1", "rel", "a:missing"); // dangling -> literal
+    a.add_literal("a:1", "name", "weird entity");
+    let mut b = KbBuilder::new("b");
+    b.add_literal("b:1", "name", "weird entity");
+    let pair = KbPair::new(a.finish(), b.finish());
+    let out = MinoanEr::with_defaults().run(&pair);
+    assert_eq!(out.matching.len(), 1);
+}
+
+#[test]
+fn unicode_and_long_values() {
+    let mut a = KbBuilder::new("a");
+    let long = "πολύ ".repeat(5000);
+    a.add_literal("a:1", "name", &long);
+    a.add_literal("a:1", "emoji", "🏛️ ruins");
+    let mut b = KbBuilder::new("b");
+    b.add_literal("b:1", "label", &long);
+    let pair = KbPair::new(a.finish(), b.finish());
+    let out = MinoanEr::with_defaults().run(&pair);
+    assert_eq!(out.matching.len(), 1);
+}
+
+#[test]
+fn corrupted_ntriples_report_line_numbers() {
+    let text = "<ok> <p> \"v\" .\nthis line is garbage\n";
+    let err = parse::parse_ntriples("x", text).unwrap_err();
+    assert_eq!(err.line, 2);
+    assert!(!err.to_string().is_empty());
+}
+
+#[test]
+fn duplicate_triples_are_harmless() {
+    let mut a = KbBuilder::new("a");
+    for _ in 0..10 {
+        a.add_literal("a:1", "name", "same triple");
+    }
+    let mut b = KbBuilder::new("b");
+    b.add_literal("b:1", "name", "same triple");
+    let pair = KbPair::new(a.finish(), b.finish());
+    let out = MinoanEr::with_defaults().run(&pair);
+    assert_eq!(out.matching.len(), 1);
+}
+
+#[test]
+fn extreme_configs_do_not_panic() {
+    let mut a = KbBuilder::new("a");
+    let mut b = KbBuilder::new("b");
+    for i in 0..30 {
+        a.add_literal(&format!("a:{i}"), "name", &format!("entity {i} shared words"));
+        b.add_literal(&format!("b:{i}"), "name", &format!("entity {i} shared words"));
+    }
+    let pair = KbPair::new(a.finish(), b.finish());
+    for config in [
+        MinoanConfig {
+            candidates_k: 1,
+            ..Default::default()
+        },
+        MinoanConfig {
+            candidates_k: 10_000,
+            ..Default::default()
+        },
+        MinoanConfig {
+            theta: 0.001,
+            ..Default::default()
+        },
+        MinoanConfig {
+            theta: 0.999,
+            ..Default::default()
+        },
+        MinoanConfig {
+            top_relations_n: 100,
+            name_attrs_k: 50,
+            ..Default::default()
+        },
+    ] {
+        let out = MinoanEr::new(config).unwrap().run(&pair);
+        assert!(!out.matching.is_empty());
+    }
+}
+
+#[test]
+fn blocking_artifacts_are_consistent_under_no_purging() {
+    let mut a = KbBuilder::new("a");
+    let mut b = KbBuilder::new("b");
+    for i in 0..50 {
+        a.add_literal(&format!("a:{i}"), "name", &format!("stopword entity {i}"));
+        b.add_literal(&format!("b:{i}"), "name", &format!("stopword entity {i}"));
+    }
+    let pair = KbPair::new(a.finish(), b.finish());
+    let cfg = MinoanConfig {
+        purge_blocks: false,
+        ..Default::default()
+    };
+    let art = build_blocks(&pair, &cfg);
+    assert!(art.purge.is_none());
+    // "stopword" and "entity" blocks are 50x50 each.
+    assert!(art.token_blocks.total_comparisons() >= 2 * 50 * 50);
+}

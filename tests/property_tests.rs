@@ -1,0 +1,140 @@
+//! Property-based tests over the core data structures and invariants.
+
+use minoaner::baselines::{umc_trace, unique_mapping_clustering};
+use minoaner::blocking::{canonical_name, purge, token_blocking, Block, BlockCollection, BlockKind};
+use minoaner::core::MinoanEr;
+use minoaner::kb::{EntityId, KbBuilder, KbPair, Matching};
+use minoaner::sim::{token_weight, value_sim};
+use minoaner::text::{TokenizedPair, Tokenizer};
+use proptest::prelude::*;
+
+fn arb_kb_pair() -> impl Strategy<Value = KbPair> {
+    // Random small KBs over a small token universe.
+    let word = prop_oneof![
+        Just("alpha"), Just("beta"), Just("gamma"), Just("delta"),
+        Just("knossos"), Just("zakros"), Just("malia"), Just("phaistos"),
+    ];
+    let literal = prop::collection::vec(word, 1..5).prop_map(|ws| ws.join(" "));
+    let entity = prop::collection::vec(literal, 1..4);
+    let side = prop::collection::vec(entity, 1..12);
+    (side.clone(), side).prop_map(|(s1, s2)| {
+        let mut a = KbBuilder::new("E1");
+        for (i, lits) in s1.iter().enumerate() {
+            for (j, l) in lits.iter().enumerate() {
+                a.add_literal(&format!("a:{i}"), &format!("p{j}"), l);
+            }
+        }
+        let mut b = KbBuilder::new("E2");
+        for (i, lits) in s2.iter().enumerate() {
+            for (j, l) in lits.iter().enumerate() {
+                b.add_literal(&format!("b:{i}"), &format!("q{j}"), l);
+            }
+        }
+        KbPair::new(a.finish(), b.finish())
+    })
+}
+
+proptest! {
+    #[test]
+    fn value_sim_is_nonnegative_and_zero_without_overlap(pair in arb_kb_pair()) {
+        let tokens = TokenizedPair::build(&pair, &Tokenizer::default());
+        for e1 in pair.first.entities() {
+            for e2 in pair.second.entities() {
+                let v = value_sim(&tokens, e1, e2);
+                prop_assert!(v >= 0.0);
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn token_weight_is_in_unit_range(ef1 in 1u32..100_000, ef2 in 1u32..100_000) {
+        let w = token_weight(ef1, ef2);
+        prop_assert!(w > 0.0 && w <= 1.0, "weight {w} for ({ef1},{ef2})");
+    }
+
+    #[test]
+    fn token_weight_decreases_with_frequency(ef in 1u32..10_000) {
+        prop_assert!(token_weight(ef, 1) >= token_weight(ef + 1, 1));
+        prop_assert!(token_weight(ef, ef) >= token_weight(ef + 1, ef + 1));
+    }
+
+    #[test]
+    fn purging_never_increases_comparisons_or_blocks(
+        sizes in prop::collection::vec((1usize..20, 1usize..20), 1..40)
+    ) {
+        let blocks: Vec<Block> = sizes
+            .iter()
+            .enumerate()
+            .map(|(k, &(n1, n2))| Block {
+                key: k as u32,
+                firsts: (0..n1 as u32).map(EntityId).collect(),
+                seconds: (0..n2 as u32).map(EntityId).collect(),
+            })
+            .collect();
+        let c = BlockCollection::new(BlockKind::Token, blocks, 20, 20);
+        let (p, report) = purge(&c);
+        prop_assert!(p.total_comparisons() <= c.total_comparisons());
+        prop_assert!(p.len() <= c.len());
+        prop_assert_eq!(report.comparisons_after, p.total_comparisons());
+        // The survivors respect the threshold.
+        for b in p.blocks() {
+            prop_assert!(b.comparisons() <= report.max_comparisons_per_block);
+        }
+    }
+
+    #[test]
+    fn umc_output_is_a_partial_matching_and_respects_threshold(
+        pairs in prop::collection::vec((0u32..30, 0u32..30, 0.0f64..1.0), 0..200),
+        t in 0.0f64..1.0
+    ) {
+        let scored: Vec<_> = pairs
+            .iter()
+            .map(|&(a, b, s)| (EntityId(a), EntityId(b), s))
+            .collect();
+        let m = unique_mapping_clustering(&scored, t);
+        prop_assert!(m.is_partial_matching());
+        // Trace is sorted by score descending.
+        let trace = umc_trace(&scored);
+        prop_assert!(trace.windows(2).all(|w| w[0].2 >= w[1].2));
+    }
+
+    #[test]
+    fn canonical_name_is_idempotent_and_space_normal(s in "\\PC{0,60}") {
+        let c1 = canonical_name(&s);
+        let c2 = canonical_name(&c1);
+        prop_assert_eq!(&c1, &c2);
+        prop_assert!(!c1.contains("  "));
+        prop_assert!(!c1.starts_with(' ') && !c1.ends_with(' '));
+    }
+
+    #[test]
+    fn token_blocking_only_pairs_entities_sharing_a_token(pair in arb_kb_pair()) {
+        let tokens = TokenizedPair::build(&pair, &Tokenizer::default());
+        let bt = token_blocking(&tokens);
+        for (e1, e2) in bt.distinct_pairs() {
+            let v = value_sim(&tokens, e1, e2);
+            prop_assert!(v > 0.0, "co-occurring pair must share a token");
+        }
+    }
+
+    #[test]
+    fn pipeline_never_panics_and_reports_consistently(pair in arb_kb_pair()) {
+        let out = MinoanEr::with_defaults().run(&pair);
+        let r = &out.report;
+        prop_assert_eq!(
+            out.matching.len() + r.h4_removed,
+            r.h1_matches + r.h2_matches + r.h3_matches
+        );
+    }
+
+    #[test]
+    fn matching_insert_contains_roundtrip(pairs in prop::collection::vec((0u32..50, 0u32..50), 0..100)) {
+        let m = Matching::from_pairs(pairs.iter().map(|&(a, b)| (EntityId(a), EntityId(b))));
+        for &(a, b) in &pairs {
+            prop_assert!(m.contains(EntityId(a), EntityId(b)));
+        }
+        let distinct: std::collections::HashSet<_> = pairs.iter().collect();
+        prop_assert_eq!(m.len(), distinct.len());
+    }
+}
