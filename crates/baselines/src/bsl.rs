@@ -63,6 +63,10 @@ pub fn threshold_grid() -> Vec<f64> {
     (0..20).map(|i| i as f64 * 0.05).collect()
 }
 
+/// One evaluated configuration: parameters, quality and the scored UMC
+/// trace it was derived from.
+type Evaluated = (BslConfig, MatchQuality, Vec<(EntityId, EntityId, f64)>);
+
 /// The n-gram documents (per entity) of one KB.
 fn ngram_docs(kb: &KnowledgeBase, n: usize, tokenizer: &Tokenizer) -> Vec<Vec<String>> {
     let mut docs = Vec::with_capacity(kb.entity_count());
@@ -81,9 +85,8 @@ fn ngram_docs(kb: &KnowledgeBase, n: usize, tokenizer: &Tokenizer) -> Vec<Vec<St
 
 /// Runs the full BSL sweep over the candidate pairs of `BN ∪ BT`.
 ///
-/// The 24 vector-space configurations are evaluated in parallel
-/// (crossbeam scoped threads); each one reuses a single UMC trace for
-/// all 20 thresholds.
+/// The 24 vector-space configurations are evaluated in parallel (scoped
+/// threads); each one reuses a single UMC trace for all 20 thresholds.
 pub fn run_bsl(
     first: &KnowledgeBase,
     second: &KnowledgeBase,
@@ -105,10 +108,10 @@ pub fn run_bsl(
     }
     pairs.sort_unstable();
     let thresholds = threshold_grid();
-    let mut best: Option<(BslConfig, MatchQuality, Vec<(EntityId, EntityId, f64)>)> = None;
+    let mut best: Option<Evaluated> = None;
     let mut evaluated = 0usize;
     // One vector space per (n, weighting); four measures share it.
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for n in 1..=3usize {
             let docs1 = ngram_docs(first, n, &tokenizer);
@@ -118,10 +121,9 @@ pub fn run_bsl(
                 let thresholds = &thresholds;
                 let docs1 = docs1.clone();
                 let docs2 = docs2.clone();
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let (v1, v2) = build_vectors(&docs1, &docs2, w);
-                    let mut local: Vec<(BslConfig, MatchQuality, Vec<(EntityId, EntityId, f64)>)> =
-                        Vec::new();
+                    let mut local: Vec<Evaluated> = Vec::new();
                     for m in Measure::ALL {
                         let scored: Vec<(EntityId, EntityId, f64)> = pairs
                             .iter()
@@ -170,8 +172,7 @@ pub fn run_bsl(
                 }
             }
         }
-    })
-    .expect("BSL scope failed");
+    });
     let (config, quality, trace) = best.expect("at least one configuration evaluated");
     let matching = Matching::from_pairs(
         trace
@@ -199,8 +200,16 @@ mod tests {
         let mut b = KbBuilder::new("E2");
         let mut truth = Matching::new();
         for i in 0..6 {
-            a.add_literal(&format!("a:{i}"), "name", &format!("widget gizmo alpha{i} beta{i}"));
-            b.add_literal(&format!("b:{i}"), "label", &format!("widget gizmo alpha{i} beta{i}"));
+            a.add_literal(
+                &format!("a:{i}"),
+                "name",
+                &format!("widget gizmo alpha{i} beta{i}"),
+            );
+            b.add_literal(
+                &format!("b:{i}"),
+                "label",
+                &format!("widget gizmo alpha{i} beta{i}"),
+            );
             truth.insert(EntityId(i), EntityId(i));
         }
         (KbPair::new(a.finish(), b.finish()), truth)
@@ -212,7 +221,11 @@ mod tests {
         let tokens = TokenizedPair::build(&pair, &Tokenizer::default());
         let bt = token_blocking(&tokens);
         let r = run_bsl(&pair.first, &pair.second, &[&bt], &truth);
-        assert!((r.quality.f1() - 1.0).abs() < 1e-9, "F1 was {}", r.quality.f1());
+        assert!(
+            (r.quality.f1() - 1.0).abs() < 1e-9,
+            "F1 was {}",
+            r.quality.f1()
+        );
         assert_eq!(r.matching.len(), 6);
         assert_eq!(r.configs_evaluated, 480);
         assert!(r.matching.is_partial_matching());

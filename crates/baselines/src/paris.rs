@@ -41,7 +41,10 @@ impl Default for ParisConfig {
 }
 
 fn normalize(v: &str) -> String {
-    v.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase()
+    v.split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .to_lowercase()
 }
 
 /// Per-relation functionality in one direction: `distinct sources /
@@ -74,7 +77,10 @@ pub fn run_paris(pair: &KbPair, config: ParisConfig) -> Matching {
     // 1. Literal evidence: exact shared values, inverse-occurrence weighted.
     let mut values1: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
     let mut values2: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
-    for (side, map) in [(KbSide::First, &mut values1), (KbSide::Second, &mut values2)] {
+    for (side, map) in [
+        (KbSide::First, &mut values1),
+        (KbSide::Second, &mut values2),
+    ] {
         let kb = pair.kb(side);
         for e in kb.entities() {
             for lit in kb.literals(e) {
@@ -110,33 +116,37 @@ pub fn run_paris(pair: &KbPair, config: ParisConfig) -> Matching {
     //    over both edge directions with direction-appropriate
     //    functionality (objects propagate through inversely functional
     //    relations, as in the original PARIS).
-    let fun_out = [functionality(&pair.first, false), functionality(&pair.second, false)];
-    let fun_in = [functionality(&pair.first, true), functionality(&pair.second, true)];
-    let directed_edges = |kb: &minoan_kb::KnowledgeBase,
-                          side: usize,
-                          e: EntityId|
-     -> Vec<(f64, EntityId, usize)> {
-        let mut v: Vec<(f64, EntityId, usize)> = kb
-            .out_edges(e)
-            .map(|ed| {
+    let fun_out = [
+        functionality(&pair.first, false),
+        functionality(&pair.second, false),
+    ];
+    let fun_in = [
+        functionality(&pair.first, true),
+        functionality(&pair.second, true),
+    ];
+    let directed_edges =
+        |kb: &minoan_kb::KnowledgeBase, side: usize, e: EntityId| -> Vec<(f64, EntityId, usize)> {
+            let mut v: Vec<(f64, EntityId, usize)> = kb
+                .out_edges(e)
+                .map(|ed| {
+                    (
+                        fun_out[side].get(&ed.relation).copied().unwrap_or(0.0),
+                        ed.neighbor,
+                        ed.relation.index(),
+                    )
+                })
+                .collect();
+            v.extend(kb.in_edges(e).iter().map(|ed| {
                 (
-                    fun_out[side].get(&ed.relation).copied().unwrap_or(0.0),
+                    fun_in[side].get(&ed.relation).copied().unwrap_or(0.0),
                     ed.neighbor,
-                    ed.relation.index(),
+                    // Offset inverse relations so they do not align with the
+                    // forward direction.
+                    ed.relation.index() + 1_000_000,
                 )
-            })
-            .collect();
-        v.extend(kb.in_edges(e).iter().map(|ed| {
-            (
-                fun_in[side].get(&ed.relation).copied().unwrap_or(0.0),
-                ed.neighbor,
-                // Offset inverse relations so they do not align with the
-                // forward direction.
-                ed.relation.index() + 1_000_000,
-            )
-        }));
-        v
-    };
+            }));
+            v
+        };
     for _ in 0..config.iterations {
         let snapshot = std::mem::take(&mut prob);
         // Each iteration recomputes P from the immutable literal base
@@ -213,7 +223,11 @@ mod tests {
         let mut a = KbBuilder::new("E1");
         a.add_literal("a:0", "bio", "famous cretan musician born in heraklion");
         let mut b = KbBuilder::new("E2");
-        b.add_literal("b:0", "abstract", "a musician from heraklion crete famous for the lyra");
+        b.add_literal(
+            "b:0",
+            "abstract",
+            "a musician from heraklion crete famous for the lyra",
+        );
         let pair = KbPair::new(a.finish(), b.finish());
         let m = run_paris(&pair, ParisConfig::default());
         assert!(m.is_empty());

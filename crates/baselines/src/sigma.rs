@@ -125,27 +125,24 @@ pub fn run_sigma(
     let mut matched1: FxHashMap<EntityId, EntityId> = FxHashMap::default();
     let mut matched2: FxHashMap<EntityId, EntityId> = FxHashMap::default();
     let mut matching = Matching::new();
-    let mut accept =
-        |e1: EntityId,
-         e2: EntityId,
-         matching: &mut Matching,
-         m1: &mut FxHashMap<EntityId, EntityId>,
-         m2: &mut FxHashMap<EntityId, EntityId>| {
-            if m1.contains_key(&e1) || m2.contains_key(&e2) {
-                return false;
-            }
-            m1.insert(e1, e2);
-            m2.insert(e2, e1);
-            matching.insert(e1, e2);
-            true
-        };
+    let accept = |e1: EntityId,
+                  e2: EntityId,
+                  matching: &mut Matching,
+                  m1: &mut FxHashMap<EntityId, EntityId>,
+                  m2: &mut FxHashMap<EntityId, EntityId>| {
+        if m1.contains_key(&e1) || m2.contains_key(&e2) {
+            return false;
+        }
+        m1.insert(e1, e2);
+        m2.insert(e2, e1);
+        matching.insert(e1, e2);
+        true
+    };
     for &(e1, e2) in seeds {
         accept(e1, e2, &mut matching, &mut matched1, &mut matched2);
     }
 
-    let score = |e1: EntityId,
-                 e2: EntityId,
-                 matched1: &FxHashMap<EntityId, EntityId>| {
+    let score = |e1: EntityId, e2: EntityId, matched1: &FxHashMap<EntityId, EntityId>| {
         let v = weighted_jaccard(tokens, e1, e2);
         let n1 = neighbors(KbSide::First, e1);
         let n2: FxHashSet<EntityId> = neighbors(KbSide::Second, e2).into_iter().collect();
@@ -166,10 +163,17 @@ pub fn run_sigma(
     for (e1, e2) in blocks.distinct_pairs() {
         let s = score(e1, e2, &matched1);
         if s > 0.0 {
-            heap.push(QueueItem { score: s, pair: (e1, e2) });
+            heap.push(QueueItem {
+                score: s,
+                pair: (e1, e2),
+            });
         }
     }
-    while let Some(QueueItem { score: s, pair: (e1, e2) }) = heap.pop() {
+    while let Some(QueueItem {
+        score: s,
+        pair: (e1, e2),
+    }) = heap.pop()
+    {
         if s < config.threshold {
             break;
         }
@@ -181,7 +185,10 @@ pub fn run_sigma(
         let fresh = score(e1, e2, &matched1);
         if fresh + 1e-12 < s {
             if fresh > 0.0 {
-                heap.push(QueueItem { score: fresh, pair: (e1, e2) });
+                heap.push(QueueItem {
+                    score: fresh,
+                    pair: (e1, e2),
+                });
             }
             continue;
         }
@@ -198,7 +205,10 @@ pub fn run_sigma(
                     }
                     let s = score(n1, n2, &matched1);
                     if s >= config.threshold {
-                        heap.push(QueueItem { score: s, pair: (n1, n2) });
+                        heap.push(QueueItem {
+                            score: s,
+                            pair: (n1, n2),
+                        });
                     }
                 }
             }
@@ -214,7 +224,10 @@ mod tests {
     use minoan_kb::KbBuilder;
     use minoan_text::Tokenizer;
 
-    fn build(pairs1: &[(&str, &str)], pairs2: &[(&str, &str)]) -> (KbPair, TokenizedPair, BlockCollection) {
+    fn build(
+        pairs1: &[(&str, &str)],
+        pairs2: &[(&str, &str)],
+    ) -> (KbPair, TokenizedPair, BlockCollection) {
         let mut a = KbBuilder::new("E1");
         for (uri, lit) in pairs1 {
             a.add_literal(uri, "v", lit);

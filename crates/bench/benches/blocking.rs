@@ -13,9 +13,11 @@ fn bench_blocking(c: &mut Criterion) {
     for kind in DatasetKind::ALL {
         let d = kind.generate_scaled(7, 0.1);
         let tokens = TokenizedPair::build(&d.pair, &Tokenizer::default());
-        group.bench_with_input(BenchmarkId::new("token_blocking", kind.name()), &tokens, |b, t| {
-            b.iter(|| token_blocking(t))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("token_blocking", kind.name()),
+            &tokens,
+            |b, t| b.iter(|| token_blocking(t)),
+        );
         let bt = token_blocking(&tokens);
         group.bench_with_input(BenchmarkId::new("purging", kind.name()), &bt, |b, bt| {
             b.iter(|| purge(bt))

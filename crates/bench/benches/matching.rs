@@ -11,9 +11,11 @@ fn bench_pipeline(c: &mut Criterion) {
     group.sample_size(10);
     for kind in DatasetKind::ALL {
         let d = kind.generate_scaled(7, 0.1);
-        group.bench_with_input(BenchmarkId::new("end_to_end", kind.name()), &d.pair, |b, pair| {
-            b.iter(|| MinoanEr::with_defaults().run(pair))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("end_to_end", kind.name()),
+            &d.pair,
+            |b, pair| b.iter(|| MinoanEr::with_defaults().run(pair)),
+        );
     }
     group.finish();
 }

@@ -1,0 +1,124 @@
+//! Sequential vs parallel executor benchmarks: `SimilarityIndex::build`
+//! and the end-to-end pipeline at datagen scale 1.0, emitting the
+//! `BENCH_pipeline.json` trajectory file at the workspace root.
+//!
+//! The parallel numbers depend on the machine: the speedup target (≥2×
+//! for `SimilarityIndex::build` on ≥4 cores) is checked from the JSON,
+//! which records the thread count used.
+
+use criterion::{BenchmarkId, Criterion};
+use minoan_core::{build_blocks, top_neighbors, MinoanConfig, MinoanEr, SimilarityIndex};
+use minoan_datagen::DatasetKind;
+use minoan_exec::{Executor, ExecutorKind};
+use minoan_kb::Json;
+
+const SEED: u64 = 20180416;
+const SCALE: f64 = 1.0;
+const DATASET: DatasetKind = DatasetKind::RexaDblp;
+
+fn executors() -> Vec<(&'static str, Executor)> {
+    vec![
+        ("sequential", Executor::sequential()),
+        ("rayon", Executor::rayon()),
+    ]
+}
+
+fn config_for(exec: &Executor) -> MinoanConfig {
+    MinoanConfig {
+        executor: exec.kind(),
+        threads: exec.threads(),
+        ..MinoanConfig::default()
+    }
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let d = DATASET.generate_scaled(SEED, SCALE);
+    let config = MinoanConfig::default();
+    let art = build_blocks(&d.pair, &config);
+    let tn1 = top_neighbors(
+        &d.pair.first,
+        config.top_relations_n,
+        config.max_top_neighbors,
+    );
+    let tn2 = top_neighbors(
+        &d.pair.second,
+        config.top_relations_n,
+        config.max_top_neighbors,
+    );
+
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    for (name, exec) in executors() {
+        group.bench_with_input(
+            BenchmarkId::new("simindex_build", name),
+            &exec,
+            |b, exec| {
+                b.iter(|| {
+                    SimilarityIndex::build_with(&art.token_blocks, &art.tokens, [&tn1, &tn2], exec)
+                })
+            },
+        );
+    }
+    for (name, exec) in executors() {
+        let matcher = MinoanEr::new(config_for(&exec)).expect("valid config");
+        group.bench_with_input(BenchmarkId::new("end_to_end", name), &d.pair, |b, pair| {
+            b.iter(|| matcher.run(pair))
+        });
+    }
+    group.finish();
+}
+
+fn find<'a>(results: &'a [criterion::BenchResult], id: &str) -> Option<&'a criterion::BenchResult> {
+    results.iter().find(|r| r.id == id)
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_parallel(&mut criterion);
+    let results = criterion.take_results();
+
+    let threads = Executor::rayon().threads();
+    let speedup = |bench: &str| -> Json {
+        let seq = find(&results, &format!("parallel/{bench}/sequential"));
+        let par = find(&results, &format!("parallel/{bench}/rayon"));
+        match (seq, par) {
+            (Some(s), Some(p)) if p.median_ns > 0.0 => Json::Num(s.median_ns / p.median_ns),
+            _ => Json::Null,
+        }
+    };
+    let out = Json::obj([
+        ("bench", Json::str("pipeline_parallel")),
+        ("dataset", Json::str(DATASET.name())),
+        ("scale", Json::Num(SCALE)),
+        (
+            "executor_kinds",
+            Json::arr([
+                Json::str(ExecutorKind::Sequential.name()),
+                Json::str(ExecutorKind::Rayon.name()),
+            ]),
+        ),
+        ("rayon_threads", Json::num(threads as f64)),
+        (
+            "speedup",
+            Json::obj([
+                ("simindex_build", speedup("simindex_build")),
+                ("end_to_end", speedup("end_to_end")),
+            ]),
+        ),
+        (
+            "results",
+            Json::arr(results.iter().map(|r| {
+                Json::obj([
+                    ("id", Json::str(&r.id)),
+                    ("median_ns", Json::Num(r.median_ns)),
+                    ("mean_ns", Json::Num(r.mean_ns)),
+                    ("min_ns", Json::Num(r.min_ns)),
+                    ("iterations", Json::num(r.iterations as f64)),
+                ])
+            })),
+        ),
+    ]);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
+    std::fs::write(&path, out.pretty()).expect("write BENCH_pipeline.json");
+    println!("wrote {}", path.display());
+}

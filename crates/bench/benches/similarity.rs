@@ -38,14 +38,18 @@ fn bench_similarity(c: &mut Criterion) {
         .collect();
     let (v1, v2) = build_vectors(&docs1, &docs2, Weighting::TfIdf);
     for m in Measure::ALL {
-        group.bench_with_input(BenchmarkId::new("measure_1k_pairs", m.to_string()), &m, |b, &m| {
-            b.iter(|| {
-                pairs
-                    .iter()
-                    .map(|&(a, e)| m.compute(&v1[a.index()], &v2[e.index()]))
-                    .sum::<f64>()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("measure_1k_pairs", m.to_string()),
+            &m,
+            |b, &m| {
+                b.iter(|| {
+                    pairs
+                        .iter()
+                        .map(|&(a, e)| m.compute(&v1[a.index()], &v2[e.index()]))
+                        .sum::<f64>()
+                })
+            },
+        );
     }
     group.finish();
 }

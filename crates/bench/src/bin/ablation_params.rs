@@ -33,12 +33,15 @@ fn main() {
         _ => DatasetKind::ALL.to_vec(),
     };
     println!("Parameter ablations (seed {seed}, scale {scale})\n");
-    let datasets: Vec<Dataset> = kinds.iter().map(|k| k.generate_scaled(seed, scale)).collect();
+    let datasets: Vec<Dataset> = kinds
+        .iter()
+        .map(|k| k.generate_scaled(seed, scale))
+        .collect();
     let headers: Vec<&str> = std::iter::once("configuration")
         .chain(datasets.iter().map(|d| d.name.as_str()))
         .collect();
     let mut table = Table::new(&headers);
-    let mut row = |label: String, make: &dyn Fn() -> MinoanConfig, t: &mut Table, ds: &[Dataset]| {
+    let row = |label: String, make: &dyn Fn() -> MinoanConfig, t: &mut Table, ds: &[Dataset]| {
         let mut cells = vec![label];
         for d in ds {
             cells.push(format!("{:.1}", f1(d, make()) * 100.0));
@@ -46,7 +49,12 @@ fn main() {
         t.row(&cells);
     };
 
-    row("default (K=15,N=3,k=2,th=0.6)".into(), &MinoanConfig::default, &mut table, &datasets);
+    row(
+        "default (K=15,N=3,k=2,th=0.6)".into(),
+        &MinoanConfig::default,
+        &mut table,
+        &datasets,
+    );
     table.separator();
     for theta in [0.2, 0.4, 0.6, 0.8] {
         row(

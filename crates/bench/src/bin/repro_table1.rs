@@ -25,7 +25,11 @@ fn main() {
     println!("Table I — dataset statistics (seed {seed}, scale {scale})\n");
 
     let mut table = Table::new(&[
-        "statistic", "Restaurant", "Rexa-DBLP", "BBCmusic-DBpedia", "YAGO-IMDb",
+        "statistic",
+        "Restaurant",
+        "Rexa-DBLP",
+        "BBCmusic-DBpedia",
+        "YAGO-IMDb",
     ]);
     let mut rows: Vec<(String, Vec<String>)> = vec![
         ("E1 entities".into(), vec![]),
@@ -50,10 +54,22 @@ fn main() {
         let tokens = TokenizedPair::build(&d.pair, &Tokenizer::default());
         let p = &PAPER_TABLE1[i];
         let fmt2 = |ours: String, paper: String| format!("{ours} (paper {paper})");
-        rows[0].1.push(fmt2(s1.entities.to_string(), scientific(p.entities.0 as u128)));
-        rows[1].1.push(fmt2(s2.entities.to_string(), scientific(p.entities.1 as u128)));
-        rows[2].1.push(fmt2(s1.triples.to_string(), scientific(p.triples.0 as u128)));
-        rows[3].1.push(fmt2(s2.triples.to_string(), scientific(p.triples.1 as u128)));
+        rows[0].1.push(fmt2(
+            s1.entities.to_string(),
+            scientific(p.entities.0 as u128),
+        ));
+        rows[1].1.push(fmt2(
+            s2.entities.to_string(),
+            scientific(p.entities.1 as u128),
+        ));
+        rows[2].1.push(fmt2(
+            s1.triples.to_string(),
+            scientific(p.triples.0 as u128),
+        ));
+        rows[3].1.push(fmt2(
+            s2.triples.to_string(),
+            scientific(p.triples.1 as u128),
+        ));
         rows[4].1.push(fmt2(
             format!("{:.1}", tokens.avg_tokens(KbSide::First)),
             format!("{:.1}", p.avg_tokens.0),
@@ -78,7 +94,10 @@ fn main() {
             format!("{}/{}", s1.vocabularies, s2.vocabularies),
             format!("{}/{}", p.vocabularies.0, p.vocabularies.1),
         ));
-        rows[10].1.push(fmt2(d.truth.len().to_string(), scientific(p.matches as u128)));
+        rows[10].1.push(fmt2(
+            d.truth.len().to_string(),
+            scientific(p.matches as u128),
+        ));
     }
     for (label, cells) in rows {
         let mut row = vec![label];

@@ -29,7 +29,11 @@ fn main() {
 
     let config = MinoanConfig::default();
     let mut table = Table::new(&[
-        "statistic", "Restaurant", "Rexa-DBLP", "BBCmusic-DBpedia", "YAGO-IMDb",
+        "statistic",
+        "Restaurant",
+        "Rexa-DBLP",
+        "BBCmusic-DBpedia",
+        "YAGO-IMDb",
     ]);
     let mut rows: Vec<(&str, Vec<String>)> = vec![
         ("|BN|", vec![]),
@@ -51,8 +55,12 @@ fn main() {
         let m = block_metrics(&[bn, bt], &d.truth);
         let p = &PAPER_TABLE2[i];
         let fmt2 = |ours: String, paper: String| format!("{ours} (paper {paper})");
-        rows[0].1.push(fmt2(bn.len().to_string(), scientific(p.bn_blocks as u128)));
-        rows[1].1.push(fmt2(bt.len().to_string(), scientific(p.bt_blocks as u128)));
+        rows[0]
+            .1
+            .push(fmt2(bn.len().to_string(), scientific(p.bn_blocks as u128)));
+        rows[1]
+            .1
+            .push(fmt2(bt.len().to_string(), scientific(p.bt_blocks as u128)));
         rows[2].1.push(fmt2(
             scientific(bn.total_comparisons() as u128),
             scientific(p.bn_comparisons as u128),

@@ -29,14 +29,17 @@ fn main() {
         .collect();
 
     let mut table = Table::new(&[
-        "method", "metric", "Restaurant", "Rexa-DBLP", "BBCmusic-DBpedia", "YAGO-IMDb",
+        "method",
+        "metric",
+        "Restaurant",
+        "Rexa-DBLP",
+        "BBCmusic-DBpedia",
+        "YAGO-IMDb",
     ]);
     for paper_row in &PAPER_TABLE3 {
         for (mi, metric) in ["Prec.", "Recall", "F1"].iter().enumerate() {
-            let mut cells: Vec<String> = vec![
-                format!("{} (paper)", paper_row.method),
-                metric.to_string(),
-            ];
+            let mut cells: Vec<String> =
+                vec![format!("{} (paper)", paper_row.method), metric.to_string()];
             for c in &paper_row.cells {
                 cells.push(match c {
                     Some(t) => format!("{:.2}", [t.0, t.1, t.2][mi]),
@@ -47,10 +50,8 @@ fn main() {
         }
         if paper_row.reimplemented {
             for (mi, metric) in ["Prec.", "Recall", "F1"].iter().enumerate() {
-                let mut cells: Vec<String> = vec![
-                    format!("{} (ours)", paper_row.method),
-                    metric.to_string(),
-                ];
+                let mut cells: Vec<String> =
+                    vec![format!("{} (ours)", paper_row.method), metric.to_string()];
                 for run in &runs {
                     let m = run
                         .methods
@@ -114,8 +115,7 @@ fn main() {
         ),
         (
             "YAGO-IMDb: MinoanER close to SiGMa/PARIS, far above BSL".into(),
-            f1(&runs[3], "MinoanER") > 0.8
-                && f1(&runs[3], "MinoanER") > f1(&runs[3], "BSL") + 0.25,
+            f1(&runs[3], "MinoanER") > 0.8 && f1(&runs[3], "MinoanER") > f1(&runs[3], "BSL") + 0.25,
         ),
     ];
     let mut ok = true;

@@ -6,7 +6,7 @@
 //! *bilateral*: they keep the entities of each KB side separate, and a
 //! block's comparison cardinality is `|firsts| · |seconds|`.
 
-use minoan_kb::{BlockId, EntityId, FxHashSet, KbSide};
+use minoan_kb::{BlockId, Csr, EntityId, FxHashSet, KbSide};
 
 /// What a block collection was keyed on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,10 +54,33 @@ impl Block {
 pub struct BlockCollection {
     kind: BlockKind,
     blocks: Vec<Block>,
-    /// Blocks containing each first-KB entity.
-    first_index: Vec<Vec<BlockId>>,
-    /// Blocks containing each second-KB entity.
-    second_index: Vec<Vec<BlockId>>,
+    /// Blocks containing each first-KB entity (CSR: one flat buffer).
+    first_index: Csr<BlockId>,
+    /// Blocks containing each second-KB entity (CSR: one flat buffer).
+    second_index: Csr<BlockId>,
+}
+
+/// Inverts `blocks` into a per-entity CSR of containing block ids for
+/// one side: counting pass, prefix sum, fill pass. Row contents are in
+/// ascending block-id order because blocks are scanned in order.
+fn entity_index(blocks: &[Block], side: KbSide, n: usize) -> Csr<BlockId> {
+    let mut lens = vec![0usize; n];
+    for b in blocks {
+        for e in b.side(side) {
+            lens[e.index()] += 1;
+        }
+    }
+    let total = lens.iter().sum();
+    let mut cursors = minoan_kb::csr::offsets_from_lens(&lens);
+    let mut items = vec![BlockId(0); total];
+    for (i, b) in blocks.iter().enumerate() {
+        let id = BlockId(i as u32);
+        for e in b.side(side) {
+            items[cursors[e.index()]] = id;
+            cursors[e.index()] += 1;
+        }
+    }
+    Csr::from_lens_and_items(&lens, items)
 }
 
 impl BlockCollection {
@@ -66,17 +89,8 @@ impl BlockCollection {
     /// out of the comparison structure by their zero cardinality but are
     /// normally filtered by the builders before this point.
     pub fn new(kind: BlockKind, blocks: Vec<Block>, n_first: usize, n_second: usize) -> Self {
-        let mut first_index = vec![Vec::new(); n_first];
-        let mut second_index = vec![Vec::new(); n_second];
-        for (i, b) in blocks.iter().enumerate() {
-            let id = BlockId(i as u32);
-            for e in &b.firsts {
-                first_index[e.index()].push(id);
-            }
-            for e in &b.seconds {
-                second_index[e.index()].push(id);
-            }
-        }
+        let first_index = entity_index(&blocks, KbSide::First, n_first);
+        let second_index = entity_index(&blocks, KbSide::Second, n_second);
         Self {
             kind,
             blocks,
@@ -123,8 +137,16 @@ impl BlockCollection {
     /// The blocks containing entity `e` of `side`.
     pub fn blocks_of(&self, side: KbSide, e: EntityId) -> &[BlockId] {
         match side {
-            KbSide::First => &self.first_index[e.index()],
-            KbSide::Second => &self.second_index[e.index()],
+            KbSide::First => self.first_index.row(e.index()),
+            KbSide::Second => self.second_index.row(e.index()),
+        }
+    }
+
+    /// Number of indexed entities on `side`.
+    pub fn entity_count(&self, side: KbSide) -> usize {
+        match side {
+            KbSide::First => self.first_index.rows(),
+            KbSide::Second => self.second_index.rows(),
         }
     }
 
@@ -162,12 +184,12 @@ impl BlockCollection {
 
     /// Whether a specific pair co-occurs in at least one block.
     pub fn pair_co_occurs(&self, e1: EntityId, e2: EntityId) -> bool {
-        let (short, needle, side) = if self.first_index[e1.index()].len()
-            <= self.second_index[e2.index()].len()
-        {
-            (&self.first_index[e1.index()], e2, KbSide::Second)
+        let r1 = self.first_index.row(e1.index());
+        let r2 = self.second_index.row(e2.index());
+        let (short, needle, side) = if r1.len() <= r2.len() {
+            (r1, e2, KbSide::Second)
         } else {
-            (&self.second_index[e2.index()], e1, KbSide::First)
+            (r2, e1, KbSide::First)
         };
         short
             .iter()
@@ -180,8 +202,8 @@ impl BlockCollection {
         BlockCollection::new(
             self.kind,
             blocks,
-            self.first_index.len(),
-            self.second_index.len(),
+            self.first_index.rows(),
+            self.second_index.rows(),
         )
     }
 }
@@ -245,7 +267,10 @@ mod tests {
         // (1,0) occurs in both blocks but is listed once.
         assert_eq!(pairs.len(), 3);
         assert_eq!(
-            pairs.iter().filter(|&&(a, b)| a == e(1) && b == e(0)).count(),
+            pairs
+                .iter()
+                .filter(|&&(a, b)| a == e(1) && b == e(0))
+                .count(),
             1
         );
     }

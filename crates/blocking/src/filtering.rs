@@ -27,7 +27,9 @@ pub fn block_filtering(collection: &BlockCollection, ratio: f64) -> BlockCollect
         for e in (0..n as u32).map(EntityId) {
             let mut blocks: Vec<BlockId> = collection.blocks_of(side, e).to_vec();
             blocks.sort_by_key(|&b| (collection.block(b).comparisons(), b));
-            let keep = ((blocks.len() as f64 * ratio).ceil() as usize).max(1).min(blocks.len());
+            let keep = ((blocks.len() as f64 * ratio).ceil() as usize)
+                .max(1)
+                .min(blocks.len());
             blocks.truncate(keep);
             out.push(blocks);
         }

@@ -21,6 +21,9 @@ pub mod token_blocking;
 pub use block::{Block, BlockCollection, BlockKind};
 pub use filtering::block_filtering;
 pub use metrics::{block_metrics, BlockMetrics};
-pub use name_blocking::{canonical_name, name_blocking, unique_name_pairs};
-pub use purging::{purge, purge_with, purging_threshold, PurgeReport, DEFAULT_SMOOTHING};
-pub use token_blocking::token_blocking;
+pub use name_blocking::{canonical_name, name_blocking, name_blocking_with, unique_name_pairs};
+pub use purging::{
+    purge, purge_with, purge_with_exec, purging_threshold, purging_threshold_with, PurgeReport,
+    DEFAULT_SMOOTHING,
+};
+pub use token_blocking::{token_blocking, token_blocking_with};

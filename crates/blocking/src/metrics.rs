@@ -67,7 +67,10 @@ pub fn block_metrics(collections: &[&BlockCollection], truth: &GroundTruth) -> B
             }
         }
     }
-    let covered = truth.iter().filter(|&(a, b)| pairs.contains(&(a, b))).count();
+    let covered = truth
+        .iter()
+        .filter(|&(a, b)| pairs.contains(&(a, b)))
+        .count();
     BlockMetrics {
         distinct_comparisons: pairs.len() as u64,
         covered_matches: covered,

@@ -8,11 +8,12 @@
 //! This module is policy-free: which strings count as "names" is decided
 //! by the caller (the core crate's attribute-importance machinery).
 
+use minoan_exec::Executor;
 use minoan_kb::{EntityId, Interner};
 
 use crate::block::{Block, BlockCollection, BlockKind};
 
-/// Builds the name block collection `BN`.
+/// Builds the name block collection `BN` sequentially.
 ///
 /// `names_first[e]` / `names_second[e]` hold the name strings of entity
 /// `e` on each side. Names are canonicalized (lower-cased, whitespace
@@ -23,19 +24,37 @@ pub fn name_blocking(
     names_first: &[Vec<String>],
     names_second: &[Vec<String>],
 ) -> (BlockCollection, Interner) {
+    name_blocking_with(names_first, names_second, &Executor::sequential())
+}
+
+/// Builds `BN` on `exec`: name canonicalization (the string-heavy part)
+/// runs data-parallel over entities; interning and block grouping stay
+/// sequential, in entity order, so the result is identical to
+/// [`name_blocking`] for any thread count.
+pub fn name_blocking_with(
+    names_first: &[Vec<String>],
+    names_second: &[Vec<String>],
+    exec: &Executor,
+) -> (BlockCollection, Interner) {
+    let canon = |names: &[Vec<String>]| -> Vec<Vec<String>> {
+        exec.map_range(names.len(), |e| {
+            names[e].iter().map(|n| canonical_name(n)).collect()
+        })
+    };
+    let canon_first = canon(names_first);
+    let canon_second = canon(names_second);
     let mut interner = Interner::new();
     let mut firsts: Vec<Vec<EntityId>> = Vec::new();
     let mut seconds: Vec<Vec<EntityId>> = Vec::new();
     let add = |interner: &mut Interner,
-                   sides: &mut Vec<Vec<EntityId>>,
-                   other: &mut Vec<Vec<EntityId>>,
-                   e: EntityId,
-                   name: &str| {
-        let canon = canonical_name(name);
+               sides: &mut Vec<Vec<EntityId>>,
+               other: &mut Vec<Vec<EntityId>>,
+               e: EntityId,
+               canon: &str| {
         if canon.is_empty() {
             return;
         }
-        let id = interner.intern(&canon) as usize;
+        let id = interner.intern(canon) as usize;
         if sides.len() <= id {
             sides.resize(id + 1, Vec::new());
             other.resize(id + 1, Vec::new());
@@ -44,14 +63,26 @@ pub fn name_blocking(
             sides[id].push(e);
         }
     };
-    for (i, names) in names_first.iter().enumerate() {
+    for (i, names) in canon_first.iter().enumerate() {
         for name in names {
-            add(&mut interner, &mut firsts, &mut seconds, EntityId(i as u32), name);
+            add(
+                &mut interner,
+                &mut firsts,
+                &mut seconds,
+                EntityId(i as u32),
+                name,
+            );
         }
     }
-    for (i, names) in names_second.iter().enumerate() {
+    for (i, names) in canon_second.iter().enumerate() {
         for name in names {
-            add(&mut interner, &mut seconds, &mut firsts, EntityId(i as u32), name);
+            add(
+                &mut interner,
+                &mut seconds,
+                &mut firsts,
+                EntityId(i as u32),
+                name,
+            );
         }
     }
     let mut blocks = Vec::new();
@@ -129,7 +160,10 @@ mod tests {
         // change the key, token order does.
         assert_eq!(canonical_name("Dassin, Jules"), "dassin jules");
         assert_eq!(canonical_name("dassin  jules"), "dassin jules");
-        assert_ne!(canonical_name("Jules Dassin"), canonical_name("Dassin, Jules"));
+        assert_ne!(
+            canonical_name("Jules Dassin"),
+            canonical_name("Dassin, Jules")
+        );
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! Oversized blocks fail this test (they add a large `CC` jump with a
 //! modest `BC` jump) and everything above the threshold is purged.
 
+use minoan_exec::Executor;
+
 use crate::block::BlockCollection;
 
 /// Default smoothing factor, as used in the meta-blocking line of work.
@@ -48,12 +50,23 @@ pub struct PurgeReport {
 /// Collections with fewer than two distinct cardinality levels are left
 /// intact (their largest cardinality is returned).
 pub fn purging_threshold(collection: &BlockCollection, s: f64) -> u64 {
+    purging_threshold_with(collection, s, &Executor::sequential())
+}
+
+/// [`purging_threshold`] with the per-block cardinality statistics
+/// gathered data-parallel over block ranges on `exec`. The statistics
+/// are integers, so the threshold is identical for any thread count.
+pub fn purging_threshold_with(collection: &BlockCollection, s: f64, exec: &Executor) -> u64 {
     assert!(s >= 1.0, "smoothing factor must be >= 1");
-    let mut cards: Vec<(u64, u64)> = collection
-        .blocks()
-        .iter()
-        .map(|b| (b.comparisons(), b.assignments()))
-        .collect();
+    let blocks = collection.blocks();
+    let mut cards: Vec<(u64, u64)> = exec
+        .map_parts(blocks.len(), |range| {
+            blocks[range]
+                .iter()
+                .map(|b| (b.comparisons(), b.assignments()))
+                .collect::<Vec<_>>()
+        })
+        .concat();
     if cards.is_empty() {
         return 0;
     }
@@ -89,7 +102,16 @@ pub fn purging_threshold(collection: &BlockCollection, s: f64) -> u64 {
 /// Purges `collection` using [`purging_threshold`] with smoothing `s`,
 /// returning the surviving collection and a report.
 pub fn purge_with(collection: &BlockCollection, s: f64) -> (BlockCollection, PurgeReport) {
-    let threshold = purging_threshold(collection, s);
+    purge_with_exec(collection, s, &Executor::sequential())
+}
+
+/// [`purge_with`] running the statistics pass on `exec`.
+pub fn purge_with_exec(
+    collection: &BlockCollection,
+    s: f64,
+    exec: &Executor,
+) -> (BlockCollection, PurgeReport) {
+    let threshold = purging_threshold_with(collection, s, exec);
     let purged = collection.filter_blocks(|b| b.comparisons() <= threshold);
     let report = PurgeReport {
         max_comparisons_per_block: threshold,

@@ -6,52 +6,91 @@
 //! method achieves the >99% recall the paper reports on highly
 //! heterogeneous KBs.
 
-use minoan_kb::{KbSide, TokenId};
+use minoan_exec::Executor;
+use minoan_kb::{EntityId, FxHashMap, KbSide};
 use minoan_text::TokenizedPair;
 
 use crate::block::{Block, BlockCollection, BlockKind};
 
-/// Builds the token block collection `BT` from a tokenized pair.
+/// Builds the token block collection `BT` sequentially.
 ///
 /// Blocks whose key occurs on only one side are dropped: they can never
 /// produce a comparison.
 pub fn token_blocking(tokens: &TokenizedPair) -> BlockCollection {
-    let dict = tokens.dict();
-    let n_tokens = dict.len();
-    // Invert entity -> tokens into token -> entities, per side.
-    let mut firsts: Vec<Vec<minoan_kb::EntityId>> = vec![Vec::new(); n_tokens];
-    let mut seconds: Vec<Vec<minoan_kb::EntityId>> = vec![Vec::new(); n_tokens];
+    token_blocking_with(tokens, &Executor::sequential())
+}
+
+/// Builds `BT` on `exec`: each part inverts an entity range into a
+/// partial `token -> entities` index; partials are merged in part order,
+/// so every block's entity list is in ascending entity order — exactly
+/// the sequential result — for any thread count.
+pub fn token_blocking_with(tokens: &TokenizedPair, exec: &Executor) -> BlockCollection {
+    let n_tokens = tokens.dict().len();
     let n1 = tokens.entity_count(KbSide::First);
     let n2 = tokens.entity_count(KbSide::Second);
-    for e in (0..n1 as u32).map(minoan_kb::EntityId) {
-        for &t in tokens.tokens(KbSide::First, e) {
-            firsts[t.index()].push(e);
+    let firsts = invert_side(tokens, KbSide::First, n_tokens, exec);
+    let seconds = invert_side(tokens, KbSide::Second, n_tokens, exec);
+    // Assemble blocks in ascending token order, in parallel over token
+    // ranges; concatenating the parts preserves that order.
+    let block_parts = exec.map_parts(n_tokens, |range| {
+        let mut blocks = Vec::new();
+        for t in range {
+            let (f, s) = (&firsts[t], &seconds[t]);
+            if !f.is_empty() && !s.is_empty() {
+                blocks.push(Block {
+                    key: t as u32,
+                    firsts: f.clone(),
+                    seconds: s.clone(),
+                });
+            }
         }
-    }
-    for e in (0..n2 as u32).map(minoan_kb::EntityId) {
-        for &t in tokens.tokens(KbSide::Second, e) {
-            seconds[t.index()].push(e);
-        }
-    }
-    let mut blocks = Vec::new();
-    for t in (0..n_tokens as u32).map(TokenId) {
-        let f = &firsts[t.index()];
-        let s = &seconds[t.index()];
-        if !f.is_empty() && !s.is_empty() {
-            blocks.push(Block {
-                key: t.0,
-                firsts: f.clone(),
-                seconds: s.clone(),
-            });
-        }
-    }
+        blocks
+    });
+    let blocks = block_parts.concat();
     BlockCollection::new(BlockKind::Token, blocks, n1, n2)
+}
+
+/// Inverts one side's `entity -> tokens` lists into `token -> entities`
+/// via per-part partial indexes merged in part order.
+fn invert_side(
+    tokens: &TokenizedPair,
+    side: KbSide,
+    n_tokens: usize,
+    exec: &Executor,
+) -> Vec<Vec<EntityId>> {
+    let n = tokens.entity_count(side);
+    let partials = exec.map_parts(n, |range| {
+        let mut partial: FxHashMap<u32, Vec<EntityId>> = FxHashMap::default();
+        for e in range {
+            let e = EntityId(e as u32);
+            for &t in tokens.tokens(side, e) {
+                partial.entry(t.0).or_default().push(e);
+            }
+        }
+        partial
+    });
+    let mut inverted: Vec<Vec<EntityId>> = vec![Vec::new(); n_tokens];
+    for partial in partials {
+        // Per-part lists are in ascending entity order and parts cover
+        // ascending entity ranges, so appending keeps each token's list
+        // sorted regardless of the partial map's iteration order.
+        for (t, mut list) in partial {
+            let slot = &mut inverted[t as usize];
+            if slot.is_empty() {
+                *slot = list;
+            } else {
+                slot.append(&mut list);
+            }
+        }
+    }
+    inverted
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use minoan_kb::{EntityId, KbBuilder, KbPair};
+    use minoan_exec::ExecutorKind;
+    use minoan_kb::{KbBuilder, KbPair, TokenId};
     use minoan_text::Tokenizer;
 
     fn build() -> (TokenizedPair, BlockCollection) {
@@ -102,7 +141,10 @@ mod tests {
         // a:2 shares nothing.
         assert!(bt.co_occurring(KbSide::First, EntityId(1)).is_empty());
         // a:3 shares palace with b:2.
-        assert_eq!(bt.co_occurring(KbSide::First, EntityId(2)), vec![EntityId(1)]);
+        assert_eq!(
+            bt.co_occurring(KbSide::First, EntityId(2)),
+            vec![EntityId(1)]
+        );
     }
 
     #[test]
@@ -110,5 +152,30 @@ mod tests {
         let (_, bt) = build();
         assert!(bt.pair_co_occurs(EntityId(0), EntityId(0)));
         assert!(!bt.pair_co_occurs(EntityId(1), EntityId(0)));
+    }
+
+    #[test]
+    fn parallel_blocking_matches_sequential_exactly() {
+        let mut a = KbBuilder::new("E1");
+        let mut b = KbBuilder::new("E2");
+        for i in 0..40 {
+            a.add_literal(
+                &format!("a:{i}"),
+                "name",
+                &format!("shared token{} word{} tail", i % 7, i % 3),
+            );
+            b.add_literal(
+                &format!("b:{i}"),
+                "label",
+                &format!("shared token{} other{}", i % 7, i % 5),
+            );
+        }
+        let pair = KbPair::new(a.finish(), b.finish());
+        let toks = TokenizedPair::build(&pair, &Tokenizer::default());
+        let seq = token_blocking(&toks);
+        for threads in [2, 3, 8] {
+            let par = token_blocking_with(&toks, &Executor::new(ExecutorKind::Rayon, threads));
+            assert_eq!(seq.blocks(), par.blocks(), "threads={threads}");
+        }
     }
 }

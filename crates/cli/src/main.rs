@@ -3,12 +3,16 @@
 //! ```text
 //! minoaner match  <first.(tsv|nt)> <second.(tsv|nt)> [--method minoaner|bsl|sigma|paris]
 //!                 [--truth <pairs.tsv>] [--json] [--theta F] [--k N] [--no-purge]
+//!                 [--executor sequential|rayon] [--threads N]
 //! minoaner demo   [restaurant|rexa|bbc|yago] [--scale F] [--seed N]
+//!                 [--executor sequential|rayon] [--threads N]
 //! minoaner stats  <kb.(tsv|nt)>
 //! ```
 //!
 //! `--truth` is a 2-column TSV of matching URIs (first-KB URI, second-KB
-//! URI); with it the tool reports precision/recall/F1.
+//! URI); with it the tool reports precision/recall/F1. `--executor`
+//! selects the backend the hot pipeline stages run on (results are
+//! bit-identical across backends); `--threads 0` means all cores.
 
 use std::process::exit;
 
@@ -17,17 +21,26 @@ use minoan_blocking::unique_name_pairs;
 use minoan_core::{build_blocks, MinoanConfig, MinoanEr};
 use minoan_datagen::DatasetKind;
 use minoan_eval::MatchQuality;
-use minoan_kb::{parse, GroundTruth, KbPair, KnowledgeBase, Matching};
+use minoan_kb::{parse, GroundTruth, Json, KbPair, KnowledgeBase, Matching};
 use minoan_text::{TokenizedPair, Tokenizer};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  minoaner match <first> <second> [--method minoaner|bsl|sigma|paris] \
-         [--truth pairs.tsv] [--json] [--theta F] [--k N] [--no-purge]\n  \
-         minoaner demo [restaurant|rexa|bbc|yago] [--scale F] [--seed N]\n  \
+         [--truth pairs.tsv] [--json] [--theta F] [--k N] [--no-purge] \
+         [--executor sequential|rayon] [--threads N]\n  \
+         minoaner demo [restaurant|rexa|bbc|yago] [--scale F] [--seed N] \
+         [--executor sequential|rayon] [--threads N]\n  \
          minoaner stats <kb>"
     );
     exit(2);
+}
+
+fn parse_executor(value: Option<&String>, config: &mut MinoanConfig) {
+    let Some(kind) = value.and_then(|v| v.parse().ok()) else {
+        usage()
+    };
+    config.executor = kind;
 }
 
 fn load_kb(path: &str, name: &str) -> KnowledgeBase {
@@ -84,18 +97,35 @@ fn report(matching: &Matching, pair: &KbPair, truth: Option<&GroundTruth>, json:
             })
             .collect();
         let quality = truth.map(|t| MatchQuality::evaluate(matching, t));
-        let out = serde_json::json!({
-            "matches": pairs,
-            "quality": quality.map(|q| serde_json::json!({
-                "precision": q.precision(),
-                "recall": q.recall(),
-                "f1": q.f1(),
-            })),
-        });
-        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        let out = Json::obj([
+            (
+                "matches",
+                Json::arr(
+                    pairs
+                        .iter()
+                        .map(|[a, b]| Json::arr([Json::str(a), Json::str(b)])),
+                ),
+            ),
+            (
+                "quality",
+                match quality {
+                    Some(q) => Json::obj([
+                        ("precision", Json::Num(q.precision())),
+                        ("recall", Json::Num(q.recall())),
+                        ("f1", Json::Num(q.f1())),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+        ]);
+        println!("{}", out.pretty());
     } else {
         for (a, b) in matching.iter() {
-            println!("{}\t{}", pair.first.entity_uri(a), pair.second.entity_uri(b));
+            println!(
+                "{}\t{}",
+                pair.first.entity_uri(a),
+                pair.second.entity_uri(b)
+            );
         }
         if let Some(t) = truth {
             let q = MatchQuality::evaluate(matching, t);
@@ -112,27 +142,47 @@ fn report(matching: &Matching, pair: &KbPair, truth: Option<&GroundTruth>, json:
     }
 }
 
-fn run_method(method: &str, pair: &KbPair, config: &MinoanConfig, truth: Option<&GroundTruth>) -> Matching {
+fn run_method(
+    method: &str,
+    pair: &KbPair,
+    config: &MinoanConfig,
+    truth: Option<&GroundTruth>,
+) -> Matching {
     match method {
-        "minoaner" => MinoanEr::new(config.clone()).unwrap_or_else(|e| {
-            eprintln!("bad config: {e}");
-            exit(1);
-        })
-        .run(pair)
-        .matching,
+        "minoaner" => {
+            MinoanEr::new(config.clone())
+                .unwrap_or_else(|e| {
+                    eprintln!("bad config: {e}");
+                    exit(1);
+                })
+                .run(pair)
+                .matching
+        }
         "bsl" => {
             let Some(t) = truth else {
                 eprintln!("--method bsl needs --truth (BSL is oracle-tuned by definition)");
                 exit(1);
             };
             let art = build_blocks(pair, config);
-            run_bsl(&pair.first, &pair.second, &[&art.name_blocks, &art.token_blocks], t).matching
+            run_bsl(
+                &pair.first,
+                &pair.second,
+                &[&art.name_blocks, &art.token_blocks],
+                t,
+            )
+            .matching
         }
         "sigma" => {
             let art = build_blocks(pair, config);
             let tokens = TokenizedPair::build(pair, &Tokenizer::default());
             let seeds = unique_name_pairs(&art.name_blocks);
-            run_sigma(pair, &tokens, &art.token_blocks, &seeds, SigmaConfig::default())
+            run_sigma(
+                pair,
+                &tokens,
+                &art.token_blocks,
+                &seeds,
+                SigmaConfig::default(),
+            )
         }
         "paris" => run_paris(pair, ParisConfig::default()),
         other => {
@@ -159,13 +209,25 @@ fn main() {
                     "--truth" => truth_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
                     "--json" => json = true,
                     "--theta" => {
-                        config.theta = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                        config.theta = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
                     }
                     "--k" => {
-                        config.candidates_k =
-                            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                        config.candidates_k = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
                     }
                     "--no-purge" => config.purge_blocks = false,
+                    "--executor" => parse_executor(it.next(), &mut config),
+                    "--threads" => {
+                        config.threads = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
                     other if !other.starts_with('-') => positional.push(other),
                     _ => usage(),
                 }
@@ -182,6 +244,7 @@ fn main() {
             let mut kind = DatasetKind::Restaurant;
             let mut scale = 0.3;
             let mut seed = 20180416u64;
+            let mut config = MinoanConfig::default();
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -189,24 +252,51 @@ fn main() {
                     "rexa" => kind = DatasetKind::RexaDblp,
                     "bbc" => kind = DatasetKind::BbcDbpedia,
                     "yago" => kind = DatasetKind::YagoImdb,
-                    "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-                    "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+                    "--scale" => {
+                        scale = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--seed" => {
+                        seed = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--executor" => parse_executor(it.next(), &mut config),
+                    "--threads" => {
+                        config.threads = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
                     _ => usage(),
                 }
             }
             let d = kind.generate_scaled(seed, scale);
             eprintln!(
-                "{}: |E1|={} |E2|={} ground truth {}",
+                "{}: |E1|={} |E2|={} ground truth {}  (executor {}, {} threads)",
                 d.name,
                 d.pair.first.entity_count(),
                 d.pair.second.entity_count(),
-                d.truth.len()
+                d.truth.len(),
+                config.executor,
+                config.executor().threads(),
             );
-            let out = MinoanEr::with_defaults().run(&d.pair);
+            let out = MinoanEr::new(config)
+                .unwrap_or_else(|e| {
+                    eprintln!("bad config: {e}");
+                    exit(1);
+                })
+                .run(&d.pair);
             let q = MatchQuality::evaluate(&out.matching, &d.truth);
             eprintln!(
                 "MinoanER: H1={} H2={} H3={} H4-removed={}",
-                out.report.h1_matches, out.report.h2_matches, out.report.h3_matches, out.report.h4_removed
+                out.report.h1_matches,
+                out.report.h2_matches,
+                out.report.h3_matches,
+                out.report.h4_removed
             );
             eprintln!(
                 "precision {:.2}%  recall {:.2}%  F1 {:.2}%",
@@ -219,7 +309,7 @@ fn main() {
             let Some(path) = it.next() else { usage() };
             let kb = load_kb(path, "KB");
             let stats = minoan_kb::KbStats::compute(&kb);
-            println!("{}", serde_json::to_string_pretty(&stats).expect("serializable"));
+            println!("{}", stats.to_json().pretty());
         }
         _ => usage(),
     }

@@ -1,12 +1,14 @@
 //! Pipeline configuration.
 
-use serde::{Deserialize, Serialize};
+use minoan_exec::{Executor, ExecutorKind};
+use minoan_kb::Json;
 
 /// Configuration of the MinoanER matching pipeline.
 ///
 /// The defaults are the paper's robust setting (§IV): `K=15`, `N=3`,
-/// `k=2`, `θ=0.6`, with Block Purging enabled.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// `k=2`, `θ=0.6`, with Block Purging enabled, running on the parallel
+/// executor with all available threads.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MinoanConfig {
     /// `k`: number of most distinctive attributes per KB whose literal
     /// values serve as entity names (H1).
@@ -28,6 +30,11 @@ pub struct MinoanConfig {
     /// set unbounded; the cap only guards against pathological hubs and
     /// is high enough to be inactive on the benchmark profiles.
     pub max_top_neighbors: usize,
+    /// Which executor backend runs the hot stages (blocking, similarity
+    /// indexing, matching). Results are bit-identical across backends.
+    pub executor: ExecutorKind,
+    /// Worker threads for the parallel backend (`0` = all available).
+    pub threads: usize,
 }
 
 impl Default for MinoanConfig {
@@ -40,6 +47,8 @@ impl Default for MinoanConfig {
             purge_blocks: true,
             purge_smoothing: minoan_blocking::DEFAULT_SMOOTHING,
             max_top_neighbors: 32,
+            executor: ExecutorKind::Rayon,
+            threads: 0,
         }
     }
 }
@@ -71,6 +80,58 @@ impl MinoanConfig {
         }
         Ok(())
     }
+
+    /// The executor the pipeline stages run on.
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.executor, self.threads)
+    }
+
+    /// Serializes the configuration as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name_attrs_k", Json::num(self.name_attrs_k as f64)),
+            ("candidates_k", Json::num(self.candidates_k as f64)),
+            ("top_relations_n", Json::num(self.top_relations_n as f64)),
+            ("theta", Json::Num(self.theta)),
+            ("purge_blocks", Json::Bool(self.purge_blocks)),
+            ("purge_smoothing", Json::Num(self.purge_smoothing)),
+            (
+                "max_top_neighbors",
+                Json::num(self.max_top_neighbors as f64),
+            ),
+            ("executor", Json::str(self.executor.name())),
+            ("threads", Json::num(self.threads as f64)),
+        ])
+    }
+
+    /// Deserializes a configuration from [`MinoanConfig::to_json`]
+    /// output. Missing fields keep their defaults; unknown fields error.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let Json::Obj(fields) = json else {
+            return Err("config must be a JSON object".into());
+        };
+        let mut config = MinoanConfig::default();
+        for (key, value) in fields {
+            let bad = || format!("bad value for {key}");
+            match key.as_str() {
+                "name_attrs_k" => config.name_attrs_k = value.as_usize().ok_or_else(bad)?,
+                "candidates_k" => config.candidates_k = value.as_usize().ok_or_else(bad)?,
+                "top_relations_n" => config.top_relations_n = value.as_usize().ok_or_else(bad)?,
+                "theta" => config.theta = value.as_f64().ok_or_else(bad)?,
+                "purge_blocks" => config.purge_blocks = value.as_bool().ok_or_else(bad)?,
+                "purge_smoothing" => config.purge_smoothing = value.as_f64().ok_or_else(bad)?,
+                "max_top_neighbors" => {
+                    config.max_top_neighbors = value.as_usize().ok_or_else(bad)?
+                }
+                "executor" => {
+                    config.executor = value.as_str().ok_or_else(bad)?.parse()?;
+                }
+                "threads" => config.threads = value.as_usize().ok_or_else(bad)?,
+                other => return Err(format!("unknown config field {other:?}")),
+            }
+        }
+        Ok(config)
+    }
 }
 
 #[cfg(test)]
@@ -85,36 +146,77 @@ mod tests {
         assert_eq!(c.top_relations_n, 3);
         assert!((c.theta - 0.6).abs() < 1e-12);
         assert!(c.purge_blocks);
+        assert_eq!(c.executor, ExecutorKind::Rayon);
+        assert_eq!(c.threads, 0, "all available threads by default");
         assert!(c.validate().is_ok());
     }
 
     #[test]
     fn validation_rejects_bad_parameters() {
-        let mut c = MinoanConfig::default();
-        c.theta = 1.0;
-        assert!(c.validate().is_err());
-        c = MinoanConfig::default();
-        c.theta = 0.0;
-        assert!(c.validate().is_err());
-        c = MinoanConfig::default();
-        c.name_attrs_k = 0;
-        assert!(c.validate().is_err());
-        c = MinoanConfig::default();
-        c.candidates_k = 0;
-        assert!(c.validate().is_err());
-        c = MinoanConfig::default();
-        c.top_relations_n = 0;
-        assert!(c.validate().is_err());
-        c = MinoanConfig::default();
-        c.purge_smoothing = 0.9;
-        assert!(c.validate().is_err());
+        let default = MinoanConfig::default;
+        for bad in [
+            MinoanConfig {
+                theta: 1.0,
+                ..default()
+            },
+            MinoanConfig {
+                theta: 0.0,
+                ..default()
+            },
+            MinoanConfig {
+                name_attrs_k: 0,
+                ..default()
+            },
+            MinoanConfig {
+                candidates_k: 0,
+                ..default()
+            },
+            MinoanConfig {
+                top_relations_n: 0,
+                ..default()
+            },
+            MinoanConfig {
+                purge_smoothing: 0.9,
+                ..default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
     }
 
     #[test]
     fn config_serializes_round_trip() {
-        let c = MinoanConfig::default();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: MinoanConfig = serde_json::from_str(&json).unwrap();
+        let c = MinoanConfig {
+            theta: 0.37,
+            executor: ExecutorKind::Sequential,
+            threads: 4,
+            purge_blocks: false,
+            ..MinoanConfig::default()
+        };
+        let json = c.to_json().pretty();
+        let back = MinoanConfig::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_fields_and_bad_values() {
+        let bad = Json::parse(r#"{"no_such_knob": 1}"#).unwrap();
+        assert!(MinoanConfig::from_json(&bad).is_err());
+        let bad = Json::parse(r#"{"candidates_k": -3}"#).unwrap();
+        assert!(MinoanConfig::from_json(&bad).is_err());
+        let bad = Json::parse(r#"{"executor": "gpu"}"#).unwrap();
+        assert!(MinoanConfig::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn executor_instance_follows_config() {
+        let mut c = MinoanConfig {
+            executor: ExecutorKind::Sequential,
+            ..MinoanConfig::default()
+        };
+        assert_eq!(c.executor().threads(), 1);
+        c.executor = ExecutorKind::Rayon;
+        c.threads = 7;
+        assert_eq!(c.executor().threads(), 7);
     }
 }

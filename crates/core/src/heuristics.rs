@@ -5,6 +5,7 @@
 //! `M = (H1 ∨ H2 ∨ H3) ∧ H4`.
 
 use minoan_blocking::{unique_name_pairs, BlockCollection};
+use minoan_exec::Executor;
 use minoan_kb::{EntityId, FxHashSet, KbSide};
 
 use crate::simindex::SimilarityIndex;
@@ -45,25 +46,41 @@ pub fn h2_value_matches(
     n_smaller: usize,
     matched: [&FxHashSet<EntityId>; 2],
 ) -> Vec<(EntityId, EntityId)> {
-    let mut out = Vec::new();
+    h2_value_matches_with(idx, smaller, n_smaller, matched, &Executor::sequential())
+}
+
+/// [`h2_value_matches`] fanned out over entity ranges on `exec`. Each
+/// entity's decision is independent and partials are concatenated in
+/// entity order, so the output is identical for any thread count.
+pub fn h2_value_matches_with(
+    idx: &SimilarityIndex,
+    smaller: KbSide,
+    n_smaller: usize,
+    matched: [&FxHashSet<EntityId>; 2],
+    exec: &Executor,
+) -> Vec<(EntityId, EntityId)> {
     let matched_own = matched[smaller.index()];
     let matched_other = matched[smaller.other().index()];
-    for e in (0..n_smaller as u32).map(EntityId) {
-        if matched_own.contains(&e) {
-            continue;
-        }
-        let mut usable = idx
-            .value_candidates(smaller, e)
-            .iter()
-            .filter(|(c, _)| !matched_other.contains(c));
-        if let Some(&(c, vmax)) = usable.next() {
-            let runner_up = usable.next().map(|&(_, v)| v).unwrap_or(0.0);
-            if vmax >= 1.0 && runner_up < 1.0 {
-                out.push(orient(smaller, e, c));
+    exec.map_parts(n_smaller, |range| {
+        let mut out = Vec::new();
+        for e in range.map(|e| EntityId(e as u32)) {
+            if matched_own.contains(&e) {
+                continue;
+            }
+            let mut usable = idx
+                .value_candidates(smaller, e)
+                .iter()
+                .filter(|(c, _)| !matched_other.contains(c));
+            if let Some(&(c, vmax)) = usable.next() {
+                let runner_up = usable.next().map(|&(_, v)| v).unwrap_or(0.0);
+                if vmax >= 1.0 && runner_up < 1.0 {
+                    out.push(orient(smaller, e, c));
+                }
             }
         }
-    }
-    out
+        out
+    })
+    .concat()
 }
 
 /// **H3 — Rank Aggregation Heuristic.** For a not-yet-matched entity,
@@ -100,11 +117,12 @@ pub fn h3_top_candidate(
     }
     // Normalized rank of position p in a list of size L: (L - p) / L.
     let mut scores: Vec<(EntityId, f64)> = Vec::new();
-    let bump = |scores: &mut Vec<(EntityId, f64)>, c: EntityId, s: f64| {
-        match scores.iter_mut().find(|(e, _)| *e == c) {
-            Some((_, acc)) => *acc += s,
-            None => scores.push((c, s)),
-        }
+    let bump = |scores: &mut Vec<(EntityId, f64)>, c: EntityId, s: f64| match scores
+        .iter_mut()
+        .find(|(e, _)| *e == c)
+    {
+        Some((_, acc)) => *acc += s,
+        None => scores.push((c, s)),
     };
     let lv = value_list.len() as f64;
     for (p, &c) in value_list.iter().enumerate() {
@@ -114,14 +132,11 @@ pub fn h3_top_candidate(
     for (p, &c) in neighbor_list.iter().enumerate() {
         bump(&mut scores, c, (1.0 - theta) * (ln - p as f64) / ln);
     }
-    scores
-        .into_iter()
-        .max_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(b.0.cmp(&a.0))
-        })
-        .map(|(c, s)| (c, s))
+    scores.into_iter().max_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.0.cmp(&a.0))
+    })
 }
 
 /// Runs H3 over every not-yet-matched entity of the smaller KB.
@@ -133,18 +148,44 @@ pub fn h3_rank_matches(
     theta: f64,
     matched: [&FxHashSet<EntityId>; 2],
 ) -> Vec<(EntityId, EntityId)> {
-    let mut out = Vec::new();
+    h3_rank_matches_with(
+        idx,
+        smaller,
+        n_smaller,
+        k,
+        theta,
+        matched,
+        &Executor::sequential(),
+    )
+}
+
+/// [`h3_rank_matches`] fanned out over entity ranges on `exec`; output
+/// identical for any thread count (independent per-entity decisions,
+/// partials concatenated in entity order).
+pub fn h3_rank_matches_with(
+    idx: &SimilarityIndex,
+    smaller: KbSide,
+    n_smaller: usize,
+    k: usize,
+    theta: f64,
+    matched: [&FxHashSet<EntityId>; 2],
+    exec: &Executor,
+) -> Vec<(EntityId, EntityId)> {
     let matched_own = matched[smaller.index()];
     let matched_other = matched[smaller.other().index()];
-    for e in (0..n_smaller as u32).map(EntityId) {
-        if matched_own.contains(&e) {
-            continue;
+    exec.map_parts(n_smaller, |range| {
+        let mut out = Vec::new();
+        for e in range.map(|e| EntityId(e as u32)) {
+            if matched_own.contains(&e) {
+                continue;
+            }
+            if let Some((c, _)) = h3_top_candidate(idx, smaller, e, k, theta, matched_other) {
+                out.push(orient(smaller, e, c));
+            }
         }
-        if let Some((c, _)) = h3_top_candidate(idx, smaller, e, k, theta, matched_other) {
-            out.push(orient(smaller, e, c));
-        }
-    }
-    out
+        out
+    })
+    .concat()
 }
 
 /// **H4 — Reciprocity Heuristic.** A pair `(e1, e2)` survives only if
@@ -152,6 +193,20 @@ pub fn h3_rank_matches(
 /// **and** vice versa.
 pub fn h4_reciprocal(idx: &SimilarityIndex, k: usize, e1: EntityId, e2: EntityId) -> bool {
     in_top_k(idx, KbSide::First, e1, e2, k) && in_top_k(idx, KbSide::Second, e2, e1, k)
+}
+
+/// Evaluates H4 for a batch of pairs on `exec`, returning one keep-flag
+/// per pair in input order. Pure reads over the index.
+pub fn h4_reciprocal_batch(
+    idx: &SimilarityIndex,
+    k: usize,
+    pairs: &[(EntityId, EntityId)],
+    exec: &Executor,
+) -> Vec<bool> {
+    exec.map_range(pairs.len(), |i| {
+        let (e1, e2) = pairs[i];
+        h4_reciprocal(idx, k, e1, e2)
+    })
 }
 
 fn in_top_k(idx: &SimilarityIndex, side: KbSide, e: EntityId, other: EntityId, k: usize) -> bool {
@@ -199,10 +254,7 @@ mod tests {
     fn h2_matches_strongly_similar_pairs_only() {
         // a:0/b:0 share a mutually-unique token (weight 1 => vmax >= 1).
         // a:1/b:1 share only a token frequent on both sides.
-        let idx = index_of(
-            &["unique0 common", "common"],
-            &["unique0 common", "common"],
-        );
+        let idx = index_of(&["unique0 common", "common"], &["unique0 common", "common"]);
         let none = FxHashSet::default();
         let pairs = h2_value_matches(&idx, KbSide::First, 2, [&none, &none]);
         assert_eq!(pairs, vec![(e(0), e(0))]);

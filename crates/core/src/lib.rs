@@ -38,7 +38,14 @@ pub mod pipeline;
 pub mod simindex;
 
 pub use config::MinoanConfig;
-pub use heuristics::{h1_name_matches, h2_value_matches, h3_rank_matches, h3_top_candidate, h4_reciprocal};
-pub use importance::{attribute_importance, entity_names, relation_importance, top_neighbors, Importance};
-pub use pipeline::{build_blocks, BlockingArtifacts, MatchOutput, MinoanEr, PipelineReport, Timings};
+pub use heuristics::{
+    h1_name_matches, h2_value_matches, h2_value_matches_with, h3_rank_matches,
+    h3_rank_matches_with, h3_top_candidate, h4_reciprocal, h4_reciprocal_batch,
+};
+pub use importance::{
+    attribute_importance, entity_names, relation_importance, top_neighbors, Importance,
+};
+pub use pipeline::{
+    build_blocks, BlockingArtifacts, MatchOutput, MinoanEr, PipelineReport, Timings,
+};
 pub use simindex::{Candidate, SimilarityIndex};

@@ -7,13 +7,15 @@
 use std::time::{Duration, Instant};
 
 use minoan_blocking::{
-    name_blocking, purge_with, token_blocking, BlockCollection, PurgeReport,
+    name_blocking_with, purge_with_exec, token_blocking_with, BlockCollection, PurgeReport,
 };
 use minoan_kb::{EntityId, FxHashSet, KbPair, Matching};
 use minoan_text::{TokenizedPair, Tokenizer};
 
 use crate::config::MinoanConfig;
-use crate::heuristics::{h1_name_matches, h2_value_matches, h3_rank_matches, h4_reciprocal};
+use crate::heuristics::{
+    h1_name_matches, h2_value_matches_with, h3_rank_matches_with, h4_reciprocal_batch,
+};
 use crate::importance::{entity_names, top_neighbors};
 use crate::simindex::SimilarityIndex;
 
@@ -87,18 +89,26 @@ pub struct BlockingArtifacts {
     pub purge: Option<PurgeReport>,
     /// Extracted entity names per side.
     pub names: [Vec<Vec<String>>; 2],
+    /// Wall-clock time spent tokenizing both KBs, measured separately so
+    /// the pipeline can report it apart from blocking proper.
+    pub tokenize_time: Duration,
 }
 
-/// Builds the schema-agnostic blocking input (`BN`, `BT`) for a pair.
+/// Builds the schema-agnostic blocking input (`BN`, `BT`) for a pair,
+/// running the block construction and purging statistics on the
+/// executor selected by `config`.
 pub fn build_blocks(pair: &KbPair, config: &MinoanConfig) -> BlockingArtifacts {
+    let exec = config.executor();
     let tokenizer = Tokenizer::default();
+    let t_tok = Instant::now();
     let tokens = TokenizedPair::build(pair, &tokenizer);
+    let tokenize_time = t_tok.elapsed();
     let names1 = entity_names(&pair.first, config.name_attrs_k);
     let names2 = entity_names(&pair.second, config.name_attrs_k);
-    let (bn, _) = name_blocking(&names1, &names2);
-    let bt_raw = token_blocking(&tokens);
+    let (bn, _) = name_blocking_with(&names1, &names2, &exec);
+    let bt_raw = token_blocking_with(&tokens, &exec);
     let (bt, purge) = if config.purge_blocks {
-        let (purged, report) = purge_with(&bt_raw, config.purge_smoothing);
+        let (purged, report) = purge_with_exec(&bt_raw, config.purge_smoothing, &exec);
         (purged, Some(report))
     } else {
         (bt_raw, None)
@@ -109,6 +119,7 @@ pub fn build_blocks(pair: &KbPair, config: &MinoanConfig) -> BlockingArtifacts {
         token_blocks: bt,
         purge,
         names: [names1, names2],
+        tokenize_time,
     }
 }
 
@@ -137,13 +148,15 @@ impl MinoanEr {
 
     /// Resolves `pair`, returning the matching and a stage report.
     pub fn run(&self, pair: &KbPair) -> MatchOutput {
+        let exec = self.config.executor();
         let mut report = PipelineReport::default();
 
-        // Tokenize + block (tokenize timing is folded into build_blocks;
-        // split the clock around the call for the two coarse stages).
+        // Tokenize + block. `build_blocks` measures tokenization on its
+        // own clock, so blocking time excludes it.
         let t0 = Instant::now();
         let artifacts = build_blocks(pair, &self.config);
-        report.timings.blocking = t0.elapsed();
+        report.timings.tokenize = artifacts.tokenize_time;
+        report.timings.blocking = t0.elapsed().saturating_sub(artifacts.tokenize_time);
         report.name_blocks = artifacts.name_blocks.len();
         report.name_comparisons = artifacts.name_blocks.total_comparisons();
         report.token_blocks = artifacts.token_blocks.len();
@@ -176,14 +189,19 @@ impl MinoanEr {
             self.config.top_relations_n,
             self.config.max_top_neighbors,
         );
-        let idx = SimilarityIndex::build(&artifacts.token_blocks, &artifacts.tokens, [&tn1, &tn2]);
+        let idx = SimilarityIndex::build_with(
+            &artifacts.token_blocks,
+            &artifacts.tokens,
+            [&tn1, &tn2],
+            &exec,
+        );
         report.timings.similarities = t0.elapsed();
 
         // H2 on the smaller KB.
         let t0 = Instant::now();
         let smaller = pair.smaller_side();
         let n_smaller = pair.kb(smaller).entity_count();
-        let h2 = h2_value_matches(&idx, smaller, n_smaller, [&matched[0], &matched[1]]);
+        let h2 = h2_value_matches_with(&idx, smaller, n_smaller, [&matched[0], &matched[1]], &exec);
         report.h2_matches = h2.len();
         for &(e1, e2) in &h2 {
             matching.insert(e1, e2);
@@ -192,23 +210,27 @@ impl MinoanEr {
         }
 
         // H3 on what is left.
-        let h3 = h3_rank_matches(
+        let h3 = h3_rank_matches_with(
             &idx,
             smaller,
             n_smaller,
             self.config.candidates_k,
             self.config.theta,
             [&matched[0], &matched[1]],
+            &exec,
         );
         report.h3_matches = h3.len();
         for &(e1, e2) in &h3 {
             matching.insert(e1, e2);
         }
 
-        // H4: reciprocity filter over everything.
+        // H4: reciprocity filter over everything — evaluated in parallel
+        // (pure reads over the index), applied in insertion order.
         let before = matching.len();
-        let k = self.config.candidates_k;
-        matching.retain(|e1, e2| h4_reciprocal(&idx, k, e1, e2));
+        let pairs: Vec<(EntityId, EntityId)> = matching.iter().collect();
+        let keep = h4_reciprocal_batch(&idx, self.config.candidates_k, &pairs, &exec);
+        let mut keep_flags = keep.iter();
+        matching.retain(|_, _| *keep_flags.next().expect("one flag per pair"));
         report.h4_removed = before - matching.len();
         report.timings.matching = t0.elapsed();
 
@@ -290,8 +312,10 @@ mod tests {
 
     #[test]
     fn invalid_config_is_rejected() {
-        let mut c = MinoanConfig::default();
-        c.theta = 2.0;
+        let c = MinoanConfig {
+            theta: 2.0,
+            ..MinoanConfig::default()
+        };
         assert!(MinoanEr::new(c).is_err());
     }
 
@@ -317,10 +341,48 @@ mod tests {
     }
 
     #[test]
+    fn tokenize_time_is_reported_separately_from_blocking() {
+        let pair = restaurant_pair();
+        let out = MinoanEr::with_defaults().run(&pair);
+        let t = &out.report.timings;
+        // Tokenization of a non-empty pair takes measurable time and is
+        // no longer folded into the blocking stage.
+        assert!(t.tokenize > Duration::ZERO, "tokenize must be measured");
+        assert!(t.total() >= t.tokenize + t.blocking);
+        let art = build_blocks(&pair, &MinoanConfig::default());
+        assert!(art.tokenize_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn sequential_and_parallel_executors_agree() {
+        let pair = restaurant_pair();
+        let seq_cfg = MinoanConfig {
+            executor: minoan_exec::ExecutorKind::Sequential,
+            ..MinoanConfig::default()
+        };
+        let seq = MinoanEr::new(seq_cfg).unwrap().run(&pair);
+        for threads in [2, 5] {
+            let par_cfg = MinoanConfig {
+                executor: minoan_exec::ExecutorKind::Rayon,
+                threads,
+                ..MinoanConfig::default()
+            };
+            let par = MinoanEr::new(par_cfg).unwrap().run(&pair);
+            assert_eq!(
+                seq.matching.iter().collect::<Vec<_>>(),
+                par.matching.iter().collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
     fn purging_can_be_disabled() {
         let pair = restaurant_pair();
-        let mut c = MinoanConfig::default();
-        c.purge_blocks = false;
+        let c = MinoanConfig {
+            purge_blocks: false,
+            ..MinoanConfig::default()
+        };
         let out = MinoanEr::new(c).unwrap().run(&pair);
         assert!(out.report.purge.is_none());
         assert!(!out.matching.is_empty());

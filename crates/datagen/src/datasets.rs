@@ -146,9 +146,9 @@ fn add_class_clustered(
     use rand::Rng;
     let (both, first, second) = counts;
     let mut presences: Vec<Presence> = Vec::with_capacity(both + first + second);
-    presences.extend(std::iter::repeat(Presence::Both).take(both));
-    presences.extend(std::iter::repeat(Presence::FirstOnly).take(first));
-    presences.extend(std::iter::repeat(Presence::SecondOnly).take(second));
+    presences.extend(std::iter::repeat_n(Presence::Both, both));
+    presences.extend(std::iter::repeat_n(Presence::FirstOnly, first));
+    presences.extend(std::iter::repeat_n(Presence::SecondOnly, second));
     presences.shuffle(rng);
     let mut idx = Vec::with_capacity(presences.len());
     let mut i = 0;
@@ -160,21 +160,16 @@ fn add_class_clustered(
             1
         };
         let n_name = rng.gen_range(spec.name_words.0..=spec.name_words.1);
-        let name: Vec<String> = (0..n_name).map(|_| name_pool.pick(rng).to_string()).collect();
-        idx.extend(world.add_cluster(
-            rng,
-            class,
-            &presences[i..i + size],
-            spec,
-            name,
-            pools,
-        ));
+        let name: Vec<String> = (0..n_name)
+            .map(|_| name_pool.pick(rng).to_string())
+            .collect();
+        idx.extend(world.add_cluster(rng, class, &presences[i..i + size], spec, name, pools));
         i += size;
     }
     idx
 }
 
-fn pick<'a>(rng: &mut StdRng, v: &'a [usize]) -> usize {
+fn pick(rng: &mut StdRng, v: &[usize]) -> usize {
     use rand::Rng;
     v[rng.gen_range(0..v.len())]
 }
@@ -213,13 +208,14 @@ impl ByPresence {
         use rand::Rng;
         let pool: &[usize] = match presence {
             Presence::Both => {
-                if !self.both.is_empty() && rng.gen_bool(both_bias) {
-                    &self.both
-                } else if !self.both.is_empty() {
-                    &self.both
-                } else {
+                if self.both.is_empty() {
                     return None;
                 }
+                // The draw is kept even though both outcomes land in the
+                // shared pool: it keeps the RNG stream aligned with the
+                // one-sided arms, which consume one draw per pick.
+                let _ = rng.gen_bool(both_bias);
+                &self.both
             }
             Presence::FirstOnly => {
                 if !self.first.is_empty() && rng.gen_bool(0.5) {
@@ -269,8 +265,10 @@ fn restaurant(rng: &mut StdRng, scale: f64) -> (World, [RenderSpec; 2]) {
         name_drop_prob: 0.25,
         fields: vec![FieldSpec::new((2, 3), 0.5, [0.95, 0.9], [(0, 1), (0, 1)])],
     };
-    let mut world = World::default();
-    world.gt_classes = vec![0];
+    let mut world = World {
+        gt_classes: vec![0],
+        ..World::default()
+    };
     let n_match = scaled(90, scale);
     let restaurants = add_class(
         &mut world,
@@ -370,8 +368,10 @@ fn rexa_dblp(rng: &mut StdRng, scale: f64) -> (World, [RenderSpec; 2]) {
         name_drop_prob: 0.3,
         fields: vec![FieldSpec::new((2, 4), 0.9, [0.9, 0.85], [(0, 1), (0, 3)])],
     };
-    let mut world = World::default();
-    world.gt_classes = vec![0, 1];
+    let mut world = World {
+        gt_classes: vec![0, 1],
+        ..World::default()
+    };
     let pubs = add_class_clustered(
         &mut world,
         rng,
@@ -486,8 +486,10 @@ fn bbc_dbpedia(rng: &mut StdRng, scale: f64) -> (World, [RenderSpec; 2]) {
         name_drop_prob: 0.3,
         fields: vec![FieldSpec::new((3, 6), 0.5, [0.9, 0.7], [(0, 2), (5, 15)])],
     };
-    let mut world = World::default();
-    world.gt_classes = vec![0];
+    let mut world = World {
+        gt_classes: vec![0],
+        ..World::default()
+    };
     let artists = add_class_clustered(
         &mut world,
         rng,
@@ -639,8 +641,10 @@ fn yago_imdb(rng: &mut StdRng, scale: f64) -> (World, [RenderSpec; 2]) {
             FieldSpec::new((1, 1), 1.0, [0.9, 0.9], [(0, 0), (0, 0)]),
         ],
     };
-    let mut world = World::default();
-    world.gt_classes = vec![0, 1];
+    let mut world = World {
+        gt_classes: vec![0, 1],
+        ..World::default()
+    };
     let movies = add_class_clustered(
         &mut world,
         rng,
@@ -785,7 +789,10 @@ mod tests {
         let d = DatasetKind::YagoImdb.generate_scaled(7, 0.15);
         let rels1 = d.pair.first.relation_edge_counts();
         let total: usize = rels1.values().sum();
-        assert!(total >= d.pair.first.entity_count(), "relation edges should be dense");
+        assert!(
+            total >= d.pair.first.entity_count(),
+            "relation edges should be dense"
+        );
     }
 
     #[test]

@@ -81,7 +81,11 @@ pub fn render_side(
             e.names[side_idx].join(" ")
         };
         if !name.is_empty() {
-            b.add_literal(&subject, &format!("{}{}", spec.attr_prefix, cr.name_attr), &name);
+            b.add_literal(
+                &subject,
+                &format!("{}{}", spec.attr_prefix, cr.name_attr),
+                &name,
+            );
         }
         for (f, toks) in e.fields[side_idx].iter().enumerate() {
             if toks.is_empty() {
@@ -151,8 +155,10 @@ mod tests {
             name_drop_prob: 0.0,
             fields: vec![FieldSpec::new((3, 4), 0.3, [1.0, 1.0], [(0, 0), (0, 0)])],
         };
-        let mut w = World::default();
-        w.gt_classes = vec![0];
+        let mut w = World {
+            gt_classes: vec![0],
+            ..World::default()
+        };
         let a = w.add_entity(&mut rng, 0, Presence::Both, &spec, &pools);
         let b = w.add_entity(&mut rng, 1, Presence::Both, &spec, &pools);
         let c = w.add_entity(&mut rng, 0, Presence::FirstOnly, &spec, &pools);
@@ -220,8 +226,10 @@ mod tests {
             name_drop_prob: 0.0,
             fields: vec![FieldSpec::new((3, 3), 0.0, [1.0, 1.0], [(0, 0), (0, 0)])],
         };
-        let mut w = World::default();
-        w.gt_classes = vec![1];
+        let mut w = World {
+            gt_classes: vec![1],
+            ..World::default()
+        };
         for _ in 0..50 {
             w.add_entity(&mut rng, 1, Presence::Both, &spec, &pools);
         }

@@ -100,7 +100,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let p = WordPool::generate(&mut rng, 200);
         for w in &p.words {
-            assert!(w.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(w
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
             assert!(w.len() >= 2);
         }
     }

@@ -224,8 +224,9 @@ impl World {
         pools: &TokenPools,
     ) -> usize {
         let n_name = rng.gen_range(spec.name_words.0..=spec.name_words.1);
-        let canonical_name: Vec<String> =
-            (0..n_name).map(|_| name_pool.pick(rng).to_string()).collect();
+        let canonical_name: Vec<String> = (0..n_name)
+            .map(|_| name_pool.pick(rng).to_string())
+            .collect();
         self.add_entity_named(rng, class, presence, spec, canonical_name, pools)
     }
 
@@ -320,8 +321,7 @@ impl World {
                                     .filter(|_| rng.gen_bool(keep[side]))
                                     .cloned(),
                             );
-                            let extra =
-                                rng.gen_range(fspec.extra[side].0..=fspec.extra[side].1);
+                            let extra = rng.gen_range(fspec.extra[side].0..=fspec.extra[side].1);
                             for _ in 0..extra {
                                 // Side noise: frequent shared vocabulary
                                 // or side-private words — never fake
@@ -473,8 +473,10 @@ mod tests {
     fn matches_and_presence_counts() {
         let pools = pools();
         let mut rng = StdRng::seed_from_u64(5);
-        let mut w = World::default();
-        w.gt_classes = vec![0];
+        let mut w = World {
+            gt_classes: vec![0],
+            ..World::default()
+        };
         w.add_entity(&mut rng, 0, Presence::Both, &spec(), &pools);
         w.add_entity(&mut rng, 0, Presence::FirstOnly, &spec(), &pools);
         w.add_entity(&mut rng, 1, Presence::Both, &spec(), &pools);

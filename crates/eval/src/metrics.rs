@@ -8,10 +8,9 @@
 //! recall is denominated by the ground-truth pairs.
 
 use minoan_kb::{GroundTruth, Matching};
-use serde::Serialize;
 
 /// Precision/recall/F1 of a predicted matching against ground truth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MatchQuality {
     /// Evaluated predicted pairs that appear in the ground truth.
     pub true_positives: usize,

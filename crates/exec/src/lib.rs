@@ -1,0 +1,292 @@
+//! # minoan-exec — the executor layer of MinoanER
+//!
+//! MinoanER is a *massively parallel* ER method: the paper's efficiency
+//! argument (§III) is that every similarity is a function of block
+//! statistics computed in one data-parallel pass over blocks. This crate
+//! provides the executor abstraction the hot layers (blocking, similarity
+//! indexing, matching) run on:
+//!
+//! - [`Executor`] with a [`Sequential`](ExecutorKind::Sequential) and a
+//!   [`Rayon`](ExecutorKind::Rayon) backend, selected by configuration;
+//! - ordered fan-out primitives ([`Executor::map_parts`],
+//!   [`Executor::map_range`]) whose merged output is **independent of the
+//!   thread count**, so parallel runs are bit-identical to sequential
+//!   ones by construction;
+//! - [`SharedSlice`], the unsafe-but-audited escape hatch for writing
+//!   disjoint index ranges of one buffer from multiple threads (CSR
+//!   fills and transposes).
+//!
+//! Design rule for all call sites: a parallel algorithm must produce the
+//! *same bytes* as its one-part sequential specialization. Partial
+//! results are always merged in part order, floating-point accumulation
+//! order per key is kept identical across shard counts, and ties are
+//! broken by entity id — never by thread arrival order.
+
+#![warn(missing_docs)]
+
+pub mod shared;
+
+pub use shared::SharedSlice;
+
+use std::fmt;
+use std::ops::Range;
+use std::str::FromStr;
+
+/// Which backend an [`Executor`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecutorKind {
+    /// Everything on the calling thread, one part per fan-out.
+    Sequential,
+    /// Data-parallel over the rayon backend (structured scoped threads).
+    #[default]
+    Rayon,
+}
+
+impl ExecutorKind {
+    /// Canonical lower-case name (`"sequential"` / `"rayon"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecutorKind::Sequential => "sequential",
+            ExecutorKind::Rayon => "rayon",
+        }
+    }
+}
+
+impl fmt::Display for ExecutorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ExecutorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sequential" | "seq" | "serial" => Ok(ExecutorKind::Sequential),
+            "rayon" | "parallel" | "par" => Ok(ExecutorKind::Rayon),
+            other => Err(format!(
+                "unknown executor {other:?} (expected sequential|rayon)"
+            )),
+        }
+    }
+}
+
+/// Hard cap on worker threads. The rayon backend spawns one scoped OS
+/// thread per part, so an absurd `--threads` request must not translate
+/// into an absurd spawn count.
+pub const MAX_THREADS: usize = 256;
+
+/// A configured executor: backend plus thread budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    kind: ExecutorKind,
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new(ExecutorKind::default(), 0)
+    }
+}
+
+impl Executor {
+    /// An executor of `kind` with a thread budget (`0` = all available).
+    pub fn new(kind: ExecutorKind, threads: usize) -> Self {
+        Self { kind, threads }
+    }
+
+    /// The sequential executor.
+    pub fn sequential() -> Self {
+        Self::new(ExecutorKind::Sequential, 1)
+    }
+
+    /// The rayon executor using all available parallelism.
+    pub fn rayon() -> Self {
+        Self::new(ExecutorKind::Rayon, 0)
+    }
+
+    /// The backend kind.
+    pub fn kind(&self) -> ExecutorKind {
+        self.kind
+    }
+
+    /// Effective number of worker threads (always in
+    /// `1..=`[`MAX_THREADS`]; `Sequential` is 1).
+    pub fn threads(&self) -> usize {
+        match self.kind {
+            ExecutorKind::Sequential => 1,
+            ExecutorKind::Rayon => {
+                let requested = if self.threads == 0 {
+                    rayon::current_num_threads()
+                } else {
+                    self.threads
+                };
+                requested.clamp(1, MAX_THREADS)
+            }
+        }
+    }
+
+    /// Splits `0..n` into at most [`Executor::threads`] contiguous,
+    /// balanced, ascending ranges. Deterministic in `n` and the thread
+    /// count; never returns an empty range (and returns no ranges for
+    /// `n == 0`).
+    pub fn part_ranges(&self, n: usize) -> Vec<Range<usize>> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let parts = self.threads().min(n).max(1);
+        let base = n / parts;
+        let extra = n % parts;
+        let mut ranges = Vec::with_capacity(parts);
+        let mut start = 0;
+        for p in 0..parts {
+            let len = base + usize::from(p < extra);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        ranges
+    }
+
+    /// Fans `f` out over the part ranges of `0..n`, returning one result
+    /// per part **in part order**. The sequential backend runs a single
+    /// part covering the whole range, so `map_parts` callers that merge
+    /// partials by concatenation degrade to the plain sequential
+    /// algorithm.
+    pub fn map_parts<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let ranges = self.part_ranges(n);
+        if ranges.len() <= 1 {
+            return ranges.into_iter().map(f).collect();
+        }
+        let mut out: Vec<Option<R>> = ranges.iter().map(|_| None).collect();
+        rayon::scope(|s| {
+            let f = &f;
+            for (slot, range) in out.iter_mut().zip(ranges) {
+                s.spawn(move || {
+                    *slot = Some(f(range));
+                });
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("executor part did not run"))
+            .collect()
+    }
+
+    /// Maps `f` over `0..n`, returning results in index order.
+    pub fn map_range<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let mut parts = self.map_parts(n, |range| range.map(&f).collect::<Vec<R>>());
+        if parts.len() == 1 {
+            return parts.pop().expect("one part");
+        }
+        let mut out = Vec::with_capacity(n);
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+
+    /// Runs `f` once per shard id in `0..shards`, returning results in
+    /// shard order. Exactly [`Executor::map_range`], named for call sites
+    /// that fan out over ownership shards (`key % shards`) rather than
+    /// index ranges.
+    pub fn map_shards<R, F>(&self, shards: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.map_range(shards, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both() -> [Executor; 3] {
+        [
+            Executor::sequential(),
+            Executor::new(ExecutorKind::Rayon, 3),
+            Executor::new(ExecutorKind::Rayon, 16),
+        ]
+    }
+
+    #[test]
+    fn kind_parses_and_displays() {
+        assert_eq!("seq".parse::<ExecutorKind>(), Ok(ExecutorKind::Sequential));
+        assert_eq!("RAYON".parse::<ExecutorKind>(), Ok(ExecutorKind::Rayon));
+        assert_eq!("par".parse::<ExecutorKind>(), Ok(ExecutorKind::Rayon));
+        assert!("gpu".parse::<ExecutorKind>().is_err());
+        assert_eq!(ExecutorKind::Sequential.to_string(), "sequential");
+    }
+
+    #[test]
+    fn threads_are_effective() {
+        assert_eq!(Executor::sequential().threads(), 1);
+        assert_eq!(Executor::new(ExecutorKind::Rayon, 5).threads(), 5);
+        assert!(Executor::rayon().threads() >= 1);
+    }
+
+    #[test]
+    fn absurd_thread_requests_are_clamped() {
+        let exec = Executor::new(ExecutorKind::Rayon, 1_000_000);
+        assert_eq!(exec.threads(), MAX_THREADS);
+        // And the fan-out still works at the cap.
+        assert_eq!(exec.map_range(10, |i| i).len(), 10);
+    }
+
+    #[test]
+    fn part_ranges_partition_the_input() {
+        for exec in both() {
+            for n in [0usize, 1, 2, 7, 100] {
+                let ranges = exec.part_ranges(n);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect, "contiguous ascending");
+                    assert!(!r.is_empty());
+                    expect = r.end;
+                }
+                assert_eq!(expect, n);
+            }
+        }
+    }
+
+    #[test]
+    fn map_range_is_ordered_regardless_of_backend() {
+        let expected: Vec<usize> = (0..101).map(|i| i * i).collect();
+        for exec in both() {
+            assert_eq!(exec.map_range(101, |i| i * i), expected);
+        }
+    }
+
+    #[test]
+    fn map_parts_merges_in_part_order() {
+        for exec in both() {
+            let parts = exec.map_parts(50, |r| r.collect::<Vec<usize>>());
+            let flat: Vec<usize> = parts.into_iter().flatten().collect();
+            assert_eq!(flat, (0..50).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_shards_runs_every_shard() {
+        for exec in both() {
+            assert_eq!(exec.map_shards(5, |s| s), vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn zero_items_is_fine() {
+        for exec in both() {
+            assert!(exec.map_parts(0, |_| 0u8).is_empty());
+            assert!(exec.map_range(0, |_| 0u8).is_empty());
+        }
+    }
+}

@@ -5,14 +5,10 @@
 //! keeps hot structures small (see the type-size guidance in the perf
 //! book) and prevents mixing id spaces at compile time.
 
-use serde::{Deserialize, Serialize};
-
 macro_rules! define_id {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub u32);
 
         impl $name {
@@ -63,7 +59,7 @@ define_id! {
 ///
 /// MinoanER is a *clean-clean* ER method: it links two individually
 /// duplicate-free KBs, conventionally called `E1` and `E2`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum KbSide {
     /// The first KB (`E1` in the paper). Recall is reported w.r.t. its
     /// ground-truth entities.
@@ -93,7 +89,7 @@ impl KbSide {
 }
 
 /// An entity qualified by the side of the pair it lives on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PairEntity {
     /// Which KB the entity belongs to.
     pub side: KbSide,

@@ -10,22 +10,27 @@
 //!   ([`parse::parse_ntriples`], [`parse::parse_tsv`]);
 //! - structural statistics mirroring the paper's Table I ([`KbStats`]);
 //! - pair/ground-truth containers ([`KbPair`], [`Matching`]);
-//! - fast hashing ([`FxHashMap`], [`FxHashSet`]) and string interning
-//!   ([`Interner`]) used across the workspace.
+//! - fast hashing ([`FxHashMap`], [`FxHashSet`]), string interning
+//!   ([`Interner`]), compressed sparse rows ([`Csr`]) and minimal JSON
+//!   ([`Json`]) used across the workspace.
 
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod hash;
 pub mod ids;
 pub mod interner;
+pub mod json;
 pub mod model;
 pub mod pair;
 pub mod parse;
 pub mod stats;
 
+pub use csr::Csr;
 pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{AttrId, BlockId, EntityId, KbSide, PairEntity, TokenId};
 pub use interner::Interner;
+pub use json::Json;
 pub use model::{AttrProfile, Edge, KbBuilder, KnowledgeBase, Object, Statement, Value};
 pub use pair::{GroundTruth, KbPair, Matching};
 pub use stats::{is_type_attr, local_name, namespace_prefix, KbStats};

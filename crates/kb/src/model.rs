@@ -297,7 +297,9 @@ impl KbBuilder {
         let raw = match object {
             // Literals are interned via the object interner too: repeated
             // values (countries, genres, years) are extremely common.
-            Object::Literal(l) => RawValue::LiteralId(self.object_uris.intern(&format!("\u{1}{l}"))),
+            Object::Literal(l) => {
+                RawValue::LiteralId(self.object_uris.intern(&format!("\u{1}{l}")))
+            }
             Object::Uri(u) => RawValue::UriId(self.object_uris.intern(&u)),
         };
         self.raw[subj.index()].push((attr, raw));
@@ -395,9 +397,7 @@ mod tests {
         assert_eq!(out[0].neighbor, a1);
         // Unresolvable URI stays a literal.
         let r2 = kb.entity_by_uri("e:r2").unwrap();
-        assert!(kb
-            .literals(r2)
-            .any(|l| l == "e:unknown-uri"));
+        assert!(kb.literals(r2).any(|l| l == "e:unknown-uri"));
     }
 
     #[test]

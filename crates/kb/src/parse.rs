@@ -208,10 +208,7 @@ mod tests {
         let text = r#"<e:s> <e:p> "a \"quoted\" va\\lue\nnext" ."#;
         let kb = parse_ntriples("t", text).unwrap();
         let e = kb.entity_by_uri("e:s").unwrap();
-        assert_eq!(
-            kb.literals(e).next().unwrap(),
-            "a \"quoted\" va\\lue\nnext"
-        );
+        assert_eq!(kb.literals(e).next().unwrap(), "a \"quoted\" va\\lue\nnext");
     }
 
     #[test]

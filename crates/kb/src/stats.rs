@@ -1,13 +1,13 @@
 //! Structural KB statistics (the schema-side columns of Table I).
 
 use crate::hash::FxHashSet;
+use crate::json::Json;
 use crate::model::{KnowledgeBase, Value};
-use serde::Serialize;
 
 /// Structural statistics of one KB, mirroring the per-KB rows of the
 /// paper's Table I (token statistics are computed by `minoan-text`, which
 /// owns tokenization).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KbStats {
     /// KB name.
     pub name: String,
@@ -31,7 +31,10 @@ impl KbStats {
     pub fn compute(kb: &KnowledgeBase) -> Self {
         let mut types: FxHashSet<&str> = FxHashSet::default();
         let mut type_entities: FxHashSet<u32> = FxHashSet::default();
-        let type_attrs: Vec<_> = kb.attrs().filter(|a| is_type_attr(kb.attr_name(*a))).collect();
+        let type_attrs: Vec<_> = kb
+            .attrs()
+            .filter(|a| is_type_attr(kb.attr_name(*a)))
+            .collect();
         for e in kb.entities() {
             for s in kb.statements(e) {
                 if type_attrs.contains(&s.attr) {
@@ -59,6 +62,19 @@ impl KbStats {
             types: types.len() + type_entities.len(),
             vocabularies: vocab.len(),
         }
+    }
+
+    /// The statistics as a JSON object (the CLI's `stats` output).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("entities", Json::num(self.entities as f64)),
+            ("triples", Json::num(self.triples as f64)),
+            ("attributes", Json::num(self.attributes as f64)),
+            ("relations", Json::num(self.relations as f64)),
+            ("types", Json::num(self.types as f64)),
+            ("vocabularies", Json::num(self.vocabularies as f64)),
+        ])
     }
 }
 
@@ -103,7 +119,9 @@ mod tests {
 
     #[test]
     fn type_attr_detection() {
-        assert!(is_type_attr("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"));
+        assert!(is_type_attr(
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+        ));
         assert!(is_type_attr("type"));
         assert!(is_type_attr("ns/Type"));
         assert!(!is_type_attr("subtype_of"));

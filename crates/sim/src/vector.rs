@@ -111,9 +111,9 @@ pub fn build_vectors(
     let mut counts_second: Vec<FxHashMap<u32, u32>> = Vec::with_capacity(docs_second.len());
     let mut df: Vec<u32> = Vec::new();
     let count_side = |docs: &[Vec<String>],
-                          counts: &mut Vec<FxHashMap<u32, u32>>,
-                          space: &mut Interner,
-                          df: &mut Vec<u32>| {
+                      counts: &mut Vec<FxHashMap<u32, u32>>,
+                      space: &mut Interner,
+                      df: &mut Vec<u32>| {
         for doc in docs {
             let mut m: FxHashMap<u32, u32> = FxHashMap::default();
             for feat in doc {
@@ -143,9 +143,7 @@ pub fn build_vectors(
                         let tf = c as f64 / doc_len.max(1) as f64;
                         let w = match weighting {
                             Weighting::Tf => tf,
-                            Weighting::TfIdf => {
-                                tf * (1.0 + n_docs / df[id as usize] as f64).ln()
-                            }
+                            Weighting::TfIdf => tf * (1.0 + n_docs / df[id as usize] as f64).ln(),
                         };
                         (id, w)
                     })
@@ -218,11 +216,7 @@ mod tests {
 
     #[test]
     fn merge_join_visits_all_features() {
-        let (f, s) = build_vectors(
-            &docs(&[&["a", "b"]]),
-            &docs(&[&["b", "c"]]),
-            Weighting::Tf,
-        );
+        let (f, s) = build_vectors(&docs(&[&["a", "b"]]), &docs(&[&["b", "c"]]), Weighting::Tf);
         let mut visited = 0;
         let mut both = 0;
         f[0].merge_join(&s[0], |x, y| {

@@ -13,10 +13,10 @@ pub const STOPWORDS: &[&str] = &[
     "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how",
     "i", "if", "in", "into", "is", "it", "its", "just", "me", "more", "most", "my", "no", "nor",
     "not", "now", "of", "off", "on", "once", "only", "or", "other", "our", "ours", "out", "over",
-    "own", "same", "she", "should", "so", "some", "such", "than", "that", "the", "their",
-    "theirs", "them", "then", "there", "these", "they", "this", "those", "through", "to", "too",
-    "under", "until", "up", "very", "was", "we", "were", "what", "when", "where", "which",
-    "while", "who", "whom", "why", "will", "with", "you", "your", "yours",
+    "own", "same", "she", "should", "so", "some", "such", "than", "that", "the", "their", "theirs",
+    "them", "then", "there", "these", "they", "this", "those", "through", "to", "too", "under",
+    "until", "up", "very", "was", "we", "were", "what", "when", "where", "which", "while", "who",
+    "whom", "why", "will", "with", "you", "your", "yours",
 ];
 
 /// Whether `token` (already lower-cased) is a stop-word.
@@ -33,7 +33,10 @@ mod tests {
         let mut sorted = STOPWORDS.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted, STOPWORDS, "STOPWORDS must stay sorted for binary search");
+        assert_eq!(
+            sorted, STOPWORDS,
+            "STOPWORDS must stay sorted for binary search"
+        );
     }
 
     #[test]

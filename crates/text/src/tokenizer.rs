@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn unicode_text_is_handled() {
         let t = Tokenizer::default();
-        assert_eq!(t.tokenize("Μινωικός Πολιτισμός"), vec!["μινωικός", "πολιτισμός"]);
+        assert_eq!(
+            t.tokenize("Μινωικός Πολιτισμός"),
+            vec!["μινωικός", "πολιτισμός"]
+        );
     }
 
     #[test]
@@ -126,7 +129,10 @@ mod tests {
             remove_stopwords: true,
             ..Default::default()
         });
-        assert_eq!(t.tokenize("the house of the rising sun"), vec!["house", "rising", "sun"]);
+        assert_eq!(
+            t.tokenize("the house of the rising sun"),
+            vec!["house", "rising", "sun"]
+        );
     }
 
     #[test]

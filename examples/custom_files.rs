@@ -41,7 +41,11 @@ y:88\ttitle\tlit\tknossos snack bar
 
     let out = MinoanEr::with_defaults().run(&pair);
     for (a, b) in out.matching.iter() {
-        println!("{} <=> {}", pair.first.entity_uri(a), pair.second.entity_uri(b));
+        println!(
+            "{} <=> {}",
+            pair.first.entity_uri(a),
+            pair.second.entity_uri(b)
+        );
     }
     let q = MatchQuality::evaluate(&out.matching, &truth);
     println!(

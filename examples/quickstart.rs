@@ -9,20 +9,36 @@ fn main() {
     // First KB: a tourist guide.
     let mut guide = KbBuilder::new("guide");
     guide.add_literal("g:knossos", "name", "Palace of Knossos");
-    guide.add_literal("g:knossos", "description", "minoan bronze age palace near heraklion");
+    guide.add_literal(
+        "g:knossos",
+        "description",
+        "minoan bronze age palace near heraklion",
+    );
     guide.add_uri("g:knossos", "locatedIn", "g:heraklion");
     guide.add_literal("g:heraklion", "name", "Heraklion");
     guide.add_literal("g:phaistos", "name", "Phaistos");
-    guide.add_literal("g:phaistos", "description", "minoan palace of the famous disc");
+    guide.add_literal(
+        "g:phaistos",
+        "description",
+        "minoan palace of the famous disc",
+    );
 
     // Second KB: an encyclopedia with a different schema.
     let mut wiki = KbBuilder::new("wiki");
     wiki.add_literal("w:q173527", "label", "Knossos Palace");
-    wiki.add_literal("w:q173527", "abstract", "largest bronze age archaeological site on crete");
+    wiki.add_literal(
+        "w:q173527",
+        "abstract",
+        "largest bronze age archaeological site on crete",
+    );
     wiki.add_uri("w:q173527", "municipality", "w:q160544");
     wiki.add_literal("w:q160544", "label", "Heraklion");
     wiki.add_literal("w:q192797", "label", "Phaistos");
-    wiki.add_literal("w:q192797", "abstract", "minoan site where the phaistos disc was found");
+    wiki.add_literal(
+        "w:q192797",
+        "abstract",
+        "minoan site where the phaistos disc was found",
+    );
 
     let pair = KbPair::new(guide.finish(), wiki.finish());
 

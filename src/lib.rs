@@ -8,18 +8,38 @@
 //! evaluated against, synthetic benchmark datasets and an evaluation
 //! harness.
 //!
-//! This crate is a facade that re-exports the workspace members:
+//! ## Architecture
 //!
-//! - [`kb`] — entity descriptions, interning, parsing, statistics;
+//! The workspace is layered bottom-up; this crate is a facade
+//! re-exporting every member:
+//!
+//! - [`kb`] — entity descriptions, interning, parsing, statistics, plus
+//!   the shared substrate: Fx hashing, CSR row storage ([`kb::Csr`])
+//!   and minimal JSON;
 //! - [`text`] — tokenization, n-grams, the tokenized pair view;
+//! - [`exec`] — the **executor layer**: an [`exec::Executor`] with
+//!   `Sequential` and `Rayon` backends that every hot stage fans out on.
+//!   The paper's matching process is *massively parallel* by design
+//!   (every similarity is a function of block statistics), and the
+//!   executor realizes that: blocking builds per-thread partial inverted
+//!   indexes merged in part order, the similarity index shards `valueSim`
+//!   accumulation by `e1 % shards`, and the matching heuristics scan
+//!   candidates in parallel. Parallel runs are **bit-identical** to
+//!   sequential ones — per-pair floating-point sums keep block order,
+//!   partials merge in part order, and ties break by entity id;
 //! - [`blocking`] — token/name blocking, Block Purging, block metrics;
 //! - [`sim`] — `valueSim` (ARCS variant) and vector-space measures;
-//! - [`core`] — attribute/relation importance, heuristics H1–H4, the
-//!   non-iterative pipeline;
+//! - [`core`] — attribute/relation importance, the CSR-backed
+//!   [`core::SimilarityIndex`], heuristics H1–H4, the non-iterative
+//!   pipeline with per-stage [`core::Timings`];
 //! - [`baselines`] — Unique Mapping Clustering, BSL, SiGMa-like,
 //!   PARIS-like;
 //! - [`datagen`] — the four synthetic benchmark profiles;
 //! - [`eval`] — precision/recall/F1 and report tables.
+//!
+//! The executor is selected per run through
+//! [`core::MinoanConfig::executor`] (and `--executor` / `--threads` on
+//! the CLI); the default is the parallel backend on all cores.
 //!
 //! ```
 //! use minoaner::core::MinoanEr;
@@ -41,6 +61,7 @@ pub use minoan_blocking as blocking;
 pub use minoan_core as core;
 pub use minoan_datagen as datagen;
 pub use minoan_eval as eval;
+pub use minoan_exec as exec;
 pub use minoan_kb as kb;
 pub use minoan_sim as sim;
 pub use minoan_text as text;

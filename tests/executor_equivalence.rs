@@ -1,0 +1,129 @@
+//! Executor equivalence: the parallel backend must reproduce the
+//! sequential backend **bit for bit** on every benchmark profile —
+//! identical matchings, identical candidate orderings, identical
+//! similarity values. This is the contract that makes `--executor` a
+//! pure performance knob.
+
+use minoaner::core::top_neighbors;
+use minoaner::core::{build_blocks, MinoanConfig, MinoanEr, SimilarityIndex};
+use minoaner::datagen::DatasetKind;
+use minoaner::exec::{Executor, ExecutorKind};
+use minoaner::kb::{EntityId, KbSide};
+
+const SEED: u64 = 20180416;
+const SCALE: f64 = 0.1;
+const THREAD_COUNTS: [usize; 3] = [2, 3, 7];
+
+fn config_with(kind: ExecutorKind, threads: usize) -> MinoanConfig {
+    MinoanConfig {
+        executor: kind,
+        threads,
+        ..MinoanConfig::default()
+    }
+}
+
+#[test]
+fn matchings_are_bit_identical_on_every_profile() {
+    for kind in DatasetKind::ALL {
+        let d = kind.generate_scaled(SEED, SCALE);
+        let seq = MinoanEr::new(config_with(ExecutorKind::Sequential, 1))
+            .unwrap()
+            .run(&d.pair);
+        let seq_pairs: Vec<_> = seq.matching.iter().collect();
+        assert!(!seq_pairs.is_empty(), "{}: empty matching", d.name);
+        for threads in THREAD_COUNTS {
+            let par = MinoanEr::new(config_with(ExecutorKind::Rayon, threads))
+                .unwrap()
+                .run(&d.pair);
+            let par_pairs: Vec<_> = par.matching.iter().collect();
+            assert_eq!(
+                seq_pairs, par_pairs,
+                "{}: matching differs at {threads} threads",
+                d.name
+            );
+            // Stage counters must agree too: the heuristics made the
+            // same decisions, not just the same final set.
+            assert_eq!(seq.report.h1_matches, par.report.h1_matches, "{}", d.name);
+            assert_eq!(seq.report.h2_matches, par.report.h2_matches, "{}", d.name);
+            assert_eq!(seq.report.h3_matches, par.report.h3_matches, "{}", d.name);
+            assert_eq!(seq.report.h4_removed, par.report.h4_removed, "{}", d.name);
+        }
+    }
+}
+
+#[test]
+fn candidate_orderings_are_bit_identical_on_every_profile() {
+    for kind in DatasetKind::ALL {
+        let d = kind.generate_scaled(SEED, SCALE);
+        let config = MinoanConfig::default();
+        let art = build_blocks(&d.pair, &config);
+        let tn1 = top_neighbors(
+            &d.pair.first,
+            config.top_relations_n,
+            config.max_top_neighbors,
+        );
+        let tn2 = top_neighbors(
+            &d.pair.second,
+            config.top_relations_n,
+            config.max_top_neighbors,
+        );
+        let seq = SimilarityIndex::build_with(
+            &art.token_blocks,
+            &art.tokens,
+            [&tn1, &tn2],
+            &Executor::sequential(),
+        );
+        assert!(seq.pair_count() > 0, "{}: empty index", d.name);
+        for threads in THREAD_COUNTS {
+            let exec = Executor::new(ExecutorKind::Rayon, threads);
+            let par =
+                SimilarityIndex::build_with(&art.token_blocks, &art.tokens, [&tn1, &tn2], &exec);
+            assert_eq!(seq.pair_count(), par.pair_count(), "{}", d.name);
+            assert_eq!(
+                seq.neighbor_pair_count(),
+                par.neighbor_pair_count(),
+                "{}",
+                d.name
+            );
+            for side in [KbSide::First, KbSide::Second] {
+                let n = art.tokens.entity_count(side);
+                for e in (0..n as u32).map(EntityId) {
+                    // Slice equality is exact: same candidates, same
+                    // order, same f64 bits.
+                    assert_eq!(
+                        seq.value_candidates(side, e),
+                        par.value_candidates(side, e),
+                        "{}: value candidates of {side:?} {e} differ at {threads} threads",
+                        d.name
+                    );
+                    assert_eq!(
+                        seq.neighbor_candidates(side, e),
+                        par.neighbor_candidates(side, e),
+                        "{}: neighbor candidates of {side:?} {e} differ at {threads} threads",
+                        d.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn blocking_artifacts_are_identical_across_executors() {
+    let d = DatasetKind::RexaDblp.generate_scaled(SEED, SCALE);
+    let seq_art = build_blocks(&d.pair, &config_with(ExecutorKind::Sequential, 1));
+    for threads in THREAD_COUNTS {
+        let par_art = build_blocks(&d.pair, &config_with(ExecutorKind::Rayon, threads));
+        assert_eq!(
+            seq_art.token_blocks.blocks(),
+            par_art.token_blocks.blocks(),
+            "token blocks differ at {threads} threads"
+        );
+        assert_eq!(
+            seq_art.name_blocks.blocks(),
+            par_art.name_blocks.blocks(),
+            "name blocks differ at {threads} threads"
+        );
+        assert_eq!(seq_art.purge, par_art.purge, "purge reports differ");
+    }
+}

@@ -39,8 +39,16 @@ fn kb_without_relations_disables_neighbor_evidence_gracefully() {
     let mut a = KbBuilder::new("a");
     let mut b = KbBuilder::new("b");
     for i in 0..20 {
-        a.add_literal(&format!("a:{i}"), "name", &format!("distinct name number {i}"));
-        b.add_literal(&format!("b:{i}"), "label", &format!("distinct name number {i}"));
+        a.add_literal(
+            &format!("a:{i}"),
+            "name",
+            &format!("distinct name number {i}"),
+        );
+        b.add_literal(
+            &format!("b:{i}"),
+            "label",
+            &format!("distinct name number {i}"),
+        );
     }
     let pair = KbPair::new(a.finish(), b.finish());
     let out = MinoanEr::with_defaults().run(&pair);
@@ -99,8 +107,16 @@ fn extreme_configs_do_not_panic() {
     let mut a = KbBuilder::new("a");
     let mut b = KbBuilder::new("b");
     for i in 0..30 {
-        a.add_literal(&format!("a:{i}"), "name", &format!("entity {i} shared words"));
-        b.add_literal(&format!("b:{i}"), "name", &format!("entity {i} shared words"));
+        a.add_literal(
+            &format!("a:{i}"),
+            "name",
+            &format!("entity {i} shared words"),
+        );
+        b.add_literal(
+            &format!("b:{i}"),
+            "name",
+            &format!("entity {i} shared words"),
+        );
     }
     let pair = KbPair::new(a.finish(), b.finish());
     for config in [

@@ -44,7 +44,12 @@ fn blocking_recall_is_high_and_comparisons_are_bounded() {
         let d = kind.generate_scaled(SEED, SCALE);
         let art = build_blocks(&d.pair, &MinoanConfig::default());
         let m = block_metrics(&[&art.name_blocks, &art.token_blocks], &d.truth);
-        assert!(m.recall() > 0.97, "{}: block recall {:.3}", d.name, m.recall());
+        assert!(
+            m.recall() > 0.97,
+            "{}: block recall {:.3}",
+            d.name,
+            m.recall()
+        );
         let total = art.name_blocks.total_comparisons() + art.token_blocks.total_comparisons();
         assert!(
             (total as f64) < d.pair.cartesian_comparisons() as f64,
@@ -67,10 +72,11 @@ fn purging_preserves_almost_all_block_recall() {
     let purged = build_blocks(&d.pair, &MinoanConfig::default());
     let r_un = block_metrics(&[&unpurged.token_blocks], &d.truth).recall();
     let r_pu = block_metrics(&[&purged.token_blocks], &d.truth).recall();
-    assert!(r_un - r_pu < 0.02, "purging lost too much recall: {r_un:.3} -> {r_pu:.3}");
     assert!(
-        purged.token_blocks.total_comparisons() <= unpurged.token_blocks.total_comparisons()
+        r_un - r_pu < 0.02,
+        "purging lost too much recall: {r_un:.3} -> {r_pu:.3}"
     );
+    assert!(purged.token_blocks.total_comparisons() <= unpurged.token_blocks.total_comparisons());
 }
 
 #[test]
@@ -107,7 +113,13 @@ fn sigma_and_paris_run_end_to_end() {
     let art = build_blocks(&d.pair, &MinoanConfig::default());
     let tokens = TokenizedPair::build(&d.pair, &Tokenizer::default());
     let seeds = unique_name_pairs(&art.name_blocks);
-    let sigma = run_sigma(&d.pair, &tokens, &art.token_blocks, &seeds, SigmaConfig::default());
+    let sigma = run_sigma(
+        &d.pair,
+        &tokens,
+        &art.token_blocks,
+        &seeds,
+        SigmaConfig::default(),
+    );
     assert!(MatchQuality::evaluate(&sigma, &d.truth).f1() > 0.9);
     let paris = run_paris(&d.pair, ParisConfig::default());
     assert!(MatchQuality::evaluate(&paris, &d.truth).f1() > 0.9);
@@ -120,7 +132,10 @@ fn dataset_statistics_have_the_papers_signature() {
     let bbc = DatasetKind::BbcDbpedia.generate_scaled(SEED, SCALE);
     let s1 = KbStats::compute(&bbc.pair.first);
     let s2 = KbStats::compute(&bbc.pair.second);
-    assert!(s2.attributes > 5 * s1.attributes, "DBpedia schema must be scattered");
+    assert!(
+        s2.attributes > 5 * s1.attributes,
+        "DBpedia schema must be scattered"
+    );
     let tokens = TokenizedPair::build(&bbc.pair, &Tokenizer::default());
     assert!(
         tokens.avg_tokens(minoaner::kb::KbSide::Second)

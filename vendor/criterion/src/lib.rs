@@ -1,0 +1,293 @@
+//! Vendored subset of the `criterion` crate API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of criterion the benches use: benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `BenchmarkId`
+//! and the `criterion_group!` / `criterion_main!` macros. Measurement is
+//! plain wall-clock sampling (warm-up, then a fixed number of timed
+//! sample batches) — no outlier analysis or HTML reports. Replacing this
+//! shim with the real crate is a manifest change only.
+//!
+//! One extension over the real API: [`Criterion::take_results`] exposes
+//! the measured statistics so benches can emit machine-readable
+//! trajectory files (e.g. `BENCH_pipeline.json`).
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function` or `group/function/param`).
+    pub id: String,
+    /// Minimum observed per-iteration time, in nanoseconds.
+    pub min_ns: f64,
+    /// Median per-iteration time, in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time, in nanoseconds.
+    pub mean_ns: f64,
+    /// Maximum observed per-iteration time, in nanoseconds.
+    pub max_ns: f64,
+    /// Total iterations executed across all samples.
+    pub iterations: u64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    sample_size: usize,
+    sample_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            results: Vec::new(),
+            sample_size: 12,
+            sample_time: Duration::from_millis(20),
+            warm_up_time: Duration::from_millis(30),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts and ignores harness CLI arguments (`--bench`, filters);
+    /// present for drop-in compatibility with the real crate.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(name.to_string(), sample_size, f);
+        self
+    }
+
+    /// Drains the results measured so far (shim extension).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    fn run_one<F>(&mut self, id: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_time: self.sample_time,
+            warm_up_time: self.warm_up_time,
+            sample_size,
+            samples_ns: Vec::new(),
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples_ns;
+        if samples.is_empty() {
+            samples.push(0.0);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let result = BenchResult {
+            id: id.clone(),
+            min_ns: samples[0],
+            median_ns: samples[samples.len() / 2],
+            mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+            max_ns: samples[samples.len() - 1],
+            iterations: bencher.iterations,
+        };
+        println!(
+            "{:<50} time: [{} {} {}]",
+            result.id,
+            fmt_ns(result.min_ns),
+            fmt_ns(result.median_ns),
+            fmt_ns(result.max_ns)
+        );
+        self.results.push(result);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` under `group/name`.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name);
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(id, n, f);
+        self
+    }
+
+    /// Benchmarks `f` with `input` under the given id.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(full, n, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A function + parameter benchmark identifier.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id rendered as the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures on behalf of one benchmark.
+pub struct Bencher {
+    sample_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures `f`: warm-up, then `sample_size` timed batches sized so
+    /// each batch runs for roughly the configured sample time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, also estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((self.sample_time.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / batch as f64);
+            self.iterations += batch;
+        }
+    }
+}
+
+/// Declares a benchmark entry function running the listed targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from one or more `criterion_group!` functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion {
+            sample_size: 3,
+            sample_time: Duration::from_micros(200),
+            warm_up_time: Duration::from_micros(200),
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        let results = c.take_results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, "g/sum");
+        assert_eq!(results[1].id, "g/param/7");
+        assert!(results[0].median_ns > 0.0);
+        assert!(results[0].iterations > 0);
+        assert!(c.take_results().is_empty());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,115 @@
+//! Vendored subset of the `rayon` crate API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of rayon the executor layer needs: [`scope`]-based structured
+//! fork/join, [`join`], and [`current_num_threads`]. Each spawned task
+//! runs on a dedicated `std::thread::scope` thread — no work-stealing
+//! pool — which is the right trade-off here because `minoan-exec` always
+//! spawns a bounded number of coarse-grained tasks (one per executor
+//! thread), never fine-grained per-item tasks. Replacing this shim with
+//! the real crate is a manifest change only.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Number of threads the parallel backend uses by default: the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A scope for spawning structured tasks; all tasks complete before
+/// [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from the enclosing scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.inner.spawn(f);
+    }
+}
+
+/// Runs `f` with a [`Scope`]; returns once every spawned task finished.
+///
+/// Panics in spawned tasks propagate when the scope joins, matching
+/// rayon's behavior of not swallowing worker panics.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb: Option<RB> = None;
+    let ra = std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        rb = Some(hb.join().expect("joined task panicked"));
+        ra
+    });
+    (ra, rb.expect("join closure did not run"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = scope(|_| 41 + 1);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn tasks_can_write_disjoint_slots() {
+        let mut out = vec![0usize; 4];
+        scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move || *slot = i * 10);
+            }
+        });
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
