@@ -1,0 +1,134 @@
+//! Ingest-path benchmarks: streaming chunked parse vs whole-string
+//! parse, sequential vs parallel tokenization, and sequential vs
+//! parallel attribute/relation importance — the serial prefix that used
+//! to starve the executor (Amdahl) before the ingest pipeline went
+//! parallel. Emits `BENCH_ingest.json` at the workspace root with the
+//! thread count recorded per result and peak RSS where available.
+//!
+//! `MINOAN_BENCH_SMOKE=1` shrinks scale and iterations for CI.
+
+use criterion::{BenchmarkId, Criterion};
+use minoan_bench::benchutil;
+use minoan_core::{attribute_importance_with, relation_importance_with, top_neighbors_with};
+use minoan_datagen::DatasetKind;
+use minoan_exec::{Executor, ExecutorKind};
+use minoan_kb::parse::{parse_tsv, parse_tsv_reader, to_tsv, StreamOptions};
+use minoan_kb::Json;
+use minoan_text::{TokenizedPair, Tokenizer};
+
+const SEED: u64 = 20180416;
+const DATASET: DatasetKind = DatasetKind::RexaDblp;
+/// Worker-chunk size for the streamed parse: small enough that even the
+/// smoke dataset splits into multiple chunks per batch.
+const CHUNK_BYTES: usize = 64 << 10;
+
+fn executors() -> Vec<(String, Executor)> {
+    let mut execs = vec![("sequential".to_string(), Executor::sequential())];
+    for t in benchutil::thread_sweep() {
+        execs.push((format!("rayon-{t}"), Executor::new(ExecutorKind::Rayon, t)));
+    }
+    execs
+}
+
+fn bench_ingest(c: &mut Criterion, scale: f64, samples: usize) {
+    let d = DATASET.generate_scaled(SEED, scale);
+    // Serialize both sides to the TSV exchange format: the parse input.
+    let text1 = to_tsv(&d.pair.first);
+    let text2 = to_tsv(&d.pair.second);
+    let tokenizer = Tokenizer::default();
+
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(samples);
+
+    group.bench_function("parse/whole_string", |b| {
+        b.iter(|| {
+            (
+                parse_tsv("E1", &text1).expect("parse E1"),
+                parse_tsv("E2", &text2).expect("parse E2"),
+            )
+        })
+    });
+    for t in benchutil::thread_sweep() {
+        let exec = Executor::new(ExecutorKind::Rayon, t);
+        let opts = StreamOptions {
+            chunk_bytes: CHUNK_BYTES,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("parse/streamed", format!("rayon-{t}")),
+            &exec,
+            |b, exec| {
+                b.iter(|| {
+                    (
+                        parse_tsv_reader("E1", text1.as_bytes(), exec, opts).expect("parse E1"),
+                        parse_tsv_reader("E2", text2.as_bytes(), exec, opts).expect("parse E2"),
+                    )
+                })
+            },
+        );
+    }
+    for (name, exec) in executors() {
+        group.bench_with_input(BenchmarkId::new("tokenize", &name), &exec, |b, exec| {
+            b.iter(|| TokenizedPair::build_with(&d.pair, &tokenizer, exec))
+        });
+    }
+    for (name, exec) in executors() {
+        group.bench_with_input(BenchmarkId::new("importance", &name), &exec, |b, exec| {
+            b.iter(|| {
+                (
+                    attribute_importance_with(&d.pair.first, exec),
+                    attribute_importance_with(&d.pair.second, exec),
+                    relation_importance_with(&d.pair.first, exec),
+                    relation_importance_with(&d.pair.second, exec),
+                    top_neighbors_with(&d.pair.first, 3, 32, exec),
+                    top_neighbors_with(&d.pair.second, 3, 32, exec),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let smoke = benchutil::smoke();
+    let scale = if smoke { 0.05 } else { 1.0 };
+    let samples = if smoke { 2 } else { 10 };
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_ingest(&mut criterion, scale, samples);
+    let results = criterion.take_results();
+
+    let sweep = benchutil::thread_sweep();
+    // Speedup of each parallel variant over its sequential baseline.
+    let speedups = |bench: &str, baseline: &str| -> Json {
+        benchutil::speedup_map(&results, &sweep, &format!("ingest/{baseline}"), |t| {
+            format!("ingest/{bench}/rayon-{t}")
+        })
+    };
+    let mut fields: Vec<(String, Json)> = vec![
+        ("bench".into(), Json::str("ingest_parallel")),
+        ("dataset".into(), Json::str(DATASET.name())),
+        ("scale".into(), Json::Num(scale)),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("stream_chunk_bytes".into(), Json::num(CHUNK_BYTES as f64)),
+    ];
+    fields.extend(benchutil::machine_fields(&sweep));
+    fields.push((
+        "speedup".into(),
+        Json::obj([
+            (
+                "parse_streamed",
+                speedups("parse/streamed", "parse/whole_string"),
+            ),
+            ("tokenize", speedups("tokenize", "tokenize/sequential")),
+            (
+                "importance",
+                speedups("importance", "importance/sequential"),
+            ),
+        ]),
+    ));
+    fields.push(("results".into(), benchutil::results_json(&results)));
+    benchutil::emit_checked(
+        env!("CARGO_MANIFEST_DIR"),
+        "BENCH_ingest.json",
+        &Json::obj(fields),
+    );
+}

@@ -2,26 +2,24 @@
 //! and the end-to-end pipeline at datagen scale 1.0, emitting the
 //! `BENCH_pipeline.json` trajectory file at the workspace root.
 //!
-//! The parallel numbers depend on the machine: the speedup target (≥2×
-//! for `SimilarityIndex::build` on ≥4 cores) is checked from the JSON,
-//! which records the thread count used.
+//! The parallel backend is swept across thread counts (1/2/4/8, clamped
+//! to the available cores) and every result records the thread count it
+//! ran with — an earlier revision benched "rayon" only at whatever the
+//! machine defaulted to, which on a 1-core CI box silently recorded a
+//! 1-thread "parallel" run. Peak RSS is recorded where the platform
+//! exposes it. `MINOAN_BENCH_SMOKE=1` shrinks scale and iterations for
+//! CI, which then validates the emitted JSON via
+//! [`minoan_bench::benchutil::check_bench_json`].
 
 use criterion::{BenchmarkId, Criterion};
+use minoan_bench::benchutil;
 use minoan_core::{build_blocks, top_neighbors, MinoanConfig, MinoanEr, SimilarityIndex};
 use minoan_datagen::DatasetKind;
 use minoan_exec::{Executor, ExecutorKind};
 use minoan_kb::Json;
 
 const SEED: u64 = 20180416;
-const SCALE: f64 = 1.0;
 const DATASET: DatasetKind = DatasetKind::RexaDblp;
-
-fn executors() -> Vec<(&'static str, Executor)> {
-    vec![
-        ("sequential", Executor::sequential()),
-        ("rayon", Executor::rayon()),
-    ]
-}
 
 fn config_for(exec: &Executor) -> MinoanConfig {
     MinoanConfig {
@@ -31,8 +29,23 @@ fn config_for(exec: &Executor) -> MinoanConfig {
     }
 }
 
-fn bench_parallel(c: &mut Criterion) {
-    let d = DATASET.generate_scaled(SEED, SCALE);
+/// The benchmarked executors: the sequential baseline plus one rayon
+/// executor per swept thread count. Labels carry the thread count so the
+/// emitted results are self-describing.
+fn executors() -> Vec<(String, usize, Executor)> {
+    let mut execs = vec![("sequential".to_string(), 1, Executor::sequential())];
+    for t in benchutil::thread_sweep() {
+        execs.push((
+            format!("rayon-{t}"),
+            t,
+            Executor::new(ExecutorKind::Rayon, t),
+        ));
+    }
+    execs
+}
+
+fn bench_parallel(c: &mut Criterion, scale: f64, samples: usize) {
+    let d = DATASET.generate_scaled(SEED, scale);
     let config = MinoanConfig::default();
     let art = build_blocks(&d.pair, &config);
     let tn1 = top_neighbors(
@@ -47,10 +60,10 @@ fn bench_parallel(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("parallel");
-    group.sample_size(10);
-    for (name, exec) in executors() {
+    group.sample_size(samples);
+    for (name, _, exec) in executors() {
         group.bench_with_input(
-            BenchmarkId::new("simindex_build", name),
+            BenchmarkId::new("simindex_build", &name),
             &exec,
             |b, exec| {
                 b.iter(|| {
@@ -59,66 +72,58 @@ fn bench_parallel(c: &mut Criterion) {
             },
         );
     }
-    for (name, exec) in executors() {
+    for (name, _, exec) in executors() {
         let matcher = MinoanEr::new(config_for(&exec)).expect("valid config");
-        group.bench_with_input(BenchmarkId::new("end_to_end", name), &d.pair, |b, pair| {
+        group.bench_with_input(BenchmarkId::new("end_to_end", &name), &d.pair, |b, pair| {
             b.iter(|| matcher.run(pair))
         });
     }
     group.finish();
 }
 
-fn find<'a>(results: &'a [criterion::BenchResult], id: &str) -> Option<&'a criterion::BenchResult> {
-    results.iter().find(|r| r.id == id)
-}
-
 fn main() {
+    let smoke = benchutil::smoke();
+    let scale = if smoke { 0.05 } else { 1.0 };
+    let samples = if smoke { 2 } else { 10 };
     let mut criterion = Criterion::default().configure_from_args();
-    bench_parallel(&mut criterion);
+    bench_parallel(&mut criterion, scale, samples);
     let results = criterion.take_results();
 
-    let threads = Executor::rayon().threads();
-    let speedup = |bench: &str| -> Json {
-        let seq = find(&results, &format!("parallel/{bench}/sequential"));
-        let par = find(&results, &format!("parallel/{bench}/rayon"));
-        match (seq, par) {
-            (Some(s), Some(p)) if p.median_ns > 0.0 => Json::Num(s.median_ns / p.median_ns),
-            _ => Json::Null,
-        }
+    let sweep = benchutil::thread_sweep();
+    // Per-bench speedup of each swept thread count over sequential.
+    let speedups = |bench: &str| -> Json {
+        benchutil::speedup_map(
+            &results,
+            &sweep,
+            &format!("parallel/{bench}/sequential"),
+            |t| format!("parallel/{bench}/rayon-{t}"),
+        )
     };
-    let out = Json::obj([
-        ("bench", Json::str("pipeline_parallel")),
-        ("dataset", Json::str(DATASET.name())),
-        ("scale", Json::Num(SCALE)),
+    let mut fields: Vec<(String, Json)> = vec![
+        ("bench".into(), Json::str("pipeline_parallel")),
+        ("dataset".into(), Json::str(DATASET.name())),
+        ("scale".into(), Json::Num(scale)),
+        ("smoke".into(), Json::Bool(smoke)),
         (
-            "executor_kinds",
+            "executor_kinds".into(),
             Json::arr([
                 Json::str(ExecutorKind::Sequential.name()),
                 Json::str(ExecutorKind::Rayon.name()),
             ]),
         ),
-        ("rayon_threads", Json::num(threads as f64)),
-        (
-            "speedup",
-            Json::obj([
-                ("simindex_build", speedup("simindex_build")),
-                ("end_to_end", speedup("end_to_end")),
-            ]),
-        ),
-        (
-            "results",
-            Json::arr(results.iter().map(|r| {
-                Json::obj([
-                    ("id", Json::str(&r.id)),
-                    ("median_ns", Json::Num(r.median_ns)),
-                    ("mean_ns", Json::Num(r.mean_ns)),
-                    ("min_ns", Json::Num(r.min_ns)),
-                    ("iterations", Json::num(r.iterations as f64)),
-                ])
-            })),
-        ),
-    ]);
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
-    std::fs::write(&path, out.pretty()).expect("write BENCH_pipeline.json");
-    println!("wrote {}", path.display());
+    ];
+    fields.extend(benchutil::machine_fields(&sweep));
+    fields.push((
+        "speedup".into(),
+        Json::obj([
+            ("simindex_build", speedups("simindex_build")),
+            ("end_to_end", speedups("end_to_end")),
+        ]),
+    ));
+    fields.push(("results".into(), benchutil::results_json(&results)));
+    benchutil::emit_checked(
+        env!("CARGO_MANIFEST_DIR"),
+        "BENCH_pipeline.json",
+        &Json::obj(fields),
+    );
 }

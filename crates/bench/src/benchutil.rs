@@ -1,0 +1,168 @@
+//! Shared plumbing for the trajectory-emitting benches: thread sweeps,
+//! smoke mode, peak-RSS sampling, the common JSON schema and sanity
+//! checks on the emitted files.
+
+use criterion::BenchResult;
+use minoan_kb::Json;
+use std::path::Path;
+
+/// Whether the bench runs in smoke mode (`MINOAN_BENCH_SMOKE=1`):
+/// reduced scale and iterations, used by CI to validate the harness and
+/// the emitted JSON without paying full measurement time.
+pub fn smoke() -> bool {
+    std::env::var("MINOAN_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Number of CPU cores available to this process.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The thread counts to sweep: 1/2/4/8, clamped to the available cores
+/// and deduplicated. On a 1-core machine this is just `[1]` — the
+/// hardware ceiling is recorded in the JSON rather than fabricated.
+pub fn thread_sweep() -> Vec<usize> {
+    let cores = available_cores();
+    let mut sweep: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|t| t.min(cores))
+        .collect();
+    sweep.dedup();
+    sweep
+}
+
+/// Peak resident set size of this process in bytes, where the platform
+/// exposes it (Linux `/proc/self/status` `VmHWM`); `None` elsewhere.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
+/// Peak RSS as JSON (`null` when unavailable).
+pub fn peak_rss_json() -> Json {
+    match peak_rss_bytes() {
+        Some(b) => Json::num(b as f64),
+        None => Json::Null,
+    }
+}
+
+/// The thread count a bench result ran with, parsed from its id
+/// (`…/rayon-N`; everything else — the sequential baselines — is 1).
+pub fn threads_of(id: &str) -> usize {
+    id.rsplit_once("/rayon-")
+        .and_then(|(_, t)| t.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Looks a result up by its full id.
+pub fn find<'a>(results: &'a [BenchResult], id: &str) -> Option<&'a BenchResult> {
+    results.iter().find(|r| r.id == id)
+}
+
+/// Per-thread-count speedup map of `par_id(t)` over the `baseline_id`
+/// result (`null` where either side is missing).
+pub fn speedup_map(
+    results: &[BenchResult],
+    sweep: &[usize],
+    baseline_id: &str,
+    par_id: impl Fn(usize) -> String,
+) -> Json {
+    let seq = find(results, baseline_id);
+    Json::obj(sweep.iter().map(|&t| {
+        let par = find(results, &par_id(t));
+        let v = match (seq, par) {
+            (Some(s), Some(p)) if p.median_ns > 0.0 => Json::Num(s.median_ns / p.median_ns),
+            _ => Json::Null,
+        };
+        (t.to_string(), v)
+    }))
+}
+
+/// The machine/sweep header fields shared by every trajectory file:
+/// `available_cores`, `thread_sweep`, `rayon_threads` (the largest swept
+/// count — what [`check_bench_json`] validates), `peak_rss_bytes`, and a
+/// `note` documenting the 1-core hardware ceiling where it applies.
+pub fn machine_fields(sweep: &[usize]) -> Vec<(String, Json)> {
+    let max_threads = sweep.iter().copied().max().unwrap_or(1);
+    vec![
+        (
+            "available_cores".into(),
+            Json::num(available_cores() as f64),
+        ),
+        (
+            "thread_sweep".into(),
+            Json::arr(sweep.iter().map(|&t| Json::num(t as f64))),
+        ),
+        ("rayon_threads".into(), Json::num(max_threads as f64)),
+        ("peak_rss_bytes".into(), peak_rss_json()),
+        (
+            "note".into(),
+            if available_cores() == 1 {
+                Json::str(
+                    "1 CPU core available: the parallel backend cannot exceed 1 thread, \
+                     so ~1.0x is the measured hardware ceiling on this machine",
+                )
+            } else {
+                Json::Null
+            },
+        ),
+    ]
+}
+
+/// The per-result array shared by every trajectory file, each entry
+/// carrying the thread count it ran with.
+pub fn results_json(results: &[BenchResult]) -> Json {
+    Json::arr(results.iter().map(|r| {
+        Json::obj([
+            ("id", Json::str(&r.id)),
+            ("rayon_threads", Json::num(threads_of(&r.id) as f64)),
+            ("median_ns", Json::Num(r.median_ns)),
+            ("mean_ns", Json::Num(r.mean_ns)),
+            ("min_ns", Json::Num(r.min_ns)),
+            ("iterations", Json::num(r.iterations as f64)),
+        ])
+    }))
+}
+
+/// Validates an emitted trajectory file: it must parse as JSON and its
+/// `rayon_threads` must not be 1 when this machine has more cores — the
+/// methodology bug that once recorded a "parallel" run pinned to one
+/// thread. Returns a description of the first violation.
+pub fn check_bench_json(path: &Path) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read emitted JSON: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("emitted JSON is malformed: {e}"))?;
+    let threads = json
+        .get("rayon_threads")
+        .and_then(Json::as_usize)
+        .ok_or("emitted JSON lacks a numeric rayon_threads field")?;
+    if threads == 1 && available_cores() > 1 {
+        return Err(format!(
+            "emitted JSON reports rayon_threads: 1 but {} cores are available — \
+             the bench did not sweep the parallel backend",
+            available_cores()
+        ));
+    }
+    Ok(())
+}
+
+/// Writes `json` to `<workspace root>/<file>`, re-reads it through
+/// [`check_bench_json`] and terminates the bench with a non-zero exit on
+/// violation. Returns the absolute path written.
+pub fn emit_checked(manifest_dir: &str, file: &str, json: &Json) -> std::path::PathBuf {
+    let path = Path::new(manifest_dir).join("../..").join(file);
+    std::fs::write(&path, json.pretty()).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    if let Err(e) = check_bench_json(&path) {
+        eprintln!("{}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", path.display());
+    path
+}

@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod benchutil;
 pub mod paper;
 pub mod runner;
 

@@ -43,15 +43,20 @@ fn parse_executor(value: Option<&String>, config: &mut MinoanConfig) {
     config.executor = kind;
 }
 
-fn load_kb(path: &str, name: &str) -> KnowledgeBase {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+/// Loads a KB by **streaming** the file through the chunked parallel
+/// parser: the file is never materialized as one `String`, and parse
+/// work fans out over the configured executor.
+fn load_kb(path: &str, name: &str, config: &MinoanConfig) -> KnowledgeBase {
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         exit(1);
     });
+    let exec = config.executor();
+    let opts = config.stream_options();
     let result = if path.ends_with(".nt") || path.ends_with(".ntriples") {
-        parse::parse_ntriples(name, &text)
+        parse::parse_ntriples_reader(name, file, &exec, opts)
     } else {
-        parse::parse_tsv(name, &text)
+        parse::parse_tsv_reader(name, file, &exec, opts)
     };
     result.unwrap_or_else(|e| {
         eprintln!("cannot parse {path}: {e}");
@@ -235,7 +240,10 @@ fn main() {
             if positional.len() != 2 {
                 usage();
             }
-            let pair = KbPair::new(load_kb(positional[0], "E1"), load_kb(positional[1], "E2"));
+            let pair = KbPair::new(
+                load_kb(positional[0], "E1", &config),
+                load_kb(positional[1], "E2", &config),
+            );
             let truth = truth_path.map(|p| load_truth(&p, &pair));
             let matching = run_method(&method, &pair, &config, truth.as_ref());
             report(&matching, &pair, truth.as_ref(), json);
@@ -307,7 +315,7 @@ fn main() {
         }
         Some("stats") => {
             let Some(path) = it.next() else { usage() };
-            let kb = load_kb(path, "KB");
+            let kb = load_kb(path, "KB", &MinoanConfig::default());
             let stats = minoan_kb::KbStats::compute(&kb);
             println!("{}", stats.to_json().pretty());
         }

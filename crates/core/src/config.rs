@@ -30,11 +30,16 @@ pub struct MinoanConfig {
     /// set unbounded; the cap only guards against pathological hubs and
     /// is high enough to be inactive on the benchmark profiles.
     pub max_top_neighbors: usize,
-    /// Which executor backend runs the hot stages (blocking, similarity
-    /// indexing, matching). Results are bit-identical across backends.
+    /// Which executor backend runs the hot stages (parsing, tokenizing,
+    /// blocking, similarity indexing, matching). Results are
+    /// bit-identical across backends.
     pub executor: ExecutorKind,
     /// Worker threads for the parallel backend (`0` = all available).
     pub threads: usize,
+    /// Per-worker chunk size (KiB) of the streaming file parsers; the
+    /// reader keeps roughly `ingest_chunk_kib × threads` KiB resident
+    /// instead of the whole file.
+    pub ingest_chunk_kib: usize,
 }
 
 impl Default for MinoanConfig {
@@ -49,6 +54,7 @@ impl Default for MinoanConfig {
             max_top_neighbors: 32,
             executor: ExecutorKind::Rayon,
             threads: 0,
+            ingest_chunk_kib: minoan_kb::parse::DEFAULT_CHUNK_BYTES >> 10,
         }
     }
 }
@@ -78,12 +84,22 @@ impl MinoanConfig {
         if self.max_top_neighbors == 0 {
             return Err("max_top_neighbors must be at least 1".into());
         }
+        if self.ingest_chunk_kib == 0 {
+            return Err("ingest_chunk_kib must be at least 1".into());
+        }
         Ok(())
     }
 
     /// The executor the pipeline stages run on.
     pub fn executor(&self) -> Executor {
         Executor::new(self.executor, self.threads)
+    }
+
+    /// Streaming-parser options derived from [`MinoanConfig::ingest_chunk_kib`].
+    pub fn stream_options(&self) -> minoan_kb::parse::StreamOptions {
+        minoan_kb::parse::StreamOptions {
+            chunk_bytes: self.ingest_chunk_kib.max(1) << 10,
+        }
     }
 
     /// Serializes the configuration as a JSON object.
@@ -101,6 +117,7 @@ impl MinoanConfig {
             ),
             ("executor", Json::str(self.executor.name())),
             ("threads", Json::num(self.threads as f64)),
+            ("ingest_chunk_kib", Json::num(self.ingest_chunk_kib as f64)),
         ])
     }
 
@@ -127,6 +144,7 @@ impl MinoanConfig {
                     config.executor = value.as_str().ok_or_else(bad)?.parse()?;
                 }
                 "threads" => config.threads = value.as_usize().ok_or_else(bad)?,
+                "ingest_chunk_kib" => config.ingest_chunk_kib = value.as_usize().ok_or_else(bad)?,
                 other => return Err(format!("unknown config field {other:?}")),
             }
         }
@@ -177,6 +195,10 @@ mod tests {
             },
             MinoanConfig {
                 purge_smoothing: 0.9,
+                ..default()
+            },
+            MinoanConfig {
+                ingest_chunk_kib: 0,
                 ..default()
             },
         ] {

@@ -11,6 +11,7 @@
 //! The `k` most important literal attributes provide entity *names*
 //! (H1); the `N` most important relations define `topNneighbors` (H3).
 
+use minoan_exec::Executor;
 use minoan_kb::{AttrId, EntityId, FxHashMap, FxHashSet, KnowledgeBase, Value};
 
 /// Importance of one predicate.
@@ -47,91 +48,136 @@ fn harmonic_rank(mut items: Vec<Importance>) -> Vec<Importance> {
     items
 }
 
+/// Per-part accumulator of one importance pass: attribute containment
+/// counts plus distinct-value sets. Counts and set unions are
+/// order-independent, so merging per-part accumulators yields exactly
+/// the sequential aggregates (and therefore bit-identical scores).
+struct ImportancePart<V> {
+    containing: Vec<usize>,
+    distinct: Vec<FxHashSet<V>>,
+}
+
+/// One data-parallel pass over an entity range: `value_of` projects each
+/// statement onto the value kind being ranked (literal text or linked
+/// entity), or `None` to skip it.
+fn importance_pass<V, F>(kb: &KnowledgeBase, exec: &Executor, value_of: F) -> ImportancePart<V>
+where
+    V: std::hash::Hash + Eq + Send,
+    F: Fn(&Value) -> Option<V> + Sync,
+{
+    let n_attrs = kb.attr_count();
+    let parts = exec.map_parts(kb.entity_count(), |range| {
+        let mut containing = vec![0usize; n_attrs];
+        let mut distinct: Vec<FxHashSet<V>> = (0..n_attrs).map(|_| FxHashSet::default()).collect();
+        let mut seen: FxHashSet<AttrId> = FxHashSet::default();
+        for e in range {
+            seen.clear();
+            for s in kb.statements(EntityId(e as u32)) {
+                if let Some(v) = value_of(&s.value) {
+                    if seen.insert(s.attr) {
+                        containing[s.attr.index()] += 1;
+                    }
+                    distinct[s.attr.index()].insert(v);
+                }
+            }
+        }
+        ImportancePart {
+            containing,
+            distinct,
+        }
+    });
+    let mut merged = ImportancePart {
+        containing: vec![0usize; n_attrs],
+        distinct: (0..n_attrs).map(|_| FxHashSet::default()).collect(),
+    };
+    for part in parts {
+        for (total, c) in merged.containing.iter_mut().zip(part.containing) {
+            *total += c;
+        }
+        for (set, partial) in merged.distinct.iter_mut().zip(part.distinct) {
+            if set.is_empty() {
+                *set = partial;
+            } else {
+                set.extend(partial);
+            }
+        }
+    }
+    merged
+}
+
+fn rank_pass<V>(kb: &KnowledgeBase, pass: ImportancePart<V>) -> Vec<Importance> {
+    let n = kb.entity_count();
+    let items = (0..kb.attr_count())
+        .filter(|&i| pass.containing[i] > 0)
+        .map(|i| Importance {
+            attr: AttrId(i as u32),
+            support: pass.containing[i] as f64 / n as f64,
+            discriminability: pass.distinct[i].len() as f64 / pass.containing[i] as f64,
+        })
+        .collect();
+    harmonic_rank(items)
+}
+
 /// Ranks the *literal-valued* attributes of `kb` by importance,
 /// descending. Attributes with no literal values (pure relations) are
 /// excluded: names are literal strings.
 pub fn attribute_importance(kb: &KnowledgeBase) -> Vec<Importance> {
-    let n = kb.entity_count();
-    if n == 0 {
+    attribute_importance_with(kb, &Executor::sequential())
+}
+
+/// [`attribute_importance`] on `exec`; bit-identical for any thread
+/// count (all aggregates are integers, merged order-independently).
+pub fn attribute_importance_with(kb: &KnowledgeBase, exec: &Executor) -> Vec<Importance> {
+    if kb.entity_count() == 0 {
         return Vec::new();
     }
-    let n_attrs = kb.attr_count();
-    let mut containing = vec![0usize; n_attrs];
-    let mut distinct: Vec<FxHashSet<Box<str>>> = vec![FxHashSet::default(); n_attrs];
-    let mut seen: FxHashSet<AttrId> = FxHashSet::default();
-    for e in kb.entities() {
-        seen.clear();
-        for s in kb.statements(e) {
-            if let Value::Literal(l) = &s.value {
-                if seen.insert(s.attr) {
-                    containing[s.attr.index()] += 1;
-                }
-                distinct[s.attr.index()].insert(l.clone());
-            }
-        }
-    }
-    let items = (0..n_attrs)
-        .filter(|&i| containing[i] > 0)
-        .map(|i| Importance {
-            attr: AttrId(i as u32),
-            support: containing[i] as f64 / n as f64,
-            discriminability: distinct[i].len() as f64 / containing[i] as f64,
-        })
-        .collect();
-    harmonic_rank(items)
+    let pass = importance_pass(kb, exec, |v| match v {
+        Value::Literal(l) => Some(l.clone()),
+        Value::Entity(_) => None,
+    });
+    rank_pass(kb, pass)
 }
 
 /// Ranks the *relations* (entity-valued attributes) of `kb` by
 /// importance, descending.
 pub fn relation_importance(kb: &KnowledgeBase) -> Vec<Importance> {
-    let n = kb.entity_count();
-    if n == 0 {
+    relation_importance_with(kb, &Executor::sequential())
+}
+
+/// [`relation_importance`] on `exec`; bit-identical for any thread count.
+pub fn relation_importance_with(kb: &KnowledgeBase, exec: &Executor) -> Vec<Importance> {
+    if kb.entity_count() == 0 {
         return Vec::new();
     }
-    let n_attrs = kb.attr_count();
-    let mut containing = vec![0usize; n_attrs];
-    let mut distinct: Vec<FxHashSet<EntityId>> = vec![FxHashSet::default(); n_attrs];
-    let mut seen: FxHashSet<AttrId> = FxHashSet::default();
-    for e in kb.entities() {
-        seen.clear();
-        for s in kb.statements(e) {
-            if let Value::Entity(o) = s.value {
-                if seen.insert(s.attr) {
-                    containing[s.attr.index()] += 1;
-                }
-                distinct[s.attr.index()].insert(o);
-            }
-        }
-    }
-    let items = (0..n_attrs)
-        .filter(|&i| containing[i] > 0)
-        .map(|i| Importance {
-            attr: AttrId(i as u32),
-            support: containing[i] as f64 / n as f64,
-            discriminability: distinct[i].len() as f64 / containing[i] as f64,
-        })
-        .collect();
-    harmonic_rank(items)
+    let pass = importance_pass(kb, exec, |v| match v {
+        Value::Literal(_) => None,
+        Value::Entity(o) => Some(*o),
+    });
+    rank_pass(kb, pass)
 }
 
 /// Extracts the name strings of every entity: the literal values of the
 /// `k` most important attributes.
 pub fn entity_names(kb: &KnowledgeBase, k: usize) -> Vec<Vec<String>> {
-    let ranked = attribute_importance(kb);
+    entity_names_with(kb, k, &Executor::sequential())
+}
+
+/// [`entity_names`] on `exec`: the importance ranking and the per-entity
+/// extraction both fan out; partials merge in entity order.
+pub fn entity_names_with(kb: &KnowledgeBase, k: usize, exec: &Executor) -> Vec<Vec<String>> {
+    let ranked = attribute_importance_with(kb, exec);
     let name_attrs: FxHashSet<AttrId> = ranked.iter().take(k).map(|i| i.attr).collect();
-    kb.entities()
-        .map(|e| {
-            let mut names = Vec::new();
-            for s in kb.statements(e) {
-                if name_attrs.contains(&s.attr) {
-                    if let Value::Literal(l) = &s.value {
-                        names.push(l.to_string());
-                    }
+    exec.map_range(kb.entity_count(), |e| {
+        let mut names = Vec::new();
+        for s in kb.statements(EntityId(e as u32)) {
+            if name_attrs.contains(&s.attr) {
+                if let Value::Literal(l) = &s.value {
+                    names.push(l.to_string());
                 }
             }
-            names
-        })
-        .collect()
+        }
+        names
+    })
 }
 
 /// Computes `topNneighbors(e)` for every entity: the neighbors (both
@@ -139,33 +185,43 @@ pub fn entity_names(kb: &KnowledgeBase, k: usize) -> Vec<Vec<String>> {
 /// connected through one of the `n` most important relations, capped at
 /// `cap` neighbors per entity for robustness against hubs.
 pub fn top_neighbors(kb: &KnowledgeBase, n: usize, cap: usize) -> Vec<Vec<EntityId>> {
-    let ranked = relation_importance(kb);
+    top_neighbors_with(kb, n, cap, &Executor::sequential())
+}
+
+/// [`top_neighbors`] on `exec`: a pure per-entity map, fanned out in
+/// entity order.
+pub fn top_neighbors_with(
+    kb: &KnowledgeBase,
+    n: usize,
+    cap: usize,
+    exec: &Executor,
+) -> Vec<Vec<EntityId>> {
+    let ranked = relation_importance_with(kb, exec);
     let top_rel: FxHashMap<AttrId, usize> = ranked
         .iter()
         .take(n)
         .enumerate()
         .map(|(rank, i)| (i.attr, rank))
         .collect();
-    kb.entities()
-        .map(|e| {
-            // Collect (relation rank, neighbor) via top relations, both
-            // directions; order by relation rank then id for determinism.
-            let mut nb: Vec<(usize, EntityId)> = kb
-                .edges(e)
-                .filter_map(|edge| top_rel.get(&edge.relation).map(|&r| (r, edge.neighbor)))
-                .collect();
-            nb.sort_unstable();
-            nb.dedup_by_key(|&mut (_, e)| e);
-            let mut out: Vec<EntityId> = nb.into_iter().map(|(_, e)| e).collect();
-            // dedup_by_key only removes consecutive repeats of the same
-            // neighbor; a neighbor reachable via two relations appears
-            // twice with different ranks, so dedup globally.
-            let mut seen = FxHashSet::default();
-            out.retain(|e| seen.insert(*e));
-            out.truncate(cap);
-            out
-        })
-        .collect()
+    exec.map_range(kb.entity_count(), |e| {
+        let e = EntityId(e as u32);
+        // Collect (relation rank, neighbor) via top relations, both
+        // directions; order by relation rank then id for determinism.
+        let mut nb: Vec<(usize, EntityId)> = kb
+            .edges(e)
+            .filter_map(|edge| top_rel.get(&edge.relation).map(|&r| (r, edge.neighbor)))
+            .collect();
+        nb.sort_unstable();
+        nb.dedup_by_key(|&mut (_, e)| e);
+        let mut out: Vec<EntityId> = nb.into_iter().map(|(_, e)| e).collect();
+        // dedup_by_key only removes consecutive repeats of the same
+        // neighbor; a neighbor reachable via two relations appears
+        // twice with different ranks, so dedup globally.
+        let mut seen = FxHashSet::default();
+        out.retain(|e| seen.insert(*e));
+        out.truncate(cap);
+        out
+    })
 }
 
 #[cfg(test)]
@@ -284,6 +340,35 @@ mod tests {
         assert_eq!(tn2[e0.index()].len(), 2, "N=2 adds rel_b's neighbor");
         let capped = top_neighbors(&kb, 2, 1);
         assert_eq!(capped[e0.index()].len(), 1);
+    }
+
+    #[test]
+    fn parallel_importance_is_bit_identical_to_sequential() {
+        use minoan_exec::ExecutorKind;
+        let mut b = KbBuilder::new("t");
+        for i in 0..60 {
+            let s = format!("e:{i}");
+            b.add_literal(&s, "name", &format!("entity {}", i % 13));
+            b.add_literal(&s, "type", "Thing");
+            if i % 2 == 0 {
+                b.add_uri(&s, "rel_a", &format!("e:{}", (i + 1) % 60));
+            }
+            if i % 3 == 0 {
+                b.add_uri(&s, "rel_b", "e:0");
+            }
+        }
+        let kb = b.finish();
+        let seq_attr = attribute_importance(&kb);
+        let seq_rel = relation_importance(&kb);
+        let seq_names = entity_names(&kb, 2);
+        let seq_tn = top_neighbors(&kb, 2, 8);
+        for threads in [2, 3, 7] {
+            let exec = Executor::new(ExecutorKind::Rayon, threads);
+            assert_eq!(seq_attr, attribute_importance_with(&kb, &exec));
+            assert_eq!(seq_rel, relation_importance_with(&kb, &exec));
+            assert_eq!(seq_names, entity_names_with(&kb, 2, &exec));
+            assert_eq!(seq_tn, top_neighbors_with(&kb, 2, 8, &exec));
+        }
     }
 
     #[test]

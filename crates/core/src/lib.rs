@@ -43,7 +43,8 @@ pub use heuristics::{
     h3_rank_matches_with, h3_top_candidate, h4_reciprocal, h4_reciprocal_batch,
 };
 pub use importance::{
-    attribute_importance, entity_names, relation_importance, top_neighbors, Importance,
+    attribute_importance, attribute_importance_with, entity_names, entity_names_with,
+    relation_importance, relation_importance_with, top_neighbors, top_neighbors_with, Importance,
 };
 pub use pipeline::{
     build_blocks, BlockingArtifacts, MatchOutput, MinoanEr, PipelineReport, Timings,

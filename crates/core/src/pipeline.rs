@@ -16,7 +16,7 @@ use crate::config::MinoanConfig;
 use crate::heuristics::{
     h1_name_matches, h2_value_matches_with, h3_rank_matches_with, h4_reciprocal_batch,
 };
-use crate::importance::{entity_names, top_neighbors};
+use crate::importance::{entity_names_with, top_neighbors_with};
 use crate::simindex::SimilarityIndex;
 
 /// Per-stage counters and timings of one pipeline run.
@@ -101,10 +101,10 @@ pub fn build_blocks(pair: &KbPair, config: &MinoanConfig) -> BlockingArtifacts {
     let exec = config.executor();
     let tokenizer = Tokenizer::default();
     let t_tok = Instant::now();
-    let tokens = TokenizedPair::build(pair, &tokenizer);
+    let tokens = TokenizedPair::build_with(pair, &tokenizer, &exec);
     let tokenize_time = t_tok.elapsed();
-    let names1 = entity_names(&pair.first, config.name_attrs_k);
-    let names2 = entity_names(&pair.second, config.name_attrs_k);
+    let names1 = entity_names_with(&pair.first, config.name_attrs_k, &exec);
+    let names2 = entity_names_with(&pair.second, config.name_attrs_k, &exec);
     let (bn, _) = name_blocking_with(&names1, &names2, &exec);
     let bt_raw = token_blocking_with(&tokens, &exec);
     let (bt, purge) = if config.purge_blocks {
@@ -179,15 +179,17 @@ impl MinoanEr {
 
         // Similarity index over the purged token blocks.
         let t0 = Instant::now();
-        let tn1 = top_neighbors(
+        let tn1 = top_neighbors_with(
             &pair.first,
             self.config.top_relations_n,
             self.config.max_top_neighbors,
+            &exec,
         );
-        let tn2 = top_neighbors(
+        let tn2 = top_neighbors_with(
             &pair.second,
             self.config.top_relations_n,
             self.config.max_top_neighbors,
+            &exec,
         );
         let idx = SimilarityIndex::build_with(
             &artifacts.token_blocks,

@@ -86,16 +86,68 @@ impl SimilarityIndex {
         // first entity satisfies `e1 % shards == s`. Each shard scans the
         // blocks in order, so per-pair sums accumulate in block order —
         // the exact sequential order — regardless of the shard count.
+        //
+        // Each *large* block's `firsts` list is **pre-grouped by owner
+        // shard** once (a stable counting-sort per block, itself
+        // data-parallel over blocks), so a shard reads only its own
+        // sub-slice instead of rescanning the full list — O(assignments)
+        // total reads instead of O(shards × assignments). Blocks with
+        // fewer entities than shards keep the cheap filter scan: for
+        // them the rescan costs less than the counting-sort's
+        // O(shards) offset array, and skipping the grouping bounds the
+        // extra memory by the assignment count. Both paths yield a
+        // shard's entities in block order (the scatter is stable), so
+        // per-pair sums keep the sequential accumulation order bit for
+        // bit either way.
         let shards = exec.threads();
+        let grouped: Vec<Option<(Vec<EntityId>, Vec<u32>)>> = if shards > 1 {
+            exec.map_range(block_list.len(), |i| {
+                let firsts = &block_list[i].firsts;
+                if firsts.len() < shards {
+                    return None;
+                }
+                let mut offsets = vec![0u32; shards + 1];
+                for &e1 in firsts {
+                    offsets[e1.index() % shards + 1] += 1;
+                }
+                for s in 0..shards {
+                    offsets[s + 1] += offsets[s];
+                }
+                let mut items = vec![EntityId(0); firsts.len()];
+                let mut cursor = offsets[..shards].to_vec();
+                for &e1 in firsts {
+                    let s = e1.index() % shards;
+                    items[cursor[s] as usize] = e1;
+                    cursor[s] += 1;
+                }
+                Some((items, offsets))
+            })
+        } else {
+            Vec::new()
+        };
         let mut shard_rows: Vec<Vec<Vec<Candidate>>> = exec.map_shards(shards, |s| {
             let mut acc: FxHashMap<(u32, u32), f64> = FxHashMap::default();
-            for (b, &w) in block_list.iter().zip(&weights) {
-                for &e1 in &b.firsts {
-                    if e1.index() % shards != s {
-                        continue;
+            for (i, (b, &w)) in block_list.iter().zip(&weights).enumerate() {
+                let pregrouped = if shards > 1 {
+                    grouped[i].as_ref()
+                } else {
+                    None
+                };
+                if let Some((items, offsets)) = pregrouped {
+                    for &e1 in &items[offsets[s] as usize..offsets[s + 1] as usize] {
+                        for &e2 in &b.seconds {
+                            *acc.entry((e1.0, e2.0)).or_insert(0.0) += w;
+                        }
                     }
-                    for &e2 in &b.seconds {
-                        *acc.entry((e1.0, e2.0)).or_insert(0.0) += w;
+                } else {
+                    // Filter scan; a no-op filter when shards == 1.
+                    for &e1 in &b.firsts {
+                        if e1.index() % shards != s {
+                            continue;
+                        }
+                        for &e2 in &b.seconds {
+                            *acc.entry((e1.0, e2.0)).or_insert(0.0) += w;
+                        }
                     }
                 }
             }
@@ -110,6 +162,7 @@ impl SimilarityIndex {
             }
             rows
         });
+        drop(grouped);
 
         // Interleave the shard rows back into entity order.
         let mut firsts_rows: Vec<Vec<Candidate>> = Vec::with_capacity(n1);

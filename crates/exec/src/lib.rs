@@ -148,17 +148,15 @@ impl Executor {
         ranges
     }
 
-    /// Fans `f` out over the part ranges of `0..n`, returning one result
-    /// per part **in part order**. The sequential backend runs a single
-    /// part covering the whole range, so `map_parts` callers that merge
-    /// partials by concatenation degrade to the plain sequential
-    /// algorithm.
-    pub fn map_parts<R, F>(&self, n: usize, f: F) -> Vec<R>
+    /// Runs `f` over each range, one scoped thread per range (or inline
+    /// when there is at most one), returning results **in range order**.
+    /// The shared fan-out behind [`Executor::map_parts`] and
+    /// [`Executor::map_chunks`].
+    fn run_ranges<R, F>(ranges: Vec<Range<usize>>, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(Range<usize>) -> R + Sync,
     {
-        let ranges = self.part_ranges(n);
         if ranges.len() <= 1 {
             return ranges.into_iter().map(f).collect();
         }
@@ -172,8 +170,21 @@ impl Executor {
             }
         });
         out.into_iter()
-            .map(|r| r.expect("executor part did not run"))
+            .map(|r| r.expect("executor range did not run"))
             .collect()
+    }
+
+    /// Fans `f` out over the part ranges of `0..n`, returning one result
+    /// per part **in part order**. The sequential backend runs a single
+    /// part covering the whole range, so `map_parts` callers that merge
+    /// partials by concatenation degrade to the plain sequential
+    /// algorithm.
+    pub fn map_parts<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        Self::run_ranges(self.part_ranges(n), f)
     }
 
     /// Maps `f` over `0..n`, returning results in index order.
@@ -203,6 +214,58 @@ impl Executor {
         F: Fn(usize) -> R + Sync,
     {
         self.map_range(shards, f)
+    }
+
+    /// Splits `0..len` into at most [`Executor::threads`] contiguous
+    /// ranges whose interior boundaries are adjusted by `align`: each
+    /// proposed boundary `p` is moved to `align(p)`, which must return a
+    /// position in `p..=len` that is safe to cut at (for line-oriented
+    /// byte input: the position just after the next `\n`). Degenerate
+    /// (empty) ranges produced by colliding boundaries are dropped, so
+    /// the result is a partition of `0..len` into non-empty ranges.
+    ///
+    /// Deterministic in `len`, the thread count and `align` — and for a
+    /// single thread it returns the whole range, so chunked callers
+    /// degrade to the plain sequential algorithm.
+    pub fn chunk_ranges<B>(&self, len: usize, align: B) -> Vec<Range<usize>>
+    where
+        B: Fn(usize) -> usize,
+    {
+        let mut ranges = Vec::new();
+        let mut start = 0usize;
+        for r in self.part_ranges(len) {
+            if r.end >= len {
+                if start < len {
+                    ranges.push(start..len);
+                }
+                break;
+            }
+            let end = align(r.end).min(len);
+            debug_assert!(end >= r.end, "align must not move a boundary backwards");
+            if end > start {
+                ranges.push(start..end);
+                start = end;
+            }
+            if start >= len {
+                break;
+            }
+        }
+        ranges
+    }
+
+    /// Fans `f` out over boundary-aligned chunks of `0..len` (see
+    /// [`Executor::chunk_ranges`]), returning one result per chunk **in
+    /// chunk order**. This is the byte-range fan-out primitive behind the
+    /// streaming parsers: `align` keeps every chunk line-complete, each
+    /// worker parses its chunk into a partial, and the caller merges the
+    /// partials in chunk order.
+    pub fn map_chunks<R, B, F>(&self, len: usize, align: B, f: F) -> Vec<R>
+    where
+        R: Send,
+        B: Fn(usize) -> usize,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        Self::run_ranges(self.chunk_ranges(len, align), f)
     }
 }
 
@@ -287,6 +350,65 @@ mod tests {
         for exec in both() {
             assert!(exec.map_parts(0, |_| 0u8).is_empty());
             assert!(exec.map_range(0, |_| 0u8).is_empty());
+            assert!(exec.map_chunks(0, |p| p, |_| 0u8).is_empty());
+        }
+    }
+
+    /// Boundary alignment for line-oriented bytes: cut just after the
+    /// next newline at or past the proposed position.
+    fn after_newline(data: &[u8]) -> impl Fn(usize) -> usize + '_ {
+        move |p| {
+            data[p..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|off| p + off + 1)
+                .unwrap_or(data.len())
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_partition_and_respect_boundaries() {
+        let data = b"alpha\nbeta\ngamma\ndelta\nepsilon\nzeta\n";
+        for exec in both() {
+            let ranges = exec.chunk_ranges(data.len(), after_newline(data));
+            let mut expect = 0;
+            for r in &ranges {
+                assert_eq!(r.start, expect, "contiguous ascending");
+                assert!(!r.is_empty());
+                // Every chunk ends just after a newline (or at EOF).
+                assert!(r.end == data.len() || data[r.end - 1] == b'\n');
+                expect = r.end;
+            }
+            assert_eq!(expect, data.len());
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_collapse_when_one_line_dominates() {
+        // A single long line: every boundary aligns to EOF, so exactly
+        // one chunk covers everything regardless of the thread count.
+        let data = vec![b'x'; 1000];
+        for exec in both() {
+            let ranges = exec.chunk_ranges(data.len(), after_newline(&data));
+            assert_eq!(ranges, vec![0..data.len()]);
+        }
+    }
+
+    #[test]
+    fn map_chunks_merges_in_chunk_order() {
+        let text: String = (0..200).map(|i| format!("line{i}\n")).collect();
+        let data = text.as_bytes();
+        let expected: Vec<&str> = text.lines().collect();
+        for exec in both() {
+            let parts = exec.map_chunks(data.len(), after_newline(data), |r| {
+                std::str::from_utf8(&data[r])
+                    .unwrap()
+                    .lines()
+                    .map(String::from)
+                    .collect::<Vec<_>>()
+            });
+            let flat: Vec<String> = parts.into_iter().flatten().collect();
+            assert_eq!(flat, expected);
         }
     }
 }

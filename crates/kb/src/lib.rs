@@ -6,8 +6,12 @@
 //!   ([`KnowledgeBase`], [`KbBuilder`], [`Value`]): URI-identified sets of
 //!   attribute–value pairs whose values are literals or references to
 //!   other descriptions, forming an entity graph;
-//! - parsers for an N-Triples subset and a TSV exchange format
-//!   ([`parse::parse_ntriples`], [`parse::parse_tsv`]);
+//! - parsers for an N-Triples subset and a TSV exchange format, each in
+//!   a whole-string flavor ([`parse::parse_ntriples`],
+//!   [`parse::parse_tsv`]) and a **streaming chunked** flavor
+//!   ([`parse::parse_ntriples_reader`], [`parse::parse_tsv_reader`]) that
+//!   parses line-aligned chunks in parallel through per-thread
+//!   [`KbChunk`] partials and never holds the whole input in memory;
 //! - structural statistics mirroring the paper's Table I ([`KbStats`]);
 //! - pair/ground-truth containers ([`KbPair`], [`Matching`]);
 //! - fast hashing ([`FxHashMap`], [`FxHashSet`]), string interning
@@ -31,6 +35,6 @@ pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{AttrId, BlockId, EntityId, KbSide, PairEntity, TokenId};
 pub use interner::Interner;
 pub use json::Json;
-pub use model::{AttrProfile, Edge, KbBuilder, KnowledgeBase, Object, Statement, Value};
+pub use model::{AttrProfile, Edge, KbBuilder, KbChunk, KnowledgeBase, Object, Statement, Value};
 pub use pair::{GroundTruth, KbPair, Matching};
 pub use stats::{is_type_attr, local_name, namespace_prefix, KbStats};

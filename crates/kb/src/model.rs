@@ -224,6 +224,23 @@ impl KnowledgeBase {
     }
 }
 
+/// Structural equality: same name, same entities/attributes in the same
+/// id order, same statements and reverse edges. Two KBs built from the
+/// same triples in the same order — whether through the whole-string or
+/// the chunked streaming parser — compare equal.
+impl PartialEq for KnowledgeBase {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.entity_uris == other.entity_uris
+            && self.attrs == other.attrs
+            && self.statements == other.statements
+            && self.in_edges == other.in_edges
+            && self.triple_count == other.triple_count
+    }
+}
+
+impl Eq for KnowledgeBase {}
+
 /// Per-attribute aggregates used for support/discriminability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AttrProfile {
@@ -256,6 +273,11 @@ pub enum Object {
 ///
 /// Object URIs may reference subjects that are only described later; the
 /// resolution happens in [`KbBuilder::finish`].
+///
+/// For parallel ingest, per-thread [`KbChunk`]s collect triples with
+/// chunk-local interners and are merged in input order via
+/// [`KbBuilder::absorb`]; the merged builder state is identical to one
+/// fed the same triples sequentially.
 #[derive(Debug, Default)]
 pub struct KbBuilder {
     name: String,
@@ -263,12 +285,23 @@ pub struct KbBuilder {
     attrs: Interner,
     object_uris: Interner,
     raw: Vec<Vec<(AttrId, RawValue)>>,
+    /// Reusable scratch for building `\u{1}`-marked literal keys.
+    key_buf: String,
 }
 
 #[derive(Debug, Clone, Copy)]
 enum RawValue {
     LiteralId(u32),
     UriId(u32),
+}
+
+/// Marks a literal in the shared object interner so a literal and a URI
+/// with identical text never collide.
+fn literal_key<'b>(buf: &'b mut String, literal: &str) -> &'b str {
+    buf.clear();
+    buf.push('\u{1}');
+    buf.push_str(literal);
+    buf
 }
 
 impl KbBuilder {
@@ -298,21 +331,65 @@ impl KbBuilder {
             // Literals are interned via the object interner too: repeated
             // values (countries, genres, years) are extremely common.
             Object::Literal(l) => {
-                RawValue::LiteralId(self.object_uris.intern(&format!("\u{1}{l}")))
+                let key = literal_key(&mut self.key_buf, &l);
+                RawValue::LiteralId(self.object_uris.intern(key))
             }
             Object::Uri(u) => RawValue::UriId(self.object_uris.intern(&u)),
         };
         self.raw[subj.index()].push((attr, raw));
     }
 
-    /// Convenience: adds a literal-valued triple.
-    pub fn add_literal(&mut self, subject: &str, predicate: &str, literal: &str) {
-        self.add(subject, predicate, Object::Literal(literal.to_string()));
+    /// Merges a chunk-local partial into this builder, remapping every
+    /// chunk-local id to a global one.
+    ///
+    /// Absorbing the chunks of a split input **in input order** leaves the
+    /// builder in exactly the state sequential [`KbBuilder::add`] calls
+    /// over the unsplit input would: a string's global first occurrence
+    /// lies in the earliest chunk containing it, and chunk-local ids are
+    /// assigned in first-seen order, so re-interning each chunk's
+    /// dictionary in id order reproduces the global first-seen order —
+    /// and replaying the chunk's triples in order reproduces every
+    /// entity's statement order.
+    pub fn absorb(&mut self, chunk: KbChunk) {
+        let subj_map: Vec<EntityId> = chunk
+            .subjects
+            .iter()
+            .map(|(_, uri)| self.declare_entity(uri))
+            .collect();
+        let attr_map: Vec<AttrId> = chunk
+            .attrs
+            .iter()
+            .map(|(_, name)| AttrId(self.attrs.intern(name)))
+            .collect();
+        let obj_map: Vec<u32> = chunk
+            .objects
+            .iter()
+            .map(|(_, key)| self.object_uris.intern(key))
+            .collect();
+        for (subj, attr, raw) in chunk.triples {
+            let raw = match raw {
+                RawValue::LiteralId(id) => RawValue::LiteralId(obj_map[id as usize]),
+                RawValue::UriId(id) => RawValue::UriId(obj_map[id as usize]),
+            };
+            self.raw[subj_map[subj as usize].index()].push((attr_map[attr as usize], raw));
+        }
     }
 
-    /// Convenience: adds a URI-valued triple.
+    /// Adds a literal-valued triple without allocating an [`Object`].
+    pub fn add_literal(&mut self, subject: &str, predicate: &str, literal: &str) {
+        let subj = self.declare_entity(subject);
+        let attr = AttrId(self.attrs.intern(predicate));
+        let key = literal_key(&mut self.key_buf, literal);
+        let raw = RawValue::LiteralId(self.object_uris.intern(key));
+        self.raw[subj.index()].push((attr, raw));
+    }
+
+    /// Adds a URI-valued triple without allocating an [`Object`].
     pub fn add_uri(&mut self, subject: &str, predicate: &str, object_uri: &str) {
-        self.add(subject, predicate, Object::Uri(object_uri.to_string()));
+        let subj = self.declare_entity(subject);
+        let attr = AttrId(self.attrs.intern(predicate));
+        let raw = RawValue::UriId(self.object_uris.intern(object_uri));
+        self.raw[subj.index()].push((attr, raw));
     }
 
     /// Resolves object URIs against the described subjects and freezes
@@ -358,6 +435,58 @@ impl KbBuilder {
             in_edges,
             triple_count,
         }
+    }
+}
+
+/// A chunk-local partial KB: the per-thread builder of the streaming
+/// parsers. Collects triples against chunk-local interners (no shared
+/// state, no locks) and is merged into the global [`KbBuilder`] with
+/// [`KbBuilder::absorb`].
+#[derive(Debug, Default)]
+pub struct KbChunk {
+    subjects: Interner,
+    attrs: Interner,
+    /// Shared literal/URI dictionary; literals carry a `\u{1}` marker.
+    objects: Interner,
+    /// Triples in occurrence order, as chunk-local ids.
+    triples: Vec<(u32, u32, RawValue)>,
+    key_buf: String,
+}
+
+impl KbChunk {
+    /// Creates an empty chunk builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one triple (chunk-local mirror of [`KbBuilder::add`]).
+    pub fn add(&mut self, subject: &str, predicate: &str, object: &Object) {
+        match object {
+            Object::Literal(l) => self.add_literal(subject, predicate, l),
+            Object::Uri(u) => self.add_uri(subject, predicate, u),
+        }
+    }
+
+    /// Adds a literal-valued triple (mirror of [`KbBuilder::add_literal`]).
+    pub fn add_literal(&mut self, subject: &str, predicate: &str, literal: &str) {
+        let subj = self.subjects.intern(subject);
+        let attr = self.attrs.intern(predicate);
+        let key = literal_key(&mut self.key_buf, literal);
+        let raw = RawValue::LiteralId(self.objects.intern(key));
+        self.triples.push((subj, attr, raw));
+    }
+
+    /// Adds a URI-valued triple (mirror of [`KbBuilder::add_uri`]).
+    pub fn add_uri(&mut self, subject: &str, predicate: &str, object_uri: &str) {
+        let subj = self.subjects.intern(subject);
+        let attr = self.attrs.intern(predicate);
+        let raw = RawValue::UriId(self.objects.intern(object_uri));
+        self.triples.push((subj, attr, raw));
+    }
+
+    /// Number of triples collected so far.
+    pub fn triple_count(&self) -> usize {
+        self.triples.len()
     }
 }
 
@@ -463,6 +592,34 @@ mod tests {
         let lits: Vec<_> = kb.literals(s).collect();
         assert_eq!(lits, vec!["e:target"]);
         assert_eq!(kb.out_edges(s).count(), 1);
+    }
+
+    #[test]
+    fn absorbing_chunks_in_order_matches_sequential_adds() {
+        // One triple stream, split across three chunks at arbitrary
+        // points; repeated subjects/attrs/objects straddle the cuts.
+        let triples: Vec<(&str, &str, Object)> = vec![
+            ("e:a", "name", Object::Literal("alpha".into())),
+            ("e:b", "name", Object::Literal("beta".into())),
+            ("e:a", "knows", Object::Uri("e:b".into())),
+            ("e:c", "name", Object::Literal("alpha".into())),
+            ("e:b", "knows", Object::Uri("e:c".into())),
+            ("e:a", "tag", Object::Literal("e:b".into())),
+            ("e:d", "knows", Object::Uri("e:missing".into())),
+        ];
+        let mut sequential = KbBuilder::new("t");
+        for (s, p, o) in &triples {
+            sequential.add(s, p, o.clone());
+        }
+        let mut merged = KbBuilder::new("t");
+        for range in [0..3, 3..5, 5..7] {
+            let mut chunk = KbChunk::new();
+            for (s, p, o) in &triples[range] {
+                chunk.add(s, p, o);
+            }
+            merged.absorb(chunk);
+        }
+        assert_eq!(sequential.finish(), merged.finish());
     }
 
     #[test]

@@ -7,9 +7,29 @@
 //!   Datatype/language tags are dropped; the lexical form is kept.
 //! - A simple **TSV** format used by the synthetic datasets:
 //!   `subject \t predicate \t kind \t object` with `kind ∈ {uri, lit}`.
+//!
+//! Each format has two entry points:
+//!
+//! - a **whole-string** parser ([`parse_ntriples`], [`parse_tsv`]) for
+//!   input already in memory, and
+//! - a **streaming chunked** parser ([`parse_ntriples_reader`],
+//!   [`parse_tsv_reader`]) that never materializes the input as one
+//!   `String`: it reads line-aligned byte blocks, fans each block out
+//!   over the executor into per-thread [`KbChunk`] partials (chunk-local
+//!   interners, no shared state) and merges them in input order via
+//!   [`KbBuilder::absorb`]. Because lines parse independently and the
+//!   merge preserves first-seen order, the streaming parser produces a
+//!   [`KnowledgeBase`] **identical** to the whole-string parser —
+//!   including the error (line number and message) it reports on bad
+//!   input.
 
-use crate::model::{KbBuilder, KnowledgeBase, Object};
+use std::borrow::Cow;
 use std::fmt;
+use std::io::Read;
+
+use minoan_exec::Executor;
+
+use crate::model::{KbBuilder, KbChunk, KnowledgeBase};
 
 /// A parse failure, with 1-based line number and description.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,74 +55,137 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
     }
 }
 
+/// Options for the streaming chunked parsers.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamOptions {
+    /// Target bytes handed to each worker per fan-out. The reader
+    /// accumulates roughly `chunk_bytes × threads` of line-complete input
+    /// before fanning a block out; chunk boundaries always land just
+    /// after a newline, so no line (and therefore no UTF-8 sequence and
+    /// no N-Triples escape) is ever split across workers.
+    pub chunk_bytes: usize,
+}
+
+/// Default worker-chunk size of the streaming parsers (1 MiB).
+pub const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        Self {
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+        }
+    }
+}
+
+/// A parsed object term: a URI or a literal (borrowed unless escape
+/// processing forced a copy).
+enum ObjTerm<'a> {
+    Uri(&'a str),
+    Literal(Cow<'a, str>),
+}
+
+/// Anything triples can be parsed into: the global [`KbBuilder`]
+/// (whole-string path) or a per-thread [`KbChunk`] (streaming path).
+trait TripleSink {
+    fn literal(&mut self, subject: &str, predicate: &str, literal: &str);
+    fn uri(&mut self, subject: &str, predicate: &str, object_uri: &str);
+}
+
+impl TripleSink for KbBuilder {
+    fn literal(&mut self, s: &str, p: &str, l: &str) {
+        self.add_literal(s, p, l);
+    }
+    fn uri(&mut self, s: &str, p: &str, o: &str) {
+        self.add_uri(s, p, o);
+    }
+}
+
+impl TripleSink for KbChunk {
+    fn literal(&mut self, s: &str, p: &str, l: &str) {
+        self.add_literal(s, p, l);
+    }
+    fn uri(&mut self, s: &str, p: &str, o: &str) {
+        self.add_uri(s, p, o);
+    }
+}
+
+// ---------------------------------------------------------------------
+// N-Triples
+// ---------------------------------------------------------------------
+
 /// Parses N-Triples text into a KB named `name`.
 pub fn parse_ntriples(name: &str, text: &str) -> Result<KnowledgeBase, ParseError> {
     let mut builder = KbBuilder::new(name);
+    parse_ntriples_into(text, &mut builder)?;
+    Ok(builder.finish())
+}
+
+/// Streams N-Triples from `reader` into a KB named `name`, parsing
+/// line-aligned chunks in parallel on `exec`. Produces a KB identical to
+/// [`parse_ntriples`] over the concatenated input.
+pub fn parse_ntriples_reader<R: Read>(
+    name: &str,
+    reader: R,
+    exec: &Executor,
+    opts: StreamOptions,
+) -> Result<KnowledgeBase, ParseError> {
+    stream_parse(name, reader, exec, opts, parse_ntriples_into)
+}
+
+/// Parses every line of `text` into `sink`; returns the number of lines
+/// seen. Error line numbers are 1-based relative to `text`.
+fn parse_ntriples_into<S: TripleSink>(text: &str, sink: &mut S) -> Result<usize, ParseError> {
+    let mut lines = 0usize;
     for (idx, raw_line) in text.lines().enumerate() {
-        let line_no = idx + 1;
+        lines = idx + 1;
         let line = raw_line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (subject, rest) = parse_uri_term(line, line_no)?;
+        let (subject, rest) = parse_uri_term(line, lines)?;
         let rest = rest.trim_start();
-        let (predicate, rest) = parse_uri_term(rest, line_no)?;
+        let (predicate, rest) = parse_uri_term(rest, lines)?;
         let rest = rest.trim_start();
-        let (object, rest) = parse_object_term(rest, line_no)?;
+        let (object, rest) = parse_object_term(rest, lines)?;
         let rest = rest.trim_start();
         if !rest.starts_with('.') {
-            return Err(err(line_no, "expected terminating '.'"));
+            return Err(err(lines, "expected terminating '.'"));
         }
-        builder.add(&subject, &predicate, object);
+        match object {
+            ObjTerm::Uri(u) => sink.uri(subject, predicate, u),
+            ObjTerm::Literal(l) => sink.literal(subject, predicate, &l),
+        }
     }
-    Ok(builder.finish())
+    Ok(lines)
 }
 
-fn parse_uri_term(s: &str, line: usize) -> Result<(String, &str), ParseError> {
+fn parse_uri_term(s: &str, line: usize) -> Result<(&str, &str), ParseError> {
     let rest = s
         .strip_prefix('<')
         .ok_or_else(|| err(line, "expected '<' opening a URI term"))?;
     let end = rest
         .find('>')
         .ok_or_else(|| err(line, "unterminated URI term"))?;
-    Ok((rest[..end].to_string(), &rest[end + 1..]))
+    Ok((&rest[..end], &rest[end + 1..]))
 }
 
-fn parse_object_term(s: &str, line: usize) -> Result<(Object, &str), ParseError> {
+fn parse_object_term(s: &str, line: usize) -> Result<(ObjTerm<'_>, &str), ParseError> {
     if s.starts_with('<') {
         let (uri, rest) = parse_uri_term(s, line)?;
-        return Ok((Object::Uri(uri), rest));
+        return Ok((ObjTerm::Uri(uri), rest));
     }
     let rest = s
         .strip_prefix('"')
         .ok_or_else(|| err(line, "expected URI or literal object"))?;
-    let mut out = String::new();
-    let mut chars = rest.char_indices();
-    let mut end = None;
-    while let Some((i, c)) = chars.next() {
-        match c {
-            '"' => {
-                end = Some(i);
-                break;
-            }
-            '\\' => match chars.next() {
-                Some((_, 'n')) => out.push('\n'),
-                Some((_, 't')) => out.push('\t'),
-                Some((_, 'r')) => out.push('\r'),
-                Some((_, '"')) => out.push('"'),
-                Some((_, '\\')) => out.push('\\'),
-                Some((_, other)) => {
-                    // Unknown escape: keep it verbatim rather than failing;
-                    // Web data is messy and the lexical form is all we need.
-                    out.push('\\');
-                    out.push(other);
-                }
-                None => return Err(err(line, "dangling escape in literal")),
-            },
-            c => out.push(c),
-        }
-    }
-    let end = end.ok_or_else(|| err(line, "unterminated literal"))?;
+    // Fast path: no escapes — borrow the literal straight from the line.
+    let stop = rest
+        .find(['"', '\\'])
+        .ok_or_else(|| err(line, "unterminated literal"))?;
+    let (literal, end) = if rest.as_bytes()[stop] == b'"' {
+        (Cow::Borrowed(&rest[..stop]), stop)
+    } else {
+        parse_escaped_literal(rest, line)?
+    };
     let mut rest = &rest[end + 1..];
     // Skip datatype (^^<...>) or language (@lang) suffixes.
     if let Some(dt) = rest.strip_prefix("^^") {
@@ -114,14 +197,104 @@ fn parse_object_term(s: &str, line: usize) -> Result<(Object, &str), ParseError>
             .unwrap_or(lang.len());
         rest = &lang[stop..];
     }
-    Ok((Object::Literal(out), rest))
+    Ok((ObjTerm::Literal(literal), rest))
 }
+
+/// Slow path for literals containing escapes: processes `\n \t \r \" \\`
+/// (unknown escapes are kept verbatim — Web data is messy and the
+/// lexical form is all we need). Returns the unescaped literal and the
+/// byte offset of the closing quote within `rest`.
+fn parse_escaped_literal(rest: &str, line: usize) -> Result<(Cow<'_, str>, usize), ParseError> {
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((Cow::Owned(out), i)),
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, other)) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => return Err(err(line, "dangling escape in literal")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err(err(line, "unterminated literal"))
+}
+
+/// Serializes a KB to the N-Triples subset accepted by
+/// [`parse_ntriples`], escaping `\ " \n \t \r` in literals.
+pub fn to_ntriples(kb: &KnowledgeBase) -> String {
+    let mut out = String::new();
+    for e in kb.entities() {
+        let uri = kb.entity_uri(e);
+        for stmt in kb.statements(e) {
+            let attr = kb.attr_name(stmt.attr);
+            out.push('<');
+            out.push_str(uri);
+            out.push_str("> <");
+            out.push_str(attr);
+            out.push_str("> ");
+            match &stmt.value {
+                crate::model::Value::Literal(l) => {
+                    out.push('"');
+                    for c in l.chars() {
+                        match c {
+                            '\\' => out.push_str("\\\\"),
+                            '"' => out.push_str("\\\""),
+                            '\n' => out.push_str("\\n"),
+                            '\t' => out.push_str("\\t"),
+                            '\r' => out.push_str("\\r"),
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                crate::model::Value::Entity(n) => {
+                    out.push('<');
+                    out.push_str(kb.entity_uri(*n));
+                    out.push('>');
+                }
+            }
+            out.push_str(" .\n");
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// TSV
+// ---------------------------------------------------------------------
 
 /// Parses the 4-column TSV format into a KB named `name`.
 pub fn parse_tsv(name: &str, text: &str) -> Result<KnowledgeBase, ParseError> {
     let mut builder = KbBuilder::new(name);
+    parse_tsv_into(text, &mut builder)?;
+    Ok(builder.finish())
+}
+
+/// Streams TSV from `reader` into a KB named `name`, parsing
+/// line-aligned chunks in parallel on `exec`. Produces a KB identical to
+/// [`parse_tsv`] over the concatenated input.
+pub fn parse_tsv_reader<R: Read>(
+    name: &str,
+    reader: R,
+    exec: &Executor,
+    opts: StreamOptions,
+) -> Result<KnowledgeBase, ParseError> {
+    stream_parse(name, reader, exec, opts, parse_tsv_into)
+}
+
+fn parse_tsv_into<S: TripleSink>(text: &str, sink: &mut S) -> Result<usize, ParseError> {
+    let mut lines = 0usize;
     for (idx, raw_line) in text.lines().enumerate() {
-        let line_no = idx + 1;
+        lines = idx + 1;
         let line = raw_line.trim_end_matches(['\r', '\n']);
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -132,19 +305,15 @@ pub fn parse_tsv(name: &str, text: &str) -> Result<KnowledgeBase, ParseError> {
         let kind = cols.next();
         let object = cols.next();
         match (subject, predicate, kind, object) {
-            (Some(s), Some(p), Some("uri"), Some(o)) => {
-                builder.add(s, p, Object::Uri(o.to_string()))
-            }
-            (Some(s), Some(p), Some("lit"), Some(o)) => {
-                builder.add(s, p, Object::Literal(o.to_string()))
-            }
+            (Some(s), Some(p), Some("uri"), Some(o)) => sink.uri(s, p, o),
+            (Some(s), Some(p), Some("lit"), Some(o)) => sink.literal(s, p, o),
             (_, _, Some(k), _) if k != "uri" && k != "lit" => {
-                return Err(err(line_no, format!("unknown object kind {k:?}")))
+                return Err(err(lines, format!("unknown object kind {k:?}")))
             }
-            _ => return Err(err(line_no, "expected 4 tab-separated columns")),
+            _ => return Err(err(lines, "expected 4 tab-separated columns")),
         }
     }
-    Ok(builder.finish())
+    Ok(lines)
 }
 
 /// Serializes a KB to the TSV format accepted by [`parse_tsv`].
@@ -178,6 +347,114 @@ pub fn to_tsv(kb: &KnowledgeBase) -> String {
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------
+// Streaming driver
+// ---------------------------------------------------------------------
+
+/// The chunked streaming driver shared by both formats.
+///
+/// Reads up to `chunk_bytes` at a time, accumulating raw bytes until
+/// roughly `chunk_bytes × threads` of line-complete input is pending,
+/// then fans the block out over `exec` (each worker parses a line-aligned
+/// sub-chunk into a [`KbChunk`]) and absorbs the partials in chunk order.
+/// The trailing partial line is carried into the next block, so the full
+/// input is never resident and every worker sees whole lines only.
+fn stream_parse<R, F>(
+    name: &str,
+    mut reader: R,
+    exec: &Executor,
+    opts: StreamOptions,
+    parse_into: F,
+) -> Result<KnowledgeBase, ParseError>
+where
+    R: Read,
+    F: Fn(&str, &mut KbChunk) -> Result<usize, ParseError> + Sync,
+{
+    let chunk_bytes = opts.chunk_bytes.max(1);
+    let batch_bytes = chunk_bytes.saturating_mul(exec.threads().max(1));
+    let mut builder = KbBuilder::new(name);
+    let mut pending: Vec<u8> = Vec::new();
+    let mut buf = vec![0u8; chunk_bytes.clamp(1, DEFAULT_CHUNK_BYTES)];
+    let mut lines_done = 0usize;
+    loop {
+        let n = reader
+            .read(&mut buf)
+            .map_err(|e| err(lines_done + 1, format!("read error: {e}")))?;
+        if n == 0 {
+            break;
+        }
+        pending.extend_from_slice(&buf[..n]);
+        if pending.len() >= batch_bytes {
+            // Cut at the last complete line; carry the tail. A pending
+            // buffer with no newline yet (one enormous line) keeps
+            // accumulating until its newline arrives.
+            if let Some(pos) = pending.iter().rposition(|&b| b == b'\n') {
+                let tail = pending.split_off(pos + 1);
+                let block = std::mem::replace(&mut pending, tail);
+                lines_done += parse_block(&block, &mut builder, exec, lines_done, &parse_into)?;
+            }
+        }
+    }
+    if !pending.is_empty() {
+        let block = std::mem::take(&mut pending);
+        parse_block(&block, &mut builder, exec, lines_done, &parse_into)?;
+    }
+    Ok(builder.finish())
+}
+
+/// Parses one line-complete block: fans line-aligned sub-chunks out over
+/// the executor, then absorbs the per-chunk partials in chunk order.
+/// Returns the number of lines in the block; errors are rebased from
+/// chunk-relative to absolute line numbers, and the earliest failing
+/// chunk wins — exactly the line the sequential parser would report.
+fn parse_block<F>(
+    block: &[u8],
+    builder: &mut KbBuilder,
+    exec: &Executor,
+    line_offset: usize,
+    parse_into: &F,
+) -> Result<usize, ParseError>
+where
+    F: Fn(&str, &mut KbChunk) -> Result<usize, ParseError> + Sync,
+{
+    let align = |p: usize| {
+        block[p..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|off| p + off + 1)
+            .unwrap_or(block.len())
+    };
+    let results: Vec<Result<(KbChunk, usize), ParseError>> =
+        exec.map_chunks(block.len(), align, |range| {
+            let bytes = &block[range];
+            let text = std::str::from_utf8(bytes).map_err(|e| {
+                let bad_line = 1 + count_newlines(&bytes[..e.valid_up_to()]);
+                err(bad_line, "invalid UTF-8 in input")
+            })?;
+            let mut chunk = KbChunk::new();
+            let lines = parse_into(text, &mut chunk)?;
+            Ok((chunk, lines))
+        });
+    let mut lines = 0usize;
+    for result in results {
+        match result {
+            Ok((chunk, chunk_lines)) => {
+                builder.absorb(chunk);
+                lines += chunk_lines;
+            }
+            Err(mut e) => {
+                e.line += line_offset + lines;
+                return Err(e);
+            }
+        }
+    }
+    Ok(lines)
+}
+
+fn count_newlines(bytes: &[u8]) -> usize {
+    bytes.iter().filter(|&&b| b == b'\n').count()
 }
 
 #[cfg(test)]
@@ -232,6 +509,10 @@ mod tests {
         let text = "<e:s> <e:p> \"oops .";
         let e = parse_ntriples("t", text).unwrap_err();
         assert!(e.message.contains("unterminated literal"));
+        // Same failure through the escaped-literal slow path.
+        let text = "<e:s> <e:p> \"oops \\t .";
+        let e = parse_ntriples("t", text).unwrap_err();
+        assert!(e.message.contains("unterminated literal"));
     }
 
     #[test]
@@ -256,6 +537,17 @@ mod tests {
     }
 
     #[test]
+    fn ntriples_round_trip() {
+        let text = "<e:s> <e:p> \"a \\\"q\\\" \\\\ tab\\there\" .\n<e:s> <e:q> <e:o> .\n<e:o> <e:p> \"plain\" .\n";
+        let kb = parse_ntriples("t", text).unwrap();
+        let dumped = to_ntriples(&kb);
+        let kb2 = parse_ntriples("t", &dumped).unwrap();
+        assert_eq!(kb, kb2);
+        let s = kb2.entity_by_uri("e:s").unwrap();
+        assert_eq!(kb2.literals(s).next().unwrap(), "a \"q\" \\ tab\there");
+    }
+
+    #[test]
     fn tsv_rejects_unknown_kind() {
         let e = parse_tsv("t", "s\tp\tblank\tx").unwrap_err();
         assert!(e.message.contains("unknown object kind"));
@@ -273,5 +565,113 @@ mod tests {
         let kb = parse_tsv("t", "s\tp\tlit\ta\tb").unwrap();
         let s = kb.entity_by_uri("s").unwrap();
         assert_eq!(kb.literals(s).next().unwrap(), "a\tb");
+    }
+
+    fn tiny_opts(chunk_bytes: usize) -> StreamOptions {
+        StreamOptions { chunk_bytes }
+    }
+
+    fn execs() -> [Executor; 3] {
+        use minoan_exec::ExecutorKind;
+        [
+            Executor::sequential(),
+            Executor::new(ExecutorKind::Rayon, 3),
+            Executor::new(ExecutorKind::Rayon, 7),
+        ]
+    }
+
+    #[test]
+    fn streaming_tsv_matches_whole_string() {
+        let text = "s1\tname\tlit\tAlpha Beta\ns1\tknows\turi\ts2\ns2\tname\tlit\tGamma\n";
+        let whole = parse_tsv("t", text).unwrap();
+        for exec in execs() {
+            for chunk_bytes in [1, 3, 7, 64, 4096] {
+                let streamed =
+                    parse_tsv_reader("t", text.as_bytes(), &exec, tiny_opts(chunk_bytes)).unwrap();
+                assert_eq!(whole, streamed, "chunk_bytes={chunk_bytes}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_ntriples_matches_whole_string() {
+        let text = "<e:s> <e:p> \"multi βψτε ütf\\n\\\"quoted\\\"\" .\n<e:s> <e:q> <e:o> .\n<e:o> <e:p> \"plain\" .\n";
+        let whole = parse_ntriples("t", text).unwrap();
+        for exec in execs() {
+            for chunk_bytes in [1, 2, 7, 64] {
+                let streamed =
+                    parse_ntriples_reader("t", text.as_bytes(), &exec, tiny_opts(chunk_bytes))
+                        .unwrap();
+                assert_eq!(whole, streamed, "chunk_bytes={chunk_bytes}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_errors_carry_absolute_line_numbers() {
+        let mut text = String::new();
+        for i in 0..100 {
+            text.push_str(&format!("s{i}\tname\tlit\tvalue {i}\n"));
+        }
+        text.push_str("broken row without enough columns\n");
+        let whole = parse_tsv("t", &text).unwrap_err();
+        assert_eq!(whole.line, 101);
+        for exec in execs() {
+            for chunk_bytes in [1, 17, 256] {
+                let streamed =
+                    parse_tsv_reader("t", text.as_bytes(), &exec, tiny_opts(chunk_bytes))
+                        .unwrap_err();
+                assert_eq!(streamed, whole, "chunk_bytes={chunk_bytes}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_reports_earliest_error_like_sequential() {
+        // Two bad lines; the earlier one must win even when they land in
+        // different parallel chunks.
+        let text = "s\tp\tlit\tok\nbad line one\nmore\tbad\tnope\tx\n";
+        let whole = parse_tsv("t", text).unwrap_err();
+        for exec in execs() {
+            let streamed = parse_tsv_reader("t", text.as_bytes(), &exec, tiny_opts(4)).unwrap_err();
+            assert_eq!(streamed, whole);
+        }
+    }
+
+    #[test]
+    fn streaming_invalid_utf8_is_an_error_with_line() {
+        let mut bytes = b"s\tp\tlit\tfine\n".to_vec();
+        bytes.extend_from_slice(b"s\tp\tlit\t\xff\xfe\n");
+        let e = parse_tsv_reader(
+            "t",
+            bytes.as_slice(),
+            &Executor::sequential(),
+            tiny_opts(4096),
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("UTF-8"));
+    }
+
+    #[test]
+    fn streaming_handles_input_without_trailing_newline() {
+        let text = "s1\tname\tlit\tAlpha\ns2\tname\tlit\tBeta";
+        let whole = parse_tsv("t", text).unwrap();
+        let streamed =
+            parse_tsv_reader("t", text.as_bytes(), &Executor::sequential(), tiny_opts(5)).unwrap();
+        assert_eq!(whole, streamed);
+    }
+
+    #[test]
+    fn streaming_empty_input_is_an_empty_kb() {
+        let kb = parse_tsv_reader(
+            "t",
+            &b""[..],
+            &Executor::sequential(),
+            StreamOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(kb.entity_count(), 0);
+        assert_eq!(kb.triple_count(), 0);
     }
 }

@@ -7,6 +7,7 @@
 //! values contain token `t`), and a [`TokenizedPair`] stores each entity's
 //! deduplicated, sorted token set.
 
+use minoan_exec::Executor;
 use minoan_kb::{EntityId, Interner, KbPair, KbSide, KnowledgeBase, TokenId};
 
 use crate::tokenizer::Tokenizer;
@@ -72,11 +73,23 @@ pub struct TokenizedPair {
 impl TokenizedPair {
     /// Tokenizes both KBs of `pair` with `tokenizer`.
     pub fn build(pair: &KbPair, tokenizer: &Tokenizer) -> Self {
+        Self::build_with(pair, tokenizer, &Executor::sequential())
+    }
+
+    /// Tokenizes both KBs of `pair` on `exec`: each part tokenizes an
+    /// entity range against a **part-local** interner, and the partials
+    /// are merged in part order by re-interning each part's dictionary
+    /// in local-id (= first-seen) order. A token's global first
+    /// occurrence lies in the earliest part containing it, so the merged
+    /// dictionary assigns exactly the sequential first-seen ids — the
+    /// result is bit-identical to [`TokenizedPair::build`] for any
+    /// thread count.
+    pub fn build_with(pair: &KbPair, tokenizer: &Tokenizer, exec: &Executor) -> Self {
         let mut dict = TokenDictionary::default();
         let mut sides: [TokenizedKb; 2] = Default::default();
         for side in [KbSide::First, KbSide::Second] {
             let kb = pair.kb(side);
-            sides[side.index()] = tokenize_side(kb, side, tokenizer, &mut dict);
+            sides[side.index()] = tokenize_side(kb, side, tokenizer, &mut dict, exec);
         }
         // EF vectors may be shorter than the final dictionary if one side
         // never saw the later tokens; pad to full length.
@@ -112,36 +125,79 @@ impl TokenizedPair {
     }
 }
 
+/// One part's tokenization output: a part-local dictionary plus each
+/// entity's token set as local ids (sorted and deduplicated — dedup by
+/// local id equals dedup by string, but the *order* is part-local and is
+/// re-established after remapping).
+struct TokenizedPart {
+    local: Interner,
+    entity_tokens: Vec<Vec<u32>>,
+    occurrences: usize,
+}
+
 fn tokenize_side(
     kb: &KnowledgeBase,
     side: KbSide,
     tokenizer: &Tokenizer,
     dict: &mut TokenDictionary,
+    exec: &Executor,
 ) -> TokenizedKb {
-    let mut entity_tokens = Vec::with_capacity(kb.entity_count());
-    let mut total_occurrences = 0usize;
-    let mut buf: Vec<String> = Vec::new();
-    let mut ids: Vec<TokenId> = Vec::new();
-    for e in kb.entities() {
-        buf.clear();
-        ids.clear();
-        for literal in kb.literals(e) {
-            tokenizer.tokenize_into(literal, &mut buf);
-        }
-        total_occurrences += buf.len();
-        for tok in buf.drain(..) {
-            ids.push(TokenId(dict.interner.intern(&tok)));
-        }
-        ids.sort_unstable();
-        ids.dedup();
-        let ef = &mut dict.ef[side.index()];
-        for &t in ids.iter() {
-            if ef.len() <= t.index() {
-                ef.resize(t.index() + 1, 0);
+    let n = kb.entity_count();
+    let parts = exec.map_parts(n, |range| {
+        let mut local = Interner::new();
+        let mut entity_tokens = Vec::with_capacity(range.len());
+        let mut occurrences = 0usize;
+        let mut buf: Vec<String> = Vec::new();
+        let mut ids: Vec<u32> = Vec::new();
+        for e in range {
+            buf.clear();
+            ids.clear();
+            for literal in kb.literals(EntityId(e as u32)) {
+                tokenizer.tokenize_into(literal, &mut buf);
             }
-            ef[t.index()] += 1;
+            occurrences += buf.len();
+            for tok in buf.drain(..) {
+                ids.push(local.intern(&tok));
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            entity_tokens.push(ids.clone());
         }
-        entity_tokens.push(ids.as_slice().into());
+        TokenizedPart {
+            local,
+            entity_tokens,
+            occurrences,
+        }
+    });
+
+    // Ordered merge: re-intern each part's dictionary in local-id order
+    // (its first-seen order), remap every entity's token set and re-sort
+    // by global id. Entity frequency increments run in entity order,
+    // exactly as the sequential pass would.
+    let mut entity_tokens: Vec<Box<[TokenId]>> = Vec::with_capacity(n);
+    let mut total_occurrences = 0usize;
+    for part in parts {
+        let remap: Vec<u32> = part
+            .local
+            .iter()
+            .map(|(_, tok)| dict.interner.intern(tok))
+            .collect();
+        total_occurrences += part.occurrences;
+        let ef = &mut dict.ef[side.index()];
+        for local_ids in part.entity_tokens {
+            let mut ids: Vec<TokenId> = local_ids
+                .into_iter()
+                .map(|l| TokenId(remap[l as usize]))
+                .collect();
+            ids.sort_unstable();
+            for &t in ids.iter() {
+                if ef.len() <= t.index() {
+                    ef.resize(t.index() + 1, 0);
+                }
+                ef[t.index()] += 1;
+            }
+            entity_tokens.push(ids.into_boxed_slice());
+        }
     }
     TokenizedKb {
         entity_tokens,
@@ -205,6 +261,53 @@ mod tests {
         let t = TokenizedPair::build(&p, &Tokenizer::default());
         assert!(t.dict().is_empty());
         assert_eq!(t.avg_tokens(KbSide::First), 0.0);
+    }
+
+    #[test]
+    fn parallel_tokenization_is_bit_identical_to_sequential() {
+        use minoan_exec::ExecutorKind;
+        let mut a = KbBuilder::new("E1");
+        let mut b = KbBuilder::new("E2");
+        for i in 0..50 {
+            a.add_literal(
+                &format!("a:{i}"),
+                "name",
+                &format!("shared tok{} word{} extra{}", i % 7, i % 3, i),
+            );
+            b.add_literal(
+                &format!("b:{i}"),
+                "label",
+                &format!("shared tok{} other{}", i % 7, i % 5),
+            );
+        }
+        let p = KbPair::new(a.finish(), b.finish());
+        let seq = TokenizedPair::build(&p, &Tokenizer::default());
+        for threads in [2, 3, 7, 16] {
+            let exec = Executor::new(ExecutorKind::Rayon, threads);
+            let par = TokenizedPair::build_with(&p, &Tokenizer::default(), &exec);
+            assert_eq!(seq.dict().len(), par.dict().len(), "threads={threads}");
+            for t in seq.dict().tokens() {
+                assert_eq!(
+                    seq.dict().token(t),
+                    par.dict().token(t),
+                    "threads={threads}"
+                );
+                for side in [KbSide::First, KbSide::Second] {
+                    assert_eq!(seq.dict().ef(side, t), par.dict().ef(side, t));
+                }
+            }
+            for side in [KbSide::First, KbSide::Second] {
+                assert_eq!(seq.entity_count(side), par.entity_count(side));
+                assert_eq!(seq.avg_tokens(side), par.avg_tokens(side));
+                for e in 0..seq.entity_count(side) as u32 {
+                    assert_eq!(
+                        seq.tokens(side, EntityId(e)),
+                        par.tokens(side, EntityId(e)),
+                        "threads={threads} side={side:?} e={e}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

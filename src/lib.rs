@@ -13,33 +13,50 @@
 //! The workspace is layered bottom-up; this crate is a facade
 //! re-exporting every member:
 //!
-//! - [`kb`] — entity descriptions, interning, parsing, statistics, plus
-//!   the shared substrate: Fx hashing, CSR row storage ([`kb::Csr`])
-//!   and minimal JSON;
-//! - [`text`] — tokenization, n-grams, the tokenized pair view;
 //! - [`exec`] — the **executor layer**: an [`exec::Executor`] with
-//!   `Sequential` and `Rayon` backends that every hot stage fans out on.
-//!   The paper's matching process is *massively parallel* by design
-//!   (every similarity is a function of block statistics), and the
-//!   executor realizes that: blocking builds per-thread partial inverted
-//!   indexes merged in part order, the similarity index shards `valueSim`
-//!   accumulation by `e1 % shards`, and the matching heuristics scan
-//!   candidates in parallel. Parallel runs are **bit-identical** to
-//!   sequential ones — per-pair floating-point sums keep block order,
-//!   partials merge in part order, and ties break by entity id;
+//!   `Sequential` and `Rayon` backends that every hot stage fans out on,
+//!   providing ordered fan-out over index ranges (`map_parts`,
+//!   `map_range`), ownership shards (`map_shards`) and boundary-aligned
+//!   byte ranges (`map_chunks` — the primitive behind streaming ingest);
+//! - [`kb`] — entity descriptions, arena-backed interning, statistics,
+//!   the shared substrate (Fx hashing, CSR row storage ([`kb::Csr`]),
+//!   minimal JSON) and **ingest**: each input format has a whole-string
+//!   parser and a streaming chunked parser
+//!   ([`kb::parse::parse_ntriples_reader`], [`kb::parse::parse_tsv_reader`])
+//!   that never materializes the file as one `String` — line-aligned
+//!   byte blocks fan out over the executor into per-thread
+//!   [`kb::KbChunk`] partials (chunk-local interners, no shared state)
+//!   that merge in input order, reproducing the sequential parser's
+//!   output byte for byte;
+//! - [`text`] — tokenization, n-grams, the tokenized pair view; the
+//!   tokenizer fans out over entity ranges with part-local token
+//!   dictionaries merged in first-seen order;
 //! - [`blocking`] — token/name blocking, Block Purging, block metrics;
 //! - [`sim`] — `valueSim` (ARCS variant) and vector-space measures;
-//! - [`core`] — attribute/relation importance, the CSR-backed
-//!   [`core::SimilarityIndex`], heuristics H1–H4, the non-iterative
-//!   pipeline with per-stage [`core::Timings`];
+//! - [`core`] — attribute/relation importance (data-parallel passes with
+//!   order-independent integer merges), the CSR-backed
+//!   [`core::SimilarityIndex`] (valueSim sharded by `e1 % shards` with
+//!   per-block pre-grouped shard scans), heuristics H1–H4, the
+//!   non-iterative pipeline with per-stage [`core::Timings`];
 //! - [`baselines`] — Unique Mapping Clustering, BSL, SiGMa-like,
 //!   PARIS-like;
 //! - [`datagen`] — the four synthetic benchmark profiles;
 //! - [`eval`] — precision/recall/F1 and report tables.
 //!
+//! The paper's matching process is *massively parallel* by design
+//! (every similarity is a function of block statistics), and since the
+//! ingest pipeline went chunked there is no serial prefix left: parse,
+//! tokenize, importance, blocking, similarity indexing and the H2–H4
+//! scans all run on the executor. Parallel runs are **bit-identical**
+//! to sequential ones — per-pair floating-point sums keep block order,
+//! partials merge in part/chunk order, dictionaries merge in first-seen
+//! order, and ties break by entity id.
+//!
 //! The executor is selected per run through
 //! [`core::MinoanConfig::executor`] (and `--executor` / `--threads` on
-//! the CLI); the default is the parallel backend on all cores.
+//! the CLI); the default is the parallel backend on all cores. The CLI
+//! streams input files through the chunked parsers with
+//! [`core::MinoanConfig::ingest_chunk_kib`]-sized worker chunks.
 //!
 //! ```
 //! use minoaner::core::MinoanEr;

@@ -127,3 +127,102 @@ fn blocking_artifacts_are_identical_across_executors() {
         assert_eq!(seq_art.purge, par_art.purge, "purge reports differ");
     }
 }
+
+/// The pre-grouped shard scan must stay bit-identical when the shard
+/// count dwarfs typical block sizes (most per-block shard groups empty)
+/// and even exceeds the entity count.
+#[test]
+fn pregrouped_shard_scan_is_bit_identical_at_high_shard_counts() {
+    let d = DatasetKind::Restaurant.generate_scaled(SEED, SCALE);
+    let config = MinoanConfig::default();
+    let art = build_blocks(&d.pair, &config);
+    let tn1 = top_neighbors(
+        &d.pair.first,
+        config.top_relations_n,
+        config.max_top_neighbors,
+    );
+    let tn2 = top_neighbors(
+        &d.pair.second,
+        config.top_relations_n,
+        config.max_top_neighbors,
+    );
+    let seq = SimilarityIndex::build_with(
+        &art.token_blocks,
+        &art.tokens,
+        [&tn1, &tn2],
+        &Executor::sequential(),
+    );
+    let n1 = art.tokens.entity_count(KbSide::First);
+    for threads in [13, 64, n1 + 5] {
+        let exec = Executor::new(ExecutorKind::Rayon, threads);
+        let par = SimilarityIndex::build_with(&art.token_blocks, &art.tokens, [&tn1, &tn2], &exec);
+        assert_eq!(seq.pair_count(), par.pair_count(), "threads={threads}");
+        for side in [KbSide::First, KbSide::Second] {
+            for e in (0..art.tokens.entity_count(side) as u32).map(EntityId) {
+                assert_eq!(
+                    seq.value_candidates(side, e),
+                    par.value_candidates(side, e),
+                    "value candidates of {side:?} {e} differ at {threads} shards"
+                );
+                assert_eq!(
+                    seq.neighbor_candidates(side, e),
+                    par.neighbor_candidates(side, e),
+                    "neighbor candidates of {side:?} {e} differ at {threads} shards"
+                );
+            }
+        }
+    }
+}
+
+/// The parallelized ingest stages (tokenization, attribute/relation
+/// importance, name extraction, top-neighbor sets) must be bit-identical
+/// across executors on every profile — they feed everything downstream.
+#[test]
+fn ingest_stages_are_bit_identical_on_every_profile() {
+    use minoaner::core::{
+        attribute_importance_with, entity_names_with, relation_importance_with, top_neighbors_with,
+    };
+    use minoaner::text::{TokenizedPair, Tokenizer};
+    for kind in DatasetKind::ALL {
+        let d = kind.generate_scaled(SEED, SCALE);
+        let seq_exec = Executor::sequential();
+        let tokenizer = Tokenizer::default();
+        let seq_tokens = TokenizedPair::build(&d.pair, &tokenizer);
+        let seq_attr = attribute_importance_with(&d.pair.first, &seq_exec);
+        let seq_rel = relation_importance_with(&d.pair.first, &seq_exec);
+        let seq_names = entity_names_with(&d.pair.first, 2, &seq_exec);
+        let seq_tn = top_neighbors_with(&d.pair.first, 3, 32, &seq_exec);
+        for threads in THREAD_COUNTS {
+            let exec = Executor::new(ExecutorKind::Rayon, threads);
+            let par_tokens = TokenizedPair::build_with(&d.pair, &tokenizer, &exec);
+            assert_eq!(
+                seq_tokens.dict().len(),
+                par_tokens.dict().len(),
+                "{}: dictionary size differs at {threads} threads",
+                d.name
+            );
+            for side in [KbSide::First, KbSide::Second] {
+                for e in (0..seq_tokens.entity_count(side) as u32).map(EntityId) {
+                    assert_eq!(
+                        seq_tokens.tokens(side, e),
+                        par_tokens.tokens(side, e),
+                        "{}: token set of {side:?} {e} differs at {threads} threads",
+                        d.name
+                    );
+                }
+                for t in seq_tokens.dict().tokens() {
+                    assert_eq!(
+                        seq_tokens.dict().ef(side, t),
+                        par_tokens.dict().ef(side, t),
+                        "{}: EF differs at {threads} threads",
+                        d.name
+                    );
+                }
+            }
+            assert_eq!(seq_attr, attribute_importance_with(&d.pair.first, &exec));
+            assert_eq!(seq_rel, relation_importance_with(&d.pair.first, &exec));
+            assert_eq!(seq_names, entity_names_with(&d.pair.first, 2, &exec));
+            assert_eq!(seq_tn, top_neighbors_with(&d.pair.first, 3, 32, &exec));
+        }
+    }
+}
