@@ -22,14 +22,6 @@ const DATASET: DatasetKind = DatasetKind::RexaDblp;
 /// smoke dataset splits into multiple chunks per batch.
 const CHUNK_BYTES: usize = 64 << 10;
 
-fn executors() -> Vec<(String, Executor)> {
-    let mut execs = vec![("sequential".to_string(), Executor::sequential())];
-    for t in benchutil::thread_sweep() {
-        execs.push((format!("rayon-{t}"), Executor::new(ExecutorKind::Rayon, t)));
-    }
-    execs
-}
-
 fn bench_ingest(c: &mut Criterion, scale: f64, samples: usize) {
     let d = DATASET.generate_scaled(SEED, scale);
     // Serialize both sides to the TSV exchange format: the parse input.
@@ -66,12 +58,12 @@ fn bench_ingest(c: &mut Criterion, scale: f64, samples: usize) {
             },
         );
     }
-    for (name, exec) in executors() {
+    for (name, exec) in benchutil::sweep_executors() {
         group.bench_with_input(BenchmarkId::new("tokenize", &name), &exec, |b, exec| {
             b.iter(|| TokenizedPair::build_with(&d.pair, &tokenizer, exec))
         });
     }
-    for (name, exec) in executors() {
+    for (name, exec) in benchutil::sweep_executors() {
         group.bench_with_input(BenchmarkId::new("importance", &name), &exec, |b, exec| {
             b.iter(|| {
                 (
@@ -89,9 +81,8 @@ fn bench_ingest(c: &mut Criterion, scale: f64, samples: usize) {
 }
 
 fn main() {
-    let smoke = benchutil::smoke();
-    let scale = if smoke { 0.05 } else { 1.0 };
-    let samples = if smoke { 2 } else { 10 };
+    let scale = benchutil::smoke_scaled(1.0, 0.05);
+    let samples = benchutil::smoke_scaled(10, 2);
     let mut criterion = Criterion::default().configure_from_args();
     bench_ingest(&mut criterion, scale, samples);
     let results = criterion.take_results();
@@ -103,14 +94,8 @@ fn main() {
             format!("ingest/{bench}/rayon-{t}")
         })
     };
-    let mut fields: Vec<(String, Json)> = vec![
-        ("bench".into(), Json::str("ingest_parallel")),
-        ("dataset".into(), Json::str(DATASET.name())),
-        ("scale".into(), Json::Num(scale)),
-        ("smoke".into(), Json::Bool(smoke)),
-        ("stream_chunk_bytes".into(), Json::num(CHUNK_BYTES as f64)),
-    ];
-    fields.extend(benchutil::machine_fields(&sweep));
+    let mut fields = benchutil::trajectory_fields("ingest_parallel", DATASET.name(), scale, &sweep);
+    fields.push(("stream_chunk_bytes".into(), Json::num(CHUNK_BYTES as f64)));
     fields.push((
         "speedup".into(),
         Json::obj([

@@ -29,21 +29,6 @@ fn config_for(exec: &Executor) -> MinoanConfig {
     }
 }
 
-/// The benchmarked executors: the sequential baseline plus one rayon
-/// executor per swept thread count. Labels carry the thread count so the
-/// emitted results are self-describing.
-fn executors() -> Vec<(String, usize, Executor)> {
-    let mut execs = vec![("sequential".to_string(), 1, Executor::sequential())];
-    for t in benchutil::thread_sweep() {
-        execs.push((
-            format!("rayon-{t}"),
-            t,
-            Executor::new(ExecutorKind::Rayon, t),
-        ));
-    }
-    execs
-}
-
 fn bench_parallel(c: &mut Criterion, scale: f64, samples: usize) {
     let d = DATASET.generate_scaled(SEED, scale);
     let config = MinoanConfig::default();
@@ -61,7 +46,7 @@ fn bench_parallel(c: &mut Criterion, scale: f64, samples: usize) {
 
     let mut group = c.benchmark_group("parallel");
     group.sample_size(samples);
-    for (name, _, exec) in executors() {
+    for (name, exec) in benchutil::sweep_executors() {
         group.bench_with_input(
             BenchmarkId::new("simindex_build", &name),
             &exec,
@@ -72,7 +57,7 @@ fn bench_parallel(c: &mut Criterion, scale: f64, samples: usize) {
             },
         );
     }
-    for (name, _, exec) in executors() {
+    for (name, exec) in benchutil::sweep_executors() {
         let matcher = MinoanEr::new(config_for(&exec)).expect("valid config");
         group.bench_with_input(BenchmarkId::new("end_to_end", &name), &d.pair, |b, pair| {
             b.iter(|| matcher.run(pair))
@@ -82,9 +67,8 @@ fn bench_parallel(c: &mut Criterion, scale: f64, samples: usize) {
 }
 
 fn main() {
-    let smoke = benchutil::smoke();
-    let scale = if smoke { 0.05 } else { 1.0 };
-    let samples = if smoke { 2 } else { 10 };
+    let scale = benchutil::smoke_scaled(1.0, 0.05);
+    let samples = benchutil::smoke_scaled(10, 2);
     let mut criterion = Criterion::default().configure_from_args();
     bench_parallel(&mut criterion, scale, samples);
     let results = criterion.take_results();
@@ -99,20 +83,15 @@ fn main() {
             |t| format!("parallel/{bench}/rayon-{t}"),
         )
     };
-    let mut fields: Vec<(String, Json)> = vec![
-        ("bench".into(), Json::str("pipeline_parallel")),
-        ("dataset".into(), Json::str(DATASET.name())),
-        ("scale".into(), Json::Num(scale)),
-        ("smoke".into(), Json::Bool(smoke)),
-        (
-            "executor_kinds".into(),
-            Json::arr([
-                Json::str(ExecutorKind::Sequential.name()),
-                Json::str(ExecutorKind::Rayon.name()),
-            ]),
-        ),
-    ];
-    fields.extend(benchutil::machine_fields(&sweep));
+    let mut fields =
+        benchutil::trajectory_fields("pipeline_parallel", DATASET.name(), scale, &sweep);
+    fields.push((
+        "executor_kinds".into(),
+        Json::arr([
+            Json::str(ExecutorKind::Sequential.name()),
+            Json::str(ExecutorKind::Rayon.name()),
+        ]),
+    ));
     fields.push((
         "speedup".into(),
         Json::obj([

@@ -1,0 +1,146 @@
+//! Batch serving benchmarks: one fixed 8-job fleet (the four benchmark
+//! profiles × two seeds) scheduled at fleet sizes 1/2/4/8, emitting the
+//! `BENCH_serve.json` trajectory file at the workspace root.
+//!
+//! The sweep varies **pair-level parallelism** (`slots`) while the total
+//! thread budget stays fixed, so the speedup map measures what the
+//! serving layer adds over resolving the pairs one after another. Every
+//! run also cross-checks determinism: per-job fingerprints must be
+//! byte-identical at every fleet size, or the bench aborts. Peak RSS is
+//! recorded where the platform exposes it. `MINOAN_BENCH_SMOKE=1`
+//! shrinks scale and iterations for CI, which then validates the
+//! emitted JSON via [`minoan_bench::benchutil::check_bench_json`].
+
+use criterion::{BenchmarkId, Criterion};
+use minoan_bench::benchutil;
+use minoan_datagen::DatasetKind;
+use minoan_kb::Json;
+use minoan_serve::{run_batch, JobInput, JobSpec, Manifest, ServeOptions};
+
+const SEEDS: [u64; 2] = [20180416, 7];
+const FLEET_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// The benchmarked fleet: every profile at `scale`, under two seeds.
+fn fleet_manifest(scale: f64) -> Manifest {
+    let mut jobs = Vec::new();
+    for seed in SEEDS {
+        for kind in DatasetKind::ALL {
+            jobs.push(JobSpec {
+                name: format!("{}-{seed}", kind.name()),
+                input: JobInput::Synthetic { kind, seed, scale },
+                truth: None,
+                theta: None,
+                candidates_k: None,
+                purge_blocks: None,
+            });
+        }
+    }
+    Manifest {
+        slots: 0,
+        threads: 0,
+        memory_budget_mib: 0,
+        jobs,
+    }
+}
+
+fn options(slots: usize) -> ServeOptions {
+    ServeOptions {
+        slots: Some(slots),
+        ..ServeOptions::default()
+    }
+}
+
+fn bench_serve(c: &mut Criterion, manifest: &Manifest, samples: usize) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(samples);
+    for slots in FLEET_SWEEP {
+        group.bench_with_input(
+            BenchmarkId::new("fleet8", format!("slots-{slots}")),
+            &slots,
+            |b, &slots| b.iter(|| run_batch(manifest, &options(slots))),
+        );
+    }
+    group.finish();
+}
+
+/// Determinism gate: per-job fingerprints must not depend on the fleet
+/// size. Aborts the bench (non-zero exit) on divergence — a bench whose
+/// work varies per configuration measures nothing. Compares the serial
+/// fleet against the widest one only (two extra fleet runs, not one per
+/// swept size — `tests/batch_serving.rs` covers the exhaustive sweep).
+fn check_determinism(manifest: &Manifest) {
+    let fingerprints = |slots: usize| -> Vec<String> {
+        run_batch(manifest, &options(slots))
+            .jobs
+            .iter()
+            .map(|j| j.fingerprint())
+            .collect()
+    };
+    let widest = FLEET_SWEEP[FLEET_SWEEP.len() - 1];
+    if fingerprints(1) != fingerprints(widest) {
+        eprintln!("per-job results differ between slots-1 and slots-{widest}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    // Full scale is modest: the bench measures scheduling over 8 real
+    // pipeline runs, not single-pair throughput (benches/parallel.rs
+    // owns that).
+    let scale = benchutil::smoke_scaled(0.3, 0.05);
+    let samples = benchutil::smoke_scaled(5, 2);
+    let manifest = fleet_manifest(scale);
+    check_determinism(&manifest);
+
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_serve(&mut criterion, &manifest, samples);
+    let results = criterion.take_results();
+
+    let sweep = benchutil::thread_sweep();
+    let mut fields = benchutil::trajectory_fields("batch_serve", "fleet8", scale, &sweep);
+    fields.push((
+        "fleet_sweep".into(),
+        Json::arr(FLEET_SWEEP.iter().map(|&s| Json::num(s as f64))),
+    ));
+    fields.push(("jobs".into(), Json::num(manifest.jobs.len() as f64)));
+    fields.push((
+        "speedup".into(),
+        Json::obj([(
+            "fleet_over_sequential",
+            Json::obj(FLEET_SWEEP.map(|slots| {
+                let seq = benchutil::find(&results, "serve/fleet8/slots-1");
+                let par = benchutil::find(&results, &format!("serve/fleet8/slots-{slots}"));
+                let v = match (seq, par) {
+                    (Some(s), Some(p)) if p.median_ns > 0.0 => Json::Num(s.median_ns / p.median_ns),
+                    _ => Json::Null,
+                };
+                (slots.to_string(), v)
+            })),
+        )]),
+    ));
+    // Per-result array: serve ids carry the fleet size (`slots-N`), not
+    // a `rayon-N` thread label, so the shared `results_json` field
+    // `rayon_threads` would be wrong here.
+    fields.push((
+        "results".into(),
+        Json::arr(results.iter().map(|r| {
+            let slots =
+                r.id.rsplit_once("/slots-")
+                    .and_then(|(_, s)| s.parse::<usize>().ok())
+                    .unwrap_or(1);
+            Json::obj([
+                ("id", Json::str(&r.id)),
+                ("slots", Json::num(slots as f64)),
+                ("median_ns", Json::Num(r.median_ns)),
+                ("mean_ns", Json::Num(r.mean_ns)),
+                ("min_ns", Json::Num(r.min_ns)),
+                ("iterations", Json::num(r.iterations as f64)),
+            ])
+        })),
+    ));
+    benchutil::emit_checked(
+        env!("CARGO_MANIFEST_DIR"),
+        "BENCH_serve.json",
+        &Json::obj(fields),
+    );
+}

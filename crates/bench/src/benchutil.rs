@@ -3,8 +3,15 @@
 //! checks on the emitted files.
 
 use criterion::BenchResult;
+use minoan_exec::{Executor, ExecutorKind};
 use minoan_kb::Json;
 use std::path::Path;
+
+/// Peak resident set size of this process in bytes, where the platform
+/// exposes it. The canonical implementation lives in the serving layer
+/// (per-job RSS is a serving metric); the benches reuse it through this
+/// re-export instead of keeping their own copy.
+pub use minoan_serve::peak_rss_bytes;
 
 /// Whether the bench runs in smoke mode (`MINOAN_BENCH_SMOKE=1`):
 /// reduced scale and iterations, used by CI to validate the harness and
@@ -33,13 +40,46 @@ pub fn thread_sweep() -> Vec<usize> {
     sweep
 }
 
-/// Peak resident set size of this process in bytes, where the platform
-/// exposes it (Linux `/proc/self/status` `VmHWM`); `None` elsewhere.
-pub fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kib * 1024)
+/// The benchmarked executors shared by the trajectory benches: the
+/// sequential baseline plus one rayon executor per swept thread count,
+/// labels carrying the thread count so emitted results are
+/// self-describing (`threads_of` parses them back).
+pub fn sweep_executors() -> Vec<(String, Executor)> {
+    let mut execs = vec![("sequential".to_string(), Executor::sequential())];
+    for t in thread_sweep() {
+        execs.push((format!("rayon-{t}"), Executor::new(ExecutorKind::Rayon, t)));
+    }
+    execs
+}
+
+/// `full` normally, `smoke` under `MINOAN_BENCH_SMOKE=1` — the shared
+/// scale/sample-count switch of the trajectory benches.
+pub fn smoke_scaled<T>(full: T, smoke_value: T) -> T {
+    if smoke() {
+        smoke_value
+    } else {
+        full
+    }
+}
+
+/// The header fields every trajectory file starts with: bench name,
+/// dataset, scale, smoke flag, then the machine/sweep block
+/// ([`machine_fields`]). Benches append their own speedup maps and
+/// [`results_json`] and hand the lot to [`emit_checked`].
+pub fn trajectory_fields(
+    bench: &str,
+    dataset: &str,
+    scale: f64,
+    sweep: &[usize],
+) -> Vec<(String, Json)> {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("bench".into(), Json::str(bench)),
+        ("dataset".into(), Json::str(dataset)),
+        ("scale".into(), Json::Num(scale)),
+        ("smoke".into(), Json::Bool(smoke())),
+    ];
+    fields.extend(machine_fields(sweep));
+    fields
 }
 
 /// Peak RSS as JSON (`null` when unavailable).

@@ -4,6 +4,8 @@
 //! minoaner match  <first.(tsv|nt)> <second.(tsv|nt)> [--method minoaner|bsl|sigma|paris]
 //!                 [--truth <pairs.tsv>] [--json] [--theta F] [--k N] [--no-purge]
 //!                 [--executor sequential|rayon] [--threads N]
+//! minoaner batch  --manifest <fleet.(toml|json)> [--slots N] [--threads N]
+//!                 [--memory-mib N] [--executor sequential|rayon] [--json] [--pairs]
 //! minoaner demo   [restaurant|rexa|bbc|yago] [--scale F] [--seed N]
 //!                 [--executor sequential|rayon] [--threads N]
 //! minoaner stats  <kb.(tsv|nt)>
@@ -13,6 +15,14 @@
 //! URI); with it the tool reports precision/recall/F1. `--executor`
 //! selects the backend the hot pipeline stages run on (results are
 //! bit-identical across backends); `--threads 0` means all cores.
+//!
+//! `batch` resolves a whole fleet of KB pairs described by a manifest
+//! (see `minoan_serve::manifest`; `examples/fleet.toml` is a ready-made
+//! one): jobs are scheduled pairs-first across `--slots` fleet slots
+//! under bounded-memory admission, per-job completions stream to stderr,
+//! and the final report goes to stdout (`--json` for the machine
+//! spelling, `--pairs` to list every matched URI pair). A failed job
+//! does not stop the fleet, but the exit code is 1 when any job failed.
 
 use std::process::exit;
 
@@ -21,7 +31,8 @@ use minoan_blocking::unique_name_pairs;
 use minoan_core::{build_blocks, MinoanConfig, MinoanEr};
 use minoan_datagen::DatasetKind;
 use minoan_eval::MatchQuality;
-use minoan_kb::{parse, GroundTruth, Json, KbPair, KnowledgeBase, Matching};
+use minoan_kb::{GroundTruth, Json, KbPair, KnowledgeBase, Matching};
+use minoan_serve::{run_batch_streaming, CancelToken, Manifest, ServeOptions};
 use minoan_text::{TokenizedPair, Tokenizer};
 
 fn usage() -> ! {
@@ -29,6 +40,8 @@ fn usage() -> ! {
         "usage:\n  minoaner match <first> <second> [--method minoaner|bsl|sigma|paris] \
          [--truth pairs.tsv] [--json] [--theta F] [--k N] [--no-purge] \
          [--executor sequential|rayon] [--threads N]\n  \
+         minoaner batch --manifest fleet.(toml|json) [--slots N] [--threads N] \
+         [--memory-mib N] [--executor sequential|rayon] [--json] [--pairs]\n  \
          minoaner demo [restaurant|rexa|bbc|yago] [--scale F] [--seed N] \
          [--executor sequential|rayon] [--threads N]\n  \
          minoaner stats <kb>"
@@ -44,50 +57,23 @@ fn parse_executor(value: Option<&String>, config: &mut MinoanConfig) {
 }
 
 /// Loads a KB by **streaming** the file through the chunked parallel
-/// parser: the file is never materialized as one `String`, and parse
-/// work fans out over the configured executor.
+/// parser — the shared serving-layer loader
+/// ([`minoan_serve::load_kb_file`]), exit-on-error for the CLI.
 fn load_kb(path: &str, name: &str, config: &MinoanConfig) -> KnowledgeBase {
-    let file = std::fs::File::open(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        exit(1);
-    });
-    let exec = config.executor();
-    let opts = config.stream_options();
-    let result = if path.ends_with(".nt") || path.ends_with(".ntriples") {
-        parse::parse_ntriples_reader(name, file, &exec, opts)
-    } else {
-        parse::parse_tsv_reader(name, file, &exec, opts)
-    };
-    result.unwrap_or_else(|e| {
-        eprintln!("cannot parse {path}: {e}");
-        exit(1);
-    })
+    minoan_serve::load_kb_file(std::path::Path::new(path), name, config, &config.executor())
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1);
+        })
 }
 
+/// Loads a ground-truth TSV via the shared serving-layer loader (lines
+/// naming URIs absent from the pair are skipped).
 fn load_truth(path: &str, pair: &KbPair) -> GroundTruth {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
+    minoan_serve::load_truth_file(std::path::Path::new(path), pair).unwrap_or_else(|e| {
+        eprintln!("{e}");
         exit(1);
-    });
-    let mut truth = Matching::new();
-    for (i, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut cols = line.splitn(2, '\t');
-        let (Some(u1), Some(u2)) = (cols.next(), cols.next()) else {
-            eprintln!("{path}:{}: expected two tab-separated URIs", i + 1);
-            exit(1);
-        };
-        match (pair.first.entity_by_uri(u1), pair.second.entity_by_uri(u2)) {
-            (Some(e1), Some(e2)) => {
-                truth.insert(e1, e2);
-            }
-            _ => eprintln!("warning: {path}:{}: unknown URI, pair skipped", i + 1),
-        }
-    }
-    truth
+    })
 }
 
 fn report(matching: &Matching, pair: &KbPair, truth: Option<&GroundTruth>, json: bool) {
@@ -247,6 +233,116 @@ fn main() {
             let truth = truth_path.map(|p| load_truth(&p, &pair));
             let matching = run_method(&method, &pair, &config, truth.as_ref());
             report(&matching, &pair, truth.as_ref(), json);
+        }
+        Some("batch") => {
+            let mut manifest_path: Option<String> = None;
+            let mut opts = ServeOptions::default();
+            let mut json = false;
+            let mut pairs = false;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--manifest" => {
+                        manifest_path = Some(it.next().cloned().unwrap_or_else(|| usage()))
+                    }
+                    // Explicit flags override the manifest — including
+                    // explicit zeros (`--threads 0` = all cores,
+                    // `--memory-mib 0` = unlimited), so a manifest
+                    // limit can always be lifted from the command line.
+                    "--slots" => {
+                        opts.slots = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--threads" => {
+                        opts.threads = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--memory-mib" => {
+                        opts.memory_budget_mib = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--executor" => {
+                        let Some(kind) = it.next().and_then(|v| v.parse().ok()) else {
+                            usage()
+                        };
+                        opts.executor = kind;
+                    }
+                    "--json" => json = true,
+                    "--pairs" => pairs = true,
+                    _ => usage(),
+                }
+            }
+            let Some(manifest_path) = manifest_path else {
+                usage()
+            };
+            let manifest =
+                Manifest::load(std::path::Path::new(&manifest_path)).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    exit(1);
+                });
+            eprintln!(
+                "fleet: {} jobs, manifest {manifest_path}",
+                manifest.jobs.len()
+            );
+            // Stream one line per job as it completes; the final report
+            // stays in manifest order.
+            let report = run_batch_streaming(&manifest, &opts, &CancelToken::new(), |job| {
+                match (&job.status.is_ok(), &job.quality) {
+                    (true, Some(q)) => eprintln!(
+                        "  {}: ok, {} matches, F1 {:.2}%, {:.0} ms on {} threads",
+                        job.name,
+                        job.matches.len(),
+                        q.f1() * 100.0,
+                        job.wall.as_secs_f64() * 1e3,
+                        job.threads
+                    ),
+                    (true, None) => eprintln!(
+                        "  {}: ok, {} matches, {:.0} ms on {} threads",
+                        job.name,
+                        job.matches.len(),
+                        job.wall.as_secs_f64() * 1e3,
+                        job.threads
+                    ),
+                    _ => eprintln!("  {}: {}", job.name, job.status.label()),
+                }
+            });
+            if json {
+                println!("{}", report.to_json(pairs).pretty());
+            } else {
+                for job in &report.jobs {
+                    if pairs {
+                        for (a, b) in &job.matches {
+                            println!("{}\t{a}\t{b}", job.name);
+                        }
+                    } else {
+                        println!(
+                            "{}\t{}\t{} matches",
+                            job.name,
+                            job.status.label(),
+                            job.matches.len()
+                        );
+                    }
+                }
+                eprintln!(
+                    "fleet done: {}/{} ok, peak {} concurrent, {:.0} ms",
+                    report.ok_count(),
+                    report.jobs.len(),
+                    report.peak_concurrent_jobs,
+                    report.wall.as_secs_f64() * 1e3
+                );
+            }
+            if report.ok_count() < report.jobs.len() {
+                exit(1);
+            }
         }
         Some("demo") => {
             let mut kind = DatasetKind::Restaurant;

@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use minoan_blocking::{
     name_blocking_with, purge_with_exec, token_blocking_with, BlockCollection, PurgeReport,
 };
+use minoan_exec::Executor;
 use minoan_kb::{EntityId, FxHashSet, KbPair, Matching};
 use minoan_text::{TokenizedPair, Tokenizer};
 
@@ -98,17 +99,29 @@ pub struct BlockingArtifacts {
 /// running the block construction and purging statistics on the
 /// executor selected by `config`.
 pub fn build_blocks(pair: &KbPair, config: &MinoanConfig) -> BlockingArtifacts {
-    let exec = config.executor();
+    build_blocks_with(pair, config, &config.executor())
+}
+
+/// Like [`build_blocks`], but borrowing `exec` instead of constructing
+/// one from the config: the serving layer schedules many concurrent
+/// pipeline runs and owns the thread policy (how many workers each job
+/// gets), so the pipeline itself must be re-entrant with respect to the
+/// executor. The executor fields of `config` are ignored.
+pub fn build_blocks_with(
+    pair: &KbPair,
+    config: &MinoanConfig,
+    exec: &Executor,
+) -> BlockingArtifacts {
     let tokenizer = Tokenizer::default();
     let t_tok = Instant::now();
-    let tokens = TokenizedPair::build_with(pair, &tokenizer, &exec);
+    let tokens = TokenizedPair::build_with(pair, &tokenizer, exec);
     let tokenize_time = t_tok.elapsed();
-    let names1 = entity_names_with(&pair.first, config.name_attrs_k, &exec);
-    let names2 = entity_names_with(&pair.second, config.name_attrs_k, &exec);
-    let (bn, _) = name_blocking_with(&names1, &names2, &exec);
-    let bt_raw = token_blocking_with(&tokens, &exec);
+    let names1 = entity_names_with(&pair.first, config.name_attrs_k, exec);
+    let names2 = entity_names_with(&pair.second, config.name_attrs_k, exec);
+    let (bn, _) = name_blocking_with(&names1, &names2, exec);
+    let bt_raw = token_blocking_with(&tokens, exec);
     let (bt, purge) = if config.purge_blocks {
-        let (purged, report) = purge_with_exec(&bt_raw, config.purge_smoothing, &exec);
+        let (purged, report) = purge_with_exec(&bt_raw, config.purge_smoothing, exec);
         (purged, Some(report))
     } else {
         (bt_raw, None)
@@ -148,13 +161,22 @@ impl MinoanEr {
 
     /// Resolves `pair`, returning the matching and a stage report.
     pub fn run(&self, pair: &KbPair) -> MatchOutput {
-        let exec = self.config.executor();
+        self.run_with(pair, &self.config.executor())
+    }
+
+    /// Like [`MinoanEr::run`], but borrowing `exec` instead of building
+    /// one from the config. This is the re-entrant entry point the
+    /// serving layer uses: many jobs share one process, each handed an
+    /// executor sized by the fleet scheduler, while the matching
+    /// parameters still come from this matcher's config. Results are
+    /// bit-identical across executors and thread counts.
+    pub fn run_with(&self, pair: &KbPair, exec: &Executor) -> MatchOutput {
         let mut report = PipelineReport::default();
 
-        // Tokenize + block. `build_blocks` measures tokenization on its
-        // own clock, so blocking time excludes it.
+        // Tokenize + block. `build_blocks_with` measures tokenization on
+        // its own clock, so blocking time excludes it.
         let t0 = Instant::now();
-        let artifacts = build_blocks(pair, &self.config);
+        let artifacts = build_blocks_with(pair, &self.config, exec);
         report.timings.tokenize = artifacts.tokenize_time;
         report.timings.blocking = t0.elapsed().saturating_sub(artifacts.tokenize_time);
         report.name_blocks = artifacts.name_blocks.len();
@@ -183,19 +205,19 @@ impl MinoanEr {
             &pair.first,
             self.config.top_relations_n,
             self.config.max_top_neighbors,
-            &exec,
+            exec,
         );
         let tn2 = top_neighbors_with(
             &pair.second,
             self.config.top_relations_n,
             self.config.max_top_neighbors,
-            &exec,
+            exec,
         );
         let idx = SimilarityIndex::build_with(
             &artifacts.token_blocks,
             &artifacts.tokens,
             [&tn1, &tn2],
-            &exec,
+            exec,
         );
         report.timings.similarities = t0.elapsed();
 
@@ -203,7 +225,7 @@ impl MinoanEr {
         let t0 = Instant::now();
         let smaller = pair.smaller_side();
         let n_smaller = pair.kb(smaller).entity_count();
-        let h2 = h2_value_matches_with(&idx, smaller, n_smaller, [&matched[0], &matched[1]], &exec);
+        let h2 = h2_value_matches_with(&idx, smaller, n_smaller, [&matched[0], &matched[1]], exec);
         report.h2_matches = h2.len();
         for &(e1, e2) in &h2 {
             matching.insert(e1, e2);
@@ -219,7 +241,7 @@ impl MinoanEr {
             self.config.candidates_k,
             self.config.theta,
             [&matched[0], &matched[1]],
-            &exec,
+            exec,
         );
         report.h3_matches = h3.len();
         for &(e1, e2) in &h3 {
@@ -230,7 +252,7 @@ impl MinoanEr {
         // (pure reads over the index), applied in insertion order.
         let before = matching.len();
         let pairs: Vec<(EntityId, EntityId)> = matching.iter().collect();
-        let keep = h4_reciprocal_batch(&idx, self.config.candidates_k, &pairs, &exec);
+        let keep = h4_reciprocal_batch(&idx, self.config.candidates_k, &pairs, exec);
         let mut keep_flags = keep.iter();
         matching.retain(|_, _| *keep_flags.next().expect("one flag per pair"));
         report.h4_removed = before - matching.len();

@@ -74,6 +74,27 @@ impl DatasetKind {
         self.generate_scaled(seed, 1.0)
     }
 
+    /// Approximate number of entities (both sides together) that
+    /// [`DatasetKind::generate_scaled`] produces at `scale`, without
+    /// generating anything. The counts mirror the per-class entity
+    /// budgets of each profile (matched + side-only + companions) and
+    /// are the KB-stats input to the serving layer's bounded-memory
+    /// admission: a synthetic job's footprint is estimated from this
+    /// before the dataset exists.
+    pub fn approx_entities(self, scale: f64) -> usize {
+        let base = match self {
+            // restaurants (90+25+990) plus one address each.
+            DatasetKind::Restaurant => 2 * (90 + 25 + 990),
+            // publications (450+120+2600) + authors (280+80+1100).
+            DatasetKind::RexaDblp => 3170 + 1460,
+            // artists (700+550+1800) + places (550+60+160).
+            DatasetKind::BbcDbpedia => 3050 + 770,
+            // movies (700+90+140) + persons (1000+130+180).
+            DatasetKind::YagoImdb => 930 + 1310,
+        };
+        ((base as f64 * scale).round() as usize).max(1)
+    }
+
     /// Generates the dataset with entity counts multiplied by `scale`
     /// (used by the scale-sweep benchmarks).
     pub fn generate_scaled(self, seed: u64, scale: f64) -> Dataset {

@@ -1,0 +1,51 @@
+//! # minoan-serve — the multi-pair batch serving layer
+//!
+//! MinoanER resolves one KB pair; production traffic is a *fleet* of
+//! pairs. This crate is the layer that turns the engine into a service:
+//! it takes a manifest of dataset-pair jobs, schedules them across the
+//! executor with **pair-level parallelism first** and intra-pair
+//! parallelism for stragglers, and streams per-job results, timings and
+//! peak-RSS metrics into a report.
+//!
+//! ## Manifest format
+//!
+//! A manifest is a TOML-subset or JSON document (see [`manifest`] for
+//! the full field reference and [`toml`] for the supported TOML slice):
+//! fleet knobs (`slots`, `threads`, `memory_budget_mib`) plus a list of
+//! jobs, each either *synthetic* (`dataset`/`seed`/`scale`, a benchmark
+//! profile generated in-process) or *file-based* (`first`/`second` KB
+//! paths with an optional `truth` file), with optional per-job matching
+//! overrides (`theta`, `k`, `purge`).
+//!
+//! ## Admission policy
+//!
+//! Jobs are admitted strictly in manifest order under a memory budget.
+//! Each job's footprint is estimated **before any input is loaded** —
+//! from the profile's entity budget for synthetic jobs, from on-disk
+//! file sizes for file jobs — and a job waits until the in-flight
+//! estimates leave room. The head job is always admitted when nothing
+//! else runs, so an over-budget job degrades to running alone rather
+//! than deadlocking the fleet. One poisoned job (corrupt input, bad
+//! config, a panic) fails alone; the fleet completes.
+//!
+//! ## Determinism
+//!
+//! Per-job outputs are bit-identical regardless of fleet size, thread
+//! count or scheduling order: the pipeline itself is bit-identical
+//! across executors ([`minoan_core::MinoanEr::run_with`]), jobs share no
+//! mutable state, and reports are assembled in manifest order.
+//! [`JobReport::fingerprint`] canonicalizes exactly the deterministic
+//! part of a result, which is what the equivalence tests compare.
+
+#![warn(missing_docs)]
+
+pub mod manifest;
+pub mod report;
+pub mod scheduler;
+pub mod toml;
+
+pub use manifest::{JobInput, JobSpec, Manifest};
+pub use report::{fnv1a, peak_rss_bytes, JobReport, JobStatus, ServeReport};
+pub use scheduler::{
+    load_kb_file, load_truth_file, run_batch, run_batch_streaming, CancelToken, ServeOptions,
+};

@@ -1,0 +1,495 @@
+//! Batch manifests: which KB pairs to resolve, with what parameters.
+//!
+//! A manifest is a TOML (subset, see [`crate::toml`]) or JSON document
+//! listing resolution jobs plus fleet-level scheduling knobs:
+//!
+//! ```toml
+//! slots = 4               # pair-level parallelism (0 = one slot per core)
+//! threads = 0             # total worker-thread budget (0 = all cores)
+//! memory_budget_mib = 512 # bounded-memory admission (0 = unlimited)
+//!
+//! [[job]]                 # synthetic job: a benchmark profile
+//! name = "rexa-small"
+//! dataset = "rexa"        # restaurant | rexa | bbc | yago
+//! seed = 20180416
+//! scale = 0.1
+//!
+//! [[job]]                 # file job: on-disk KBs (.tsv / .nt)
+//! name = "films"
+//! first = "data/yago.nt"
+//! second = "data/imdb.tsv"
+//! truth = "data/truth.tsv" # optional ground truth (2-column TSV)
+//! theta = 0.5              # optional per-job overrides
+//! k = 10
+//! purge = false
+//! ```
+//!
+//! The JSON spelling is the same object shape with a `jobs` array. The
+//! scheduler admits jobs in manifest order under the memory budget: a
+//! job's footprint is **estimated before loading anything** — from the
+//! profile's entity budget for synthetic jobs ([`JobSpec::estimated_bytes`])
+//! and from on-disk file sizes for file jobs — and the job waits until
+//! the in-flight estimate leaves room (the head job always runs alone
+//! rather than deadlocking when it is bigger than the whole budget).
+
+use std::path::{Path, PathBuf};
+
+use minoan_core::MinoanConfig;
+use minoan_datagen::DatasetKind;
+use minoan_kb::Json;
+
+use crate::toml::parse_toml;
+
+/// Estimated resident bytes per synthetic entity once parsed, tokenized,
+/// blocked and indexed (measured on the benchmark profiles, rounded up).
+pub const BYTES_PER_ENTITY: u64 = 4 << 10;
+
+/// Estimated in-memory blow-up of an on-disk KB file after parsing,
+/// tokenization, blocking and similarity indexing.
+pub const FILE_FOOTPRINT_FACTOR: u64 = 12;
+
+/// The input of one resolution job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobInput {
+    /// A synthetic benchmark profile (deterministic in seed and scale).
+    Synthetic {
+        /// Which profile to generate.
+        kind: DatasetKind,
+        /// Generation seed.
+        seed: u64,
+        /// Entity-count scale factor.
+        scale: f64,
+    },
+    /// Two on-disk KB files (`.nt`/`.ntriples` or TSV).
+    Files {
+        /// First KB path.
+        first: PathBuf,
+        /// Second KB path.
+        second: PathBuf,
+    },
+}
+
+/// One resolution job: a KB pair plus optional parameter overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Unique job name (report key).
+    pub name: String,
+    /// Where the KB pair comes from.
+    pub input: JobInput,
+    /// Optional ground-truth file (2-column TSV of matching URIs).
+    /// Synthetic jobs carry their own ground truth and ignore this.
+    pub truth: Option<PathBuf>,
+    /// Per-job `θ` override.
+    pub theta: Option<f64>,
+    /// Per-job `K` (candidate list size) override.
+    pub candidates_k: Option<usize>,
+    /// Per-job Block Purging override.
+    pub purge_blocks: Option<bool>,
+}
+
+impl JobSpec {
+    /// The matching configuration for this job: `base` with this job's
+    /// overrides applied. Executor fields of `base` are irrelevant — the
+    /// scheduler hands the pipeline an executor directly.
+    pub fn config(&self, base: &MinoanConfig) -> MinoanConfig {
+        let mut config = base.clone();
+        if let Some(theta) = self.theta {
+            config.theta = theta;
+        }
+        if let Some(k) = self.candidates_k {
+            config.candidates_k = k;
+        }
+        if let Some(purge) = self.purge_blocks {
+            config.purge_blocks = purge;
+        }
+        config
+    }
+
+    /// Estimated peak resident footprint of running this job, computed
+    /// **before** loading anything: synthetic jobs scale the profile's
+    /// entity budget ([`DatasetKind::approx_entities`], the KB-stats
+    /// side of admission), file jobs scale the on-disk sizes. A file
+    /// that cannot be stat-ed estimates as zero — the job will fail
+    /// cleanly at load time instead.
+    pub fn estimated_bytes(&self) -> u64 {
+        match &self.input {
+            JobInput::Synthetic { kind, scale, .. } => {
+                kind.approx_entities(*scale) as u64 * BYTES_PER_ENTITY
+            }
+            JobInput::Files { first, second } => {
+                let size = |p: &PathBuf| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+                (size(first) + size(second)) * FILE_FOOTPRINT_FACTOR
+            }
+        }
+    }
+}
+
+/// A parsed batch manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Fleet slots: maximum concurrently running jobs (`0` = one per
+    /// available core, clamped to the job count).
+    pub slots: usize,
+    /// Total worker-thread budget shared by all running jobs (`0` = all
+    /// available cores).
+    pub threads: usize,
+    /// Memory budget for admission, in MiB (`0` = unlimited).
+    pub memory_budget_mib: usize,
+    /// The jobs, in admission order.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl Manifest {
+    /// Loads a manifest from `path`, choosing the format by extension
+    /// (`.toml` vs `.json`; anything else tries TOML first).
+    pub fn load(path: &Path) -> Result<Manifest, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let is_json = path
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("json"));
+        let result = if is_json {
+            Manifest::parse_json(&text)
+        } else {
+            Manifest::parse_toml(&text)
+        };
+        result.map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses the TOML spelling.
+    pub fn parse_toml(text: &str) -> Result<Manifest, String> {
+        Manifest::from_json(&parse_toml(text)?)
+    }
+
+    /// Parses the JSON spelling.
+    pub fn parse_json(text: &str) -> Result<Manifest, String> {
+        Manifest::from_json(&Json::parse(text)?)
+    }
+
+    /// Builds a manifest from the common JSON object shape. The job list
+    /// may be spelled `jobs` (JSON) or `job` (TOML array-of-tables).
+    /// Unknown fields error, like [`MinoanConfig::from_json`].
+    pub fn from_json(json: &Json) -> Result<Manifest, String> {
+        let Json::Obj(fields) = json else {
+            return Err("manifest must be an object".into());
+        };
+        let mut manifest = Manifest {
+            slots: 0,
+            threads: 0,
+            memory_budget_mib: 0,
+            jobs: Vec::new(),
+        };
+        for (key, value) in fields {
+            let bad = || format!("bad value for {key}");
+            match key.as_str() {
+                "slots" => manifest.slots = value.as_usize().ok_or_else(bad)?,
+                "threads" => manifest.threads = value.as_usize().ok_or_else(bad)?,
+                "memory_budget_mib" => {
+                    manifest.memory_budget_mib = value.as_usize().ok_or_else(bad)?
+                }
+                "job" | "jobs" => {
+                    let Json::Arr(items) = value else {
+                        return Err(format!("{key} must be an array"));
+                    };
+                    for (i, item) in items.iter().enumerate() {
+                        manifest
+                            .jobs
+                            .push(job_from_json(item).map_err(|e| format!("job #{}: {e}", i + 1))?);
+                    }
+                }
+                other => return Err(format!("unknown manifest field {other:?}")),
+            }
+        }
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// Validates the manifest: at least one job, unique names, parameter
+    /// overrides in range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.jobs.is_empty() {
+            return Err("manifest has no jobs".into());
+        }
+        for (i, job) in self.jobs.iter().enumerate() {
+            let ctx = |msg: String| format!("job #{} ({}): {msg}", i + 1, job.name);
+            if job.name.is_empty() {
+                return Err(format!("job #{} has an empty name", i + 1));
+            }
+            if self.jobs[..i].iter().any(|j| j.name == job.name) {
+                return Err(ctx("duplicate job name".into()));
+            }
+            if let JobInput::Synthetic { scale, .. } = job.input {
+                let positive = scale.is_finite() && scale > 0.0;
+                if !positive {
+                    return Err(ctx(format!("scale must be positive, got {scale}")));
+                }
+            }
+            if let Some(theta) = job.theta {
+                if !(0.0 < theta && theta < 1.0) {
+                    return Err(ctx(format!("theta must be in (0,1), got {theta}")));
+                }
+            }
+            if job.candidates_k == Some(0) {
+                return Err(ctx("k must be at least 1".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the manifest as its JSON spelling (round-trips through
+    /// [`Manifest::from_json`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("slots", Json::num(self.slots as f64)),
+            ("threads", Json::num(self.threads as f64)),
+            (
+                "memory_budget_mib",
+                Json::num(self.memory_budget_mib as f64),
+            ),
+            ("jobs", Json::arr(self.jobs.iter().map(job_to_json))),
+        ])
+    }
+}
+
+/// Parses the `dataset` field of a synthetic job.
+pub fn parse_dataset_kind(name: &str) -> Result<DatasetKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "restaurant" => Ok(DatasetKind::Restaurant),
+        "rexa" | "rexa-dblp" => Ok(DatasetKind::RexaDblp),
+        "bbc" | "bbcmusic-dbpedia" => Ok(DatasetKind::BbcDbpedia),
+        "yago" | "yago-imdb" => Ok(DatasetKind::YagoImdb),
+        other => Err(format!(
+            "unknown dataset {other:?} (expected restaurant|rexa|bbc|yago)"
+        )),
+    }
+}
+
+fn job_from_json(json: &Json) -> Result<JobSpec, String> {
+    let Json::Obj(fields) = json else {
+        return Err("job must be an object".into());
+    };
+    let mut name = None;
+    let mut dataset = None;
+    let mut seed: Option<u64> = None;
+    let mut scale: Option<f64> = None;
+    let mut first = None;
+    let mut second = None;
+    let mut truth = None;
+    let mut theta = None;
+    let mut candidates_k = None;
+    let mut purge_blocks = None;
+    for (key, value) in fields {
+        let bad = || format!("bad value for {key}");
+        match key.as_str() {
+            "name" => name = Some(value.as_str().ok_or_else(bad)?.to_string()),
+            "dataset" => dataset = Some(parse_dataset_kind(value.as_str().ok_or_else(bad)?)?),
+            "seed" => {
+                let s = value.as_usize().ok_or_else(bad)?;
+                // Manifest numbers travel through f64: a seed above 2^53
+                // would already have been rounded by the number parse,
+                // silently running a different seed than written. A
+                // parsed value of exactly 2^53 is indistinguishable from
+                // a rounded 2^53+1, so the boundary itself is rejected
+                // too.
+                if s >= (1 << f64::MANTISSA_DIGITS) {
+                    return Err(format!(
+                        "seed {s} is not exactly representable in the manifest \
+                         number format (seeds must be below 2^{})",
+                        f64::MANTISSA_DIGITS
+                    ));
+                }
+                seed = Some(s as u64);
+            }
+            "scale" => scale = Some(value.as_f64().ok_or_else(bad)?),
+            "first" => first = Some(PathBuf::from(value.as_str().ok_or_else(bad)?)),
+            "second" => second = Some(PathBuf::from(value.as_str().ok_or_else(bad)?)),
+            "truth" => truth = Some(PathBuf::from(value.as_str().ok_or_else(bad)?)),
+            "theta" => theta = Some(value.as_f64().ok_or_else(bad)?),
+            "k" => candidates_k = Some(value.as_usize().ok_or_else(bad)?),
+            "purge" => purge_blocks = Some(value.as_bool().ok_or_else(bad)?),
+            other => return Err(format!("unknown job field {other:?}")),
+        }
+    }
+    let name = name.ok_or("job needs a name")?;
+    let input = match (dataset, first, second) {
+        (Some(kind), None, None) => JobInput::Synthetic {
+            kind,
+            seed: seed.unwrap_or(20180416),
+            scale: scale.unwrap_or(1.0),
+        },
+        (None, Some(first), Some(second)) => {
+            // Same strictness as unknown fields: a synthetic-only knob
+            // on a file job would otherwise be silently dropped.
+            if seed.is_some() || scale.is_some() {
+                return Err("seed/scale apply to synthetic jobs only, not file jobs".into());
+            }
+            JobInput::Files { first, second }
+        }
+        (Some(_), _, _) => {
+            return Err(
+                "a job is either synthetic (dataset) or file-based (first/second), not both".into(),
+            )
+        }
+        _ => return Err("job needs either dataset or first+second".into()),
+    };
+    Ok(JobSpec {
+        name,
+        input,
+        truth,
+        theta,
+        candidates_k,
+        purge_blocks,
+    })
+}
+
+fn job_to_json(job: &JobSpec) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![("name".into(), Json::str(&job.name))];
+    match &job.input {
+        JobInput::Synthetic { kind, seed, scale } => {
+            let spelled = match kind {
+                DatasetKind::Restaurant => "restaurant",
+                DatasetKind::RexaDblp => "rexa",
+                DatasetKind::BbcDbpedia => "bbc",
+                DatasetKind::YagoImdb => "yago",
+            };
+            fields.push(("dataset".into(), Json::str(spelled)));
+            fields.push(("seed".into(), Json::num(*seed as f64)));
+            fields.push(("scale".into(), Json::Num(*scale)));
+        }
+        JobInput::Files { first, second } => {
+            fields.push(("first".into(), Json::str(first.display().to_string())));
+            fields.push(("second".into(), Json::str(second.display().to_string())));
+        }
+    }
+    if let Some(truth) = &job.truth {
+        fields.push(("truth".into(), Json::str(truth.display().to_string())));
+    }
+    if let Some(theta) = job.theta {
+        fields.push(("theta".into(), Json::Num(theta)));
+    }
+    if let Some(k) = job.candidates_k {
+        fields.push(("k".into(), Json::num(k as f64)));
+    }
+    if let Some(purge) = job.purge_blocks {
+        fields.push(("purge".into(), Json::Bool(purge)));
+    }
+    Json::Obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOML: &str = "\
+slots = 2\nthreads = 4\nmemory_budget_mib = 256\n\
+[[job]]\nname = \"syn\"\ndataset = \"rexa\"\nseed = 7\nscale = 0.25\n\
+[[job]]\nname = \"fil\"\nfirst = \"a.tsv\"\nsecond = \"b.nt\"\ntruth = \"t.tsv\"\ntheta = 0.5\nk = 9\npurge = false\n";
+
+    #[test]
+    fn toml_manifest_parses() {
+        let m = Manifest::parse_toml(TOML).unwrap();
+        assert_eq!(m.slots, 2);
+        assert_eq!(m.threads, 4);
+        assert_eq!(m.memory_budget_mib, 256);
+        assert_eq!(m.jobs.len(), 2);
+        assert_eq!(
+            m.jobs[0].input,
+            JobInput::Synthetic {
+                kind: DatasetKind::RexaDblp,
+                seed: 7,
+                scale: 0.25
+            }
+        );
+        assert_eq!(m.jobs[1].theta, Some(0.5));
+        assert_eq!(m.jobs[1].candidates_k, Some(9));
+        assert_eq!(m.jobs[1].purge_blocks, Some(false));
+        assert_eq!(m.jobs[1].truth.as_deref(), Some(Path::new("t.tsv")));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = Manifest::parse_toml(TOML).unwrap();
+        let back = Manifest::parse_json(&m.to_json().pretty()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn overrides_apply_to_config() {
+        let m = Manifest::parse_toml(TOML).unwrap();
+        let base = MinoanConfig::default();
+        let c0 = m.jobs[0].config(&base);
+        assert_eq!(c0.theta, base.theta, "no override keeps the base");
+        let c1 = m.jobs[1].config(&base);
+        assert_eq!(c1.theta, 0.5);
+        assert_eq!(c1.candidates_k, 9);
+        assert!(!c1.purge_blocks);
+    }
+
+    #[test]
+    fn synthetic_estimates_scale_with_entities() {
+        let small = JobSpec {
+            name: "s".into(),
+            input: JobInput::Synthetic {
+                kind: DatasetKind::RexaDblp,
+                seed: 1,
+                scale: 0.1,
+            },
+            truth: None,
+            theta: None,
+            candidates_k: None,
+            purge_blocks: None,
+        };
+        let mut big = small.clone();
+        big.input = JobInput::Synthetic {
+            kind: DatasetKind::RexaDblp,
+            seed: 1,
+            scale: 1.0,
+        };
+        assert!(small.estimated_bytes() > 0);
+        assert!(big.estimated_bytes() > 5 * small.estimated_bytes());
+    }
+
+    #[test]
+    fn bad_manifests_are_rejected() {
+        for (text, needle) in [
+            ("slots = 1\n", "no jobs"),
+            ("[[job]]\ndataset = \"rexa\"\n", "needs a name"),
+            ("[[job]]\nname = \"x\"\n", "either dataset or"),
+            (
+                "[[job]]\nname = \"x\"\ndataset = \"rexa\"\nfirst = \"a\"\nsecond = \"b\"\n",
+                "not both",
+            ),
+            (
+                "[[job]]\nname = \"x\"\ndataset = \"mars\"\n",
+                "unknown dataset",
+            ),
+            (
+                "[[job]]\nname = \"x\"\ndataset = \"rexa\"\ntheta = 1.5\n",
+                "theta",
+            ),
+            (
+                "[[job]]\nname = \"x\"\ndataset = \"rexa\"\nscale = 0\n",
+                "scale",
+            ),
+            (
+                "[[job]]\nname = \"x\"\ndataset = \"rexa\"\n[[job]]\nname = \"x\"\ndataset = \"bbc\"\n",
+                "duplicate",
+            ),
+            ("wat = 1\n", "unknown manifest field"),
+            ("[[job]]\nname = \"x\"\ndataset = \"rexa\"\nwat = 1\n", "unknown job field"),
+            // 2^53 + 1: rounds to 2^53 in the f64 number pipeline, so it
+            // must be rejected rather than silently run as a neighbor.
+            (
+                "[[job]]\nname = \"x\"\ndataset = \"rexa\"\nseed = 9007199254740993\n",
+                "not exactly representable",
+            ),
+            (
+                "[[job]]\nname = \"x\"\nfirst = \"a.tsv\"\nsecond = \"b.tsv\"\nscale = 0.1\n",
+                "synthetic jobs only",
+            ),
+        ] {
+            let err = Manifest::parse_toml(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?} -> {err}");
+        }
+    }
+}

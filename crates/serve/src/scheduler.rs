@@ -1,0 +1,592 @@
+//! The fleet scheduler: pair-level parallelism first, bounded-memory
+//! admission, failure isolation.
+//!
+//! ## Scheduling policy
+//!
+//! - **Pairs first.** Up to `slots` jobs run concurrently, each on its
+//!   own executor. The total thread budget is divided with real
+//!   accounting: a claim takes `max(1, free / fill)` workers, where
+//!   `free` is the budget minus the allotments of running jobs and
+//!   `fill` the fleet slots left to take jobs — so allotments sum to
+//!   the budget while the fleet is full, and as the queue drains the
+//!   stragglers automatically widen to intra-pair parallelism (the last
+//!   job alone gets every free thread). The one-thread floor means
+//!   `slots > threads` oversubscribes by design — that configuration
+//!   explicitly asks for more concurrent pairs than budget threads.
+//! - **Bounded-memory admission.** Jobs are admitted strictly in
+//!   manifest order. Before anything is loaded, a job's footprint is
+//!   estimated ([`JobSpec::estimated_bytes`] — profile entity budgets
+//!   for synthetic jobs, on-disk sizes for file jobs) and the job waits
+//!   until the sum of in-flight estimates leaves room in the budget.
+//!   The head job is always admitted when nothing is running, so a job
+//!   bigger than the whole budget runs alone instead of deadlocking.
+//! - **Failure isolation.** A job that fails to load, fails validation
+//!   or panics produces a `Failed` report; the fleet keeps going. A
+//!   [`CancelToken`] flips remaining undispatched jobs to `Cancelled`
+//!   without interrupting jobs already running.
+//! - **Determinism.** Job results never depend on scheduling: the
+//!   pipeline is bit-identical across executors and thread counts, and
+//!   each job's inputs are private to it. The fleet report lists jobs in
+//!   manifest order regardless of completion order.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use minoan_core::{MinoanConfig, MinoanEr};
+use minoan_datagen::Dataset;
+use minoan_eval::MatchQuality;
+use minoan_exec::{Executor, ExecutorKind, MAX_THREADS};
+use minoan_kb::{parse, GroundTruth, KbPair, Matching};
+
+use crate::manifest::{JobInput, JobSpec, Manifest};
+use crate::report::{peak_rss_bytes, JobReport, JobStatus, ServeReport};
+
+/// Fleet-level options. `None` defers to the manifest; an explicit
+/// value — including an explicit zero — overrides it, so an operator
+/// can always lift a manifest limit from the command line.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Max concurrently running jobs (`Some(0)` = one per available
+    /// core, clamped to the job count).
+    pub slots: Option<usize>,
+    /// Total worker-thread budget shared by running jobs (`Some(0)` =
+    /// all available cores).
+    pub threads: Option<usize>,
+    /// Admission budget in MiB (`Some(0)` = unlimited).
+    pub memory_budget_mib: Option<usize>,
+    /// Executor backend every job runs on.
+    pub executor: ExecutorKind,
+    /// Matching defaults; per-job overrides apply on top.
+    pub base: MinoanConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            slots: None,
+            threads: None,
+            memory_budget_mib: None,
+            executor: ExecutorKind::Rayon,
+            base: MinoanConfig::default(),
+        }
+    }
+}
+
+/// Cooperative cancellation: cancelling stops *dispatching* jobs (they
+/// report `Cancelled`); jobs already running complete normally.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Admission-queue state shared by the worker threads.
+struct QueueState {
+    /// Index of the next undispatched job.
+    next: usize,
+    /// Sum of footprint estimates of running jobs.
+    in_flight_bytes: u64,
+    /// Currently running jobs.
+    active: usize,
+    /// High-water mark of `active`.
+    peak_active: usize,
+    /// Sum of thread allotments of running jobs.
+    threads_in_use: usize,
+}
+
+/// Runs every job of `manifest` and returns the fleet report.
+pub fn run_batch(manifest: &Manifest, opts: &ServeOptions) -> ServeReport {
+    run_batch_streaming(manifest, opts, &CancelToken::new(), |_| {})
+}
+
+/// Like [`run_batch`], but streaming: `on_done` is invoked once per job
+/// as it finishes (in completion order, possibly from multiple worker
+/// threads), before the fleet report is assembled.
+pub fn run_batch_streaming(
+    manifest: &Manifest,
+    opts: &ServeOptions,
+    cancel: &CancelToken,
+    on_done: impl Fn(&JobReport) + Sync,
+) -> ServeReport {
+    let t0 = Instant::now();
+    let jobs = &manifest.jobs;
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let or_available = |v: usize| if v == 0 { available } else { v };
+    let slots = or_available(opts.slots.unwrap_or(manifest.slots))
+        .min(jobs.len().max(1))
+        .min(MAX_THREADS);
+    let threads = or_available(opts.threads.unwrap_or(manifest.threads)).min(MAX_THREADS);
+    // Budget zero means unlimited (not "all available").
+    let budget_mib = opts.memory_budget_mib.unwrap_or(manifest.memory_budget_mib);
+    let budget_bytes = budget_mib as u64 * (1 << 20);
+    let estimates: Vec<u64> = jobs.iter().map(JobSpec::estimated_bytes).collect();
+
+    let state = Mutex::new(QueueState {
+        next: 0,
+        in_flight_bytes: 0,
+        active: 0,
+        peak_active: 0,
+        threads_in_use: 0,
+    });
+    let admit = Condvar::new();
+    let results: Mutex<Vec<Option<JobReport>>> = Mutex::new(jobs.iter().map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..slots {
+            scope.spawn(|| {
+                worker(
+                    jobs,
+                    &estimates,
+                    opts,
+                    slots,
+                    threads,
+                    budget_bytes,
+                    cancel,
+                    &state,
+                    &admit,
+                    &results,
+                    &on_done,
+                );
+            });
+        }
+    });
+
+    let jobs = results
+        .into_inner()
+        .expect("no worker panicked holding the results lock")
+        .into_iter()
+        .map(|r| r.expect("every job produced a report"))
+        .collect();
+    let peak_active = state.lock().expect("state lock").peak_active;
+    ServeReport {
+        jobs,
+        slots,
+        threads,
+        memory_budget_bytes: budget_bytes,
+        peak_concurrent_jobs: peak_active,
+        wall: t0.elapsed(),
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+/// One fleet worker: claim the head job once it is admitted, run it,
+/// repeat until the queue is empty.
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    jobs: &[JobSpec],
+    estimates: &[u64],
+    opts: &ServeOptions,
+    slots: usize,
+    threads: usize,
+    budget_bytes: u64,
+    cancel: &CancelToken,
+    state: &Mutex<QueueState>,
+    admit: &Condvar,
+    results: &Mutex<Vec<Option<JobReport>>>,
+    on_done: &(impl Fn(&JobReport) + Sync),
+) {
+    loop {
+        // Claim the next job under the admission rule.
+        let (index, job_threads, cancelled) = {
+            let mut guard = state.lock().expect("state lock");
+            loop {
+                if guard.next >= jobs.len() {
+                    return;
+                }
+                let index = guard.next;
+                if cancel.is_cancelled() {
+                    guard.next += 1;
+                    break (index, 0, true);
+                }
+                let est = estimates[index];
+                let fits = budget_bytes == 0
+                    || guard.active == 0
+                    || guard.in_flight_bytes.saturating_add(est) <= budget_bytes;
+                if fits {
+                    // Straggler widening with real accounting: divide
+                    // the threads not already allotted to running jobs
+                    // across the fleet slots left to fill (this claim
+                    // included), so allotments sum to `threads` while
+                    // the fleet is full and the last jobs widen as the
+                    // queue drains. The one-thread floor means a fleet
+                    // wider than its thread budget (`slots > threads`)
+                    // oversubscribes — that is the configuration asking
+                    // for concurrency beyond the budget, not a leak.
+                    let remaining = jobs.len() - index;
+                    let fill = (slots - guard.active).min(remaining).max(1);
+                    let free = threads.saturating_sub(guard.threads_in_use);
+                    let allot = (free / fill).max(1);
+                    guard.next += 1;
+                    guard.active += 1;
+                    guard.peak_active = guard.peak_active.max(guard.active);
+                    guard.in_flight_bytes += est;
+                    guard.threads_in_use += allot;
+                    break (index, allot, false);
+                }
+                guard = admit.wait(guard).expect("admission wait");
+            }
+        };
+
+        let report = if cancelled {
+            let mut r = JobReport::empty(&jobs[index].name, JobStatus::Cancelled);
+            r.estimated_bytes = estimates[index];
+            r
+        } else {
+            let report = run_job(&jobs[index], opts, job_threads, estimates[index]);
+            let mut guard = state.lock().expect("state lock");
+            guard.active -= 1;
+            guard.in_flight_bytes -= estimates[index];
+            guard.threads_in_use -= job_threads;
+            drop(guard);
+            admit.notify_all();
+            report
+        };
+
+        on_done(&report);
+        results.lock().expect("results lock")[index] = Some(report);
+    }
+}
+
+/// Runs one job start to finish, converting every failure mode — input
+/// errors, config errors, panics — into a `Failed` report.
+fn run_job(spec: &JobSpec, opts: &ServeOptions, threads: usize, estimated: u64) -> JobReport {
+    let t0 = Instant::now();
+    let exec = Executor::new(opts.executor, threads);
+    let outcome =
+        catch_unwind(AssertUnwindSafe(|| execute(spec, opts, &exec))).unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(format!("job panicked: {msg}"))
+        });
+    let mut report = match outcome {
+        Ok(report) => report,
+        Err(e) => JobReport::empty(&spec.name, JobStatus::Failed(e)),
+    };
+    report.wall = t0.elapsed();
+    report.threads = exec.threads();
+    report.estimated_bytes = estimated;
+    report.peak_rss_bytes = peak_rss_bytes();
+    report
+}
+
+/// Loads the job's inputs and resolves the pair on `exec`.
+fn execute(spec: &JobSpec, opts: &ServeOptions, exec: &Executor) -> Result<JobReport, String> {
+    let config = spec.config(&opts.base);
+    let matcher = MinoanEr::new(config.clone()).map_err(|e| format!("bad config: {e}"))?;
+    let (pair, truth) = load_input(spec, &config, exec)?;
+    let out = matcher.run_with(&pair, exec);
+    let quality = truth
+        .as_ref()
+        .map(|t| MatchQuality::evaluate(&out.matching, t));
+    let matches = out
+        .matching
+        .iter()
+        .map(|(a, b)| {
+            (
+                pair.first.entity_uri(a).to_string(),
+                pair.second.entity_uri(b).to_string(),
+            )
+        })
+        .collect();
+    let mut report = JobReport::empty(&spec.name, JobStatus::Ok);
+    report.matches = matches;
+    report.h1_matches = out.report.h1_matches;
+    report.h2_matches = out.report.h2_matches;
+    report.h3_matches = out.report.h3_matches;
+    report.h4_removed = out.report.h4_removed;
+    report.quality = quality;
+    report.timings = Some(out.report.timings);
+    Ok(report)
+}
+
+/// Loads the KB pair (and ground truth, if any) for one job.
+fn load_input(
+    spec: &JobSpec,
+    config: &MinoanConfig,
+    exec: &Executor,
+) -> Result<(KbPair, Option<GroundTruth>), String> {
+    match &spec.input {
+        JobInput::Synthetic { kind, seed, scale } => {
+            let Dataset { pair, truth, .. } = kind.generate_scaled(*seed, *scale);
+            Ok((pair, Some(truth)))
+        }
+        JobInput::Files { first, second } => {
+            let pair = KbPair::new(
+                load_kb_file(first, "E1", config, exec)?,
+                load_kb_file(second, "E2", config, exec)?,
+            );
+            let truth = match &spec.truth {
+                Some(path) => Some(load_truth_file(path, &pair)?),
+                None => None,
+            };
+            Ok((pair, truth))
+        }
+    }
+}
+
+/// Streams one KB file through the chunked parallel parser, picking the
+/// format by extension (`.nt`/`.ntriples`, case-insensitive, vs TSV).
+/// The one KB-file loader in the workspace: the CLI's `match`/`stats`
+/// paths wrap it, so a format or diagnostics fix lands everywhere.
+pub fn load_kb_file(
+    path: &std::path::Path,
+    name: &str,
+    config: &MinoanConfig,
+    exec: &Executor,
+) -> Result<minoan_kb::KnowledgeBase, String> {
+    let file =
+        std::fs::File::open(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let opts = config.stream_options();
+    let is_nt = path
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("nt") || e.eq_ignore_ascii_case("ntriples"));
+    let result = if is_nt {
+        parse::parse_ntriples_reader(name, file, exec, opts)
+    } else {
+        parse::parse_tsv_reader(name, file, exec, opts)
+    };
+    result.map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+/// Loads a 2-column TSV of matching URIs. Lines naming URIs absent from
+/// the pair are skipped (the truth may cover a superset of the slice
+/// being resolved); malformed lines are errors. Shared with the CLI's
+/// `--truth` flag.
+pub fn load_truth_file(path: &std::path::Path, pair: &KbPair) -> Result<GroundTruth, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut truth = Matching::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cols = line.splitn(2, '\t');
+        let (Some(u1), Some(u2)) = (cols.next(), cols.next()) else {
+            return Err(format!(
+                "{}:{}: expected two tab-separated URIs",
+                path.display(),
+                i + 1
+            ));
+        };
+        if let (Some(e1), Some(e2)) = (pair.first.entity_by_uri(u1), pair.second.entity_by_uri(u2))
+        {
+            truth.insert(e1, e2);
+        }
+    }
+    Ok(truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::JobInput;
+    use minoan_datagen::DatasetKind;
+
+    fn synthetic_job(name: &str, kind: DatasetKind, scale: f64) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            input: JobInput::Synthetic {
+                kind,
+                seed: 20180416,
+                scale,
+            },
+            truth: None,
+            theta: None,
+            candidates_k: None,
+            purge_blocks: None,
+        }
+    }
+
+    fn small_manifest() -> Manifest {
+        Manifest {
+            slots: 2,
+            threads: 2,
+            memory_budget_mib: 0,
+            jobs: vec![
+                synthetic_job("restaurant", DatasetKind::Restaurant, 0.05),
+                synthetic_job("yago", DatasetKind::YagoImdb, 0.05),
+                synthetic_job("restaurant-2", DatasetKind::Restaurant, 0.08),
+            ],
+        }
+    }
+
+    #[test]
+    fn fleet_resolves_every_job() {
+        let report = run_batch(&small_manifest(), &ServeOptions::default());
+        assert_eq!(report.jobs.len(), 3);
+        assert_eq!(report.ok_count(), 3);
+        for job in &report.jobs {
+            assert!(job.status.is_ok(), "{}: {:?}", job.name, job.status);
+            assert!(!job.matches.is_empty(), "{} found no matches", job.name);
+            assert!(job.quality.is_some(), "synthetic jobs carry truth");
+            // Allotments respect the fleet's thread budget.
+            assert!(job.threads >= 1 && job.threads <= report.threads);
+        }
+        // Report order is manifest order, not completion order.
+        let names: Vec<&str> = report.jobs.iter().map(|j| j.name.as_str()).collect();
+        assert_eq!(names, ["restaurant", "yago", "restaurant-2"]);
+    }
+
+    #[test]
+    fn streaming_callback_sees_every_job() {
+        let seen = Mutex::new(Vec::new());
+        let report = run_batch_streaming(
+            &small_manifest(),
+            &ServeOptions::default(),
+            &CancelToken::new(),
+            |job| seen.lock().unwrap().push(job.name.clone()),
+        );
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort();
+        let mut expect: Vec<String> = report.jobs.iter().map(|j| j.name.clone()).collect();
+        expect.sort();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn tiny_budget_serializes_but_completes() {
+        let manifest = Manifest {
+            slots: 3,
+            threads: 3,
+            memory_budget_mib: 1,
+            jobs: vec![
+                synthetic_job("a", DatasetKind::Restaurant, 0.3),
+                synthetic_job("b", DatasetKind::Restaurant, 0.3),
+                synthetic_job("c", DatasetKind::Restaurant, 0.3),
+            ],
+        };
+        // Every job estimates above the whole budget…
+        for job in &manifest.jobs {
+            assert!(job.estimated_bytes() > 1 << 20);
+        }
+        let report = run_batch(&manifest, &ServeOptions::default());
+        // …so each runs alone (head-of-queue admission), and all finish.
+        assert_eq!(
+            report.ok_count(),
+            3,
+            "over-budget jobs run alone, not never"
+        );
+        assert_eq!(
+            report.peak_concurrent_jobs, 1,
+            "nothing fits next to an over-budget job"
+        );
+    }
+
+    #[test]
+    fn cancellation_skips_undispatched_jobs() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let report =
+            run_batch_streaming(&small_manifest(), &ServeOptions::default(), &cancel, |_| {});
+        assert_eq!(report.ok_count(), 0);
+        assert!(report.jobs.iter().all(|j| j.status == JobStatus::Cancelled));
+    }
+
+    #[test]
+    fn invalid_override_fails_alone() {
+        let mut manifest = small_manifest();
+        manifest.jobs[1].theta = Some(0.999999); // valid
+        manifest.jobs[1].candidates_k = Some(usize::MAX); // absurd but valid
+        let mut bad = synthetic_job("bad", DatasetKind::Restaurant, 0.05);
+        // Bypass manifest validation to exercise the scheduler's own
+        // config check: a hand-built spec with an out-of-range theta.
+        bad.theta = Some(7.0);
+        manifest.jobs.push(bad);
+        let report = run_batch(&manifest, &ServeOptions::default());
+        assert_eq!(report.ok_count(), 3);
+        assert_eq!(report.failed_count(), 1);
+        let failed = &report.jobs[3];
+        assert!(matches!(&failed.status, JobStatus::Failed(e) if e.contains("theta")));
+    }
+
+    #[test]
+    fn missing_file_fails_alone() {
+        let mut manifest = small_manifest();
+        manifest.jobs.push(JobSpec {
+            name: "ghost".into(),
+            input: JobInput::Files {
+                first: "/no/such/file.tsv".into(),
+                second: "/no/such/other.tsv".into(),
+            },
+            truth: None,
+            theta: None,
+            candidates_k: None,
+            purge_blocks: None,
+        });
+        let report = run_batch(&manifest, &ServeOptions::default());
+        assert_eq!(report.ok_count(), 3);
+        let ghost = &report.jobs[3];
+        assert!(matches!(&ghost.status, JobStatus::Failed(e) if e.contains("cannot read")));
+    }
+
+    #[test]
+    fn results_do_not_depend_on_fleet_shape() {
+        let manifest = small_manifest();
+        let base: Vec<String> = run_batch(
+            &manifest,
+            &ServeOptions {
+                slots: Some(1),
+                threads: Some(1),
+                executor: ExecutorKind::Sequential,
+                ..ServeOptions::default()
+            },
+        )
+        .jobs
+        .iter()
+        .map(|j| j.fingerprint())
+        .collect();
+        for (slots, threads) in [(2, 2), (3, 7)] {
+            let got: Vec<String> = run_batch(
+                &manifest,
+                &ServeOptions {
+                    slots: Some(slots),
+                    threads: Some(threads),
+                    ..ServeOptions::default()
+                },
+            )
+            .jobs
+            .iter()
+            .map(|j| j.fingerprint())
+            .collect();
+            assert_eq!(base, got, "slots={slots} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn straggler_gets_the_whole_budget() {
+        // One job, many slots: the single job is the straggler and must
+        // receive every thread in the budget.
+        let manifest = Manifest {
+            slots: 4,
+            threads: 6,
+            memory_budget_mib: 0,
+            jobs: vec![synthetic_job("only", DatasetKind::Restaurant, 0.05)],
+        };
+        let report = run_batch(&manifest, &ServeOptions::default());
+        assert_eq!(report.jobs[0].threads, 6);
+    }
+}

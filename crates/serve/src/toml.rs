@@ -1,0 +1,393 @@
+//! A minimal TOML-subset reader producing [`Json`] values.
+//!
+//! The build environment has no registry access, so instead of a `toml`
+//! dependency this module parses the slice of TOML that batch manifests
+//! need — enough for flat configuration plus job lists, not a general
+//! TOML implementation:
+//!
+//! - `key = value` pairs with bare (`[A-Za-z0-9_-]+`) or quoted keys;
+//! - basic strings with `\" \\ \n \t \r \uXXXX` escapes;
+//! - integers and floats (with `_` separators), booleans;
+//! - single-line arrays `[1, 2, 3]`;
+//! - `[table]` headers and `[[array-of-tables]]` headers with dotted
+//!   paths.
+//!
+//! Unsupported TOML (dotted keys, inline tables, multi-line strings,
+//! dates) is reported as an error with a line number, never silently
+//! misread.
+
+use minoan_kb::Json;
+
+/// Parses a TOML-subset document into a JSON object.
+pub fn parse_toml(text: &str) -> Result<Json, String> {
+    let mut root = Json::Obj(Vec::new());
+    // Path of the table currently receiving `key = value` lines, and
+    // whether it addresses the *last element* of an array of tables.
+    let mut current: Vec<String> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw, lineno)?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[") {
+            let header = header
+                .strip_suffix("]]")
+                .ok_or_else(|| format!("line {lineno}: unterminated [[table]] header"))?;
+            let path = parse_path(header, lineno)?;
+            push_array_table(&mut root, &path, lineno)?;
+            current = path;
+        } else if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {lineno}: unterminated [table] header"))?;
+            let path = parse_path(header, lineno)?;
+            // Creating the table is enough; duplicates merge.
+            navigate(&mut root, &path, lineno)?;
+            current = path;
+        } else {
+            let (key, value) = split_key_value(line, lineno)?;
+            let value = parse_value(value.trim(), lineno)?;
+            let table = navigate(&mut root, &current, lineno)?;
+            let Json::Obj(fields) = table else {
+                return Err(format!("line {lineno}: target is not a table"));
+            };
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!("line {lineno}: duplicate key {key:?}"));
+            }
+            fields.push((key, value));
+        }
+    }
+    Ok(root)
+}
+
+/// Removes a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str, lineno: usize) -> Result<&str, String> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return Ok(&line[..i]),
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err(format!("line {lineno}: unterminated string"));
+    }
+    Ok(line)
+}
+
+/// Splits `key = value`, supporting bare and quoted keys.
+fn split_key_value(line: &str, lineno: usize) -> Result<(String, &str), String> {
+    let bad = || format!("line {lineno}: expected `key = value`, got {line:?}");
+    if let Some(rest) = line.strip_prefix('"') {
+        let (key, rest) = parse_basic_string(rest, lineno)?;
+        let rest = rest.trim_start();
+        let rest = rest.strip_prefix('=').ok_or_else(bad)?;
+        return Ok((key, rest));
+    }
+    let eq = line.find('=').ok_or_else(bad)?;
+    let key = line[..eq].trim();
+    if key.is_empty()
+        || !key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(format!(
+            "line {lineno}: unsupported key {key:?} (bare keys are [A-Za-z0-9_-]+; \
+             dotted keys are not supported — use a [table] header)"
+        ));
+    }
+    Ok((key.to_string(), &line[eq + 1..]))
+}
+
+/// Parses a dotted table path (`serve.defaults`) into its segments.
+fn parse_path(header: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let mut path = Vec::new();
+    for seg in header.split('.') {
+        let seg = seg.trim();
+        if seg.is_empty()
+            || !seg
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(format!("line {lineno}: bad table path segment {seg:?}"));
+        }
+        path.push(seg.to_string());
+    }
+    Ok(path)
+}
+
+/// Walks `path` from `root`, creating objects as needed; a path segment
+/// landing on an array of tables descends into its **last** element
+/// (TOML's `[[job]]` + `[job.sub]` semantics).
+fn navigate<'a>(
+    root: &'a mut Json,
+    path: &[String],
+    lineno: usize,
+) -> Result<&'a mut Json, String> {
+    let mut node = root;
+    for seg in path {
+        // Descend arrays-of-tables to their last element first.
+        if let Json::Arr(items) = node {
+            node = items
+                .last_mut()
+                .ok_or_else(|| format!("line {lineno}: empty array of tables"))?;
+        }
+        let Json::Obj(fields) = node else {
+            return Err(format!("line {lineno}: {seg:?} is not a table"));
+        };
+        let pos = match fields.iter().position(|(k, _)| k == seg) {
+            Some(p) => p,
+            None => {
+                fields.push((seg.clone(), Json::Obj(Vec::new())));
+                fields.len() - 1
+            }
+        };
+        node = &mut fields[pos].1;
+    }
+    if let Json::Arr(items) = node {
+        node = items
+            .last_mut()
+            .ok_or_else(|| format!("line {lineno}: empty array of tables"))?;
+    }
+    Ok(node)
+}
+
+/// Appends a fresh table to the array of tables at `path`.
+fn push_array_table(root: &mut Json, path: &[String], lineno: usize) -> Result<(), String> {
+    let (last, parents) = path
+        .split_last()
+        .ok_or_else(|| format!("line {lineno}: empty [[table]] path"))?;
+    let parent = navigate(root, parents, lineno)?;
+    let Json::Obj(fields) = parent else {
+        return Err(format!("line {lineno}: parent of {last:?} is not a table"));
+    };
+    match fields.iter_mut().find(|(k, _)| k == last) {
+        Some((_, Json::Arr(items))) => {
+            items.push(Json::Obj(Vec::new()));
+            Ok(())
+        }
+        Some(_) => Err(format!(
+            "line {lineno}: {last:?} is already a non-array value"
+        )),
+        None => {
+            fields.push((last.clone(), Json::Arr(vec![Json::Obj(Vec::new())])));
+            Ok(())
+        }
+    }
+}
+
+/// Parses one TOML value (string, number, boolean, single-line array).
+fn parse_value(text: &str, lineno: usize) -> Result<Json, String> {
+    let text = text.trim();
+    if let Some(rest) = text.strip_prefix('"') {
+        let (s, tail) = parse_basic_string(rest, lineno)?;
+        if !tail.trim().is_empty() {
+            return Err(format!("line {lineno}: trailing content after string"));
+        }
+        return Ok(Json::Str(s));
+    }
+    if text == "true" {
+        return Ok(Json::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Json::Bool(false));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or_else(|| {
+            format!("line {lineno}: unterminated array (arrays must be single-line)")
+        })?;
+        let mut items = Vec::new();
+        for part in split_array_items(inner, lineno)? {
+            items.push(parse_value(&part, lineno)?);
+        }
+        return Ok(Json::Arr(items));
+    }
+    let digits: String = text.chars().filter(|&c| c != '_').collect();
+    digits
+        .parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("line {lineno}: unsupported value {text:?}"))
+}
+
+/// Splits the interior of a single-line array on top-level commas.
+fn split_array_items(inner: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut start = 0usize;
+    for (i, c) in inner.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| format!("line {lineno}: unbalanced brackets"))?
+            }
+            ',' if !in_str && depth == 0 => {
+                items.push(inner[start..i].to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = inner[start..].trim();
+    if !last.is_empty() {
+        items.push(last.to_string());
+    }
+    if items.iter().any(|s| s.trim().is_empty()) {
+        return Err(format!("line {lineno}: empty array element"));
+    }
+    Ok(items)
+}
+
+/// Parses a basic string body (after the opening `"`), returning the
+/// unescaped string and the text following the closing quote.
+fn parse_basic_string(rest: &str, lineno: usize) -> Result<(String, &str), String> {
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &rest[i + 1..])),
+            '\\' => {
+                let (_, esc) = chars
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: dangling escape"))?;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = chars
+                                .next()
+                                .ok_or_else(|| format!("line {lineno}: truncated \\u escape"))?;
+                            code = code * 16
+                                + h.to_digit(16).ok_or_else(|| {
+                                    format!("line {lineno}: bad hex digit in \\u escape")
+                                })?;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("line {lineno}: bad \\u code point"))?,
+                        );
+                    }
+                    other => return Err(format!("line {lineno}: unknown escape \\{other}")),
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    Err(format!("line {lineno}: unterminated string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_keys_and_types() {
+        let j = parse_toml(
+            "a = 1\nb = 2.5\nc = \"text\"\nd = true\ne = [1, 2, 3]\nf = \"es\\\"c\\\\aped\"\n",
+        )
+        .unwrap();
+        assert_eq!(j.get("a").unwrap().as_usize(), Some(1));
+        assert_eq!(j.get("b").unwrap().as_f64(), Some(2.5));
+        assert_eq!(j.get("c").unwrap().as_str(), Some("text"));
+        assert_eq!(j.get("d").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            j.get("e").unwrap(),
+            &Json::arr([Json::num(1.0), Json::num(2.0), Json::num(3.0)])
+        );
+        assert_eq!(j.get("f").unwrap().as_str(), Some("es\"c\\aped"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let j = parse_toml("# header\n\na = 1 # trailing\nb = \"with # hash\"\n").unwrap();
+        assert_eq!(j.get("a").unwrap().as_usize(), Some(1));
+        assert_eq!(j.get("b").unwrap().as_str(), Some("with # hash"));
+    }
+
+    #[test]
+    fn tables_and_arrays_of_tables() {
+        let text = "\
+slots = 2\n\
+[defaults]\ntheta = 0.5\n\
+[[job]]\nname = \"a\"\n\
+[[job]]\nname = \"b\"\nscale = 0.25\n";
+        let j = parse_toml(text).unwrap();
+        assert_eq!(j.get("slots").unwrap().as_usize(), Some(2));
+        assert_eq!(
+            j.get("defaults").unwrap().get("theta").unwrap().as_f64(),
+            Some(0.5)
+        );
+        let Json::Arr(jobs) = j.get("job").unwrap() else {
+            panic!("job should be an array")
+        };
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].get("name").unwrap().as_str(), Some("a"));
+        assert_eq!(jobs[1].get("scale").unwrap().as_f64(), Some(0.25));
+    }
+
+    #[test]
+    fn dotted_table_paths() {
+        let j = parse_toml("[a.b]\nc = 3\n").unwrap();
+        assert_eq!(
+            j.get("a")
+                .unwrap()
+                .get("b")
+                .unwrap()
+                .get("c")
+                .unwrap()
+                .as_usize(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn subtable_of_array_table_lands_on_last_element() {
+        let text = "[[job]]\nname = \"x\"\n[job.opts]\ntheta = 0.4\n";
+        let j = parse_toml(text).unwrap();
+        let Json::Arr(jobs) = j.get("job").unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            jobs[0].get("opts").unwrap().get("theta").unwrap().as_f64(),
+            Some(0.4)
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (text, needle) in [
+            ("a.b = 1\n", "line 1"),
+            ("x = {inline = 1}\n", "line 1"),
+            ("ok = 1\nbad\n", "line 2"),
+            ("s = \"unterminated\n", "line 1"),
+            ("a = 1\na = 2\n", "duplicate"),
+            ("v = [1,\n2]\n", "single-line"),
+        ] {
+            let err = parse_toml(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn numbers_with_underscores() {
+        let j = parse_toml("n = 1_000_000\n").unwrap();
+        assert_eq!(j.get("n").unwrap().as_usize(), Some(1_000_000));
+    }
+}

@@ -38,6 +38,11 @@
 //!   [`core::SimilarityIndex`] (valueSim sharded by `e1 % shards` with
 //!   per-block pre-grouped shard scans), heuristics H1–H4, the
 //!   non-iterative pipeline with per-stage [`core::Timings`];
+//! - [`serve`] — the **multi-pair batch serving layer**: TOML/JSON job
+//!   manifests, a fleet scheduler with pair-level parallelism first
+//!   (intra-pair threads widen for stragglers), bounded-memory
+//!   admission from pre-load footprint estimates, failure isolation and
+//!   cancellation, streaming per-job reports with timings and peak RSS;
 //! - [`baselines`] — Unique Mapping Clustering, BSL, SiGMa-like,
 //!   PARIS-like;
 //! - [`datagen`] — the four synthetic benchmark profiles;
@@ -80,5 +85,6 @@ pub use minoan_datagen as datagen;
 pub use minoan_eval as eval;
 pub use minoan_exec as exec;
 pub use minoan_kb as kb;
+pub use minoan_serve as serve;
 pub use minoan_sim as sim;
 pub use minoan_text as text;

@@ -1,8 +1,10 @@
 //! Failure-injection and edge-case tests: the pipeline must degrade
-//! gracefully, never panic, on degenerate or corrupted inputs.
+//! gracefully, never panic, on degenerate or corrupted inputs — and a
+//! poisoned job in a serving fleet must fail alone.
 
 use minoaner::core::{build_blocks, MinoanConfig, MinoanEr};
 use minoaner::kb::{parse, KbBuilder, KbPair};
+use minoaner::serve::{run_batch, JobInput, JobSpec, JobStatus, Manifest, ServeOptions};
 
 #[test]
 fn empty_kbs() {
@@ -145,6 +147,102 @@ fn extreme_configs_do_not_panic() {
         let out = MinoanEr::new(config).unwrap().run(&pair);
         assert!(!out.matching.is_empty());
     }
+}
+
+/// A scratch directory that cleans up after itself.
+struct ScratchDir(std::path::PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        let dir = std::env::temp_dir().join(format!("minoan-failure-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        ScratchDir(dir)
+    }
+
+    fn file(&self, name: &str, content: &str) -> std::path::PathBuf {
+        let path = self.0.join(name);
+        std::fs::write(&path, content).expect("write scratch file");
+        path
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A tiny two-sided TSV pair whose entities match on a distinctive name.
+fn tsv_pair(tag: usize) -> (String, String) {
+    let mut a = String::new();
+    let mut b = String::new();
+    for i in 0..8 {
+        a.push_str(&format!("a:{i}\tname\tlit\tspecimen{tag}x{i} artifact\n"));
+        b.push_str(&format!("b:{i}\tlabel\tlit\tspecimen{tag}x{i} artifact\n"));
+    }
+    (a, b)
+}
+
+#[test]
+fn corrupt_job_fails_alone_in_a_fleet() {
+    let scratch = ScratchDir::new("fleet");
+    let mut jobs = Vec::new();
+    for tag in 0..3 {
+        let (a, b) = tsv_pair(tag);
+        jobs.push(JobSpec {
+            name: format!("good-{tag}"),
+            input: JobInput::Files {
+                first: scratch.file(&format!("a{tag}.tsv"), &a),
+                second: scratch.file(&format!("b{tag}.tsv"), &b),
+            },
+            truth: None,
+            theta: None,
+            candidates_k: None,
+            purge_blocks: None,
+        });
+    }
+    // A truncated N-Triples file: the second line is cut mid-triple.
+    let corrupt = scratch.file(
+        "corrupt.nt",
+        "<x:1> <name> \"fine\" .\n<x:2> <name> \"truncat",
+    );
+    let (_, good_side) = tsv_pair(9);
+    jobs.insert(
+        1, // poison in the middle of the queue, not at the edges
+        JobSpec {
+            name: "poisoned".into(),
+            input: JobInput::Files {
+                first: corrupt,
+                second: scratch.file("ok.tsv", &good_side),
+            },
+            truth: None,
+            theta: None,
+            candidates_k: None,
+            purge_blocks: None,
+        },
+    );
+    let manifest = Manifest {
+        slots: 2,
+        threads: 2,
+        memory_budget_mib: 0,
+        jobs,
+    };
+    let report = run_batch(&manifest, &ServeOptions::default());
+
+    // The poisoned job failed with a parse error naming the line…
+    let poisoned = report.jobs.iter().find(|j| j.name == "poisoned").unwrap();
+    let JobStatus::Failed(err) = &poisoned.status else {
+        panic!("poisoned job should fail, got {:?}", poisoned.status);
+    };
+    assert!(err.contains("corrupt.nt"), "error names the file: {err}");
+    assert!(poisoned.matches.is_empty());
+
+    // …while every other job completed with its full matching.
+    for job in report.jobs.iter().filter(|j| j.name != "poisoned") {
+        assert!(job.status.is_ok(), "{}: {:?}", job.name, job.status);
+        assert_eq!(job.matches.len(), 8, "{} lost matches", job.name);
+    }
+    assert_eq!(report.failed_count(), 1);
 }
 
 #[test]
