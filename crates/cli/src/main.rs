@@ -6,6 +6,8 @@
 //!                 [--executor sequential|rayon] [--threads N]
 //! minoaner batch  --manifest <fleet.(toml|json)> [--slots N] [--threads N]
 //!                 [--memory-mib N] [--executor sequential|rayon] [--json] [--pairs]
+//! minoaner serve  --listen <addr> [--slots N] [--threads N] [--memory-mib N]
+//!                 [--executor sequential|rayon] [--json] [--pairs]
 //! minoaner demo   [restaurant|rexa|bbc|yago] [--scale F] [--seed N]
 //!                 [--executor sequential|rayon] [--threads N]
 //! minoaner stats  <kb.(tsv|nt)>
@@ -23,6 +25,16 @@
 //! and the final report goes to stdout (`--json` for the machine
 //! spelling, `--pairs` to list every matched URI pair). A failed job
 //! does not stop the fleet, but the exit code is 1 when any job failed.
+//!
+//! `serve` runs the same fleet scheduler as a **long-running daemon**:
+//! jobs arrive over a line-delimited JSON socket protocol (submit /
+//! status / cancel / wait / shutdown — see `minoan_serve::daemon` for
+//! the wire format; `examples/daemon_client.rs` is a ready-made
+//! client), feed the same bounded-memory admission queue, and can be
+//! cancelled **mid-run** via cooperative pipeline checkpoints. On
+//! `shutdown` the daemon drains and prints the fleet report in
+//! submission order, exactly like `batch`; the exit code is 0 on a
+//! clean shutdown (per-job failures were already reported to clients).
 
 use std::process::exit;
 
@@ -32,7 +44,9 @@ use minoan_core::{build_blocks, MinoanConfig, MinoanEr};
 use minoan_datagen::DatasetKind;
 use minoan_eval::MatchQuality;
 use minoan_kb::{GroundTruth, Json, KbPair, KnowledgeBase, Matching};
-use minoan_serve::{run_batch_streaming, CancelToken, Manifest, ServeOptions};
+use minoan_serve::{
+    run_batch_streaming, run_daemon, CancelToken, JobReport, Manifest, ServeOptions,
+};
 use minoan_text::{TokenizedPair, Tokenizer};
 
 fn usage() -> ! {
@@ -41,6 +55,8 @@ fn usage() -> ! {
          [--truth pairs.tsv] [--json] [--theta F] [--k N] [--no-purge] \
          [--executor sequential|rayon] [--threads N]\n  \
          minoaner batch --manifest fleet.(toml|json) [--slots N] [--threads N] \
+         [--memory-mib N] [--executor sequential|rayon] [--json] [--pairs]\n  \
+         minoaner serve --listen addr:port [--slots N] [--threads N] \
          [--memory-mib N] [--executor sequential|rayon] [--json] [--pairs]\n  \
          minoaner demo [restaurant|rexa|bbc|yago] [--scale F] [--seed N] \
          [--executor sequential|rayon] [--threads N]\n  \
@@ -183,6 +199,59 @@ fn run_method(
     }
 }
 
+/// One stderr line per job as it completes — shared by `batch` and
+/// `serve` so both front-ends narrate the fleet identically.
+fn print_job_completion(job: &JobReport) {
+    match (&job.status.is_ok(), &job.quality) {
+        (true, Some(q)) => eprintln!(
+            "  {}: ok, {} matches, F1 {:.2}%, {:.0} ms on {} threads",
+            job.name,
+            job.matches.len(),
+            q.f1() * 100.0,
+            job.wall.as_secs_f64() * 1e3,
+            job.threads
+        ),
+        (true, None) => eprintln!(
+            "  {}: ok, {} matches, {:.0} ms on {} threads",
+            job.name,
+            job.matches.len(),
+            job.wall.as_secs_f64() * 1e3,
+            job.threads
+        ),
+        _ => eprintln!("  {}: {}", job.name, job.status.label()),
+    }
+}
+
+/// Prints the final fleet report (stdout) and summary (stderr) —
+/// shared by `batch` and `serve`.
+fn print_fleet_report(report: &minoan_serve::ServeReport, json: bool, pairs: bool) {
+    if json {
+        println!("{}", report.to_json(pairs).pretty());
+    } else {
+        for job in &report.jobs {
+            if pairs {
+                for (a, b) in &job.matches {
+                    println!("{}\t{a}\t{b}", job.name);
+                }
+            } else {
+                println!(
+                    "{}\t{}\t{} matches",
+                    job.name,
+                    job.status.label(),
+                    job.matches.len()
+                );
+            }
+        }
+        eprintln!(
+            "fleet done: {}/{} ok, peak {} concurrent, {:.0} ms",
+            report.ok_count(),
+            report.jobs.len(),
+            report.peak_concurrent_jobs,
+            report.wall.as_secs_f64() * 1e3
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -295,54 +364,71 @@ fn main() {
             );
             // Stream one line per job as it completes; the final report
             // stays in manifest order.
-            let report = run_batch_streaming(&manifest, &opts, &CancelToken::new(), |job| {
-                match (&job.status.is_ok(), &job.quality) {
-                    (true, Some(q)) => eprintln!(
-                        "  {}: ok, {} matches, F1 {:.2}%, {:.0} ms on {} threads",
-                        job.name,
-                        job.matches.len(),
-                        q.f1() * 100.0,
-                        job.wall.as_secs_f64() * 1e3,
-                        job.threads
-                    ),
-                    (true, None) => eprintln!(
-                        "  {}: ok, {} matches, {:.0} ms on {} threads",
-                        job.name,
-                        job.matches.len(),
-                        job.wall.as_secs_f64() * 1e3,
-                        job.threads
-                    ),
-                    _ => eprintln!("  {}: {}", job.name, job.status.label()),
-                }
-            });
-            if json {
-                println!("{}", report.to_json(pairs).pretty());
-            } else {
-                for job in &report.jobs {
-                    if pairs {
-                        for (a, b) in &job.matches {
-                            println!("{}\t{a}\t{b}", job.name);
-                        }
-                    } else {
-                        println!(
-                            "{}\t{}\t{} matches",
-                            job.name,
-                            job.status.label(),
-                            job.matches.len()
-                        );
-                    }
-                }
-                eprintln!(
-                    "fleet done: {}/{} ok, peak {} concurrent, {:.0} ms",
-                    report.ok_count(),
-                    report.jobs.len(),
-                    report.peak_concurrent_jobs,
-                    report.wall.as_secs_f64() * 1e3
-                );
-            }
+            let report =
+                run_batch_streaming(&manifest, &opts, &CancelToken::new(), print_job_completion);
+            print_fleet_report(&report, json, pairs);
             if report.ok_count() < report.jobs.len() {
                 exit(1);
             }
+        }
+        Some("serve") => {
+            let mut listen: Option<String> = None;
+            let mut opts = ServeOptions::default();
+            let mut json = false;
+            let mut pairs = false;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--listen" => listen = Some(it.next().cloned().unwrap_or_else(|| usage())),
+                    "--slots" => {
+                        opts.slots = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--threads" => {
+                        opts.threads = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--memory-mib" => {
+                        opts.memory_budget_mib = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--executor" => {
+                        let Some(kind) = it.next().and_then(|v| v.parse().ok()) else {
+                            usage()
+                        };
+                        opts.executor = kind;
+                    }
+                    "--json" => json = true,
+                    "--pairs" => pairs = true,
+                    _ => usage(),
+                }
+            }
+            let Some(listen) = listen else { usage() };
+            let listener = std::net::TcpListener::bind(&listen).unwrap_or_else(|e| {
+                eprintln!("cannot listen on {listen}: {e}");
+                exit(1);
+            });
+            let addr = listener
+                .local_addr()
+                .expect("bound listener has an address");
+            eprintln!("daemon listening on {addr} (send {{\"op\":\"shutdown\"}} to stop)");
+            // Per-job completions stream to stderr as they happen; the
+            // final report (submission order, exactly like a batch run)
+            // prints after a clean shutdown.
+            let report = run_daemon(listener, &opts, print_job_completion).unwrap_or_else(|e| {
+                eprintln!("daemon error: {e}");
+                exit(1);
+            });
+            print_fleet_report(&report, json, pairs);
         }
         Some("demo") => {
             let mut kind = DatasetKind::Restaurant;

@@ -47,6 +47,7 @@ pub use importance::{
     relation_importance, relation_importance_with, top_neighbors, top_neighbors_with, Importance,
 };
 pub use pipeline::{
-    build_blocks, BlockingArtifacts, MatchOutput, MinoanEr, PipelineReport, Timings,
+    build_blocks, build_blocks_cancellable, build_blocks_with, BlockingArtifacts, MatchOutput,
+    MinoanEr, PipelineReport, Timings,
 };
 pub use simindex::{Candidate, SimilarityIndex};

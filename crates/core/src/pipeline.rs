@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 use minoan_blocking::{
     name_blocking_with, purge_with_exec, token_blocking_with, BlockCollection, PurgeReport,
 };
-use minoan_exec::Executor;
+use minoan_exec::{CancelToken, Cancelled, Executor};
 use minoan_kb::{EntityId, FxHashSet, KbPair, Matching};
 use minoan_text::{TokenizedPair, Tokenizer};
 
@@ -112,28 +112,50 @@ pub fn build_blocks_with(
     config: &MinoanConfig,
     exec: &Executor,
 ) -> BlockingArtifacts {
+    build_blocks_cancellable(pair, config, exec, &CancelToken::new())
+        .expect("a fresh token is never cancelled")
+}
+
+/// Like [`build_blocks_with`], but observing `cancel` at cooperative
+/// checkpoints **between executor waves** (tokenization, name
+/// extraction per side, name blocking, token blocking, purging). A wave
+/// already dispatched always completes; a cancelled build unwinds with
+/// [`Cancelled`] before dispatching the next one, so cancellation costs
+/// at most one stage of work and leaves no partial artifacts behind.
+pub fn build_blocks_cancellable(
+    pair: &KbPair,
+    config: &MinoanConfig,
+    exec: &Executor,
+    cancel: &CancelToken,
+) -> Result<BlockingArtifacts, Cancelled> {
     let tokenizer = Tokenizer::default();
+    cancel.checkpoint()?;
     let t_tok = Instant::now();
     let tokens = TokenizedPair::build_with(pair, &tokenizer, exec);
     let tokenize_time = t_tok.elapsed();
+    cancel.checkpoint()?;
     let names1 = entity_names_with(&pair.first, config.name_attrs_k, exec);
+    cancel.checkpoint()?;
     let names2 = entity_names_with(&pair.second, config.name_attrs_k, exec);
+    cancel.checkpoint()?;
     let (bn, _) = name_blocking_with(&names1, &names2, exec);
+    cancel.checkpoint()?;
     let bt_raw = token_blocking_with(&tokens, exec);
     let (bt, purge) = if config.purge_blocks {
+        cancel.checkpoint()?;
         let (purged, report) = purge_with_exec(&bt_raw, config.purge_smoothing, exec);
         (purged, Some(report))
     } else {
         (bt_raw, None)
     };
-    BlockingArtifacts {
+    Ok(BlockingArtifacts {
         tokens,
         name_blocks: bn,
         token_blocks: bt,
         purge,
         names: [names1, names2],
         tokenize_time,
-    }
+    })
 }
 
 /// The MinoanER matcher.
@@ -171,12 +193,33 @@ impl MinoanEr {
     /// parameters still come from this matcher's config. Results are
     /// bit-identical across executors and thread counts.
     pub fn run_with(&self, pair: &KbPair, exec: &Executor) -> MatchOutput {
+        self.run_cancellable(pair, exec, &CancelToken::new())
+            .expect("a fresh token is never cancelled")
+    }
+
+    /// Like [`MinoanEr::run_with`], but observing `cancel` at
+    /// cooperative checkpoints **between executor waves**: after every
+    /// blocking stage (see [`build_blocks_cancellable`]), after H1,
+    /// between the top-neighbor passes, after the similarity-index
+    /// build, and between each of the H2 / H3 / H4 scans. A dispatched
+    /// wave always completes — tearing one down mid-flight could not
+    /// stay bit-identical with a sequential run — so a cancelled run
+    /// unwinds with [`Cancelled`] within one wave of work and produces
+    /// no partial matching. This is what makes mid-job cancellation in
+    /// the serving layer safe: the job's executor threads are all
+    /// joined by the time the error propagates.
+    pub fn run_cancellable(
+        &self,
+        pair: &KbPair,
+        exec: &Executor,
+        cancel: &CancelToken,
+    ) -> Result<MatchOutput, Cancelled> {
         let mut report = PipelineReport::default();
 
-        // Tokenize + block. `build_blocks_with` measures tokenization on
-        // its own clock, so blocking time excludes it.
+        // Tokenize + block. `build_blocks_cancellable` measures
+        // tokenization on its own clock, so blocking time excludes it.
         let t0 = Instant::now();
-        let artifacts = build_blocks_with(pair, &self.config, exec);
+        let artifacts = build_blocks_cancellable(pair, &self.config, exec, cancel)?;
         report.timings.tokenize = artifacts.tokenize_time;
         report.timings.blocking = t0.elapsed().saturating_sub(artifacts.tokenize_time);
         report.name_blocks = artifacts.name_blocks.len();
@@ -200,6 +243,7 @@ impl MinoanEr {
         }
 
         // Similarity index over the purged token blocks.
+        cancel.checkpoint()?;
         let t0 = Instant::now();
         let tn1 = top_neighbors_with(
             &pair.first,
@@ -207,12 +251,14 @@ impl MinoanEr {
             self.config.max_top_neighbors,
             exec,
         );
+        cancel.checkpoint()?;
         let tn2 = top_neighbors_with(
             &pair.second,
             self.config.top_relations_n,
             self.config.max_top_neighbors,
             exec,
         );
+        cancel.checkpoint()?;
         let idx = SimilarityIndex::build_with(
             &artifacts.token_blocks,
             &artifacts.tokens,
@@ -222,6 +268,7 @@ impl MinoanEr {
         report.timings.similarities = t0.elapsed();
 
         // H2 on the smaller KB.
+        cancel.checkpoint()?;
         let t0 = Instant::now();
         let smaller = pair.smaller_side();
         let n_smaller = pair.kb(smaller).entity_count();
@@ -234,6 +281,7 @@ impl MinoanEr {
         }
 
         // H3 on what is left.
+        cancel.checkpoint()?;
         let h3 = h3_rank_matches_with(
             &idx,
             smaller,
@@ -250,6 +298,7 @@ impl MinoanEr {
 
         // H4: reciprocity filter over everything — evaluated in parallel
         // (pure reads over the index), applied in insertion order.
+        cancel.checkpoint()?;
         let before = matching.len();
         let pairs: Vec<(EntityId, EntityId)> = matching.iter().collect();
         let keep = h4_reciprocal_batch(&idx, self.config.candidates_k, &pairs, exec);
@@ -258,7 +307,7 @@ impl MinoanEr {
         report.h4_removed = before - matching.len();
         report.timings.matching = t0.elapsed();
 
-        MatchOutput { matching, report }
+        Ok(MatchOutput { matching, report })
     }
 }
 
@@ -420,6 +469,63 @@ mod tests {
         assert!(art.token_blocks.len() > art.name_blocks.len());
         assert_eq!(art.names[0].len(), pair.first.entity_count());
         assert_eq!(art.names[1].len(), pair.second.entity_count());
+    }
+
+    #[test]
+    fn pre_cancelled_run_unwinds_before_doing_work() {
+        let pair = restaurant_pair();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let exec = Executor::sequential();
+        let matcher = MinoanEr::with_defaults();
+        assert!(matches!(
+            matcher.run_cancellable(&pair, &exec, &cancel),
+            Err(Cancelled)
+        ));
+        assert!(build_blocks_cancellable(&pair, matcher.config(), &exec, &cancel).is_err());
+    }
+
+    #[test]
+    fn uncancelled_run_cancellable_matches_run_with() {
+        let pair = restaurant_pair();
+        let matcher = MinoanEr::with_defaults();
+        let exec = Executor::sequential();
+        let plain = matcher.run_with(&pair, &exec);
+        let cancellable = matcher
+            .run_cancellable(&pair, &exec, &CancelToken::new())
+            .unwrap();
+        assert_eq!(
+            plain.matching.iter().collect::<Vec<_>>(),
+            cancellable.matching.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mid_run_cancel_from_another_thread_is_observed() {
+        // Cancel while runs are in flight: every run either completes
+        // (cancel arrived after its last checkpoint) or unwinds with
+        // `Cancelled` — it never panics or hangs.
+        let pair = restaurant_pair();
+        let matcher = MinoanEr::with_defaults();
+        let cancel = CancelToken::new();
+        let exec = Executor::sequential();
+        let saw_cancelled = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| loop {
+                // Terminates: once the token flips, the next run fails
+                // at its first checkpoint.
+                if matcher.run_cancellable(&pair, &exec, &cancel).is_err() {
+                    saw_cancelled.store(true, std::sync::atomic::Ordering::SeqCst);
+                    break;
+                }
+            });
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            cancel.cancel();
+        });
+        assert!(
+            saw_cancelled.load(std::sync::atomic::Ordering::SeqCst),
+            "a run after the cancel must observe a checkpoint"
+        );
     }
 
     #[test]

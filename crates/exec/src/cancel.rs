@@ -1,0 +1,113 @@
+//! Cooperative cancellation for executor-driven work.
+//!
+//! A [`CancelToken`] is a shared flag observed at **checkpoints between
+//! executor waves**: a fan-out that has already been dispatched always
+//! runs to completion (waves are never torn down mid-flight — partial
+//! results merged from an interrupted wave could not be bit-identical
+//! to a sequential run), and the stage driving the waves calls
+//! [`CancelToken::checkpoint`] before dispatching the next one. A
+//! cancelled computation therefore unwinds with [`Cancelled`] within a
+//! bounded number of checkpoints — at most one wave of work after the
+//! flag is set — leaving no partial state behind.
+//!
+//! The token lives in `minoan-exec`, the bottom of the crate stack, so
+//! ingest (`minoan-kb`), the pipeline (`minoan-core`) and the serving
+//! layer (`minoan-serve`) can all thread the same token through their
+//! stages without dependency cycles.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The error a cancelled computation unwinds with. Carries no payload:
+/// cancellation is a request honored cooperatively, not a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// Cooperative cancellation flag, cheap to clone and share across
+/// threads. Setting it never interrupts running code; work observes it
+/// at its next [`CancelToken::checkpoint`] and unwinds cleanly.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// The cooperative checkpoint: returns `Err(Cancelled)` once
+    /// [`CancelToken::cancel`] has been called. Stages call this between
+    /// executor waves so a cancelled job stops dispatching new work and
+    /// unwinds within a bounded number of checkpoints.
+    pub fn checkpoint(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_passes_checkpoints() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.checkpoint(), Ok(()));
+    }
+
+    #[test]
+    fn cancelled_token_fails_checkpoints_forever() {
+        let t = CancelToken::new();
+        t.cancel();
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+        assert_eq!(t.checkpoint(), Err(Cancelled));
+        assert_eq!(t.checkpoint(), Err(Cancelled));
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let seen_by_worker = t.clone();
+        t.cancel();
+        assert!(seen_by_worker.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_visible_across_threads() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        std::thread::spawn(move || u.cancel()).join().unwrap();
+        assert_eq!(t.checkpoint(), Err(Cancelled));
+    }
+
+    #[test]
+    fn cancelled_formats_as_an_error() {
+        assert_eq!(Cancelled.to_string(), "cancelled");
+    }
+}

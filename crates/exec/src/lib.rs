@@ -14,7 +14,12 @@
 //!   ones by construction;
 //! - [`SharedSlice`], the unsafe-but-audited escape hatch for writing
 //!   disjoint index ranges of one buffer from multiple threads (CSR
-//!   fills and transposes).
+//!   fills and transposes);
+//! - [`CancelToken`], cooperative cancellation observed at
+//!   [checkpoints](CancelToken::checkpoint) **between** waves — a
+//!   dispatched fan-out always completes, so cancellation never produces
+//!   partial merges, and a cancelled stage unwinds with [`Cancelled`]
+//!   within one wave of work.
 //!
 //! Design rule for all call sites: a parallel algorithm must produce the
 //! *same bytes* as its one-part sequential specialization. Partial
@@ -24,8 +29,10 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod shared;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use shared::SharedSlice;
 
 use std::fmt;

@@ -91,6 +91,48 @@ impl Json {
         out
     }
 
+    /// Serializes on a single line with no whitespace — the framing the
+    /// line-delimited socket protocols need (one JSON document per
+    /// line; embedded newlines in strings are escaped by the writer).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(values) => {
+                out.push('[');
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -389,6 +431,23 @@ mod tests {
         let text = v.pretty();
         let back = Json::parse(&text).unwrap();
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let v = Json::obj([
+            ("s", Json::str("multi\nline \u{1}ctrl \"q\"")),
+            ("n", Json::Num(2.5)),
+            (
+                "a",
+                Json::arr([Json::Null, Json::Bool(false), Json::str("x")]),
+            ),
+            ("o", Json::obj([("inner", Json::num(1u32))])),
+            ("e", Json::arr([])),
+        ]);
+        let line = v.compact();
+        assert!(!line.contains('\n'), "compact output must be one line");
+        assert_eq!(Json::parse(&line).unwrap(), v);
     }
 
     #[test]

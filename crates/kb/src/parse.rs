@@ -5,6 +5,9 @@
 //! - A pragmatic **N-Triples subset**: `<s> <p> <o> .` and
 //!   `<s> <p> "literal"(^^<dt>|@lang)? .` lines, `#` comments, blank lines.
 //!   Datatype/language tags are dropped; the lexical form is kept.
+//!   Numeric escapes (`\uXXXX`, `\UXXXXXXXX`) are decoded in **both**
+//!   term kinds — literals and IRIs — with surrogate halves and
+//!   out-of-range code points rejected with line-numbered errors.
 //! - A simple **TSV** format used by the synthetic datasets:
 //!   `subject \t predicate \t kind \t object` with `kind ∈ {uri, lit}`.
 //!
@@ -24,10 +27,10 @@
 //!   input.
 
 use std::borrow::Cow;
-use std::fmt;
+use std::fmt::{self, Write as _};
 use std::io::Read;
 
-use minoan_exec::Executor;
+use minoan_exec::{CancelToken, Executor};
 
 use crate::model::{KbBuilder, KbChunk, KnowledgeBase};
 
@@ -52,6 +55,34 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
     ParseError {
         line,
         message: message.into(),
+    }
+}
+
+/// Failure of a **cancellable** streaming parse: either the input was
+/// bad, or the [`CancelToken`] was observed set at a checkpoint between
+/// chunk waves and the parse unwound cooperatively.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// The input failed to parse.
+    Parse(ParseError),
+    /// Cancellation was requested; no knowledge base was produced.
+    Cancelled,
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Parse(e) => e.fmt(f),
+            StreamError::Cancelled => f.write_str("cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<ParseError> for StreamError {
+    fn from(e: ParseError) -> Self {
+        StreamError::Parse(e)
     }
 }
 
@@ -80,7 +111,7 @@ impl Default for StreamOptions {
 /// A parsed object term: a URI or a literal (borrowed unless escape
 /// processing forced a copy).
 enum ObjTerm<'a> {
-    Uri(&'a str),
+    Uri(Cow<'a, str>),
     Literal(Cow<'a, str>),
 }
 
@@ -129,7 +160,36 @@ pub fn parse_ntriples_reader<R: Read>(
     exec: &Executor,
     opts: StreamOptions,
 ) -> Result<KnowledgeBase, ParseError> {
-    stream_parse(name, reader, exec, opts, parse_ntriples_into)
+    uncancelled(parse_ntriples_reader_cancellable(
+        name,
+        reader,
+        exec,
+        opts,
+        &CancelToken::new(),
+    ))
+}
+
+/// Like [`parse_ntriples_reader`], but observing `cancel` at a
+/// checkpoint before every chunk wave: a cancelled parse stops reading,
+/// dispatches no further workers and unwinds with
+/// [`StreamError::Cancelled`] within one wave of work.
+pub fn parse_ntriples_reader_cancellable<R: Read>(
+    name: &str,
+    reader: R,
+    exec: &Executor,
+    opts: StreamOptions,
+    cancel: &CancelToken,
+) -> Result<KnowledgeBase, StreamError> {
+    stream_parse(name, reader, exec, opts, cancel, parse_ntriples_into)
+}
+
+/// Unwraps the result of a cancellable parse driven by a fresh token.
+fn uncancelled(result: Result<KnowledgeBase, StreamError>) -> Result<KnowledgeBase, ParseError> {
+    match result {
+        Ok(kb) => Ok(kb),
+        Err(StreamError::Parse(e)) => Err(e),
+        Err(StreamError::Cancelled) => unreachable!("a fresh token is never cancelled"),
+    }
 }
 
 /// Parses every line of `text` into `sink`; returns the number of lines
@@ -152,21 +212,90 @@ fn parse_ntriples_into<S: TripleSink>(text: &str, sink: &mut S) -> Result<usize,
             return Err(err(lines, "expected terminating '.'"));
         }
         match object {
-            ObjTerm::Uri(u) => sink.uri(subject, predicate, u),
-            ObjTerm::Literal(l) => sink.literal(subject, predicate, &l),
+            ObjTerm::Uri(u) => sink.uri(&subject, &predicate, &u),
+            ObjTerm::Literal(l) => sink.literal(&subject, &predicate, &l),
         }
     }
     Ok(lines)
 }
 
-fn parse_uri_term(s: &str, line: usize) -> Result<(&str, &str), ParseError> {
+/// Parses one `<...>` IRI term. The scan looks for a **raw** `>` — a
+/// numeric escape can only *decode* to `>`, never put one in the source
+/// text, so the first raw `>` always terminates the term — and escapes
+/// are decoded afterwards (the common escape-free IRI stays borrowed).
+fn parse_uri_term(s: &str, line: usize) -> Result<(Cow<'_, str>, &str), ParseError> {
     let rest = s
         .strip_prefix('<')
         .ok_or_else(|| err(line, "expected '<' opening a URI term"))?;
     let end = rest
         .find('>')
         .ok_or_else(|| err(line, "unterminated URI term"))?;
-    Ok((&rest[..end], &rest[end + 1..]))
+    let body = &rest[..end];
+    let uri = if body.contains('\\') {
+        Cow::Owned(decode_uri_escapes(body, line)?)
+    } else {
+        Cow::Borrowed(body)
+    };
+    Ok((uri, &rest[end + 1..]))
+}
+
+/// Decodes `\uXXXX` / `\UXXXXXXXX` numeric escapes in an IRI body.
+/// Other backslash sequences are kept verbatim (Web data is messy and
+/// the lexical form is all we need), mirroring the literal policy.
+fn decode_uri_escapes(body: &str, line: usize) -> Result<String, ParseError> {
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.char_indices();
+    while let Some((_, c)) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some((_, 'u')) => out.push(decode_numeric_escape(&mut chars, 'u', line)?),
+            Some((_, 'U')) => out.push(decode_numeric_escape(&mut chars, 'U', line)?),
+            Some((_, other)) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => return Err(err(line, "dangling escape in URI term")),
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes the digits of a numeric escape (`\uXXXX`: 4 hex digits,
+/// `\UXXXXXXXX`: 8), with `chars` positioned just after the `u`/`U`.
+/// Surrogate halves and code points beyond U+10FFFF are rejected — they
+/// are not Unicode scalar values and silently keeping them verbatim
+/// would corrupt every downstream tokenization of the term.
+fn decode_numeric_escape(
+    chars: &mut std::str::CharIndices<'_>,
+    kind: char,
+    line: usize,
+) -> Result<char, ParseError> {
+    let digits = if kind == 'u' { 4 } else { 8 };
+    let mut code: u32 = 0;
+    for _ in 0..digits {
+        let Some((_, h)) = chars.next() else {
+            return Err(err(line, format!("truncated \\{kind} escape")));
+        };
+        let Some(d) = h.to_digit(16) else {
+            return Err(err(line, format!("bad hex digit {h:?} in \\{kind} escape")));
+        };
+        code = code * 16 + d;
+    }
+    if (0xD800..=0xDFFF).contains(&code) {
+        return Err(err(
+            line,
+            format!("surrogate code point U+{code:04X} in \\{kind} escape"),
+        ));
+    }
+    char::from_u32(code).ok_or_else(|| {
+        err(
+            line,
+            format!("code point U+{code:X} in \\{kind} escape is beyond U+10FFFF"),
+        )
+    })
 }
 
 fn parse_object_term(s: &str, line: usize) -> Result<(ObjTerm<'_>, &str), ParseError> {
@@ -201,9 +330,12 @@ fn parse_object_term(s: &str, line: usize) -> Result<(ObjTerm<'_>, &str), ParseE
 }
 
 /// Slow path for literals containing escapes: processes `\n \t \r \" \\`
-/// (unknown escapes are kept verbatim — Web data is messy and the
-/// lexical form is all we need). Returns the unescaped literal and the
-/// byte offset of the closing quote within `rest`.
+/// plus the numeric escapes `\uXXXX` / `\UXXXXXXXX`, which are decoded
+/// to their scalar values (surrogate halves and out-of-range code points
+/// are line-numbered errors). Unknown escapes are kept verbatim — Web
+/// data is messy and the lexical form is all we need. Returns the
+/// unescaped literal and the byte offset of the closing quote within
+/// `rest`.
 fn parse_escaped_literal(rest: &str, line: usize) -> Result<(Cow<'_, str>, usize), ParseError> {
     let mut out = String::new();
     let mut chars = rest.char_indices();
@@ -216,6 +348,8 @@ fn parse_escaped_literal(rest: &str, line: usize) -> Result<(Cow<'_, str>, usize
                 Some((_, 'r')) => out.push('\r'),
                 Some((_, '"')) => out.push('"'),
                 Some((_, '\\')) => out.push('\\'),
+                Some((_, 'u')) => out.push(decode_numeric_escape(&mut chars, 'u', line)?),
+                Some((_, 'U')) => out.push(decode_numeric_escape(&mut chars, 'U', line)?),
                 Some((_, other)) => {
                     out.push('\\');
                     out.push(other);
@@ -229,18 +363,20 @@ fn parse_escaped_literal(rest: &str, line: usize) -> Result<(Cow<'_, str>, usize
 }
 
 /// Serializes a KB to the N-Triples subset accepted by
-/// [`parse_ntriples`], escaping `\ " \n \t \r` in literals.
+/// [`parse_ntriples`], escaping `\ " \n \t \r` (plus other control
+/// characters as `\uXXXX`) in literals and IRI-illegal characters
+/// (whitespace, controls, `<>"{}|^` backtick and `\`) as `\uXXXX` in
+/// URI terms, so every KB round-trips byte-identically.
 pub fn to_ntriples(kb: &KnowledgeBase) -> String {
     let mut out = String::new();
     for e in kb.entities() {
         let uri = kb.entity_uri(e);
         for stmt in kb.statements(e) {
             let attr = kb.attr_name(stmt.attr);
-            out.push('<');
-            out.push_str(uri);
-            out.push_str("> <");
-            out.push_str(attr);
-            out.push_str("> ");
+            push_iri(&mut out, uri);
+            out.push(' ');
+            push_iri(&mut out, attr);
+            out.push(' ');
             match &stmt.value {
                 crate::model::Value::Literal(l) => {
                     out.push('"');
@@ -251,21 +387,40 @@ pub fn to_ntriples(kb: &KnowledgeBase) -> String {
                             '\n' => out.push_str("\\n"),
                             '\t' => out.push_str("\\t"),
                             '\r' => out.push_str("\\r"),
+                            c if (c as u32) < 0x20 => {
+                                let _ = write!(out, "\\u{:04X}", c as u32);
+                            }
                             c => out.push(c),
                         }
                     }
                     out.push('"');
                 }
                 crate::model::Value::Entity(n) => {
-                    out.push('<');
-                    out.push_str(kb.entity_uri(*n));
-                    out.push('>');
+                    push_iri(&mut out, kb.entity_uri(*n));
                 }
             }
             out.push_str(" .\n");
         }
     }
     out
+}
+
+/// Writes `<uri>`, escaping the characters the N-Triples IRIREF
+/// production forbids (`#x00`–`#x20`, `<`, `>`, `"`, `{`, `}`, `|`,
+/// `^`, backtick, `\`) as `\uXXXX` numeric escapes — the inverse of
+/// [`decode_uri_escapes`], so URIs containing them survive a
+/// serialize/parse round trip instead of producing unparseable output.
+fn push_iri(out: &mut String, uri: &str) {
+    out.push('<');
+    for c in uri.chars() {
+        match c {
+            '\u{00}'..='\u{20}' | '<' | '>' | '"' | '{' | '}' | '|' | '^' | '`' | '\\' => {
+                let _ = write!(out, "\\u{:04X}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('>');
 }
 
 // ---------------------------------------------------------------------
@@ -288,7 +443,25 @@ pub fn parse_tsv_reader<R: Read>(
     exec: &Executor,
     opts: StreamOptions,
 ) -> Result<KnowledgeBase, ParseError> {
-    stream_parse(name, reader, exec, opts, parse_tsv_into)
+    uncancelled(parse_tsv_reader_cancellable(
+        name,
+        reader,
+        exec,
+        opts,
+        &CancelToken::new(),
+    ))
+}
+
+/// Like [`parse_tsv_reader`], but observing `cancel` at a checkpoint
+/// before every chunk wave (see [`parse_ntriples_reader_cancellable`]).
+pub fn parse_tsv_reader_cancellable<R: Read>(
+    name: &str,
+    reader: R,
+    exec: &Executor,
+    opts: StreamOptions,
+    cancel: &CancelToken,
+) -> Result<KnowledgeBase, StreamError> {
+    stream_parse(name, reader, exec, opts, cancel, parse_tsv_into)
 }
 
 fn parse_tsv_into<S: TripleSink>(text: &str, sink: &mut S) -> Result<usize, ParseError> {
@@ -361,13 +534,19 @@ pub fn to_tsv(kb: &KnowledgeBase) -> String {
 /// sub-chunk into a [`KbChunk`]) and absorbs the partials in chunk order.
 /// The trailing partial line is carried into the next block, so the full
 /// input is never resident and every worker sees whole lines only.
+///
+/// `cancel` is observed at a checkpoint before every read and before
+/// every chunk wave — a wave already dispatched always completes (its
+/// partials are simply dropped), so cancellation costs at most one
+/// block of work and never produces a partially-merged KB.
 fn stream_parse<R, F>(
     name: &str,
     mut reader: R,
     exec: &Executor,
     opts: StreamOptions,
+    cancel: &CancelToken,
     parse_into: F,
-) -> Result<KnowledgeBase, ParseError>
+) -> Result<KnowledgeBase, StreamError>
 where
     R: Read,
     F: Fn(&str, &mut KbChunk) -> Result<usize, ParseError> + Sync,
@@ -379,6 +558,7 @@ where
     let mut buf = vec![0u8; chunk_bytes.clamp(1, DEFAULT_CHUNK_BYTES)];
     let mut lines_done = 0usize;
     loop {
+        cancel.checkpoint().map_err(|_| StreamError::Cancelled)?;
         let n = reader
             .read(&mut buf)
             .map_err(|e| err(lines_done + 1, format!("read error: {e}")))?;
@@ -398,6 +578,7 @@ where
         }
     }
     if !pending.is_empty() {
+        cancel.checkpoint().map_err(|_| StreamError::Cancelled)?;
         let block = std::mem::take(&mut pending);
         parse_block(&block, &mut builder, exec, lines_done, &parse_into)?;
     }
@@ -494,6 +675,113 @@ mod tests {
         let kb = parse_ntriples("t", text).unwrap();
         let e = kb.entity_by_uri("e:s").unwrap();
         assert_eq!(kb.literals(e).next().unwrap(), "weird \\q escape");
+    }
+
+    #[test]
+    fn numeric_escapes_decode_in_literals() {
+        // \u0041 = 'A', \u00e9 = 'é', \U0001F3DB = 🏛, \u0022 = '"'
+        // (decoded quotes are content, not terminators).
+        let text = r#"<e:s> <e:p> "\u0041lpha \u00e9 \U0001F3DB \u0022quoted\u0022" ."#;
+        let kb = parse_ntriples("t", text).unwrap();
+        let e = kb.entity_by_uri("e:s").unwrap();
+        assert_eq!(kb.literals(e).next().unwrap(), "Alpha é 🏛 \"quoted\"");
+    }
+
+    #[test]
+    fn numeric_escapes_decode_in_uri_terms() {
+        // Subject, predicate and object IRIs all carry escapes; a
+        // decoded \u003E ('>') must not terminate the term early. The
+        // object URI also appears as a subject so it stays an entity.
+        let text = "<e:\\u0073ubject> <e:p\\U00000072ed> <e:a\\u003Eb> .\n\
+                    <e:a\\u003Eb> <e:p> \"v\" .\n";
+        let kb = parse_ntriples("t", text).unwrap();
+        let s = kb.entity_by_uri("e:subject").expect("subject decoded");
+        assert!(kb.entity_by_uri("e:a>b").is_some(), "object decoded");
+        assert_eq!(kb.out_edges(s).count(), 1);
+    }
+
+    #[test]
+    fn surrogate_halves_are_line_numbered_errors() {
+        for bad in [
+            "<e:s> <e:p> \"x\\uD800y\" .", // high surrogate in literal
+            "<e:s> <e:p> \"x\\uDFFFy\" .", // low surrogate in literal
+            "<e:s\\uDC00> <e:p> \"ok\" .", // surrogate in IRI
+            "<e:s> <e:p> \"\\U0001D800ok\" .\n<e:s> <e:p> \"\\uDabcy\" .", // line 2
+        ] {
+            let text = format!("<e:a> <e:p> \"fine\" .\n{bad}");
+            let e = parse_ntriples("t", &text).unwrap_err();
+            let expect_line = 1 + text.lines().count();
+            assert_eq!(e.line + 1, expect_line, "{bad}: wrong line");
+            assert!(e.message.contains("surrogate"), "{bad}: {}", e.message);
+        }
+    }
+
+    #[test]
+    fn out_of_range_and_malformed_numeric_escapes_are_errors() {
+        let e = parse_ntriples("t", "<e:s> <e:p> \"\\U00110000\" .").unwrap_err();
+        assert!(e.message.contains("beyond U+10FFFF"), "{}", e.message);
+        let e = parse_ntriples("t", "<e:s> <e:p> \"\\u12G4\" .").unwrap_err();
+        assert!(e.message.contains("bad hex digit"), "{}", e.message);
+        let e = parse_ntriples("t", "<e:s> <e:p> \"\\u12").unwrap_err();
+        assert!(e.message.contains("truncated \\u"), "{}", e.message);
+        let e = parse_ntriples("t", "<e:s\\u00> <e:p> \"x\" .").unwrap_err();
+        assert!(
+            e.message.contains("bad hex digit") || e.message.contains("truncated"),
+            "{}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn iris_with_forbidden_characters_round_trip_via_escapes() {
+        // A URI containing '>' , '"', space and a backslash can only be
+        // written with numeric escapes; serialization must regenerate
+        // them instead of emitting unparseable raw characters.
+        let text = "<e:a\\u003Eb\\u0020c\\u0022d\\u005C> <e:p> \"v\" .\n";
+        let kb = parse_ntriples("t", text).unwrap();
+        assert!(kb.entity_by_uri("e:a>b c\"d\\").is_some());
+        let dumped = to_ntriples(&kb);
+        let kb2 = parse_ntriples("t", &dumped).unwrap();
+        assert_eq!(kb, kb2);
+        assert_eq!(dumped, to_ntriples(&kb2), "serialization is stable");
+    }
+
+    #[test]
+    fn control_characters_in_literals_round_trip() {
+        let text = "<e:s> <e:p> \"bell\\u0007 esc\\u001b\" .\n";
+        let kb = parse_ntriples("t", text).unwrap();
+        let e = kb.entity_by_uri("e:s").unwrap();
+        assert_eq!(kb.literals(e).next().unwrap(), "bell\u{7} esc\u{1b}");
+        let dumped = to_ntriples(&kb);
+        assert!(dumped.contains("\\u0007"), "controls re-escape: {dumped}");
+        assert_eq!(kb, parse_ntriples("t", &dumped).unwrap());
+    }
+
+    #[test]
+    fn cancelled_stream_parse_unwinds_cleanly() {
+        use minoan_exec::CancelToken;
+        let text = "s\tp\tlit\tv\n".repeat(100);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = parse_tsv_reader_cancellable(
+            "t",
+            text.as_bytes(),
+            &Executor::sequential(),
+            tiny_opts(16),
+            &cancel,
+        )
+        .unwrap_err();
+        assert_eq!(err, StreamError::Cancelled);
+        // A fresh token parses normally through the cancellable API.
+        let kb = parse_tsv_reader_cancellable(
+            "t",
+            text.as_bytes(),
+            &Executor::sequential(),
+            tiny_opts(16),
+            &CancelToken::new(),
+        )
+        .unwrap();
+        assert_eq!(kb.triple_count(), 100);
     }
 
     #[test]

@@ -1,0 +1,470 @@
+//! Long-running daemon intake: a line-delimited JSON socket protocol
+//! feeding the same live [`JobQueue`] the batch scheduler drains.
+//!
+//! `minoaner serve --listen <addr>` turns the one-shot batch fleet into
+//! a service: jobs arrive over time, are admitted strictly in
+//! submission order under the bounded-memory budget, run pairs-first
+//! with straggler widening, and stream terminal reports in completion
+//! order — exactly like a manifest batch, including per-job
+//! bit-identity with solo sequential runs. A *running* job can be
+//! cancelled: its [`CancelToken`] makes the pipeline unwind at the next
+//! cooperative checkpoint (see
+//! [`minoan_core::MinoanEr::run_cancellable`]) to a `Cancelled` report
+//! within one executor wave, without disturbing other in-flight jobs.
+//!
+//! ## Wire protocol
+//!
+//! One JSON document per line in each direction (UTF-8, LF-terminated;
+//! the writer escapes embedded newlines, so framing is unambiguous).
+//! Requests are objects with an `op` field; every response carries
+//! `"ok": true|false`, with `"error"` describing a failure. Requests on
+//! one connection are processed strictly in order; concurrent
+//! connections are independent.
+//!
+//! | op | request fields | response |
+//! |----|----------------|----------|
+//! | `submit` | `job`: a manifest job object (same schema as a `[[job]]` table / `jobs` element, see [`crate::manifest`]) | `{"ok":true,"id":N,"name":"…"}` — `id` is the submission index |
+//! | `status` | optional `id` | `{"ok":true,"accepting":B,"queued":N,"running":N,"done":N,"jobs":[{"id":N,"name":"…","phase":"queued\|running\|done","status":"ok\|failed\|cancelled"?,"error":"…"?}]}` (`jobs` has one element with `id`) |
+//! | `cancel` | `id` | `{"ok":true,"id":N,"outcome":"cancelled\|cancelling\|done\|unknown"}` — `cancelled`: flipped before dispatch; `cancelling`: token set, the running job unwinds at its next checkpoint; `done`: already terminal, report unchanged |
+//! | `wait` | `id` | blocks until the job is terminal, then `{"ok":true,"id":N,"fingerprint":"…","report":{…}}` — `report` is [`JobReport::to_json`] with pairs, `fingerprint` the raw deterministic [`JobReport::fingerprint`] |
+//! | `shutdown` | optional `mode`: `"drain"` (default: queued jobs still run) or `"cancel"` (queued jobs flip to `Cancelled`, running jobs are cancelled) | `{"ok":true}`; the daemon then stops accepting, drains and exits |
+//!
+//! A `status`/`done` job is never reported `running` and `cancelled` at
+//! once: phase transitions are atomic under the queue lock
+//! ([`JobQueue::cancel`]), and `status` is present exactly when `phase`
+//! is `done`.
+//!
+//! ## Checkpoint granularity
+//!
+//! Cancellation is cooperative. The pipeline observes the job's token
+//! **between executor waves** — after ingest chunk waves and between
+//! the tokenize / name / blocking / purge / H1 / top-neighbor /
+//! similarity-index / H2 / H3 / H4 stages — never mid-wave (tearing a
+//! wave down could not stay bit-identical with sequential runs). A
+//! cancelled job therefore reaches its `Cancelled` report after at most
+//! one wave of residual work.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use minoan_kb::Json;
+
+use crate::manifest::JobSpec;
+use crate::report::{peak_rss_bytes, JobReport, JobStatus, ServeReport};
+use crate::scheduler::{resolve_fleet_knobs, CancelToken, JobQueue, ServeOptions};
+
+/// How often blocked daemon loops (accept, per-connection reads) check
+/// the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Runs the daemon on an already-bound listener until a client sends
+/// `shutdown`, then drains the queue and returns the fleet report
+/// (jobs in submission order, like a batch run). `on_done` fires once
+/// per terminal job report, in completion order.
+///
+/// Fleet knobs come from `opts` with zeros meaning "all cores" /
+/// "unlimited", exactly like a manifest with no limits; there is no
+/// job-count clamp because the job count is unknown up front.
+pub fn run_daemon(
+    listener: TcpListener,
+    opts: &ServeOptions,
+    on_done: impl Fn(&JobReport) + Sync,
+) -> std::io::Result<ServeReport> {
+    let t0 = Instant::now();
+    let (slots, threads, budget_bytes) = resolve_fleet_knobs(opts, 0, 0, 0, usize::MAX);
+    let queue = JobQueue::new(slots, threads, budget_bytes);
+    let shutdown = CancelToken::new();
+    // The daemon has no fleet-level cancel; per-job cancellation goes
+    // through the queue.
+    let never = CancelToken::new();
+    listener.set_nonblocking(true)?;
+
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        for _ in 0..slots {
+            scope.spawn(|| queue.worker(opts, &never, &on_done));
+        }
+        let result = loop {
+            if shutdown.is_cancelled() {
+                break Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let queue = &queue;
+                    let shutdown = &shutdown;
+                    scope.spawn(move || handle_connection(stream, queue, shutdown));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => break Err(e),
+            }
+        };
+        // Release every scoped thread before returning — including on
+        // a fatal accept error, where skipping this would leave workers
+        // parked in the admission wait and the scope joining forever:
+        // the shutdown flag stops connection handlers, closing the
+        // queue lets workers exit once it drains (a `shutdown` with
+        // mode "cancel" has already flipped/cancelled everything, so
+        // that drain is immediate).
+        shutdown.cancel();
+        queue.close();
+        result
+    })?;
+
+    let peak_active = queue.peak_concurrent();
+    Ok(ServeReport {
+        jobs: queue.into_reports(),
+        slots,
+        threads,
+        memory_budget_bytes: budget_bytes,
+        peak_concurrent_jobs: peak_active,
+        wall: t0.elapsed(),
+        peak_rss_bytes: peak_rss_bytes(),
+    })
+}
+
+/// Serves one client connection: read a request line, answer it, repeat
+/// until EOF or daemon shutdown. Read timeouts keep the handler
+/// responsive to the shutdown flag even with an idle client.
+fn handle_connection(stream: TcpStream, queue: &JobQueue, shutdown: &CancelToken) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL * 4));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                let request = line.trim();
+                if !request.is_empty() {
+                    let response = handle_request(request, queue, shutdown);
+                    if writer
+                        .write_all((response.compact() + "\n").as_bytes())
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            // Timeout (partial input, if any, stays buffered in `line`
+            // and the next read continues it): check the flag and keep
+            // listening.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shutdown.is_cancelled() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answers one request line. Never panics: malformed input becomes an
+/// `{"ok":false,...}` response.
+fn handle_request(line: &str, queue: &JobQueue, shutdown: &CancelToken) -> Json {
+    let request = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return error(format!("bad request JSON: {e}")),
+    };
+    let Some(op) = request.get("op").and_then(Json::as_str) else {
+        return error("request needs a string `op` field".to_string());
+    };
+    match op {
+        "submit" => {
+            let Some(job) = request.get("job") else {
+                return error("submit needs a `job` object".to_string());
+            };
+            let spec = match JobSpec::from_json(job).and_then(|s| s.validate().map(|()| s)) {
+                Ok(s) => s,
+                Err(e) => return error(format!("bad job: {e}")),
+            };
+            let name = spec.name.clone();
+            match queue.submit(spec) {
+                Ok(id) => Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("id", Json::num(id as f64)),
+                    ("name", Json::str(name)),
+                ]),
+                Err(e) => error(e),
+            }
+        }
+        "status" => {
+            let snapshot = queue.snapshot();
+            let filter = match optional_id(&request) {
+                Ok(f) => f,
+                Err(e) => return error(e),
+            };
+            if let Some(id) = filter {
+                if id >= snapshot.len() {
+                    return error(format!("unknown job id {id}"));
+                }
+            }
+            let counts = |phase: crate::scheduler::JobPhase| {
+                snapshot.iter().filter(|s| s.phase == phase).count() as f64
+            };
+            let jobs: Vec<Json> = snapshot
+                .iter()
+                .filter(|s| filter.is_none_or(|id| s.id == id))
+                .map(|s| {
+                    let mut fields = vec![
+                        ("id".to_string(), Json::num(s.id as f64)),
+                        ("name".to_string(), Json::str(&s.name)),
+                        ("phase".to_string(), Json::str(s.phase.label())),
+                    ];
+                    if let Some(status) = &s.status {
+                        fields.push(("status".to_string(), Json::str(status.label())));
+                        if let JobStatus::Failed(e) = status {
+                            fields.push(("error".to_string(), Json::str(e)));
+                        }
+                    }
+                    Json::Obj(fields)
+                })
+                .collect();
+            Json::obj([
+                ("ok", Json::Bool(true)),
+                ("accepting", Json::Bool(!shutdown.is_cancelled())),
+                (
+                    "queued",
+                    Json::num(counts(crate::scheduler::JobPhase::Queued)),
+                ),
+                (
+                    "running",
+                    Json::num(counts(crate::scheduler::JobPhase::Running)),
+                ),
+                ("done", Json::num(counts(crate::scheduler::JobPhase::Done))),
+                ("jobs", Json::Arr(jobs)),
+            ])
+        }
+        "cancel" => match required_id(&request) {
+            Err(e) => error(e),
+            Ok(id) => {
+                let outcome = queue.cancel(id);
+                Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("id", Json::num(id as f64)),
+                    ("outcome", Json::str(outcome.label())),
+                ])
+            }
+        },
+        "wait" => match required_id(&request) {
+            Err(e) => error(e),
+            Ok(id) => match queue.wait(id) {
+                None => error(format!("unknown job id {id}")),
+                Some(report) => Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("id", Json::num(id as f64)),
+                    ("fingerprint", Json::str(report.fingerprint())),
+                    ("report", report.to_json(true)),
+                ]),
+            },
+        },
+        "shutdown" => {
+            let cancel_jobs = match request.get("mode").and_then(Json::as_str) {
+                None | Some("drain") => false,
+                Some("cancel") => true,
+                Some(other) => return error(format!("unknown shutdown mode {other:?}")),
+            };
+            // Close the queue here, not just in the accept loop once it
+            // notices the flag: a submit racing that window on another
+            // connection would be admitted after cancel_all's snapshot
+            // and run to completion, defeating an immediate shutdown.
+            // Post-shutdown submits now fail with "queue is closed".
+            queue.close();
+            if cancel_jobs {
+                queue.cancel_all();
+            }
+            shutdown.cancel();
+            Json::obj([("ok", Json::Bool(true))])
+        }
+        other => error(format!("unknown op {other:?}")),
+    }
+}
+
+fn error(message: String) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))])
+}
+
+fn required_id(request: &Json) -> Result<usize, String> {
+    optional_id(request)?.ok_or_else(|| "request needs a numeric `id` field".to_string())
+}
+
+fn optional_id(request: &Json) -> Result<Option<usize>, String> {
+    match request.get("id") {
+        None => Ok(None),
+        Some(v) => v
+            .as_usize()
+            .map(Some)
+            .ok_or_else(|| "`id` must be a non-negative integer".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::CancelOutcome;
+    use std::net::SocketAddr;
+
+    /// Sends one request line, returns the parsed response.
+    fn roundtrip(addr: SocketAddr, request: &str) -> Json {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all((request.to_string() + "\n").as_bytes())
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        Json::parse(line.trim()).expect("response parses")
+    }
+
+    fn tiny_opts() -> ServeOptions {
+        ServeOptions {
+            slots: Some(2),
+            threads: Some(2),
+            ..ServeOptions::default()
+        }
+    }
+
+    #[test]
+    fn daemon_serves_submit_status_wait_shutdown() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let opts = tiny_opts();
+        std::thread::scope(|scope| {
+            let daemon = scope.spawn(|| run_daemon(listener, &opts, |_| {}).unwrap());
+
+            let r = roundtrip(
+                addr,
+                r#"{"op":"submit","job":{"name":"a","dataset":"restaurant","scale":0.05}}"#,
+            );
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+            assert_eq!(r.get("id").unwrap().as_usize(), Some(0));
+
+            let r = roundtrip(addr, r#"{"op":"wait","id":0}"#);
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+            let report = r.get("report").unwrap();
+            assert_eq!(report.get("status").unwrap().as_str(), Some("ok"));
+            assert!(r.get("fingerprint").unwrap().as_str().unwrap().len() > 1);
+
+            let r = roundtrip(addr, r#"{"op":"status"}"#);
+            assert_eq!(r.get("done").unwrap().as_usize(), Some(1));
+
+            let r = roundtrip(addr, r#"{"op":"shutdown"}"#);
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+
+            let report = daemon.join().unwrap();
+            assert_eq!(report.jobs.len(), 1);
+            assert_eq!(report.jobs[0].status, JobStatus::Ok);
+        });
+    }
+
+    #[test]
+    fn daemon_rejects_malformed_requests() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let opts = tiny_opts();
+        std::thread::scope(|scope| {
+            let daemon = scope.spawn(|| run_daemon(listener, &opts, |_| {}).unwrap());
+            for (request, needle) in [
+                ("not json", "bad request JSON"),
+                ("{}", "op"),
+                (r#"{"op":"warp"}"#, "unknown op"),
+                (r#"{"op":"submit"}"#, "job"),
+                (r#"{"op":"submit","job":{"name":"x"}}"#, "either dataset or"),
+                (
+                    r#"{"op":"submit","job":{"name":"x","dataset":"rexa","theta":9}}"#,
+                    "theta",
+                ),
+                (r#"{"op":"cancel"}"#, "id"),
+                (r#"{"op":"wait","id":7}"#, "unknown job id"),
+                (
+                    r#"{"op":"shutdown","mode":"explode"}"#,
+                    "unknown shutdown mode",
+                ),
+            ] {
+                let r = roundtrip(addr, request);
+                assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{request}");
+                let e = r.get("error").unwrap().as_str().unwrap();
+                assert!(e.contains(needle), "{request} -> {e}");
+            }
+            roundtrip(addr, r#"{"op":"shutdown"}"#);
+            let report = daemon.join().unwrap();
+            assert!(report.jobs.is_empty());
+        });
+    }
+
+    #[test]
+    fn shutdown_cancel_mode_flips_queued_jobs() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // One slot, so the second and third submissions queue behind
+        // the first.
+        let opts = ServeOptions {
+            slots: Some(1),
+            threads: Some(1),
+            ..ServeOptions::default()
+        };
+        std::thread::scope(|scope| {
+            let daemon = scope.spawn(|| run_daemon(listener, &opts, |_| {}).unwrap());
+            for name in ["a", "b", "c"] {
+                let r = roundtrip(
+                    addr,
+                    &format!(
+                        r#"{{"op":"submit","job":{{"name":"{name}","dataset":"restaurant","scale":0.05}}}}"#
+                    ),
+                );
+                assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+            }
+            let r = roundtrip(addr, r#"{"op":"shutdown","mode":"cancel"}"#);
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+            let report = daemon.join().unwrap();
+            assert_eq!(report.jobs.len(), 3);
+            // Every job is terminal; at least the tail of the queue was
+            // flipped to Cancelled without running.
+            assert!(report
+                .jobs
+                .iter()
+                .all(|j| j.status == JobStatus::Cancelled || j.status.is_ok()));
+            assert!(report.jobs.iter().any(|j| j.status == JobStatus::Cancelled));
+        });
+    }
+
+    #[test]
+    fn shutdown_closes_the_queue_in_the_handler_itself() {
+        // The close must happen in handle_request, not only when the
+        // accept loop notices the flag: a submit racing that window
+        // would slip past cancel_all and run to completion.
+        let queue = JobQueue::new(1, 1, 0);
+        let shutdown = CancelToken::new();
+        let r = handle_request(r#"{"op":"shutdown","mode":"cancel"}"#, &queue, &shutdown);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert!(shutdown.is_cancelled());
+        let spec = JobSpec::from_json(
+            &Json::parse(r#"{"name":"late","dataset":"restaurant","scale":0.05}"#).unwrap(),
+        )
+        .unwrap();
+        let err = queue.submit(spec).unwrap_err();
+        assert!(err.contains("closed"), "{err}");
+    }
+
+    #[test]
+    fn cancel_outcome_labels_are_wire_stable() {
+        assert_eq!(CancelOutcome::CancelledQueued.label(), "cancelled");
+        assert_eq!(CancelOutcome::Cancelling.label(), "cancelling");
+        assert_eq!(CancelOutcome::AlreadyDone.label(), "done");
+        assert_eq!(CancelOutcome::Unknown.label(), "unknown");
+    }
+}

@@ -1,11 +1,18 @@
-//! # minoan-serve — the multi-pair batch serving layer
+//! # minoan-serve — the multi-pair serving layer
 //!
 //! MinoanER resolves one KB pair; production traffic is a *fleet* of
 //! pairs. This crate is the layer that turns the engine into a service:
-//! it takes a manifest of dataset-pair jobs, schedules them across the
-//! executor with **pair-level parallelism first** and intra-pair
-//! parallelism for stragglers, and streams per-job results, timings and
-//! peak-RSS metrics into a report.
+//! a live bounded-memory admission queue ([`scheduler::JobQueue`])
+//! schedules jobs across the executor with **pair-level parallelism
+//! first** and intra-pair parallelism for stragglers, and streams
+//! per-job results, timings and peak-RSS metrics into a report. Two
+//! front-ends drain the same queue: **batch mode** ([`run_batch`])
+//! submits a whole manifest up front, and **daemon mode**
+//! ([`run_daemon`], `minoaner serve --listen`) accepts jobs over a
+//! line-delimited JSON socket protocol as they arrive — submit /
+//! status / cancel / wait / shutdown, with cooperative **mid-job
+//! cancellation** through the pipeline's checkpoints (see [`daemon`]
+//! for the wire protocol and checkpoint granularity).
 //!
 //! ## Manifest format
 //!
@@ -19,7 +26,9 @@
 //!
 //! ## Admission policy
 //!
-//! Jobs are admitted strictly in manifest order under a memory budget.
+//! Jobs are admitted strictly in submission order under a memory
+//! budget (manifest order in batch mode, socket arrival order in
+//! daemon mode).
 //! Each job's footprint is estimated **before any input is loaded** —
 //! from the profile's entity budget for synthetic jobs, from on-disk
 //! file sizes for file jobs — and a job waits until the in-flight
@@ -39,13 +48,17 @@
 
 #![warn(missing_docs)]
 
+pub mod daemon;
 pub mod manifest;
 pub mod report;
 pub mod scheduler;
 pub mod toml;
 
+pub use daemon::run_daemon;
+
 pub use manifest::{JobInput, JobSpec, Manifest};
 pub use report::{fnv1a, peak_rss_bytes, JobReport, JobStatus, ServeReport};
 pub use scheduler::{
-    load_kb_file, load_truth_file, run_batch, run_batch_streaming, CancelToken, ServeOptions,
+    load_kb_file, load_truth_file, run_batch, run_batch_streaming, CancelOutcome, CancelToken,
+    Cancelled, JobId, JobPhase, JobQueue, JobSnapshot, ServeOptions,
 };

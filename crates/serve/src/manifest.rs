@@ -88,6 +88,44 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
+    /// Parses one job from the manifest job schema — the same object
+    /// shape a `[[job]]` table or `jobs` array element uses, and the
+    /// shape the daemon's `submit` op takes over the wire.
+    pub fn from_json(json: &Json) -> Result<JobSpec, String> {
+        job_from_json(json)
+    }
+
+    /// Serializes this job as its JSON spelling (round-trips through
+    /// [`JobSpec::from_json`]).
+    pub fn to_json(&self) -> Json {
+        job_to_json(self)
+    }
+
+    /// Validates this job on its own: non-empty name, parameters in
+    /// range. (Cross-job rules like name uniqueness live in
+    /// [`Manifest::validate`]; a daemon accepts repeated names because
+    /// ids, not names, key its reports.)
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("job has an empty name".into());
+        }
+        if let JobInput::Synthetic { scale, .. } = self.input {
+            let positive = scale.is_finite() && scale > 0.0;
+            if !positive {
+                return Err(format!("scale must be positive, got {scale}"));
+            }
+        }
+        if let Some(theta) = self.theta {
+            if !(0.0 < theta && theta < 1.0) {
+                return Err(format!("theta must be in (0,1), got {theta}"));
+            }
+        }
+        if self.candidates_k == Some(0) {
+            return Err("k must be at least 1".into());
+        }
+        Ok(())
+    }
+
     /// The matching configuration for this job: `base` with this job's
     /// overrides applied. Executor fields of `base` are irrelevant — the
     /// scheduler hands the pipeline an executor directly.
@@ -204,34 +242,21 @@ impl Manifest {
         Ok(manifest)
     }
 
-    /// Validates the manifest: at least one job, unique names, parameter
-    /// overrides in range.
+    /// Validates the manifest: at least one job, unique names, per-job
+    /// rules ([`JobSpec::validate`]).
     pub fn validate(&self) -> Result<(), String> {
         if self.jobs.is_empty() {
             return Err("manifest has no jobs".into());
         }
         for (i, job) in self.jobs.iter().enumerate() {
-            let ctx = |msg: String| format!("job #{} ({}): {msg}", i + 1, job.name);
             if job.name.is_empty() {
                 return Err(format!("job #{} has an empty name", i + 1));
             }
+            let ctx = |msg: String| format!("job #{} ({}): {msg}", i + 1, job.name);
             if self.jobs[..i].iter().any(|j| j.name == job.name) {
                 return Err(ctx("duplicate job name".into()));
             }
-            if let JobInput::Synthetic { scale, .. } = job.input {
-                let positive = scale.is_finite() && scale > 0.0;
-                if !positive {
-                    return Err(ctx(format!("scale must be positive, got {scale}")));
-                }
-            }
-            if let Some(theta) = job.theta {
-                if !(0.0 < theta && theta < 1.0) {
-                    return Err(ctx(format!("theta must be in (0,1), got {theta}")));
-                }
-            }
-            if job.candidates_k == Some(0) {
-                return Err(ctx("k must be at least 1".into()));
-            }
+            job.validate().map_err(ctx)?;
         }
         Ok(())
     }

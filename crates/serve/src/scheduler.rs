@@ -1,7 +1,14 @@
-//! The fleet scheduler: pair-level parallelism first, bounded-memory
-//! admission, failure isolation.
+//! The fleet scheduler: a **live admission queue** with pair-level
+//! parallelism first, bounded-memory admission, failure isolation and
+//! cooperative mid-job cancellation.
 //!
-//! ## Scheduling policy
+//! ## The queue
+//!
+//! [`JobQueue`] is the one scheduling engine in the workspace. Batch
+//! mode ([`run_batch`]) submits every manifest job up front, closes the
+//! queue and drains it; daemon mode ([`crate::daemon`]) keeps the queue
+//! open and feeds it jobs as they arrive over the socket. Either way
+//! the rules are identical:
 //!
 //! - **Pairs first.** Up to `slots` jobs run concurrently, each on its
 //!   own executor. The total thread budget is divided with real
@@ -11,27 +18,35 @@
 //!   the budget while the fleet is full, and as the queue drains the
 //!   stragglers automatically widen to intra-pair parallelism (the last
 //!   job alone gets every free thread). The one-thread floor means
-//!   `slots > threads` oversubscribes by design — that configuration
-//!   explicitly asks for more concurrent pairs than budget threads.
+//!   `slots > threads` oversubscribes by design.
 //! - **Bounded-memory admission.** Jobs are admitted strictly in
-//!   manifest order. Before anything is loaded, a job's footprint is
-//!   estimated ([`JobSpec::estimated_bytes`] — profile entity budgets
-//!   for synthetic jobs, on-disk sizes for file jobs) and the job waits
-//!   until the sum of in-flight estimates leaves room in the budget.
-//!   The head job is always admitted when nothing is running, so a job
-//!   bigger than the whole budget runs alone instead of deadlocking.
+//!   submission order. Before anything is loaded, a job's footprint is
+//!   estimated ([`JobSpec::estimated_bytes`]) and the job waits until
+//!   the sum of in-flight estimates leaves room in the budget. The head
+//!   job is always admitted when nothing is running, so a job bigger
+//!   than the whole budget runs alone instead of deadlocking.
 //! - **Failure isolation.** A job that fails to load, fails validation
-//!   or panics produces a `Failed` report; the fleet keeps going. A
-//!   [`CancelToken`] flips remaining undispatched jobs to `Cancelled`
-//!   without interrupting jobs already running.
+//!   or panics produces a `Failed` report; the fleet keeps going.
+//! - **Cancellation.** Each job carries its own [`CancelToken`].
+//!   Cancelling a *queued* job flips it to `Cancelled` **atomically**
+//!   under the queue lock — the job either never dispatches, or it was
+//!   already claimed and the token makes the running pipeline unwind at
+//!   its next checkpoint (see [`MinoanEr::run_cancellable`]) to a
+//!   `Cancelled` report within one executor wave of work. A job is
+//!   never observable as both running and cancelled: phase transitions
+//!   (`Queued → Running → Done`, or `Queued → Done` for a pre-dispatch
+//!   cancel) happen under one lock and anything else panics. The
+//!   fleet-level token passed to [`run_batch_streaming`] keeps its
+//!   coarser historical meaning: stop *dispatching* (queued jobs report
+//!   `Cancelled`; running jobs complete normally).
 //! - **Determinism.** Job results never depend on scheduling: the
 //!   pipeline is bit-identical across executors and thread counts, and
-//!   each job's inputs are private to it. The fleet report lists jobs in
-//!   manifest order regardless of completion order.
+//!   each job's inputs are private to it. The fleet report lists jobs
+//!   in submission order regardless of completion order.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use minoan_core::{MinoanConfig, MinoanEr};
@@ -43,13 +58,15 @@ use minoan_kb::{parse, GroundTruth, KbPair, Matching};
 use crate::manifest::{JobInput, JobSpec, Manifest};
 use crate::report::{peak_rss_bytes, JobReport, JobStatus, ServeReport};
 
+pub use minoan_exec::{CancelToken, Cancelled};
+
 /// Fleet-level options. `None` defers to the manifest; an explicit
 /// value — including an explicit zero — overrides it, so an operator
 /// can always lift a manifest limit from the command line.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Max concurrently running jobs (`Some(0)` = one per available
-    /// core, clamped to the job count).
+    /// core, clamped to the job count in batch mode).
     pub slots: Option<usize>,
     /// Total worker-thread budget shared by running jobs (`Some(0)` =
     /// all available cores).
@@ -74,34 +91,106 @@ impl Default for ServeOptions {
     }
 }
 
-/// Cooperative cancellation: cancelling stops *dispatching* jobs (they
-/// report `Cancelled`); jobs already running complete normally.
-#[derive(Debug, Clone, Default)]
-pub struct CancelToken {
-    flag: Arc<AtomicBool>,
+/// Identifier of a job within one [`JobQueue`] lifetime: its submission
+/// index, which is also its position in the final report.
+pub type JobId = usize;
+
+/// Observable lifecycle phase of a job in a [`JobQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Submitted, not yet dispatched to a fleet slot.
+    Queued,
+    /// Claimed by a fleet slot; its pipeline is running.
+    Running,
+    /// Terminal: a report exists (ok, failed or cancelled).
+    Done,
 }
 
-impl CancelToken {
-    /// A fresh, uncancelled token.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Requests cancellation.
-    pub fn cancel(&self) {
-        self.flag.store(true, Ordering::SeqCst);
-    }
-
-    /// Whether cancellation was requested.
-    pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::SeqCst)
+impl JobPhase {
+    /// Lower-case label (`queued` / `running` / `done`).
+    pub fn label(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+        }
     }
 }
 
-/// Admission-queue state shared by the worker threads.
-struct QueueState {
-    /// Index of the next undispatched job.
-    next: usize,
+/// What a [`JobQueue::cancel`] request found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was still queued: it was flipped to a `Cancelled` report
+    /// atomically and will never dispatch.
+    CancelledQueued,
+    /// The job was running: its token is set and the pipeline unwinds
+    /// to a `Cancelled` report at its next cooperative checkpoint.
+    Cancelling,
+    /// The job had already finished; its report is unchanged.
+    AlreadyDone,
+    /// No job with that id was ever submitted.
+    Unknown,
+}
+
+impl CancelOutcome {
+    /// Lower-case wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CancelOutcome::CancelledQueued => "cancelled",
+            CancelOutcome::Cancelling => "cancelling",
+            CancelOutcome::AlreadyDone => "done",
+            CancelOutcome::Unknown => "unknown",
+        }
+    }
+}
+
+/// Point-in-time view of one queue entry, for status reporting.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// Submission index.
+    pub id: JobId,
+    /// Job name (not necessarily unique across a daemon's lifetime).
+    pub name: String,
+    /// Current phase.
+    pub phase: JobPhase,
+    /// Terminal status, present exactly when `phase == Done`. The
+    /// phase/status split is what makes "running **and** cancelled"
+    /// unrepresentable in a snapshot.
+    pub status: Option<JobStatus>,
+}
+
+/// One queue entry and its lifecycle state.
+struct JobEntry {
+    spec: JobSpec,
+    estimate: u64,
+    cancel: CancelToken,
+    phase: Phase,
+}
+
+/// Internal phase storage; `Done` owns the report (boxed: terminal
+/// reports dwarf the other variants).
+enum Phase {
+    Queued,
+    Running,
+    Done(Box<JobReport>),
+}
+
+impl Phase {
+    fn observable(&self) -> JobPhase {
+        match self {
+            Phase::Queued => JobPhase::Queued,
+            Phase::Running => JobPhase::Running,
+            Phase::Done(_) => JobPhase::Done,
+        }
+    }
+}
+
+/// State behind the queue lock.
+struct QueueInner {
+    /// Every job ever submitted, indexed by [`JobId`].
+    entries: Vec<JobEntry>,
+    /// Ids still awaiting dispatch, in strict submission order.
+    pending: VecDeque<JobId>,
     /// Sum of footprint estimates of running jobs.
     in_flight_bytes: u64,
     /// Currently running jobs.
@@ -110,6 +199,355 @@ struct QueueState {
     peak_active: usize,
     /// Sum of thread allotments of running jobs.
     threads_in_use: usize,
+    /// No further submissions; workers exit once drained.
+    closed: bool,
+}
+
+impl QueueInner {
+    /// The single place job phases change. Legal transitions are
+    /// `Queued → Running` (dispatch), `Queued → Done` (pre-dispatch
+    /// cancel) and `Running → Done` (completion); anything else is a
+    /// scheduler bug and panics rather than producing a report that
+    /// contradicts the phase history.
+    fn transition(&mut self, id: JobId, to: Phase) {
+        let entry = &mut self.entries[id];
+        let ok = matches!(
+            (&entry.phase, &to),
+            (Phase::Queued, Phase::Running)
+                | (Phase::Queued, Phase::Done(_))
+                | (Phase::Running, Phase::Done(_))
+        );
+        assert!(
+            ok,
+            "invalid transition for job #{id}: {:?} -> {:?}",
+            entry.phase.observable(),
+            to.observable()
+        );
+        entry.phase = to;
+    }
+
+    /// Flips a still-queued job to its terminal `Cancelled` report:
+    /// removes it from pending and transitions it to `Done`, returning
+    /// the report. The one implementation behind both the per-job
+    /// cancel and the fleet-level-cancel dispatch skip, so the shape of
+    /// a cancelled report cannot drift between the two paths. Callers
+    /// notify the condvars after releasing the lock.
+    fn flip_queued_to_cancelled(&mut self, id: JobId) -> JobReport {
+        let entry = &self.entries[id];
+        let mut report = JobReport::empty(&entry.spec.name, JobStatus::Cancelled);
+        report.estimated_bytes = entry.estimate;
+        self.pending.retain(|&p| p != id);
+        self.transition(id, Phase::Done(Box::new(report.clone())));
+        report
+    }
+}
+
+/// The claim a worker leaves the admission loop with.
+enum Claim {
+    /// Run this job with the given thread allotment.
+    Run { id: JobId, allot: usize },
+    /// The job was flipped to `Cancelled` pre-dispatch (fleet-level
+    /// cancel); the stored report's clone still goes to `on_done`.
+    Flipped { report: Box<JobReport> },
+    /// Queue closed and drained: the worker exits.
+    Exit,
+}
+
+/// A live, bounded-memory admission queue of resolution jobs — the
+/// scheduling engine shared by batch mode and the daemon. See the
+/// module docs for the scheduling policy.
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    /// Wakes workers: new pending work, freed budget, or close().
+    admit: Condvar,
+    /// Wakes [`JobQueue::wait`]ers on any completion.
+    done: Condvar,
+    slots: usize,
+    threads: usize,
+    budget_bytes: u64,
+}
+
+impl JobQueue {
+    /// A queue with **resolved** knobs: `slots` workers, a total budget
+    /// of `threads` worker threads, `budget_bytes` admission budget
+    /// (`0` = unlimited).
+    pub fn new(slots: usize, threads: usize, budget_bytes: u64) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                entries: Vec::new(),
+                pending: VecDeque::new(),
+                in_flight_bytes: 0,
+                active: 0,
+                peak_active: 0,
+                threads_in_use: 0,
+                closed: false,
+            }),
+            admit: Condvar::new(),
+            done: Condvar::new(),
+            slots: slots.max(1),
+            threads: threads.max(1),
+            budget_bytes,
+        }
+    }
+
+    /// Fleet slots (concurrent jobs) this queue schedules for.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Total worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Admission budget in bytes (`0` = unlimited).
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Submits a job, returning its id (= submission index). Fails once
+    /// the queue is [closed](JobQueue::close). The footprint estimate is
+    /// taken now, before any input is loaded.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, String> {
+        let estimate = spec.estimated_bytes();
+        let mut guard = self.lock();
+        if guard.closed {
+            return Err("queue is closed to new submissions".into());
+        }
+        let id = guard.entries.len();
+        guard.entries.push(JobEntry {
+            spec,
+            estimate,
+            cancel: CancelToken::new(),
+            phase: Phase::Queued,
+        });
+        guard.pending.push_back(id);
+        drop(guard);
+        self.admit.notify_all();
+        Ok(id)
+    }
+
+    /// Cancels a job. The queued-or-running decision and the resulting
+    /// state change happen atomically under the queue lock, so a cancel
+    /// racing dispatch resolves to exactly one of the two outcomes —
+    /// never a job that is both running and cancelled.
+    pub fn cancel(&self, id: JobId) -> CancelOutcome {
+        let mut guard = self.lock();
+        let Some(phase) = guard.entries.get(id).map(|e| e.phase.observable()) else {
+            return CancelOutcome::Unknown;
+        };
+        match phase {
+            JobPhase::Queued => {
+                guard.flip_queued_to_cancelled(id);
+                drop(guard);
+                // The head of the queue changed; a worker blocked on
+                // admission for this job must re-evaluate.
+                self.admit.notify_all();
+                self.done.notify_all();
+                CancelOutcome::CancelledQueued
+            }
+            JobPhase::Running => {
+                guard.entries[id].cancel.cancel();
+                CancelOutcome::Cancelling
+            }
+            JobPhase::Done => CancelOutcome::AlreadyDone,
+        }
+    }
+
+    /// Requests cancellation of **every** job: queued jobs flip to
+    /// `Cancelled` reports, running jobs get their tokens set. Used by
+    /// the daemon's immediate-shutdown path.
+    pub fn cancel_all(&self) {
+        let ids: Vec<JobId> = (0..self.lock().entries.len()).collect();
+        for id in ids {
+            self.cancel(id);
+        }
+    }
+
+    /// Closes the queue: no further submissions; workers exit once the
+    /// pending queue drains.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.admit.notify_all();
+    }
+
+    /// Snapshot of every submitted job, in submission order.
+    pub fn snapshot(&self) -> Vec<JobSnapshot> {
+        let guard = self.lock();
+        guard
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(id, e)| JobSnapshot {
+                id,
+                name: e.spec.name.clone(),
+                phase: e.phase.observable(),
+                status: match &e.phase {
+                    Phase::Done(r) => Some(r.status.clone()),
+                    _ => None,
+                },
+            })
+            .collect()
+    }
+
+    /// Blocks until job `id` reaches a terminal report and returns a
+    /// clone of it (`None` for an unknown id). Jobs always terminate —
+    /// queued work is either dispatched or flipped to `Cancelled` — so
+    /// this cannot wait forever once workers are running.
+    pub fn wait(&self, id: JobId) -> Option<JobReport> {
+        let mut guard = self.lock();
+        loop {
+            match guard.entries.get(id) {
+                None => return None,
+                Some(JobEntry {
+                    phase: Phase::Done(report),
+                    ..
+                }) => return Some((**report).clone()),
+                Some(_) => guard = self.done.wait(guard).expect("queue lock"),
+            }
+        }
+    }
+
+    /// Highest number of jobs observed running at once.
+    pub fn peak_concurrent(&self) -> usize {
+        self.lock().peak_active
+    }
+
+    /// One fleet worker: claim the next admissible job, run it, repeat
+    /// until the queue is closed and drained. Run exactly
+    /// [`JobQueue::slots`] of these concurrently. `fleet_cancel` is the
+    /// coarse batch-mode token (stop dispatching); per-job cancellation
+    /// goes through [`JobQueue::cancel`]. `on_done` fires once per
+    /// terminal report, in completion order, outside the queue lock.
+    pub fn worker(
+        &self,
+        opts: &ServeOptions,
+        fleet_cancel: &CancelToken,
+        on_done: &(impl Fn(&JobReport) + Sync),
+    ) {
+        loop {
+            match self.claim(fleet_cancel) {
+                Claim::Exit => return,
+                Claim::Flipped { report } => on_done(&report),
+                Claim::Run { id, allot } => {
+                    let (spec, estimate, job_cancel) = {
+                        let guard = self.lock();
+                        let e = &guard.entries[id];
+                        (e.spec.clone(), e.estimate, e.cancel.clone())
+                    };
+                    let report = run_job(&spec, opts, allot, estimate, &job_cancel);
+                    let mut guard = self.lock();
+                    guard.active -= 1;
+                    guard.in_flight_bytes -= estimate;
+                    guard.threads_in_use -= allot;
+                    guard.transition(id, Phase::Done(Box::new(report.clone())));
+                    drop(guard);
+                    self.admit.notify_all();
+                    self.done.notify_all();
+                    on_done(&report);
+                }
+            }
+        }
+    }
+
+    /// The admission loop: blocks until the head of the queue fits the
+    /// memory budget (or must be flipped/skipped) or the queue drains.
+    fn claim(&self, fleet_cancel: &CancelToken) -> Claim {
+        let mut guard = self.lock();
+        loop {
+            let Some(&id) = guard.pending.front() else {
+                // Drained. A closed queue gets no more work, so the
+                // worker exits (jobs still running elsewhere are owned
+                // by their own workers); an open queue blocks for the
+                // next submission or close().
+                if guard.closed {
+                    return Claim::Exit;
+                }
+                guard = self.admit.wait(guard).expect("queue lock");
+                continue;
+            };
+            if fleet_cancel.is_cancelled() {
+                let report = guard.flip_queued_to_cancelled(id);
+                drop(guard);
+                self.done.notify_all();
+                return Claim::Flipped {
+                    report: Box::new(report),
+                };
+            }
+            let est = guard.entries[id].estimate;
+            let fits = self.budget_bytes == 0
+                || guard.active == 0
+                || guard.in_flight_bytes.saturating_add(est) <= self.budget_bytes;
+            if fits {
+                // Straggler widening with real accounting: divide the
+                // threads not already allotted to running jobs across
+                // the fleet slots left to fill (this claim included),
+                // so allotments sum to the thread budget while the
+                // fleet is full and the last jobs widen as the queue
+                // drains.
+                let fill = (self.slots - guard.active).min(guard.pending.len()).max(1);
+                let free = self.threads.saturating_sub(guard.threads_in_use);
+                let allot = (free / fill).max(1);
+                guard.pending.pop_front();
+                guard.transition(id, Phase::Running);
+                guard.active += 1;
+                guard.peak_active = guard.peak_active.max(guard.active);
+                guard.in_flight_bytes += est;
+                guard.threads_in_use += allot;
+                return Claim::Run { id, allot };
+            }
+            guard = self.admit.wait(guard).expect("queue lock");
+        }
+    }
+
+    /// Consumes the queue, returning every report in submission order.
+    /// Call after all workers have exited; panics if a job never
+    /// reached a terminal state (a scheduler bug).
+    pub fn into_reports(self) -> Vec<JobReport> {
+        self.inner
+            .into_inner()
+            .expect("no worker panicked holding the queue lock")
+            .entries
+            .into_iter()
+            .enumerate()
+            .map(|(id, e)| match e.phase {
+                Phase::Done(report) => *report,
+                other => panic!(
+                    "job #{id} ({}) ended {:?} without a report",
+                    e.spec.name,
+                    other.observable()
+                ),
+            })
+            .collect()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner> {
+        self.inner.lock().expect("queue lock")
+    }
+}
+
+/// Resolves `opts` against manifest-level knobs into concrete
+/// `(slots, threads, budget_bytes)` values. `job_count` caps the slot
+/// count in batch mode; pass `usize::MAX` for a daemon, which has no
+/// job count up front.
+pub(crate) fn resolve_fleet_knobs(
+    opts: &ServeOptions,
+    manifest_slots: usize,
+    manifest_threads: usize,
+    manifest_budget_mib: usize,
+    job_count: usize,
+) -> (usize, usize, u64) {
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let or_available = |v: usize| if v == 0 { available } else { v };
+    let slots = or_available(opts.slots.unwrap_or(manifest_slots))
+        .min(job_count.max(1))
+        .min(MAX_THREADS);
+    let threads = or_available(opts.threads.unwrap_or(manifest_threads)).min(MAX_THREADS);
+    // Budget zero means unlimited (not "all available").
+    let budget_mib = opts.memory_budget_mib.unwrap_or(manifest_budget_mib);
+    (slots, threads, budget_mib as u64 * (1 << 20))
 }
 
 /// Runs every job of `manifest` and returns the fleet report.
@@ -119,7 +557,9 @@ pub fn run_batch(manifest: &Manifest, opts: &ServeOptions) -> ServeReport {
 
 /// Like [`run_batch`], but streaming: `on_done` is invoked once per job
 /// as it finishes (in completion order, possibly from multiple worker
-/// threads), before the fleet report is assembled.
+/// threads), before the fleet report is assembled. Implemented on the
+/// same live [`JobQueue`] the daemon uses: submit everything, close,
+/// drain.
 pub fn run_batch_streaming(
     manifest: &Manifest,
     opts: &ServeOptions,
@@ -127,59 +567,28 @@ pub fn run_batch_streaming(
     on_done: impl Fn(&JobReport) + Sync,
 ) -> ServeReport {
     let t0 = Instant::now();
-    let jobs = &manifest.jobs;
-    let available = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    let or_available = |v: usize| if v == 0 { available } else { v };
-    let slots = or_available(opts.slots.unwrap_or(manifest.slots))
-        .min(jobs.len().max(1))
-        .min(MAX_THREADS);
-    let threads = or_available(opts.threads.unwrap_or(manifest.threads)).min(MAX_THREADS);
-    // Budget zero means unlimited (not "all available").
-    let budget_mib = opts.memory_budget_mib.unwrap_or(manifest.memory_budget_mib);
-    let budget_bytes = budget_mib as u64 * (1 << 20);
-    let estimates: Vec<u64> = jobs.iter().map(JobSpec::estimated_bytes).collect();
-
-    let state = Mutex::new(QueueState {
-        next: 0,
-        in_flight_bytes: 0,
-        active: 0,
-        peak_active: 0,
-        threads_in_use: 0,
-    });
-    let admit = Condvar::new();
-    let results: Mutex<Vec<Option<JobReport>>> = Mutex::new(jobs.iter().map(|_| None).collect());
-
+    let (slots, threads, budget_bytes) = resolve_fleet_knobs(
+        opts,
+        manifest.slots,
+        manifest.threads,
+        manifest.memory_budget_mib,
+        manifest.jobs.len(),
+    );
+    let queue = JobQueue::new(slots, threads, budget_bytes);
+    for job in &manifest.jobs {
+        queue
+            .submit(job.clone())
+            .expect("the batch queue is open while submitting");
+    }
+    queue.close();
     std::thread::scope(|scope| {
         for _ in 0..slots {
-            scope.spawn(|| {
-                worker(
-                    jobs,
-                    &estimates,
-                    opts,
-                    slots,
-                    threads,
-                    budget_bytes,
-                    cancel,
-                    &state,
-                    &admit,
-                    &results,
-                    &on_done,
-                );
-            });
+            scope.spawn(|| queue.worker(opts, cancel, &on_done));
         }
     });
-
-    let jobs = results
-        .into_inner()
-        .expect("no worker panicked holding the results lock")
-        .into_iter()
-        .map(|r| r.expect("every job produced a report"))
-        .collect();
-    let peak_active = state.lock().expect("state lock").peak_active;
+    let peak_active = queue.peak_concurrent();
     ServeReport {
-        jobs,
+        jobs: queue.into_reports(),
         slots,
         threads,
         memory_budget_bytes: budget_bytes,
@@ -189,101 +598,37 @@ pub fn run_batch_streaming(
     }
 }
 
-/// One fleet worker: claim the head job once it is admitted, run it,
-/// repeat until the queue is empty.
-#[allow(clippy::too_many_arguments)]
-fn worker(
-    jobs: &[JobSpec],
-    estimates: &[u64],
-    opts: &ServeOptions,
-    slots: usize,
-    threads: usize,
-    budget_bytes: u64,
-    cancel: &CancelToken,
-    state: &Mutex<QueueState>,
-    admit: &Condvar,
-    results: &Mutex<Vec<Option<JobReport>>>,
-    on_done: &(impl Fn(&JobReport) + Sync),
-) {
-    loop {
-        // Claim the next job under the admission rule.
-        let (index, job_threads, cancelled) = {
-            let mut guard = state.lock().expect("state lock");
-            loop {
-                if guard.next >= jobs.len() {
-                    return;
-                }
-                let index = guard.next;
-                if cancel.is_cancelled() {
-                    guard.next += 1;
-                    break (index, 0, true);
-                }
-                let est = estimates[index];
-                let fits = budget_bytes == 0
-                    || guard.active == 0
-                    || guard.in_flight_bytes.saturating_add(est) <= budget_bytes;
-                if fits {
-                    // Straggler widening with real accounting: divide
-                    // the threads not already allotted to running jobs
-                    // across the fleet slots left to fill (this claim
-                    // included), so allotments sum to `threads` while
-                    // the fleet is full and the last jobs widen as the
-                    // queue drains. The one-thread floor means a fleet
-                    // wider than its thread budget (`slots > threads`)
-                    // oversubscribes — that is the configuration asking
-                    // for concurrency beyond the budget, not a leak.
-                    let remaining = jobs.len() - index;
-                    let fill = (slots - guard.active).min(remaining).max(1);
-                    let free = threads.saturating_sub(guard.threads_in_use);
-                    let allot = (free / fill).max(1);
-                    guard.next += 1;
-                    guard.active += 1;
-                    guard.peak_active = guard.peak_active.max(guard.active);
-                    guard.in_flight_bytes += est;
-                    guard.threads_in_use += allot;
-                    break (index, allot, false);
-                }
-                guard = admit.wait(guard).expect("admission wait");
-            }
-        };
-
-        let report = if cancelled {
-            let mut r = JobReport::empty(&jobs[index].name, JobStatus::Cancelled);
-            r.estimated_bytes = estimates[index];
-            r
-        } else {
-            let report = run_job(&jobs[index], opts, job_threads, estimates[index]);
-            let mut guard = state.lock().expect("state lock");
-            guard.active -= 1;
-            guard.in_flight_bytes -= estimates[index];
-            guard.threads_in_use -= job_threads;
-            drop(guard);
-            admit.notify_all();
-            report
-        };
-
-        on_done(&report);
-        results.lock().expect("results lock")[index] = Some(report);
-    }
+/// How a job ended without producing a normal report.
+enum JobEnd {
+    Failed(String),
+    Cancelled,
 }
 
 /// Runs one job start to finish, converting every failure mode — input
-/// errors, config errors, panics — into a `Failed` report.
-fn run_job(spec: &JobSpec, opts: &ServeOptions, threads: usize, estimated: u64) -> JobReport {
+/// errors, config errors, panics — into a `Failed` report and a
+/// checkpoint-observed cancellation into a `Cancelled` one.
+fn run_job(
+    spec: &JobSpec,
+    opts: &ServeOptions,
+    threads: usize,
+    estimated: u64,
+    cancel: &CancelToken,
+) -> JobReport {
     let t0 = Instant::now();
     let exec = Executor::new(opts.executor, threads);
-    let outcome =
-        catch_unwind(AssertUnwindSafe(|| execute(spec, opts, &exec))).unwrap_or_else(|panic| {
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute(spec, opts, &exec, cancel)))
+        .unwrap_or_else(|panic| {
             let msg = panic
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".into());
-            Err(format!("job panicked: {msg}"))
+            Err(JobEnd::Failed(format!("job panicked: {msg}")))
         });
     let mut report = match outcome {
         Ok(report) => report,
-        Err(e) => JobReport::empty(&spec.name, JobStatus::Failed(e)),
+        Err(JobEnd::Failed(e)) => JobReport::empty(&spec.name, JobStatus::Failed(e)),
+        Err(JobEnd::Cancelled) => JobReport::empty(&spec.name, JobStatus::Cancelled),
     };
     report.wall = t0.elapsed();
     report.threads = exec.threads();
@@ -292,12 +637,21 @@ fn run_job(spec: &JobSpec, opts: &ServeOptions, threads: usize, estimated: u64) 
     report
 }
 
-/// Loads the job's inputs and resolves the pair on `exec`.
-fn execute(spec: &JobSpec, opts: &ServeOptions, exec: &Executor) -> Result<JobReport, String> {
+/// Loads the job's inputs and resolves the pair on `exec`, observing
+/// `cancel` at the ingest and pipeline checkpoints.
+fn execute(
+    spec: &JobSpec,
+    opts: &ServeOptions,
+    exec: &Executor,
+    cancel: &CancelToken,
+) -> Result<JobReport, JobEnd> {
     let config = spec.config(&opts.base);
-    let matcher = MinoanEr::new(config.clone()).map_err(|e| format!("bad config: {e}"))?;
-    let (pair, truth) = load_input(spec, &config, exec)?;
-    let out = matcher.run_with(&pair, exec);
+    let matcher =
+        MinoanEr::new(config.clone()).map_err(|e| JobEnd::Failed(format!("bad config: {e}")))?;
+    let (pair, truth) = load_input(spec, &config, exec, cancel)?;
+    let out = matcher
+        .run_cancellable(&pair, exec, cancel)
+        .map_err(|Cancelled| JobEnd::Cancelled)?;
     let quality = truth
         .as_ref()
         .map(|t| MatchQuality::evaluate(&out.matching, t));
@@ -327,19 +681,21 @@ fn load_input(
     spec: &JobSpec,
     config: &MinoanConfig,
     exec: &Executor,
-) -> Result<(KbPair, Option<GroundTruth>), String> {
+    cancel: &CancelToken,
+) -> Result<(KbPair, Option<GroundTruth>), JobEnd> {
     match &spec.input {
         JobInput::Synthetic { kind, seed, scale } => {
+            cancel.checkpoint().map_err(|_| JobEnd::Cancelled)?;
             let Dataset { pair, truth, .. } = kind.generate_scaled(*seed, *scale);
             Ok((pair, Some(truth)))
         }
         JobInput::Files { first, second } => {
             let pair = KbPair::new(
-                load_kb_file(first, "E1", config, exec)?,
-                load_kb_file(second, "E2", config, exec)?,
+                load_kb_file_cancellable(first, "E1", config, exec, cancel)?,
+                load_kb_file_cancellable(second, "E2", config, exec, cancel)?,
             );
             let truth = match &spec.truth {
-                Some(path) => Some(load_truth_file(path, &pair)?),
+                Some(path) => Some(load_truth_file(path, &pair).map_err(JobEnd::Failed)?),
                 None => None,
             };
             Ok((pair, truth))
@@ -357,18 +713,39 @@ pub fn load_kb_file(
     config: &MinoanConfig,
     exec: &Executor,
 ) -> Result<minoan_kb::KnowledgeBase, String> {
-    let file =
-        std::fs::File::open(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    match load_kb_file_cancellable(path, name, config, exec, &CancelToken::new()) {
+        Ok(kb) => Ok(kb),
+        Err(JobEnd::Failed(e)) => Err(e),
+        Err(JobEnd::Cancelled) => unreachable!("a fresh token is never cancelled"),
+    }
+}
+
+/// The cancellable loader behind [`load_kb_file`]: the streaming parse
+/// observes `cancel` between chunk waves.
+fn load_kb_file_cancellable(
+    path: &std::path::Path,
+    name: &str,
+    config: &MinoanConfig,
+    exec: &Executor,
+    cancel: &CancelToken,
+) -> Result<minoan_kb::KnowledgeBase, JobEnd> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| JobEnd::Failed(format!("cannot read {}: {e}", path.display())))?;
     let opts = config.stream_options();
     let is_nt = path
         .extension()
         .is_some_and(|e| e.eq_ignore_ascii_case("nt") || e.eq_ignore_ascii_case("ntriples"));
     let result = if is_nt {
-        parse::parse_ntriples_reader(name, file, exec, opts)
+        parse::parse_ntriples_reader_cancellable(name, file, exec, opts, cancel)
     } else {
-        parse::parse_tsv_reader(name, file, exec, opts)
+        parse::parse_tsv_reader_cancellable(name, file, exec, opts, cancel)
     };
-    result.map_err(|e| format!("cannot parse {}: {e}", path.display()))
+    result.map_err(|e| match e {
+        parse::StreamError::Cancelled => JobEnd::Cancelled,
+        parse::StreamError::Parse(e) => {
+            JobEnd::Failed(format!("cannot parse {}: {e}", path.display()))
+        }
+    })
 }
 
 /// Loads a 2-column TSV of matching URIs. Lines naming URIs absent from
@@ -588,5 +965,64 @@ mod tests {
         };
         let report = run_batch(&manifest, &ServeOptions::default());
         assert_eq!(report.jobs[0].threads, 6);
+    }
+
+    #[test]
+    fn queue_lifecycle_submit_run_wait() {
+        let queue = JobQueue::new(2, 2, 0);
+        let a = queue
+            .submit(synthetic_job("a", DatasetKind::Restaurant, 0.05))
+            .unwrap();
+        let b = queue
+            .submit(synthetic_job("b", DatasetKind::Restaurant, 0.05))
+            .unwrap();
+        assert_eq!((a, b), (0, 1));
+        let opts = ServeOptions::default();
+        let fleet = CancelToken::new();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| queue.worker(&opts, &fleet, &|_| {}));
+            }
+            // wait() from outside the worker pool, while workers run.
+            let ra = queue.wait(a).expect("known id");
+            assert_eq!(ra.status, JobStatus::Ok);
+            queue.close();
+        });
+        let rb = queue.wait(b).unwrap();
+        assert_eq!(rb.status, JobStatus::Ok);
+        assert!(queue.wait(99).is_none(), "unknown id");
+        let snaps = queue.snapshot();
+        assert_eq!(snaps.len(), 2);
+        assert!(snaps
+            .iter()
+            .all(|s| s.phase == JobPhase::Done && s.status.is_some()));
+        assert_eq!(queue.into_reports().len(), 2);
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_flips_it_atomically() {
+        // No workers at all: the job must terminate via the cancel path
+        // alone, and the snapshot can never show running+cancelled.
+        let queue = JobQueue::new(1, 1, 0);
+        let id = queue
+            .submit(synthetic_job("doomed", DatasetKind::Restaurant, 0.05))
+            .unwrap();
+        assert_eq!(queue.cancel(id), CancelOutcome::CancelledQueued);
+        assert_eq!(queue.cancel(id), CancelOutcome::AlreadyDone);
+        assert_eq!(queue.cancel(42), CancelOutcome::Unknown);
+        let report = queue.wait(id).unwrap();
+        assert_eq!(report.status, JobStatus::Cancelled);
+        let snap = &queue.snapshot()[0];
+        assert_eq!(snap.phase, JobPhase::Done);
+        assert_eq!(snap.status, Some(JobStatus::Cancelled));
+    }
+
+    #[test]
+    fn submitting_to_a_closed_queue_fails() {
+        let queue = JobQueue::new(1, 1, 0);
+        queue.close();
+        assert!(queue
+            .submit(synthetic_job("late", DatasetKind::Restaurant, 0.05))
+            .is_err());
     }
 }

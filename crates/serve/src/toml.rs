@@ -6,7 +6,7 @@
 //! TOML implementation:
 //!
 //! - `key = value` pairs with bare (`[A-Za-z0-9_-]+`) or quoted keys;
-//! - basic strings with `\" \\ \n \t \r \uXXXX` escapes;
+//! - basic strings with `\" \\ \n \t \r \uXXXX \UXXXXXXXX` escapes;
 //! - integers and floats (with `_` separators), booleans;
 //! - single-line arrays `[1, 2, 3]`;
 //! - `[table]` headers and `[[array-of-tables]]` headers with dotted
@@ -268,21 +268,27 @@ fn parse_basic_string(rest: &str, lineno: usize) -> Result<(String, &str), Strin
                     'n' => out.push('\n'),
                     't' => out.push('\t'),
                     'r' => out.push('\r'),
-                    'u' => {
+                    // TOML basic strings take both numeric escape
+                    // lengths: \uXXXX (4 hex digits) and \UXXXXXXXX (8).
+                    'u' | 'U' => {
+                        let digits = if esc == 'u' { 4 } else { 8 };
                         let mut code = 0u32;
-                        for _ in 0..4 {
-                            let (_, h) = chars
-                                .next()
-                                .ok_or_else(|| format!("line {lineno}: truncated \\u escape"))?;
+                        for _ in 0..digits {
+                            let (_, h) = chars.next().ok_or_else(|| {
+                                format!("line {lineno}: truncated \\{esc} escape")
+                            })?;
                             code = code * 16
                                 + h.to_digit(16).ok_or_else(|| {
-                                    format!("line {lineno}: bad hex digit in \\u escape")
+                                    format!("line {lineno}: bad hex digit in \\{esc} escape")
                                 })?;
                         }
-                        out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| format!("line {lineno}: bad \\u code point"))?,
-                        );
+                        // from_u32 rejects surrogate halves and code
+                        // points beyond U+10FFFF.
+                        out.push(char::from_u32(code).ok_or_else(|| {
+                            format!(
+                                "line {lineno}: \\{esc} escape U+{code:04X} is not a scalar value"
+                            )
+                        })?);
                     }
                     other => return Err(format!("line {lineno}: unknown escape \\{other}")),
                 }
@@ -389,5 +395,67 @@ slots = 2\n\
     fn numbers_with_underscores() {
         let j = parse_toml("n = 1_000_000\n").unwrap();
         assert_eq!(j.get("n").unwrap().as_usize(), Some(1_000_000));
+    }
+
+    #[test]
+    fn long_unicode_escapes() {
+        let j = parse_toml("s = \"min\\U0001F3DBoan \\u00e9\\U00000041\"\n").unwrap();
+        assert_eq!(j.get("s").unwrap().as_str(), Some("min🏛oan éA"));
+    }
+
+    #[test]
+    fn bad_numeric_escapes_are_rejected_with_lines() {
+        for (text, needle) in [
+            ("s = \"\\uD800\"\n", "not a scalar value"), // high surrogate
+            ("s = \"\\U00110000\"\n", "not a scalar value"), // beyond U+10FFFF
+            // 7 of 8 digits: the closing quote lands in the digit run.
+            ("s = \"\\U0001F3D\"\n", "bad hex digit"),
+            ("s = \"\\u12G4\"\n", "bad hex digit"),
+            ("ok = 1\ns = \"\\uDFFF\"\n", "line 2"),
+        ] {
+            let err = parse_toml(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn quoted_array_elements_keep_commas_and_brackets() {
+        // Commas, brackets (balanced and not), hashes and escaped quotes
+        // inside quoted elements must never split or truncate items.
+        let j = parse_toml("a = [\"x,y\", \"a]b\", \"[c\", \"]\", \"q\\\"r,s\\\"\", \"h#i\"]\n")
+            .unwrap();
+        let Json::Arr(items) = j.get("a").unwrap() else {
+            panic!("a should be an array")
+        };
+        let got: Vec<&str> = items.iter().map(|v| v.as_str().unwrap()).collect();
+        assert_eq!(got, ["x,y", "a]b", "[c", "]", "q\"r,s\"", "h#i"]);
+    }
+
+    #[test]
+    fn nested_arrays_with_quoted_brackets() {
+        let j = parse_toml("a = [[\"p,q\", \"r]\"], [1, 2], []]\n").unwrap();
+        let Json::Arr(outer) = j.get("a").unwrap() else {
+            panic!()
+        };
+        assert_eq!(outer.len(), 3);
+        assert_eq!(outer[0], Json::arr([Json::str("p,q"), Json::str("r]")]));
+        assert_eq!(outer[1], Json::arr([Json::num(1.0), Json::num(2.0)]));
+        assert_eq!(outer[2], Json::arr([]));
+    }
+
+    #[test]
+    fn trailing_commas_and_unbalanced_brackets() {
+        let j = parse_toml("a = [1, 2,]\n").unwrap();
+        assert_eq!(
+            j.get("a").unwrap(),
+            &Json::arr([Json::num(1.0), Json::num(2.0)])
+        );
+        let err = parse_toml("a = [1]]\n").unwrap_err();
+        assert!(
+            err.contains("unbalanced") || err.contains("trailing"),
+            "{err}"
+        );
+        let err = parse_toml("a = [1, , 2]\n").unwrap_err();
+        assert!(err.contains("empty array element"), "{err}");
     }
 }

@@ -1,0 +1,190 @@
+//! A line-delimited JSON client for the `minoaner serve` daemon.
+//!
+//! ```text
+//! cargo run --release --example daemon_client -- <addr> submit '<job json>'
+//! cargo run --release --example daemon_client -- <addr> status
+//! cargo run --release --example daemon_client -- <addr> cancel <id>
+//! cargo run --release --example daemon_client -- <addr> wait <id>
+//! cargo run --release --example daemon_client -- <addr> shutdown [drain|cancel]
+//! cargo run --release --example daemon_client -- <addr> smoke
+//! ```
+//!
+//! Each mode sends one request line and prints the response line; see
+//! `minoan_serve::daemon` for the wire protocol. `submit` takes the
+//! manifest job schema, e.g.
+//! `'{"name":"r","dataset":"restaurant","scale":0.1}'`.
+//!
+//! `smoke` is the end-to-end scenario CI runs against a live daemon:
+//! submit a small job, submit a second long job and cancel it mid-run,
+//! assert the first resolves and the second reports `cancelled`, then
+//! shut the daemon down. Exits non-zero on any violated expectation.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::exit;
+
+use minoaner::kb::Json;
+
+/// One open connection to the daemon, with request/response framing.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            writer: stream.try_clone()?,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request line and reads one response line.
+    fn request(&mut self, body: &Json) -> Json {
+        let line = body.compact() + "\n";
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .unwrap_or_else(|e| fail(&format!("cannot send request: {e}")));
+        let mut response = String::new();
+        self.reader
+            .read_line(&mut response)
+            .unwrap_or_else(|e| fail(&format!("cannot read response: {e}")));
+        Json::parse(response.trim())
+            .unwrap_or_else(|e| fail(&format!("bad response {response:?}: {e}")))
+    }
+
+    fn op(&mut self, op: &str) -> Json {
+        self.request(&Json::obj([("op", Json::str(op))]))
+    }
+
+    fn op_id(&mut self, op: &str, id: usize) -> Json {
+        self.request(&Json::obj([
+            ("op", Json::str(op)),
+            ("id", Json::num(id as f64)),
+        ]))
+    }
+
+    fn submit(&mut self, job: Json) -> usize {
+        let r = self.request(&Json::obj([("op", Json::str("submit")), ("job", job)]));
+        expect_ok(&r);
+        r.get("id")
+            .and_then(Json::as_usize)
+            .unwrap_or_else(|| fail(&format!("submit response lacks an id: {r:?}")))
+    }
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("daemon_client: {message}");
+    exit(1);
+}
+
+fn expect_ok(response: &Json) {
+    if response.get("ok") != Some(&Json::Bool(true)) {
+        fail(&format!("daemon refused the request: {response:?}"));
+    }
+}
+
+/// A synthetic job spec in the manifest job schema.
+fn synthetic_job(name: &str, dataset: &str, scale: f64) -> Json {
+    Json::obj([
+        ("name", Json::str(name)),
+        ("dataset", Json::str(dataset)),
+        ("scale", Json::Num(scale)),
+    ])
+}
+
+/// The CI smoke scenario: resolve one job, cancel another mid-run,
+/// shut down cleanly.
+fn smoke(addr: &str) {
+    let mut client = Client::connect(addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+
+    // A small job that must resolve…
+    let quick = client.submit(synthetic_job("smoke-quick", "restaurant", 0.1));
+    // …and a heavy one we cancel immediately: it is either still queued
+    // (flips without running) or already running (unwinds at the next
+    // pipeline checkpoint) — both must end `cancelled`, and neither may
+    // disturb the quick job.
+    let doomed = client.submit(synthetic_job("smoke-doomed", "yago", 1.0));
+    let r = client.op_id("cancel", doomed);
+    expect_ok(&r);
+    let outcome = r.get("outcome").and_then(Json::as_str).unwrap_or("?");
+    if !matches!(outcome, "cancelled" | "cancelling") {
+        fail(&format!("unexpected cancel outcome {outcome:?}"));
+    }
+    eprintln!("smoke: cancel acknowledged ({outcome})");
+
+    let r = client.op_id("wait", doomed);
+    expect_ok(&r);
+    let status = r
+        .get("report")
+        .and_then(|rep| rep.get("status"))
+        .and_then(Json::as_str);
+    if status != Some("cancelled") {
+        fail(&format!("doomed job ended {status:?}, expected cancelled"));
+    }
+    eprintln!("smoke: doomed job reported cancelled");
+
+    let r = client.op_id("wait", quick);
+    expect_ok(&r);
+    let report = r.get("report").unwrap_or(&Json::Null);
+    if report.get("status").and_then(Json::as_str) != Some("ok") {
+        fail(&format!("quick job did not resolve: {report:?}"));
+    }
+    let matches = report.get("matches").and_then(Json::as_usize).unwrap_or(0);
+    if matches == 0 {
+        fail("quick job resolved zero matches");
+    }
+    eprintln!("smoke: quick job ok with {matches} matches");
+
+    let r = client.op("status");
+    expect_ok(&r);
+    if r.get("done").and_then(Json::as_usize) != Some(2) {
+        fail(&format!("expected 2 terminal jobs, got {r:?}"));
+    }
+
+    expect_ok(&client.op("shutdown"));
+    eprintln!("smoke: shutdown acknowledged");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: daemon_client <addr> \
+                 (submit <job-json> | status | cancel <id> | wait <id> | \
+                 shutdown [drain|cancel] | smoke)";
+    let (Some(addr), Some(mode)) = (args.first(), args.get(1)) else {
+        fail(usage);
+    };
+    match mode.as_str() {
+        "smoke" => smoke(addr),
+        "status" => {
+            let mut c = Client::connect(addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+            println!("{}", c.op("status").pretty());
+        }
+        "submit" => {
+            let Some(job) = args.get(2) else { fail(usage) };
+            let job = Json::parse(job).unwrap_or_else(|e| fail(&format!("bad job JSON: {e}")));
+            let mut c = Client::connect(addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+            println!("{}", c.submit(job));
+        }
+        "cancel" | "wait" => {
+            let Some(id) = args.get(2).and_then(|v| v.parse().ok()) else {
+                fail(usage)
+            };
+            let mut c = Client::connect(addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+            println!("{}", c.op_id(mode, id).pretty());
+        }
+        "shutdown" => {
+            let mut body = vec![("op".to_string(), Json::str("shutdown"))];
+            if let Some(mode) = args.get(2) {
+                body.push(("mode".to_string(), Json::str(mode.clone())));
+            }
+            let mut c = Client::connect(addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+            let r = c.request(&Json::Obj(body));
+            expect_ok(&r);
+            println!("{}", r.pretty());
+        }
+        _ => fail(usage),
+    }
+}

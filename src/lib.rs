@@ -38,11 +38,16 @@
 //!   [`core::SimilarityIndex`] (valueSim sharded by `e1 % shards` with
 //!   per-block pre-grouped shard scans), heuristics H1–H4, the
 //!   non-iterative pipeline with per-stage [`core::Timings`];
-//! - [`serve`] — the **multi-pair batch serving layer**: TOML/JSON job
-//!   manifests, a fleet scheduler with pair-level parallelism first
-//!   (intra-pair threads widen for stragglers), bounded-memory
-//!   admission from pre-load footprint estimates, failure isolation and
-//!   cancellation, streaming per-job reports with timings and peak RSS;
+//! - [`serve`] — the **multi-pair serving layer**: a live
+//!   bounded-memory admission queue ([`serve::JobQueue`]) scheduling
+//!   pairs-first (intra-pair threads widen for stragglers) with
+//!   pre-load footprint estimates, failure isolation and **cooperative
+//!   mid-job cancellation** through pipeline checkpoints; drained
+//!   either by `minoaner batch` (TOML/JSON manifests) or by the
+//!   long-running `minoaner serve` daemon, whose line-delimited JSON
+//!   socket protocol (submit / status / cancel / wait / shutdown, see
+//!   [`serve::daemon`]) feeds jobs in as they arrive — with per-job
+//!   results bit-identical to solo sequential runs either way;
 //! - [`baselines`] — Unique Mapping Clustering, BSL, SiGMa-like,
 //!   PARIS-like;
 //! - [`datagen`] — the four synthetic benchmark profiles;

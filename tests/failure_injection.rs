@@ -4,7 +4,10 @@
 
 use minoaner::core::{build_blocks, MinoanConfig, MinoanEr};
 use minoaner::kb::{parse, KbBuilder, KbPair};
-use minoaner::serve::{run_batch, JobInput, JobSpec, JobStatus, Manifest, ServeOptions};
+use minoaner::serve::{
+    run_batch, CancelOutcome, CancelToken, JobInput, JobPhase, JobQueue, JobSpec, JobStatus,
+    Manifest, ServeOptions,
+};
 
 #[test]
 fn empty_kbs() {
@@ -243,6 +246,103 @@ fn corrupt_job_fails_alone_in_a_fleet() {
         assert_eq!(job.matches.len(), 8, "{} lost matches", job.name);
     }
     assert_eq!(report.failed_count(), 1);
+}
+
+fn tiny_synthetic(name: &str) -> JobSpec {
+    JobSpec {
+        name: name.into(),
+        input: JobInput::Synthetic {
+            kind: minoaner::datagen::DatasetKind::Restaurant,
+            seed: 20180416,
+            scale: 0.03,
+        },
+        truth: None,
+        theta: None,
+        candidates_k: None,
+        purge_blocks: None,
+    }
+}
+
+/// A cancel that races job dispatch must resolve to exactly one
+/// terminal state — never a job that is simultaneously running and
+/// cancelled. The queue's phase transitions are asserted internally
+/// (an illegal transition panics the worker, which fails the scope),
+/// and [`minoaner::serve::JobSnapshot`] carries a status **only** in
+/// the `Done` phase, which a concurrent monitor verifies continuously.
+#[test]
+fn cancel_racing_dispatch_yields_exactly_one_terminal_state() {
+    let opts = ServeOptions::default();
+    for round in 0..6 {
+        let queue = JobQueue::new(2, 2, 0);
+        for i in 0..3 {
+            queue.submit(tiny_synthetic(&format!("job-{i}"))).unwrap();
+        }
+        queue.close();
+        let fleet = CancelToken::new();
+        let outcome = std::sync::Mutex::new(None);
+        std::thread::scope(|scope| {
+            // The racing canceller goes first so some rounds hit the
+            // job before dispatch and some mid-run.
+            scope.spawn(|| {
+                if round % 2 == 1 {
+                    std::thread::yield_now();
+                }
+                *outcome.lock().unwrap() = Some(queue.cancel(1));
+            });
+            for _ in 0..2 {
+                scope.spawn(|| queue.worker(&opts, &fleet, &|_| {}));
+            }
+            // Monitor: no snapshot may ever pair a non-terminal phase
+            // with a status (or Done without one).
+            while queue
+                .snapshot()
+                .iter()
+                .inspect(|s| {
+                    assert_eq!(
+                        s.status.is_some(),
+                        s.phase == JobPhase::Done,
+                        "round {round}: job #{} is {:?} with status {:?}",
+                        s.id,
+                        s.phase,
+                        s.status
+                    );
+                })
+                .any(|s| s.phase != JobPhase::Done)
+            {
+                std::thread::yield_now();
+            }
+        });
+        let outcome = outcome.into_inner().unwrap().unwrap();
+        let reports = queue.into_reports();
+        assert_eq!(reports.len(), 3);
+        // Jobs 0 and 2 were never cancelled.
+        assert_eq!(reports[0].status, JobStatus::Ok, "round {round}");
+        assert_eq!(reports[2].status, JobStatus::Ok, "round {round}");
+        // Job 1 ended in exactly the state the cancel outcome promised:
+        // flipped before dispatch => Cancelled; caught running => it
+        // unwinds at a checkpoint (Cancelled) or had already passed the
+        // last one (Ok) — but never anything else, and never both.
+        match outcome {
+            CancelOutcome::CancelledQueued => {
+                assert_eq!(reports[1].status, JobStatus::Cancelled, "round {round}");
+                assert!(reports[1].matches.is_empty());
+            }
+            CancelOutcome::Cancelling | CancelOutcome::AlreadyDone => {
+                assert!(
+                    matches!(reports[1].status, JobStatus::Cancelled | JobStatus::Ok),
+                    "round {round}: {:?}",
+                    reports[1].status
+                );
+            }
+            CancelOutcome::Unknown => panic!("round {round}: job 1 was submitted"),
+        }
+        if reports[1].status == JobStatus::Cancelled {
+            assert!(
+                reports[1].matches.is_empty(),
+                "round {round}: a cancelled job must not leak partial output"
+            );
+        }
+    }
 }
 
 #[test]

@@ -125,6 +125,86 @@ fn adversarial_chunk_sizes_split_lines_utf8_and_escapes() {
     }
 }
 
+/// Numeric escapes (`\uXXXX`, `\UXXXXXXXX`) in literals **and** IRI
+/// terms, split across 1/7/64-byte chunk boundaries — every boundary
+/// lands inside some escape at chunk size 1 and 7 — must decode to the
+/// same KB as the whole-string parser, and the KB must round-trip
+/// through `to_ntriples` **byte-identically**.
+#[test]
+fn numeric_escape_corpus_round_trips_through_chunked_parsers() {
+    let text = concat!(
+        "<e:s\\u0041> <e:p> \"\\u0041lpha \\U0001F3DB \\u00e9 \\u0022deep\\u0022\" .\n",
+        "<e:s\\u0041> <e:lin\\U0000006B> <e:t\\u003Ea> .\n",
+        "<e:t\\u003Ea> <e:label> \"plain after escapes\" .\n",
+        "<e:t\\u003Ea> <e:bell> \"ring\\u0007ring \\u00Df sharp\" .\n",
+        "<e:t\\u003Ea> <e:mix> \"tab\\there \\U0001F9EA lab\" .\n",
+    );
+    let whole = parse_ntriples("esc", text).unwrap();
+    // The decoded terms really decoded: '>' inside a URI, a decoded
+    // quote inside a literal.
+    assert!(whole.entity_by_uri("e:sA").is_some());
+    assert!(whole.entity_by_uri("e:t>a").is_some());
+    for exec in executors() {
+        for chunk_bytes in [1, 7, 64] {
+            let streamed =
+                parse_ntriples_reader("esc", text.as_bytes(), &exec, opts(chunk_bytes)).unwrap();
+            assert_eq!(
+                whole,
+                streamed,
+                "escape corpus differs at {} threads, {chunk_bytes}B chunks",
+                exec.threads()
+            );
+        }
+    }
+    // Serialize → parse → serialize is byte-identical (IRI-illegal
+    // characters and controls re-escape as \uXXXX), through both the
+    // whole-string and the chunked path.
+    let dumped = to_ntriples(&whole);
+    let reparsed = parse_ntriples("esc", &dumped).unwrap();
+    assert_eq!(whole, reparsed);
+    assert_eq!(
+        dumped,
+        to_ntriples(&reparsed),
+        "serialization must be a byte-identical fixed point"
+    );
+    for exec in executors() {
+        for chunk_bytes in [1, 7, 64] {
+            let streamed =
+                parse_ntriples_reader("esc", dumped.as_bytes(), &exec, opts(chunk_bytes)).unwrap();
+            assert_eq!(whole, streamed, "re-parse differs at {chunk_bytes}B chunks");
+        }
+    }
+}
+
+/// Surrogate halves are rejected with the same line-numbered error by
+/// the whole-string and chunked parsers, at every chunk size.
+#[test]
+fn surrogate_rejection_is_identical_across_chunk_sizes() {
+    let mut text = String::new();
+    for i in 0..40 {
+        text.push_str(&format!(
+            "<e:{i}> <e:p> \"fine \\u00e{} value\" .\n",
+            i % 10
+        ));
+    }
+    text.push_str("<e:bad> <e:p> \"high \\uD83D half\" .\n");
+    let whole = parse_ntriples("t", &text).unwrap_err();
+    assert_eq!(whole.line, 41);
+    assert!(whole.message.contains("surrogate"), "{}", whole.message);
+    for exec in executors() {
+        for chunk_bytes in [1, 13, 256] {
+            let streamed =
+                parse_ntriples_reader("t", text.as_bytes(), &exec, opts(chunk_bytes)).unwrap_err();
+            assert_eq!(
+                streamed,
+                whole,
+                "surrogate error differs at {} threads, {chunk_bytes}B chunks",
+                exec.threads()
+            );
+        }
+    }
+}
+
 /// Parse errors must carry the same absolute line number and message
 /// through the streaming path, for every executor and chunk size.
 #[test]
