@@ -6,7 +6,8 @@
 //!                 [--executor sequential|rayon] [--threads N]
 //! minoaner batch  --manifest <fleet.(toml|json)> [--slots N] [--threads N]
 //!                 [--memory-mib N] [--executor sequential|rayon] [--json] [--pairs]
-//! minoaner serve  --listen <addr> [--slots N] [--threads N] [--memory-mib N]
+//! minoaner serve  [--listen <addr>] [--listen-http <addr>] [--auth-token T]
+//!                 [--slots N] [--threads N] [--memory-mib N]
 //!                 [--executor sequential|rayon] [--json] [--pairs]
 //! minoaner demo   [restaurant|rexa|bbc|yago] [--scale F] [--seed N]
 //!                 [--executor sequential|rayon] [--threads N]
@@ -35,6 +36,24 @@
 //! `shutdown` the daemon drains and prints the fleet report in
 //! submission order, exactly like `batch`; the exit code is 0 on a
 //! clean shutdown (per-job failures were already reported to clients).
+//!
+//! ## Serving over HTTP
+//!
+//! `serve --listen-http <addr>` additionally (or instead) exposes the
+//! queue over a dependency-free HTTP/1.1 front-end — both listeners
+//! feed the **same** queue, so line-JSON and HTTP clients see the same
+//! jobs and either protocol can shut the daemon down. Endpoints (see
+//! `minoan_serve::http` for limits and error codes): `POST /v1/jobs`
+//! submits a manifest job object, `GET /v1/jobs` lists jobs with live
+//! queue telemetry, `GET /v1/jobs/{id}` (`?wait=true` blocks) returns
+//! status plus the full report once terminal, `DELETE /v1/jobs/{id}`
+//! cancels (including mid-run), `GET /v1/metrics` serves
+//! Prometheus-format telemetry, and `POST /v1/shutdown` stops the
+//! daemon (`{"mode":"drain"|"cancel"}`). With `--auth-token <secret>`
+//! every HTTP request must carry `Authorization: Bearer <secret>`
+//! (compared in constant time). `examples/http_client.rs` is a
+//! ready-made client. Results are bit-identical to `batch` and solo
+//! runs no matter which protocol submitted the job.
 
 use std::process::exit;
 
@@ -45,7 +64,8 @@ use minoan_datagen::DatasetKind;
 use minoan_eval::MatchQuality;
 use minoan_kb::{GroundTruth, Json, KbPair, KnowledgeBase, Matching};
 use minoan_serve::{
-    run_batch_streaming, run_daemon, CancelToken, JobReport, Manifest, ServeOptions,
+    run_batch_streaming, run_server, CancelToken, Frontends, HttpOptions, JobReport, Manifest,
+    ServeOptions,
 };
 use minoan_text::{TokenizedPair, Tokenizer};
 
@@ -56,7 +76,8 @@ fn usage() -> ! {
          [--executor sequential|rayon] [--threads N]\n  \
          minoaner batch --manifest fleet.(toml|json) [--slots N] [--threads N] \
          [--memory-mib N] [--executor sequential|rayon] [--json] [--pairs]\n  \
-         minoaner serve --listen addr:port [--slots N] [--threads N] \
+         minoaner serve [--listen addr:port] [--listen-http addr:port] \
+         [--auth-token T] [--slots N] [--threads N] \
          [--memory-mib N] [--executor sequential|rayon] [--json] [--pairs]\n  \
          minoaner demo [restaurant|rexa|bbc|yago] [--scale F] [--seed N] \
          [--executor sequential|rayon] [--threads N]\n  \
@@ -220,6 +241,16 @@ fn print_job_completion(job: &JobReport) {
         ),
         _ => eprintln!("  {}: {}", job.name, job.status.label()),
     }
+    // The admission feedback signal: how far the static footprint
+    // estimate was from the measured RSS growth (only meaningful when
+    // this job actually raised the process high-water mark).
+    if let (Some(ratio), Some(delta)) = (job.rss_estimate_ratio(), job.peak_rss_delta_bytes) {
+        eprintln!(
+            "    admission estimate {:.1} MiB vs measured RSS delta {:.1} MiB (x{ratio:.2})",
+            job.estimated_bytes as f64 / (1 << 20) as f64,
+            delta as f64 / (1 << 20) as f64,
+        );
+    }
 }
 
 /// Prints the final fleet report (stdout) and summary (stderr) —
@@ -373,6 +404,8 @@ fn main() {
         }
         Some("serve") => {
             let mut listen: Option<String> = None;
+            let mut listen_http: Option<String> = None;
+            let mut auth_token: Option<String> = None;
             let mut opts = ServeOptions::default();
             let mut json = false;
             let mut pairs = false;
@@ -380,6 +413,12 @@ fn main() {
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--listen" => listen = Some(it.next().cloned().unwrap_or_else(|| usage())),
+                    "--listen-http" => {
+                        listen_http = Some(it.next().cloned().unwrap_or_else(|| usage()))
+                    }
+                    "--auth-token" => {
+                        auth_token = Some(it.next().cloned().unwrap_or_else(|| usage()))
+                    }
                     "--slots" => {
                         opts.slots = Some(
                             it.next()
@@ -412,19 +451,44 @@ fn main() {
                     _ => usage(),
                 }
             }
-            let Some(listen) = listen else { usage() };
-            let listener = std::net::TcpListener::bind(&listen).unwrap_or_else(|e| {
-                eprintln!("cannot listen on {listen}: {e}");
-                exit(1);
-            });
-            let addr = listener
-                .local_addr()
-                .expect("bound listener has an address");
-            eprintln!("daemon listening on {addr} (send {{\"op\":\"shutdown\"}} to stop)");
+            if listen.is_none() && listen_http.is_none() {
+                eprintln!("serve needs --listen and/or --listen-http");
+                usage();
+            }
+            let bind = |addr: &str| {
+                std::net::TcpListener::bind(addr).unwrap_or_else(|e| {
+                    eprintln!("cannot listen on {addr}: {e}");
+                    exit(1);
+                })
+            };
+            let frontends = Frontends {
+                line: listen.as_deref().map(bind),
+                http: listen_http.as_deref().map(bind),
+                http_options: HttpOptions { auth_token },
+            };
+            if let Some(listener) = &frontends.line {
+                let addr = listener
+                    .local_addr()
+                    .expect("bound listener has an address");
+                eprintln!("daemon listening on {addr} (send {{\"op\":\"shutdown\"}} to stop)");
+            }
+            if let Some(listener) = &frontends.http {
+                let addr = listener
+                    .local_addr()
+                    .expect("bound listener has an address");
+                eprintln!(
+                    "HTTP listening on http://{addr}/v1/jobs ({}; POST /v1/shutdown to stop)",
+                    if frontends.http_options.auth_token.is_some() {
+                        "bearer auth required"
+                    } else {
+                        "no auth"
+                    }
+                );
+            }
             // Per-job completions stream to stderr as they happen; the
             // final report (submission order, exactly like a batch run)
             // prints after a clean shutdown.
-            let report = run_daemon(listener, &opts, print_job_completion).unwrap_or_else(|e| {
+            let report = run_server(frontends, &opts, print_job_completion).unwrap_or_else(|e| {
                 eprintln!("daemon error: {e}");
                 exit(1);
             });

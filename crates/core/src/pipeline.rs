@@ -46,7 +46,7 @@ pub struct PipelineReport {
 }
 
 /// Wall-clock stage timings.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Timings {
     /// Tokenization of both KBs.
     pub tokenize: Duration,

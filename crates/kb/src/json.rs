@@ -178,6 +178,18 @@ impl Json {
         }
     }
 
+    /// Parses a JSON document from raw bytes: strict UTF-8 validation
+    /// first (a readable error instead of a panic or lossy decode),
+    /// then [`Json::parse`]. This is the entry point for protocol
+    /// front-ends that frame bytes off a socket — the HTTP body and
+    /// line-JSON paths both funnel through it, so "invalid UTF-8 in a
+    /// request" is one error shape everywhere.
+    pub fn parse_bytes(bytes: &[u8]) -> Result<Json, String> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| format!("invalid UTF-8 in JSON document: {e}"))?;
+        Json::parse(text)
+    }
+
     /// Parses a JSON document (strict; trailing content is an error).
     pub fn parse(text: &str) -> Result<Json, String> {
         let mut p = Parser {
@@ -503,6 +515,17 @@ mod tests {
         assert!(Json::parse(r#""\ud83c""#).is_err());
         assert!(Json::parse(r#""\ud83cA""#).is_err());
         assert!(Json::parse(r#""\udfdb""#).unwrap().as_str() == Some("\u{fffd}"));
+    }
+
+    #[test]
+    fn parse_bytes_validates_utf8_before_parsing() {
+        assert_eq!(
+            Json::parse_bytes(br#"{"a": 1}"#).unwrap(),
+            Json::obj([("a", Json::num(1u32))])
+        );
+        let err = Json::parse_bytes(b"{\"a\": \xff}").unwrap_err();
+        assert!(err.contains("invalid UTF-8"), "{err}");
+        assert!(Json::parse_bytes(b"{").is_err());
     }
 
     #[test]

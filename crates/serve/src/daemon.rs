@@ -12,19 +12,30 @@
 //! [`minoan_core::MinoanEr::run_cancellable`]) to a `Cancelled` report
 //! within one executor wave, without disturbing other in-flight jobs.
 //!
+//! The daemon can run **two protocol front-ends over the same queue**
+//! at once ([`run_server`], [`Frontends`]): this module's line-JSON
+//! protocol and the HTTP/1.1 front-end in [`crate::http`]
+//! (`--listen-http`). Both delegate every operation to the shared
+//! queue-fronting request layer, so a job takes the identical
+//! parse → validate → admit path whichever socket it arrives on.
+//!
 //! ## Wire protocol
 //!
 //! One JSON document per line in each direction (UTF-8, LF-terminated;
 //! the writer escapes embedded newlines, so framing is unambiguous).
 //! Requests are objects with an `op` field; every response carries
-//! `"ok": true|false`, with `"error"` describing a failure. Requests on
-//! one connection are processed strictly in order; concurrent
-//! connections are independent.
+//! `"ok": true|false`, with `"error"` describing a failure — including
+//! for frames that are not valid UTF-8 or not valid JSON (the
+//! connection stays usable; a malformed frame never wedges the accept
+//! loop). Frames are capped at [`MAX_FRAME_BYTES`]; an over-long frame
+//! gets one error response and the connection closes. Requests on one
+//! connection are processed strictly in order; concurrent connections
+//! are independent.
 //!
 //! | op | request fields | response |
 //! |----|----------------|----------|
 //! | `submit` | `job`: a manifest job object (same schema as a `[[job]]` table / `jobs` element, see [`crate::manifest`]) | `{"ok":true,"id":N,"name":"…"}` — `id` is the submission index |
-//! | `status` | optional `id` | `{"ok":true,"accepting":B,"queued":N,"running":N,"done":N,"jobs":[{"id":N,"name":"…","phase":"queued\|running\|done","status":"ok\|failed\|cancelled"?,"error":"…"?}]}` (`jobs` has one element with `id`) |
+//! | `status` | optional `id` | `{"ok":true,"accepting":B,"queued":N,"running":N,"done":N,"telemetry":{…},"jobs":[{"id":N,"name":"…","phase":"queued\|running\|done","status":"ok\|failed\|cancelled"?,"error":"…"?}]}` (`jobs` has one element with `id`) — `telemetry` is the live [`QueueStats`](crate::scheduler::QueueStats) view: admitted footprint vs. memory budget, thread allotments, per-status done counts, cumulative stage timings |
 //! | `cancel` | `id` | `{"ok":true,"id":N,"outcome":"cancelled\|cancelling\|done\|unknown"}` — `cancelled`: flipped before dispatch; `cancelling`: token set, the running job unwinds at its next checkpoint; `done`: already terminal, report unchanged |
 //! | `wait` | `id` | blocks until the job is terminal, then `{"ok":true,"id":N,"fingerprint":"…","report":{…}}` — `report` is [`JobReport::to_json`] with pairs, `fingerprint` the raw deterministic [`JobReport::fingerprint`] |
 //! | `shutdown` | optional `mode`: `"drain"` (default: queued jobs still run) or `"cancel"` (queued jobs flip to `Cancelled`, running jobs are cancelled) | `{"ok":true}`; the daemon then stops accepting, drains and exits |
@@ -50,57 +61,123 @@ use std::time::{Duration, Instant};
 
 use minoan_kb::Json;
 
-use crate::manifest::JobSpec;
-use crate::report::{peak_rss_bytes, JobReport, JobStatus, ServeReport};
+use crate::http::HttpOptions;
+use crate::intake::{self, ShutdownMode};
+use crate::report::{peak_rss_bytes, JobReport, ServeReport};
 use crate::scheduler::{resolve_fleet_knobs, CancelToken, JobQueue, ServeOptions};
 
 /// How often blocked daemon loops (accept, per-connection reads) check
 /// the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(25);
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
-/// Runs the daemon on an already-bound listener until a client sends
-/// `shutdown`, then drains the queue and returns the fleet report
-/// (jobs in submission order, like a batch run). `on_done` fires once
-/// per terminal job report, in completion order.
-///
-/// Fleet knobs come from `opts` with zeros meaning "all cores" /
-/// "unlimited", exactly like a manifest with no limits; there is no
-/// job-count clamp because the job count is unknown up front.
+/// Maximum bytes of one request frame (line content, terminator
+/// included). A frame that outgrows this gets an `{"ok":false,...}`
+/// response and the connection closes — the line protocol's analogue of
+/// the HTTP front-end's `413`, so a newline-less byte flood cannot grow
+/// the read buffer without bound.
+pub const MAX_FRAME_BYTES: usize = 4 << 20;
+
+/// The protocol front-ends one [`run_server`] call drives over a single
+/// shared [`JobQueue`]. At least one listener must be present; with
+/// both, line-JSON and HTTP clients submit into the same admission
+/// order and see the same jobs, and a `shutdown` arriving on either
+/// protocol stops both.
+#[derive(Debug, Default)]
+pub struct Frontends {
+    /// Listener for the line-delimited JSON protocol (`--listen`).
+    pub line: Option<TcpListener>,
+    /// Listener for the HTTP/1.1 front-end (`--listen-http`), see
+    /// [`crate::http`].
+    pub http: Option<TcpListener>,
+    /// Options for the HTTP front-end (auth token; ignored without an
+    /// `http` listener).
+    pub http_options: HttpOptions,
+}
+
+/// Runs the line-JSON daemon on an already-bound listener until a
+/// client sends `shutdown`, then drains the queue and returns the fleet
+/// report. Equivalent to [`run_server`] with only the `line` front-end.
 pub fn run_daemon(
     listener: TcpListener,
     opts: &ServeOptions,
     on_done: impl Fn(&JobReport) + Sync,
 ) -> std::io::Result<ServeReport> {
+    run_server(
+        Frontends {
+            line: Some(listener),
+            ..Frontends::default()
+        },
+        opts,
+        on_done,
+    )
+}
+
+/// Runs the serving daemon over one or both protocol front-ends until a
+/// client sends a shutdown request, then drains the queue and returns
+/// the fleet report (jobs in submission order, like a batch run).
+/// `on_done` fires once per terminal job report, in completion order.
+///
+/// Fleet knobs come from `opts` with zeros meaning "all cores" /
+/// "unlimited", exactly like a manifest with no limits; there is no
+/// job-count clamp because the job count is unknown up front.
+pub fn run_server(
+    frontends: Frontends,
+    opts: &ServeOptions,
+    on_done: impl Fn(&JobReport) + Sync,
+) -> std::io::Result<ServeReport> {
     let t0 = Instant::now();
+    let Frontends {
+        line,
+        http,
+        http_options,
+    } = frontends;
+    if line.is_none() && http.is_none() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "run_server needs at least one front-end listener",
+        ));
+    }
+    for listener in line.iter().chain(http.iter()) {
+        listener.set_nonblocking(true)?;
+    }
     let (slots, threads, budget_bytes) = resolve_fleet_knobs(opts, 0, 0, 0, usize::MAX);
     let queue = JobQueue::new(slots, threads, budget_bytes);
     let shutdown = CancelToken::new();
     // The daemon has no fleet-level cancel; per-job cancellation goes
     // through the queue.
     let never = CancelToken::new();
-    listener.set_nonblocking(true)?;
+    let http_options = &http_options;
 
     std::thread::scope(|scope| -> std::io::Result<()> {
+        let queue = &queue;
+        let shutdown = &shutdown;
         for _ in 0..slots {
             scope.spawn(|| queue.worker(opts, &never, &on_done));
         }
-        let result = loop {
-            if shutdown.is_cancelled() {
-                break Ok(());
-            }
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    let queue = &queue;
-                    let shutdown = &shutdown;
+        let mut accept_loops = Vec::new();
+        if let Some(listener) = line {
+            accept_loops.push(scope.spawn(move || {
+                accept_loop(listener, shutdown, |stream| {
                     scope.spawn(move || handle_connection(stream, queue, shutdown));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(POLL_INTERVAL);
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => break Err(e),
+                })
+            }));
+        }
+        if let Some(listener) = http {
+            accept_loops.push(scope.spawn(move || {
+                accept_loop(listener, shutdown, |stream| {
+                    scope.spawn(move || {
+                        crate::http::handle_connection(stream, queue, shutdown, http_options)
+                    });
+                })
+            }));
+        }
+        let mut result = Ok(());
+        for handle in accept_loops {
+            let loop_result = handle.join().expect("accept loops do not panic");
+            if result.is_ok() {
+                result = loop_result;
             }
-        };
+        }
         // Release every scoped thread before returning — including on
         // a fatal accept error, where skipping this would leave workers
         // parked in the admission wait and the scope joining forever:
@@ -125,24 +202,81 @@ pub fn run_daemon(
     })
 }
 
+/// One nonblocking accept loop: hand each connection to `handle`, poll
+/// the shutdown flag between accepts. A fatal accept error flips the
+/// shared shutdown flag (so the sibling front-end and every connection
+/// handler stop too) and is returned.
+fn accept_loop(
+    listener: TcpListener,
+    shutdown: &CancelToken,
+    mut handle: impl FnMut(TcpStream),
+) -> std::io::Result<()> {
+    loop {
+        if shutdown.is_cancelled() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => handle(stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                shutdown.cancel();
+                return Err(e);
+            }
+        }
+    }
+}
+
 /// Serves one client connection: read a request line, answer it, repeat
 /// until EOF or daemon shutdown. Read timeouts keep the handler
-/// responsive to the shutdown flag even with an idle client.
+/// responsive to the shutdown flag even with an idle client. Frames are
+/// read as raw bytes so invalid UTF-8 gets an error *response* instead
+/// of tearing the connection down.
 fn handle_connection(stream: TcpStream, queue: &JobQueue, shutdown: &CancelToken) {
+    use std::io::Read as _;
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL * 4));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut line: Vec<u8> = Vec::new();
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // EOF
+        // Frames are bounded like the HTTP front-end's bodies: a frame
+        // that outgrows the cap gets one error response and the
+        // connection closes (mid-frame, so framing is unrecoverable) —
+        // a terminator-less byte flood cannot grow `line` unboundedly.
+        if line.len() > MAX_FRAME_BYTES {
+            let response = error(format!(
+                "request frame exceeds the {MAX_FRAME_BYTES}-byte limit"
+            ));
+            if writer
+                .write_all((response.compact() + "\n").as_bytes())
+                .and_then(|()| writer.flush())
+                .is_ok()
+            {
+                // Drain what the client is still sending before the
+                // close, so the kernel doesn't RST the error response
+                // away (see the HTTP front-end's close path).
+                crate::http::lingering_close(&mut reader);
+            }
+            return;
+        }
+        // The take() bound caps how far one read_until call can grow
+        // the buffer even when the client streams faster than we poll.
+        let budget = (MAX_FRAME_BYTES + 1 - line.len()) as u64;
+        match reader.by_ref().take(budget).read_until(b'\n', &mut line) {
+            Ok(0) if line.is_empty() => return, // EOF
+            // A complete frame, the final unterminated frame before
+            // EOF, or the budget cap (caught at the top of the next
+            // iteration before any processing).
+            Ok(_) if line.len() > MAX_FRAME_BYTES => {}
             Ok(_) => {
-                let request = line.trim();
-                if !request.is_empty() {
-                    let response = handle_request(request, queue, shutdown);
+                let frame = trim_frame(&line);
+                if !frame.is_empty() {
+                    let response = handle_request(frame, queue, shutdown);
                     if writer
                         .write_all((response.compact() + "\n").as_bytes())
                         .and_then(|()| writer.flush())
@@ -173,10 +307,27 @@ fn handle_connection(stream: TcpStream, queue: &JobQueue, shutdown: &CancelToken
     }
 }
 
-/// Answers one request line. Never panics: malformed input becomes an
-/// `{"ok":false,...}` response.
-fn handle_request(line: &str, queue: &JobQueue, shutdown: &CancelToken) -> Json {
-    let request = match Json::parse(line) {
+/// Strips ASCII whitespace (the line terminator and any padding) from
+/// both ends of a frame.
+fn trim_frame(line: &[u8]) -> &[u8] {
+    let start = line
+        .iter()
+        .position(|b| !b.is_ascii_whitespace())
+        .unwrap_or(line.len());
+    let end = line
+        .iter()
+        .rposition(|b| !b.is_ascii_whitespace())
+        .map_or(start, |i| i + 1);
+    &line[start..end]
+}
+
+/// Answers one request frame. Never panics: malformed input — invalid
+/// UTF-8, bad JSON, a missing or unknown `op` — becomes an
+/// `{"ok":false,...}` response. All queue operations go through the
+/// shared request layer ([`crate::intake`]), the same one the HTTP
+/// front-end uses.
+fn handle_request(frame: &[u8], queue: &JobQueue, shutdown: &CancelToken) -> Json {
+    let request = match Json::parse_bytes(frame) {
         Ok(v) => v,
         Err(e) => return error(format!("bad request JSON: {e}")),
     };
@@ -188,13 +339,8 @@ fn handle_request(line: &str, queue: &JobQueue, shutdown: &CancelToken) -> Json 
             let Some(job) = request.get("job") else {
                 return error("submit needs a `job` object".to_string());
             };
-            let spec = match JobSpec::from_json(job).and_then(|s| s.validate().map(|()| s)) {
-                Ok(s) => s,
-                Err(e) => return error(format!("bad job: {e}")),
-            };
-            let name = spec.name.clone();
-            match queue.submit(spec) {
-                Ok(id) => Json::obj([
+            match intake::submit_job(queue, job) {
+                Ok((id, name)) => Json::obj([
                     ("ok", Json::Bool(true)),
                     ("id", Json::num(id as f64)),
                     ("name", Json::str(name)),
@@ -203,51 +349,14 @@ fn handle_request(line: &str, queue: &JobQueue, shutdown: &CancelToken) -> Json 
             }
         }
         "status" => {
-            let snapshot = queue.snapshot();
             let filter = match optional_id(&request) {
                 Ok(f) => f,
                 Err(e) => return error(e),
             };
-            if let Some(id) = filter {
-                if id >= snapshot.len() {
-                    return error(format!("unknown job id {id}"));
-                }
+            match intake::status_json(queue, !shutdown.is_cancelled(), filter) {
+                Ok(body) => ok_with(body),
+                Err(e) => error(e),
             }
-            let counts = |phase: crate::scheduler::JobPhase| {
-                snapshot.iter().filter(|s| s.phase == phase).count() as f64
-            };
-            let jobs: Vec<Json> = snapshot
-                .iter()
-                .filter(|s| filter.is_none_or(|id| s.id == id))
-                .map(|s| {
-                    let mut fields = vec![
-                        ("id".to_string(), Json::num(s.id as f64)),
-                        ("name".to_string(), Json::str(&s.name)),
-                        ("phase".to_string(), Json::str(s.phase.label())),
-                    ];
-                    if let Some(status) = &s.status {
-                        fields.push(("status".to_string(), Json::str(status.label())));
-                        if let JobStatus::Failed(e) = status {
-                            fields.push(("error".to_string(), Json::str(e)));
-                        }
-                    }
-                    Json::Obj(fields)
-                })
-                .collect();
-            Json::obj([
-                ("ok", Json::Bool(true)),
-                ("accepting", Json::Bool(!shutdown.is_cancelled())),
-                (
-                    "queued",
-                    Json::num(counts(crate::scheduler::JobPhase::Queued)),
-                ),
-                (
-                    "running",
-                    Json::num(counts(crate::scheduler::JobPhase::Running)),
-                ),
-                ("done", Json::num(counts(crate::scheduler::JobPhase::Done))),
-                ("jobs", Json::Arr(jobs)),
-            ])
         }
         "cancel" => match required_id(&request) {
             Err(e) => error(e),
@@ -262,36 +371,30 @@ fn handle_request(line: &str, queue: &JobQueue, shutdown: &CancelToken) -> Json 
         },
         "wait" => match required_id(&request) {
             Err(e) => error(e),
-            Ok(id) => match queue.wait(id) {
+            Ok(id) => match intake::wait_json(queue, id) {
                 None => error(format!("unknown job id {id}")),
-                Some(report) => Json::obj([
-                    ("ok", Json::Bool(true)),
-                    ("id", Json::num(id as f64)),
-                    ("fingerprint", Json::str(report.fingerprint())),
-                    ("report", report.to_json(true)),
-                ]),
+                Some(body) => ok_with(body),
             },
         },
         "shutdown" => {
-            let cancel_jobs = match request.get("mode").and_then(Json::as_str) {
-                None | Some("drain") => false,
-                Some("cancel") => true,
-                Some(other) => return error(format!("unknown shutdown mode {other:?}")),
+            let mode = match ShutdownMode::parse(request.get("mode").and_then(Json::as_str)) {
+                Ok(mode) => mode,
+                Err(e) => return error(e),
             };
-            // Close the queue here, not just in the accept loop once it
-            // notices the flag: a submit racing that window on another
-            // connection would be admitted after cancel_all's snapshot
-            // and run to completion, defeating an immediate shutdown.
-            // Post-shutdown submits now fail with "queue is closed".
-            queue.close();
-            if cancel_jobs {
-                queue.cancel_all();
-            }
-            shutdown.cancel();
+            intake::shutdown(queue, shutdown, mode);
             Json::obj([("ok", Json::Bool(true))])
         }
         other => error(format!("unknown op {other:?}")),
     }
+}
+
+/// Prefixes a shared-layer body with the protocol's `"ok": true` flag.
+fn ok_with(body: Json) -> Json {
+    let Json::Obj(mut fields) = body else {
+        unreachable!("intake bodies are objects");
+    };
+    fields.insert(0, ("ok".to_string(), Json::Bool(true)));
+    Json::Obj(fields)
 }
 
 fn error(message: String) -> Json {
@@ -315,6 +418,8 @@ fn optional_id(request: &Json) -> Result<Option<usize>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::manifest::JobSpec;
+    use crate::report::JobStatus;
     use crate::scheduler::CancelOutcome;
     use std::net::SocketAddr;
 
@@ -361,6 +466,11 @@ mod tests {
 
             let r = roundtrip(addr, r#"{"op":"status"}"#);
             assert_eq!(r.get("done").unwrap().as_usize(), Some(1));
+            // The status response surfaces live queue telemetry.
+            let telemetry = r.get("telemetry").expect("telemetry in status");
+            assert_eq!(telemetry.get("done_ok").unwrap().as_usize(), Some(1));
+            assert!(telemetry.get("threads_budget").unwrap().as_usize() >= Some(1));
+            assert!(telemetry.get("stage_ms").is_some());
 
             let r = roundtrip(addr, r#"{"op":"shutdown"}"#);
             assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
@@ -407,6 +517,33 @@ mod tests {
     }
 
     #[test]
+    fn invalid_utf8_frames_get_an_error_response_not_a_dropped_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let opts = tiny_opts();
+        std::thread::scope(|scope| {
+            let daemon = scope.spawn(|| run_daemon(listener, &opts, |_| {}).unwrap());
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"{\"op\": \"stat\xffus\"}\n").unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let r = Json::parse(line.trim()).expect("error response parses");
+            assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+            let e = r.get("error").unwrap().as_str().unwrap();
+            assert!(e.contains("invalid UTF-8"), "{e}");
+            // The same connection keeps working after the bad frame.
+            stream.write_all(b"{\"op\":\"status\"}\n").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            let r = Json::parse(line.trim()).unwrap();
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+            roundtrip(addr, r#"{"op":"shutdown"}"#);
+            daemon.join().unwrap();
+        });
+    }
+
+    #[test]
     fn shutdown_cancel_mode_flips_queued_jobs() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -449,7 +586,7 @@ mod tests {
         // would slip past cancel_all and run to completion.
         let queue = JobQueue::new(1, 1, 0);
         let shutdown = CancelToken::new();
-        let r = handle_request(r#"{"op":"shutdown","mode":"cancel"}"#, &queue, &shutdown);
+        let r = handle_request(br#"{"op":"shutdown","mode":"cancel"}"#, &queue, &shutdown);
         assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
         assert!(shutdown.is_cancelled());
         let spec = JobSpec::from_json(
@@ -461,10 +598,24 @@ mod tests {
     }
 
     #[test]
+    fn run_server_requires_a_front_end() {
+        let err = run_server(Frontends::default(), &tiny_opts(), |_| {}).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
     fn cancel_outcome_labels_are_wire_stable() {
         assert_eq!(CancelOutcome::CancelledQueued.label(), "cancelled");
         assert_eq!(CancelOutcome::Cancelling.label(), "cancelling");
         assert_eq!(CancelOutcome::AlreadyDone.label(), "done");
         assert_eq!(CancelOutcome::Unknown.label(), "unknown");
+    }
+
+    #[test]
+    fn trim_frame_strips_terminators_only() {
+        assert_eq!(trim_frame(b"  {\"a\":1}\r\n"), b"{\"a\":1}");
+        assert_eq!(trim_frame(b"\n"), b"");
+        assert_eq!(trim_frame(b""), b"");
+        assert_eq!(trim_frame(b"\xff\n"), b"\xff", "non-UTF-8 survives");
     }
 }

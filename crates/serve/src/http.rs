@@ -1,0 +1,859 @@
+//! `minoan-http` — an HTTP/1.1 serving front-end over the [`JobQueue`].
+//!
+//! `minoaner serve --listen-http <addr>` exposes the live admission
+//! queue to anything that speaks HTTP — browsers, `curl`, load
+//! balancers, Prometheus scrapers — without adding a dependency: the
+//! server is a hand-rolled, strictly bounded HTTP/1.1 implementation on
+//! `std` alone, matching the workspace's vendored-shim constraint. It
+//! can run next to the line-JSON protocol ([`crate::daemon`]) on the
+//! same queue; both delegate every operation to the shared
+//! queue-fronting request layer, so jobs take the identical
+//! parse → validate → admit path and reports are bit-identical to
+//! `minoaner batch` and solo sequential runs.
+//!
+//! ## Endpoints
+//!
+//! | Method & path | Body | Response |
+//! |---------------|------|----------|
+//! | `POST /v1/jobs` | a manifest job object (see [`crate::manifest`]) | `201` `{"id":N,"name":"…"}` + `Location`; `400` bad job; `409` queue closed |
+//! | `GET /v1/jobs` | — | `200` the status body: `accepting`, phase counts, `telemetry` ([`QueueStats`](crate::scheduler::QueueStats)), `jobs` list |
+//! | `GET /v1/jobs/{id}` | — | `200` `{"id","name","phase",…}`, plus `"fingerprint"` and the full `"report"` once terminal; `?wait=true` blocks until terminal; `404` unknown id |
+//! | `DELETE /v1/jobs/{id}` | — | `200` `{"id":N,"outcome":"cancelled\|cancelling\|done"}`; `404` unknown id |
+//! | `GET /v1/metrics` | — | `200` Prometheus text (`text/plain; version=0.0.4`), see [`prometheus_metrics`] |
+//! | `POST /v1/shutdown` | optional `{"mode":"drain"\|"cancel"}` | `200` `{"shutting_down":true,"mode":"…"}`; the server drains and exits |
+//!
+//! Unknown paths are `404`; known paths with the wrong method are `405`
+//! with an `Allow` header. Responses are JSON (`application/json`)
+//! except the metrics text; errors carry `{"error":"…"}`.
+//!
+//! ## Authentication
+//!
+//! With an auth token configured ([`HttpOptions::auth_token`],
+//! `--auth-token` on the CLI), **every** endpoint requires
+//! `Authorization: Bearer <token>`. The comparison is constant-time in
+//! the token bytes (the supplied length is not hidden); a missing or
+//! wrong token gets `401` with a `WWW-Authenticate: Bearer` header and
+//! does not disturb running jobs.
+//!
+//! ## Request limits and error codes
+//!
+//! The parser is strictly bounded and returns an error response instead
+//! of panicking or consuming unbounded memory:
+//!
+//! | Limit | Bound | Status |
+//! |-------|-------|--------|
+//! | Request line | [`MAX_REQUEST_LINE_BYTES`] | `431` |
+//! | One header line | [`MAX_HEADER_LINE_BYTES`] | `431` |
+//! | Header count | [`MAX_HEADER_COUNT`] | `431` |
+//! | Header section | [`MAX_HEADER_BYTES`] | `431` |
+//! | Body (`Content-Length`) | [`MAX_BODY_BYTES`] | `413` |
+//!
+//! Malformed input — a garbled request line, a non-numeric
+//! `Content-Length`, a body shorter than declared, invalid UTF-8 where
+//! JSON is expected — is `400`; `Transfer-Encoding` (chunked bodies) is
+//! not supported (`501`); HTTP versions other than 1.0/1.1 are `505`.
+//! After an error that may have desynchronized framing the connection
+//! closes (`Connection: close`); otherwise connections are keep-alive
+//! and requests on one connection are processed strictly in order.
+//!
+//! ## Threading model
+//!
+//! One thread per connection, spawned from the same accept loop
+//! structure as the line-JSON daemon: the listener polls with the
+//! shutdown flag, each connection gets a read timeout so an idle client
+//! cannot outlive a shutdown, and a blocking `?wait=true` request parks
+//! on the queue's condvar (jobs always terminate, so shutdown cannot
+//! be wedged by a waiter).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use minoan_kb::Json;
+
+use crate::daemon::{run_server, Frontends, POLL_INTERVAL};
+use crate::intake::{self, ShutdownMode};
+use crate::report::{peak_rss_bytes, JobReport, ServeReport};
+use crate::scheduler::{CancelOutcome, CancelToken, JobQueue, ServeOptions};
+
+/// Maximum bytes in the request line (method + target + version).
+pub const MAX_REQUEST_LINE_BYTES: usize = 8 << 10;
+/// Maximum bytes in one header line.
+pub const MAX_HEADER_LINE_BYTES: usize = 8 << 10;
+/// Maximum number of header fields per request.
+pub const MAX_HEADER_COUNT: usize = 64;
+/// Maximum total bytes of the header section.
+pub const MAX_HEADER_BYTES: usize = 32 << 10;
+/// Maximum request body size (`Content-Length` above this is `413`).
+pub const MAX_BODY_BYTES: usize = 4 << 20;
+
+/// Options for the HTTP front-end.
+#[derive(Debug, Clone, Default)]
+pub struct HttpOptions {
+    /// Static bearer token; when set, every request must carry
+    /// `Authorization: Bearer <token>` (constant-time comparison).
+    pub auth_token: Option<String>,
+}
+
+/// Runs the HTTP front-end alone on an already-bound listener until a
+/// client posts `/v1/shutdown`, then drains the queue and returns the
+/// fleet report. Equivalent to [`run_server`] with only the `http`
+/// front-end; use [`run_server`] directly to serve HTTP and line-JSON
+/// side by side.
+pub fn run_http(
+    listener: TcpListener,
+    opts: &ServeOptions,
+    http_options: HttpOptions,
+    on_done: impl Fn(&JobReport) + Sync,
+) -> std::io::Result<ServeReport> {
+    run_server(
+        Frontends {
+            http: Some(listener),
+            http_options,
+            ..Frontends::default()
+        },
+        opts,
+        on_done,
+    )
+}
+
+/// One parsed request.
+struct Request {
+    method: String,
+    /// Path with the query string split off.
+    path: String,
+    /// Query parameters, in order, `key=value` pairs (no percent
+    /// decoding: the API's ids and flags never need it).
+    query: Vec<(String, String)>,
+    /// Header fields with lower-cased names, in arrival order.
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this (lower-case) name.
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the query asks for `wait` (`?wait=true` / `?wait=1`).
+    fn wants_wait(&self) -> bool {
+        self.query
+            .iter()
+            .any(|(k, v)| k == "wait" && matches!(v.as_str(), "true" | "1"))
+    }
+
+    /// Whether the client asked to close the connection.
+    fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// How handling one request ends.
+enum HttpError {
+    /// Respond with this status and `{"error": message}`, then close
+    /// the connection (framing may be desynchronized after an error).
+    Status(u16, String),
+    /// Drop the connection without a response (I/O error, shutdown,
+    /// client vanished mid-request).
+    Disconnect,
+}
+
+/// One response ready to serialize.
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+    extra_headers: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    fn json(status: u16, body: &Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.compact().into_bytes(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    fn error(status: u16, message: impl Into<String>) -> Response {
+        Response::json(status, &Json::obj([("error", Json::str(message.into()))]))
+    }
+}
+
+/// Serves one HTTP connection until EOF, an error response, a
+/// `Connection: close` request or daemon shutdown. Spawned by the
+/// shared accept loop in [`crate::daemon::run_server`].
+pub(crate) fn handle_connection(
+    stream: TcpStream,
+    queue: &JobQueue,
+    shutdown: &CancelToken,
+    options: &HttpOptions,
+) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL * 4));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shutdown.is_cancelled() {
+            return;
+        }
+        let request = match read_request(&mut reader, &mut writer, shutdown) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // clean close between requests
+            Err(HttpError::Disconnect) => return,
+            Err(HttpError::Status(status, message)) => {
+                if write_response(&mut writer, &Response::error(status, message), true).is_ok() {
+                    lingering_close(&mut reader);
+                }
+                return;
+            }
+        };
+        let response = route(&request, queue, shutdown, options);
+        // After a shutdown request the flag is set; close either way.
+        let close = request.wants_close() || shutdown.is_cancelled() || response.status >= 400;
+        if write_response(&mut writer, &response, close).is_err() {
+            return;
+        }
+        if close {
+            lingering_close(&mut reader);
+            return;
+        }
+    }
+}
+
+/// How long [`lingering_close`] keeps draining a slow client.
+const LINGER_DEADLINE: Duration = Duration::from_secs(2);
+/// How many leftover bytes [`lingering_close`] is willing to discard.
+const LINGER_MAX_BYTES: usize = 1 << 20;
+
+/// Closes a connection without losing the response: half-close the
+/// write side, then drain whatever the client is still sending until
+/// it sees our FIN and stops. Dropping the socket with unread input
+/// would make the kernel turn the close into an RST, which can destroy
+/// the just-written response before the client reads it — precisely on
+/// the error paths (oversized request, early 4xx) where the client is
+/// mid-send and the response matters most. Bounded in both time and
+/// bytes so an abusive client cannot pin the handler thread. Shared
+/// with the line-JSON daemon's oversized-frame close.
+pub(crate) fn lingering_close(reader: &mut BufReader<TcpStream>) {
+    let _ = reader.get_ref().shutdown(std::net::Shutdown::Write);
+    let deadline = Instant::now() + LINGER_DEADLINE;
+    let mut drained = 0usize;
+    let mut sink = [0u8; 8 << 10];
+    while Instant::now() < deadline && drained < LINGER_MAX_BYTES {
+        // The stream keeps its POLL_INTERVAL-scaled read timeout, so
+        // each failed tick is short.
+        match reader.read(&mut sink) {
+            Ok(0) => return, // client's FIN: a fully clean close
+            Ok(n) => drained += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Reads one request head + body. `Ok(None)` is a clean close before
+/// any byte of a request.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    shutdown: &CancelToken,
+) -> Result<Option<Request>, HttpError> {
+    let Some(line) = read_line(reader, MAX_REQUEST_LINE_BYTES, shutdown, 431)? else {
+        return Ok(None);
+    };
+    let line = String::from_utf8(line)
+        .map_err(|_| HttpError::Status(400, "request line is not valid UTF-8".into()))?;
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Status(
+            400,
+            format!("malformed request line {line:?}"),
+        ));
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Status(
+            505,
+            format!("unsupported protocol version {version:?}"),
+        ));
+    }
+
+    let mut headers = Vec::new();
+    let mut header_bytes = 0usize;
+    loop {
+        let Some(line) = read_line(reader, MAX_HEADER_LINE_BYTES, shutdown, 431)? else {
+            return Err(HttpError::Status(
+                400,
+                "connection closed inside the header section".into(),
+            ));
+        };
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if headers.len() == MAX_HEADER_COUNT {
+            return Err(HttpError::Status(
+                431,
+                format!("more than {MAX_HEADER_COUNT} header fields"),
+            ));
+        }
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::Status(
+                431,
+                format!("header section exceeds {MAX_HEADER_BYTES} bytes"),
+            ));
+        }
+        let text = String::from_utf8(line)
+            .map_err(|_| HttpError::Status(400, "header line is not valid UTF-8".into()))?;
+        let Some((name, value)) = text.split_once(':') else {
+            return Err(HttpError::Status(
+                400,
+                format!("malformed header line {text:?}"),
+            ));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request_header = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if request_header("transfer-encoding").is_some() {
+        return Err(HttpError::Status(
+            501,
+            "transfer-encoding is not supported; send a Content-Length body".into(),
+        ));
+    }
+    let content_length = match request_header("content-length") {
+        None => 0,
+        Some(v) => v.trim().parse::<usize>().map_err(|_| {
+            HttpError::Status(400, format!("content-length {v:?} is not a valid length"))
+        })?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::Status(
+            413,
+            format!(
+                "request body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            ),
+        ));
+    }
+    // `Expect: 100-continue` clients hold the body back until invited.
+    if request_header("expect").is_some_and(|v| v.to_ascii_lowercase().contains("100-continue")) {
+        writer
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .map_err(|_| HttpError::Disconnect)?;
+    }
+    let body = read_body(reader, content_length, shutdown)?;
+
+    let (path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.to_string(), ""),
+    };
+    let query = raw_query
+        .split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+    Ok(Some(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// Reads one CRLF/LF-terminated line as raw bytes, bounded by `limit`
+/// (content bytes, terminator excluded — exceeding it is
+/// `too_long_status`). Tolerates read timeouts by polling the shutdown
+/// flag; `Ok(None)` is EOF before any byte.
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    limit: usize,
+    shutdown: &CancelToken,
+    too_long_status: u16,
+) -> Result<Option<Vec<u8>>, HttpError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        // Bound every read so a line without a newline cannot grow past
+        // the limit (+2 leaves room for the CRLF terminator itself).
+        let budget = (limit + 2).saturating_sub(buf.len()) as u64;
+        match reader.by_ref().take(budget).read_until(b'\n', &mut buf) {
+            Ok(0) if buf.is_empty() => return Ok(None),
+            Ok(_) if buf.ends_with(b"\n") => {
+                buf.pop();
+                if buf.ends_with(b"\r") {
+                    buf.pop();
+                }
+                if buf.len() > limit {
+                    return Err(HttpError::Status(
+                        too_long_status,
+                        format!("line exceeds the {limit}-byte limit"),
+                    ));
+                }
+                return Ok(Some(buf));
+            }
+            Ok(_) if buf.len() > limit => {
+                return Err(HttpError::Status(
+                    too_long_status,
+                    format!("line exceeds the {limit}-byte limit"),
+                ));
+            }
+            // EOF mid-line: the client closed with a request in flight.
+            Ok(_) => return Err(HttpError::Status(400, "truncated request".into())),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shutdown.is_cancelled() {
+                    return Err(HttpError::Disconnect);
+                }
+            }
+            Err(_) => return Err(HttpError::Disconnect),
+        }
+    }
+}
+
+/// Reads exactly `len` body bytes (the `Content-Length` contract),
+/// tolerating read timeouts; a short body is a `400`.
+fn read_body(
+    reader: &mut BufReader<TcpStream>,
+    len: usize,
+    shutdown: &CancelToken,
+) -> Result<Vec<u8>, HttpError> {
+    let mut body = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(HttpError::Status(
+                    400,
+                    format!("request body truncated at {filled} of {len} bytes"),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shutdown.is_cancelled() {
+                    return Err(HttpError::Disconnect);
+                }
+            }
+            Err(_) => return Err(HttpError::Disconnect),
+        }
+    }
+    Ok(body)
+}
+
+/// Routes one request to its endpoint. Every queue operation delegates
+/// to the shared request layer ([`crate::intake`]).
+fn route(
+    request: &Request,
+    queue: &JobQueue,
+    shutdown: &CancelToken,
+    options: &HttpOptions,
+) -> Response {
+    if let Some(expected) = &options.auth_token {
+        let supplied = request
+            .header("authorization")
+            .and_then(bearer_token)
+            .unwrap_or("");
+        if !constant_time_eq(expected, supplied) {
+            let mut response = Response::error(401, "missing or invalid bearer token");
+            response
+                .extra_headers
+                .push(("WWW-Authenticate", "Bearer".to_string()));
+            return response;
+        }
+    }
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["v1", "jobs"]) => submit(request, queue),
+        ("GET", ["v1", "jobs"]) => {
+            match intake::status_json(queue, !shutdown.is_cancelled(), None) {
+                Ok(body) => Response::json(200, &body),
+                Err(e) => Response::error(400, e),
+            }
+        }
+        ("GET", ["v1", "jobs", id]) => match parse_id(id) {
+            Err(response) => response,
+            Ok(id) => match intake::job_json(queue, id, request.wants_wait()) {
+                None => Response::error(404, format!("unknown job id {id}")),
+                Some(body) => Response::json(200, &body),
+            },
+        },
+        ("DELETE", ["v1", "jobs", id]) => match parse_id(id) {
+            Err(response) => response,
+            Ok(id) => match queue.cancel(id) {
+                CancelOutcome::Unknown => Response::error(404, format!("unknown job id {id}")),
+                outcome => Response::json(
+                    200,
+                    &Json::obj([
+                        ("id", Json::num(id as f64)),
+                        ("outcome", Json::str(outcome.label())),
+                    ]),
+                ),
+            },
+        },
+        ("GET", ["v1", "metrics"]) => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: prometheus_metrics(queue).into_bytes(),
+            extra_headers: Vec::new(),
+        },
+        ("POST", ["v1", "shutdown"]) => {
+            let mode_label = if request.body.is_empty() {
+                None
+            } else {
+                match Json::parse_bytes(&request.body) {
+                    Ok(body) => body.get("mode").and_then(Json::as_str).map(str::to_string),
+                    Err(e) => return Response::error(400, format!("bad shutdown body: {e}")),
+                }
+            };
+            match ShutdownMode::parse(mode_label.as_deref()) {
+                Err(e) => Response::error(400, e),
+                Ok(mode) => {
+                    intake::shutdown(queue, shutdown, mode);
+                    Response::json(
+                        200,
+                        &Json::obj([
+                            ("shutting_down", Json::Bool(true)),
+                            (
+                                "mode",
+                                Json::str(if mode == ShutdownMode::Cancel {
+                                    "cancel"
+                                } else {
+                                    "drain"
+                                }),
+                            ),
+                        ]),
+                    )
+                }
+            }
+        }
+        (_, ["v1", "jobs"]) => method_not_allowed("GET, POST"),
+        (_, ["v1", "jobs", _]) => method_not_allowed("GET, DELETE"),
+        (_, ["v1", "metrics"]) => method_not_allowed("GET"),
+        (_, ["v1", "shutdown"]) => method_not_allowed("POST"),
+        _ => Response::error(404, format!("no such endpoint {}", request.path)),
+    }
+}
+
+/// `POST /v1/jobs`: parse, validate and admit one job.
+fn submit(request: &Request, queue: &JobQueue) -> Response {
+    let job = match Json::parse_bytes(&request.body) {
+        Ok(job) => job,
+        Err(e) => return Response::error(400, format!("bad job body: {e}")),
+    };
+    match intake::submit_job(queue, &job) {
+        Ok((id, name)) => {
+            let mut response = Response::json(
+                201,
+                &Json::obj([("id", Json::num(id as f64)), ("name", Json::str(name))]),
+            );
+            response
+                .extra_headers
+                .push(("Location", format!("/v1/jobs/{id}")));
+            response
+        }
+        // Closed queue = shutting down: a conflict with server state,
+        // not a bad request.
+        Err(e) if e.contains("closed") => Response::error(409, e),
+        Err(e) => Response::error(400, e),
+    }
+}
+
+fn method_not_allowed(allow: &'static str) -> Response {
+    let mut response = Response::error(405, format!("method not allowed; allowed: {allow}"));
+    response.extra_headers.push(("Allow", allow.to_string()));
+    response
+}
+
+fn parse_id(segment: &str) -> Result<usize, Response> {
+    segment.parse::<usize>().map_err(|_| {
+        Response::error(
+            400,
+            format!("job id must be a non-negative integer, got {segment:?}"),
+        )
+    })
+}
+
+/// Extracts the token from an `Authorization: Bearer <token>` value
+/// (scheme case-insensitive).
+fn bearer_token(value: &str) -> Option<&str> {
+    let (scheme, token) = value.split_once(' ')?;
+    scheme.eq_ignore_ascii_case("bearer").then(|| token.trim())
+}
+
+/// Byte-wise comparison whose running time depends only on the lengths
+/// of the inputs, never on where they differ — the supplied token's
+/// length is observable, its bytes are not.
+fn constant_time_eq(expected: &str, supplied: &str) -> bool {
+    let (a, b) = (expected.as_bytes(), supplied.as_bytes());
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= (x ^ y) as usize;
+    }
+    diff == 0
+}
+
+/// Serializes one response; `close` decides the `Connection` header.
+fn write_response(writer: &mut TcpStream, response: &Response, close: bool) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut head = String::new();
+    let _ = write!(
+        head,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        response.status,
+        reason_phrase(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    for (name, value) in &response.extra_headers {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    let _ = write!(
+        head,
+        "Connection: {}\r\n\r\n",
+        if close { "close" } else { "keep-alive" }
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        505 => "HTTP Version Not Supported",
+        _ => "Response",
+    }
+}
+
+/// Renders the queue's live telemetry ([`JobQueue::stats`]) as
+/// Prometheus text-format metrics (`text/plain; version=0.0.4`): queue
+/// depth and running/done counts, admitted footprint vs. memory budget,
+/// thread allotments, cumulative per-stage pipeline timings, admission
+/// estimate vs. measured RSS-delta totals, and the process peak RSS.
+pub fn prometheus_metrics(queue: &JobQueue) -> String {
+    use std::fmt::Write as _;
+    let stats = queue.stats();
+    let mut out = String::new();
+    let gauges = [
+        (
+            "minoan_jobs_queued",
+            "Jobs awaiting dispatch.",
+            stats.queued as f64,
+        ),
+        (
+            "minoan_jobs_running",
+            "Jobs currently running.",
+            stats.running as f64,
+        ),
+        (
+            "minoan_jobs_running_peak",
+            "High-water mark of concurrently running jobs.",
+            stats.peak_running as f64,
+        ),
+        (
+            "minoan_admitted_bytes",
+            "Footprint estimates of admitted (running) jobs, charged against the memory budget.",
+            stats.admitted_bytes as f64,
+        ),
+        (
+            "minoan_memory_budget_bytes",
+            "Admission memory budget (0 = unlimited).",
+            stats.memory_budget_bytes as f64,
+        ),
+        (
+            "minoan_threads_in_use",
+            "Worker threads allotted to running jobs.",
+            stats.threads_in_use as f64,
+        ),
+        (
+            "minoan_threads_budget",
+            "Total worker-thread budget.",
+            stats.threads_budget as f64,
+        ),
+        (
+            "minoan_fleet_slots",
+            "Fleet slots (max concurrent jobs).",
+            stats.slots as f64,
+        ),
+    ];
+    for (name, help, value) in gauges {
+        metric(&mut out, "gauge", name, help, value);
+    }
+    let _ = write!(
+        out,
+        "# HELP minoan_jobs_done_total Terminal jobs by status.\n\
+         # TYPE minoan_jobs_done_total counter\n\
+         minoan_jobs_done_total{{status=\"ok\"}} {}\n\
+         minoan_jobs_done_total{{status=\"failed\"}} {}\n\
+         minoan_jobs_done_total{{status=\"cancelled\"}} {}\n",
+        stats.done_ok, stats.done_failed, stats.done_cancelled
+    );
+    let stages = [
+        ("tokenize", stats.stage_totals.tokenize),
+        ("names_h1", stats.stage_totals.names_h1),
+        ("blocking", stats.stage_totals.blocking),
+        ("similarities", stats.stage_totals.similarities),
+        ("matching", stats.stage_totals.matching),
+    ];
+    let _ = write!(
+        out,
+        "# HELP minoan_stage_seconds_total Cumulative pipeline stage time over finished jobs.\n\
+         # TYPE minoan_stage_seconds_total counter\n"
+    );
+    for (stage, duration) in stages {
+        let _ = writeln!(
+            out,
+            "minoan_stage_seconds_total{{stage=\"{stage}\"}} {}",
+            duration.as_secs_f64()
+        );
+    }
+    let counters = [
+        (
+            "minoan_job_wall_seconds_total",
+            "Cumulative wall-clock job time (including input loading) over finished jobs.",
+            stats.wall_total.as_secs_f64(),
+        ),
+        (
+            "minoan_estimated_bytes_total",
+            "Sum of admission footprint estimates over finished jobs.",
+            stats.estimated_bytes_total as f64,
+        ),
+        (
+            "minoan_rss_delta_bytes_total",
+            "Sum of measured peak-RSS deltas over finished jobs.",
+            stats.rss_delta_bytes_total as f64,
+        ),
+    ];
+    for (name, help, value) in counters {
+        metric(&mut out, "counter", name, help, value);
+    }
+    if let Some(rss) = peak_rss_bytes() {
+        metric(
+            &mut out,
+            "gauge",
+            "minoan_process_peak_rss_bytes",
+            "Process peak resident set size (VmHWM).",
+            rss as f64,
+        );
+    }
+    out
+}
+
+/// One `HELP`/`TYPE`/sample triplet of the Prometheus text format.
+fn metric(out: &mut String, kind: &str, name: &str, help: &str, value: f64) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_time_eq_agrees_with_plain_eq() {
+        for (a, b) in [
+            ("", ""),
+            ("secret", "secret"),
+            ("secret", "secres"),
+            ("secret", "secre"),
+            ("secret", ""),
+            ("", "secret"),
+            ("a", "ab"),
+        ] {
+            assert_eq!(constant_time_eq(a, b), a == b, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn bearer_tokens_parse_case_insensitively() {
+        assert_eq!(bearer_token("Bearer tok"), Some("tok"));
+        assert_eq!(bearer_token("bearer tok"), Some("tok"));
+        assert_eq!(bearer_token("BEARER  tok "), Some("tok"));
+        assert_eq!(bearer_token("Basic dXNlcg=="), None);
+        assert_eq!(bearer_token("Bearer"), None, "no token at all");
+    }
+
+    #[test]
+    fn metrics_render_all_families_for_an_empty_queue() {
+        let queue = JobQueue::new(2, 3, 64 << 20);
+        let text = prometheus_metrics(&queue);
+        for family in [
+            "minoan_jobs_queued 0",
+            "minoan_jobs_running 0",
+            "minoan_memory_budget_bytes 67108864",
+            "minoan_threads_budget 3",
+            "minoan_fleet_slots 2",
+            "minoan_jobs_done_total{status=\"ok\"} 0",
+            "minoan_stage_seconds_total{stage=\"tokenize\"} 0",
+        ] {
+            assert!(text.contains(family), "missing {family:?} in:\n{text}");
+        }
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+        }
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_emitted_statuses() {
+        for status in [200, 201, 400, 401, 404, 405, 409, 413, 431, 501, 505] {
+            assert_ne!(reason_phrase(status), "Response", "{status}");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The queue-fronting request layer shared by the protocol front-ends.
+//!
+//! Both intake protocols — the line-JSON socket ([`crate::daemon`]) and
+//! HTTP/1.1 ([`crate::http`]) — expose the same five operations over
+//! the same live [`JobQueue`]: submit, status, cancel, wait, shutdown.
+//! This module is the one implementation of those operations, returning
+//! protocol-neutral JSON bodies and domain errors; each front-end only
+//! adds its own framing (an `"ok"` envelope on the socket, status codes
+//! and headers over HTTP). Response shapes therefore cannot drift
+//! between protocols, and a job submitted over either one goes through
+//! the identical parse → validate → admit path.
+
+use minoan_kb::Json;
+
+use crate::manifest::JobSpec;
+use crate::report::JobStatus;
+use crate::scheduler::{CancelToken, JobId, JobQueue, JobSnapshot};
+
+/// How a shutdown request treats jobs still in the queue: `drain` lets
+/// queued jobs run to completion, `cancel` flips queued jobs to
+/// `Cancelled` and sets the tokens of running ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShutdownMode {
+    /// Queued jobs still run; the server exits once the queue drains.
+    Drain,
+    /// Queued jobs flip to `Cancelled`; running jobs unwind at their
+    /// next cooperative checkpoint.
+    Cancel,
+}
+
+impl ShutdownMode {
+    /// Parses the wire spelling (`None` defaults to drain).
+    pub(crate) fn parse(label: Option<&str>) -> Result<ShutdownMode, String> {
+        match label {
+            None | Some("drain") => Ok(ShutdownMode::Drain),
+            Some("cancel") => Ok(ShutdownMode::Cancel),
+            Some(other) => Err(format!("unknown shutdown mode {other:?}")),
+        }
+    }
+}
+
+/// Parses, validates and submits one job given in the manifest job
+/// schema; returns the new id and the job's name.
+pub(crate) fn submit_job(queue: &JobQueue, job: &Json) -> Result<(JobId, String), String> {
+    let spec = JobSpec::from_json(job)
+        .and_then(|s| s.validate().map(|()| s))
+        .map_err(|e| format!("bad job: {e}"))?;
+    let name = spec.name.clone();
+    let id = queue.submit(spec)?;
+    Ok((id, name))
+}
+
+/// One queue entry as the JSON object both protocols list: id, name,
+/// phase, and — exactly when terminal — status (plus the error message
+/// for failures).
+pub(crate) fn snapshot_json(snap: &JobSnapshot) -> Json {
+    let mut fields = vec![
+        ("id".to_string(), Json::num(snap.id as f64)),
+        ("name".to_string(), Json::str(&snap.name)),
+        ("phase".to_string(), Json::str(snap.phase.label())),
+    ];
+    if let Some(status) = &snap.status {
+        fields.push(("status".to_string(), Json::str(status.label())));
+        if let JobStatus::Failed(e) = status {
+            fields.push(("error".to_string(), Json::str(e)));
+        }
+    }
+    Json::Obj(fields)
+}
+
+/// The common status body: accepting flag, phase counts, live queue
+/// telemetry ([`JobQueue::stats`]) and the job list, optionally
+/// filtered to one id (an unknown filter id is an error).
+pub(crate) fn status_json(
+    queue: &JobQueue,
+    accepting: bool,
+    filter: Option<JobId>,
+) -> Result<Json, String> {
+    // One lock acquisition for both views: counts taken separately
+    // from the job list could contradict it when a job finishes
+    // between the two reads.
+    let (snapshot, stats) = queue.snapshot_and_stats();
+    if let Some(id) = filter {
+        if id >= snapshot.len() {
+            return Err(format!("unknown job id {id}"));
+        }
+    }
+    let jobs: Vec<Json> = snapshot
+        .iter()
+        .filter(|s| filter.is_none_or(|id| s.id == id))
+        .map(snapshot_json)
+        .collect();
+    Ok(Json::obj([
+        ("accepting", Json::Bool(accepting)),
+        ("queued", Json::num(stats.queued as f64)),
+        ("running", Json::num(stats.running as f64)),
+        ("done", Json::num(stats.done() as f64)),
+        ("telemetry", stats.to_json()),
+        ("jobs", Json::Arr(jobs)),
+    ]))
+}
+
+/// Blocks until job `id` is terminal, then returns the body shared by
+/// the socket's `wait` op and HTTP's `?wait=true`: id, the raw
+/// deterministic fingerprint, and the full report. `None` for an
+/// unknown id.
+pub(crate) fn wait_json(queue: &JobQueue, id: JobId) -> Option<Json> {
+    let report = queue.wait(id)?;
+    Some(Json::obj([
+        ("id", Json::num(id as f64)),
+        ("fingerprint", Json::str(report.fingerprint())),
+        ("report", report.to_json(true)),
+    ]))
+}
+
+/// One job's current state: the snapshot fields, plus the fingerprint
+/// and full report once the job is terminal. With `wait`, blocks until
+/// terminal first. `None` for an unknown id.
+pub(crate) fn job_json(queue: &JobQueue, id: JobId, wait: bool) -> Option<Json> {
+    // At most one report clone: the blocking wait's result is reused
+    // for the response instead of being fetched a second time.
+    let waited = if wait { Some(queue.wait(id)?) } else { None };
+    let snap = queue.job_snapshot(id)?;
+    let body = snapshot_json(&snap);
+    if snap.status.is_none() {
+        return Some(body);
+    }
+    let report = match waited {
+        Some(report) => report,
+        // Terminal, so this wait() returns immediately.
+        None => queue.wait(id)?,
+    };
+    let Json::Obj(mut fields) = body else {
+        unreachable!("snapshot_json builds an object");
+    };
+    fields.push(("fingerprint".into(), Json::str(report.fingerprint())));
+    fields.push(("report".into(), report.to_json(true)));
+    Some(Json::Obj(fields))
+}
+
+/// Executes a shutdown. The queue is closed *here*, synchronously with
+/// the request, not merely when an accept loop notices the flag: a
+/// submit racing that window on another connection would otherwise be
+/// admitted after a cancel-mode sweep and run to completion. The
+/// shared `shutdown` flag then stops every accept loop and connection
+/// handler.
+pub(crate) fn shutdown(queue: &JobQueue, flag: &CancelToken, mode: ShutdownMode) {
+    queue.close();
+    if mode == ShutdownMode::Cancel {
+        queue.cancel_all();
+    }
+    flag.cancel();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::JobInput;
+    use minoan_datagen::DatasetKind;
+
+    fn queue_with_one_queued_job() -> (JobQueue, JobId) {
+        let queue = JobQueue::new(1, 1, 0);
+        let id = queue
+            .submit(JobSpec {
+                name: "j".into(),
+                input: JobInput::Synthetic {
+                    kind: DatasetKind::Restaurant,
+                    seed: 1,
+                    scale: 0.05,
+                },
+                truth: None,
+                theta: None,
+                candidates_k: None,
+                purge_blocks: None,
+            })
+            .unwrap();
+        (queue, id)
+    }
+
+    #[test]
+    fn shutdown_mode_parses_wire_labels() {
+        assert_eq!(ShutdownMode::parse(None), Ok(ShutdownMode::Drain));
+        assert_eq!(ShutdownMode::parse(Some("drain")), Ok(ShutdownMode::Drain));
+        assert_eq!(
+            ShutdownMode::parse(Some("cancel")),
+            Ok(ShutdownMode::Cancel)
+        );
+        assert!(ShutdownMode::parse(Some("explode"))
+            .unwrap_err()
+            .contains("unknown shutdown mode"));
+    }
+
+    #[test]
+    fn status_body_carries_counts_and_telemetry() {
+        let (queue, id) = queue_with_one_queued_job();
+        let body = status_json(&queue, true, None).unwrap();
+        assert_eq!(body.get("accepting"), Some(&Json::Bool(true)));
+        assert_eq!(body.get("queued").unwrap().as_usize(), Some(1));
+        assert_eq!(body.get("done").unwrap().as_usize(), Some(0));
+        let telemetry = body.get("telemetry").expect("telemetry object");
+        assert_eq!(telemetry.get("queued").unwrap().as_usize(), Some(1));
+        assert!(telemetry.get("stage_ms").is_some());
+        assert!(status_json(&queue, true, Some(id)).is_ok());
+        let err = status_json(&queue, true, Some(7)).unwrap_err();
+        assert!(err.contains("unknown job id"), "{err}");
+    }
+
+    #[test]
+    fn job_body_grows_a_report_once_terminal() {
+        let (queue, id) = queue_with_one_queued_job();
+        let body = job_json(&queue, id, false).unwrap();
+        assert_eq!(body.get("phase").unwrap().as_str(), Some("queued"));
+        assert!(body.get("report").is_none(), "no report before terminal");
+        queue.cancel(id);
+        let body = job_json(&queue, id, false).unwrap();
+        assert_eq!(body.get("status").unwrap().as_str(), Some("cancelled"));
+        assert!(body.get("report").is_some());
+        assert!(body.get("fingerprint").is_some());
+        assert!(job_json(&queue, 9, false).is_none(), "unknown id");
+    }
+
+    #[test]
+    fn cancel_mode_shutdown_flips_queued_jobs() {
+        let (queue, id) = queue_with_one_queued_job();
+        let flag = CancelToken::new();
+        shutdown(&queue, &flag, ShutdownMode::Cancel);
+        assert!(flag.is_cancelled());
+        let report = queue.wait(id).unwrap();
+        assert_eq!(report.status, JobStatus::Cancelled);
+        let job = Json::parse(r#"{"name":"late","dataset":"restaurant","scale":0.05}"#).unwrap();
+        let err = submit_job(&queue, &job).unwrap_err();
+        assert!(err.contains("closed"), "{err}");
+    }
+}

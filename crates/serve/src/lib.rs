@@ -8,11 +8,16 @@
 //! per-job results, timings and peak-RSS metrics into a report. Two
 //! front-ends drain the same queue: **batch mode** ([`run_batch`])
 //! submits a whole manifest up front, and **daemon mode**
-//! ([`run_daemon`], `minoaner serve --listen`) accepts jobs over a
-//! line-delimited JSON socket protocol as they arrive — submit /
-//! status / cancel / wait / shutdown, with cooperative **mid-job
-//! cancellation** through the pipeline's checkpoints (see [`daemon`]
-//! for the wire protocol and checkpoint granularity).
+//! ([`run_server`], `minoaner serve`) accepts jobs as they arrive over
+//! one or both live protocols — the line-delimited JSON socket
+//! (`--listen`, see [`daemon`] for the wire protocol and checkpoint
+//! granularity) and the dependency-free HTTP/1.1 front-end
+//! (`--listen-http`, see [`http`] for the endpoint table, bearer-token
+//! auth, request limits and Prometheus metrics). Submit / status /
+//! cancel / wait / shutdown work identically on both, including
+//! cooperative **mid-job cancellation** through the pipeline's
+//! checkpoints, because both delegate to one shared queue-fronting
+//! request layer.
 //!
 //! ## Manifest format
 //!
@@ -49,16 +54,19 @@
 #![warn(missing_docs)]
 
 pub mod daemon;
+pub mod http;
+mod intake;
 pub mod manifest;
 pub mod report;
 pub mod scheduler;
 pub mod toml;
 
-pub use daemon::run_daemon;
+pub use daemon::{run_daemon, run_server, Frontends};
+pub use http::{prometheus_metrics, run_http, HttpOptions};
 
 pub use manifest::{JobInput, JobSpec, Manifest};
 pub use report::{fnv1a, peak_rss_bytes, JobReport, JobStatus, ServeReport};
 pub use scheduler::{
     load_kb_file, load_truth_file, run_batch, run_batch_streaming, CancelOutcome, CancelToken,
-    Cancelled, JobId, JobPhase, JobQueue, JobSnapshot, ServeOptions,
+    Cancelled, JobId, JobPhase, JobQueue, JobSnapshot, QueueStats, ServeOptions,
 };

@@ -82,6 +82,15 @@ pub struct JobReport {
     pub estimated_bytes: u64,
     /// Process peak RSS observed when the job finished.
     pub peak_rss_bytes: Option<u64>,
+    /// How much the process RSS high-water mark **grew** while this job
+    /// ran: `VmHWM` after minus `VmHWM` before, saturating at zero.
+    /// Because the high-water mark is process-wide and monotone, this is
+    /// an attribution, not an isolated measurement — a job that runs
+    /// concurrently with a bigger one, or after a bigger one already
+    /// raised the mark, records zero. It is the measured counterpart of
+    /// [`JobReport::estimated_bytes`], the first input for tightening
+    /// admission estimates from observations.
+    pub peak_rss_delta_bytes: Option<u64>,
 }
 
 impl JobReport {
@@ -101,7 +110,18 @@ impl JobReport {
             threads: 0,
             estimated_bytes: 0,
             peak_rss_bytes: None,
+            peak_rss_delta_bytes: None,
         }
+    }
+
+    /// `measured RSS delta / admission estimate`, when both are known
+    /// and non-zero — the over/under-estimation factor of the static
+    /// footprint heuristics for this job. `None` when either side is
+    /// missing or zero (a zero delta carries no signal: another job
+    /// already held the process high-water mark).
+    pub fn rss_estimate_ratio(&self) -> Option<f64> {
+        let delta = self.peak_rss_delta_bytes.filter(|&d| d > 0)?;
+        (self.estimated_bytes > 0).then(|| delta as f64 / self.estimated_bytes as f64)
     }
 
     /// Canonical serialization of the job's **deterministic** result:
@@ -195,6 +215,16 @@ impl JobReport {
                 None => Json::Null,
             },
         ));
+        fields.push((
+            "peak_rss_delta_bytes".into(),
+            match self.peak_rss_delta_bytes {
+                Some(b) => Json::num(b as f64),
+                None => Json::Null,
+            },
+        ));
+        if let Some(ratio) = self.rss_estimate_ratio() {
+            fields.push(("rss_estimate_ratio".into(), Json::Num(ratio)));
+        }
         if include_pairs {
             fields.push((
                 "pairs".into(),
@@ -296,8 +326,23 @@ mod tests {
         b.threads = 16;
         b.wall = Duration::from_secs(5);
         b.peak_rss_bytes = Some(123);
+        b.peak_rss_delta_bytes = Some(45);
         b.timings = Some(Timings::default());
         assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn rss_estimate_ratio_needs_both_sides() {
+        let mut r = JobReport::empty("j", JobStatus::Ok);
+        assert_eq!(r.rss_estimate_ratio(), None, "nothing measured");
+        r.estimated_bytes = 1000;
+        assert_eq!(r.rss_estimate_ratio(), None, "no delta");
+        r.peak_rss_delta_bytes = Some(0);
+        assert_eq!(r.rss_estimate_ratio(), None, "zero delta has no signal");
+        r.peak_rss_delta_bytes = Some(1500);
+        assert_eq!(r.rss_estimate_ratio(), Some(1.5));
+        r.estimated_bytes = 0;
+        assert_eq!(r.rss_estimate_ratio(), None, "no estimate to compare");
     }
 
     #[test]

@@ -47,13 +47,13 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use minoan_core::{MinoanConfig, MinoanEr};
+use minoan_core::{MinoanConfig, MinoanEr, Timings};
 use minoan_datagen::Dataset;
 use minoan_eval::MatchQuality;
 use minoan_exec::{Executor, ExecutorKind, MAX_THREADS};
-use minoan_kb::{parse, GroundTruth, KbPair, Matching};
+use minoan_kb::{parse, GroundTruth, Json, KbPair, Matching};
 
 use crate::manifest::{JobInput, JobSpec, Manifest};
 use crate::report::{peak_rss_bytes, JobReport, JobStatus, ServeReport};
@@ -141,6 +141,98 @@ impl CancelOutcome {
             CancelOutcome::AlreadyDone => "done",
             CancelOutcome::Unknown => "unknown",
         }
+    }
+}
+
+/// Live scheduling telemetry: a point-in-time aggregate over the whole
+/// queue, cheap enough to compute on every status request or metrics
+/// scrape. The scheduler always tracked these internally (admission
+/// accounting, thread allotments, high-water marks); this is the view
+/// that lets clients see them — the line-JSON `status` response embeds
+/// it as `telemetry`, and `GET /v1/metrics` renders it as Prometheus
+/// gauges.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueueStats {
+    /// Jobs awaiting dispatch.
+    pub queued: usize,
+    /// Jobs currently running.
+    pub running: usize,
+    /// Terminal jobs that resolved successfully.
+    pub done_ok: usize,
+    /// Terminal jobs that failed.
+    pub done_failed: usize,
+    /// Terminal jobs that were cancelled.
+    pub done_cancelled: usize,
+    /// Sum of footprint estimates of the jobs admitted right now — what
+    /// the bounded-memory admission is charging against the budget.
+    pub admitted_bytes: u64,
+    /// The admission budget in bytes (`0` = unlimited).
+    pub memory_budget_bytes: u64,
+    /// Worker threads currently allotted to running jobs.
+    pub threads_in_use: usize,
+    /// Total worker-thread budget.
+    pub threads_budget: usize,
+    /// Fleet slots (max concurrent jobs).
+    pub slots: usize,
+    /// High-water mark of concurrently running jobs.
+    pub peak_running: usize,
+    /// Cumulative per-stage pipeline timings over every finished job.
+    pub stage_totals: Timings,
+    /// Cumulative wall-clock time over every finished job (includes
+    /// input loading, unlike [`QueueStats::stage_totals`]).
+    pub wall_total: Duration,
+    /// Sum of admission estimates of finished jobs.
+    pub estimated_bytes_total: u64,
+    /// Sum of measured peak-RSS deltas of finished jobs (see
+    /// [`JobReport::peak_rss_delta_bytes`] for what a delta attributes).
+    pub rss_delta_bytes_total: u64,
+}
+
+impl QueueStats {
+    /// Total terminal jobs (ok + failed + cancelled).
+    pub fn done(&self) -> usize {
+        self.done_ok + self.done_failed + self.done_cancelled
+    }
+
+    /// The telemetry as a flat JSON object — the `telemetry` member of
+    /// the line-JSON `status` response (durations in milliseconds).
+    pub fn to_json(&self) -> Json {
+        let ms = |d: Duration| Json::Num(d.as_secs_f64() * 1e3);
+        Json::obj([
+            ("queued", Json::num(self.queued as f64)),
+            ("running", Json::num(self.running as f64)),
+            ("done_ok", Json::num(self.done_ok as f64)),
+            ("done_failed", Json::num(self.done_failed as f64)),
+            ("done_cancelled", Json::num(self.done_cancelled as f64)),
+            ("admitted_bytes", Json::num(self.admitted_bytes as f64)),
+            (
+                "memory_budget_bytes",
+                Json::num(self.memory_budget_bytes as f64),
+            ),
+            ("threads_in_use", Json::num(self.threads_in_use as f64)),
+            ("threads_budget", Json::num(self.threads_budget as f64)),
+            ("slots", Json::num(self.slots as f64)),
+            ("peak_running", Json::num(self.peak_running as f64)),
+            (
+                "estimated_bytes_total",
+                Json::num(self.estimated_bytes_total as f64),
+            ),
+            (
+                "rss_delta_bytes_total",
+                Json::num(self.rss_delta_bytes_total as f64),
+            ),
+            (
+                "stage_ms",
+                Json::obj([
+                    ("tokenize", ms(self.stage_totals.tokenize)),
+                    ("names_h1", ms(self.stage_totals.names_h1)),
+                    ("blocking", ms(self.stage_totals.blocking)),
+                    ("similarities", ms(self.stage_totals.similarities)),
+                    ("matching", ms(self.stage_totals.matching)),
+                ]),
+            ),
+            ("wall_ms_total", ms(self.wall_total)),
+        ])
     }
 }
 
@@ -373,21 +465,43 @@ impl JobQueue {
 
     /// Snapshot of every submitted job, in submission order.
     pub fn snapshot(&self) -> Vec<JobSnapshot> {
+        Self::snapshot_of(&self.lock())
+    }
+
+    /// Snapshot of one job (`None` for an unknown id) — avoids cloning
+    /// every entry when a status request names a single job.
+    pub fn job_snapshot(&self, id: JobId) -> Option<JobSnapshot> {
         let guard = self.lock();
+        guard.entries.get(id).map(|e| Self::snapshot_entry(id, e))
+    }
+
+    /// Snapshot and telemetry from **one** lock acquisition, so the
+    /// counts can never contradict the job list they accompany (a job
+    /// finishing between two separate calls would).
+    pub fn snapshot_and_stats(&self) -> (Vec<JobSnapshot>, QueueStats) {
+        let guard = self.lock();
+        (Self::snapshot_of(&guard), self.stats_of(&guard))
+    }
+
+    fn snapshot_of(guard: &QueueInner) -> Vec<JobSnapshot> {
         guard
             .entries
             .iter()
             .enumerate()
-            .map(|(id, e)| JobSnapshot {
-                id,
-                name: e.spec.name.clone(),
-                phase: e.phase.observable(),
-                status: match &e.phase {
-                    Phase::Done(r) => Some(r.status.clone()),
-                    _ => None,
-                },
-            })
+            .map(|(id, e)| Self::snapshot_entry(id, e))
             .collect()
+    }
+
+    fn snapshot_entry(id: JobId, e: &JobEntry) -> JobSnapshot {
+        JobSnapshot {
+            id,
+            name: e.spec.name.clone(),
+            phase: e.phase.observable(),
+            status: match &e.phase {
+                Phase::Done(r) => Some(r.status.clone()),
+                _ => None,
+            },
+        }
     }
 
     /// Blocks until job `id` reaches a terminal report and returns a
@@ -411,6 +525,49 @@ impl JobQueue {
     /// Highest number of jobs observed running at once.
     pub fn peak_concurrent(&self) -> usize {
         self.lock().peak_active
+    }
+
+    /// Live scheduling telemetry: phase counts, admitted footprint vs.
+    /// budget, thread allotments and cumulative per-stage timings over
+    /// finished jobs — one lock acquisition, one pass over the entries.
+    pub fn stats(&self) -> QueueStats {
+        self.stats_of(&self.lock())
+    }
+
+    fn stats_of(&self, guard: &QueueInner) -> QueueStats {
+        let mut stats = QueueStats {
+            admitted_bytes: guard.in_flight_bytes,
+            memory_budget_bytes: self.budget_bytes,
+            threads_in_use: guard.threads_in_use,
+            threads_budget: self.threads,
+            slots: self.slots,
+            peak_running: guard.peak_active,
+            ..QueueStats::default()
+        };
+        for entry in &guard.entries {
+            match &entry.phase {
+                Phase::Queued => stats.queued += 1,
+                Phase::Running => stats.running += 1,
+                Phase::Done(report) => {
+                    match &report.status {
+                        JobStatus::Ok => stats.done_ok += 1,
+                        JobStatus::Failed(_) => stats.done_failed += 1,
+                        JobStatus::Cancelled => stats.done_cancelled += 1,
+                    }
+                    if let Some(t) = &report.timings {
+                        stats.stage_totals.tokenize += t.tokenize;
+                        stats.stage_totals.names_h1 += t.names_h1;
+                        stats.stage_totals.blocking += t.blocking;
+                        stats.stage_totals.similarities += t.similarities;
+                        stats.stage_totals.matching += t.matching;
+                    }
+                    stats.wall_total += report.wall;
+                    stats.estimated_bytes_total += report.estimated_bytes;
+                    stats.rss_delta_bytes_total += report.peak_rss_delta_bytes.unwrap_or(0);
+                }
+            }
+        }
+        stats
     }
 
     /// One fleet worker: claim the next admissible job, run it, repeat
@@ -615,6 +772,7 @@ fn run_job(
     cancel: &CancelToken,
 ) -> JobReport {
     let t0 = Instant::now();
+    let rss_before = peak_rss_bytes();
     let exec = Executor::new(opts.executor, threads);
     let outcome = catch_unwind(AssertUnwindSafe(|| execute(spec, opts, &exec, cancel)))
         .unwrap_or_else(|panic| {
@@ -634,6 +792,13 @@ fn run_job(
     report.threads = exec.threads();
     report.estimated_bytes = estimated;
     report.peak_rss_bytes = peak_rss_bytes();
+    // The measured counterpart of the admission estimate: how much this
+    // job raised the process high-water mark (see the field docs for
+    // the attribution caveat under concurrency).
+    report.peak_rss_delta_bytes = match (rss_before, report.peak_rss_bytes) {
+        (Some(before), Some(after)) => Some(after.saturating_sub(before)),
+        _ => None,
+    };
     report
 }
 

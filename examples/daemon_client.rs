@@ -25,6 +25,10 @@ use std::process::exit;
 
 use minoaner::kb::Json;
 
+#[path = "shared/retry.rs"]
+mod retry;
+use retry::connect_retry;
+
 /// One open connection to the daemon, with request/response framing.
 struct Client {
     writer: TcpStream,
@@ -33,7 +37,7 @@ struct Client {
 
 impl Client {
     fn connect(addr: &str) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        let stream = connect_retry(addr)?;
         Ok(Client {
             writer: stream.try_clone()?,
             reader: BufReader::new(stream),

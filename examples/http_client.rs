@@ -1,0 +1,287 @@
+//! A dependency-free HTTP/1.1 client for the `minoaner serve
+//! --listen-http` front-end.
+//!
+//! ```text
+//! cargo run --release --example http_client -- <host:port> [--token T] submit '<job json>'
+//! cargo run --release --example http_client -- <host:port> [--token T] jobs
+//! cargo run --release --example http_client -- <host:port> [--token T] get <id> [--wait]
+//! cargo run --release --example http_client -- <host:port> [--token T] cancel <id>
+//! cargo run --release --example http_client -- <host:port> [--token T] metrics
+//! cargo run --release --example http_client -- <host:port> [--token T] shutdown [drain|cancel]
+//! cargo run --release --example http_client -- <host:port> [--token T] smoke
+//! ```
+//!
+//! Each mode performs one request and prints the response body; see
+//! `minoan_serve::http` for the endpoint table, auth and limits.
+//! `submit` takes the manifest job schema, e.g.
+//! `'{"name":"r","dataset":"restaurant","scale":0.1}'`. With `--token`
+//! every request carries `Authorization: Bearer <token>`.
+//!
+//! `smoke` is the end-to-end scenario CI runs against a live server:
+//! submit a small job, submit a heavy job and cancel it mid-run, assert
+//! the first resolves and the second reports `cancelled`, check the
+//! metrics endpoint parses, then shut the server down. Exits non-zero
+//! on any violated expectation.
+
+use std::io::{Read, Write};
+use std::process::exit;
+
+use minoaner::kb::Json;
+
+#[path = "shared/retry.rs"]
+mod retry;
+use retry::connect_retry;
+
+fn fail(message: &str) -> ! {
+    eprintln!("http_client: {message}");
+    exit(1);
+}
+
+/// One parsed HTTP response.
+struct Response {
+    status: u16,
+    body: String,
+}
+
+impl Response {
+    /// The body as JSON, failing loudly on anything unparseable.
+    fn json(&self) -> Json {
+        Json::parse(&self.body)
+            .unwrap_or_else(|e| fail(&format!("bad response body {:?}: {e}", self.body)))
+    }
+}
+
+/// The server endpoint plus the optional bearer token.
+struct Api {
+    addr: String,
+    token: Option<String>,
+}
+
+impl Api {
+    /// Performs one request on a fresh connection (`Connection: close`)
+    /// and parses the status line and body.
+    fn request(&self, method: &str, path: &str, body: Option<&Json>) -> Response {
+        let mut stream =
+            connect_retry(&self.addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+        let payload = body.map(Json::compact).unwrap_or_default();
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n",
+            self.addr
+        );
+        if let Some(token) = &self.token {
+            head += &format!("Authorization: Bearer {token}\r\n");
+        }
+        if !payload.is_empty() {
+            head += &format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                payload.len()
+            );
+        }
+        head += "\r\n";
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(payload.as_bytes()))
+            .and_then(|()| stream.flush())
+            .unwrap_or_else(|e| fail(&format!("send request: {e}")));
+
+        let mut raw = String::new();
+        stream
+            .read_to_string(&mut raw)
+            .unwrap_or_else(|e| fail(&format!("read response: {e}")));
+        let (head, body) = raw
+            .split_once("\r\n\r\n")
+            .unwrap_or_else(|| fail(&format!("no header/body split in {raw:?}")));
+        let status_line = head.lines().next().unwrap_or("");
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .unwrap_or_else(|| fail(&format!("bad status line {status_line:?}")));
+        Response {
+            status,
+            body: body.to_string(),
+        }
+    }
+
+    /// Like [`Api::request`] but failing unless the status is expected.
+    fn expect(&self, method: &str, path: &str, body: Option<&Json>, expected: u16) -> Response {
+        let response = self.request(method, path, body);
+        if response.status != expected {
+            fail(&format!(
+                "{method} {path}: expected {expected}, got {} with body {:?}",
+                response.status, response.body
+            ));
+        }
+        response
+    }
+
+    fn submit(&self, job: &Json) -> usize {
+        let r = self.expect("POST", "/v1/jobs", Some(job), 201);
+        r.json()
+            .get("id")
+            .and_then(Json::as_usize)
+            .unwrap_or_else(|| fail(&format!("submit response lacks an id: {}", r.body)))
+    }
+
+    /// Blocks server-side until the job is terminal; returns the body.
+    fn wait(&self, id: usize) -> Json {
+        self.expect("GET", &format!("/v1/jobs/{id}?wait=true"), None, 200)
+            .json()
+    }
+}
+
+/// A synthetic job spec in the manifest job schema.
+fn synthetic_job(name: &str, dataset: &str, scale: f64) -> Json {
+    Json::obj([
+        ("name", Json::str(name)),
+        ("dataset", Json::str(dataset)),
+        ("scale", Json::Num(scale)),
+    ])
+}
+
+fn report_status(body: &Json) -> String {
+    body.get("report")
+        .and_then(|r| r.get("status"))
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_string()
+}
+
+/// The CI smoke scenario: resolve one job, cancel another mid-run,
+/// check metrics, shut down cleanly.
+fn smoke(api: &Api) {
+    // A small job that must resolve…
+    let quick = api.submit(&synthetic_job("smoke-quick", "restaurant", 0.1));
+    // …and a heavy one we cancel immediately: still queued (flips
+    // without running) or already running (unwinds at the next pipeline
+    // checkpoint) — both must end `cancelled` without disturbing the
+    // quick job.
+    let doomed = api.submit(&synthetic_job("smoke-doomed", "yago", 1.0));
+    let r = api
+        .expect("DELETE", &format!("/v1/jobs/{doomed}"), None, 200)
+        .json();
+    let outcome = r.get("outcome").and_then(Json::as_str).unwrap_or("?");
+    if !matches!(outcome, "cancelled" | "cancelling") {
+        fail(&format!("unexpected cancel outcome {outcome:?}"));
+    }
+    eprintln!("smoke: cancel acknowledged ({outcome})");
+
+    let body = api.wait(doomed);
+    if report_status(&body) != "cancelled" {
+        fail(&format!("doomed job ended {:?}", report_status(&body)));
+    }
+    eprintln!("smoke: doomed job reported cancelled");
+
+    let body = api.wait(quick);
+    if report_status(&body) != "ok" {
+        fail(&format!("quick job did not resolve: {:?}", body.compact()));
+    }
+    let matches = body
+        .get("report")
+        .and_then(|r| r.get("matches"))
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    if matches == 0 {
+        fail("quick job resolved zero matches");
+    }
+    eprintln!("smoke: quick job ok with {matches} matches");
+
+    let listing = api.expect("GET", "/v1/jobs", None, 200).json();
+    if listing.get("done").and_then(Json::as_usize) != Some(2) {
+        fail(&format!(
+            "expected 2 terminal jobs, got {}",
+            listing.compact()
+        ));
+    }
+
+    // The metrics endpoint must be parseable Prometheus text.
+    let metrics = api.expect("GET", "/v1/metrics", None, 200);
+    let mut seen = 0;
+    for line in metrics.body.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let Some((_, value)) = line.rsplit_once(' ') else {
+            fail(&format!("metric line without a value: {line:?}"));
+        };
+        if value.parse::<f64>().is_err() {
+            fail(&format!("unparseable metric value: {line:?}"));
+        }
+        seen += 1;
+    }
+    if seen == 0
+        || !metrics
+            .body
+            .contains("minoan_jobs_done_total{status=\"cancelled\"} 1")
+    {
+        fail(&format!("unexpected metrics:\n{}", metrics.body));
+    }
+    eprintln!("smoke: metrics parse ({seen} samples)");
+
+    api.expect("POST", "/v1/shutdown", None, 200);
+    eprintln!("smoke: shutdown acknowledged");
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: http_client <host:port> [--token T] \
+                 (submit <job-json> | jobs | get <id> [--wait] | cancel <id> | \
+                 metrics | shutdown [drain|cancel] | smoke)";
+    let mut token = None;
+    if let Some(i) = args.iter().position(|a| a == "--token") {
+        if i + 1 >= args.len() {
+            fail(usage);
+        }
+        token = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    let wait = if let Some(i) = args.iter().position(|a| a == "--wait") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let (Some(addr), Some(mode)) = (args.first(), args.get(1)) else {
+        fail(usage);
+    };
+    let api = Api {
+        addr: addr.clone(),
+        token,
+    };
+    match mode.as_str() {
+        "smoke" => smoke(&api),
+        "jobs" => println!(
+            "{}",
+            api.expect("GET", "/v1/jobs", None, 200).json().pretty()
+        ),
+        "metrics" => print!("{}", api.expect("GET", "/v1/metrics", None, 200).body),
+        "submit" => {
+            let Some(job) = args.get(2) else { fail(usage) };
+            let job = Json::parse(job).unwrap_or_else(|e| fail(&format!("bad job JSON: {e}")));
+            println!("{}", api.submit(&job));
+        }
+        "get" | "cancel" => {
+            let Some(id) = args.get(2).and_then(|v| v.parse::<usize>().ok()) else {
+                fail(usage)
+            };
+            let (method, path) = match mode.as_str() {
+                "cancel" => ("DELETE", format!("/v1/jobs/{id}")),
+                _ if wait => ("GET", format!("/v1/jobs/{id}?wait=true")),
+                _ => ("GET", format!("/v1/jobs/{id}")),
+            };
+            println!("{}", api.expect(method, &path, None, 200).json().pretty());
+        }
+        "shutdown" => {
+            let body = args
+                .get(2)
+                .map(|mode| Json::obj([("mode", Json::str(mode.clone()))]));
+            println!(
+                "{}",
+                api.expect("POST", "/v1/shutdown", body.as_ref(), 200)
+                    .json()
+                    .pretty()
+            );
+        }
+        _ => fail(usage),
+    }
+}

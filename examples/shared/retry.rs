@@ -1,0 +1,34 @@
+//! Connect-with-retry, shared by the example clients via `#[path]`
+//! (this directory has no `main.rs`, so cargo does not treat it as an
+//! example target).
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// How long [`connect_retry`] keeps retrying a refused connection.
+const CONNECT_RETRY_WINDOW: Duration = Duration::from_secs(10);
+
+/// Connects with a bounded exponential backoff. The CI smokes start
+/// the daemon and the client back to back, so the very first connect
+/// can race the accept loop coming up; retrying `ConnectionRefused`
+/// briefly makes that race unobservable without masking a daemon that
+/// actually never starts.
+pub fn connect_retry(addr: &str) -> std::io::Result<TcpStream> {
+    let deadline = Instant::now() + CONNECT_RETRY_WINDOW;
+    let mut delay = Duration::from_millis(50);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::ConnectionReset
+                ) && Instant::now() + delay < deadline =>
+            {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(400));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -227,6 +227,78 @@ fn socket_jobs_are_bit_identical_to_batch_and_solo_runs() {
 }
 
 #[test]
+fn malformed_frames_get_error_responses_and_never_wedge_the_daemon() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let opts = ServeOptions {
+        slots: Some(2),
+        threads: Some(2),
+        ..ServeOptions::default()
+    };
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| run_daemon(listener, &opts, |_| {}).unwrap());
+        let mut client = Client::connect(addr);
+        // A real job first, so malformed traffic has something to
+        // (fail to) disturb.
+        let id = client.submit("survivor", "restaurant", 0.1);
+
+        // Raw frames on a separate connection: invalid UTF-8, invalid
+        // JSON, a missing `op`, a wrong-typed `op`. Every one must get
+        // an {"ok":false} response on the same still-usable connection.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let frames: [(&[u8], &str); 4] = [
+            (b"{\"op\": \"w\xc3\x28at\"}\n", "invalid UTF-8"),
+            (b"{\"op\": \n", "bad request JSON"),
+            (b"{\"id\": 3}\n", "`op`"),
+            (b"{\"op\": 7}\n", "`op`"),
+        ];
+        for (frame, needle) in frames {
+            stream.write_all(frame).unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let r = Json::parse(line.trim()).expect("error response parses");
+            assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{frame:?}");
+            let e = r.get("error").unwrap().as_str().unwrap();
+            assert!(e.contains(needle), "{frame:?} -> {e}");
+        }
+        // The abused connection still answers real requests…
+        stream.write_all(b"{\"op\":\"status\"}\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let r = Json::parse(line.trim()).unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+
+        // A newline-less byte flood cannot grow the frame buffer
+        // without bound: one error response, then the connection
+        // closes (framing is unrecoverable mid-frame).
+        let mut flood = TcpStream::connect(addr).unwrap();
+        let chunk = vec![b'x'; 1 << 20];
+        for _ in 0..5 {
+            flood.write_all(&chunk).unwrap();
+        }
+        let mut flood_reader = BufReader::new(flood.try_clone().unwrap());
+        let mut line = String::new();
+        flood_reader.read_line(&mut line).unwrap();
+        let r = Json::parse(line.trim()).expect("oversize response parses");
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        let e = r.get("error").unwrap().as_str().unwrap();
+        assert!(e.contains("byte limit"), "{e}");
+        line.clear();
+        assert_eq!(
+            flood_reader.read_line(&mut line).unwrap(),
+            0,
+            "connection closes after an oversized frame"
+        );
+        // …and the job submitted before the barrage still resolves.
+        let (_, status) = client.wait(id);
+        assert_eq!(status, "ok", "malformed frames disturbed a running job");
+        client.shutdown();
+        daemon.join().unwrap()
+    });
+}
+
+#[test]
 fn cancelling_a_running_job_spares_the_rest_of_the_fleet() {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();

@@ -1,0 +1,505 @@
+//! HTTP front-end integration tests: jobs submitted over `POST
+//! /v1/jobs` must be **bit-identical** to `minoaner batch` and solo
+//! sequential runs ([`JobReport::fingerprint`]); `GET /v1/metrics` must
+//! be parseable Prometheus text; and oversized, malformed or
+//! unauthenticated requests must get clean `4xx` responses — never a
+//! panic, a wedged accept loop, or any disturbance to running jobs.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use minoaner::datagen::DatasetKind;
+use minoaner::exec::ExecutorKind;
+use minoaner::kb::Json;
+use minoaner::serve::{
+    run_batch, run_http, HttpOptions, JobInput, JobSpec, JobStatus, Manifest, ServeOptions,
+};
+
+/// A minimal test-side HTTP client: one fresh connection per request,
+/// `Connection: close`, whole-response reads.
+struct Http {
+    addr: SocketAddr,
+    token: Option<&'static str>,
+}
+
+/// Status code, full header section, body.
+struct Raw {
+    status: u16,
+    head: String,
+    body: String,
+}
+
+impl Http {
+    /// Writes raw bytes, optionally half-closing the write side, and
+    /// parses whatever response comes back.
+    fn raw(&self, bytes: &[u8], half_close: bool) -> Raw {
+        let mut stream = TcpStream::connect(self.addr).expect("connect");
+        stream.write_all(bytes).expect("send");
+        stream.flush().unwrap();
+        if half_close {
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+        }
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("read response");
+        let raw = String::from_utf8(raw).expect("responses are UTF-8");
+        let (head, body) = raw
+            .split_once("\r\n\r\n")
+            .unwrap_or_else(|| panic!("no header/body split in {raw:?}"));
+        let status = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line in {head:?}"));
+        Raw {
+            status,
+            head: head.to_string(),
+            body: body.to_string(),
+        }
+    }
+
+    fn request(&self, method: &str, path: &str, body: Option<&Json>) -> Raw {
+        let payload = body.map(Json::compact).unwrap_or_default();
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n");
+        if let Some(token) = self.token {
+            head += &format!("Authorization: Bearer {token}\r\n");
+        }
+        if !payload.is_empty() {
+            head += &format!("Content-Length: {}\r\n", payload.len());
+        }
+        head += "\r\n";
+        self.raw(format!("{head}{payload}").as_bytes(), false)
+    }
+
+    fn json(&self, method: &str, path: &str, body: Option<&Json>, expect: u16) -> Json {
+        let r = self.request(method, path, body);
+        assert_eq!(r.status, expect, "{method} {path}: {}", r.body);
+        Json::parse(&r.body).expect("JSON body")
+    }
+
+    fn submit(&self, name: &str, dataset: &str, scale: f64) -> usize {
+        let job = Json::obj([
+            ("name", Json::str(name)),
+            ("dataset", Json::str(dataset)),
+            ("seed", Json::num(20180416.0)),
+            ("scale", Json::Num(scale)),
+        ]);
+        let r = self.json("POST", "/v1/jobs", Some(&job), 201);
+        r.get("id").and_then(Json::as_usize).expect("submit id")
+    }
+
+    /// Blocks until the job is terminal; returns (fingerprint, status).
+    fn wait(&self, id: usize) -> (String, String) {
+        let r = self.json("GET", &format!("/v1/jobs/{id}?wait=true"), None, 200);
+        let fingerprint = r
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .expect("fingerprint")
+            .to_string();
+        let status = r
+            .get("status")
+            .and_then(Json::as_str)
+            .expect("status")
+            .to_string();
+        (fingerprint, status)
+    }
+
+    fn shutdown(&self) {
+        self.json("POST", "/v1/shutdown", None, 200);
+    }
+
+    /// Polls the job until it reaches `phase`.
+    fn await_phase(&self, id: usize, phase: &str) {
+        let t0 = Instant::now();
+        loop {
+            let r = self.json("GET", &format!("/v1/jobs/{id}"), None, 200);
+            let got = r.get("phase").and_then(Json::as_str).unwrap().to_string();
+            if got == phase {
+                return;
+            }
+            assert!(got != "done", "job #{id} finished before {phase:?}");
+            assert!(
+                t0.elapsed() < Duration::from_secs(60),
+                "job #{id} never reached {phase:?}"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+fn serve_opts() -> ServeOptions {
+    ServeOptions {
+        slots: Some(2),
+        threads: Some(3),
+        ..ServeOptions::default()
+    }
+}
+
+fn synthetic_spec(name: &str, kind: DatasetKind, scale: f64) -> JobSpec {
+    JobSpec {
+        name: name.into(),
+        input: JobInput::Synthetic {
+            kind,
+            seed: 20180416,
+            scale,
+        },
+        truth: None,
+        theta: None,
+        candidates_k: None,
+        purge_blocks: None,
+    }
+}
+
+fn profile_name(kind: DatasetKind) -> &'static str {
+    match kind {
+        DatasetKind::Restaurant => "restaurant",
+        DatasetKind::RexaDblp => "rexa",
+        DatasetKind::BbcDbpedia => "bbc",
+        DatasetKind::YagoImdb => "yago",
+    }
+}
+
+/// Runs `body` against a live HTTP server and returns the fleet report
+/// from its clean shutdown. A panicking `body` still shuts the server
+/// down (with the right token) before the panic resumes, so a failed
+/// assertion reports as a failure instead of wedging the scope join.
+fn with_server<T>(
+    options: HttpOptions,
+    body: impl FnOnce(&Http) -> T,
+) -> (minoaner::serve::ServeReport, T) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let token = options.auth_token.clone();
+    let opts = serve_opts();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(move || run_http(listener, &opts, options, |_| {}).unwrap());
+        let client = Http { addr, token: None };
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&client)));
+        let out = out.unwrap_or_else(|panic| {
+            let mut head =
+                String::from("POST /v1/shutdown HTTP/1.1\r\nHost: t\r\nConnection: close\r\n");
+            if let Some(token) = &token {
+                head += &format!("Authorization: Bearer {token}\r\n");
+            }
+            head += "\r\n";
+            if let Ok(mut stream) = TcpStream::connect(addr) {
+                let _ = stream.write_all(head.as_bytes());
+                let _ = stream.read_to_end(&mut Vec::new());
+            }
+            std::panic::resume_unwind(panic);
+        });
+        (server.join().unwrap(), out)
+    })
+}
+
+#[test]
+fn http_jobs_are_bit_identical_to_batch_and_solo_runs() {
+    let (report, fingerprints) = with_server(HttpOptions::default(), |http| {
+        let ids: Vec<(usize, DatasetKind)> = DatasetKind::ALL
+            .into_iter()
+            .map(|kind| {
+                (
+                    http.submit(profile_name(kind), profile_name(kind), 0.08),
+                    kind,
+                )
+            })
+            .collect();
+        let fps: Vec<String> = ids
+            .into_iter()
+            .map(|(id, kind)| {
+                let (fp, status) = http.wait(id);
+                assert_eq!(status, "ok", "{kind:?} failed over HTTP");
+                fp
+            })
+            .collect();
+        http.shutdown();
+        fps
+    });
+
+    // The server's final fleet report carries the same fingerprints in
+    // submission order.
+    assert_eq!(report.jobs.len(), 4);
+    for (fp, job) in fingerprints.iter().zip(&report.jobs) {
+        assert_eq!(*fp, job.fingerprint(), "{}: wait vs report", job.name);
+    }
+
+    // Batch path: the same jobs as a manifest fleet.
+    let manifest = Manifest {
+        slots: 2,
+        threads: 3,
+        memory_budget_mib: 0,
+        jobs: DatasetKind::ALL
+            .into_iter()
+            .map(|kind| synthetic_spec(profile_name(kind), kind, 0.08))
+            .collect(),
+    };
+    let batch = run_batch(&manifest, &ServeOptions::default());
+
+    // Solo path: each job alone on a sequential executor.
+    for (i, kind) in DatasetKind::ALL.into_iter().enumerate() {
+        let solo = run_batch(
+            &Manifest {
+                slots: 1,
+                threads: 1,
+                memory_budget_mib: 0,
+                jobs: vec![synthetic_spec(profile_name(kind), kind, 0.08)],
+            },
+            &ServeOptions {
+                slots: Some(1),
+                threads: Some(1),
+                executor: ExecutorKind::Sequential,
+                ..ServeOptions::default()
+            },
+        );
+        assert_eq!(
+            fingerprints[i],
+            batch.jobs[i].fingerprint(),
+            "{kind:?}: HTTP vs batch"
+        );
+        assert_eq!(
+            fingerprints[i],
+            solo.jobs[0].fingerprint(),
+            "{kind:?}: HTTP vs solo sequential"
+        );
+    }
+}
+
+#[test]
+fn cancelling_a_running_job_over_http_spares_the_fleet() {
+    let (report, ()) = with_server(HttpOptions::default(), |http| {
+        let doomed = http.submit("doomed", "yago", 1.0);
+        let quick = http.submit("quick", "restaurant", 0.1);
+        http.await_phase(doomed, "running");
+        let r = http.json("DELETE", &format!("/v1/jobs/{doomed}"), None, 200);
+        assert_eq!(
+            r.get("outcome").and_then(Json::as_str),
+            Some("cancelling"),
+            "the job was running, so the cancel must take the mid-run path"
+        );
+        let (_, status) = http.wait(doomed);
+        assert_eq!(status, "cancelled", "running job unwound at a checkpoint");
+        let (_, status) = http.wait(quick);
+        assert_eq!(status, "ok", "other in-flight jobs are unaffected");
+        http.shutdown();
+    });
+    assert_eq!(report.jobs.len(), 2);
+    assert_eq!(report.jobs[0].status, JobStatus::Cancelled);
+    assert!(report.jobs[1].status.is_ok());
+    assert!(report.jobs[0].matches.is_empty(), "no partial output");
+}
+
+#[test]
+fn metrics_are_parseable_prometheus_text() {
+    let (_, ()) = with_server(HttpOptions::default(), |http| {
+        let id = http.submit("one", "restaurant", 0.05);
+        let (_, status) = http.wait(id);
+        assert_eq!(status, "ok");
+        let r = http.request("GET", "/v1/metrics", None);
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(
+            r.head.contains("Content-Type: text/plain; version=0.0.4"),
+            "{}",
+            r.head
+        );
+        // Every non-comment line is `name[{labels}] value` with a
+        // numeric value; the counts reflect the finished job.
+        let mut samples = 0;
+        for line in r.body.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("metric line without value: {line:?}"));
+            assert!(name.starts_with("minoan_"), "{line}");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+            samples += 1;
+        }
+        assert!(samples >= 15, "suspiciously few samples:\n{}", r.body);
+        for needle in [
+            "minoan_jobs_queued 0",
+            "minoan_jobs_running 0",
+            "minoan_jobs_done_total{status=\"ok\"} 1",
+            "minoan_jobs_done_total{status=\"failed\"} 0",
+            "minoan_threads_budget 3",
+            "minoan_fleet_slots 2",
+            "minoan_stage_seconds_total{stage=\"matching\"}",
+            "minoan_estimated_bytes_total",
+        ] {
+            assert!(r.body.contains(needle), "missing {needle:?}:\n{}", r.body);
+        }
+        http.shutdown();
+    });
+}
+
+#[test]
+fn auth_rejects_missing_and_wrong_tokens_without_disturbing_jobs() {
+    let options = HttpOptions {
+        auth_token: Some("sesame-open".into()),
+    };
+    let (report, ()) = with_server(options, |anon| {
+        let authed = Http {
+            addr: anon.addr,
+            token: Some("sesame-open"),
+        };
+        // A job submitted with the right token…
+        let id = authed.submit("guarded", "restaurant", 0.1);
+        // …survives a barrage of unauthenticated and wrong-token
+        // requests, all of which get 401 + WWW-Authenticate.
+        for (client, what) in [
+            (anon, "missing token"),
+            (
+                &Http {
+                    addr: anon.addr,
+                    token: Some("sesame-close"),
+                },
+                "wrong token",
+            ),
+            (
+                &Http {
+                    addr: anon.addr,
+                    token: Some("sesame-ope"),
+                },
+                "prefix token",
+            ),
+        ] {
+            for (method, path) in [
+                ("GET", "/v1/jobs"),
+                ("POST", "/v1/jobs"),
+                ("GET", "/v1/metrics"),
+                ("DELETE", "/v1/jobs/0"),
+                ("POST", "/v1/shutdown"),
+            ] {
+                let r = client.request(method, path, None);
+                assert_eq!(r.status, 401, "{what}: {method} {path} -> {}", r.body);
+                assert!(
+                    r.head.contains("WWW-Authenticate: Bearer"),
+                    "{what}: {}",
+                    r.head
+                );
+            }
+        }
+        let (_, status) = authed.wait(id);
+        assert_eq!(status, "ok", "running job undisturbed by 401 traffic");
+        authed.shutdown();
+    });
+    assert_eq!(report.jobs.len(), 1);
+    assert!(report.jobs[0].status.is_ok());
+}
+
+#[test]
+fn oversized_and_malformed_requests_get_clean_errors() {
+    let (report, ()) = with_server(HttpOptions::default(), |http| {
+        // A running job that every malformed request must leave alone.
+        let id = http.submit("survivor", "restaurant", 0.15);
+
+        // Request line over the limit -> 431.
+        let long_path = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(10_000));
+        assert_eq!(http.raw(long_path.as_bytes(), false).status, 431);
+
+        // One huge header line -> 431.
+        let big_header = format!(
+            "GET /v1/jobs HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "y".repeat(10_000)
+        );
+        assert_eq!(http.raw(big_header.as_bytes(), false).status, 431);
+
+        // Too many header fields -> 431.
+        let mut many = String::from("GET /v1/jobs HTTP/1.1\r\n");
+        for i in 0..70 {
+            many += &format!("X-H{i}: v\r\n");
+        }
+        many += "\r\n";
+        assert_eq!(http.raw(many.as_bytes(), false).status, 431);
+
+        // Header section over the total limit (each line under the
+        // per-line limit) -> 431.
+        let mut fat = String::from("GET /v1/jobs HTTP/1.1\r\n");
+        for i in 0..6 {
+            fat += &format!("X-Fat{i}: {}\r\n", "z".repeat(7_000));
+        }
+        fat += "\r\n";
+        assert_eq!(http.raw(fat.as_bytes(), false).status, 431);
+
+        // Declared body over the limit -> 413, before any body bytes.
+        let big_body = "POST /v1/jobs HTTP/1.1\r\nContent-Length: 9000000\r\n\r\n";
+        assert_eq!(http.raw(big_body.as_bytes(), false).status, 413);
+
+        // Unparseable content-length -> 400.
+        let bad_len = "POST /v1/jobs HTTP/1.1\r\nContent-Length: abc\r\n\r\n";
+        assert_eq!(http.raw(bad_len.as_bytes(), false).status, 400);
+
+        // Truncated request line (client gave up mid-request) -> 400.
+        assert_eq!(http.raw(b"GET /v1/jo", true).status, 400);
+
+        // Body shorter than declared -> 400.
+        let short_body = "POST /v1/jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"na";
+        assert_eq!(http.raw(short_body.as_bytes(), true).status, 400);
+
+        // Garbled request line -> 400.
+        assert_eq!(http.raw(b"ONE-WORD\r\n\r\n", false).status, 400);
+
+        // Unsupported HTTP version -> 505; chunked bodies -> 501.
+        assert_eq!(
+            http.raw(b"GET /v1/jobs HTTP/2.0\r\n\r\n", false).status,
+            505
+        );
+        let chunked = "POST /v1/jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert_eq!(http.raw(chunked.as_bytes(), false).status, 501);
+
+        // Bad JSON and invalid UTF-8 bodies -> 400 with a message.
+        let r = http.request("POST", "/v1/jobs", Some(&Json::str("not an object")));
+        assert_eq!(r.status, 400, "{}", r.body);
+        let mut invalid = b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\n".to_vec();
+        invalid.extend_from_slice(&[0xff, 0xfe, 0xfd, 0xfc]);
+        let r = http.raw(&invalid, false);
+        assert_eq!(r.status, 400);
+        assert!(r.body.contains("invalid UTF-8"), "{}", r.body);
+
+        // Bad job ids, unknown ids, unknown paths, wrong methods.
+        let r = http.request("GET", "/v1/jobs/banana", None);
+        assert_eq!(r.status, 400, "{}", r.body);
+        assert_eq!(http.request("GET", "/v1/jobs/99", None).status, 404);
+        assert_eq!(http.request("DELETE", "/v1/jobs/99", None).status, 404);
+        assert_eq!(http.request("GET", "/nope", None).status, 404);
+        let r = http.request("PUT", "/v1/jobs", None);
+        assert_eq!(r.status, 405, "{}", r.body);
+        assert!(r.head.contains("Allow: GET, POST"), "{}", r.head);
+        assert_eq!(http.request("DELETE", "/v1/metrics", None).status, 405);
+        assert_eq!(http.request("GET", "/v1/shutdown", None).status, 405);
+
+        // After all of that, the accept loop still serves and the job
+        // still resolves.
+        let (_, status) = http.wait(id);
+        assert_eq!(status, "ok", "malformed traffic disturbed a running job");
+        http.shutdown();
+    });
+    assert_eq!(report.jobs.len(), 1);
+    assert!(report.jobs[0].status.is_ok());
+}
+
+#[test]
+fn shutdown_cancel_mode_flips_queued_jobs_and_closes_the_connection() {
+    let (report, ()) = with_server(HttpOptions::default(), |http| {
+        // One heavy job occupies both listed profiles' worth of time;
+        // the rest queue behind it (2 slots, so submit 4).
+        for (name, scale) in [("a", 0.3), ("b", 0.3), ("c", 0.3), ("d", 0.3)] {
+            http.submit(name, "restaurant", scale);
+        }
+        let body = Json::obj([("mode", Json::str("cancel"))]);
+        let r = http.request("POST", "/v1/shutdown", Some(&body));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("\"mode\":\"cancel\""), "{}", r.body);
+        // A shutdown response never leaves the connection open: framing
+        // after the server winds down would be a hang, not a reply.
+        assert!(r.head.contains("Connection: close"), "{}", r.head);
+    });
+    assert_eq!(report.jobs.len(), 4);
+    // Every job is terminal; at least the tail of the queue was flipped
+    // to Cancelled without running.
+    assert!(report
+        .jobs
+        .iter()
+        .all(|j| j.status == JobStatus::Cancelled || j.status.is_ok()));
+    assert!(report.jobs.iter().any(|j| j.status == JobStatus::Cancelled));
+}
