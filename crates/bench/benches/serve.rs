@@ -2,9 +2,11 @@
 //! profiles × two seeds) scheduled at fleet sizes 1/2/4/8, emitting the
 //! `BENCH_serve.json` trajectory file at the workspace root.
 //!
-//! The sweep varies **pair-level parallelism** (`slots`) while the total
-//! thread budget stays fixed, so the speedup map measures what the
-//! serving layer adds over resolving the pairs one after another. Every
+//! The sweep varies **pair-level parallelism** (`slots`) while every
+//! slot submits its waves to the one process-wide work-stealing pool,
+//! so the speedup map measures what the serving layer adds over
+//! resolving the pairs one after another — without ever putting more
+//! runnable threads on the machine than it has cores. Every
 //! run also cross-checks determinism: per-job fingerprints must be
 //! byte-identical at every fleet size, or the bench aborts. Peak RSS is
 //! recorded where the platform exposes it. `MINOAN_BENCH_SMOKE=1`
@@ -83,6 +85,30 @@ fn check_determinism(manifest: &Manifest) {
     }
 }
 
+/// Fleet-scaling gate: with every slot submitting its waves to the one
+/// process-wide pool, adding slots must never *cost* throughput — on a
+/// multi-core machine a `fleet_over_sequential` below 0.95x at any
+/// slots>1 point means slot scheduling is oversubscribing or starving
+/// the pool, and the bench aborts (non-zero exit). On a 1-core machine
+/// the gate is a no-op: scheduling jitter around the 1.0x hardware
+/// ceiling is not a scaling signal.
+fn check_fleet_scaling(speedups: &[(usize, Option<f64>)]) {
+    if benchutil::available_cores() <= 1 {
+        return;
+    }
+    for &(slots, speedup) in speedups {
+        if let Some(v) = speedup {
+            if slots > 1 && v < 0.95 {
+                eprintln!(
+                    "fleet_over_sequential at slots-{slots} is {v:.3}x (< 0.95x): \
+                     fleet scheduling regressed below the sequential baseline"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     // Full scale is modest: the bench measures scheduling over 8 real
     // pipeline runs, not single-pair throughput (benches/parallel.rs
@@ -96,8 +122,44 @@ fn main() {
     bench_serve(&mut criterion, &manifest, samples);
     let results = criterion.take_results();
 
+    // The speedup map compares *best observed* times (`min_ns`), not
+    // medians: the sweep's configurations run minutes apart on a shared
+    // container whose throughput drifts by double-digit percentages, and
+    // a one-sided noise source can only ever make a sample slower. The
+    // full per-sample medians stay in `results` below.
+    let speedups: Vec<(usize, Option<f64>)> = FLEET_SWEEP
+        .iter()
+        .map(|&slots| {
+            let seq = benchutil::find(&results, "serve/fleet8/slots-1");
+            let par = benchutil::find(&results, &format!("serve/fleet8/slots-{slots}"));
+            let v = match (seq, par) {
+                (Some(s), Some(p)) if p.min_ns > 0.0 => Some(s.min_ns / p.min_ns),
+                _ => None,
+            };
+            (slots, v)
+        })
+        .collect();
+    check_fleet_scaling(&speedups);
+
     let sweep = benchutil::thread_sweep();
     let mut fields = benchutil::trajectory_fields("batch_serve", "fleet8", scale, &sweep);
+    // The generic 1-core note is about rayon thread sweeps; the serve
+    // sweep scales *slots* over one process-wide work-stealing pool, so
+    // document that instead (and where the sweep is worth re-running).
+    let note = if benchutil::available_cores() == 1 {
+        "pool backend, 1 CPU core: the queue's execution width caps dispatch at \
+         one job at a time, so ~1.0x at every slot count is both the hardware \
+         ceiling and the scheduling goal (slots beyond the width only buy queue \
+         residency); re-run this sweep on a multi-core machine to measure real \
+         fleet scaling"
+    } else {
+        "pool backend: jobs dispatch up to the execution width \
+         (min(slots, cores)) and every wave runs on the one process-wide \
+         work-stealing pool, so slots never oversubscribe the machine"
+    };
+    if let Some(entry) = fields.iter_mut().find(|(k, _)| k == "note") {
+        entry.1 = Json::str(note);
+    }
     fields.push((
         "fleet_sweep".into(),
         Json::arr(FLEET_SWEEP.iter().map(|&s| Json::num(s as f64))),
@@ -107,15 +169,11 @@ fn main() {
         "speedup".into(),
         Json::obj([(
             "fleet_over_sequential",
-            Json::obj(FLEET_SWEEP.map(|slots| {
-                let seq = benchutil::find(&results, "serve/fleet8/slots-1");
-                let par = benchutil::find(&results, &format!("serve/fleet8/slots-{slots}"));
-                let v = match (seq, par) {
-                    (Some(s), Some(p)) if p.median_ns > 0.0 => Json::Num(s.median_ns / p.median_ns),
-                    _ => Json::Null,
-                };
-                (slots.to_string(), v)
-            })),
+            Json::obj(
+                speedups
+                    .iter()
+                    .map(|&(slots, v)| (slots.to_string(), v.map_or(Json::Null, Json::Num))),
+            ),
         )]),
     ));
     // Per-result array: serve ids carry the fleet size (`slots-N`), not

@@ -3,14 +3,14 @@
 //! ```text
 //! minoaner match  <first.(tsv|nt)> <second.(tsv|nt)> [--method minoaner|bsl|sigma|paris]
 //!                 [--truth <pairs.tsv>] [--json] [--theta F] [--k N] [--no-purge]
-//!                 [--executor sequential|rayon] [--threads N]
+//!                 [--executor sequential|rayon|pool] [--threads N]
 //! minoaner batch  --manifest <fleet.(toml|json)> [--slots N] [--threads N]
-//!                 [--memory-mib N] [--executor sequential|rayon] [--json] [--pairs]
+//!                 [--memory-mib N] [--executor sequential|rayon|pool] [--json] [--pairs]
 //! minoaner serve  [--listen <addr>] [--listen-http <addr>] [--auth-token T]
 //!                 [--slots N] [--threads N] [--memory-mib N]
-//!                 [--executor sequential|rayon] [--json] [--pairs]
+//!                 [--executor sequential|rayon|pool] [--json] [--pairs]
 //! minoaner demo   [restaurant|rexa|bbc|yago] [--scale F] [--seed N]
-//!                 [--executor sequential|rayon] [--threads N]
+//!                 [--executor sequential|rayon|pool] [--threads N]
 //! minoaner stats  <kb.(tsv|nt)>
 //! ```
 //!
@@ -73,14 +73,14 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  minoaner match <first> <second> [--method minoaner|bsl|sigma|paris] \
          [--truth pairs.tsv] [--json] [--theta F] [--k N] [--no-purge] \
-         [--executor sequential|rayon] [--threads N]\n  \
+         [--executor sequential|rayon|pool] [--threads N]\n  \
          minoaner batch --manifest fleet.(toml|json) [--slots N] [--threads N] \
-         [--memory-mib N] [--executor sequential|rayon] [--json] [--pairs]\n  \
+         [--memory-mib N] [--executor sequential|rayon|pool] [--json] [--pairs]\n  \
          minoaner serve [--listen addr:port] [--listen-http addr:port] \
          [--auth-token T] [--slots N] [--threads N] \
-         [--memory-mib N] [--executor sequential|rayon] [--json] [--pairs]\n  \
+         [--memory-mib N] [--executor sequential|rayon|pool] [--json] [--pairs]\n  \
          minoaner demo [restaurant|rexa|bbc|yago] [--scale F] [--seed N] \
-         [--executor sequential|rayon] [--threads N]\n  \
+         [--executor sequential|rayon|pool] [--threads N]\n  \
          minoaner stats <kb>"
     );
     exit(2);

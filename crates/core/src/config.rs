@@ -52,7 +52,7 @@ impl Default for MinoanConfig {
             purge_blocks: true,
             purge_smoothing: minoan_blocking::DEFAULT_SMOOTHING,
             max_top_neighbors: 32,
-            executor: ExecutorKind::Rayon,
+            executor: ExecutorKind::Pool,
             threads: 0,
             ingest_chunk_kib: minoan_kb::parse::DEFAULT_CHUNK_BYTES >> 10,
         }
@@ -164,7 +164,7 @@ mod tests {
         assert_eq!(c.top_relations_n, 3);
         assert!((c.theta - 0.6).abs() < 1e-12);
         assert!(c.purge_blocks);
-        assert_eq!(c.executor, ExecutorKind::Rayon);
+        assert_eq!(c.executor, ExecutorKind::Pool);
         assert_eq!(c.threads, 0, "all available threads by default");
         assert!(c.validate().is_ok());
     }

@@ -118,43 +118,49 @@ pub fn build_blocks_with(
 
 /// Like [`build_blocks_with`], but observing `cancel` at cooperative
 /// checkpoints **between executor waves** (tokenization, name
-/// extraction per side, name blocking, token blocking, purging). A wave
-/// already dispatched always completes; a cancelled build unwinds with
-/// [`Cancelled`] before dispatching the next one, so cancellation costs
-/// at most one stage of work and leaves no partial artifacts behind.
+/// extraction per side, name blocking, token blocking, purging) — and,
+/// on the pool backend, between the quantum-bounded tasks *inside* each
+/// wave. A cancelled build unwinds with [`Cancelled`] within one task
+/// quantum of work and leaves no partial artifacts behind.
 pub fn build_blocks_cancellable(
     pair: &KbPair,
     config: &MinoanConfig,
     exec: &Executor,
     cancel: &CancelToken,
 ) -> Result<BlockingArtifacts, Cancelled> {
-    let tokenizer = Tokenizer::default();
-    cancel.checkpoint()?;
-    let t_tok = Instant::now();
-    let tokens = TokenizedPair::build_with(pair, &tokenizer, exec);
-    let tokenize_time = t_tok.elapsed();
-    cancel.checkpoint()?;
-    let names1 = entity_names_with(&pair.first, config.name_attrs_k, exec);
-    cancel.checkpoint()?;
-    let names2 = entity_names_with(&pair.second, config.name_attrs_k, exec);
-    cancel.checkpoint()?;
-    let (bn, _) = name_blocking_with(&names1, &names2, exec);
-    cancel.checkpoint()?;
-    let bt_raw = token_blocking_with(&tokens, exec);
-    let (bt, purge) = if config.purge_blocks {
+    // Hand the token to the executor so pool waves can abort mid-wave;
+    // `catch_cancel` folds that unwind into the same `Err(Cancelled)`
+    // the between-wave checkpoints produce.
+    let exec = &exec.clone().with_cancel(cancel.clone());
+    minoan_exec::catch_cancel(|| {
+        let tokenizer = Tokenizer::default();
         cancel.checkpoint()?;
-        let (purged, report) = purge_with_exec(&bt_raw, config.purge_smoothing, exec);
-        (purged, Some(report))
-    } else {
-        (bt_raw, None)
-    };
-    Ok(BlockingArtifacts {
-        tokens,
-        name_blocks: bn,
-        token_blocks: bt,
-        purge,
-        names: [names1, names2],
-        tokenize_time,
+        let t_tok = Instant::now();
+        let tokens = TokenizedPair::build_with(pair, &tokenizer, exec);
+        let tokenize_time = t_tok.elapsed();
+        cancel.checkpoint()?;
+        let names1 = entity_names_with(&pair.first, config.name_attrs_k, exec);
+        cancel.checkpoint()?;
+        let names2 = entity_names_with(&pair.second, config.name_attrs_k, exec);
+        cancel.checkpoint()?;
+        let (bn, _) = name_blocking_with(&names1, &names2, exec);
+        cancel.checkpoint()?;
+        let bt_raw = token_blocking_with(&tokens, exec);
+        let (bt, purge) = if config.purge_blocks {
+            cancel.checkpoint()?;
+            let (purged, report) = purge_with_exec(&bt_raw, config.purge_smoothing, exec);
+            (purged, Some(report))
+        } else {
+            (bt_raw, None)
+        };
+        Ok(BlockingArtifacts {
+            tokens,
+            name_blocks: bn,
+            token_blocks: bt,
+            purge,
+            names: [names1, names2],
+            tokenize_time,
+        })
     })
 }
 
@@ -201,14 +207,28 @@ impl MinoanEr {
     /// cooperative checkpoints **between executor waves**: after every
     /// blocking stage (see [`build_blocks_cancellable`]), after H1,
     /// between the top-neighbor passes, after the similarity-index
-    /// build, and between each of the H2 / H3 / H4 scans. A dispatched
-    /// wave always completes — tearing one down mid-flight could not
-    /// stay bit-identical with a sequential run — so a cancelled run
-    /// unwinds with [`Cancelled`] within one wave of work and produces
-    /// no partial matching. This is what makes mid-job cancellation in
-    /// the serving layer safe: the job's executor threads are all
-    /// joined by the time the error propagates.
+    /// build, and between each of the H2 / H3 / H4 scans. On the pool
+    /// backend the token is additionally observed between the
+    /// quantum-bounded tasks *inside* each wave, so cancellation latency
+    /// is one task quantum rather than one unbounded wave; either way a
+    /// cancelled run unwinds with [`Cancelled`], produces no partial
+    /// matching, and never merges a torn wave — the job's wave workers
+    /// are all joined by the time the error propagates. This is what
+    /// makes mid-job cancellation in the serving layer safe.
     pub fn run_cancellable(
+        &self,
+        pair: &KbPair,
+        exec: &Executor,
+        cancel: &CancelToken,
+    ) -> Result<MatchOutput, Cancelled> {
+        // As in `build_blocks_cancellable`: pool waves observe the token
+        // between task quanta and abort by unwinding; fold that unwind
+        // into the checkpoint error here at the stage boundary.
+        let exec = &exec.clone().with_cancel(cancel.clone());
+        minoan_exec::catch_cancel(|| self.run_cancellable_inner(pair, exec, cancel))
+    }
+
+    fn run_cancellable_inner(
         &self,
         pair: &KbPair,
         exec: &Executor,

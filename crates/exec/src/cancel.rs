@@ -69,6 +69,26 @@ impl CancelToken {
     }
 }
 
+/// Runs `f`, converting an unwind carrying [`Cancelled`] into
+/// `Err(Cancelled)`. Pool-backed waves abort a cancelled fan-out by
+/// panicking with `Cancelled` (they cannot return a partial result
+/// vector); stage drivers wrap their wave sequence in `catch_cancel` so
+/// a mid-wave cancel surfaces as the same `Err(Cancelled)` a
+/// between-wave [`CancelToken::checkpoint`] produces. Any other panic
+/// payload is resumed untouched.
+pub fn catch_cancel<R>(f: impl FnOnce() -> Result<R, Cancelled>) -> Result<R, Cancelled> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => {
+            if payload.downcast_ref::<Cancelled>().is_some() {
+                Err(Cancelled)
+            } else {
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +129,24 @@ mod tests {
     #[test]
     fn cancelled_formats_as_an_error() {
         assert_eq!(Cancelled.to_string(), "cancelled");
+    }
+
+    #[test]
+    fn catch_cancel_passes_values_and_plain_errors_through() {
+        assert_eq!(catch_cancel(|| Ok(41)), Ok(41));
+        assert_eq!(catch_cancel::<u8>(|| Err(Cancelled)), Err(Cancelled));
+    }
+
+    #[test]
+    fn catch_cancel_downcasts_cancelled_unwinds() {
+        let result = catch_cancel::<u8>(|| std::panic::panic_any(Cancelled));
+        assert_eq!(result, Err(Cancelled));
+    }
+
+    #[test]
+    fn catch_cancel_resumes_foreign_panics() {
+        let unwound = std::panic::catch_unwind(|| catch_cancel::<u8>(|| panic!("boom")));
+        let payload = unwound.expect_err("foreign panic must resume");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
     }
 }

@@ -6,20 +6,25 @@
 //! provides the executor abstraction the hot layers (blocking, similarity
 //! indexing, matching) run on:
 //!
-//! - [`Executor`] with a [`Sequential`](ExecutorKind::Sequential) and a
-//!   [`Rayon`](ExecutorKind::Rayon) backend, selected by configuration;
+//! - [`Executor`] with a [`Sequential`](ExecutorKind::Sequential), a
+//!   [`Rayon`](ExecutorKind::Rayon) (scoped threads per wave) and a
+//!   [`Pool`](ExecutorKind::Pool) backend (waves submitted as
+//!   quantum-bounded task batches into the process-wide work-stealing
+//!   [`pool`]), selected by configuration;
 //! - ordered fan-out primitives ([`Executor::map_parts`],
 //!   [`Executor::map_range`]) whose merged output is **independent of the
-//!   thread count**, so parallel runs are bit-identical to sequential
-//!   ones by construction;
+//!   thread count** (and, for the pool backend, of the task count), so
+//!   parallel runs are bit-identical to sequential ones by construction;
 //! - [`SharedSlice`], the unsafe-but-audited escape hatch for writing
 //!   disjoint index ranges of one buffer from multiple threads (CSR
 //!   fills and transposes);
 //! - [`CancelToken`], cooperative cancellation observed at
-//!   [checkpoints](CancelToken::checkpoint) **between** waves — a
-//!   dispatched fan-out always completes, so cancellation never produces
-//!   partial merges, and a cancelled stage unwinds with [`Cancelled`]
-//!   within one wave of work.
+//!   [checkpoints](CancelToken::checkpoint) **between** waves — and, on
+//!   the pool backend, between the quantum-bounded *tasks* of a wave:
+//!   an [`Executor::with_cancel`] executor stops claiming tasks once the
+//!   token fires and unwinds with [`Cancelled`] (catch it at a stage
+//!   boundary with [`catch_cancel`]), so cancellation latency is one
+//!   task quantum, not one unbounded wave.
 //!
 //! Design rule for all call sites: a parallel algorithm must produce the
 //! *same bytes* as its one-part sequential specialization. Partial
@@ -30,31 +35,41 @@
 #![warn(missing_docs)]
 
 pub mod cancel;
+pub mod pool;
 pub mod shared;
 
-pub use cancel::{CancelToken, Cancelled};
+pub use cancel::{catch_cancel, CancelToken, Cancelled};
+pub use pool::PoolStats;
 pub use shared::SharedSlice;
 
 use std::fmt;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Which backend an [`Executor`] runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ExecutorKind {
     /// Everything on the calling thread, one part per fan-out.
     Sequential,
-    /// Data-parallel over the rayon backend (structured scoped threads).
-    #[default]
+    /// Data-parallel over the rayon backend (structured scoped threads,
+    /// spawned per wave).
     Rayon,
+    /// Data-parallel over the process-wide work-stealing [`pool`]: waves
+    /// become batches of quantum-bounded tasks, so concurrent jobs share
+    /// one fixed worker set instead of oversubscribing the machine.
+    #[default]
+    Pool,
 }
 
 impl ExecutorKind {
-    /// Canonical lower-case name (`"sequential"` / `"rayon"`).
+    /// Canonical lower-case name (`"sequential"` / `"rayon"` / `"pool"`).
     pub fn name(self) -> &'static str {
         match self {
             ExecutorKind::Sequential => "sequential",
             ExecutorKind::Rayon => "rayon",
+            ExecutorKind::Pool => "pool",
         }
     }
 }
@@ -72,8 +87,9 @@ impl FromStr for ExecutorKind {
         match s.to_ascii_lowercase().as_str() {
             "sequential" | "seq" | "serial" => Ok(ExecutorKind::Sequential),
             "rayon" | "parallel" | "par" => Ok(ExecutorKind::Rayon),
+            "pool" => Ok(ExecutorKind::Pool),
             other => Err(format!(
-                "unknown executor {other:?} (expected sequential|rayon)"
+                "unknown executor {other:?} (expected sequential|rayon|pool)"
             )),
         }
     }
@@ -81,26 +97,39 @@ impl FromStr for ExecutorKind {
 
 /// Hard cap on worker threads. The rayon backend spawns one scoped OS
 /// thread per part, so an absurd `--threads` request must not translate
-/// into an absurd spawn count.
+/// into an absurd spawn count. (The pool backend never spawns past
+/// `available_parallelism()`; for it this only caps [`Executor::threads`]
+/// as a partition hint.)
 pub const MAX_THREADS: usize = 256;
 
-/// A configured executor: backend plus thread budget.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Upper bound on items per pool task: [`ExecutorKind::Pool`] waves over
+/// `n` items are split into at least `n / POOL_TASK_ITEMS` tasks, so a
+/// cancel request is observed within roughly this many items of work.
+pub const POOL_TASK_ITEMS: usize = 1024;
+
+/// Upper bound on bytes per pool task for byte-range waves
+/// ([`Executor::map_chunks`]); the byte-domain analogue of
+/// [`POOL_TASK_ITEMS`]. Boundary alignment may still produce a larger
+/// chunk when a single unsplittable line dominates the input.
+pub const POOL_TASK_BYTES: usize = 256 << 10;
+
+/// A configured executor: backend, thread budget, and an optional
+/// cancellation token observed mid-wave by the pool backend.
+#[derive(Debug, Clone, Default)]
 pub struct Executor {
     kind: ExecutorKind,
     threads: usize,
-}
-
-impl Default for Executor {
-    fn default() -> Self {
-        Executor::new(ExecutorKind::default(), 0)
-    }
+    cancel: Option<CancelToken>,
 }
 
 impl Executor {
     /// An executor of `kind` with a thread budget (`0` = all available).
     pub fn new(kind: ExecutorKind, threads: usize) -> Self {
-        Self { kind, threads }
+        Self {
+            kind,
+            threads,
+            cancel: None,
+        }
     }
 
     /// The sequential executor.
@@ -113,19 +142,50 @@ impl Executor {
         Self::new(ExecutorKind::Rayon, 0)
     }
 
+    /// The pool executor using the whole process-wide pool.
+    pub fn pool() -> Self {
+        Self::new(ExecutorKind::Pool, 0)
+    }
+
+    /// This executor with `cancel` observed between pool tasks: a pool
+    /// wave stops claiming tasks once the token fires and unwinds with
+    /// [`Cancelled`] (recover at a stage boundary via [`catch_cancel`]).
+    /// The sequential and rayon backends ignore the token mid-wave;
+    /// their cancellation latency stays one full wave.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// The cancellation token observed by pool waves, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
     /// The backend kind.
     pub fn kind(&self) -> ExecutorKind {
         self.kind
     }
 
     /// Effective number of worker threads (always in
-    /// `1..=`[`MAX_THREADS`]; `Sequential` is 1).
+    /// `1..=`[`MAX_THREADS`]; `Sequential` is 1). For the pool backend
+    /// this is the partition hint — `0` means the pool's worker count,
+    /// i.e. `available_parallelism()` — and reading it never starts the
+    /// pool.
     pub fn threads(&self) -> usize {
         match self.kind {
             ExecutorKind::Sequential => 1,
             ExecutorKind::Rayon => {
                 let requested = if self.threads == 0 {
                     rayon::current_num_threads()
+                } else {
+                    self.threads
+                };
+                requested.clamp(1, MAX_THREADS)
+            }
+            ExecutorKind::Pool => {
+                let requested = if self.threads == 0 {
+                    pool::default_workers()
                 } else {
                     self.threads
                 };
@@ -139,25 +199,19 @@ impl Executor {
     /// count; never returns an empty range (and returns no ranges for
     /// `n == 0`).
     pub fn part_ranges(&self, n: usize) -> Vec<Range<usize>> {
-        if n == 0 {
-            return Vec::new();
-        }
-        let parts = self.threads().min(n).max(1);
-        let base = n / parts;
-        let extra = n % parts;
-        let mut ranges = Vec::with_capacity(parts);
-        let mut start = 0;
-        for p in 0..parts {
-            let len = base + usize::from(p < extra);
-            ranges.push(start..start + len);
-            start += len;
-        }
-        ranges
+        balanced_ranges(n, self.threads())
+    }
+
+    /// How many quantum-bounded tasks a pool wave over `n` items splits
+    /// into: enough that no task exceeds [`POOL_TASK_ITEMS`] items,
+    /// never fewer than the thread hint, never more than `n`.
+    fn pool_task_count(&self, n: usize) -> usize {
+        n.div_ceil(POOL_TASK_ITEMS).max(self.threads()).min(n)
     }
 
     /// Runs `f` over each range, one scoped thread per range (or inline
     /// when there is at most one), returning results **in range order**.
-    /// The shared fan-out behind [`Executor::map_parts`] and
+    /// The rayon/sequential fan-out behind [`Executor::map_parts`] and
     /// [`Executor::map_chunks`].
     fn run_ranges<R, F>(ranges: Vec<Range<usize>>, f: F) -> Vec<R>
     where
@@ -181,17 +235,124 @@ impl Executor {
             .collect()
     }
 
+    /// The pool fan-out: the submitting thread runs a claim loop over
+    /// the wave itself (**help-first**, like rayon's `join`) while one
+    /// helper claim loop per pool worker is injected into the
+    /// process-wide pool. Claim loops pick ranges off an ascending
+    /// atomic cursor and write result slots indexed by range position,
+    /// so the output order — and therefore every downstream merge — is
+    /// independent of which thread ran what.
+    ///
+    /// Helping instead of parking matters twice over: a wave makes
+    /// progress immediately even when every pool worker is busy with
+    /// other jobs' waves, and a fleet of concurrent jobs degrades to
+    /// the OS timeslicing `slots` working threads (plus the fixed
+    /// worker set donating to whichever wave was submitted last) rather
+    /// than funnelling every job's quanta through the workers with a
+    /// park/wake per wave. Helpers that arrive after the cursor is
+    /// drained exit immediately.
+    ///
+    /// If a cancel token fires mid-wave, claim loops stop picking up
+    /// tasks and the wave unwinds by panicking with [`Cancelled`] —
+    /// never by returning a partial result vector.
+    fn run_tasks_pool<R, F>(&self, ranges: Vec<Range<usize>>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let n = ranges.len();
+        if n <= 1 {
+            return ranges.into_iter().map(f).collect();
+        }
+        let mut slots: Vec<Option<R>> = ranges.iter().map(|_| None).collect();
+        let slots_view = SharedSlice::new(&mut slots);
+        let cursor = AtomicUsize::new(0);
+        let aborted = AtomicBool::new(false);
+        let cancel = self.cancel.as_ref();
+        let workpool = pool::global();
+        let claim_loop = {
+            let (ranges, f, cursor, aborted, slots_view) =
+                (&ranges, &f, &cursor, &aborted, &slots_view);
+            move || {
+                let mut ran = 0u64;
+                loop {
+                    if aborted.load(Ordering::Relaxed) || cancel.is_some_and(|c| c.is_cancelled()) {
+                        aborted.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| f(ranges[i].clone()))) {
+                        Ok(value) => {
+                            // SAFETY: slot `i` was claimed by exactly
+                            // this claim loop via the cursor.
+                            unsafe { slots_view.write(i, Some(value)) };
+                            ran += 1;
+                        }
+                        Err(payload) => {
+                            // Stop sibling loops from burning work,
+                            // then let the scope rethrow.
+                            aborted.store(true, Ordering::Relaxed);
+                            pool::note_tasks(workpool, ran);
+                            resume_unwind(payload);
+                        }
+                    }
+                }
+                pool::note_tasks(workpool, ran);
+            }
+        };
+        // The submitter claims one range up front, so at most `n - 1`
+        // helpers can ever find work.
+        let helpers = workpool.workers().min(n - 1);
+        workpool.scope(|s| {
+            for _ in 0..helpers {
+                s.spawn(claim_loop);
+            }
+            claim_loop();
+        });
+        if slots.iter().any(Option::is_none) {
+            // Only a cancelled wave leaves gaps (a panicking wave
+            // rethrows out of the scope above before reaching here).
+            std::panic::panic_any(Cancelled);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("pool wave task did not run"))
+            .collect()
+    }
+
+    /// Dispatches a wave of index ranges to the backend.
+    fn run_wave<R, F>(&self, ranges: Vec<Range<usize>>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        match self.kind {
+            ExecutorKind::Pool => self.run_tasks_pool(ranges, f),
+            ExecutorKind::Sequential | ExecutorKind::Rayon => Self::run_ranges(ranges, f),
+        }
+    }
+
     /// Fans `f` out over the part ranges of `0..n`, returning one result
     /// per part **in part order**. The sequential backend runs a single
     /// part covering the whole range, so `map_parts` callers that merge
     /// partials by concatenation degrade to the plain sequential
-    /// algorithm.
+    /// algorithm. The pool backend splits into quantum-bounded tasks
+    /// (often more parts than threads — see [`POOL_TASK_ITEMS`]); merge
+    /// logic must stay part-count-independent, which the equivalence
+    /// suite enforces.
     pub fn map_parts<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(Range<usize>) -> R + Sync,
     {
-        Self::run_ranges(self.part_ranges(n), f)
+        let ranges = match self.kind {
+            ExecutorKind::Pool => balanced_ranges(n, self.pool_task_count(n.max(1))),
+            _ => self.part_ranges(n),
+        };
+        self.run_wave(ranges, f)
     }
 
     /// Maps `f` over `0..n`, returning results in index order.
@@ -238,26 +399,7 @@ impl Executor {
     where
         B: Fn(usize) -> usize,
     {
-        let mut ranges = Vec::new();
-        let mut start = 0usize;
-        for r in self.part_ranges(len) {
-            if r.end >= len {
-                if start < len {
-                    ranges.push(start..len);
-                }
-                break;
-            }
-            let end = align(r.end).min(len);
-            debug_assert!(end >= r.end, "align must not move a boundary backwards");
-            if end > start {
-                ranges.push(start..end);
-                start = end;
-            }
-            if start >= len {
-                break;
-            }
-        }
-        ranges
+        chunk_ranges_for(len, self.threads(), align)
     }
 
     /// Fans `f` out over boundary-aligned chunks of `0..len` (see
@@ -265,26 +407,83 @@ impl Executor {
     /// chunk order**. This is the byte-range fan-out primitive behind the
     /// streaming parsers: `align` keeps every chunk line-complete, each
     /// worker parses its chunk into a partial, and the caller merges the
-    /// partials in chunk order.
+    /// partials in chunk order. The pool backend bounds chunks to
+    /// roughly [`POOL_TASK_BYTES`] each.
     pub fn map_chunks<R, B, F>(&self, len: usize, align: B, f: F) -> Vec<R>
     where
         R: Send,
         B: Fn(usize) -> usize,
         F: Fn(Range<usize>) -> R + Sync,
     {
-        Self::run_ranges(self.chunk_ranges(len, align), f)
+        let ranges = match self.kind {
+            ExecutorKind::Pool => {
+                let parts = len.div_ceil(POOL_TASK_BYTES).max(self.threads()).min(len);
+                chunk_ranges_for(len, parts, align)
+            }
+            _ => self.chunk_ranges(len, align),
+        };
+        self.run_wave(ranges, f)
     }
+}
+
+/// Splits `0..n` into at most `parts` contiguous, balanced, ascending
+/// non-empty ranges (no ranges for `n == 0`).
+fn balanced_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(n).max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Splits `0..len` into at most `parts` boundary-aligned non-empty
+/// ranges; the partition behind [`Executor::chunk_ranges`].
+fn chunk_ranges_for<B>(len: usize, parts: usize, align: B) -> Vec<Range<usize>>
+where
+    B: Fn(usize) -> usize,
+{
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    for r in balanced_ranges(len, parts) {
+        if r.end >= len {
+            if start < len {
+                ranges.push(start..len);
+            }
+            break;
+        }
+        let end = align(r.end).min(len);
+        debug_assert!(end >= r.end, "align must not move a boundary backwards");
+        if end > start {
+            ranges.push(start..end);
+            start = end;
+        }
+        if start >= len {
+            break;
+        }
+    }
+    ranges
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn both() -> [Executor; 3] {
+    fn both() -> [Executor; 5] {
         [
             Executor::sequential(),
             Executor::new(ExecutorKind::Rayon, 3),
             Executor::new(ExecutorKind::Rayon, 16),
+            Executor::new(ExecutorKind::Pool, 3),
+            Executor::new(ExecutorKind::Pool, 16),
         ]
     }
 
@@ -293,23 +492,36 @@ mod tests {
         assert_eq!("seq".parse::<ExecutorKind>(), Ok(ExecutorKind::Sequential));
         assert_eq!("RAYON".parse::<ExecutorKind>(), Ok(ExecutorKind::Rayon));
         assert_eq!("par".parse::<ExecutorKind>(), Ok(ExecutorKind::Rayon));
+        assert_eq!("pool".parse::<ExecutorKind>(), Ok(ExecutorKind::Pool));
+        assert_eq!("Pool".parse::<ExecutorKind>(), Ok(ExecutorKind::Pool));
         assert!("gpu".parse::<ExecutorKind>().is_err());
         assert_eq!(ExecutorKind::Sequential.to_string(), "sequential");
+        assert_eq!(ExecutorKind::Pool.to_string(), "pool");
+    }
+
+    #[test]
+    fn pool_is_the_default_backend() {
+        assert_eq!(ExecutorKind::default(), ExecutorKind::Pool);
+        assert_eq!(Executor::default().kind(), ExecutorKind::Pool);
     }
 
     #[test]
     fn threads_are_effective() {
         assert_eq!(Executor::sequential().threads(), 1);
         assert_eq!(Executor::new(ExecutorKind::Rayon, 5).threads(), 5);
+        assert_eq!(Executor::new(ExecutorKind::Pool, 5).threads(), 5);
         assert!(Executor::rayon().threads() >= 1);
+        assert!(Executor::pool().threads() >= 1);
     }
 
     #[test]
     fn absurd_thread_requests_are_clamped() {
-        let exec = Executor::new(ExecutorKind::Rayon, 1_000_000);
-        assert_eq!(exec.threads(), MAX_THREADS);
-        // And the fan-out still works at the cap.
-        assert_eq!(exec.map_range(10, |i| i).len(), 10);
+        for kind in [ExecutorKind::Rayon, ExecutorKind::Pool] {
+            let exec = Executor::new(kind, 1_000_000);
+            assert_eq!(exec.threads(), MAX_THREADS);
+            // And the fan-out still works at the cap.
+            assert_eq!(exec.map_range(10, |i| i).len(), 10);
+        }
     }
 
     #[test]
@@ -337,6 +549,16 @@ mod tests {
     }
 
     #[test]
+    fn map_range_is_ordered_across_many_pool_quanta() {
+        // Enough items that the pool wave splits into many more tasks
+        // than workers; order must still be exact.
+        let n = POOL_TASK_ITEMS * 7 + 13;
+        let expected: Vec<usize> = (0..n).map(|i| i ^ 0xA5).collect();
+        let exec = Executor::pool();
+        assert_eq!(exec.map_range(n, |i| i ^ 0xA5), expected);
+    }
+
+    #[test]
     fn map_parts_merges_in_part_order() {
         for exec in both() {
             let parts = exec.map_parts(50, |r| r.collect::<Vec<usize>>());
@@ -359,6 +581,51 @@ mod tests {
             assert!(exec.map_range(0, |_| 0u8).is_empty());
             assert!(exec.map_chunks(0, |p| p, |_| 0u8).is_empty());
         }
+    }
+
+    #[test]
+    fn cancelled_pool_wave_unwinds_with_cancelled() {
+        let token = CancelToken::new();
+        let exec = Executor::new(ExecutorKind::Pool, 2).with_cancel(token.clone());
+        let n = POOL_TASK_ITEMS * 64;
+        let cancel_at = AtomicUsize::new(0);
+        let result = catch_cancel(|| {
+            exec.map_range(n, |i| {
+                // Fire the token from inside the wave once it is
+                // clearly mid-flight.
+                if cancel_at.fetch_add(1, Ordering::Relaxed) == POOL_TASK_ITEMS {
+                    token.cancel();
+                }
+                i as u64
+            });
+            Ok(())
+        });
+        assert_eq!(result, Err(Cancelled));
+    }
+
+    #[test]
+    fn uncancelled_token_does_not_disturb_results() {
+        let token = CancelToken::new();
+        let exec = Executor::pool().with_cancel(token);
+        let expected: Vec<usize> = (0..5000).map(|i| i * 2).collect();
+        assert_eq!(exec.map_range(5000, |i| i * 2), expected);
+    }
+
+    #[test]
+    fn pool_wave_panics_propagate() {
+        let exec = Executor::new(ExecutorKind::Pool, 4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            exec.map_range(10_000, |i| {
+                if i == 4321 {
+                    panic!("wave boom");
+                }
+                i
+            })
+        }));
+        let payload = result.expect_err("panic must cross the wave");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"wave boom"));
+        // The executor (and pool) remain usable afterwards.
+        assert_eq!(exec.map_range(3, |i| i), vec![0, 1, 2]);
     }
 
     /// Boundary alignment for line-oriented bytes: cut just after the

@@ -536,9 +536,10 @@ pub fn to_tsv(kb: &KnowledgeBase) -> String {
 /// input is never resident and every worker sees whole lines only.
 ///
 /// `cancel` is observed at a checkpoint before every read and before
-/// every chunk wave — a wave already dispatched always completes (its
-/// partials are simply dropped), so cancellation costs at most one
-/// block of work and never produces a partially-merged KB.
+/// every chunk wave — and, on the pool backend, between the
+/// quantum-bounded tasks *inside* a wave — so cancellation lands within
+/// one task quantum of work and never produces a partially-merged KB
+/// (an aborted wave's partials are simply dropped).
 fn stream_parse<R, F>(
     name: &str,
     mut reader: R,
@@ -551,6 +552,10 @@ where
     R: Read,
     F: Fn(&str, &mut KbChunk) -> Result<usize, ParseError> + Sync,
 {
+    // Pool waves observe the token between task quanta and abort by
+    // unwinding with `Cancelled`; `run_block` folds that unwind back
+    // into `StreamError::Cancelled` at the wave boundary.
+    let exec = &exec.clone().with_cancel(cancel.clone());
     let chunk_bytes = opts.chunk_bytes.max(1);
     let batch_bytes = chunk_bytes.saturating_mul(exec.threads().max(1));
     let mut builder = KbBuilder::new(name);
@@ -573,16 +578,37 @@ where
             if let Some(pos) = pending.iter().rposition(|&b| b == b'\n') {
                 let tail = pending.split_off(pos + 1);
                 let block = std::mem::replace(&mut pending, tail);
-                lines_done += parse_block(&block, &mut builder, exec, lines_done, &parse_into)?;
+                lines_done += run_block(&block, &mut builder, exec, lines_done, &parse_into)?;
             }
         }
     }
     if !pending.is_empty() {
         cancel.checkpoint().map_err(|_| StreamError::Cancelled)?;
         let block = std::mem::take(&mut pending);
-        parse_block(&block, &mut builder, exec, lines_done, &parse_into)?;
+        run_block(&block, &mut builder, exec, lines_done, &parse_into)?;
     }
     Ok(builder.finish())
+}
+
+/// [`parse_block`] with a mid-wave cancellation net: a pool wave aborted
+/// by the executor's cancel token unwinds with
+/// [`Cancelled`](minoan_exec::Cancelled), which this folds into
+/// [`StreamError::Cancelled`].
+fn run_block<F>(
+    block: &[u8],
+    builder: &mut KbBuilder,
+    exec: &Executor,
+    line_offset: usize,
+    parse_into: &F,
+) -> Result<usize, StreamError>
+where
+    F: Fn(&str, &mut KbChunk) -> Result<usize, ParseError> + Sync,
+{
+    let parsed = minoan_exec::catch_cancel(|| {
+        Ok(parse_block(block, builder, exec, line_offset, parse_into))
+    })
+    .map_err(|_| StreamError::Cancelled)?;
+    Ok(parsed?)
 }
 
 /// Parses one line-complete block: fans line-aligned sub-chunks out over

@@ -677,7 +677,9 @@ fn reason_phrase(status: u16) -> &'static str {
 /// Prometheus text-format metrics (`text/plain; version=0.0.4`): queue
 /// depth and running/done counts, admitted footprint vs. memory budget,
 /// thread allotments, cumulative per-stage pipeline timings, admission
-/// estimate vs. measured RSS-delta totals, and the process peak RSS.
+/// estimate vs. measured RSS-delta totals, the process peak RSS, and —
+/// once the work-stealing pool is live — pool worker/steal/queue-depth
+/// counters including per-worker task counts.
 pub fn prometheus_metrics(queue: &JobQueue) -> String {
     use std::fmt::Write as _;
     let stats = queue.stats();
@@ -783,6 +785,57 @@ pub fn prometheus_metrics(queue: &JobQueue) -> String {
             "Process peak resident set size (VmHWM).",
             rss as f64,
         );
+    }
+    // Work-stealing pool telemetry, present once the first pool-backed
+    // wave has started the process-wide pool (the snapshot never starts
+    // it, so an all-rayon/sequential process simply omits the family).
+    if let Some(pool) = &stats.pool {
+        metric(
+            &mut out,
+            "gauge",
+            "minoan_pool_workers",
+            "Worker threads of the process-wide work-stealing pool.",
+            pool.workers as f64,
+        );
+        metric(
+            &mut out,
+            "gauge",
+            "minoan_pool_queued_tasks",
+            "Tasks sitting in pool worker deques right now.",
+            pool.queued as f64,
+        );
+        metric(
+            &mut out,
+            "counter",
+            "minoan_pool_steals_total",
+            "Tasks taken from another worker's deque.",
+            pool.steals as f64,
+        );
+        metric(
+            &mut out,
+            "counter",
+            "minoan_pool_injected_total",
+            "Jobs injected into the pool over its lifetime.",
+            pool.injected as f64,
+        );
+        metric(
+            &mut out,
+            "counter",
+            "minoan_pool_tasks_total",
+            "Quantum-bounded wave tasks executed across all workers.",
+            pool.tasks_total() as f64,
+        );
+        let _ = write!(
+            out,
+            "# HELP minoan_pool_worker_tasks_total Wave tasks executed, per pool worker.\n\
+             # TYPE minoan_pool_worker_tasks_total counter\n"
+        );
+        for (worker, tasks) in pool.worker_tasks.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "minoan_pool_worker_tasks_total{{worker=\"{worker}\"}} {tasks}"
+            );
+        }
     }
     out
 }

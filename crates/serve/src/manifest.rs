@@ -160,6 +160,18 @@ impl JobSpec {
             }
         }
     }
+
+    /// The calibration bucket this job's footprint estimate belongs to:
+    /// jobs of one profile share an estimate formula, so they share a
+    /// measured estimate-accuracy ratio too (see the scheduler's
+    /// self-calibrating admission). Synthetic jobs bucket by dataset
+    /// profile, file jobs all share the `"file"` bucket.
+    pub fn profile_key(&self) -> &'static str {
+        match &self.input {
+            JobInput::Synthetic { kind, .. } => kind.name(),
+            JobInput::Files { .. } => "file",
+        }
+    }
 }
 
 /// A parsed batch manifest.

@@ -10,15 +10,27 @@
 //! open and feeds it jobs as they arrive over the socket. Either way
 //! the rules are identical:
 //!
-//! - **Pairs first.** Up to `slots` jobs run concurrently, each on its
-//!   own executor. The total thread budget is divided with real
-//!   accounting: a claim takes `max(1, free / fill)` workers, where
-//!   `free` is the budget minus the allotments of running jobs and
-//!   `fill` the fleet slots left to take jobs — so allotments sum to
-//!   the budget while the fleet is full, and as the queue drains the
-//!   stragglers automatically widen to intra-pair parallelism (the last
-//!   job alone gets every free thread). The one-thread floor means
-//!   `slots > threads` oversubscribes by design.
+//! - **Pairs first.** Up to `min(slots, available_parallelism())`
+//!   jobs run concurrently — the queue's **execution width** — each on
+//!   its own executor; slots beyond the core count buy queue residency
+//!   (admission accounting, a worker ready to claim, FIFO position)
+//!   rather than one more CPU-bound pipeline evicting everyone else's
+//!   working set on every timeslice. The total thread budget is
+//!   divided with real accounting: a claim takes `max(1, free / fill)`
+//!   workers, where `free` is the budget minus the allotments of
+//!   running jobs and `fill` the width left to take jobs — so
+//!   allotments sum to the budget while the fleet is full, and as the
+//!   queue drains the stragglers automatically widen to intra-pair
+//!   parallelism (the last job alone gets every free thread). On the
+//!   default pool backend the allotment is a *partition hint*: wave
+//!   work runs through the process-wide work-stealing pool sized to
+//!   the core count (the submitter helping with its own wave), and
+//!   idle capacity flows to whichever job has tasks pending. (On the
+//!   rayon backend the allotment still spawns real scoped threads.)
+//!   Manifest-derived `slots`/`threads` clamp to
+//!   `available_parallelism()`; explicit CLI overrides are honored as
+//!   written — they widen the queue, while the execution width keeps
+//!   dispatch at what the machine can actually run.
 //! - **Bounded-memory admission.** Jobs are admitted strictly in
 //!   submission order. Before anything is loaded, a job's footprint is
 //!   estimated ([`JobSpec::estimated_bytes`]) and the job waits until
@@ -32,7 +44,8 @@
 //!   under the queue lock — the job either never dispatches, or it was
 //!   already claimed and the token makes the running pipeline unwind at
 //!   its next checkpoint (see [`MinoanEr::run_cancellable`]) to a
-//!   `Cancelled` report within one executor wave of work. A job is
+//!   `Cancelled` report — within one quantum-bounded pool task on the
+//!   default backend, within one executor wave otherwise. A job is
 //!   never observable as both running and cancelled: phase transitions
 //!   (`Queued → Running → Done`, or `Queued → Done` for a pre-dispatch
 //!   cancel) happen under one lock and anything else panics. The
@@ -44,7 +57,7 @@
 //!   each job's inputs are private to it. The fleet report lists jobs
 //!   in submission order regardless of completion order.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -52,7 +65,7 @@ use std::time::{Duration, Instant};
 use minoan_core::{MinoanConfig, MinoanEr, Timings};
 use minoan_datagen::Dataset;
 use minoan_eval::MatchQuality;
-use minoan_exec::{Executor, ExecutorKind, MAX_THREADS};
+use minoan_exec::{Executor, ExecutorKind, PoolStats, MAX_THREADS};
 use minoan_kb::{parse, GroundTruth, Json, KbPair, Matching};
 
 use crate::manifest::{JobInput, JobSpec, Manifest};
@@ -85,7 +98,7 @@ impl Default for ServeOptions {
             slots: None,
             threads: None,
             memory_budget_mib: None,
-            executor: ExecutorKind::Rayon,
+            executor: ExecutorKind::Pool,
             base: MinoanConfig::default(),
         }
     }
@@ -186,6 +199,11 @@ pub struct QueueStats {
     /// Sum of measured peak-RSS deltas of finished jobs (see
     /// [`JobReport::peak_rss_delta_bytes`] for what a delta attributes).
     pub rss_delta_bytes_total: u64,
+    /// Work-stealing pool telemetry (worker count, queued-task depth,
+    /// steal and per-worker task counters). `None` until the first
+    /// pool-backed wave starts the process-wide pool — taking a
+    /// snapshot never starts it.
+    pub pool: Option<PoolStats>,
 }
 
 impl QueueStats {
@@ -196,8 +214,24 @@ impl QueueStats {
 
     /// The telemetry as a flat JSON object — the `telemetry` member of
     /// the line-JSON `status` response (durations in milliseconds).
+    /// The `pool` member is the work-stealing pool's counters, or
+    /// `null` while the pool has not started.
     pub fn to_json(&self) -> Json {
         let ms = |d: Duration| Json::Num(d.as_secs_f64() * 1e3);
+        let pool = match &self.pool {
+            None => Json::Null,
+            Some(p) => Json::obj([
+                ("workers", Json::num(p.workers as f64)),
+                ("queued_tasks", Json::num(p.queued as f64)),
+                ("steals", Json::num(p.steals as f64)),
+                ("injected", Json::num(p.injected as f64)),
+                ("tasks_total", Json::num(p.tasks_total() as f64)),
+                (
+                    "worker_tasks",
+                    Json::arr(p.worker_tasks.iter().map(|&t| Json::num(t as f64))),
+                ),
+            ]),
+        };
         Json::obj([
             ("queued", Json::num(self.queued as f64)),
             ("running", Json::num(self.running as f64)),
@@ -232,6 +266,7 @@ impl QueueStats {
                 ]),
             ),
             ("wall_ms_total", ms(self.wall_total)),
+            ("pool", pool),
         ])
     }
 }
@@ -254,7 +289,13 @@ pub struct JobSnapshot {
 /// One queue entry and its lifecycle state.
 struct JobEntry {
     spec: JobSpec,
+    /// The calibrated footprint estimate charged against the admission
+    /// budget (raw × the profile's learned accuracy factor).
     estimate: u64,
+    /// The uncalibrated [`JobSpec::estimated_bytes`] — the denominator
+    /// calibration observations are measured against, so learned
+    /// factors never compound on themselves.
+    raw_estimate: u64,
     cancel: CancelToken,
     phase: Phase,
 }
@@ -355,15 +396,37 @@ pub struct JobQueue {
     /// Wakes [`JobQueue::wait`]ers on any completion.
     done: Condvar,
     slots: usize,
+    /// Execution width: at most this many jobs are *dispatched* at
+    /// once — `min(slots, available_parallelism())`. Slots beyond the
+    /// core count still buy queue residency (admission accounting,
+    /// worker threads ready to claim, FIFO position) but never put more
+    /// CPU-bound pipelines on the machine than it has cores: on a small
+    /// box, excess concurrency only evicts each job's working set on
+    /// every timeslice without adding parallelism.
+    width: usize,
     threads: usize,
     budget_bytes: u64,
+    /// Self-calibrating admission: per-profile running ratio of measured
+    /// `peak_rss_delta_bytes` to the raw footprint estimate, learned
+    /// from finished jobs (EWMA) and applied — clamped — to future
+    /// submissions of the same profile. Separate from the queue lock:
+    /// calibration reads/writes never contend with dispatch.
+    calibration: Mutex<HashMap<&'static str, f64>>,
 }
+
+/// EWMA weight of the newest estimate-accuracy observation.
+const CALIBRATION_ALPHA: f64 = 0.5;
+/// Clamp on the applied calibration factor, so one wild measurement
+/// (or an RSS high-water plateau) cannot collapse or explode admission.
+const CALIBRATION_FACTOR_RANGE: (f64, f64) = (0.25, 8.0);
 
 impl JobQueue {
     /// A queue with **resolved** knobs: `slots` workers, a total budget
     /// of `threads` worker threads, `budget_bytes` admission budget
-    /// (`0` = unlimited).
+    /// (`0` = unlimited). Execution width is additionally capped at
+    /// `available_parallelism()` — see [`JobQueue::width`].
     pub fn new(slots: usize, threads: usize, budget_bytes: u64) -> JobQueue {
+        let slots = slots.max(1);
         JobQueue {
             inner: Mutex::new(QueueInner {
                 entries: Vec::new(),
@@ -376,15 +439,27 @@ impl JobQueue {
             }),
             admit: Condvar::new(),
             done: Condvar::new(),
-            slots: slots.max(1),
+            slots,
+            width: slots.min(
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1),
+            ),
             threads: threads.max(1),
             budget_bytes,
+            calibration: Mutex::new(HashMap::new()),
         }
     }
 
     /// Fleet slots (concurrent jobs) this queue schedules for.
     pub fn slots(&self) -> usize {
         self.slots
+    }
+
+    /// Execution width: the most jobs this queue will ever dispatch
+    /// concurrently, `min(slots, available_parallelism())`.
+    pub fn width(&self) -> usize {
+        self.width
     }
 
     /// Total worker-thread budget.
@@ -397,11 +472,50 @@ impl JobQueue {
         self.budget_bytes
     }
 
+    /// The learned estimate-accuracy ratio for a calibration bucket
+    /// (see [`JobSpec::profile_key`]), or `None` before any job of that
+    /// profile finished with a usable measurement.
+    pub fn calibration_ratio(&self, profile: &str) -> Option<f64> {
+        self.calibration
+            .lock()
+            .expect("calibration lock")
+            .get(profile)
+            .copied()
+    }
+
+    /// Applies the profile's learned ratio (clamped to
+    /// [`CALIBRATION_FACTOR_RANGE`]) to a raw footprint estimate. An
+    /// unseen profile charges the raw estimate unchanged.
+    fn calibrated_estimate(&self, spec: &JobSpec, raw: u64) -> u64 {
+        let Some(ratio) = self.calibration_ratio(spec.profile_key()) else {
+            return raw;
+        };
+        let (lo, hi) = CALIBRATION_FACTOR_RANGE;
+        (raw as f64 * ratio.clamp(lo, hi)).round() as u64
+    }
+
+    /// Feeds one finished job's measured `peak_rss_delta_bytes` back
+    /// into the profile's running ratio. Skipped when either side of
+    /// the ratio is zero: a zero raw estimate carries no signal, and a
+    /// zero delta usually means the process high-water mark was already
+    /// above this job's footprint (VmHWM never decreases), not that the
+    /// job was free.
+    fn observe_calibration(&self, profile: &'static str, raw: u64, delta: u64) {
+        if raw == 0 || delta == 0 {
+            return;
+        }
+        let observed = delta as f64 / raw as f64;
+        let mut map = self.calibration.lock().expect("calibration lock");
+        let ratio = map.entry(profile).or_insert(observed);
+        *ratio = (1.0 - CALIBRATION_ALPHA) * *ratio + CALIBRATION_ALPHA * observed;
+    }
+
     /// Submits a job, returning its id (= submission index). Fails once
     /// the queue is [closed](JobQueue::close). The footprint estimate is
     /// taken now, before any input is loaded.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, String> {
-        let estimate = spec.estimated_bytes();
+        let raw_estimate = spec.estimated_bytes();
+        let estimate = self.calibrated_estimate(&spec, raw_estimate);
         let mut guard = self.lock();
         if guard.closed {
             return Err("queue is closed to new submissions".into());
@@ -410,6 +524,7 @@ impl JobQueue {
         guard.entries.push(JobEntry {
             spec,
             estimate,
+            raw_estimate,
             cancel: CancelToken::new(),
             phase: Phase::Queued,
         });
@@ -542,6 +657,7 @@ impl JobQueue {
             threads_budget: self.threads,
             slots: self.slots,
             peak_running: guard.peak_active,
+            pool: minoan_exec::pool::try_stats(),
             ..QueueStats::default()
         };
         for entry in &guard.entries {
@@ -587,12 +703,33 @@ impl JobQueue {
                 Claim::Exit => return,
                 Claim::Flipped { report } => on_done(&report),
                 Claim::Run { id, allot } => {
-                    let (spec, estimate, job_cancel) = {
+                    let (spec, estimate, raw_estimate, job_cancel) = {
                         let guard = self.lock();
                         let e = &guard.entries[id];
-                        (e.spec.clone(), e.estimate, e.cancel.clone())
+                        (e.spec.clone(), e.estimate, e.raw_estimate, e.cancel.clone())
                     };
                     let report = run_job(&spec, opts, allot, estimate, &job_cancel);
+                    // Self-calibrating admission: successful jobs teach
+                    // the profile's estimate-accuracy ratio, and a
+                    // charged estimate off by more than 2× either way is
+                    // worth an operator-visible warning.
+                    if report.status.is_ok() {
+                        if let Some(delta) = report.peak_rss_delta_bytes {
+                            self.observe_calibration(spec.profile_key(), raw_estimate, delta);
+                        }
+                        if let Some(ratio) = report.rss_estimate_ratio() {
+                            if !(0.5..=2.0).contains(&ratio) {
+                                eprintln!(
+                                    "warning: job {:?}: admission estimate off by {ratio:.2}x \
+                                     (charged {estimate} bytes, measured {} bytes); future \
+                                     {:?} submissions will use the recalibrated ratio",
+                                    spec.name,
+                                    report.peak_rss_delta_bytes.unwrap_or(0),
+                                    spec.profile_key(),
+                                );
+                            }
+                        }
+                    }
                     let mut guard = self.lock();
                     guard.active -= 1;
                     guard.in_flight_bytes -= estimate;
@@ -632,17 +769,23 @@ impl JobQueue {
                 };
             }
             let est = guard.entries[id].estimate;
+            // Never dispatch beyond the execution width: a slot past
+            // the core count waits here instead of thrashing the
+            // machine with one more CPU-bound pipeline.
+            if guard.active >= self.width {
+                guard = self.admit.wait(guard).expect("queue lock");
+                continue;
+            }
             let fits = self.budget_bytes == 0
                 || guard.active == 0
                 || guard.in_flight_bytes.saturating_add(est) <= self.budget_bytes;
             if fits {
                 // Straggler widening with real accounting: divide the
                 // threads not already allotted to running jobs across
-                // the fleet slots left to fill (this claim included),
-                // so allotments sum to the thread budget while the
-                // fleet is full and the last jobs widen as the queue
-                // drains.
-                let fill = (self.slots - guard.active).min(guard.pending.len()).max(1);
+                // the width left to fill (this claim included), so
+                // allotments sum to the thread budget while the fleet
+                // is full and the last jobs widen as the queue drains.
+                let fill = (self.width - guard.active).min(guard.pending.len()).max(1);
                 let free = self.threads.saturating_sub(guard.threads_in_use);
                 let allot = (free / fill).max(1);
                 guard.pending.pop_front();
@@ -687,6 +830,13 @@ impl JobQueue {
 /// `(slots, threads, budget_bytes)` values. `job_count` caps the slot
 /// count in batch mode; pass `usize::MAX` for a daemon, which has no
 /// job count up front.
+///
+/// Admission learns the core count: manifest-derived `slots` and
+/// `threads` clamp to `available_parallelism()` — a manifest written on
+/// a 16-core box must not dispatch 16-wide on a 2-core one. An
+/// **explicit** option (CLI `--slots`/`--threads`) is an operator
+/// decision and is honored as written (`0` still meaning "all
+/// available cores").
 pub(crate) fn resolve_fleet_knobs(
     opts: &ServeOptions,
     manifest_slots: usize,
@@ -698,10 +848,18 @@ pub(crate) fn resolve_fleet_knobs(
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     let or_available = |v: usize| if v == 0 { available } else { v };
-    let slots = or_available(opts.slots.unwrap_or(manifest_slots))
-        .min(job_count.max(1))
-        .min(MAX_THREADS);
-    let threads = or_available(opts.threads.unwrap_or(manifest_threads)).min(MAX_THREADS);
+    let clamp_manifest = |v: usize| if v == 0 { available } else { v.min(available) };
+    let slots = match opts.slots {
+        Some(explicit) => or_available(explicit),
+        None => clamp_manifest(manifest_slots),
+    }
+    .min(job_count.max(1))
+    .min(MAX_THREADS);
+    let threads = match opts.threads {
+        Some(explicit) => or_available(explicit),
+        None => clamp_manifest(manifest_threads),
+    }
+    .min(MAX_THREADS);
     // Budget zero means unlimited (not "all available").
     let budget_mib = opts.memory_budget_mib.unwrap_or(manifest_budget_mib);
     (slots, threads, budget_mib as u64 * (1 << 20))
@@ -773,9 +931,16 @@ fn run_job(
 ) -> JobReport {
     let t0 = Instant::now();
     let rss_before = peak_rss_bytes();
-    let exec = Executor::new(opts.executor, threads);
+    // The token rides on the executor so pool-backed waves can abort
+    // between task quanta, not just between waves.
+    let exec = Executor::new(opts.executor, threads).with_cancel(cancel.clone());
     let outcome = catch_unwind(AssertUnwindSafe(|| execute(spec, opts, &exec, cancel)))
         .unwrap_or_else(|panic| {
+            // A cancelled pool wave that escaped a stage's catch_cancel
+            // net is still a cancellation, not a failure.
+            if panic.downcast_ref::<Cancelled>().is_some() {
+                return Err(JobEnd::Cancelled);
+            }
             let msg = panic
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
@@ -1121,15 +1286,81 @@ mod tests {
     #[test]
     fn straggler_gets_the_whole_budget() {
         // One job, many slots: the single job is the straggler and must
-        // receive every thread in the budget.
+        // receive every thread in the budget. The budget is an explicit
+        // option (manifest-derived values clamp to the core count and
+        // would not survive a 1-core CI box).
         let manifest = Manifest {
             slots: 4,
             threads: 6,
             memory_budget_mib: 0,
             jobs: vec![synthetic_job("only", DatasetKind::Restaurant, 0.05)],
         };
-        let report = run_batch(&manifest, &ServeOptions::default());
+        let opts = ServeOptions {
+            threads: Some(6),
+            ..ServeOptions::default()
+        };
+        let report = run_batch(&manifest, &opts);
         assert_eq!(report.jobs[0].threads, 6);
+    }
+
+    #[test]
+    fn manifest_knobs_clamp_to_available_cores_but_explicit_ones_do_not() {
+        let available = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let opts = ServeOptions::default();
+        // Manifest values far above the core count clamp down…
+        let (slots, threads, _) = resolve_fleet_knobs(&opts, 4096, 4096, 0, usize::MAX);
+        assert_eq!(slots, available.min(MAX_THREADS));
+        assert_eq!(threads, available.min(MAX_THREADS));
+        // …manifest zero means "all available"…
+        let (slots, threads, _) = resolve_fleet_knobs(&opts, 0, 0, 0, usize::MAX);
+        assert_eq!(slots, available.min(MAX_THREADS));
+        assert_eq!(threads, available.min(MAX_THREADS));
+        // …and an explicit override is an operator decision, honored
+        // beyond the core count (the MAX_THREADS guard still applies).
+        let explicit = ServeOptions {
+            slots: Some(available + 3),
+            threads: Some(available + 5),
+            ..ServeOptions::default()
+        };
+        let (slots, threads, _) = resolve_fleet_knobs(&explicit, 1, 1, 0, usize::MAX);
+        assert_eq!(slots, (available + 3).min(MAX_THREADS));
+        assert_eq!(threads, (available + 5).min(MAX_THREADS));
+    }
+
+    #[test]
+    fn execution_width_caps_dispatch_at_the_core_count() {
+        let available = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        // The queue honors explicit slots as residency…
+        let queue = JobQueue::new(available + 7, 2, 0);
+        assert_eq!(queue.slots(), available + 7);
+        // …but never dispatches more jobs than cores.
+        assert_eq!(queue.width(), available);
+
+        let manifest = Manifest {
+            slots: 0,
+            threads: 0,
+            memory_budget_mib: 0,
+            jobs: (0..available + 9)
+                .map(|i| synthetic_job(&format!("j{i}"), DatasetKind::Restaurant, 0.03))
+                .collect(),
+        };
+        let opts = ServeOptions {
+            slots: Some(available + 7),
+            ..ServeOptions::default()
+        };
+        let report = run_batch(&manifest, &opts);
+        assert_eq!(report.slots, available + 7, "explicit slots are reported");
+        assert!(
+            report.peak_concurrent_jobs <= available,
+            "peak concurrency {} exceeded the execution width {}",
+            report.peak_concurrent_jobs,
+            available
+        );
+        assert_eq!(report.ok_count(), available + 9);
     }
 
     #[test]
@@ -1180,6 +1411,63 @@ mod tests {
         let snap = &queue.snapshot()[0];
         assert_eq!(snap.phase, JobPhase::Done);
         assert_eq!(snap.status, Some(JobStatus::Cancelled));
+    }
+
+    #[test]
+    fn admission_estimates_self_calibrate_per_profile() {
+        let queue = JobQueue::new(1, 1, 0);
+        let spec = synthetic_job("cal", DatasetKind::Restaurant, 0.05);
+        let profile = spec.profile_key();
+        let raw = spec.estimated_bytes();
+        assert!(raw > 0);
+        // Before any observation, the raw estimate is charged as-is.
+        assert_eq!(queue.calibration_ratio(profile), None);
+        assert_eq!(queue.calibrated_estimate(&spec, raw), raw);
+        // First observation seeds the ratio outright (measured 3× the
+        // estimate), and submissions start charging it.
+        queue.observe_calibration(profile, raw, raw * 3);
+        assert_eq!(queue.calibration_ratio(profile), Some(3.0));
+        assert_eq!(queue.calibrated_estimate(&spec, raw), raw * 3);
+        // Further observations blend in with EWMA weight 1/2.
+        queue.observe_calibration(profile, raw, raw);
+        assert_eq!(queue.calibration_ratio(profile), Some(2.0));
+        // A wild measurement moves the ratio but the *applied* factor
+        // stays clamped.
+        queue.observe_calibration(profile, raw, raw * 1000);
+        assert_eq!(queue.calibrated_estimate(&spec, raw), raw * 8);
+        // Zero on either side of the ratio carries no signal.
+        queue.observe_calibration("untouched", 0, 50);
+        queue.observe_calibration("untouched", 50, 0);
+        assert_eq!(queue.calibration_ratio("untouched"), None);
+    }
+
+    #[test]
+    fn calibration_feeds_back_into_later_submissions() {
+        // Run one synthetic job to completion; if it produced a usable
+        // RSS measurement, a second submission of the same profile must
+        // charge the recalibrated estimate.
+        let queue = JobQueue::new(1, 1, 0);
+        let spec = synthetic_job("first", DatasetKind::Restaurant, 0.05);
+        let raw = spec.estimated_bytes();
+        let id = queue.submit(spec.clone()).unwrap();
+        let opts = ServeOptions::default();
+        let fleet = CancelToken::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| queue.worker(&opts, &fleet, &|_| {}));
+            let report = queue.wait(id).expect("known id");
+            assert_eq!(report.status, JobStatus::Ok);
+            queue.close();
+        });
+        match queue.calibration_ratio(spec.profile_key()) {
+            Some(ratio) => {
+                let (lo, hi) = CALIBRATION_FACTOR_RANGE;
+                let expect = (raw as f64 * ratio.clamp(lo, hi)).round() as u64;
+                assert_eq!(queue.calibrated_estimate(&spec, raw), expect);
+            }
+            // A zero RSS delta (high-water plateau) legitimately skips
+            // the observation; the raw estimate must then survive.
+            None => assert_eq!(queue.calibrated_estimate(&spec, raw), raw),
+        }
     }
 
     #[test]

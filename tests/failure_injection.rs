@@ -345,6 +345,56 @@ fn cancel_racing_dispatch_yields_exactly_one_terminal_state() {
     }
 }
 
+/// Mid-run cancellation on the pool backend unwinds within a bounded
+/// number of work quanta instead of draining the whole wave: the claim
+/// loop re-checks the token before every
+/// [`minoaner::exec::POOL_TASK_ITEMS`]-sized task, so the latency is
+/// one task's runtime plus unwind, not the wave's.
+#[test]
+fn pool_cancel_unwinds_within_one_quantum() {
+    use minoaner::exec::{catch_cancel, Cancelled, Executor, POOL_TASK_ITEMS};
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    let token = minoaner::exec::CancelToken::new();
+    let exec = Executor::pool().with_cancel(token.clone());
+    // Size the wave so an *uncancelled* run takes several seconds on
+    // any core count: ~256 quanta per pool worker, each quantum a few
+    // tens of milliseconds of busy work.
+    let n = POOL_TASK_ITEMS * 256 * exec.threads();
+
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            token.cancel();
+        })
+    };
+    let start = Instant::now();
+    let result = catch_cancel(|| {
+        Ok(exec.map_range(n, |i| {
+            let mut acc = i as u64;
+            for k in 0..10_000u64 {
+                acc = black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(k));
+            }
+            acc
+        }))
+    });
+    let elapsed = start.elapsed();
+    canceller.join().unwrap();
+    assert!(
+        matches!(result, Err(Cancelled)),
+        "a cancelled pool wave must unwind as Cancelled"
+    );
+    // One quantum of the busy loop above is tens of milliseconds; even
+    // with a very generous CI margin the unwind lands far below the
+    // multi-second full-wave runtime.
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "cancel latency {elapsed:?} exceeds the bounded-quantum promise"
+    );
+}
+
 #[test]
 fn blocking_artifacts_are_consistent_under_no_purging() {
     let mut a = KbBuilder::new("a");
