@@ -34,6 +34,8 @@ fn fleet_manifest(scale: f64) -> Manifest {
                 theta: None,
                 candidates_k: None,
                 purge_blocks: None,
+                timeout_ms: None,
+                max_retries: None,
             });
         }
     }
@@ -41,6 +43,8 @@ fn fleet_manifest(scale: f64) -> Manifest {
         slots: 0,
         threads: 0,
         memory_budget_mib: 0,
+        timeout_ms: 0,
+        max_retries: 0,
         jobs,
     }
 }

@@ -5,9 +5,12 @@
 //!                 [--truth <pairs.tsv>] [--json] [--theta F] [--k N] [--no-purge]
 //!                 [--executor sequential|rayon|pool] [--threads N]
 //! minoaner batch  --manifest <fleet.(toml|json)> [--slots N] [--threads N]
-//!                 [--memory-mib N] [--executor sequential|rayon|pool] [--json] [--pairs]
+//!                 [--memory-mib N] [--timeout-ms N] [--max-retries N]
+//!                 [--rss-kill-factor F] [--executor sequential|rayon|pool] [--json] [--pairs]
 //! minoaner serve  [--listen <addr>] [--listen-http <addr>] [--auth-token T]
 //!                 [--slots N] [--threads N] [--memory-mib N]
+//!                 [--timeout-ms N] [--max-retries N] [--rss-kill-factor F]
+//!                 [--shed-depth N] [--max-connections N]
 //!                 [--executor sequential|rayon|pool] [--json] [--pairs]
 //! minoaner demo   [restaurant|rexa|bbc|yago] [--scale F] [--seed N]
 //!                 [--executor sequential|rayon|pool] [--threads N]
@@ -54,6 +57,19 @@
 //! (compared in constant time). `examples/http_client.rs` is a
 //! ready-made client. Results are bit-identical to `batch` and solo
 //! runs no matter which protocol submitted the job.
+//!
+//! ## Supervised lifecycle knobs
+//!
+//! `--timeout-ms N` sets a per-job deadline observed at the pipeline's
+//! cooperative checkpoints (`0` = none; overrides the manifest),
+//! `--max-retries N` gives transiently-failing jobs (I/O errors,
+//! timeouts) that many re-runs with exponential backoff and
+//! deterministic jitter, and `--rss-kill-factor F` arms a watchdog
+//! killing jobs that grow past `F ×` their admission estimate. `serve`
+//! additionally takes `--shed-depth N` — reject submissions once `N`
+//! jobs are queued (HTTP `429` + `Retry-After`, line-JSON
+//! `"retryable":true`) — and `--max-connections N`, capping concurrent
+//! HTTP handler threads (excess connections get an immediate `503`).
 
 use std::process::exit;
 
@@ -75,10 +91,13 @@ fn usage() -> ! {
          [--truth pairs.tsv] [--json] [--theta F] [--k N] [--no-purge] \
          [--executor sequential|rayon|pool] [--threads N]\n  \
          minoaner batch --manifest fleet.(toml|json) [--slots N] [--threads N] \
-         [--memory-mib N] [--executor sequential|rayon|pool] [--json] [--pairs]\n  \
+         [--memory-mib N] [--timeout-ms N] [--max-retries N] [--rss-kill-factor F] \
+         [--executor sequential|rayon|pool] [--json] [--pairs]\n  \
          minoaner serve [--listen addr:port] [--listen-http addr:port] \
-         [--auth-token T] [--slots N] [--threads N] \
-         [--memory-mib N] [--executor sequential|rayon|pool] [--json] [--pairs]\n  \
+         [--auth-token T] [--slots N] [--threads N] [--memory-mib N] \
+         [--timeout-ms N] [--max-retries N] [--rss-kill-factor F] \
+         [--shed-depth N] [--max-connections N] \
+         [--executor sequential|rayon|pool] [--json] [--pairs]\n  \
          minoaner demo [restaurant|rexa|bbc|yago] [--scale F] [--seed N] \
          [--executor sequential|rayon|pool] [--threads N]\n  \
          minoaner stats <kb>"
@@ -370,6 +389,27 @@ fn main() {
                                 .unwrap_or_else(|| usage()),
                         )
                     }
+                    "--timeout-ms" => {
+                        opts.timeout_ms = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--max-retries" => {
+                        opts.max_retries = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--rss-kill-factor" => {
+                        opts.rss_kill_factor = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
                     "--executor" => {
                         let Some(kind) = it.next().and_then(|v| v.parse().ok()) else {
                             usage()
@@ -406,6 +446,7 @@ fn main() {
             let mut listen: Option<String> = None;
             let mut listen_http: Option<String> = None;
             let mut auth_token: Option<String> = None;
+            let mut max_connections: Option<usize> = None;
             let mut opts = ServeOptions::default();
             let mut json = false;
             let mut pairs = false;
@@ -440,6 +481,41 @@ fn main() {
                                 .unwrap_or_else(|| usage()),
                         )
                     }
+                    "--timeout-ms" => {
+                        opts.timeout_ms = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--max-retries" => {
+                        opts.max_retries = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--rss-kill-factor" => {
+                        opts.rss_kill_factor = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--shed-depth" => {
+                        opts.shed_queue_depth = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--max-connections" => {
+                        max_connections = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
                     "--executor" => {
                         let Some(kind) = it.next().and_then(|v| v.parse().ok()) else {
                             usage()
@@ -464,7 +540,10 @@ fn main() {
             let frontends = Frontends {
                 line: listen.as_deref().map(bind),
                 http: listen_http.as_deref().map(bind),
-                http_options: HttpOptions { auth_token },
+                http_options: HttpOptions {
+                    auth_token,
+                    max_connections,
+                },
             };
             if let Some(listener) = &frontends.line {
                 let addr = listener

@@ -1,0 +1,67 @@
+//! Bounded exponential backoff with deterministic jitter.
+//!
+//! One helper shared by every retry loop in the workspace: the
+//! scheduler's transient-failure re-queues, and the example clients'
+//! connect-retry loops (`examples/shared/retry.rs`). Delays double per
+//! attempt from `base` up to `cap`; the jittered variant derives its
+//! spread from a caller-provided seed — **never** wall-clock or OS
+//! randomness — so retry schedules are reproducible run to run, which
+//! the fingerprint bit-identity gates require.
+
+use std::time::Duration;
+
+/// The backoff delay before retry attempt `attempt` (0-based):
+/// `base × 2^attempt`, saturating, capped at `cap`.
+pub fn delay(base: Duration, attempt: u32, cap: Duration) -> Duration {
+    let factor = 1u32.checked_shl(attempt.min(31)).unwrap_or(u32::MAX);
+    base.saturating_mul(factor).min(cap)
+}
+
+/// [`delay`] with deterministic jitter: the full exponential delay is
+/// scaled into `[1/2, 1)` of itself by a hash of `seed` and `attempt`.
+/// Jitter decorrelates retry storms without sacrificing
+/// reproducibility — the same `(seed, attempt)` always waits the same.
+pub fn jittered_delay(base: Duration, attempt: u32, cap: Duration, seed: u64) -> Duration {
+    let full = delay(base, attempt, cap);
+    let mut h = seed.wrapping_add(0x9e3779b97f4a7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d049bb133111eb);
+    h = (h ^ (h >> 31)) ^ u64::from(attempt).wrapping_mul(0x100000001b3);
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+    full.mul_f64(0.5 + unit / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    #[test]
+    fn delay_doubles_and_caps() {
+        let base = 50 * MS;
+        let cap = 400 * MS;
+        assert_eq!(delay(base, 0, cap), 50 * MS);
+        assert_eq!(delay(base, 1, cap), 100 * MS);
+        assert_eq!(delay(base, 2, cap), 200 * MS);
+        assert_eq!(delay(base, 3, cap), 400 * MS);
+        assert_eq!(delay(base, 4, cap), 400 * MS, "capped");
+        assert_eq!(delay(base, 63, cap), 400 * MS, "huge attempts saturate");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let base = 100 * MS;
+        let cap = Duration::from_secs(5);
+        for attempt in 0..8 {
+            let a = jittered_delay(base, attempt, cap, 42);
+            let b = jittered_delay(base, attempt, cap, 42);
+            assert_eq!(a, b, "same seed and attempt wait the same");
+            let full = delay(base, attempt, cap);
+            assert!(a >= full / 2 && a < full, "within [full/2, full): {a:?}");
+        }
+        let x = jittered_delay(base, 3, cap, 1);
+        let y = jittered_delay(base, 3, cap, 2);
+        assert_ne!(x, y, "different seeds decorrelate");
+    }
+}

@@ -10,17 +10,28 @@
 //! bounded number of checkpoints — at most one wave of work after the
 //! flag is set — leaving no partial state behind.
 //!
+//! Beyond an explicit [`CancelToken::cancel`], a token can carry a
+//! **deadline** ([`CancelToken::set_deadline`]): once the deadline
+//! passes, every [`CancelToken::is_cancelled`] / `checkpoint` call
+//! observes the token as cancelled, so a per-job timeout rides the
+//! exact same wave/quantum checkpoints as user cancellation and lands
+//! within one quantum of work. The supervisor that set the deadline can
+//! distinguish the causes afterwards via [`CancelToken::reason`].
+//!
 //! The token lives in `minoan-exec`, the bottom of the crate stack, so
 //! ingest (`minoan-kb`), the pipeline (`minoan-core`) and the serving
 //! layer (`minoan-serve`) can all thread the same token through their
 //! stages without dependency cycles.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The error a cancelled computation unwinds with. Carries no payload:
-/// cancellation is a request honored cooperatively, not a failure.
+/// cancellation is a request honored cooperatively, not a failure. The
+/// *cause* (user cancel, deadline, budget kill) stays on the token —
+/// see [`CancelToken::reason`] — so the unwind path needs no plumbing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Cancelled;
 
@@ -32,34 +43,135 @@ impl fmt::Display for Cancelled {
 
 impl std::error::Error for Cancelled {}
 
+/// Why a token was cancelled. The first cause wins: once a reason is
+/// recorded, later `cancel_with` calls do not overwrite it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// Explicit [`CancelToken::cancel`] — an operator or client request.
+    User,
+    /// The deadline set via [`CancelToken::set_deadline`] passed.
+    DeadlineExceeded,
+    /// A supervisor killed the work for exceeding its memory budget.
+    OverBudget,
+}
+
+const REASON_NONE: u8 = 0;
+const REASON_USER: u8 = 1;
+const REASON_DEADLINE: u8 = 2;
+const REASON_OVER_BUDGET: u8 = 3;
+
+/// Millisecond deadline sentinel meaning "no deadline armed".
+const NO_DEADLINE: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct TokenState {
+    flag: AtomicBool,
+    reason: AtomicU8,
+    /// Milliseconds after `created` at which the token self-cancels;
+    /// [`NO_DEADLINE`] when no deadline is armed.
+    deadline_ms: AtomicU64,
+    created: Instant,
+}
+
 /// Cooperative cancellation flag, cheap to clone and share across
 /// threads. Setting it never interrupts running code; work observes it
 /// at its next [`CancelToken::checkpoint`] and unwinds cleanly.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CancelToken {
-    flag: Arc<AtomicBool>,
+    state: Arc<TokenState>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken {
+            state: Arc::new(TokenState {
+                flag: AtomicBool::new(false),
+                reason: AtomicU8::new(REASON_NONE),
+                deadline_ms: AtomicU64::new(NO_DEADLINE),
+                created: Instant::now(),
+            }),
+        }
+    }
 }
 
 impl CancelToken {
-    /// A fresh, uncancelled token.
+    /// A fresh, uncancelled token with no deadline.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Requests cancellation. Idempotent; never blocks.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::SeqCst);
+        self.cancel_with(CancelReason::User);
     }
 
-    /// Whether cancellation was requested.
+    /// Requests cancellation recording `reason` as the cause. The first
+    /// recorded reason wins; the flag itself is idempotent.
+    pub fn cancel_with(&self, reason: CancelReason) {
+        let code = match reason {
+            CancelReason::User => REASON_USER,
+            CancelReason::DeadlineExceeded => REASON_DEADLINE,
+            CancelReason::OverBudget => REASON_OVER_BUDGET,
+        };
+        let _ = self.state.reason.compare_exchange(
+            REASON_NONE,
+            code,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        self.state.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Arms (or re-arms) a deadline `timeout` from **now**. Once it
+    /// passes, the token reads as cancelled at every checkpoint with
+    /// reason [`CancelReason::DeadlineExceeded`]. Timeouts therefore
+    /// land within one wave/quantum of work, exactly like an explicit
+    /// cancel.
+    pub fn set_deadline(&self, timeout: Duration) {
+        let from_created = self
+            .state
+            .created
+            .elapsed()
+            .saturating_add(timeout)
+            .as_millis()
+            .min(NO_DEADLINE as u128 - 1) as u64;
+        self.state.deadline_ms.store(from_created, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation was requested (explicitly or because an
+    /// armed deadline passed).
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::SeqCst)
+        if self.state.flag.load(Ordering::SeqCst) {
+            return true;
+        }
+        let deadline = self.state.deadline_ms.load(Ordering::SeqCst);
+        if deadline != NO_DEADLINE && self.state.created.elapsed().as_millis() as u64 >= deadline {
+            self.cancel_with(CancelReason::DeadlineExceeded);
+            return true;
+        }
+        false
+    }
+
+    /// The recorded cause of cancellation, `None` while uncancelled.
+    /// Reads the flag through [`CancelToken::is_cancelled`] first so an
+    /// expired deadline is visible even if no checkpoint ran yet.
+    pub fn reason(&self) -> Option<CancelReason> {
+        if !self.is_cancelled() {
+            return None;
+        }
+        match self.state.reason.load(Ordering::SeqCst) {
+            REASON_USER => Some(CancelReason::User),
+            REASON_DEADLINE => Some(CancelReason::DeadlineExceeded),
+            REASON_OVER_BUDGET => Some(CancelReason::OverBudget),
+            _ => Some(CancelReason::User),
+        }
     }
 
     /// The cooperative checkpoint: returns `Err(Cancelled)` once
-    /// [`CancelToken::cancel`] has been called. Stages call this between
-    /// executor waves so a cancelled job stops dispatching new work and
-    /// unwinds within a bounded number of checkpoints.
+    /// [`CancelToken::cancel`] has been called or an armed deadline has
+    /// passed. Stages call this between executor waves so a cancelled
+    /// job stops dispatching new work and unwinds within a bounded
+    /// number of checkpoints.
     pub fn checkpoint(&self) -> Result<(), Cancelled> {
         if self.is_cancelled() {
             Err(Cancelled)
@@ -98,6 +210,7 @@ mod tests {
         let t = CancelToken::new();
         assert!(!t.is_cancelled());
         assert_eq!(t.checkpoint(), Ok(()));
+        assert_eq!(t.reason(), None);
     }
 
     #[test]
@@ -108,6 +221,7 @@ mod tests {
         assert!(t.is_cancelled());
         assert_eq!(t.checkpoint(), Err(Cancelled));
         assert_eq!(t.checkpoint(), Err(Cancelled));
+        assert_eq!(t.reason(), Some(CancelReason::User));
     }
 
     #[test]
@@ -129,6 +243,49 @@ mod tests {
     #[test]
     fn cancelled_formats_as_an_error() {
         assert_eq!(Cancelled.to_string(), "cancelled");
+    }
+
+    #[test]
+    fn first_cancel_reason_wins() {
+        let t = CancelToken::new();
+        t.cancel_with(CancelReason::OverBudget);
+        t.cancel();
+        assert_eq!(t.reason(), Some(CancelReason::OverBudget));
+    }
+
+    #[test]
+    fn expired_deadline_cancels_with_deadline_reason() {
+        let t = CancelToken::new();
+        t.set_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        assert_eq!(t.checkpoint(), Err(Cancelled));
+        assert_eq!(t.reason(), Some(CancelReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn future_deadline_leaves_the_token_live() {
+        let t = CancelToken::new();
+        t.set_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert_eq!(t.checkpoint(), Ok(()));
+        assert_eq!(t.reason(), None);
+    }
+
+    #[test]
+    fn explicit_cancel_beats_a_pending_deadline() {
+        let t = CancelToken::new();
+        t.set_deadline(Duration::from_secs(3600));
+        t.cancel();
+        assert_eq!(t.reason(), Some(CancelReason::User));
+    }
+
+    #[test]
+    fn deadline_is_visible_through_clones() {
+        let t = CancelToken::new();
+        let observer = t.clone();
+        t.set_deadline(Duration::ZERO);
+        assert!(observer.is_cancelled());
+        assert_eq!(observer.reason(), Some(CancelReason::DeadlineExceeded));
     }
 
     #[test]

@@ -34,11 +34,13 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod cancel;
+pub mod faults;
 pub mod pool;
 pub mod shared;
 
-pub use cancel::{catch_cancel, CancelToken, Cancelled};
+pub use cancel::{catch_cancel, CancelReason, CancelToken, Cancelled};
 pub use pool::PoolStats;
 pub use shared::SharedSlice;
 

@@ -58,13 +58,20 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
     }
 }
 
-/// Failure of a **cancellable** streaming parse: either the input was
-/// bad, or the [`CancelToken`] was observed set at a checkpoint between
-/// chunk waves and the parse unwound cooperatively.
+/// Failure of a **cancellable** streaming parse: the input was bad, the
+/// underlying reader failed, or the [`CancelToken`] was observed set at
+/// a checkpoint between chunk waves and the parse unwound cooperatively.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StreamError {
-    /// The input failed to parse.
+    /// The input failed to parse. Parse failures are *permanent*: the
+    /// same bytes fail the same way on every attempt.
     Parse(ParseError),
+    /// The underlying reader failed mid-stream (or the
+    /// `kb.parse.read` fault site injected a failure). IO failures are
+    /// *transient* from the job supervisor's point of view: a retry
+    /// against the same path may succeed. Carries the line the stream
+    /// had reached and the IO error text.
+    Io(ParseError),
     /// Cancellation was requested; no knowledge base was produced.
     Cancelled,
 }
@@ -72,7 +79,7 @@ pub enum StreamError {
 impl fmt::Display for StreamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StreamError::Parse(e) => e.fmt(f),
+            StreamError::Parse(e) | StreamError::Io(e) => e.fmt(f),
             StreamError::Cancelled => f.write_str("cancelled"),
         }
     }
@@ -187,7 +194,7 @@ pub fn parse_ntriples_reader_cancellable<R: Read>(
 fn uncancelled(result: Result<KnowledgeBase, StreamError>) -> Result<KnowledgeBase, ParseError> {
     match result {
         Ok(kb) => Ok(kb),
-        Err(StreamError::Parse(e)) => Err(e),
+        Err(StreamError::Parse(e)) | Err(StreamError::Io(e)) => Err(e),
         Err(StreamError::Cancelled) => unreachable!("a fresh token is never cancelled"),
     }
 }
@@ -564,9 +571,11 @@ where
     let mut lines_done = 0usize;
     loop {
         cancel.checkpoint().map_err(|_| StreamError::Cancelled)?;
+        minoan_exec::faults::point("kb.parse.read")
+            .map_err(|e| StreamError::Io(err(lines_done + 1, format!("read error: {e}"))))?;
         let n = reader
             .read(&mut buf)
-            .map_err(|e| err(lines_done + 1, format!("read error: {e}")))?;
+            .map_err(|e| StreamError::Io(err(lines_done + 1, format!("read error: {e}"))))?;
         if n == 0 {
             break;
         }

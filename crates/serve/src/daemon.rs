@@ -34,7 +34,7 @@
 //!
 //! | op | request fields | response |
 //! |----|----------------|----------|
-//! | `submit` | `job`: a manifest job object (same schema as a `[[job]]` table / `jobs` element, see [`crate::manifest`]) | `{"ok":true,"id":N,"name":"…"}` — `id` is the submission index |
+//! | `submit` | `job`: a manifest job object (same schema as a `[[job]]` table / `jobs` element, see [`crate::manifest`]) | `{"ok":true,"id":N,"name":"…"}` — `id` is the submission index; an overload shed answers `{"ok":false,"retryable":true,"error":"…"}` (back off and resubmit) |
 //! | `status` | optional `id` | `{"ok":true,"accepting":B,"queued":N,"running":N,"done":N,"telemetry":{…},"jobs":[{"id":N,"name":"…","phase":"queued\|running\|done","status":"ok\|failed\|cancelled"?,"error":"…"?}]}` (`jobs` has one element with `id`) — `telemetry` is the live [`QueueStats`](crate::scheduler::QueueStats) view: admitted footprint vs. memory budget, thread allotments, per-status done counts, cumulative stage timings |
 //! | `cancel` | `id` | `{"ok":true,"id":N,"outcome":"cancelled\|cancelling\|done\|unknown"}` — `cancelled`: flipped before dispatch; `cancelling`: token set, the running job unwinds at its next checkpoint; `done`: already terminal, report unchanged |
 //! | `wait` | `id` | blocks until the job is terminal, then `{"ok":true,"id":N,"fingerprint":"…","report":{…}}` — `report` is [`JobReport::to_json`] with pairs, `fingerprint` the raw deterministic [`JobReport::fingerprint`] |
@@ -57,6 +57,8 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use minoan_kb::Json;
@@ -64,7 +66,10 @@ use minoan_kb::Json;
 use crate::http::HttpOptions;
 use crate::intake::{self, ShutdownMode};
 use crate::report::{peak_rss_bytes, JobReport, ServeReport};
-use crate::scheduler::{resolve_fleet_knobs, CancelToken, JobQueue, ServeOptions};
+use crate::scheduler::{
+    resolve_fleet_knobs, CancelToken, JobQueue, ServeOptions, DEFAULT_SHED_QUEUE_DEPTH,
+    SHED_BYTES_FACTOR,
+};
 
 /// How often blocked daemon loops (accept, per-connection reads) check
 /// the shutdown flag.
@@ -141,7 +146,17 @@ pub fn run_server(
         listener.set_nonblocking(true)?;
     }
     let (slots, threads, budget_bytes) = resolve_fleet_knobs(opts, 0, 0, 0, usize::MAX);
-    let queue = JobQueue::new(slots, threads, budget_bytes);
+    // Overload shedding is a daemon-only concern: batch submits its
+    // whole manifest up front and would only shed its own jobs. The
+    // byte mark is a multiple of the admission budget — jobs past the
+    // budget *wait*; jobs past the shed mark are *refused* — and
+    // disabled when admission itself is unlimited.
+    let queue = JobQueue::new(slots, threads, budget_bytes)
+        .with_job_defaults(opts.timeout_ms.unwrap_or(0), opts.max_retries.unwrap_or(0))
+        .with_shed_limits(
+            opts.shed_queue_depth.unwrap_or(DEFAULT_SHED_QUEUE_DEPTH),
+            budget_bytes.saturating_mul(SHED_BYTES_FACTOR),
+        );
     let shutdown = CancelToken::new();
     // The daemon has no fleet-level cancel; per-job cancellation goes
     // through the queue.
@@ -163,10 +178,31 @@ pub fn run_server(
             }));
         }
         if let Some(listener) = http {
+            let max_connections = http_options
+                .max_connections
+                .unwrap_or(crate::http::DEFAULT_MAX_CONNECTIONS)
+                .max(1);
+            let live = Arc::new(AtomicUsize::new(0));
             accept_loops.push(scope.spawn(move || {
                 accept_loop(listener, shutdown, |stream| {
+                    // Claim a handler slot before spawning; over the cap
+                    // the 503 is written right here in the accept loop
+                    // (with a tightly bounded linger so it survives the
+                    // close), so a connection flood never ties up a
+                    // handler thread.
+                    let claimed = live
+                        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                            (n < max_connections).then_some(n + 1)
+                        })
+                        .is_ok();
+                    if !claimed {
+                        crate::http::reject_over_capacity(stream);
+                        return;
+                    }
+                    let live = Arc::clone(&live);
                     scope.spawn(move || {
-                        crate::http::handle_connection(stream, queue, shutdown, http_options)
+                        crate::http::handle_connection(stream, queue, shutdown, http_options);
+                        live.fetch_sub(1, Ordering::AcqRel);
                     });
                 })
             }));
@@ -345,7 +381,14 @@ fn handle_request(frame: &[u8], queue: &JobQueue, shutdown: &CancelToken) -> Jso
                     ("id", Json::num(id as f64)),
                     ("name", Json::str(name)),
                 ]),
-                Err(e) => error(e),
+                // A shed submit is worth resubmitting after a backoff;
+                // the flag tells clients apart from hard rejections.
+                Err(e) if e.retryable() => Json::obj([
+                    ("ok", Json::Bool(false)),
+                    ("retryable", Json::Bool(true)),
+                    ("error", Json::str(e.to_string())),
+                ]),
+                Err(e) => error(e.to_string()),
             }
         }
         "status" => {
@@ -594,7 +637,7 @@ mod tests {
         )
         .unwrap();
         let err = queue.submit(spec).unwrap_err();
-        assert!(err.contains("closed"), "{err}");
+        assert!(err.to_string().contains("closed"), "{err}");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!
 //! | Method & path | Body | Response |
 //! |---------------|------|----------|
-//! | `POST /v1/jobs` | a manifest job object (see [`crate::manifest`]) | `201` `{"id":N,"name":"…"}` + `Location`; `400` bad job; `409` queue closed |
+//! | `POST /v1/jobs` | a manifest job object (see [`crate::manifest`]) | `201` `{"id":N,"name":"…"}` + `Location`; `400` bad job; `409` queue closed; `429` + `Retry-After` overload shed |
 //! | `GET /v1/jobs` | — | `200` the status body: `accepting`, phase counts, `telemetry` ([`QueueStats`](crate::scheduler::QueueStats)), `jobs` list |
 //! | `GET /v1/jobs/{id}` | — | `200` `{"id","name","phase",…}`, plus `"fingerprint"` and the full `"report"` once terminal; `?wait=true` blocks until terminal; `404` unknown id |
 //! | `DELETE /v1/jobs/{id}` | — | `200` `{"id":N,"outcome":"cancelled\|cancelling\|done"}`; `404` unknown id |
@@ -63,7 +63,12 @@
 //! shutdown flag, each connection gets a read timeout so an idle client
 //! cannot outlive a shutdown, and a blocking `?wait=true` request parks
 //! on the queue's condvar (jobs always terminate, so shutdown cannot
-//! be wedged by a waiter).
+//! be wedged by a waiter). Handler threads are capped
+//! ([`HttpOptions::max_connections`], default
+//! [`DEFAULT_MAX_CONNECTIONS`]): a connection over the cap gets an
+//! immediate `503` + `Retry-After` written from the accept loop and is
+//! closed, so a connection flood cannot exhaust threads or starve the
+//! line-JSON front-end.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -87,12 +92,26 @@ pub const MAX_HEADER_BYTES: usize = 32 << 10;
 /// Maximum request body size (`Content-Length` above this is `413`).
 pub const MAX_BODY_BYTES: usize = 4 << 20;
 
+/// Concurrent connection-handler threads per listener unless
+/// [`HttpOptions::max_connections`] overrides it.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
+
+/// `Retry-After` seconds suggested on `429`/`503` rejections. Small on
+/// purpose: shed decisions are per-request and the queue drains
+/// continuously, so a quick retry is cheap and usually succeeds.
+pub const RETRY_AFTER_SECS: u64 = 1;
+
 /// Options for the HTTP front-end.
 #[derive(Debug, Clone, Default)]
 pub struct HttpOptions {
     /// Static bearer token; when set, every request must carry
     /// `Authorization: Bearer <token>` (constant-time comparison).
     pub auth_token: Option<String>,
+    /// Cap on concurrent connection-handler threads (`None` =
+    /// [`DEFAULT_MAX_CONNECTIONS`]). A connection over the cap gets an
+    /// immediate `503` + `Retry-After` and is closed — it never ties up
+    /// a handler thread.
+    pub max_connections: Option<usize>,
 }
 
 /// Runs the HTTP front-end alone on an already-bound listener until a
@@ -590,8 +609,17 @@ fn submit(request: &Request, queue: &JobQueue) -> Response {
         }
         // Closed queue = shutting down: a conflict with server state,
         // not a bad request.
-        Err(e) if e.contains("closed") => Response::error(409, e),
-        Err(e) => Response::error(400, e),
+        Err(e @ intake::SubmitRejection::Closed) => Response::error(409, e.to_string()),
+        // Overload shed: the standard rate-limit shape, so off-the-shelf
+        // clients back off without bespoke handling.
+        Err(e @ intake::SubmitRejection::Overloaded(_)) => {
+            let mut response = Response::error(429, e.to_string());
+            response
+                .extra_headers
+                .push(("Retry-After", RETRY_AFTER_SECS.to_string()));
+            response
+        }
+        Err(e) => Response::error(400, e.to_string()),
     }
 }
 
@@ -666,10 +694,63 @@ fn reason_phrase(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         505 => "HTTP Version Not Supported",
         _ => "Response",
+    }
+}
+
+/// The raw `503` written to a connection rejected by the concurrency
+/// cap, before any request is read: the accept loop writes it inline
+/// (no handler thread) and closes. Built by hand because the normal
+/// response path assumes a parsed request.
+pub(crate) fn overloaded_503() -> String {
+    let body = r#"{"error":"connection limit reached; retry shortly"}"#;
+    format!(
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nRetry-After: {RETRY_AFTER_SECS}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// How long [`reject_over_capacity`] lingers on a rejected connection.
+/// An order of magnitude tighter than [`LINGER_DEADLINE`] because this
+/// runs on the accept thread, not a handler thread.
+const REJECT_LINGER_DEADLINE: Duration = Duration::from_millis(100);
+/// Leftover-byte cap for [`reject_over_capacity`]'s drain.
+const REJECT_LINGER_MAX_BYTES: usize = 16 << 10;
+
+/// Rejects one over-cap connection: writes [`overloaded_503`], then
+/// half-closes and briefly drains the client's unread request bytes so
+/// the close sends a FIN, not an RST that would destroy the response
+/// mid-flight (the same hazard [`lingering_close`] guards against —
+/// here the *whole request* is still queued unread). Runs inline on
+/// the accept thread, so both bounds are tight.
+pub(crate) fn reject_over_capacity(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    if stream.write_all(overloaded_503().as_bytes()).is_err() {
+        return;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let deadline = Instant::now() + REJECT_LINGER_DEADLINE;
+    let mut drained = 0usize;
+    let mut sink = [0u8; 8 << 10];
+    while Instant::now() < deadline && drained < REJECT_LINGER_MAX_BYTES {
+        match stream.read(&mut sink) {
+            Ok(0) => return, // client's FIN: a fully clean close
+            Ok(n) => drained += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return,
+        }
     }
 }
 
@@ -735,8 +816,30 @@ pub fn prometheus_metrics(queue: &JobQueue) -> String {
          # TYPE minoan_jobs_done_total counter\n\
          minoan_jobs_done_total{{status=\"ok\"}} {}\n\
          minoan_jobs_done_total{{status=\"failed\"}} {}\n\
-         minoan_jobs_done_total{{status=\"cancelled\"}} {}\n",
-        stats.done_ok, stats.done_failed, stats.done_cancelled
+         minoan_jobs_done_total{{status=\"cancelled\"}} {}\n\
+         minoan_jobs_done_total{{status=\"timed_out\"}} {}\n\
+         minoan_jobs_done_total{{status=\"poisoned\"}} {}\n\
+         minoan_jobs_done_total{{status=\"killed_over_budget\"}} {}\n",
+        stats.done_ok,
+        stats.done_failed,
+        stats.done_cancelled,
+        stats.done_timed_out,
+        stats.done_poisoned,
+        stats.done_killed_over_budget
+    );
+    metric(
+        &mut out,
+        "counter",
+        "minoan_jobs_retries_scheduled_total",
+        "Retry attempts re-queued after transient failures.",
+        stats.retries_scheduled as f64,
+    );
+    metric(
+        &mut out,
+        "counter",
+        "minoan_jobs_shed_total",
+        "Submissions rejected by overload shedding.",
+        stats.shed_total as f64,
     );
     let stages = [
         ("tokenize", stats.stage_totals.tokenize),
@@ -888,6 +991,11 @@ mod tests {
             "minoan_threads_budget 3",
             "minoan_fleet_slots 2",
             "minoan_jobs_done_total{status=\"ok\"} 0",
+            "minoan_jobs_done_total{status=\"timed_out\"} 0",
+            "minoan_jobs_done_total{status=\"poisoned\"} 0",
+            "minoan_jobs_done_total{status=\"killed_over_budget\"} 0",
+            "minoan_jobs_retries_scheduled_total 0",
+            "minoan_jobs_shed_total 0",
             "minoan_stage_seconds_total{stage=\"tokenize\"} 0",
         ] {
             assert!(text.contains(family), "missing {family:?} in:\n{text}");
@@ -905,8 +1013,20 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_the_emitted_statuses() {
-        for status in [200, 201, 400, 401, 404, 405, 409, 413, 431, 501, 505] {
+        for status in [
+            200, 201, 400, 401, 404, 405, 409, 413, 429, 431, 501, 503, 505,
+        ] {
             assert_ne!(reason_phrase(status), "Response", "{status}");
         }
+    }
+
+    #[test]
+    fn overloaded_503_is_a_complete_http_response() {
+        let raw = overloaded_503();
+        assert!(raw.starts_with("HTTP/1.1 503 "), "{raw}");
+        assert!(raw.contains("Retry-After: "), "{raw}");
+        assert!(raw.contains("Connection: close"), "{raw}");
+        let body = raw.split("\r\n\r\n").nth(1).expect("body after head");
+        assert!(Json::parse(body).is_ok(), "{body}");
     }
 }

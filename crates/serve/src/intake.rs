@@ -14,7 +14,7 @@ use minoan_kb::Json;
 
 use crate::manifest::JobSpec;
 use crate::report::JobStatus;
-use crate::scheduler::{CancelToken, JobId, JobQueue, JobSnapshot};
+use crate::scheduler::{CancelToken, JobId, JobQueue, JobSnapshot, SubmitError};
 
 /// How a shutdown request treats jobs still in the queue: `drain` lets
 /// queued jobs run to completion, `cancel` flips queued jobs to
@@ -39,14 +39,48 @@ impl ShutdownMode {
     }
 }
 
+/// Why [`submit_job`] refused a job, with enough structure for each
+/// front-end to pick its own framing (HTTP status code and
+/// `Retry-After`, line-JSON `"retryable"` flag).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum SubmitRejection {
+    /// Malformed or invalid job spec: the client's fault, never
+    /// retryable as-is.
+    Invalid(String),
+    /// The queue is closed (shutdown in progress): not retryable.
+    Closed,
+    /// Overload shed: retryable after backing off.
+    Overloaded(String),
+}
+
+impl SubmitRejection {
+    /// Whether resubmitting the identical request later can succeed.
+    pub(crate) fn retryable(&self) -> bool {
+        matches!(self, SubmitRejection::Overloaded(_))
+    }
+}
+
+impl std::fmt::Display for SubmitRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitRejection::Invalid(e) => f.write_str(e),
+            SubmitRejection::Closed => SubmitError::Closed.fmt(f),
+            SubmitRejection::Overloaded(detail) => write!(f, "overloaded: {detail}"),
+        }
+    }
+}
+
 /// Parses, validates and submits one job given in the manifest job
 /// schema; returns the new id and the job's name.
-pub(crate) fn submit_job(queue: &JobQueue, job: &Json) -> Result<(JobId, String), String> {
+pub(crate) fn submit_job(queue: &JobQueue, job: &Json) -> Result<(JobId, String), SubmitRejection> {
     let spec = JobSpec::from_json(job)
         .and_then(|s| s.validate().map(|()| s))
-        .map_err(|e| format!("bad job: {e}"))?;
+        .map_err(|e| SubmitRejection::Invalid(format!("bad job: {e}")))?;
     let name = spec.name.clone();
-    let id = queue.submit(spec)?;
+    let id = queue.submit(spec).map_err(|e| match e {
+        SubmitError::Closed => SubmitRejection::Closed,
+        SubmitError::Overloaded(detail) => SubmitRejection::Overloaded(detail),
+    })?;
     Ok((id, name))
 }
 
@@ -172,6 +206,8 @@ mod tests {
                 theta: None,
                 candidates_k: None,
                 purge_blocks: None,
+                timeout_ms: None,
+                max_retries: None,
             })
             .unwrap();
         (queue, id)
@@ -229,6 +265,8 @@ mod tests {
         assert_eq!(report.status, JobStatus::Cancelled);
         let job = Json::parse(r#"{"name":"late","dataset":"restaurant","scale":0.05}"#).unwrap();
         let err = submit_job(&queue, &job).unwrap_err();
-        assert!(err.contains("closed"), "{err}");
+        assert_eq!(err, SubmitRejection::Closed);
+        assert!(!err.retryable());
+        assert!(err.to_string().contains("closed"), "{err}");
     }
 }

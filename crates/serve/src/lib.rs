@@ -42,6 +42,21 @@
 //! than deadlocking the fleet. One poisoned job (corrupt input, bad
 //! config, a panic) fails alone; the fleet completes.
 //!
+//! ## Supervised lifecycle
+//!
+//! Jobs run under supervision (see the state diagram in [`scheduler`]):
+//! per-job deadlines (`timeout_ms`) expire at the pipeline's
+//! cooperative checkpoints into a `TimedOut` report; transient failures
+//! (I/O errors, timeouts) re-enter the queue with exponential backoff
+//! and deterministic jitter under a `max_retries` budget (default `0`:
+//! one attempt, bit-identical to the historical behavior); a job that
+//! panics twice is quarantined as `Poisoned`; an optional RSS watchdog
+//! ([`ServeOptions::rss_kill_factor`]) kills jobs that grow past a
+//! multiple of their admission estimate (`KilledOverBudget`); and the
+//! daemon sheds submissions past a queue-depth or admitted-bytes
+//! high-water mark (HTTP `429` + `Retry-After`, line-JSON
+//! `"retryable":true`) instead of collapsing under overload.
+//!
 //! ## Determinism
 //!
 //! Per-job outputs are bit-identical regardless of fleet size, thread
@@ -65,8 +80,10 @@ pub use daemon::{run_daemon, run_server, Frontends};
 pub use http::{prometheus_metrics, run_http, HttpOptions};
 
 pub use manifest::{JobInput, JobSpec, Manifest};
-pub use report::{fnv1a, peak_rss_bytes, JobReport, JobStatus, ServeReport};
+pub use report::{current_rss_bytes, fnv1a, peak_rss_bytes, JobReport, JobStatus, ServeReport};
 pub use scheduler::{
     load_kb_file, load_truth_file, run_batch, run_batch_streaming, CancelOutcome, CancelToken,
-    Cancelled, JobId, JobPhase, JobQueue, JobSnapshot, QueueStats, ServeOptions,
+    Cancelled, JobId, JobPhase, JobQueue, JobSnapshot, QueueStats, ServeOptions, SubmitError,
+    DEFAULT_SHED_QUEUE_DEPTH, POISON_PANICS, RETRY_BACKOFF_BASE, RETRY_BACKOFF_CAP,
+    SHED_BYTES_FACTOR,
 };

@@ -7,6 +7,8 @@
 //! slots = 4               # pair-level parallelism (0 = one slot per core)
 //! threads = 0             # total worker-thread budget (0 = all cores)
 //! memory_budget_mib = 512 # bounded-memory admission (0 = unlimited)
+//! timeout_ms = 0          # default per-job deadline (0 = none)
+//! max_retries = 0         # default transient-failure retry budget
 //!
 //! [[job]]                 # synthetic job: a benchmark profile
 //! name = "rexa-small"
@@ -22,6 +24,8 @@
 //! theta = 0.5              # optional per-job overrides
 //! k = 10
 //! purge = false
+//! timeout_ms = 60000       # per-job deadline override
+//! max_retries = 2          # per-job retry budget override
 //! ```
 //!
 //! The JSON spelling is the same object shape with a `jobs` array. The
@@ -85,6 +89,16 @@ pub struct JobSpec {
     pub candidates_k: Option<usize>,
     /// Per-job Block Purging override.
     pub purge_blocks: Option<bool>,
+    /// Per-job run deadline in milliseconds, measured from dispatch
+    /// (`None` = inherit the fleet default; `Some(0)` = explicitly no
+    /// deadline). A job past its deadline unwinds at the next
+    /// checkpoint and reports `timed_out`.
+    pub timeout_ms: Option<u64>,
+    /// Per-job retry budget for *transient* failures (IO errors, fault
+    /// stalls, timeouts). `None` = inherit the fleet default, which
+    /// itself defaults to `0` — no retries, so fingerprint gates see
+    /// exactly one attempt unless a manifest opts in.
+    pub max_retries: Option<u32>,
 }
 
 impl JobSpec {
@@ -185,6 +199,12 @@ pub struct Manifest {
     pub threads: usize,
     /// Memory budget for admission, in MiB (`0` = unlimited).
     pub memory_budget_mib: usize,
+    /// Fleet-level default run deadline in milliseconds (`0` = no
+    /// deadline). Jobs can override with their own `timeout_ms`.
+    pub timeout_ms: u64,
+    /// Fleet-level default retry budget for transient failures (`0` =
+    /// no retries). Jobs can override with their own `max_retries`.
+    pub max_retries: u32,
     /// The jobs, in admission order.
     pub jobs: Vec<JobSpec>,
 }
@@ -227,6 +247,8 @@ impl Manifest {
             slots: 0,
             threads: 0,
             memory_budget_mib: 0,
+            timeout_ms: 0,
+            max_retries: 0,
             jobs: Vec::new(),
         };
         for (key, value) in fields {
@@ -236,6 +258,11 @@ impl Manifest {
                 "threads" => manifest.threads = value.as_usize().ok_or_else(bad)?,
                 "memory_budget_mib" => {
                     manifest.memory_budget_mib = value.as_usize().ok_or_else(bad)?
+                }
+                "timeout_ms" => manifest.timeout_ms = value.as_usize().ok_or_else(bad)? as u64,
+                "max_retries" => {
+                    manifest.max_retries =
+                        u32::try_from(value.as_usize().ok_or_else(bad)?).map_err(|_| bad())?
                 }
                 "job" | "jobs" => {
                     let Json::Arr(items) = value else {
@@ -283,6 +310,8 @@ impl Manifest {
                 "memory_budget_mib",
                 Json::num(self.memory_budget_mib as f64),
             ),
+            ("timeout_ms", Json::num(self.timeout_ms as f64)),
+            ("max_retries", Json::num(self.max_retries as f64)),
             ("jobs", Json::arr(self.jobs.iter().map(job_to_json))),
         ])
     }
@@ -315,6 +344,8 @@ fn job_from_json(json: &Json) -> Result<JobSpec, String> {
     let mut theta = None;
     let mut candidates_k = None;
     let mut purge_blocks = None;
+    let mut timeout_ms = None;
+    let mut max_retries = None;
     for (key, value) in fields {
         let bad = || format!("bad value for {key}");
         match key.as_str() {
@@ -344,6 +375,11 @@ fn job_from_json(json: &Json) -> Result<JobSpec, String> {
             "theta" => theta = Some(value.as_f64().ok_or_else(bad)?),
             "k" => candidates_k = Some(value.as_usize().ok_or_else(bad)?),
             "purge" => purge_blocks = Some(value.as_bool().ok_or_else(bad)?),
+            "timeout_ms" => timeout_ms = Some(value.as_usize().ok_or_else(bad)? as u64),
+            "max_retries" => {
+                max_retries =
+                    Some(u32::try_from(value.as_usize().ok_or_else(bad)?).map_err(|_| bad())?)
+            }
             other => return Err(format!("unknown job field {other:?}")),
         }
     }
@@ -376,6 +412,8 @@ fn job_from_json(json: &Json) -> Result<JobSpec, String> {
         theta,
         candidates_k,
         purge_blocks,
+        timeout_ms,
+        max_retries,
     })
 }
 
@@ -410,6 +448,12 @@ fn job_to_json(job: &JobSpec) -> Json {
     if let Some(purge) = job.purge_blocks {
         fields.push(("purge".into(), Json::Bool(purge)));
     }
+    if let Some(timeout) = job.timeout_ms {
+        fields.push(("timeout_ms".into(), Json::num(timeout as f64)));
+    }
+    if let Some(retries) = job.max_retries {
+        fields.push(("max_retries".into(), Json::num(retries as f64)));
+    }
     Json::Obj(fields)
 }
 
@@ -418,8 +462,8 @@ mod tests {
     use super::*;
 
     const TOML: &str = "\
-slots = 2\nthreads = 4\nmemory_budget_mib = 256\n\
-[[job]]\nname = \"syn\"\ndataset = \"rexa\"\nseed = 7\nscale = 0.25\n\
+slots = 2\nthreads = 4\nmemory_budget_mib = 256\ntimeout_ms = 90000\nmax_retries = 1\n\
+[[job]]\nname = \"syn\"\ndataset = \"rexa\"\nseed = 7\nscale = 0.25\ntimeout_ms = 500\nmax_retries = 3\n\
 [[job]]\nname = \"fil\"\nfirst = \"a.tsv\"\nsecond = \"b.nt\"\ntruth = \"t.tsv\"\ntheta = 0.5\nk = 9\npurge = false\n";
 
     #[test]
@@ -428,7 +472,13 @@ slots = 2\nthreads = 4\nmemory_budget_mib = 256\n\
         assert_eq!(m.slots, 2);
         assert_eq!(m.threads, 4);
         assert_eq!(m.memory_budget_mib, 256);
+        assert_eq!(m.timeout_ms, 90000, "fleet-level deadline default");
+        assert_eq!(m.max_retries, 1, "fleet-level retry default");
         assert_eq!(m.jobs.len(), 2);
+        assert_eq!(m.jobs[0].timeout_ms, Some(500), "per-job override");
+        assert_eq!(m.jobs[0].max_retries, Some(3));
+        assert_eq!(m.jobs[1].timeout_ms, None, "inherits the fleet default");
+        assert_eq!(m.jobs[1].max_retries, None);
         assert_eq!(
             m.jobs[0].input,
             JobInput::Synthetic {
@@ -475,6 +525,8 @@ slots = 2\nthreads = 4\nmemory_budget_mib = 256\n\
             theta: None,
             candidates_k: None,
             purge_blocks: None,
+            timeout_ms: None,
+            max_retries: None,
         };
         let mut big = small.clone();
         big.input = JobInput::Synthetic {

@@ -21,8 +21,18 @@ pub enum JobStatus {
     /// Failed (load error, bad config, or a panic caught by the
     /// scheduler); the rest of the fleet is unaffected.
     Failed(String),
-    /// Skipped because the fleet was cancelled before dispatch.
+    /// Cancelled by an operator or client request (or skipped because
+    /// the fleet was cancelled before dispatch).
     Cancelled,
+    /// The job's deadline (`timeout_ms`) expired; the supervisor
+    /// cancelled its token and the job unwound at the next checkpoint.
+    TimedOut,
+    /// The job panicked twice across retry attempts and was quarantined
+    /// so it cannot wedge the fleet; carries the last panic message.
+    Poisoned(String),
+    /// The RSS watchdog observed the job exceeding `k×` its admission
+    /// estimate and killed it gracefully at the next checkpoint.
+    KilledOverBudget,
 }
 
 impl JobStatus {
@@ -31,12 +41,24 @@ impl JobStatus {
         matches!(self, JobStatus::Ok)
     }
 
-    /// Short status label (`ok` / `failed` / `cancelled`).
+    /// Short status label (`ok` / `failed` / `cancelled` / `timed_out`
+    /// / `poisoned` / `killed_over_budget`).
     pub fn label(&self) -> &'static str {
         match self {
             JobStatus::Ok => "ok",
             JobStatus::Failed(_) => "failed",
             JobStatus::Cancelled => "cancelled",
+            JobStatus::TimedOut => "timed_out",
+            JobStatus::Poisoned(_) => "poisoned",
+            JobStatus::KilledOverBudget => "killed_over_budget",
+        }
+    }
+
+    /// The error detail carried by failure-like states, if any.
+    pub fn error(&self) -> Option<&str> {
+        match self {
+            JobStatus::Failed(e) | JobStatus::Poisoned(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -47,8 +69,20 @@ impl JobStatus {
 /// per-job values record "RSS never exceeded this by the time the job
 /// finished", not a per-job delta.
 pub fn peak_rss_bytes() -> Option<u64> {
+    proc_status_bytes("VmHWM:")
+}
+
+/// Current resident set size of this process in bytes (Linux
+/// `/proc/self/status` `VmRSS`); `None` elsewhere. Unlike
+/// [`peak_rss_bytes`] this can go down, which is what the scheduler's
+/// RSS watchdog needs to measure live growth against a baseline.
+pub fn current_rss_bytes() -> Option<u64> {
+    proc_status_bytes("VmRSS:")
+}
+
+fn proc_status_bytes(field: &str) -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let line = status.lines().find(|l| l.starts_with(field))?;
     let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
     Some(kib * 1024)
 }
@@ -137,6 +171,9 @@ impl JobReport {
             JobStatus::Ok => "ok".to_string(),
             JobStatus::Failed(e) => format!("failed:{e}"),
             JobStatus::Cancelled => "cancelled".to_string(),
+            JobStatus::TimedOut => "timed_out".to_string(),
+            JobStatus::Poisoned(e) => format!("poisoned:{e}"),
+            JobStatus::KilledOverBudget => "killed_over_budget".to_string(),
         };
         let _ = write!(
             out,
@@ -164,7 +201,7 @@ impl JobReport {
             ("name".into(), Json::str(&self.name)),
             ("status".into(), Json::str(self.status.label())),
         ];
-        if let JobStatus::Failed(e) = &self.status {
+        if let Some(e) = self.status.error() {
             fields.push(("error".into(), Json::str(e)));
         }
         fields.push(("matches".into(), Json::num(self.matches.len() as f64)));
@@ -368,6 +405,35 @@ mod tests {
         assert!(j.get("fingerprint_fnv1a").is_some());
         let no_pairs = r.to_json(false);
         assert!(no_pairs.get("pairs").is_none());
+    }
+
+    #[test]
+    fn lifecycle_states_have_distinct_labels_and_fingerprints() {
+        let states = [
+            JobStatus::Ok,
+            JobStatus::Failed("e".into()),
+            JobStatus::Cancelled,
+            JobStatus::TimedOut,
+            JobStatus::Poisoned("p".into()),
+            JobStatus::KilledOverBudget,
+        ];
+        for (i, a) in states.iter().enumerate() {
+            for b in states.iter().skip(i + 1) {
+                assert_ne!(a.label(), b.label());
+                assert_ne!(
+                    JobReport::empty("j", a.clone()).fingerprint(),
+                    JobReport::empty("j", b.clone()).fingerprint()
+                );
+            }
+        }
+        let poisoned = JobReport::empty("j", JobStatus::Poisoned("kaboom".into()));
+        let j = poisoned.to_json(false);
+        assert_eq!(j.get("status").unwrap().as_str(), Some("poisoned"));
+        assert_eq!(j.get("error").unwrap().as_str(), Some("kaboom"));
+        assert!(JobReport::empty("j", JobStatus::TimedOut)
+            .to_json(false)
+            .get("error")
+            .is_none());
     }
 
     #[test]

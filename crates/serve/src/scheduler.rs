@@ -56,10 +56,44 @@
 //!   pipeline is bit-identical across executors and thread counts, and
 //!   each job's inputs are private to it. The fleet report lists jobs
 //!   in submission order regardless of completion order.
+//!
+//! ## Job lifecycle
+//!
+//! The supervised lifecycle, including the retry edge (attempts at a
+//! job re-enter the queue; phases observable via [`JobPhase`], terminal
+//! states via [`JobStatus`]):
+//!
+//! ```text
+//!             ┌──────────────◄──────────────┐ retry: transient failure
+//!             │                             │ (IO error, stall, timeout)
+//!             ▼                             │ while attempt < max_retries,
+//!   Queued ──────► Running ──────┬──────────┘ after exponential backoff
+//!     │                          │            with deterministic jitter
+//!     │                          ├─► Done(Ok)
+//!     │                          ├─► Done(Failed)            permanent error,
+//!     │                          │                           or retries exhausted
+//!     │                          ├─► Done(Cancelled)         operator/client cancel
+//!     │                          ├─► Done(TimedOut)          `timeout_ms` deadline
+//!     │                          │                           expired at a checkpoint
+//!     │                          ├─► Done(Poisoned)          second panic across
+//!     │                          │                           attempts: quarantined
+//!     │                          └─► Done(KilledOverBudget)  RSS watchdog: grew past
+//!     │                                                      k × admission estimate
+//!     └─────► Done(Cancelled)    pre-dispatch cancel
+//! ```
+//!
+//! Failures classify as **transient** (IO errors — a missing or
+//! unreadable file may appear on retry — fault-injected stalls, expired
+//! deadlines) or **permanent** (parse errors, bad config: the same
+//! input fails the same way every time). Only transient failures and
+//! first panics consume retry budget; `max_retries` defaults to `0`, so
+//! without an explicit opt-in every job gets exactly one attempt and
+//! the bit-identity gates observe the historical behavior unchanged.
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use minoan_core::{MinoanConfig, MinoanEr, Timings};
@@ -69,7 +103,7 @@ use minoan_exec::{Executor, ExecutorKind, PoolStats, MAX_THREADS};
 use minoan_kb::{parse, GroundTruth, Json, KbPair, Matching};
 
 use crate::manifest::{JobInput, JobSpec, Manifest};
-use crate::report::{peak_rss_bytes, JobReport, JobStatus, ServeReport};
+use crate::report::{current_rss_bytes, peak_rss_bytes, JobReport, JobStatus, ServeReport};
 
 pub use minoan_exec::{CancelToken, Cancelled};
 
@@ -90,6 +124,22 @@ pub struct ServeOptions {
     pub executor: ExecutorKind,
     /// Matching defaults; per-job overrides apply on top.
     pub base: MinoanConfig,
+    /// Fleet default per-job deadline in ms (`Some(0)` = explicitly no
+    /// deadline; `None` defers to the manifest's `timeout_ms`).
+    pub timeout_ms: Option<u64>,
+    /// Fleet default transient-failure retry budget (`None` defers to
+    /// the manifest's `max_retries`, itself defaulting to `0`).
+    pub max_retries: Option<u32>,
+    /// RSS watchdog: kill a job whose measured RSS growth exceeds this
+    /// factor times its admission estimate (`None` = watchdog off, the
+    /// default — process-wide RSS attribution is too coarse to arm
+    /// unconditionally).
+    pub rss_kill_factor: Option<f64>,
+    /// Overload shedding high-water mark on queue depth for daemon
+    /// intake (`None` = the [`DEFAULT_SHED_QUEUE_DEPTH`] default,
+    /// `Some(0)` = never shed on depth). Batch mode never sheds: a
+    /// manifest is admitted whole.
+    pub shed_queue_depth: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -100,6 +150,10 @@ impl Default for ServeOptions {
             memory_budget_mib: None,
             executor: ExecutorKind::Pool,
             base: MinoanConfig::default(),
+            timeout_ms: None,
+            max_retries: None,
+            rss_kill_factor: None,
+            shed_queue_depth: None,
         }
     }
 }
@@ -176,6 +230,16 @@ pub struct QueueStats {
     pub done_failed: usize,
     /// Terminal jobs that were cancelled.
     pub done_cancelled: usize,
+    /// Terminal jobs whose deadline expired.
+    pub done_timed_out: usize,
+    /// Terminal jobs quarantined after repeated panics.
+    pub done_poisoned: usize,
+    /// Terminal jobs killed by the RSS watchdog.
+    pub done_killed_over_budget: usize,
+    /// Retry attempts the supervisor has re-queued (cumulative).
+    pub retries_scheduled: u64,
+    /// Submissions rejected by overload shedding (cumulative).
+    pub shed_total: u64,
     /// Sum of footprint estimates of the jobs admitted right now — what
     /// the bounded-memory admission is charging against the budget.
     pub admitted_bytes: u64,
@@ -207,9 +271,14 @@ pub struct QueueStats {
 }
 
 impl QueueStats {
-    /// Total terminal jobs (ok + failed + cancelled).
+    /// Total terminal jobs across every terminal state.
     pub fn done(&self) -> usize {
-        self.done_ok + self.done_failed + self.done_cancelled
+        self.done_ok
+            + self.done_failed
+            + self.done_cancelled
+            + self.done_timed_out
+            + self.done_poisoned
+            + self.done_killed_over_budget
     }
 
     /// The telemetry as a flat JSON object — the `telemetry` member of
@@ -238,6 +307,17 @@ impl QueueStats {
             ("done_ok", Json::num(self.done_ok as f64)),
             ("done_failed", Json::num(self.done_failed as f64)),
             ("done_cancelled", Json::num(self.done_cancelled as f64)),
+            ("done_timed_out", Json::num(self.done_timed_out as f64)),
+            ("done_poisoned", Json::num(self.done_poisoned as f64)),
+            (
+                "done_killed_over_budget",
+                Json::num(self.done_killed_over_budget as f64),
+            ),
+            (
+                "retries_scheduled",
+                Json::num(self.retries_scheduled as f64),
+            ),
+            ("shed_total", Json::num(self.shed_total as f64)),
             ("admitted_bytes", Json::num(self.admitted_bytes as f64)),
             (
                 "memory_budget_bytes",
@@ -298,6 +378,18 @@ struct JobEntry {
     raw_estimate: u64,
     cancel: CancelToken,
     phase: Phase,
+    /// Resolved run deadline (per-job `timeout_ms` over the fleet
+    /// default; `None` = no deadline). Armed on the token at dispatch,
+    /// re-armed fresh on every retry attempt.
+    timeout: Option<Duration>,
+    /// Resolved transient-failure retry budget.
+    max_retries: u32,
+    /// Completed attempts beyond the first (0 on the first run).
+    attempt: u32,
+    /// Attempts that ended in a panic; [`POISON_PANICS`] quarantines.
+    panics: u32,
+    /// Backoff gate: a re-queued retry is not dispatched before this.
+    not_before: Option<Instant>,
 }
 
 /// Internal phase storage; `Done` owns the report (boxed: terminal
@@ -334,14 +426,19 @@ struct QueueInner {
     threads_in_use: usize,
     /// No further submissions; workers exit once drained.
     closed: bool,
+    /// Cumulative retry attempts re-queued by the supervisor.
+    retries_scheduled: u64,
+    /// Cumulative submissions rejected by overload shedding.
+    shed_total: u64,
 }
 
 impl QueueInner {
     /// The single place job phases change. Legal transitions are
     /// `Queued → Running` (dispatch), `Queued → Done` (pre-dispatch
-    /// cancel) and `Running → Done` (completion); anything else is a
-    /// scheduler bug and panics rather than producing a report that
-    /// contradicts the phase history.
+    /// cancel), `Running → Done` (completion) and `Running → Queued`
+    /// (transient-failure retry re-entering the queue); anything else
+    /// is a scheduler bug and panics rather than producing a report
+    /// that contradicts the phase history.
     fn transition(&mut self, id: JobId, to: Phase) {
         let entry = &mut self.entries[id];
         let ok = matches!(
@@ -349,6 +446,7 @@ impl QueueInner {
             (Phase::Queued, Phase::Running)
                 | (Phase::Queued, Phase::Done(_))
                 | (Phase::Running, Phase::Done(_))
+                | (Phase::Running, Phase::Queued)
         );
         assert!(
             ok,
@@ -406,6 +504,16 @@ pub struct JobQueue {
     width: usize,
     threads: usize,
     budget_bytes: u64,
+    /// Fleet default per-job deadline in ms (`0` = none); per-job
+    /// `timeout_ms` overrides.
+    default_timeout_ms: u64,
+    /// Fleet default retry budget; per-job `max_retries` overrides.
+    default_max_retries: u32,
+    /// Shedding high-water mark on pending depth (`0` = off).
+    shed_max_queued: usize,
+    /// Shedding high-water mark on admitted + pending estimate bytes
+    /// (`0` = off).
+    shed_max_bytes: u64,
     /// Self-calibrating admission: per-profile running ratio of measured
     /// `peak_rss_delta_bytes` to the raw footprint estimate, learned
     /// from finished jobs (EWMA) and applied — clamped — to future
@@ -413,6 +521,54 @@ pub struct JobQueue {
     /// calibration reads/writes never contend with dispatch.
     calibration: Mutex<HashMap<&'static str, f64>>,
 }
+
+/// Default overload-shedding high-water mark on queue depth for daemon
+/// intake: submissions beyond this many pending jobs are rejected as
+/// retryable so clients back off instead of piling on. Batch manifests
+/// are exempt (admitted whole); `ServeOptions::shed_queue_depth`
+/// overrides, `0` disabling depth shedding entirely.
+pub const DEFAULT_SHED_QUEUE_DEPTH: usize = 256;
+
+/// Admitted-bytes shedding: with a memory budget configured, intake
+/// sheds once `admitted + pending` estimates exceed this factor times
+/// the budget — queueing more than a few budgets' worth of work only
+/// buys latency, never throughput.
+pub const SHED_BYTES_FACTOR: u64 = 4;
+
+/// A job whose attempts panic this many times is quarantined as
+/// [`JobStatus::Poisoned`] regardless of remaining retry budget.
+pub const POISON_PANICS: u32 = 2;
+
+/// First retry waits this long (doubling per attempt, jittered).
+pub const RETRY_BACKOFF_BASE: Duration = Duration::from_millis(50);
+
+/// Retry backoff delays cap here.
+pub const RETRY_BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// RSS watchdog sampling interval.
+const WATCHDOG_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Why [`JobQueue::submit`] refused a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is closed to new submissions (shutdown in progress).
+    /// Not retryable: the daemon is going away.
+    Closed,
+    /// Load shedding: a high-water mark (queue depth or admitted-bytes)
+    /// is crossed. Retryable — the client should back off and resubmit.
+    Overloaded(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Closed => f.write_str("queue is closed to new submissions"),
+            SubmitError::Overloaded(detail) => write!(f, "overloaded: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// EWMA weight of the newest estimate-accuracy observation.
 const CALIBRATION_ALPHA: f64 = 0.5;
@@ -436,6 +592,8 @@ impl JobQueue {
                 peak_active: 0,
                 threads_in_use: 0,
                 closed: false,
+                retries_scheduled: 0,
+                shed_total: 0,
             }),
             admit: Condvar::new(),
             done: Condvar::new(),
@@ -447,8 +605,32 @@ impl JobQueue {
             ),
             threads: threads.max(1),
             budget_bytes,
+            default_timeout_ms: 0,
+            default_max_retries: 0,
+            shed_max_queued: 0,
+            shed_max_bytes: 0,
             calibration: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Sets the fleet-level lifecycle defaults new submissions resolve
+    /// against: per-job deadline (`0` = none) and transient-failure
+    /// retry budget. Builder-style; call before sharing the queue.
+    pub fn with_job_defaults(mut self, timeout_ms: u64, max_retries: u32) -> JobQueue {
+        self.default_timeout_ms = timeout_ms;
+        self.default_max_retries = max_retries;
+        self
+    }
+
+    /// Arms overload shedding: [`JobQueue::submit`] rejects with
+    /// [`SubmitError::Overloaded`] once `max_queued` jobs are pending
+    /// (`0` = no depth limit) or admitted + pending estimates exceed
+    /// `max_bytes` (`0` = no byte limit). Builder-style; the daemon
+    /// arms this, batch mode does not.
+    pub fn with_shed_limits(mut self, max_queued: usize, max_bytes: u64) -> JobQueue {
+        self.shed_max_queued = max_queued;
+        self.shed_max_bytes = max_bytes;
+        self
     }
 
     /// Fleet slots (concurrent jobs) this queue schedules for.
@@ -510,15 +692,50 @@ impl JobQueue {
         *ratio = (1.0 - CALIBRATION_ALPHA) * *ratio + CALIBRATION_ALPHA * observed;
     }
 
-    /// Submits a job, returning its id (= submission index). Fails once
-    /// the queue is [closed](JobQueue::close). The footprint estimate is
-    /// taken now, before any input is loaded.
-    pub fn submit(&self, spec: JobSpec) -> Result<JobId, String> {
+    /// Submits a job, returning its id (= submission index). Fails with
+    /// [`SubmitError::Closed`] once the queue is
+    /// [closed](JobQueue::close), and — when [shedding is
+    /// armed](JobQueue::with_shed_limits) — with the retryable
+    /// [`SubmitError::Overloaded`] when a high-water mark is crossed.
+    /// The footprint estimate is taken now, before any input is loaded;
+    /// the job's deadline and retry budget resolve against the fleet
+    /// defaults now too.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
         let raw_estimate = spec.estimated_bytes();
         let estimate = self.calibrated_estimate(&spec, raw_estimate);
+        let timeout_ms = spec.timeout_ms.unwrap_or(self.default_timeout_ms);
+        let timeout = (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms));
+        let max_retries = spec.max_retries.unwrap_or(self.default_max_retries);
         let mut guard = self.lock();
         if guard.closed {
-            return Err("queue is closed to new submissions".into());
+            return Err(SubmitError::Closed);
+        }
+        if self.shed_max_queued > 0 && guard.pending.len() >= self.shed_max_queued {
+            guard.shed_total += 1;
+            return Err(SubmitError::Overloaded(format!(
+                "{} jobs pending (high-water mark {})",
+                guard.pending.len(),
+                self.shed_max_queued
+            )));
+        }
+        if self.shed_max_bytes > 0 {
+            let pending_bytes: u64 = guard
+                .pending
+                .iter()
+                .map(|&p| guard.entries[p].estimate)
+                .sum();
+            let charged = guard
+                .in_flight_bytes
+                .saturating_add(pending_bytes)
+                .saturating_add(estimate);
+            if charged > self.shed_max_bytes {
+                guard.shed_total += 1;
+                return Err(SubmitError::Overloaded(format!(
+                    "{charged} estimated bytes admitted or pending \
+                     (high-water mark {})",
+                    self.shed_max_bytes
+                )));
+            }
         }
         let id = guard.entries.len();
         guard.entries.push(JobEntry {
@@ -527,6 +744,11 @@ impl JobQueue {
             raw_estimate,
             cancel: CancelToken::new(),
             phase: Phase::Queued,
+            timeout,
+            max_retries,
+            attempt: 0,
+            panics: 0,
+            not_before: None,
         });
         guard.pending.push_back(id);
         drop(guard);
@@ -657,6 +879,8 @@ impl JobQueue {
             threads_budget: self.threads,
             slots: self.slots,
             peak_running: guard.peak_active,
+            retries_scheduled: guard.retries_scheduled,
+            shed_total: guard.shed_total,
             pool: minoan_exec::pool::try_stats(),
             ..QueueStats::default()
         };
@@ -669,6 +893,9 @@ impl JobQueue {
                         JobStatus::Ok => stats.done_ok += 1,
                         JobStatus::Failed(_) => stats.done_failed += 1,
                         JobStatus::Cancelled => stats.done_cancelled += 1,
+                        JobStatus::TimedOut => stats.done_timed_out += 1,
+                        JobStatus::Poisoned(_) => stats.done_poisoned += 1,
+                        JobStatus::KilledOverBudget => stats.done_killed_over_budget += 1,
                     }
                     if let Some(t) = &report.timings {
                         stats.stage_totals.tokenize += t.tokenize;
@@ -703,12 +930,23 @@ impl JobQueue {
                 Claim::Exit => return,
                 Claim::Flipped { report } => on_done(&report),
                 Claim::Run { id, allot } => {
-                    let (spec, estimate, raw_estimate, job_cancel) = {
+                    let (spec, estimate, raw_estimate, job_cancel, timeout) = {
                         let guard = self.lock();
                         let e = &guard.entries[id];
-                        (e.spec.clone(), e.estimate, e.raw_estimate, e.cancel.clone())
+                        (
+                            e.spec.clone(),
+                            e.estimate,
+                            e.raw_estimate,
+                            e.cancel.clone(),
+                            e.timeout,
+                        )
                     };
-                    let report = run_job(&spec, opts, allot, estimate, &job_cancel);
+                    // The deadline clock starts at dispatch (queue wait
+                    // does not count) and restarts on every attempt.
+                    if let Some(timeout) = timeout {
+                        job_cancel.set_deadline(timeout);
+                    }
+                    let (mut report, class) = run_job(&spec, opts, allot, estimate, &job_cancel);
                     // Self-calibrating admission: successful jobs teach
                     // the profile's estimate-accuracy ratio, and a
                     // charged estimate off by more than 2× either way is
@@ -734,6 +972,47 @@ impl JobQueue {
                     guard.active -= 1;
                     guard.in_flight_bytes -= estimate;
                     guard.threads_in_use -= allot;
+                    let entry = &mut guard.entries[id];
+                    if matches!(class, EndClass::Panicked) {
+                        entry.panics += 1;
+                    }
+                    // Quarantine before the retry decision: the second
+                    // panic is terminal even with retry budget left.
+                    let poisoned =
+                        matches!(class, EndClass::Panicked) && entry.panics >= POISON_PANICS;
+                    // An operator cancel that raced a transient failure
+                    // is still a cancel; never resurrect the job.
+                    let user_cancelled =
+                        entry.cancel.reason() == Some(minoan_exec::CancelReason::User);
+                    let retry = !poisoned
+                        && !user_cancelled
+                        && !matches!(class, EndClass::Final)
+                        && entry.attempt < entry.max_retries;
+                    if retry {
+                        entry.attempt += 1;
+                        entry.cancel = CancelToken::new();
+                        let delay = minoan_exec::backoff::jittered_delay(
+                            RETRY_BACKOFF_BASE,
+                            entry.attempt - 1,
+                            RETRY_BACKOFF_CAP,
+                            retry_seed(id, entry.attempt),
+                        );
+                        entry.not_before = Some(Instant::now() + delay);
+                        guard.retries_scheduled += 1;
+                        guard.transition(id, Phase::Queued);
+                        guard.pending.push_back(id);
+                        drop(guard);
+                        self.admit.notify_all();
+                        // Not terminal: no on_done, no done notification.
+                        continue;
+                    }
+                    if poisoned {
+                        let detail = match &report.status {
+                            JobStatus::Failed(e) => e.clone(),
+                            other => other.label().to_string(),
+                        };
+                        report.status = JobStatus::Poisoned(detail);
+                    }
                     guard.transition(id, Phase::Done(Box::new(report.clone())));
                     drop(guard);
                     self.admit.notify_all();
@@ -767,6 +1046,20 @@ impl JobQueue {
                 return Claim::Flipped {
                     report: Box::new(report),
                 };
+            }
+            // Backoff gate: a retried job at the head waits out its
+            // delay here. FIFO order is preserved — jobs behind it wait
+            // too, which keeps retry scheduling deterministic.
+            if let Some(nb) = guard.entries[id].not_before {
+                let now = Instant::now();
+                if now < nb {
+                    let (g, _) = self
+                        .admit
+                        .wait_timeout(guard, nb - now)
+                        .expect("queue lock");
+                    guard = g;
+                    continue;
+                }
             }
             let est = guard.entries[id].estimate;
             // Never dispatch beyond the execution width: a slot past
@@ -889,7 +1182,10 @@ pub fn run_batch_streaming(
         manifest.memory_budget_mib,
         manifest.jobs.len(),
     );
-    let queue = JobQueue::new(slots, threads, budget_bytes);
+    let queue = JobQueue::new(slots, threads, budget_bytes).with_job_defaults(
+        opts.timeout_ms.unwrap_or(manifest.timeout_ms),
+        opts.max_retries.unwrap_or(manifest.max_retries),
+    );
     for job in &manifest.jobs {
         queue
             .submit(job.clone())
@@ -913,24 +1209,106 @@ pub fn run_batch_streaming(
     }
 }
 
-/// How a job ended without producing a normal report.
+/// How a job ended without producing a normal report. `transient`
+/// separates failures worth retrying (I/O errors, injected faults)
+/// from deterministic ones (parse errors, bad config) that would fail
+/// identically on every attempt.
 enum JobEnd {
-    Failed(String),
+    Failed { error: String, transient: bool },
     Cancelled,
+}
+
+impl JobEnd {
+    fn permanent(error: String) -> Self {
+        JobEnd::Failed {
+            error,
+            transient: false,
+        }
+    }
+
+    fn transient(error: String) -> Self {
+        JobEnd::Failed {
+            error,
+            transient: true,
+        }
+    }
+}
+
+/// The retry classification of a finished attempt, decided by
+/// [`run_job`] and consumed by the worker's retry logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EndClass {
+    /// Terminal regardless of retry budget: success, permanent failure,
+    /// operator cancel, or an over-budget kill.
+    Final,
+    /// Worth retrying under the job's `max_retries` budget: I/O errors,
+    /// injected faults, deadline expiry.
+    Transient,
+    /// A panic: retryable once, but the second panic poisons the job
+    /// (see [`POISON_PANICS`]).
+    Panicked,
+}
+
+/// Deterministic per-(job, attempt) seed for backoff jitter. Same
+/// splitmix64 finalizer the fault plan uses; wall-clock randomness
+/// would break replayable scheduling.
+fn retry_seed(id: JobId, attempt: u32) -> u64 {
+    let mut z = (id as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u64::from(attempt));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Watches the process RSS while one job runs and cancels its token
+/// with [`CancelReason::OverBudget`] if the growth over `baseline`
+/// exceeds `limit` bytes. Returns a handle; set the flag and join to
+/// stop. Attribution is process-wide, hence opt-in via
+/// [`ServeOptions::rss_kill_factor`].
+fn spawn_rss_watchdog(
+    cancel: CancelToken,
+    baseline: u64,
+    limit: u64,
+) -> (Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        while !stop2.load(Ordering::Acquire) && !cancel.is_cancelled() {
+            if let Some(now) = current_rss_bytes() {
+                if now.saturating_sub(baseline) > limit {
+                    cancel.cancel_with(minoan_exec::CancelReason::OverBudget);
+                    return;
+                }
+            }
+            std::thread::sleep(WATCHDOG_INTERVAL);
+        }
+    });
+    (stop, handle)
 }
 
 /// Runs one job start to finish, converting every failure mode — input
 /// errors, config errors, panics — into a `Failed` report and a
-/// checkpoint-observed cancellation into a `Cancelled` one.
+/// checkpoint-observed cancellation into a `Cancelled`, `TimedOut`, or
+/// `KilledOverBudget` one (the token's [`CancelReason`] decides which).
+/// The returned [`EndClass`] tells the worker whether a retry is
+/// worthwhile.
 fn run_job(
     spec: &JobSpec,
     opts: &ServeOptions,
     threads: usize,
     estimated: u64,
     cancel: &CancelToken,
-) -> JobReport {
+) -> (JobReport, EndClass) {
     let t0 = Instant::now();
     let rss_before = peak_rss_bytes();
+    let watchdog = match opts.rss_kill_factor {
+        Some(factor) if factor > 0.0 && estimated > 0 => {
+            let limit = (estimated as f64 * factor) as u64;
+            current_rss_bytes().map(|base| spawn_rss_watchdog(cancel.clone(), base, limit))
+        }
+        _ => None,
+    };
     // The token rides on the executor so pool-backed waves can abort
     // between task quanta, not just between waves.
     let exec = Executor::new(opts.executor, threads).with_cancel(cancel.clone());
@@ -946,12 +1324,44 @@ fn run_job(
                 .map(|s| s.to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".into());
-            Err(JobEnd::Failed(format!("job panicked: {msg}")))
+            Err(JobEnd::Failed {
+                error: format!("job panicked: {msg}"),
+                transient: true,
+            })
         });
-    let mut report = match outcome {
-        Ok(report) => report,
-        Err(JobEnd::Failed(e)) => JobReport::empty(&spec.name, JobStatus::Failed(e)),
-        Err(JobEnd::Cancelled) => JobReport::empty(&spec.name, JobStatus::Cancelled),
+    if let Some((stop, handle)) = watchdog {
+        stop.store(true, Ordering::Release);
+        let _ = handle.join();
+    }
+    let (mut report, class) = match outcome {
+        Ok(report) => (report, EndClass::Final),
+        Err(JobEnd::Failed { error, transient }) => {
+            let class = if error.starts_with("job panicked:") {
+                EndClass::Panicked
+            } else if transient {
+                EndClass::Transient
+            } else {
+                EndClass::Final
+            };
+            (
+                JobReport::empty(&spec.name, JobStatus::Failed(error)),
+                class,
+            )
+        }
+        Err(JobEnd::Cancelled) => match cancel.reason() {
+            Some(minoan_exec::CancelReason::DeadlineExceeded) => (
+                JobReport::empty(&spec.name, JobStatus::TimedOut),
+                EndClass::Transient,
+            ),
+            Some(minoan_exec::CancelReason::OverBudget) => (
+                JobReport::empty(&spec.name, JobStatus::KilledOverBudget),
+                EndClass::Final,
+            ),
+            _ => (
+                JobReport::empty(&spec.name, JobStatus::Cancelled),
+                EndClass::Final,
+            ),
+        },
     };
     report.wall = t0.elapsed();
     report.threads = exec.threads();
@@ -964,7 +1374,7 @@ fn run_job(
         (Some(before), Some(after)) => Some(after.saturating_sub(before)),
         _ => None,
     };
-    report
+    (report, class)
 }
 
 /// Loads the job's inputs and resolves the pair on `exec`, observing
@@ -975,9 +1385,13 @@ fn execute(
     exec: &Executor,
     cancel: &CancelToken,
 ) -> Result<JobReport, JobEnd> {
+    // Named fault site for chaos tests: an injected I/O error here is a
+    // transient infrastructure failure, retried under the job's budget.
+    minoan_exec::faults::point("serve.job.execute")
+        .map_err(|e| JobEnd::transient(format!("execute fault: {e}")))?;
     let config = spec.config(&opts.base);
     let matcher =
-        MinoanEr::new(config.clone()).map_err(|e| JobEnd::Failed(format!("bad config: {e}")))?;
+        MinoanEr::new(config.clone()).map_err(|e| JobEnd::permanent(format!("bad config: {e}")))?;
     let (pair, truth) = load_input(spec, &config, exec, cancel)?;
     let out = matcher
         .run_cancellable(&pair, exec, cancel)
@@ -1025,7 +1439,7 @@ fn load_input(
                 load_kb_file_cancellable(second, "E2", config, exec, cancel)?,
             );
             let truth = match &spec.truth {
-                Some(path) => Some(load_truth_file(path, &pair).map_err(JobEnd::Failed)?),
+                Some(path) => Some(load_truth_file(path, &pair).map_err(JobEnd::permanent)?),
                 None => None,
             };
             Ok((pair, truth))
@@ -1045,7 +1459,7 @@ pub fn load_kb_file(
 ) -> Result<minoan_kb::KnowledgeBase, String> {
     match load_kb_file_cancellable(path, name, config, exec, &CancelToken::new()) {
         Ok(kb) => Ok(kb),
-        Err(JobEnd::Failed(e)) => Err(e),
+        Err(JobEnd::Failed { error, .. }) => Err(error),
         Err(JobEnd::Cancelled) => unreachable!("a fresh token is never cancelled"),
     }
 }
@@ -1060,7 +1474,7 @@ fn load_kb_file_cancellable(
     cancel: &CancelToken,
 ) -> Result<minoan_kb::KnowledgeBase, JobEnd> {
     let file = std::fs::File::open(path)
-        .map_err(|e| JobEnd::Failed(format!("cannot read {}: {e}", path.display())))?;
+        .map_err(|e| JobEnd::transient(format!("cannot read {}: {e}", path.display())))?;
     let opts = config.stream_options();
     let is_nt = path
         .extension()
@@ -1072,8 +1486,13 @@ fn load_kb_file_cancellable(
     };
     result.map_err(|e| match e {
         parse::StreamError::Cancelled => JobEnd::Cancelled,
+        // Malformed input fails the same way on every attempt; a reader
+        // error (or injected fault) may not.
         parse::StreamError::Parse(e) => {
-            JobEnd::Failed(format!("cannot parse {}: {e}", path.display()))
+            JobEnd::permanent(format!("cannot parse {}: {e}", path.display()))
+        }
+        parse::StreamError::Io(e) => {
+            JobEnd::transient(format!("cannot read {}: {e}", path.display()))
         }
     })
 }
@@ -1125,6 +1544,8 @@ mod tests {
             theta: None,
             candidates_k: None,
             purge_blocks: None,
+            timeout_ms: None,
+            max_retries: None,
         }
     }
 
@@ -1133,6 +1554,8 @@ mod tests {
             slots: 2,
             threads: 2,
             memory_budget_mib: 0,
+            timeout_ms: 0,
+            max_retries: 0,
             jobs: vec![
                 synthetic_job("restaurant", DatasetKind::Restaurant, 0.05),
                 synthetic_job("yago", DatasetKind::YagoImdb, 0.05),
@@ -1180,6 +1603,8 @@ mod tests {
             slots: 3,
             threads: 3,
             memory_budget_mib: 1,
+            timeout_ms: 0,
+            max_retries: 0,
             jobs: vec![
                 synthetic_job("a", DatasetKind::Restaurant, 0.3),
                 synthetic_job("b", DatasetKind::Restaurant, 0.3),
@@ -1243,6 +1668,8 @@ mod tests {
             theta: None,
             candidates_k: None,
             purge_blocks: None,
+            timeout_ms: None,
+            max_retries: None,
         });
         let report = run_batch(&manifest, &ServeOptions::default());
         assert_eq!(report.ok_count(), 3);
@@ -1293,6 +1720,8 @@ mod tests {
             slots: 4,
             threads: 6,
             memory_budget_mib: 0,
+            timeout_ms: 0,
+            max_retries: 0,
             jobs: vec![synthetic_job("only", DatasetKind::Restaurant, 0.05)],
         };
         let opts = ServeOptions {
@@ -1344,6 +1773,8 @@ mod tests {
             slots: 0,
             threads: 0,
             memory_budget_mib: 0,
+            timeout_ms: 0,
+            max_retries: 0,
             jobs: (0..available + 9)
                 .map(|i| synthetic_job(&format!("j{i}"), DatasetKind::Restaurant, 0.03))
                 .collect(),
@@ -1474,8 +1905,165 @@ mod tests {
     fn submitting_to_a_closed_queue_fails() {
         let queue = JobQueue::new(1, 1, 0);
         queue.close();
+        assert_eq!(
+            queue
+                .submit(synthetic_job("late", DatasetKind::Restaurant, 0.05))
+                .unwrap_err(),
+            SubmitError::Closed
+        );
+    }
+
+    fn ghost_job(name: &str) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            input: JobInput::Files {
+                first: "/no/such/file.tsv".into(),
+                second: "/no/such/other.tsv".into(),
+            },
+            truth: None,
+            theta: None,
+            candidates_k: None,
+            purge_blocks: None,
+            timeout_ms: None,
+            max_retries: None,
+        }
+    }
+
+    fn drain(queue: &JobQueue, opts: &ServeOptions) {
+        let fleet = CancelToken::new();
+        queue.close();
+        std::thread::scope(|scope| {
+            scope.spawn(|| queue.worker(opts, &fleet, &|_| {}));
+        });
+    }
+
+    #[test]
+    fn transient_failure_retries_until_the_budget_is_exhausted() {
+        // A missing input file is a transient (I/O) failure: with a
+        // retry budget of 2 the job runs three times before its Failed
+        // report becomes terminal.
+        let queue = JobQueue::new(1, 1, 0).with_job_defaults(0, 2);
+        let id = queue.submit(ghost_job("ghost")).unwrap();
+        drain(&queue, &ServeOptions::default());
+        let report = queue.wait(id).unwrap();
+        assert!(
+            matches!(&report.status, JobStatus::Failed(e) if e.contains("cannot read")),
+            "{:?}",
+            report.status
+        );
+        let stats = queue.stats();
+        assert_eq!(stats.retries_scheduled, 2, "both retries were spent");
+        assert_eq!(stats.done_failed, 1, "one terminal report, not three");
+    }
+
+    #[test]
+    fn per_job_retry_budget_overrides_the_queue_default() {
+        let queue = JobQueue::new(1, 1, 0).with_job_defaults(0, 5);
+        let mut spec = ghost_job("stubborn");
+        spec.max_retries = Some(1);
+        let id = queue.submit(spec).unwrap();
+        drain(&queue, &ServeOptions::default());
+        assert!(queue.wait(id).is_some());
+        assert_eq!(queue.stats().retries_scheduled, 1);
+    }
+
+    #[test]
+    fn permanent_failures_are_never_retried() {
+        // An out-of-range theta is a config error: deterministic, so a
+        // retry budget must not be spent on it.
+        let queue = JobQueue::new(1, 1, 0).with_job_defaults(0, 3);
+        let mut bad = synthetic_job("bad", DatasetKind::Restaurant, 0.05);
+        bad.theta = Some(7.0);
+        let id = queue.submit(bad).unwrap();
+        drain(&queue, &ServeOptions::default());
+        let report = queue.wait(id).unwrap();
+        assert!(matches!(&report.status, JobStatus::Failed(e) if e.contains("theta")));
+        assert_eq!(queue.stats().retries_scheduled, 0);
+    }
+
+    #[test]
+    fn deadline_expiry_times_the_job_out() {
+        // A 1 ms deadline on a job that takes tens of ms: some pipeline
+        // checkpoint observes the expired deadline and the job ends
+        // TimedOut (with no retry budget, terminally).
+        let queue = JobQueue::new(1, 1, 0);
+        let mut spec = synthetic_job("slow", DatasetKind::Restaurant, 0.3);
+        spec.timeout_ms = Some(1);
+        let id = queue.submit(spec).unwrap();
+        drain(&queue, &ServeOptions::default());
+        let report = queue.wait(id).unwrap();
+        assert_eq!(report.status, JobStatus::TimedOut);
+        let stats = queue.stats();
+        assert_eq!(stats.done_timed_out, 1);
+        assert_eq!(stats.retries_scheduled, 0, "max_retries defaults to 0");
+    }
+
+    #[test]
+    fn shedding_rejects_submissions_past_the_queue_depth_mark() {
+        // No workers: submissions pile up in pending. Depth mark 2 →
+        // the third submit sheds; terminal states free no room until
+        // jobs leave pending.
+        let queue = JobQueue::new(1, 1, 0).with_shed_limits(2, 0);
+        queue
+            .submit(synthetic_job("a", DatasetKind::Restaurant, 0.05))
+            .unwrap();
+        queue
+            .submit(synthetic_job("b", DatasetKind::Restaurant, 0.05))
+            .unwrap();
+        let err = queue
+            .submit(synthetic_job("c", DatasetKind::Restaurant, 0.05))
+            .unwrap_err();
+        assert!(
+            matches!(&err, SubmitError::Overloaded(detail) if detail.contains("jobs pending")),
+            "{err:?}"
+        );
+        assert_eq!(queue.stats().shed_total, 1);
+        // Cancelling a queued job frees its pending slot; the next
+        // submission is admitted again.
+        queue.cancel(0);
         assert!(queue
-            .submit(synthetic_job("late", DatasetKind::Restaurant, 0.05))
-            .is_err());
+            .submit(synthetic_job("d", DatasetKind::Restaurant, 0.05))
+            .is_ok());
+    }
+
+    #[test]
+    fn shedding_rejects_submissions_past_the_bytes_mark() {
+        let probe = synthetic_job("probe", DatasetKind::Restaurant, 0.05);
+        let est = probe.estimated_bytes();
+        assert!(est > 0);
+        // The first job fits exactly; anything more crosses the mark.
+        let queue = JobQueue::new(1, 1, 0).with_shed_limits(0, est);
+        queue.submit(probe).unwrap();
+        let err = queue
+            .submit(synthetic_job("extra", DatasetKind::Restaurant, 0.05))
+            .unwrap_err();
+        assert!(
+            matches!(&err, SubmitError::Overloaded(detail) if detail.contains("bytes")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn retry_seeds_and_backoff_are_deterministic() {
+        assert_eq!(retry_seed(3, 1), retry_seed(3, 1));
+        assert_ne!(retry_seed(3, 1), retry_seed(3, 2));
+        assert_ne!(retry_seed(3, 1), retry_seed(4, 1));
+        let d1 = minoan_exec::backoff::jittered_delay(
+            RETRY_BACKOFF_BASE,
+            0,
+            RETRY_BACKOFF_CAP,
+            retry_seed(3, 1),
+        );
+        assert_eq!(
+            d1,
+            minoan_exec::backoff::jittered_delay(
+                RETRY_BACKOFF_BASE,
+                0,
+                RETRY_BACKOFF_CAP,
+                retry_seed(3, 1),
+            )
+        );
+        assert!(d1 <= RETRY_BACKOFF_BASE);
+        assert!(d1 >= RETRY_BACKOFF_BASE / 2);
     }
 }

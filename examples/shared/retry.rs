@@ -5,8 +5,15 @@
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+use minoaner::exec::backoff;
+
 /// How long [`connect_retry`] keeps retrying a refused connection.
 const CONNECT_RETRY_WINDOW: Duration = Duration::from_secs(10);
+
+/// First retry delay; doubles per attempt via the scheduler's shared
+/// backoff helper ([`backoff::delay`]), capped at [`RETRY_CAP`].
+const RETRY_BASE: Duration = Duration::from_millis(50);
+const RETRY_CAP: Duration = Duration::from_millis(400);
 
 /// Connects with a bounded exponential backoff. The CI smokes start
 /// the daemon and the client back to back, so the very first connect
@@ -15,7 +22,7 @@ const CONNECT_RETRY_WINDOW: Duration = Duration::from_secs(10);
 /// actually never starts.
 pub fn connect_retry(addr: &str) -> std::io::Result<TcpStream> {
     let deadline = Instant::now() + CONNECT_RETRY_WINDOW;
-    let mut delay = Duration::from_millis(50);
+    let mut attempt = 0u32;
     loop {
         match TcpStream::connect(addr) {
             Ok(stream) => return Ok(stream),
@@ -23,10 +30,14 @@ pub fn connect_retry(addr: &str) -> std::io::Result<TcpStream> {
                 if matches!(
                     e.kind(),
                     std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::ConnectionReset
-                ) && Instant::now() + delay < deadline =>
+                ) =>
             {
+                let delay = backoff::delay(RETRY_BASE, attempt, RETRY_CAP);
+                if Instant::now() + delay >= deadline {
+                    return Err(e);
+                }
                 std::thread::sleep(delay);
-                delay = (delay * 2).min(Duration::from_millis(400));
+                attempt += 1;
             }
             Err(e) => return Err(e),
         }

@@ -29,12 +29,16 @@ fn four_profile_manifest() -> Manifest {
             theta: None,
             candidates_k: None,
             purge_blocks: None,
+            timeout_ms: None,
+            max_retries: None,
         })
         .collect();
     Manifest {
         slots: 0,
         threads: 0,
         memory_budget_mib: 0,
+        timeout_ms: 0,
+        max_retries: 0,
         jobs,
     }
 }
@@ -91,6 +95,8 @@ fn batch_output_is_bit_identical_to_solo_sequential_runs() {
             slots: 1,
             threads: 1,
             memory_budget_mib: 0,
+            timeout_ms: 0,
+            max_retries: 0,
             jobs: vec![job.clone()],
         };
         let solo_opts = ServeOptions {

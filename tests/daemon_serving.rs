@@ -129,6 +129,8 @@ fn synthetic_spec(name: &str, kind: DatasetKind, scale: f64) -> JobSpec {
         theta: None,
         candidates_k: None,
         purge_blocks: None,
+        timeout_ms: None,
+        max_retries: None,
     }
 }
 
@@ -188,6 +190,8 @@ fn socket_jobs_are_bit_identical_to_batch_and_solo_runs() {
         slots: 2,
         threads: 3,
         memory_budget_mib: 0,
+        timeout_ms: 0,
+        max_retries: 0,
         jobs: DatasetKind::ALL
             .into_iter()
             .map(|kind| synthetic_spec(profile_name(kind), kind, 0.08))
@@ -201,6 +205,8 @@ fn socket_jobs_are_bit_identical_to_batch_and_solo_runs() {
             slots: 1,
             threads: 1,
             memory_budget_mib: 0,
+            timeout_ms: 0,
+            max_retries: 0,
             jobs: vec![synthetic_spec(profile_name(kind), kind, 0.08)],
         };
         let solo = run_batch(

@@ -202,6 +202,8 @@ fn corrupt_job_fails_alone_in_a_fleet() {
             theta: None,
             candidates_k: None,
             purge_blocks: None,
+            timeout_ms: None,
+            max_retries: None,
         });
     }
     // A truncated N-Triples file: the second line is cut mid-triple.
@@ -222,12 +224,16 @@ fn corrupt_job_fails_alone_in_a_fleet() {
             theta: None,
             candidates_k: None,
             purge_blocks: None,
+            timeout_ms: None,
+            max_retries: None,
         },
     );
     let manifest = Manifest {
         slots: 2,
         threads: 2,
         memory_budget_mib: 0,
+        timeout_ms: 0,
+        max_retries: 0,
         jobs,
     };
     let report = run_batch(&manifest, &ServeOptions::default());
@@ -260,6 +266,8 @@ fn tiny_synthetic(name: &str) -> JobSpec {
         theta: None,
         candidates_k: None,
         purge_blocks: None,
+        timeout_ms: None,
+        max_retries: None,
     }
 }
 

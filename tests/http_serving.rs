@@ -147,6 +147,8 @@ fn synthetic_spec(name: &str, kind: DatasetKind, scale: f64) -> JobSpec {
         theta: None,
         candidates_k: None,
         purge_blocks: None,
+        timeout_ms: None,
+        max_retries: None,
     }
 }
 
@@ -228,6 +230,8 @@ fn http_jobs_are_bit_identical_to_batch_and_solo_runs() {
         slots: 2,
         threads: 3,
         memory_budget_mib: 0,
+        timeout_ms: 0,
+        max_retries: 0,
         jobs: DatasetKind::ALL
             .into_iter()
             .map(|kind| synthetic_spec(profile_name(kind), kind, 0.08))
@@ -242,6 +246,8 @@ fn http_jobs_are_bit_identical_to_batch_and_solo_runs() {
                 slots: 1,
                 threads: 1,
                 memory_budget_mib: 0,
+                timeout_ms: 0,
+                max_retries: 0,
                 jobs: vec![synthetic_spec(profile_name(kind), kind, 0.08)],
             },
             &ServeOptions {
@@ -336,6 +342,7 @@ fn metrics_are_parseable_prometheus_text() {
 fn auth_rejects_missing_and_wrong_tokens_without_disturbing_jobs() {
     let options = HttpOptions {
         auth_token: Some("sesame-open".into()),
+        ..HttpOptions::default()
     };
     let (report, ()) = with_server(options, |anon| {
         let authed = Http {
