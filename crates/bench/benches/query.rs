@@ -1,0 +1,139 @@
+//! Persistent-index query benchmark: build → persist → load → query
+//! round trip on the Restaurant profile, emitting `BENCH_query.json` at
+//! the workspace root. The build phase runs the full pipeline on the
+//! process-wide pool; the load and query phases measure what the
+//! serving hot path pays — artifact deserialisation and per-entity
+//! match lookups — with p50/p99 latency over thousands of calls.
+//! `MINOAN_BENCH_SMOKE=1` shrinks scale and iteration counts for CI,
+//! which then validates the emitted JSON via
+//! [`minoan_bench::benchutil::check_bench_json`].
+
+use std::time::Instant;
+
+use minoan_bench::benchutil;
+use minoan_core::{IndexArtifact, MinoanEr};
+use minoan_datagen::DatasetKind;
+use minoan_exec::CancelToken;
+use minoan_kb::Json;
+
+fn ms(elapsed: std::time::Duration) -> f64 {
+    elapsed.as_secs_f64() * 1e3
+}
+
+/// Percentile over an already-sorted latency vector (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+fn main() {
+    let scale = benchutil::smoke_scaled(0.5, 0.08);
+    let load_iters = benchutil::smoke_scaled(20, 3);
+    let query_rounds = benchutil::smoke_scaled(200, 10);
+
+    // Build: the full pipeline (ingest → blocking → similarities →
+    // H1-H4) plus index construction, on the process-wide pool.
+    let kind = DatasetKind::Restaurant;
+    let d = kind.generate_scaled(20180416, scale);
+    let matcher = MinoanEr::with_defaults();
+    let exec = matcher.config().executor();
+    let t = Instant::now();
+    let indexed = matcher
+        .run_cancellable_indexed(&d.pair, &exec, &CancelToken::new())
+        .expect("nothing cancels this run");
+    let build_ms = ms(t.elapsed());
+    let artifact = IndexArtifact::from_run(kind.name(), &d.pair, indexed, matcher.config());
+
+    // Persist: atomic temp+rename write of the versioned container.
+    let dir = std::env::temp_dir().join(format!("minoan-bench-query-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    let path = dir.join("query-bench.idx");
+    let t = Instant::now();
+    let artifact_bytes = artifact.write_to(&path).expect("persist artifact");
+    let persist_ms = ms(t.elapsed());
+
+    // Load: full deserialisation, checksums verified every time. The
+    // serving registry pays this once per cache miss.
+    let mut load_samples = Vec::with_capacity(load_iters);
+    for _ in 0..load_iters {
+        let t = Instant::now();
+        let loaded = IndexArtifact::read_from(&path).expect("load artifact");
+        load_samples.push(ms(t.elapsed()));
+        std::hint::black_box(&loaded);
+    }
+    load_samples.sort_by(|a, b| a.total_cmp(b));
+    let loaded = IndexArtifact::read_from(&path).expect("load artifact");
+
+    // Query: per-entity match lookups against the loaded artifact —
+    // the `/v1/indexes/{id}/match` hot path with the HTTP layer peeled
+    // off. Every matched entity on both sides, `query_rounds` times.
+    let pairs = loaded.matched_uri_pairs();
+    assert!(!pairs.is_empty(), "bench profile resolved zero matches");
+    let mut query_samples = Vec::with_capacity(2 * pairs.len() * query_rounds);
+    let mut answered = 0usize;
+    for _ in 0..query_rounds {
+        for (first, second) in &pairs {
+            for uri in [first, second] {
+                let t = Instant::now();
+                let answer = loaded.match_query(uri, 10);
+                query_samples.push(ms(t.elapsed()));
+                if std::hint::black_box(answer).is_some() {
+                    answered += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(
+        answered,
+        query_samples.len(),
+        "matched entity had no answer"
+    );
+    query_samples.sort_by(|a, b| a.total_cmp(b));
+    let mean_ms = query_samples.iter().sum::<f64>() / query_samples.len() as f64;
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let sweep = benchutil::thread_sweep();
+    let mut fields = benchutil::trajectory_fields("index_query", kind.name(), scale, &sweep);
+    fields.push((
+        "entities".into(),
+        Json::arr(
+            loaded
+                .meta()
+                .entity_counts
+                .iter()
+                .map(|&n| Json::num(n as f64)),
+        ),
+    ));
+    fields.push(("matched_pairs".into(), Json::num(pairs.len() as f64)));
+    fields.push(("artifact_bytes".into(), Json::num(artifact_bytes as f64)));
+    fields.push(("build_ms".into(), Json::Num(build_ms)));
+    fields.push(("persist_ms".into(), Json::Num(persist_ms)));
+    fields.push((
+        "load_ms".into(),
+        Json::obj([
+            ("iterations", Json::num(load_samples.len() as f64)),
+            ("p50", Json::Num(percentile(&load_samples, 50.0))),
+            ("p99", Json::Num(percentile(&load_samples, 99.0))),
+            ("min", Json::Num(load_samples[0])),
+        ]),
+    ));
+    fields.push((
+        "query_ms".into(),
+        Json::obj([
+            ("calls", Json::num(query_samples.len() as f64)),
+            ("p50", Json::Num(percentile(&query_samples, 50.0))),
+            ("p99", Json::Num(percentile(&query_samples, 99.0))),
+            ("max", Json::Num(query_samples[query_samples.len() - 1])),
+            ("mean", Json::Num(mean_ms)),
+        ]),
+    ));
+    benchutil::emit_checked(
+        env!("CARGO_MANIFEST_DIR"),
+        "BENCH_query.json",
+        &Json::obj(fields),
+    );
+}

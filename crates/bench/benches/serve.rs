@@ -36,6 +36,7 @@ fn fleet_manifest(scale: f64) -> Manifest {
                 purge_blocks: None,
                 timeout_ms: None,
                 max_retries: None,
+                persist: None,
             });
         }
     }

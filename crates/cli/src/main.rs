@@ -8,10 +8,18 @@
 //!                 [--memory-mib N] [--timeout-ms N] [--max-retries N]
 //!                 [--rss-kill-factor F] [--executor sequential|rayon|pool] [--json] [--pairs]
 //! minoaner serve  [--listen <addr>] [--listen-http <addr>] [--auth-token T]
+//!                 [--index-dir <dir>] [--index-cache-mib N]
 //!                 [--slots N] [--threads N] [--memory-mib N]
 //!                 [--timeout-ms N] [--max-retries N] [--rss-kill-factor F]
 //!                 [--shed-depth N] [--max-connections N]
 //!                 [--executor sequential|rayon|pool] [--json] [--pairs]
+//! minoaner index build <name> --dir <dir>
+//!                 (--dataset restaurant|rexa|bbc|yago [--scale F] [--seed N]
+//!                  | <first.(tsv|nt)> <second.(tsv|nt)>)
+//!                 [--theta F] [--k N] [--no-purge]
+//!                 [--executor sequential|rayon|pool] [--threads N]
+//! minoaner index inspect <artifact.idx>
+//! minoaner index query <artifact.idx> (--entity <iri> | --sample) [--k N]
 //! minoaner demo   [restaurant|rexa|bbc|yago] [--scale F] [--seed N]
 //!                 [--executor sequential|rayon|pool] [--threads N]
 //! minoaner stats  <kb.(tsv|nt)>
@@ -70,15 +78,31 @@
 //! jobs are queued (HTTP `429` + `Retry-After`, line-JSON
 //! `"retryable":true`) — and `--max-connections N`, capping concurrent
 //! HTTP handler threads (excess connections get an immediate `503`).
+//!
+//! ## Persistent indexes
+//!
+//! `index build` runs the full MinoanER pipeline once and persists
+//! everything downstream queries need — tokenized KBs, blocks, the
+//! sharded similarity index and the final matching — as one versioned,
+//! checksummed artifact (`<dir>/<name>.idx`, see
+//! `minoan_core::artifact` for the wire format). `index inspect` reads
+//! only the metadata section; `index query` loads the artifact and
+//! answers match queries with **zero ingest work** (`--sample` queries
+//! the first matched entity, handy for smoke tests). The same
+//! artifacts serve online when the daemon runs with `--index-dir`:
+//! `POST /v1/indexes` builds through the job queue, and
+//! `GET /v1/indexes/{id}/match?entity=<iri>` answers from the loaded
+//! artifact (an LRU cache capped at `--index-cache-mib`). Loaded-
+//! then-queried results are bit-identical to a fresh in-memory run.
 
 use std::process::exit;
 
 use minoan_baselines::{run_bsl, run_paris, run_sigma, ParisConfig, SigmaConfig};
 use minoan_blocking::unique_name_pairs;
-use minoan_core::{build_blocks, MinoanConfig, MinoanEr};
+use minoan_core::{build_blocks, IndexArtifact, MinoanConfig, MinoanEr};
 use minoan_datagen::DatasetKind;
 use minoan_eval::MatchQuality;
-use minoan_kb::{GroundTruth, Json, KbPair, KnowledgeBase, Matching};
+use minoan_kb::{GroundTruth, Json, KbPair, KbSide, KnowledgeBase, Matching};
 use minoan_serve::{
     run_batch_streaming, run_server, CancelToken, Frontends, HttpOptions, JobReport, Manifest,
     ServeOptions,
@@ -94,10 +118,16 @@ fn usage() -> ! {
          [--memory-mib N] [--timeout-ms N] [--max-retries N] [--rss-kill-factor F] \
          [--executor sequential|rayon|pool] [--json] [--pairs]\n  \
          minoaner serve [--listen addr:port] [--listen-http addr:port] \
-         [--auth-token T] [--slots N] [--threads N] [--memory-mib N] \
+         [--auth-token T] [--index-dir dir] [--index-cache-mib N] \
+         [--slots N] [--threads N] [--memory-mib N] \
          [--timeout-ms N] [--max-retries N] [--rss-kill-factor F] \
          [--shed-depth N] [--max-connections N] \
          [--executor sequential|rayon|pool] [--json] [--pairs]\n  \
+         minoaner index build <name> --dir <dir> (--dataset restaurant|rexa|bbc|yago \
+         [--scale F] [--seed N] | <first> <second>) [--theta F] [--k N] [--no-purge] \
+         [--executor sequential|rayon|pool] [--threads N]\n  \
+         minoaner index inspect <artifact.idx>\n  \
+         minoaner index query <artifact.idx> (--entity iri | --sample) [--k N]\n  \
          minoaner demo [restaurant|rexa|bbc|yago] [--scale F] [--seed N] \
          [--executor sequential|rayon|pool] [--threads N]\n  \
          minoaner stats <kb>"
@@ -302,6 +332,202 @@ fn print_fleet_report(report: &minoan_serve::ServeReport, json: bool, pairs: boo
     }
 }
 
+/// `minoaner index build`: run the pipeline once, persist the artifact.
+fn index_build(args: &[String]) {
+    let mut name: Option<&str> = None;
+    let mut dir: Option<&str> = None;
+    let mut dataset: Option<DatasetKind> = None;
+    let mut scale = 0.3f64;
+    let mut seed = 20180416u64;
+    let mut files: Vec<&str> = Vec::new();
+    let mut config = MinoanConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => dir = Some(it.next().map(String::as_str).unwrap_or_else(|| usage())),
+            "--dataset" => {
+                dataset = Some(match it.next().map(String::as_str) {
+                    Some("restaurant") => DatasetKind::Restaurant,
+                    Some("rexa") => DatasetKind::RexaDblp,
+                    Some("bbc") => DatasetKind::BbcDbpedia,
+                    Some("yago") => DatasetKind::YagoImdb,
+                    _ => usage(),
+                })
+            }
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--theta" => {
+                config.theta = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--k" => {
+                config.candidates_k = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--no-purge" => config.purge_blocks = false,
+            "--executor" => parse_executor(it.next(), &mut config),
+            "--threads" => {
+                config.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            other if !other.starts_with('-') && name.is_none() => name = Some(other),
+            other if !other.starts_with('-') => files.push(other),
+            _ => usage(),
+        }
+    }
+    let (Some(name), Some(dir)) = (name, dir) else {
+        usage()
+    };
+    if !minoan_serve::registry::valid_id(name) {
+        eprintln!("invalid index name {name:?} (letters, digits, `.`/`_`/`-` only)");
+        exit(2);
+    }
+    let pair = match (dataset, files.as_slice()) {
+        (Some(kind), []) => kind.generate_scaled(seed, scale).pair,
+        (None, [first, second]) => KbPair::new(
+            load_kb(first, "E1", &config),
+            load_kb(second, "E2", &config),
+        ),
+        _ => usage(),
+    };
+    let matcher = MinoanEr::new(config).unwrap_or_else(|e| {
+        eprintln!("bad config: {e}");
+        exit(1);
+    });
+    let exec = matcher.config().executor();
+    let indexed = matcher
+        .run_cancellable_indexed(&pair, &exec, &CancelToken::new())
+        .expect("no cancellation source in the CLI");
+    let artifact = IndexArtifact::from_run(name, &pair, indexed, matcher.config());
+    let dir = std::path::Path::new(dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        exit(1);
+    }
+    let path = dir.join(format!("{name}.{}", minoan_serve::registry::ARTIFACT_EXT));
+    match artifact.write_to(&path) {
+        Ok(bytes) => eprintln!("wrote {} ({bytes} bytes)", path.display()),
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            exit(1);
+        }
+    }
+    println!("{}", artifact.meta().to_json().pretty());
+}
+
+/// `minoaner index inspect`: print the metadata section without
+/// rebuilding any in-memory structure.
+fn index_inspect(args: &[String]) {
+    let [path] = args else { usage() };
+    let meta = IndexArtifact::read_meta(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    println!("{}", meta.to_json().pretty());
+}
+
+/// `minoaner index query`: load a persisted artifact and answer one
+/// match query from it — no ingest, no pipeline re-run.
+fn index_query(args: &[String]) {
+    let mut path: Option<&str> = None;
+    let mut entity: Option<String> = None;
+    let mut sample = false;
+    let mut k = 10usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--entity" => entity = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--sample" => sample = true,
+            "--k" => {
+                k = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let t0 = std::time::Instant::now();
+    let artifact = IndexArtifact::read_from(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot load {path}: {e}");
+        exit(1);
+    });
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let entity = match entity {
+        Some(entity) => entity,
+        None if sample => match artifact.matched_uri_pairs().into_iter().next() {
+            Some((first, _)) => first,
+            None => {
+                eprintln!("index has no matched pairs to sample");
+                exit(1);
+            }
+        },
+        None => usage(),
+    };
+    let t1 = std::time::Instant::now();
+    let Some(answer) = artifact.match_query(&entity, k) else {
+        eprintln!("entity {entity:?} is in neither KB of this index");
+        exit(1);
+    };
+    let query_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let body = Json::obj([
+        ("index", Json::str(&artifact.meta().name)),
+        ("entity", Json::str(&answer.entity)),
+        (
+            "side",
+            Json::str(match answer.side {
+                KbSide::First => "first",
+                KbSide::Second => "second",
+            }),
+        ),
+        (
+            "matches",
+            Json::Arr(answer.matches.iter().map(Json::str).collect()),
+        ),
+        (
+            "candidates",
+            Json::Arr(
+                answer
+                    .candidates
+                    .iter()
+                    .map(|(uri, score)| {
+                        Json::obj([("uri", Json::str(uri)), ("score", Json::num(*score))])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "stage_timings_ms",
+            Json::obj([
+                ("ingest", Json::num(0.0)),
+                ("blocking", Json::num(0.0)),
+                ("similarities", Json::num(0.0)),
+                ("load", Json::num(load_ms)),
+                ("query", Json::num(query_ms)),
+            ]),
+        ),
+    ]);
+    println!("{}", body.pretty());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -460,6 +686,16 @@ fn main() {
                     "--auth-token" => {
                         auth_token = Some(it.next().cloned().unwrap_or_else(|| usage()))
                     }
+                    "--index-dir" => {
+                        opts.index_dir = Some(it.next().cloned().unwrap_or_else(|| usage()).into())
+                    }
+                    "--index-cache-mib" => {
+                        let mib: u64 = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage());
+                        opts.index_cache_bytes = Some(mib << 20);
+                    }
                     "--slots" => {
                         opts.slots = Some(
                             it.next()
@@ -573,6 +809,12 @@ fn main() {
             });
             print_fleet_report(&report, json, pairs);
         }
+        Some("index") => match it.next().map(String::as_str) {
+            Some("build") => index_build(&args[2..]),
+            Some("inspect") => index_inspect(&args[2..]),
+            Some("query") => index_query(&args[2..]),
+            _ => usage(),
+        },
         Some("demo") => {
             let mut kind = DatasetKind::Restaurant;
             let mut scale = 0.3;

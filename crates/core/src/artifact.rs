@@ -1,0 +1,830 @@
+//! Persistent index artifacts: build once, query many times.
+//!
+//! A MinoanER run produces structures that are expensive to build and
+//! cheap to query: the tokenized pair, the blocking graph, the CSR
+//! similarity index and the final matching. [`IndexArtifact`] captures
+//! all of them from an [`IndexedOutput`](crate::pipeline::IndexedOutput)
+//! and persists them in the checksummed section container of
+//! [`minoan_kb::artifact`], so a serving process can answer "who matches
+//! this entity?" without re-running ingest, blocking or matching.
+//!
+//! The matching stored in the artifact is byte-for-byte the matching the
+//! in-memory run produced — persistence happens *after* the pipeline, on
+//! the same output object — so answers served from a loaded artifact are
+//! fingerprint-identical to a fresh run by construction. The robustness
+//! guarantees (truncation, bad magic, wrong version, flipped bits all
+//! rejected with structured [`ArtifactError`]s) come from the container
+//! layer; this module adds structural validation on top: every decoded
+//! entity id is bounds-checked before any index is rebuilt.
+
+use std::io;
+use std::path::Path;
+use std::time::{Duration, SystemTime};
+
+use minoan_blocking::{Block, BlockCollection, BlockKind};
+use minoan_kb::artifact::{
+    put_f64, put_str, put_u32, put_u32s, put_u64, ArtifactError, ArtifactFile, ArtifactWriter,
+    Cursor,
+};
+use minoan_kb::{Csr, EntityId, Interner, Json, KbPair, KbSide, Matching, TokenId};
+use minoan_text::{TokenDictionary, TokenizedPair};
+
+use crate::config::MinoanConfig;
+use crate::pipeline::{IndexedOutput, Timings};
+use crate::simindex::{Candidate, SimilarityIndex};
+
+/// Section tag: artifact metadata (name, counts, timings, config).
+pub const TAG_META: u32 = 0x01;
+/// Section tag: first-KB entity URI interner.
+pub const TAG_URIS_FIRST: u32 = 0x02;
+/// Section tag: second-KB entity URI interner.
+pub const TAG_URIS_SECOND: u32 = 0x03;
+/// Section tag: token dictionary and per-entity token sets.
+pub const TAG_TOKENS: u32 = 0x04;
+/// Section tag: name blocks (`BN`).
+pub const TAG_NAME_BLOCKS: u32 = 0x05;
+/// Section tag: token blocks (`BT`, purged).
+pub const TAG_TOKEN_BLOCKS: u32 = 0x06;
+/// Section tag: the four candidate CSRs of the similarity index.
+pub const TAG_SIMINDEX: u32 = 0x07;
+/// Section tag: the final matching, as entity-id pairs.
+pub const TAG_MATCHING: u32 = 0x08;
+
+/// Cheap-to-read metadata about a persisted index.
+#[derive(Debug, Clone)]
+pub struct ArtifactMeta {
+    /// Index name (the build job's manifest key).
+    pub name: String,
+    /// Format version of the file this meta was read from (the current
+    /// [`minoan_kb::artifact::FORMAT_VERSION`] for freshly built ones).
+    pub format_version: u32,
+    /// Total artifact file size in bytes (0 until written or read).
+    pub file_bytes: u64,
+    /// Human-readable KB names, first and second side.
+    pub kb_names: [String; 2],
+    /// Entity counts per side.
+    pub entity_counts: [u64; 2],
+    /// Distinct tokens in the shared dictionary.
+    pub token_count: u64,
+    /// Name blocks (`|BN|`).
+    pub name_block_count: u64,
+    /// Token blocks after purging (`|BT|`).
+    pub token_block_count: u64,
+    /// Pairs with recorded value similarity.
+    pub value_pair_count: u64,
+    /// Pairs with non-zero neighbor similarity.
+    pub neighbor_pair_count: u64,
+    /// Pairs in the final matching.
+    pub matched_pairs: u64,
+    /// Stage timings of the build run.
+    pub build_timings: Timings,
+    /// Wall-clock build completion time, milliseconds since the epoch.
+    pub built_unix_ms: u64,
+    /// The build configuration, as compact JSON.
+    pub config_json: String,
+}
+
+impl ArtifactMeta {
+    /// The metadata as a JSON object (the `GET /v1/indexes/{id}` body).
+    pub fn to_json(&self) -> Json {
+        let config = Json::parse(&self.config_json).unwrap_or(Json::Null);
+        let t = &self.build_timings;
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("format_version", Json::num(self.format_version as f64)),
+            ("file_bytes", Json::num(self.file_bytes as f64)),
+            ("kb_names", Json::arr(self.kb_names.iter().map(Json::str))),
+            (
+                "entities",
+                Json::arr(self.entity_counts.iter().map(|&n| Json::num(n as f64))),
+            ),
+            ("tokens", Json::num(self.token_count as f64)),
+            ("name_blocks", Json::num(self.name_block_count as f64)),
+            ("token_blocks", Json::num(self.token_block_count as f64)),
+            ("value_pairs", Json::num(self.value_pair_count as f64)),
+            ("neighbor_pairs", Json::num(self.neighbor_pair_count as f64)),
+            ("matches", Json::num(self.matched_pairs as f64)),
+            ("built_unix_ms", Json::num(self.built_unix_ms as f64)),
+            (
+                "build_timings_ms",
+                Json::obj([
+                    ("tokenize", Json::Num(t.tokenize.as_secs_f64() * 1e3)),
+                    ("names_h1", Json::Num(t.names_h1.as_secs_f64() * 1e3)),
+                    ("blocking", Json::Num(t.blocking.as_secs_f64() * 1e3)),
+                    (
+                        "similarities",
+                        Json::Num(t.similarities.as_secs_f64() * 1e3),
+                    ),
+                    ("matching", Json::Num(t.matching.as_secs_f64() * 1e3)),
+                    ("total", Json::Num(t.total().as_secs_f64() * 1e3)),
+                ]),
+            ),
+            ("config", config),
+        ])
+    }
+}
+
+/// One answer of the online match-query path.
+#[derive(Debug, Clone)]
+pub struct MatchAnswer {
+    /// Which side the queried entity belongs to.
+    pub side: KbSide,
+    /// The queried entity's URI (as stored).
+    pub entity: String,
+    /// URIs of the matched counterparts from the final matching
+    /// (at most one for a clean partial matching).
+    pub matches: Vec<String>,
+    /// Top-k value-similarity candidates from the other side, with
+    /// scores, best first.
+    pub candidates: Vec<(String, f64)>,
+}
+
+/// A loaded (or freshly built) persistent index.
+#[derive(Debug)]
+pub struct IndexArtifact {
+    meta: ArtifactMeta,
+    uris: [Interner; 2],
+    tokens: TokenizedPair,
+    name_blocks: BlockCollection,
+    token_blocks: BlockCollection,
+    index: SimilarityIndex,
+    matching: Matching,
+}
+
+impl IndexArtifact {
+    /// Captures an index from a finished pipeline run. `pair` must be
+    /// the pair `indexed` was produced from (its URI interners are the
+    /// artifact's query dictionary).
+    pub fn from_run(
+        name: &str,
+        pair: &KbPair,
+        indexed: IndexedOutput,
+        config: &MinoanConfig,
+    ) -> Self {
+        let IndexedOutput {
+            output,
+            artifacts,
+            index,
+        } = indexed;
+        let uris = [
+            pair.first.entity_uris().clone(),
+            pair.second.entity_uris().clone(),
+        ];
+        let built_unix_ms = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let meta = ArtifactMeta {
+            name: name.to_string(),
+            format_version: minoan_kb::artifact::FORMAT_VERSION,
+            file_bytes: 0,
+            kb_names: [
+                pair.first.name().to_string(),
+                pair.second.name().to_string(),
+            ],
+            entity_counts: [uris[0].len() as u64, uris[1].len() as u64],
+            token_count: artifacts.tokens.dict().len() as u64,
+            name_block_count: artifacts.name_blocks.len() as u64,
+            token_block_count: artifacts.token_blocks.len() as u64,
+            value_pair_count: index.pair_count() as u64,
+            neighbor_pair_count: index.neighbor_pair_count() as u64,
+            matched_pairs: output.matching.len() as u64,
+            build_timings: output.report.timings.clone(),
+            built_unix_ms,
+            config_json: config.to_json().compact(),
+        };
+        Self {
+            meta,
+            uris,
+            tokens: artifacts.tokens,
+            name_blocks: artifacts.name_blocks,
+            token_blocks: artifacts.token_blocks,
+            index,
+            matching: output.matching,
+        }
+    }
+
+    /// The artifact's metadata.
+    pub fn meta(&self) -> &ArtifactMeta {
+        &self.meta
+    }
+
+    /// The persisted final matching.
+    pub fn matching(&self) -> &Matching {
+        &self.matching
+    }
+
+    /// The persisted similarity index.
+    pub fn index(&self) -> &SimilarityIndex {
+        &self.index
+    }
+
+    /// The persisted tokenized pair.
+    pub fn tokens(&self) -> &TokenizedPair {
+        &self.tokens
+    }
+
+    /// The persisted block collection of one kind.
+    pub fn blocks(&self, kind: BlockKind) -> &BlockCollection {
+        match kind {
+            BlockKind::Name => &self.name_blocks,
+            BlockKind::Token => &self.token_blocks,
+        }
+    }
+
+    /// The entity-URI dictionary of one side.
+    pub fn uris(&self, side: KbSide) -> &Interner {
+        &self.uris[side.index()]
+    }
+
+    /// The matching as URI pairs, in pipeline insertion order — the
+    /// deterministic result the bit-identity gate compares against a
+    /// fresh run's `matches`.
+    pub fn matched_uri_pairs(&self) -> Vec<(String, String)> {
+        self.matching
+            .iter()
+            .map(|(a, b)| {
+                (
+                    self.uris[0].resolve(a.0).to_string(),
+                    self.uris[1].resolve(b.0).to_string(),
+                )
+            })
+            .collect()
+    }
+
+    /// Answers "who matches this entity?" from the loaded structures —
+    /// no ingest, no blocking, no pipeline. Returns `None` when the IRI
+    /// is on neither side.
+    pub fn match_query(&self, iri: &str, k: usize) -> Option<MatchAnswer> {
+        let (side, id) = if let Some(id) = self.uris[0].get(iri) {
+            (KbSide::First, EntityId(id))
+        } else if let Some(id) = self.uris[1].get(iri) {
+            (KbSide::Second, EntityId(id))
+        } else {
+            return None;
+        };
+        let other = side.other();
+        let matches: Vec<String> = self
+            .matching
+            .iter()
+            .filter_map(|(a, b)| match side {
+                KbSide::First => (a == id).then(|| self.uris[1].resolve(b.0).to_string()),
+                KbSide::Second => (b == id).then(|| self.uris[0].resolve(a.0).to_string()),
+            })
+            .collect();
+        let candidates: Vec<(String, f64)> = self
+            .index
+            .value_candidates(side, id)
+            .iter()
+            .take(k)
+            .map(|&(e, v)| (self.uris[other.index()].resolve(e.0).to_string(), v))
+            .collect();
+        Some(MatchAnswer {
+            side,
+            entity: iri.to_string(),
+            matches,
+            candidates,
+        })
+    }
+
+    /// Serializes the artifact to `path`, returning the file size.
+    pub fn write_to(&self, path: &Path) -> io::Result<u64> {
+        let mut w = ArtifactWriter::new();
+        w.push_section(TAG_META, self.encode_meta());
+        w.push_section(TAG_URIS_FIRST, encode_interner(&self.uris[0]));
+        w.push_section(TAG_URIS_SECOND, encode_interner(&self.uris[1]));
+        w.push_section(TAG_TOKENS, encode_tokens(&self.tokens));
+        w.push_section(TAG_NAME_BLOCKS, encode_blocks(&self.name_blocks));
+        w.push_section(TAG_TOKEN_BLOCKS, encode_blocks(&self.token_blocks));
+        w.push_section(TAG_SIMINDEX, encode_simindex(&self.index));
+        w.push_section(TAG_MATCHING, encode_matching(&self.matching));
+        w.write_to(path)
+    }
+
+    /// Loads and fully validates the artifact at `path`.
+    pub fn read_from(path: &Path) -> Result<Self, ArtifactError> {
+        let file = ArtifactFile::open(path)?;
+        let mut meta = decode_meta(file.section(TAG_META)?)?;
+        meta.format_version = file.version();
+        meta.file_bytes = file.file_bytes();
+        let uris = [
+            decode_interner(file.section(TAG_URIS_FIRST)?)?,
+            decode_interner(file.section(TAG_URIS_SECOND)?)?,
+        ];
+        let counts = [uris[0].len(), uris[1].len()];
+        let tokens = decode_tokens(file.section(TAG_TOKENS)?, counts)?;
+        let name_blocks = decode_blocks(file.section(TAG_NAME_BLOCKS)?, BlockKind::Name, counts)?;
+        let token_blocks =
+            decode_blocks(file.section(TAG_TOKEN_BLOCKS)?, BlockKind::Token, counts)?;
+        let index = decode_simindex(file.section(TAG_SIMINDEX)?, counts)?;
+        let matching = decode_matching(file.section(TAG_MATCHING)?, counts)?;
+        Ok(Self {
+            meta,
+            uris,
+            tokens,
+            name_blocks,
+            token_blocks,
+            index,
+            matching,
+        })
+    }
+
+    /// Reads only the metadata of the artifact at `path` (the file is
+    /// still checksum-validated in full, but no structures are rebuilt).
+    pub fn read_meta(path: &Path) -> Result<ArtifactMeta, ArtifactError> {
+        let file = ArtifactFile::open(path)?;
+        let mut meta = decode_meta(file.section(TAG_META)?)?;
+        meta.format_version = file.version();
+        meta.file_bytes = file.file_bytes();
+        Ok(meta)
+    }
+
+    fn encode_meta(&self) -> Vec<u8> {
+        let m = &self.meta;
+        let mut out = Vec::new();
+        put_str(&mut out, &m.name);
+        put_str(&mut out, &m.kb_names[0]);
+        put_str(&mut out, &m.kb_names[1]);
+        put_u64(&mut out, m.entity_counts[0]);
+        put_u64(&mut out, m.entity_counts[1]);
+        put_u64(&mut out, m.token_count);
+        put_u64(&mut out, m.name_block_count);
+        put_u64(&mut out, m.token_block_count);
+        put_u64(&mut out, m.value_pair_count);
+        put_u64(&mut out, m.neighbor_pair_count);
+        put_u64(&mut out, m.matched_pairs);
+        let t = &m.build_timings;
+        for d in [
+            t.tokenize,
+            t.names_h1,
+            t.blocking,
+            t.similarities,
+            t.matching,
+        ] {
+            put_u64(&mut out, d.as_nanos() as u64);
+        }
+        put_u64(&mut out, m.built_unix_ms);
+        put_str(&mut out, &m.config_json);
+        out
+    }
+}
+
+fn decode_meta(bytes: &[u8]) -> Result<ArtifactMeta, ArtifactError> {
+    let mut c = Cursor::new(bytes);
+    let name = c.get_str()?;
+    let kb_names = [c.get_str()?, c.get_str()?];
+    let entity_counts = [c.get_u64()?, c.get_u64()?];
+    let token_count = c.get_u64()?;
+    let name_block_count = c.get_u64()?;
+    let token_block_count = c.get_u64()?;
+    let value_pair_count = c.get_u64()?;
+    let neighbor_pair_count = c.get_u64()?;
+    let matched_pairs = c.get_u64()?;
+    let mut durations = [Duration::ZERO; 5];
+    for d in &mut durations {
+        *d = Duration::from_nanos(c.get_u64()?);
+    }
+    let built_unix_ms = c.get_u64()?;
+    let config_json = c.get_str()?;
+    Ok(ArtifactMeta {
+        name,
+        format_version: 0,
+        file_bytes: 0,
+        kb_names,
+        entity_counts,
+        token_count,
+        name_block_count,
+        token_block_count,
+        value_pair_count,
+        neighbor_pair_count,
+        matched_pairs,
+        build_timings: Timings {
+            tokenize: durations[0],
+            names_h1: durations[1],
+            blocking: durations[2],
+            similarities: durations[3],
+            matching: durations[4],
+        },
+        built_unix_ms,
+        config_json,
+    })
+}
+
+fn encode_interner(interner: &Interner) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_str(&mut out, interner.arena());
+    put_u64(&mut out, interner.spans().len() as u64);
+    for &(start, end) in interner.spans() {
+        put_u32(&mut out, start);
+        put_u32(&mut out, end);
+    }
+    out
+}
+
+fn decode_interner(bytes: &[u8]) -> Result<Interner, ArtifactError> {
+    let mut c = Cursor::new(bytes);
+    let arena = c.get_str()?;
+    let n = c.get_len()?;
+    if c.remaining() < n.saturating_mul(8) {
+        return Err(ArtifactError::Corrupt(format!(
+            "interner claims {n} spans but only {} bytes remain",
+            c.remaining()
+        )));
+    }
+    let mut spans = Vec::with_capacity(n);
+    for _ in 0..n {
+        spans.push((c.get_u32()?, c.get_u32()?));
+    }
+    Interner::from_parts(arena, spans).map_err(ArtifactError::Corrupt)
+}
+
+fn encode_tokens(tokens: &TokenizedPair) -> Vec<u8> {
+    let mut out = Vec::new();
+    let dict = tokens.dict();
+    let encoded_interner = encode_interner(dict.interner());
+    put_u64(&mut out, encoded_interner.len() as u64);
+    out.extend_from_slice(&encoded_interner);
+    for side in [KbSide::First, KbSide::Second] {
+        put_u32s(&mut out, dict.ef_counts(side));
+    }
+    for side in [KbSide::First, KbSide::Second] {
+        put_u64(&mut out, tokens.total_occurrences(side) as u64);
+        let n = tokens.entity_count(side);
+        put_u64(&mut out, n as u64);
+        for e in 0..n {
+            let toks = tokens.tokens(side, EntityId(e as u32));
+            put_u64(&mut out, toks.len() as u64);
+            for t in toks {
+                put_u32(&mut out, t.0);
+            }
+        }
+    }
+    out
+}
+
+fn decode_tokens(bytes: &[u8], counts: [usize; 2]) -> Result<TokenizedPair, ArtifactError> {
+    let mut c = Cursor::new(bytes);
+    let interner_len = c.get_len()?;
+    if c.remaining() < interner_len {
+        return Err(ArtifactError::Corrupt(
+            "token interner extends past section".into(),
+        ));
+    }
+    let interner = decode_interner(&bytes[8..8 + interner_len])?;
+    let mut c = Cursor::new(&bytes[8 + interner_len..]);
+    let ef = [c.get_u32s()?, c.get_u32s()?];
+    let dict = TokenDictionary::from_parts(interner, ef).map_err(ArtifactError::Corrupt)?;
+    let mut sides: [Vec<Box<[TokenId]>>; 2] = [Vec::new(), Vec::new()];
+    let mut occurrences = [0usize; 2];
+    for (side, counts_n) in counts.iter().enumerate() {
+        occurrences[side] = c.get_len()?;
+        let n = c.get_len()?;
+        if n != *counts_n {
+            return Err(ArtifactError::Corrupt(format!(
+                "token section covers {n} entities, URI dictionary has {counts_n}"
+            )));
+        }
+        let mut entity_tokens = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = c.get_len()?;
+            if c.remaining() < len.saturating_mul(4) {
+                return Err(ArtifactError::Corrupt(
+                    "entity token list extends past section".into(),
+                ));
+            }
+            let mut toks = Vec::with_capacity(len);
+            for _ in 0..len {
+                toks.push(TokenId(c.get_u32()?));
+            }
+            entity_tokens.push(toks.into_boxed_slice());
+        }
+        sides[side] = entity_tokens;
+    }
+    TokenizedPair::from_parts(dict, sides, occurrences).map_err(ArtifactError::Corrupt)
+}
+
+fn encode_blocks(blocks: &BlockCollection) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, blocks.entity_count(KbSide::First) as u64);
+    put_u64(&mut out, blocks.entity_count(KbSide::Second) as u64);
+    put_u64(&mut out, blocks.len() as u64);
+    for b in blocks.blocks() {
+        put_u32(&mut out, b.key);
+        for side in [&b.firsts, &b.seconds] {
+            put_u64(&mut out, side.len() as u64);
+            for e in side {
+                put_u32(&mut out, e.0);
+            }
+        }
+    }
+    out
+}
+
+fn decode_blocks(
+    bytes: &[u8],
+    kind: BlockKind,
+    counts: [usize; 2],
+) -> Result<BlockCollection, ArtifactError> {
+    let mut c = Cursor::new(bytes);
+    let n_first = c.get_len()?;
+    let n_second = c.get_len()?;
+    if [n_first, n_second] != counts {
+        return Err(ArtifactError::Corrupt(format!(
+            "block collection indexes {n_first}x{n_second} entities, expected {}x{}",
+            counts[0], counts[1]
+        )));
+    }
+    let n_blocks = c.get_len()?;
+    let mut blocks = Vec::with_capacity(n_blocks.min(bytes.len() / 4));
+    for _ in 0..n_blocks {
+        let key = c.get_u32()?;
+        let mut sides: [Vec<EntityId>; 2] = [Vec::new(), Vec::new()];
+        for (i, bound) in [n_first, n_second].into_iter().enumerate() {
+            let len = c.get_len()?;
+            if c.remaining() < len.saturating_mul(4) {
+                return Err(ArtifactError::Corrupt(
+                    "block entity list extends past section".into(),
+                ));
+            }
+            let mut entities = Vec::with_capacity(len);
+            for _ in 0..len {
+                let e = c.get_u32()?;
+                if e as usize >= bound {
+                    return Err(ArtifactError::Corrupt(format!(
+                        "block entity id {e} out of range {bound}"
+                    )));
+                }
+                entities.push(EntityId(e));
+            }
+            sides[i] = entities;
+        }
+        let [firsts, seconds] = sides;
+        blocks.push(Block {
+            key,
+            firsts,
+            seconds,
+        });
+    }
+    Ok(BlockCollection::new(kind, blocks, n_first, n_second))
+}
+
+fn encode_csr(out: &mut Vec<u8>, csr: &Csr<Candidate>) {
+    put_u64(out, csr.rows() as u64);
+    put_u64(out, csr.item_count() as u64);
+    for &off in csr.offsets() {
+        put_u64(out, off as u64);
+    }
+    for &(e, v) in csr.items() {
+        put_u32(out, e.0);
+        put_f64(out, v);
+    }
+}
+
+fn decode_csr(c: &mut Cursor<'_>, n_cols: usize) -> Result<Csr<Candidate>, ArtifactError> {
+    let rows = c.get_len()?;
+    let item_count = c.get_len()?;
+    if c.remaining() < rows.saturating_add(1).saturating_mul(8) {
+        return Err(ArtifactError::Corrupt(
+            "CSR offsets extend past section".into(),
+        ));
+    }
+    let mut lens = Vec::with_capacity(rows);
+    let mut prev = c.get_len()?;
+    if prev != 0 {
+        return Err(ArtifactError::Corrupt("CSR offsets must start at 0".into()));
+    }
+    for _ in 0..rows {
+        let off = c.get_len()?;
+        if off < prev {
+            return Err(ArtifactError::Corrupt("CSR offsets not monotone".into()));
+        }
+        lens.push(off - prev);
+        prev = off;
+    }
+    if prev != item_count {
+        return Err(ArtifactError::Corrupt(format!(
+            "CSR offsets end at {prev}, item count is {item_count}"
+        )));
+    }
+    if c.remaining() < item_count.saturating_mul(12) {
+        return Err(ArtifactError::Corrupt(
+            "CSR items extend past section".into(),
+        ));
+    }
+    let mut items = Vec::with_capacity(item_count);
+    for _ in 0..item_count {
+        let e = c.get_u32()?;
+        if e as usize >= n_cols {
+            return Err(ArtifactError::Corrupt(format!(
+                "CSR candidate id {e} out of range {n_cols}"
+            )));
+        }
+        items.push((EntityId(e), c.get_f64()?));
+    }
+    Ok(Csr::from_lens_and_items(&lens, items))
+}
+
+fn encode_simindex(index: &SimilarityIndex) -> Vec<u8> {
+    let mut out = Vec::new();
+    for csr in [
+        index.value_csr(KbSide::First),
+        index.value_csr(KbSide::Second),
+        index.neighbor_csr(KbSide::First),
+        index.neighbor_csr(KbSide::Second),
+    ] {
+        encode_csr(&mut out, csr);
+    }
+    out
+}
+
+fn decode_simindex(bytes: &[u8], counts: [usize; 2]) -> Result<SimilarityIndex, ArtifactError> {
+    let mut c = Cursor::new(bytes);
+    let value = [
+        decode_csr(&mut c, counts[1])?,
+        decode_csr(&mut c, counts[0])?,
+    ];
+    let neighbor = [
+        decode_csr(&mut c, counts[1])?,
+        decode_csr(&mut c, counts[0])?,
+    ];
+    SimilarityIndex::from_parts(value, neighbor).map_err(ArtifactError::Corrupt)
+}
+
+fn encode_matching(matching: &Matching) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, matching.len() as u64);
+    for (a, b) in matching.iter() {
+        put_u32(&mut out, a.0);
+        put_u32(&mut out, b.0);
+    }
+    out
+}
+
+fn decode_matching(bytes: &[u8], counts: [usize; 2]) -> Result<Matching, ArtifactError> {
+    let mut c = Cursor::new(bytes);
+    let n = c.get_len()?;
+    if c.remaining() < n.saturating_mul(8) {
+        return Err(ArtifactError::Corrupt(
+            "matching extends past section".into(),
+        ));
+    }
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = c.get_u32()?;
+        let b = c.get_u32()?;
+        if a as usize >= counts[0] || b as usize >= counts[1] {
+            return Err(ArtifactError::Corrupt(format!(
+                "matched pair ({a},{b}) out of range {}x{}",
+                counts[0], counts[1]
+            )));
+        }
+        pairs.push((EntityId(a), EntityId(b)));
+    }
+    Ok(Matching::from_pairs(pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoan_exec::{CancelToken, Executor};
+    use minoan_kb::KbBuilder;
+
+    fn sample_pair() -> KbPair {
+        let mut a = KbBuilder::new("E1");
+        let mut b = KbBuilder::new("E2");
+        for (i, name) in ["Kri Kri Taverna", "Labyrinth Grill", "Phaistos Cafe"]
+            .iter()
+            .enumerate()
+        {
+            a.add_literal(&format!("a:r{i}"), "name", name);
+            a.add_uri(&format!("a:r{i}"), "address", &format!("a:addr{i}"));
+            a.add_literal(&format!("a:addr{i}"), "street", &format!("{i} Minos Ave"));
+            b.add_literal(&format!("b:r{i}"), "title", name);
+            b.add_uri(&format!("b:r{i}"), "location", &format!("b:addr{i}"));
+            b.add_literal(
+                &format!("b:addr{i}"),
+                "street",
+                &format!("{i} Minos Avenue"),
+            );
+        }
+        KbPair::new(a.finish(), b.finish())
+    }
+
+    fn build_artifact(pair: &KbPair) -> (IndexArtifact, crate::pipeline::MatchOutput) {
+        let matcher = crate::MinoanEr::with_defaults();
+        let indexed = matcher
+            .run_cancellable_indexed(pair, &Executor::sequential(), &CancelToken::new())
+            .unwrap();
+        let output = indexed.output.clone();
+        (
+            IndexArtifact::from_run("sample", pair, indexed, matcher.config()),
+            output,
+        )
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("minoan-core-artifact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}-{}.idx", std::process::id()))
+    }
+
+    #[test]
+    fn indexed_run_matches_plain_run() {
+        let pair = sample_pair();
+        let (artifact, output) = build_artifact(&pair);
+        let plain = crate::MinoanEr::with_defaults().run_with(&pair, &Executor::sequential());
+        assert_eq!(
+            plain.matching.iter().collect::<Vec<_>>(),
+            output.matching.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(artifact.matching().len(), plain.matching.len());
+    }
+
+    #[test]
+    fn artifact_round_trips_through_disk() {
+        let pair = sample_pair();
+        let (artifact, _) = build_artifact(&pair);
+        let path = temp_path("roundtrip");
+        let bytes = artifact.write_to(&path).unwrap();
+        let loaded = IndexArtifact::read_from(&path).unwrap();
+        assert_eq!(loaded.meta().file_bytes, bytes);
+        assert_eq!(loaded.meta().name, "sample");
+        assert_eq!(loaded.matched_uri_pairs(), artifact.matched_uri_pairs());
+        assert_eq!(loaded.meta().entity_counts, artifact.meta().entity_counts);
+        // The similarity index survives bit for bit.
+        for side in [KbSide::First, KbSide::Second] {
+            assert_eq!(
+                loaded.index().value_csr(side),
+                artifact.index().value_csr(side)
+            );
+            assert_eq!(
+                loaded.index().neighbor_csr(side),
+                artifact.index().neighbor_csr(side)
+            );
+        }
+        // Blocks and tokens survive too.
+        assert_eq!(
+            loaded.blocks(BlockKind::Token).len(),
+            artifact.blocks(BlockKind::Token).len()
+        );
+        assert_eq!(loaded.tokens().dict().len(), artifact.tokens().dict().len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn match_query_answers_from_the_loaded_index() {
+        let pair = sample_pair();
+        let (artifact, _) = build_artifact(&pair);
+        let path = temp_path("query");
+        artifact.write_to(&path).unwrap();
+        let loaded = IndexArtifact::read_from(&path).unwrap();
+        let answer = loaded.match_query("a:r0", 5).unwrap();
+        assert_eq!(answer.side, KbSide::First);
+        assert_eq!(answer.matches, vec!["b:r0".to_string()]);
+        assert!(!answer.candidates.is_empty());
+        assert!(answer.candidates[0].1 > 0.0);
+        // Reverse direction resolves too.
+        let back = loaded.match_query("b:r1", 3).unwrap();
+        assert_eq!(back.side, KbSide::Second);
+        assert_eq!(back.matches, vec!["a:r1".to_string()]);
+        // Unknown IRIs are a clean miss.
+        assert!(loaded.match_query("nope:0", 3).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn meta_reads_without_rebuilding_structures() {
+        let pair = sample_pair();
+        let (artifact, _) = build_artifact(&pair);
+        let path = temp_path("meta");
+        artifact.write_to(&path).unwrap();
+        let meta = IndexArtifact::read_meta(&path).unwrap();
+        assert_eq!(meta.name, "sample");
+        assert_eq!(meta.matched_pairs, artifact.meta().matched_pairs);
+        let json = meta.to_json();
+        assert_eq!(json.get("name").unwrap().as_str(), Some("sample"));
+        assert!(json.get("build_timings_ms").is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_sections_are_structural_errors_not_panics() {
+        let pair = sample_pair();
+        let (artifact, _) = build_artifact(&pair);
+        let path = temp_path("corrupt");
+        artifact.write_to(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        // Flip one byte at a time across a sample of offsets; every
+        // mutation must yield Err, never a panic.
+        for at in (0..good.len()).step_by(97) {
+            let mut bad = good.clone();
+            bad[at] ^= 0xff;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                IndexArtifact::read_from(&path).is_err(),
+                "flipping byte {at} went undetected"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -31,12 +31,14 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod config;
 pub mod heuristics;
 pub mod importance;
 pub mod pipeline;
 pub mod simindex;
 
+pub use artifact::{ArtifactMeta, IndexArtifact, MatchAnswer};
 pub use config::MinoanConfig;
 pub use heuristics::{
     h1_name_matches, h2_value_matches, h2_value_matches_with, h3_rank_matches,
@@ -47,7 +49,7 @@ pub use importance::{
     relation_importance, relation_importance_with, top_neighbors, top_neighbors_with, Importance,
 };
 pub use pipeline::{
-    build_blocks, build_blocks_cancellable, build_blocks_with, BlockingArtifacts, MatchOutput,
-    MinoanEr, PipelineReport, Timings,
+    build_blocks, build_blocks_cancellable, build_blocks_with, BlockingArtifacts, IndexedOutput,
+    MatchOutput, MinoanEr, PipelineReport, Timings,
 };
 pub use simindex::{Candidate, SimilarityIndex};

@@ -76,6 +76,21 @@ pub struct MatchOutput {
     pub report: PipelineReport,
 }
 
+/// A pipeline run that additionally retains the build-once structures a
+/// persistent index artifact needs: the tokenized pair, both block
+/// collections and the similarity index. Produced by
+/// [`MinoanEr::run_cancellable_indexed`]; the `output` field is exactly
+/// what [`MinoanEr::run_cancellable`] would have returned for the same
+/// inputs, so persisting an index never perturbs the matching.
+pub struct IndexedOutput {
+    /// The final matching and stage report.
+    pub output: MatchOutput,
+    /// Tokenization and blocking intermediates.
+    pub artifacts: BlockingArtifacts,
+    /// The similarity index the heuristics ran against.
+    pub index: SimilarityIndex,
+}
+
 /// Intermediate artifacts of the pipeline, exposed for the benchmark
 /// harness (Table II needs the block collections, BSL consumes the same
 /// `BN ∪ BT` input as MinoanER).
@@ -225,6 +240,24 @@ impl MinoanEr {
         // between task quanta and abort by unwinding; fold that unwind
         // into the checkpoint error here at the stage boundary.
         let exec = &exec.clone().with_cancel(cancel.clone());
+        minoan_exec::catch_cancel(|| {
+            self.run_cancellable_inner(pair, exec, cancel)
+                .map(|indexed| indexed.output)
+        })
+    }
+
+    /// Like [`MinoanEr::run_cancellable`], but returning the
+    /// [`IndexedOutput`] that keeps the tokenized pair, block
+    /// collections and similarity index alive for persistence. This is
+    /// the same code path as `run_cancellable` — the matching is
+    /// bit-identical; only what survives the run differs.
+    pub fn run_cancellable_indexed(
+        &self,
+        pair: &KbPair,
+        exec: &Executor,
+        cancel: &CancelToken,
+    ) -> Result<IndexedOutput, Cancelled> {
+        let exec = &exec.clone().with_cancel(cancel.clone());
         minoan_exec::catch_cancel(|| self.run_cancellable_inner(pair, exec, cancel))
     }
 
@@ -233,7 +266,7 @@ impl MinoanEr {
         pair: &KbPair,
         exec: &Executor,
         cancel: &CancelToken,
-    ) -> Result<MatchOutput, Cancelled> {
+    ) -> Result<IndexedOutput, Cancelled> {
         let mut report = PipelineReport::default();
 
         // Tokenize + block. `build_blocks_cancellable` measures
@@ -327,7 +360,11 @@ impl MinoanEr {
         report.h4_removed = before - matching.len();
         report.timings.matching = t0.elapsed();
 
-        Ok(MatchOutput { matching, report })
+        Ok(IndexedOutput {
+            output: MatchOutput { matching, report },
+            artifacts,
+            index: idx,
+        })
     }
 }
 

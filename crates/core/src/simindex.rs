@@ -253,6 +253,36 @@ impl SimilarityIndex {
         self.value_cands[0].item_count()
     }
 
+    /// The raw value-candidate CSR of one side (persisted by the
+    /// artifact layer).
+    pub fn value_csr(&self, side: KbSide) -> &Csr<Candidate> {
+        &self.value_cands[side.index()]
+    }
+
+    /// The raw neighbor-candidate CSR of one side.
+    pub fn neighbor_csr(&self, side: KbSide) -> &Csr<Candidate> {
+        &self.neighbor_cands[side.index()]
+    }
+
+    /// Rebuilds an index from persisted CSR shards. The two directions
+    /// of each similarity must agree on their total pair count (they are
+    /// transposes of each other).
+    pub fn from_parts(
+        value_cands: [Csr<Candidate>; 2],
+        neighbor_cands: [Csr<Candidate>; 2],
+    ) -> Result<Self, String> {
+        if value_cands[0].item_count() != value_cands[1].item_count() {
+            return Err("value candidate directions disagree on pair count".into());
+        }
+        if neighbor_cands[0].item_count() != neighbor_cands[1].item_count() {
+            return Err("neighbor candidate directions disagree on pair count".into());
+        }
+        Ok(Self {
+            value_cands,
+            neighbor_cands,
+        })
+    }
+
     /// Number of pairs with non-zero neighbor similarity.
     pub fn neighbor_pair_count(&self) -> usize {
         self.neighbor_cands[0].item_count()

@@ -141,6 +141,47 @@ impl Interner {
         self.arena.len()
     }
 
+    /// The raw arena: every distinct string, concatenated in id order.
+    /// Together with [`Interner::spans`] this is the interner's entire
+    /// persistent state (the probe table is derived).
+    pub fn arena(&self) -> &str {
+        &self.arena
+    }
+
+    /// Per-id `(start, end)` byte spans into the arena.
+    pub fn spans(&self) -> &[(u32, u32)] {
+        &self.spans
+    }
+
+    /// Rebuilds an interner from a persisted arena and spans, validating
+    /// that every span lies inside the arena on UTF-8 boundaries, and
+    /// reconstructing the probe table. Duplicate strings across spans are
+    /// rejected: they would make `get` ambiguous.
+    pub fn from_parts(arena: String, spans: Vec<(u32, u32)>) -> Result<Self, String> {
+        for &(start, end) in &spans {
+            let (s, e) = (start as usize, end as usize);
+            if s > e || e > arena.len() {
+                return Err(format!("span {start}..{end} outside arena"));
+            }
+            if !arena.is_char_boundary(s) || !arena.is_char_boundary(e) {
+                return Err(format!("span {start}..{end} splits a UTF-8 sequence"));
+            }
+        }
+        let mut this = Self {
+            arena,
+            spans,
+            table: Vec::new(),
+        };
+        this.grow_table((this.spans.len() * 2).next_power_of_two().max(16));
+        for (id, &(start, end)) in this.spans.iter().enumerate() {
+            let s = &this.arena[start as usize..end as usize];
+            if this.get(s) != Some(id as u32) {
+                return Err(format!("duplicate interned string at id {id}"));
+            }
+        }
+        Ok(this)
+    }
+
     /// Iterates `(id, string)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
         (0..self.spans.len() as u32).map(|id| (id, self.span_str(id)))
@@ -236,6 +277,26 @@ mod tests {
         assert_eq!(a, b);
         b.intern("w");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let mut a = Interner::new();
+        for s in ["knossos", "phaistos", "zakros", ""] {
+            a.intern(s);
+        }
+        let b = Interner::from_parts(a.arena().to_string(), a.spans().to_vec()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.get("phaistos"), Some(1));
+        assert_eq!(b.resolve(3), "");
+        // Out-of-bounds span.
+        assert!(Interner::from_parts("ab".into(), vec![(0, 9)]).is_err());
+        // Inverted span.
+        assert!(Interner::from_parts("ab".into(), vec![(2, 1)]).is_err());
+        // Split UTF-8 sequence.
+        assert!(Interner::from_parts("é".into(), vec![(0, 1)]).is_err());
+        // Duplicate strings.
+        assert!(Interner::from_parts("abab".into(), vec![(0, 2), (2, 4)]).is_err());
     }
 
     #[test]

@@ -16,10 +16,13 @@
 //! - pair/ground-truth containers ([`KbPair`], [`Matching`]);
 //! - fast hashing ([`FxHashMap`], [`FxHashSet`]), string interning
 //!   ([`Interner`]), compressed sparse rows ([`Csr`]) and minimal JSON
-//!   ([`Json`]) used across the workspace.
+//!   ([`Json`]) used across the workspace;
+//! - a versioned, checksummed binary container for persisted index
+//!   artifacts ([`artifact`]).
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod csr;
 pub mod hash;
 pub mod ids;
@@ -30,6 +33,7 @@ pub mod pair;
 pub mod parse;
 pub mod stats;
 
+pub use artifact::{ArtifactError, ArtifactFile, ArtifactWriter};
 pub use csr::Csr;
 pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{AttrId, BlockId, EntityId, KbSide, PairEntity, TokenId};

@@ -112,6 +112,13 @@ impl KnowledgeBase {
         self.entity_uris.get(uri).map(EntityId)
     }
 
+    /// The entity-URI interner (URIs in id order). Exposed so the
+    /// artifact layer can persist the URI dictionary and answer
+    /// URI-keyed queries against a loaded index without the full model.
+    pub fn entity_uris(&self) -> &Interner {
+        &self.entity_uris
+    }
+
     /// The name of an attribute.
     pub fn attr_name(&self, a: AttrId) -> &str {
         self.attrs.resolve(a.0)

@@ -32,13 +32,28 @@
 //! connection are processed strictly in order; concurrent connections
 //! are independent.
 //!
+//! Failures use the same structured error object as the HTTP
+//! front-end, wrapped in the protocol's envelope:
+//! `{"ok":false,"error":{"code":"…","message":"…","retryable":B}}`.
+//! `retryable` is `true` exactly when backing off and resubmitting can
+//! succeed (overload shed, index cache pressure); overload sheds keep
+//! the historical top-level `"retryable":true` alongside.
+//!
 //! | op | request fields | response |
 //! |----|----------------|----------|
-//! | `submit` | `job`: a manifest job object (same schema as a `[[job]]` table / `jobs` element, see [`crate::manifest`]) | `{"ok":true,"id":N,"name":"…"}` — `id` is the submission index; an overload shed answers `{"ok":false,"retryable":true,"error":"…"}` (back off and resubmit) |
-//! | `status` | optional `id` | `{"ok":true,"accepting":B,"queued":N,"running":N,"done":N,"telemetry":{…},"jobs":[{"id":N,"name":"…","phase":"queued\|running\|done","status":"ok\|failed\|cancelled"?,"error":"…"?}]}` (`jobs` has one element with `id`) — `telemetry` is the live [`QueueStats`](crate::scheduler::QueueStats) view: admitted footprint vs. memory budget, thread allotments, per-status done counts, cumulative stage timings |
+//! | `submit` | `job`: a manifest job object (same schema as a `[[job]]` table / `jobs` element, see [`crate::manifest`]) | `{"ok":true,"id":N,"name":"…"}` — `id` is the submission index; an overload shed answers `{"ok":false,"retryable":true,"error":{…}}` (back off and resubmit) |
+//! | `status` | optional `id`, optional `status` (phase or terminal-status label), optional `limit` | `{"ok":true,"accepting":B,"queued":N,"running":N,"done":N,"telemetry":{…},"jobs":[{"id":N,"name":"…","phase":"queued\|running\|done","status":"ok\|failed\|cancelled"?,"error":"…"?}]}` (`jobs` narrowed by the filters; with an index registry live, an `"indexes"` cache-telemetry object rides along) — `telemetry` is the live [`QueueStats`](crate::scheduler::QueueStats) view: admitted footprint vs. memory budget, thread allotments, per-status done counts, cumulative stage timings |
 //! | `cancel` | `id` | `{"ok":true,"id":N,"outcome":"cancelled\|cancelling\|done\|unknown"}` — `cancelled`: flipped before dispatch; `cancelling`: token set, the running job unwinds at its next checkpoint; `done`: already terminal, report unchanged |
 //! | `wait` | `id` | blocks until the job is terminal, then `{"ok":true,"id":N,"fingerprint":"…","report":{…}}` — `report` is [`JobReport::to_json`] with pairs, `fingerprint` the raw deterministic [`JobReport::fingerprint`] |
+//! | `index-build` | `job`: a manifest job object; its `name` becomes the index id | `{"ok":true,"job":N,"index":"…"}` — the build runs through the job queue and persists an artifact under the registry directory; rebuilding an existing id is a `conflict` |
+//! | `index-list` | — | `{"ok":true,"indexes":[{"id":"…","file_bytes":N,"loaded":B}],"cache":{…}}` |
+//! | `index-inspect` | `index` | `{"ok":true,"id":"…",…}` — the artifact's metadata section, read without loading the full index |
+//! | `index-delete` | `index` | `{"ok":true,"index":"…","deleted":true}` — also evicts the loaded copy |
+//! | `index-match` | `index`, `entity` (an entity IRI from either KB), optional `k` | `{"ok":true,"index":"…","entity":"…","side":"first\|second","matches":[…],"candidates":[{"uri":"…","score":F}],"stage_timings_ms":{…}}` — answered from the loaded artifact; `ingest`/`blocking`/`similarities` timings are literally `0` |
 //! | `shutdown` | optional `mode`: `"drain"` (default: queued jobs still run) or `"cancel"` (queued jobs flip to `Cancelled`, running jobs are cancelled) | `{"ok":true}`; the daemon then stops accepting, drains and exits |
+//!
+//! The `index-*` ops need the daemon started with an index directory
+//! (`--index-dir`); without one they answer an `unavailable` error.
 //!
 //! A `status`/`done` job is never reported `running` and `cancelled` at
 //! once: phase transitions are atomic under the queue lock
@@ -65,6 +80,7 @@ use minoan_kb::Json;
 
 use crate::http::HttpOptions;
 use crate::intake::{self, ShutdownMode};
+use crate::registry::IndexRegistry;
 use crate::report::{peak_rss_bytes, JobReport, ServeReport};
 use crate::scheduler::{
     resolve_fleet_knobs, CancelToken, JobQueue, ServeOptions, DEFAULT_SHED_QUEUE_DEPTH,
@@ -162,6 +178,14 @@ pub fn run_server(
     // through the queue.
     let never = CancelToken::new();
     let http_options = &http_options;
+    // Index serving is opt-in: without a directory the `index-*` ops
+    // and `/v1/indexes` endpoints answer structured `unavailable`
+    // errors instead of touching the filesystem.
+    let registry = match &opts.index_dir {
+        Some(dir) => Some(IndexRegistry::open(dir, opts.index_cache_bytes)?),
+        None => None,
+    };
+    let registry = registry.as_ref();
 
     std::thread::scope(|scope| -> std::io::Result<()> {
         let queue = &queue;
@@ -173,7 +197,7 @@ pub fn run_server(
         if let Some(listener) = line {
             accept_loops.push(scope.spawn(move || {
                 accept_loop(listener, shutdown, |stream| {
-                    scope.spawn(move || handle_connection(stream, queue, shutdown));
+                    scope.spawn(move || handle_connection(stream, queue, shutdown, registry));
                 })
             }));
         }
@@ -201,7 +225,13 @@ pub fn run_server(
                     }
                     let live = Arc::clone(&live);
                     scope.spawn(move || {
-                        crate::http::handle_connection(stream, queue, shutdown, http_options);
+                        crate::http::handle_connection(
+                            stream,
+                            queue,
+                            shutdown,
+                            http_options,
+                            registry,
+                        );
                         live.fetch_sub(1, Ordering::AcqRel);
                     });
                 })
@@ -270,7 +300,12 @@ fn accept_loop(
 /// responsive to the shutdown flag even with an idle client. Frames are
 /// read as raw bytes so invalid UTF-8 gets an error *response* instead
 /// of tearing the connection down.
-fn handle_connection(stream: TcpStream, queue: &JobQueue, shutdown: &CancelToken) {
+fn handle_connection(
+    stream: TcpStream,
+    queue: &JobQueue,
+    shutdown: &CancelToken,
+    registry: Option<&IndexRegistry>,
+) {
     use std::io::Read as _;
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL * 4));
     let mut writer = match stream.try_clone() {
@@ -312,7 +347,7 @@ fn handle_connection(stream: TcpStream, queue: &JobQueue, shutdown: &CancelToken
             Ok(_) => {
                 let frame = trim_frame(&line);
                 if !frame.is_empty() {
-                    let response = handle_request(frame, queue, shutdown);
+                    let response = handle_request(frame, queue, shutdown, registry);
                     if writer
                         .write_all((response.compact() + "\n").as_bytes())
                         .and_then(|()| writer.flush())
@@ -362,7 +397,12 @@ fn trim_frame(line: &[u8]) -> &[u8] {
 /// `{"ok":false,...}` response. All queue operations go through the
 /// shared request layer ([`crate::intake`]), the same one the HTTP
 /// front-end uses.
-fn handle_request(frame: &[u8], queue: &JobQueue, shutdown: &CancelToken) -> Json {
+fn handle_request(
+    frame: &[u8],
+    queue: &JobQueue,
+    shutdown: &CancelToken,
+    registry: Option<&IndexRegistry>,
+) -> Json {
     let request = match Json::parse_bytes(frame) {
         Ok(v) => v,
         Err(e) => return error(format!("bad request JSON: {e}")),
@@ -382,21 +422,40 @@ fn handle_request(frame: &[u8], queue: &JobQueue, shutdown: &CancelToken) -> Jso
                     ("name", Json::str(name)),
                 ]),
                 // A shed submit is worth resubmitting after a backoff;
-                // the flag tells clients apart from hard rejections.
+                // the top-level flag predates the structured error
+                // object and stays for compatibility.
                 Err(e) if e.retryable() => Json::obj([
                     ("ok", Json::Bool(false)),
                     ("retryable", Json::Bool(true)),
-                    ("error", Json::str(e.to_string())),
+                    (
+                        "error",
+                        intake::error_body("overloaded", e.to_string(), true),
+                    ),
                 ]),
                 Err(e) => error(e.to_string()),
             }
         }
         "status" => {
-            let filter = match optional_id(&request) {
+            let id = match optional_id(&request) {
                 Ok(f) => f,
                 Err(e) => return error(e),
             };
-            match intake::status_json(queue, !shutdown.is_cancelled(), filter) {
+            let limit = match request.get("limit") {
+                None => None,
+                Some(v) => match v.as_usize() {
+                    Some(n) => Some(n),
+                    None => return error("`limit` must be a non-negative integer".to_string()),
+                },
+            };
+            let filter = intake::JobFilter {
+                id,
+                status: request
+                    .get("status")
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
+                limit,
+            };
+            match intake::status_json(queue, !shutdown.is_cancelled(), &filter, registry) {
                 Ok(body) => ok_with(body),
                 Err(e) => error(e),
             }
@@ -419,6 +478,58 @@ fn handle_request(frame: &[u8], queue: &JobQueue, shutdown: &CancelToken) -> Jso
                 Some(body) => ok_with(body),
             },
         },
+        "index-build" => {
+            let Some(job) = request.get("job") else {
+                return error("index-build needs a `job` object".to_string());
+            };
+            match intake::index_build(queue, registry, job) {
+                Ok((id, name)) => Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("job", Json::num(id as f64)),
+                    ("index", Json::str(name)),
+                ]),
+                Err(rejection) => index_error(&rejection),
+            }
+        }
+        "index-list" => match intake::index_list(registry) {
+            Ok(body) => ok_with(body),
+            Err(rejection) => index_error(&rejection),
+        },
+        "index-inspect" => match required_str(&request, "index") {
+            Err(e) => error(e),
+            Ok(id) => match intake::index_meta(registry, id) {
+                Ok(body) => ok_with(body),
+                Err(rejection) => index_error(&rejection),
+            },
+        },
+        "index-delete" => match required_str(&request, "index") {
+            Err(e) => error(e),
+            Ok(id) => match intake::index_delete(registry, id) {
+                Ok(body) => ok_with(body),
+                Err(rejection) => index_error(&rejection),
+            },
+        },
+        "index-match" => {
+            let id = match required_str(&request, "index") {
+                Ok(id) => id,
+                Err(e) => return error(e),
+            };
+            let entity = match required_str(&request, "entity") {
+                Ok(entity) => entity,
+                Err(e) => return error(e),
+            };
+            let k = match request.get("k") {
+                None => intake::DEFAULT_MATCH_K,
+                Some(v) => match v.as_usize() {
+                    Some(n) => n,
+                    None => return error("`k` must be a non-negative integer".to_string()),
+                },
+            };
+            match intake::index_match(registry, id, entity, k) {
+                Ok(body) => ok_with(body),
+                Err(rejection) => index_error(&rejection),
+            }
+        }
         "shutdown" => {
             let mode = match ShutdownMode::parse(request.get("mode").and_then(Json::as_str)) {
                 Ok(mode) => mode,
@@ -440,12 +551,38 @@ fn ok_with(body: Json) -> Json {
     Json::Obj(fields)
 }
 
+/// A malformed-request failure in the unified error schema (code
+/// `bad_request`, never retryable) under the protocol's `"ok": false`
+/// envelope.
 fn error(message: String) -> Json {
-    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))])
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", intake::error_body("bad_request", &message, false)),
+    ])
+}
+
+/// An index-op failure: the rejection's own code/retryability, with the
+/// top-level `retryable` flag mirrored for shed-style backoff clients.
+fn index_error(rejection: &intake::IndexRejection) -> Json {
+    let mut fields = vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), rejection.to_error_body()),
+    ];
+    if rejection.retryable() {
+        fields.insert(1, ("retryable".to_string(), Json::Bool(true)));
+    }
+    Json::Obj(fields)
 }
 
 fn required_id(request: &Json) -> Result<usize, String> {
     optional_id(request)?.ok_or_else(|| "request needs a numeric `id` field".to_string())
+}
+
+fn required_str<'a>(request: &'a Json, field: &str) -> Result<&'a str, String> {
+    request
+        .get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("request needs a string `{field}` field"))
 }
 
 fn optional_id(request: &Json) -> Result<Option<usize>, String> {
@@ -550,7 +687,10 @@ mod tests {
             ] {
                 let r = roundtrip(addr, request);
                 assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{request}");
-                let e = r.get("error").unwrap().as_str().unwrap();
+                let err = r.get("error").unwrap();
+                assert_eq!(err.get("code").unwrap().as_str(), Some("bad_request"));
+                assert_eq!(err.get("retryable"), Some(&Json::Bool(false)));
+                let e = err.get("message").unwrap().as_str().unwrap();
                 assert!(e.contains(needle), "{request} -> {e}");
             }
             roundtrip(addr, r#"{"op":"shutdown"}"#);
@@ -573,7 +713,13 @@ mod tests {
             reader.read_line(&mut line).unwrap();
             let r = Json::parse(line.trim()).expect("error response parses");
             assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
-            let e = r.get("error").unwrap().as_str().unwrap();
+            let e = r
+                .get("error")
+                .unwrap()
+                .get("message")
+                .unwrap()
+                .as_str()
+                .unwrap();
             assert!(e.contains("invalid UTF-8"), "{e}");
             // The same connection keeps working after the bad frame.
             stream.write_all(b"{\"op\":\"status\"}\n").unwrap();
@@ -629,7 +775,12 @@ mod tests {
         // would slip past cancel_all and run to completion.
         let queue = JobQueue::new(1, 1, 0);
         let shutdown = CancelToken::new();
-        let r = handle_request(br#"{"op":"shutdown","mode":"cancel"}"#, &queue, &shutdown);
+        let r = handle_request(
+            br#"{"op":"shutdown","mode":"cancel"}"#,
+            &queue,
+            &shutdown,
+            None,
+        );
         assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
         assert!(shutdown.is_cancelled());
         let spec = JobSpec::from_json(

@@ -16,15 +16,48 @@
 //! | Method & path | Body | Response |
 //! |---------------|------|----------|
 //! | `POST /v1/jobs` | a manifest job object (see [`crate::manifest`]) | `201` `{"id":N,"name":"…"}` + `Location`; `400` bad job; `409` queue closed; `429` + `Retry-After` overload shed |
-//! | `GET /v1/jobs` | — | `200` the status body: `accepting`, phase counts, `telemetry` ([`QueueStats`](crate::scheduler::QueueStats)), `jobs` list |
+//! | `GET /v1/jobs` | — | `200` the status body: `accepting`, phase counts, `telemetry` ([`QueueStats`](crate::scheduler::QueueStats)), `jobs` list; `?status=<s>` narrows by phase (`queued\|running\|done`) or terminal status (`ok\|failed\|cancelled\|timed_out\|poisoned\|killed_over_budget`), `?limit=<n>` caps the list (counts stay fleet-wide) |
 //! | `GET /v1/jobs/{id}` | — | `200` `{"id","name","phase",…}`, plus `"fingerprint"` and the full `"report"` once terminal; `?wait=true` blocks until terminal; `404` unknown id |
 //! | `DELETE /v1/jobs/{id}` | — | `200` `{"id":N,"outcome":"cancelled\|cancelling\|done"}`; `404` unknown id |
+//! | `POST /v1/indexes` | a manifest job object | `201` `{"job":N,"index":"…"}` + `Location: /v1/indexes/{name}` — builds through the supervised queue, then persists the index artifact (wait on `/v1/jobs/{N}?wait=true`); `409` the index already exists / queue closed; `503` index serving disabled |
+//! | `GET /v1/indexes` | — | `200` `{"indexes":[{"id","file_bytes","loaded"}],"cache":{…}}` |
+//! | `GET /v1/indexes/{id}` | — | `200` artifact metadata: sizes, entity counts, build timings, format version; `404` unknown index |
+//! | `DELETE /v1/indexes/{id}` | — | `200` `{"index":"…","deleted":true}`; `404` unknown index |
+//! | `GET /v1/indexes/{id}/match?entity=<iri>&k=<n>` | — | `200` the hot match path: `matches`, top-`k` `candidates` with scores, and `stage_timings_ms` whose build-once stages (`ingest`, `blocking`, `similarities`) are always `0` — the answer comes from the loaded artifact, never from re-running the pipeline; `404` unknown index or entity |
 //! | `GET /v1/metrics` | — | `200` Prometheus text (`text/plain; version=0.0.4`), see [`prometheus_metrics`] |
 //! | `POST /v1/shutdown` | optional `{"mode":"drain"\|"cancel"}` | `200` `{"shutting_down":true,"mode":"…"}`; the server drains and exits |
 //!
 //! Unknown paths are `404`; known paths with the wrong method are `405`
 //! with an `Allow` header. Responses are JSON (`application/json`)
-//! except the metrics text; errors carry `{"error":"…"}`.
+//! except the metrics text.
+//!
+//! ## Error schema
+//!
+//! Every error body is the **unified error object** shared with the
+//! line-JSON protocol:
+//!
+//! ```json
+//! {"error":{"code":"not_found","message":"…","retryable":false}}
+//! ```
+//!
+//! `code` is the machine-readable name of the HTTP status
+//! (`bad_request`, `unauthorized`, `not_found`, `method_not_allowed`,
+//! `conflict`, `payload_too_large`, `overloaded`, `headers_too_large`,
+//! `not_implemented`, `unavailable`, `http_version_not_supported`);
+//! `retryable` is `true` exactly for `429`/`503`, which also carry
+//! `Retry-After`. Status codes and headers are unchanged from the
+//! pre-unified schema — only the body shape is richer.
+//!
+//! ## Artifact wire format
+//!
+//! The files behind `/v1/indexes` use the checksummed section container
+//! of [`minoan_kb::artifact`]: an 8-byte magic (`MINOANIX`), a `u32`
+//! format version, a section table (tag, offset, length, FNV-1a
+//! checksum per section) and the section payloads — URI interners,
+//! token sets, blocks, the CSR similarity index and the final matching
+//! (see [`minoan_core::artifact`] for the section layout). Truncated,
+//! mis-versioned or bit-flipped files are rejected at load with
+//! structured errors, surfaced here as `503`.
 //!
 //! ## Authentication
 //!
@@ -78,6 +111,7 @@ use minoan_kb::Json;
 
 use crate::daemon::{run_server, Frontends, POLL_INTERVAL};
 use crate::intake::{self, ShutdownMode};
+use crate::registry::IndexRegistry;
 use crate::report::{peak_rss_bytes, JobReport, ServeReport};
 use crate::scheduler::{CancelOutcome, CancelToken, JobQueue, ServeOptions};
 
@@ -141,8 +175,9 @@ struct Request {
     method: String,
     /// Path with the query string split off.
     path: String,
-    /// Query parameters, in order, `key=value` pairs (no percent
-    /// decoding: the API's ids and flags never need it).
+    /// Query parameters, in order, `key=value` pairs. Values are
+    /// percent-decoded (entity IRIs in match queries carry `:` and `/`,
+    /// which strict clients encode); keys are plain ASCII names.
     query: Vec<(String, String)>,
     /// Header fields with lower-cased names, in arrival order.
     headers: Vec<(String, String)>,
@@ -163,6 +198,14 @@ impl Request {
         self.query
             .iter()
             .any(|(k, v)| k == "wait" && matches!(v.as_str(), "true" | "1"))
+    }
+
+    /// First query parameter with this name.
+    fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Whether the client asked to close the connection.
@@ -200,8 +243,31 @@ impl Response {
         }
     }
 
+    /// An error response in the unified schema:
+    /// `{"error":{"code","message","retryable"}}`, with the code and
+    /// retryability derived from the status.
     fn error(status: u16, message: impl Into<String>) -> Response {
-        Response::json(status, &Json::obj([("error", Json::str(message.into()))]))
+        let body = intake::error_body(
+            intake::code_for_status(status),
+            message,
+            intake::retryable_status(status),
+        );
+        Response::json(status, &Json::obj([("error", body)]))
+    }
+
+    /// The response for a failed index operation, including the
+    /// `Retry-After` hint on retryable statuses.
+    fn index_error(rejection: &intake::IndexRejection) -> Response {
+        let mut response = Response::json(
+            rejection.status(),
+            &Json::obj([("error", rejection.to_error_body())]),
+        );
+        if rejection.retryable() {
+            response
+                .extra_headers
+                .push(("Retry-After", RETRY_AFTER_SECS.to_string()));
+        }
+        response
     }
 }
 
@@ -213,6 +279,7 @@ pub(crate) fn handle_connection(
     queue: &JobQueue,
     shutdown: &CancelToken,
     options: &HttpOptions,
+    registry: Option<&IndexRegistry>,
 ) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL * 4));
     let _ = stream.set_nodelay(true);
@@ -236,7 +303,7 @@ pub(crate) fn handle_connection(
                 return;
             }
         };
-        let response = route(&request, queue, shutdown, options);
+        let response = route(&request, queue, shutdown, options, registry);
         // After a shutdown request the flag is set; close either way.
         let close = request.wants_close() || shutdown.is_cancelled() || response.status >= 400;
         if write_response(&mut writer, &response, close).is_err() {
@@ -392,7 +459,7 @@ fn read_request(
         .split('&')
         .filter(|p| !p.is_empty())
         .map(|pair| match pair.split_once('=') {
-            Some((k, v)) => (k.to_string(), v.to_string()),
+            Some((k, v)) => (k.to_string(), percent_decode(v)),
             None => (pair.to_string(), String::new()),
         })
         .collect();
@@ -503,6 +570,7 @@ fn route(
     queue: &JobQueue,
     shutdown: &CancelToken,
     options: &HttpOptions,
+    registry: Option<&IndexRegistry>,
 ) -> Response {
     if let Some(expected) = &options.auth_token {
         let supplied = request
@@ -521,7 +589,19 @@ fn route(
     match (request.method.as_str(), segments.as_slice()) {
         ("POST", ["v1", "jobs"]) => submit(request, queue),
         ("GET", ["v1", "jobs"]) => {
-            match intake::status_json(queue, !shutdown.is_cancelled(), None) {
+            let limit = match request.query_param("limit").map(str::parse::<usize>) {
+                None => None,
+                Some(Ok(n)) => Some(n),
+                Some(Err(_)) => {
+                    return Response::error(400, "limit must be a non-negative integer")
+                }
+            };
+            let filter = intake::JobFilter {
+                id: None,
+                status: request.query_param("status").map(str::to_string),
+                limit,
+            };
+            match intake::status_json(queue, !shutdown.is_cancelled(), &filter, registry) {
                 Ok(body) => Response::json(200, &body),
                 Err(e) => Response::error(400, e),
             }
@@ -582,12 +662,100 @@ fn route(
                 }
             }
         }
+        ("POST", ["v1", "indexes"]) => {
+            let job = match Json::parse_bytes(&request.body) {
+                Ok(job) => job,
+                Err(e) => return Response::error(400, format!("bad index body: {e}")),
+            };
+            match intake::index_build(queue, registry, &job) {
+                Ok((id, name)) => {
+                    let mut response = Response::json(
+                        201,
+                        &Json::obj([("job", Json::num(id as f64)), ("index", Json::str(&name))]),
+                    );
+                    response
+                        .extra_headers
+                        .push(("Location", format!("/v1/indexes/{name}")));
+                    // `?wait=true` blocks the 201 until the build job ends,
+                    // mirroring GET /v1/jobs/{id}?wait=true.
+                    if request.wants_wait() {
+                        let _ = intake::job_json(queue, id, true);
+                    }
+                    response
+                }
+                Err(rejection) => Response::index_error(&rejection),
+            }
+        }
+        ("GET", ["v1", "indexes"]) => match intake::index_list(registry) {
+            Ok(body) => Response::json(200, &body),
+            Err(rejection) => Response::index_error(&rejection),
+        },
+        ("GET", ["v1", "indexes", id]) => match intake::index_meta(registry, id) {
+            Ok(body) => Response::json(200, &body),
+            Err(rejection) => Response::index_error(&rejection),
+        },
+        ("DELETE", ["v1", "indexes", id]) => match intake::index_delete(registry, id) {
+            Ok(body) => Response::json(200, &body),
+            Err(rejection) => Response::index_error(&rejection),
+        },
+        ("GET", ["v1", "indexes", id, "match"]) => {
+            let entity = request.query_param("entity").unwrap_or("");
+            let k = match request.query_param("k") {
+                None => intake::DEFAULT_MATCH_K,
+                Some(raw) => match raw.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return Response::error(
+                            400,
+                            format!("k must be a positive integer, got {raw:?}"),
+                        )
+                    }
+                },
+            };
+            match intake::index_match(registry, id, entity, k) {
+                Ok(body) => Response::json(200, &body),
+                Err(rejection) => Response::index_error(&rejection),
+            }
+        }
         (_, ["v1", "jobs"]) => method_not_allowed("GET, POST"),
         (_, ["v1", "jobs", _]) => method_not_allowed("GET, DELETE"),
+        (_, ["v1", "indexes"]) => method_not_allowed("GET, POST"),
+        (_, ["v1", "indexes", _]) => method_not_allowed("GET, DELETE"),
+        (_, ["v1", "indexes", _, "match"]) => method_not_allowed("GET"),
         (_, ["v1", "metrics"]) => method_not_allowed("GET"),
         (_, ["v1", "shutdown"]) => method_not_allowed("POST"),
         _ => Response::error(404, format!("no such endpoint {}", request.path)),
     }
+}
+
+/// Decodes `%XX` escapes and `+`-as-space in a query value. Malformed
+/// escapes pass through verbatim — the id/IRI lookup will simply miss.
+fn percent_decode(raw: &str) -> String {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|pair| {
+                    let high = (pair[0] as char).to_digit(16)?;
+                    let low = (pair[1] as char).to_digit(16)?;
+                    Some((high * 16 + low) as u8)
+                });
+                match hex {
+                    Some(byte) => {
+                        out.push(byte);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            byte => out.push(byte),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 /// `POST /v1/jobs`: parse, validate and admit one job.
@@ -708,7 +876,7 @@ fn reason_phrase(status: u16) -> &'static str {
 /// (no handler thread) and closes. Built by hand because the normal
 /// response path assumes a parsed request.
 pub(crate) fn overloaded_503() -> String {
-    let body = r#"{"error":"connection limit reached; retry shortly"}"#;
+    let body = r#"{"error":{"code":"unavailable","message":"connection limit reached; retry shortly","retryable":true}}"#;
     format!(
         "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
          Content-Length: {}\r\nRetry-After: {RETRY_AFTER_SECS}\r\nConnection: close\r\n\r\n{body}",

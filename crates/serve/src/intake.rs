@@ -9,12 +9,60 @@
 //! and headers over HTTP). Response shapes therefore cannot drift
 //! between protocols, and a job submitted over either one goes through
 //! the identical parse → validate → admit path.
+//!
+//! Since the index API landed the same layer also fronts the
+//! [`IndexRegistry`](crate::registry): build (through the job queue,
+//! with the artifact path injected server-side), list, inspect, delete
+//! and the hot match-query path, plus the **unified error schema** both
+//! protocols emit — `{"error":{"code","message","retryable"}}`, wrapped
+//! in `"ok":false` on the socket and under the HTTP status code on the
+//! web front-end.
+
+use std::time::Instant;
 
 use minoan_kb::Json;
 
 use crate::manifest::JobSpec;
+use crate::registry::{IndexRegistry, RegistryError};
 use crate::report::JobStatus;
 use crate::scheduler::{CancelToken, JobId, JobQueue, JobSnapshot, SubmitError};
+
+/// Machine-readable error code for an HTTP status, shared by both
+/// protocols so a line-JSON client and an HTTP client see the same
+/// `code` for the same failure.
+pub(crate) fn code_for_status(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        401 => "unauthorized",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        409 => "conflict",
+        413 => "payload_too_large",
+        429 => "overloaded",
+        431 => "headers_too_large",
+        501 => "not_implemented",
+        503 => "unavailable",
+        505 => "http_version_not_supported",
+        _ => "error",
+    }
+}
+
+/// Whether retrying the identical request later can succeed, by status:
+/// overload shed and temporary unavailability are worth a backoff;
+/// everything else is the client's fault as sent.
+pub(crate) fn retryable_status(status: u16) -> bool {
+    matches!(status, 429 | 503)
+}
+
+/// The unified error object both protocols carry under their `"error"`
+/// key: `{"code","message","retryable"}`.
+pub(crate) fn error_body(code: &str, message: impl Into<String>, retryable: bool) -> Json {
+    Json::obj([
+        ("code", Json::str(code)),
+        ("message", Json::str(message.into())),
+        ("retryable", Json::Bool(retryable)),
+    ])
+}
 
 /// How a shutdown request treats jobs still in the queue: `drain` lets
 /// queued jobs run to completion, `cancel` flips queued jobs to
@@ -102,36 +150,96 @@ pub(crate) fn snapshot_json(snap: &JobSnapshot) -> Json {
     Json::Obj(fields)
 }
 
+/// The labels [`JobFilter::status`] accepts: lifecycle phases plus the
+/// terminal status labels of [`JobStatus`].
+const STATUS_FILTER_LABELS: [&str; 9] = [
+    "queued",
+    "running",
+    "done",
+    "ok",
+    "failed",
+    "cancelled",
+    "timed_out",
+    "poisoned",
+    "killed_over_budget",
+];
+
+/// Optional narrowing of the job list both protocols support:
+/// HTTP spells it `GET /v1/jobs?status=<s>&limit=<n>`, the socket adds
+/// `"status"`/`"limit"` fields to the `status` op.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct JobFilter {
+    /// Only the job with this id (an unknown id is an error).
+    pub(crate) id: Option<JobId>,
+    /// Only jobs in this phase (`queued`/`running`/`done`) or with this
+    /// terminal status (`ok`/`failed`/`cancelled`/`timed_out`/
+    /// `poisoned`/`killed_over_budget`).
+    pub(crate) status: Option<String>,
+    /// At most this many jobs, keeping the earliest ids (counts and
+    /// telemetry stay fleet-wide).
+    pub(crate) limit: Option<usize>,
+}
+
+impl JobFilter {
+    fn matches(&self, snap: &JobSnapshot) -> bool {
+        if self.id.is_some_and(|id| snap.id != id) {
+            return false;
+        }
+        match self.status.as_deref() {
+            None => true,
+            Some(label) => {
+                snap.phase.label() == label
+                    || snap.status.as_ref().is_some_and(|s| s.label() == label)
+            }
+        }
+    }
+}
+
 /// The common status body: accepting flag, phase counts, live queue
-/// telemetry ([`JobQueue::stats`]) and the job list, optionally
-/// filtered to one id (an unknown filter id is an error).
+/// telemetry ([`JobQueue::stats`]) and the job list, narrowed by
+/// `filter` (an unknown id or status label is an error). When an index
+/// registry is live its cache telemetry rides along as `"indexes"`.
 pub(crate) fn status_json(
     queue: &JobQueue,
     accepting: bool,
-    filter: Option<JobId>,
+    filter: &JobFilter,
+    registry: Option<&IndexRegistry>,
 ) -> Result<Json, String> {
+    if let Some(label) = filter.status.as_deref() {
+        if !STATUS_FILTER_LABELS.contains(&label) {
+            return Err(format!(
+                "unknown status filter {label:?} (expected one of {})",
+                STATUS_FILTER_LABELS.join("|")
+            ));
+        }
+    }
     // One lock acquisition for both views: counts taken separately
     // from the job list could contradict it when a job finishes
     // between the two reads.
     let (snapshot, stats) = queue.snapshot_and_stats();
-    if let Some(id) = filter {
+    if let Some(id) = filter.id {
         if id >= snapshot.len() {
             return Err(format!("unknown job id {id}"));
         }
     }
     let jobs: Vec<Json> = snapshot
         .iter()
-        .filter(|s| filter.is_none_or(|id| s.id == id))
+        .filter(|s| filter.matches(s))
+        .take(filter.limit.unwrap_or(usize::MAX))
         .map(snapshot_json)
         .collect();
-    Ok(Json::obj([
-        ("accepting", Json::Bool(accepting)),
-        ("queued", Json::num(stats.queued as f64)),
-        ("running", Json::num(stats.running as f64)),
-        ("done", Json::num(stats.done() as f64)),
-        ("telemetry", stats.to_json()),
-        ("jobs", Json::Arr(jobs)),
-    ]))
+    let mut fields = vec![
+        ("accepting".to_string(), Json::Bool(accepting)),
+        ("queued".to_string(), Json::num(stats.queued as f64)),
+        ("running".to_string(), Json::num(stats.running as f64)),
+        ("done".to_string(), Json::num(stats.done() as f64)),
+        ("telemetry".to_string(), stats.to_json()),
+        ("jobs".to_string(), Json::Arr(jobs)),
+    ];
+    if let Some(registry) = registry {
+        fields.push(("indexes".to_string(), registry.stats_json()));
+    }
+    Ok(Json::Obj(fields))
 }
 
 /// Blocks until job `id` is terminal, then returns the body shared by
@@ -186,6 +294,239 @@ pub(crate) fn shutdown(queue: &JobQueue, flag: &CancelToken, mode: ShutdownMode)
     flag.cancel();
 }
 
+/// Default `k` (candidate list length) of a match query when the client
+/// does not pass one.
+pub(crate) const DEFAULT_MATCH_K: usize = 10;
+
+/// Why an index operation failed, with enough structure for each
+/// front-end to pick its status code; the unified error body comes from
+/// [`IndexRejection::to_error_body`], so both protocols emit the same
+/// `code`/`message`/`retryable` triple.
+#[derive(Debug)]
+pub(crate) enum IndexRejection {
+    /// Malformed id, job spec or query parameter (HTTP `400`).
+    BadRequest(String),
+    /// No such index, or the queried entity is in neither KB (`404`).
+    NotFound(String),
+    /// An index with this id already exists, or the queue is closed
+    /// (`409`).
+    Conflict(String),
+    /// Overload shed on the build path (`429`, retryable).
+    Overloaded(String),
+    /// Index serving is disabled or the artifact cannot be read
+    /// (`503`; retryable exactly for transient I/O trouble).
+    Unavailable {
+        /// Human-readable cause.
+        message: String,
+        /// Whether a retry could succeed.
+        retryable: bool,
+    },
+}
+
+impl IndexRejection {
+    /// The HTTP status this rejection maps to.
+    pub(crate) fn status(&self) -> u16 {
+        match self {
+            IndexRejection::BadRequest(_) => 400,
+            IndexRejection::NotFound(_) => 404,
+            IndexRejection::Conflict(_) => 409,
+            IndexRejection::Overloaded(_) => 429,
+            IndexRejection::Unavailable { .. } => 503,
+        }
+    }
+
+    /// Whether resubmitting the identical request later can succeed.
+    pub(crate) fn retryable(&self) -> bool {
+        match self {
+            IndexRejection::Overloaded(_) => true,
+            IndexRejection::Unavailable { retryable, .. } => *retryable,
+            _ => false,
+        }
+    }
+
+    /// The unified `{"code","message","retryable"}` error object.
+    pub(crate) fn to_error_body(&self) -> Json {
+        let message = match self {
+            IndexRejection::BadRequest(m)
+            | IndexRejection::NotFound(m)
+            | IndexRejection::Conflict(m)
+            | IndexRejection::Overloaded(m)
+            | IndexRejection::Unavailable { message: m, .. } => m.as_str(),
+        };
+        error_body(code_for_status(self.status()), message, self.retryable())
+    }
+}
+
+impl From<RegistryError> for IndexRejection {
+    fn from(e: RegistryError) -> Self {
+        match e {
+            RegistryError::InvalidId => IndexRejection::BadRequest(e.to_string()),
+            RegistryError::NotFound => IndexRejection::NotFound(e.to_string()),
+            RegistryError::Artifact(_) => IndexRejection::Unavailable {
+                retryable: e.retryable(),
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+/// The registry, or the uniform "serving disabled" rejection when the
+/// daemon runs without an index directory.
+fn need_registry(registry: Option<&IndexRegistry>) -> Result<&IndexRegistry, IndexRejection> {
+    registry.ok_or_else(|| IndexRejection::Unavailable {
+        message: "index serving is disabled (start the server with --index-dir)".into(),
+        retryable: false,
+    })
+}
+
+/// `POST /v1/indexes` / op `index-build`: parse the job, reserve the
+/// artifact path (server-side — the wire schema has no path field) and
+/// admit the build through the supervised queue. The index id is the
+/// job name.
+pub(crate) fn index_build(
+    queue: &JobQueue,
+    registry: Option<&IndexRegistry>,
+    job: &Json,
+) -> Result<(JobId, String), IndexRejection> {
+    let registry = need_registry(registry)?;
+    let mut spec = JobSpec::from_json(job)
+        .and_then(|s| s.validate().map(|()| s))
+        .map_err(|e| IndexRejection::BadRequest(format!("bad job: {e}")))?;
+    let path = registry
+        .path_for(&spec.name)
+        .map_err(IndexRejection::from)?;
+    if path.exists() {
+        return Err(IndexRejection::Conflict(format!(
+            "index {:?} already exists; DELETE it first to rebuild",
+            spec.name
+        )));
+    }
+    spec.persist = Some(path);
+    let name = spec.name.clone();
+    let id = queue.submit(spec).map_err(|e| match e {
+        SubmitError::Closed => IndexRejection::Conflict(e.to_string()),
+        SubmitError::Overloaded(detail) => {
+            IndexRejection::Overloaded(format!("overloaded: {detail}"))
+        }
+    })?;
+    Ok((id, name))
+}
+
+/// `GET /v1/indexes` / op `index-list`: every persisted index plus the
+/// loaded-cache telemetry.
+pub(crate) fn index_list(registry: Option<&IndexRegistry>) -> Result<Json, IndexRejection> {
+    let registry = need_registry(registry)?;
+    let entries = registry.list().map_err(|e| IndexRejection::Unavailable {
+        message: format!("cannot list index directory: {e}"),
+        retryable: true,
+    })?;
+    let indexes: Vec<Json> = entries
+        .iter()
+        .map(|e| {
+            Json::obj([
+                ("id", Json::str(&e.id)),
+                ("file_bytes", Json::num(e.file_bytes as f64)),
+                ("loaded", Json::Bool(e.loaded)),
+            ])
+        })
+        .collect();
+    Ok(Json::obj([
+        ("indexes", Json::Arr(indexes)),
+        ("cache", registry.stats_json()),
+    ]))
+}
+
+/// `GET /v1/indexes/{id}` / op `index-inspect`: the artifact's metadata
+/// (sizes, entity counts, build timings, format version).
+pub(crate) fn index_meta(
+    registry: Option<&IndexRegistry>,
+    id: &str,
+) -> Result<Json, IndexRejection> {
+    let registry = need_registry(registry)?;
+    let meta = registry.meta(id).map_err(IndexRejection::from)?;
+    let Json::Obj(mut fields) = meta.to_json() else {
+        unreachable!("meta JSON is an object");
+    };
+    fields.insert(0, ("id".to_string(), Json::str(id)));
+    Ok(Json::Obj(fields))
+}
+
+/// `DELETE /v1/indexes/{id}` / op `index-delete`: drop the artifact and
+/// evict any cached copy.
+pub(crate) fn index_delete(
+    registry: Option<&IndexRegistry>,
+    id: &str,
+) -> Result<Json, IndexRejection> {
+    let registry = need_registry(registry)?;
+    registry.delete(id).map_err(IndexRejection::from)?;
+    Ok(Json::obj([
+        ("index", Json::str(id)),
+        ("deleted", Json::Bool(true)),
+    ]))
+}
+
+/// `GET /v1/indexes/{id}/match?entity=<iri>&k=<n>` / op `index-match`:
+/// the hot path. Answers from the loaded artifact — no ingest, no
+/// blocking, no pipeline — and says so in its stage-timing telemetry:
+/// the build-once stages report zero, only `load` (amortized to zero
+/// by the cache) and `query` spend anything.
+pub(crate) fn index_match(
+    registry: Option<&IndexRegistry>,
+    id: &str,
+    entity: &str,
+    k: usize,
+) -> Result<Json, IndexRejection> {
+    let registry = need_registry(registry)?;
+    if entity.is_empty() {
+        return Err(IndexRejection::BadRequest(
+            "match queries need a non-empty `entity` IRI".into(),
+        ));
+    }
+    if k == 0 {
+        return Err(IndexRejection::BadRequest("`k` must be at least 1".into()));
+    }
+    let t_load = Instant::now();
+    let artifact = registry.load(id).map_err(IndexRejection::from)?;
+    let load_ms = t_load.elapsed().as_secs_f64() * 1e3;
+    let t_query = Instant::now();
+    let answer = artifact.match_query(entity, k).ok_or_else(|| {
+        IndexRejection::NotFound(format!(
+            "entity {entity:?} is in neither KB of index {id:?}"
+        ))
+    })?;
+    let query_ms = t_query.elapsed().as_secs_f64() * 1e3;
+    let candidates: Vec<Json> = answer
+        .candidates
+        .iter()
+        .map(|(uri, score)| Json::obj([("uri", Json::str(uri)), ("score", Json::Num(*score))]))
+        .collect();
+    Ok(Json::obj([
+        ("index", Json::str(id)),
+        ("entity", Json::str(&answer.entity)),
+        (
+            "side",
+            Json::str(match answer.side {
+                minoan_kb::KbSide::First => "first",
+                minoan_kb::KbSide::Second => "second",
+            }),
+        ),
+        ("matches", Json::arr(answer.matches.iter().map(Json::str))),
+        ("candidates", Json::Arr(candidates)),
+        (
+            // The zero-ingest guarantee, observable per answer: the
+            // build-once stages literally cost nothing on this path.
+            "stage_timings_ms",
+            Json::obj([
+                ("ingest", Json::num(0.0)),
+                ("blocking", Json::num(0.0)),
+                ("similarities", Json::num(0.0)),
+                ("load", Json::Num(load_ms)),
+                ("query", Json::Num(query_ms)),
+            ]),
+        ),
+    ]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,9 +549,17 @@ mod tests {
                 purge_blocks: None,
                 timeout_ms: None,
                 max_retries: None,
+                persist: None,
             })
             .unwrap();
         (queue, id)
+    }
+
+    fn only_id(id: JobId) -> JobFilter {
+        JobFilter {
+            id: Some(id),
+            ..JobFilter::default()
+        }
     }
 
     #[test]
@@ -229,16 +578,79 @@ mod tests {
     #[test]
     fn status_body_carries_counts_and_telemetry() {
         let (queue, id) = queue_with_one_queued_job();
-        let body = status_json(&queue, true, None).unwrap();
+        let body = status_json(&queue, true, &JobFilter::default(), None).unwrap();
         assert_eq!(body.get("accepting"), Some(&Json::Bool(true)));
         assert_eq!(body.get("queued").unwrap().as_usize(), Some(1));
         assert_eq!(body.get("done").unwrap().as_usize(), Some(0));
         let telemetry = body.get("telemetry").expect("telemetry object");
         assert_eq!(telemetry.get("queued").unwrap().as_usize(), Some(1));
         assert!(telemetry.get("stage_ms").is_some());
-        assert!(status_json(&queue, true, Some(id)).is_ok());
-        let err = status_json(&queue, true, Some(7)).unwrap_err();
+        assert!(status_json(&queue, true, &only_id(id), None).is_ok());
+        let err = status_json(&queue, true, &only_id(7), None).unwrap_err();
         assert!(err.contains("unknown job id"), "{err}");
+    }
+
+    #[test]
+    fn status_filters_narrow_the_job_list() {
+        let (queue, id) = queue_with_one_queued_job();
+        let filtered = |status: Option<&str>, limit: Option<usize>| {
+            status_json(
+                &queue,
+                true,
+                &JobFilter {
+                    id: None,
+                    status: status.map(str::to_string),
+                    limit,
+                },
+                None,
+            )
+        };
+        let by_phase = filtered(Some("queued"), None).unwrap();
+        let Json::Arr(jobs) = by_phase.get("jobs").unwrap().clone() else {
+            panic!("jobs is an array");
+        };
+        assert_eq!(jobs.len(), 1);
+        // No job is terminal yet, so a terminal-status filter matches
+        // nothing — but the fleet-wide counts are untouched.
+        let by_status = filtered(Some("ok"), None).unwrap();
+        assert_eq!(by_status.get("jobs"), Some(&Json::Arr(Vec::new())));
+        assert_eq!(by_status.get("queued").unwrap().as_usize(), Some(1));
+        let limited = filtered(None, Some(0)).unwrap();
+        assert_eq!(limited.get("jobs"), Some(&Json::Arr(Vec::new())));
+        let err = filtered(Some("exploded"), None).unwrap_err();
+        assert!(err.contains("unknown status filter"), "{err}");
+        queue.cancel(id);
+        let cancelled = filtered(Some("cancelled"), None).unwrap();
+        let Json::Arr(jobs) = cancelled.get("jobs").unwrap().clone() else {
+            panic!("jobs is an array");
+        };
+        assert_eq!(jobs.len(), 1, "terminal label matches after cancel");
+    }
+
+    #[test]
+    fn unified_error_body_has_the_three_fields() {
+        let body = error_body(code_for_status(429), "back off", retryable_status(429));
+        assert_eq!(body.get("code").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(body.get("message").unwrap().as_str(), Some("back off"));
+        assert_eq!(body.get("retryable"), Some(&Json::Bool(true)));
+        assert_eq!(code_for_status(404), "not_found");
+        assert!(!retryable_status(404));
+        assert!(retryable_status(503));
+    }
+
+    #[test]
+    fn index_ops_without_a_registry_reject_as_unavailable() {
+        let queue = JobQueue::new(1, 1, 0);
+        let job = Json::parse(r#"{"name":"ix","dataset":"restaurant","scale":0.05}"#).unwrap();
+        let err = index_build(&queue, None, &job).unwrap_err();
+        assert_eq!(err.status(), 503);
+        assert!(!err.retryable());
+        let body = err.to_error_body();
+        assert_eq!(body.get("code").unwrap().as_str(), Some("unavailable"));
+        assert!(index_list(None).is_err());
+        assert!(index_meta(None, "ix").is_err());
+        assert!(index_delete(None, "ix").is_err());
+        assert!(index_match(None, "ix", "a:1", 5).is_err());
     }
 
     #[test]

@@ -72,12 +72,14 @@ pub mod daemon;
 pub mod http;
 mod intake;
 pub mod manifest;
+pub mod registry;
 pub mod report;
 pub mod scheduler;
 pub mod toml;
 
 pub use daemon::{run_daemon, run_server, Frontends};
 pub use http::{prometheus_metrics, run_http, HttpOptions};
+pub use registry::{IndexEntry, IndexRegistry, RegistryError};
 
 pub use manifest::{JobInput, JobSpec, Manifest};
 pub use report::{current_rss_bytes, fnv1a, peak_rss_bytes, JobReport, JobStatus, ServeReport};

@@ -99,6 +99,13 @@ pub struct JobSpec {
     /// itself defaults to `0` — no retries, so fingerprint gates see
     /// exactly one attempt unless a manifest opts in.
     pub max_retries: Option<u32>,
+    /// Where to persist the built index artifact, if anywhere. This is
+    /// an *internal* field set by the serving layer for
+    /// `POST /v1/indexes` builds — it is not part of the manifest wire
+    /// schema ([`JobSpec::from_json`] never sets it, [`JobSpec::to_json`]
+    /// never emits it), so clients cannot point the daemon at arbitrary
+    /// filesystem paths.
+    pub persist: Option<PathBuf>,
 }
 
 impl JobSpec {
@@ -414,6 +421,7 @@ fn job_from_json(json: &Json) -> Result<JobSpec, String> {
         purge_blocks,
         timeout_ms,
         max_retries,
+        persist: None,
     })
 }
 
@@ -527,6 +535,7 @@ slots = 2\nthreads = 4\nmemory_budget_mib = 256\ntimeout_ms = 90000\nmax_retries
             purge_blocks: None,
             timeout_ms: None,
             max_retries: None,
+            persist: None,
         };
         let mut big = small.clone();
         big.input = JobInput::Synthetic {

@@ -1,0 +1,451 @@
+//! The loaded-index registry behind `/v1/indexes`.
+//!
+//! A registry owns a directory of persisted index artifacts (one
+//! `<id>.idx` file per index, written by `POST /v1/indexes` builds) and
+//! an in-memory cache of loaded [`IndexArtifact`]s so the hot match
+//! path (`GET /v1/indexes/{id}/match`) does not re-read and re-validate
+//! the file on every query. The cache is:
+//!
+//! - **load-once**: concurrent queries for a cold index block on a
+//!   condvar while one loader reads the file; nobody loads twice;
+//! - **bounded**: a byte budget (artifact file size as the resident
+//!   proxy) evicts least-recently-used entries; in-flight queries keep
+//!   their `Arc` alive, so eviction never invalidates an answer being
+//!   computed;
+//! - **shared-nothing with the job queue**: builds go through the
+//!   supervised [`JobQueue`](crate::scheduler::JobQueue) and only the
+//!   finished file ever becomes visible here (the artifact writer
+//!   publishes with an atomic rename).
+//!
+//! Index ids are job names restricted to a filesystem-safe alphabet —
+//! `[A-Za-z0-9._-]`, not starting with a dot — so a wire id can never
+//! escape the registry directory.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+
+use minoan_core::{ArtifactMeta, IndexArtifact};
+use minoan_kb::artifact::ArtifactError;
+use minoan_kb::Json;
+
+/// Default byte budget for loaded artifacts (512 MiB).
+pub const DEFAULT_CACHE_BYTES: u64 = 512 << 20;
+
+/// File extension of persisted index artifacts inside a registry
+/// directory.
+pub const ARTIFACT_EXT: &str = "idx";
+
+/// Longest accepted index id, in bytes.
+pub const MAX_ID_LEN: usize = 120;
+
+/// Why a registry operation failed.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The id is not in the filesystem-safe alphabet.
+    InvalidId,
+    /// No artifact with this id exists in the registry directory.
+    NotFound,
+    /// The artifact exists but could not be read or validated.
+    Artifact(ArtifactError),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::InvalidId => write!(
+                f,
+                "invalid index id (use [A-Za-z0-9._-], not starting with '.', \
+                 at most {MAX_ID_LEN} bytes)"
+            ),
+            RegistryError::NotFound => write!(f, "no such index"),
+            RegistryError::Artifact(e) => write!(f, "cannot load index: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl RegistryError {
+    /// Whether retrying the operation could succeed (I/O trouble is
+    /// transient; a missing, corrupt or mis-addressed artifact is not).
+    pub fn retryable(&self) -> bool {
+        matches!(self, RegistryError::Artifact(ArtifactError::Io(_)))
+    }
+}
+
+/// One row of [`IndexRegistry::list`].
+#[derive(Debug, Clone)]
+pub struct IndexEntry {
+    /// The index id (artifact file stem).
+    pub id: String,
+    /// On-disk artifact size in bytes.
+    pub file_bytes: u64,
+    /// Whether the artifact is currently loaded in the cache.
+    pub loaded: bool,
+}
+
+enum Slot {
+    /// One thread is reading the file; waiters block on the condvar.
+    Loading,
+    Loaded {
+        artifact: Arc<IndexArtifact>,
+        bytes: u64,
+        last_used: u64,
+    },
+}
+
+#[derive(Default)]
+struct Inner {
+    slots: HashMap<String, Slot>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A directory of persisted indexes plus the LRU cache of loaded ones.
+pub struct IndexRegistry {
+    dir: PathBuf,
+    budget: u64,
+    inner: Mutex<Inner>,
+    loaded_cond: Condvar,
+}
+
+/// Whether `id` is acceptable as an index id (and thus artifact file
+/// stem): non-empty, at most [`MAX_ID_LEN`] bytes of `[A-Za-z0-9._-]`,
+/// not starting with a dot.
+pub fn valid_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= MAX_ID_LEN
+        && !id.starts_with('.')
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+impl IndexRegistry {
+    /// Opens (creating if needed) the registry directory. `budget` is
+    /// the loaded-artifact byte budget; `None` uses
+    /// [`DEFAULT_CACHE_BYTES`].
+    pub fn open(dir: impl Into<PathBuf>, budget: Option<u64>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            budget: budget.unwrap_or(DEFAULT_CACHE_BYTES),
+            inner: Mutex::new(Inner::default()),
+            loaded_cond: Condvar::new(),
+        })
+    }
+
+    /// The registry directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The artifact path for `id` (whether or not it exists yet).
+    /// Errors on invalid ids so no wire string ever forms a path.
+    pub fn path_for(&self, id: &str) -> Result<PathBuf, RegistryError> {
+        if !valid_id(id) {
+            return Err(RegistryError::InvalidId);
+        }
+        Ok(self.dir.join(format!("{id}.{ARTIFACT_EXT}")))
+    }
+
+    /// Lists persisted indexes, sorted by id.
+    pub fn list(&self) -> std::io::Result<Vec<IndexEntry>> {
+        let mut entries = Vec::new();
+        let inner = self.inner.lock().unwrap();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(id) = name.strip_suffix(&format!(".{ARTIFACT_EXT}")) else {
+                continue;
+            };
+            if !valid_id(id) {
+                continue;
+            }
+            let file_bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            let loaded = matches!(inner.slots.get(id), Some(Slot::Loaded { .. }));
+            entries.push(IndexEntry {
+                id: id.to_string(),
+                file_bytes,
+                loaded,
+            });
+        }
+        drop(inner);
+        entries.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(entries)
+    }
+
+    /// Reads the metadata of one index — from the cache when loaded,
+    /// from disk (full checksum validation, no structure rebuild)
+    /// otherwise.
+    pub fn meta(&self, id: &str) -> Result<ArtifactMeta, RegistryError> {
+        let path = self.path_for(id)?;
+        {
+            let inner = self.inner.lock().unwrap();
+            if let Some(Slot::Loaded { artifact, .. }) = inner.slots.get(id) {
+                return Ok(artifact.meta().clone());
+            }
+        }
+        if !path.exists() {
+            return Err(RegistryError::NotFound);
+        }
+        IndexArtifact::read_meta(&path).map_err(RegistryError::Artifact)
+    }
+
+    /// Returns the loaded artifact for `id`, reading it from disk at
+    /// most once however many queries arrive concurrently.
+    pub fn load(&self, id: &str) -> Result<Arc<IndexArtifact>, RegistryError> {
+        let path = self.path_for(id)?;
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            match inner.slots.get(id) {
+                Some(Slot::Loaded { .. }) => {
+                    inner.tick += 1;
+                    inner.hits += 1;
+                    let tick = inner.tick;
+                    let Some(Slot::Loaded {
+                        artifact,
+                        last_used,
+                        ..
+                    }) = inner.slots.get_mut(id)
+                    else {
+                        unreachable!("slot vanished under the lock");
+                    };
+                    *last_used = tick;
+                    return Ok(Arc::clone(artifact));
+                }
+                Some(Slot::Loading) => {
+                    inner = self.loaded_cond.wait(inner).unwrap();
+                }
+                None => break,
+            }
+        }
+        // Cold: this thread is the loader.
+        inner.misses += 1;
+        inner.slots.insert(id.to_string(), Slot::Loading);
+        drop(inner);
+        let result = IndexArtifact::read_from(&path);
+        let mut inner = self.inner.lock().unwrap();
+        match result {
+            Ok(artifact) => {
+                let artifact = Arc::new(artifact);
+                // Cache only while the file still exists: a DELETE that
+                // raced the load must not resurrect the index.
+                if path.exists() {
+                    inner.tick += 1;
+                    let slot = Slot::Loaded {
+                        artifact: Arc::clone(&artifact),
+                        bytes: artifact.meta().file_bytes,
+                        last_used: inner.tick,
+                    };
+                    inner.slots.insert(id.to_string(), slot);
+                    self.evict_over_budget(&mut inner);
+                } else {
+                    inner.slots.remove(id);
+                }
+                self.loaded_cond.notify_all();
+                Ok(artifact)
+            }
+            Err(e) => {
+                inner.slots.remove(id);
+                self.loaded_cond.notify_all();
+                if matches!(&e, ArtifactError::Io(io) if io.kind() == std::io::ErrorKind::NotFound)
+                {
+                    Err(RegistryError::NotFound)
+                } else {
+                    Err(RegistryError::Artifact(e))
+                }
+            }
+        }
+    }
+
+    /// Deletes the persisted artifact and evicts any cached copy.
+    /// Queries holding an `Arc` to the old artifact finish undisturbed.
+    pub fn delete(&self, id: &str) -> Result<(), RegistryError> {
+        let path = self.path_for(id)?;
+        let mut inner = self.inner.lock().unwrap();
+        inner.slots.remove(id);
+        drop(inner);
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(RegistryError::NotFound),
+            Err(e) => Err(RegistryError::Artifact(ArtifactError::Io(e))),
+        }
+    }
+
+    /// Cache telemetry: loaded entries, resident bytes, hit/miss/evict
+    /// counters — surfaced in the daemon's status snapshot.
+    pub fn stats_json(&self) -> Json {
+        let inner = self.inner.lock().unwrap();
+        let loaded = inner
+            .slots
+            .values()
+            .filter(|s| matches!(s, Slot::Loaded { .. }))
+            .count();
+        let bytes: u64 = inner
+            .slots
+            .values()
+            .map(|s| match s {
+                Slot::Loaded { bytes, .. } => *bytes,
+                Slot::Loading => 0,
+            })
+            .sum();
+        Json::obj([
+            ("loaded", Json::num(loaded as f64)),
+            ("cached_bytes", Json::num(bytes as f64)),
+            ("budget_bytes", Json::num(self.budget as f64)),
+            ("hits", Json::num(inner.hits as f64)),
+            ("misses", Json::num(inner.misses as f64)),
+            ("evictions", Json::num(inner.evictions as f64)),
+        ])
+    }
+
+    fn evict_over_budget(&self, inner: &mut Inner) {
+        loop {
+            let total: u64 = inner
+                .slots
+                .values()
+                .map(|s| match s {
+                    Slot::Loaded { bytes, .. } => *bytes,
+                    Slot::Loading => 0,
+                })
+                .sum();
+            if total <= self.budget {
+                return;
+            }
+            let victim = inner
+                .slots
+                .iter()
+                .filter_map(|(id, s)| match s {
+                    Slot::Loaded { last_used, .. } => Some((*last_used, id.clone())),
+                    Slot::Loading => None,
+                })
+                .min();
+            let Some((_, id)) = victim else { return };
+            inner.slots.remove(&id);
+            inner.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoan_core::MinoanEr;
+    use minoan_exec::{CancelToken, Executor};
+    use minoan_kb::{KbBuilder, KbPair};
+
+    fn sample_artifact(name: &str) -> IndexArtifact {
+        let mut a = KbBuilder::new("E1");
+        a.add_literal("a:1", "name", "Minos of Knossos");
+        let mut b = KbBuilder::new("E2");
+        b.add_literal("b:1", "label", "Knossos Minos");
+        let pair = KbPair::new(a.finish(), b.finish());
+        let matcher = MinoanEr::with_defaults();
+        let indexed = matcher
+            .run_cancellable_indexed(&pair, &Executor::sequential(), &CancelToken::new())
+            .unwrap();
+        IndexArtifact::from_run(name, &pair, indexed, matcher.config())
+    }
+
+    fn temp_registry(tag: &str, budget: Option<u64>) -> IndexRegistry {
+        let dir =
+            std::env::temp_dir().join(format!("minoan-registry-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        IndexRegistry::open(dir, budget).unwrap()
+    }
+
+    #[test]
+    fn id_validation_rejects_path_escapes() {
+        assert!(valid_id("rexa-small"));
+        assert!(valid_id("a.b_c-9"));
+        assert!(!valid_id(""));
+        assert!(!valid_id(".hidden"));
+        assert!(!valid_id("../../etc/passwd"));
+        assert!(!valid_id("a/b"));
+        assert!(!valid_id("a b"));
+        assert!(!valid_id(&"x".repeat(MAX_ID_LEN + 1)));
+    }
+
+    #[test]
+    fn build_list_load_query_delete_round_trip() {
+        let reg = temp_registry("round", None);
+        let art = sample_artifact("demo");
+        art.write_to(&reg.path_for("demo").unwrap()).unwrap();
+
+        let listed = reg.list().unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].id, "demo");
+        assert!(!listed[0].loaded);
+        assert!(listed[0].file_bytes > 0);
+
+        let meta = reg.meta("demo").unwrap();
+        assert_eq!(meta.name, "demo");
+
+        let loaded = reg.load("demo").unwrap();
+        assert_eq!(loaded.match_query("a:1", 3).unwrap().matches, vec!["b:1"]);
+        assert!(reg.list().unwrap()[0].loaded);
+
+        reg.delete("demo").unwrap();
+        assert!(reg.list().unwrap().is_empty());
+        assert!(matches!(reg.load("demo"), Err(RegistryError::NotFound)));
+        assert!(matches!(reg.delete("demo"), Err(RegistryError::NotFound)));
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn concurrent_queries_load_once() {
+        let reg = Arc::new(temp_registry("once", None));
+        sample_artifact("hot")
+            .write_to(&reg.path_for("hot").unwrap())
+            .unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || reg.load("hot").unwrap().meta().name.clone())
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), "hot");
+        }
+        let stats = reg.stats_json();
+        assert_eq!(stats.get("misses").unwrap().as_f64(), Some(1.0));
+        assert_eq!(stats.get("loaded").unwrap().as_f64(), Some(1.0));
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn zero_budget_evicts_after_every_load() {
+        let reg = temp_registry("evict", Some(0));
+        sample_artifact("tiny")
+            .write_to(&reg.path_for("tiny").unwrap())
+            .unwrap();
+        let a = reg.load("tiny").unwrap();
+        // The caller's Arc survives eviction.
+        assert_eq!(a.meta().name, "tiny");
+        let stats = reg.stats_json();
+        assert_eq!(stats.get("loaded").unwrap().as_f64(), Some(0.0));
+        assert_eq!(stats.get("evictions").unwrap().as_f64(), Some(1.0));
+        // The next load is a fresh miss, not a hit.
+        reg.load("tiny").unwrap();
+        assert_eq!(reg.stats_json().get("misses").unwrap().as_f64(), Some(2.0));
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn corrupt_artifacts_surface_structured_errors() {
+        let reg = temp_registry("corrupt", None);
+        std::fs::write(reg.path_for("bad").unwrap(), b"NOTMINOAN-GARBAGE").unwrap();
+        let err = reg.load("bad").unwrap_err();
+        assert!(matches!(&err, RegistryError::Artifact(_)), "{err}");
+        assert!(!err.retryable());
+        assert!(matches!(reg.load("../oops"), Err(RegistryError::InvalidId)));
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+}

@@ -140,6 +140,14 @@ pub struct ServeOptions {
     /// `Some(0)` = never shed on depth). Batch mode never sheds: a
     /// manifest is admitted whole.
     pub shed_queue_depth: Option<usize>,
+    /// Directory where `POST /v1/indexes` builds persist their index
+    /// artifacts and where match queries load them from (`None` =
+    /// index endpoints are disabled and report `unavailable`).
+    pub index_dir: Option<std::path::PathBuf>,
+    /// Byte budget for the in-memory cache of loaded index artifacts
+    /// (`None` = [`crate::registry::DEFAULT_CACHE_BYTES`]; `Some(0)` =
+    /// evict after every query).
+    pub index_cache_bytes: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -154,6 +162,8 @@ impl Default for ServeOptions {
             max_retries: None,
             rss_kill_factor: None,
             shed_queue_depth: None,
+            index_dir: None,
+            index_cache_bytes: None,
         }
     }
 }
@@ -1393,9 +1403,23 @@ fn execute(
     let matcher =
         MinoanEr::new(config.clone()).map_err(|e| JobEnd::permanent(format!("bad config: {e}")))?;
     let (pair, truth) = load_input(spec, &config, exec, cancel)?;
-    let out = matcher
-        .run_cancellable(&pair, exec, cancel)
+    let indexed = matcher
+        .run_cancellable_indexed(&pair, exec, cancel)
         .map_err(|Cancelled| JobEnd::Cancelled)?;
+    let out = indexed.output.clone();
+    // An index build persists the run's structures *after* the pipeline
+    // finished, on the very output object: the matching a later query
+    // serves is the matching this run produced, byte for byte. A write
+    // failure is transient infrastructure trouble (disk full, fault
+    // injection at `store.artifact.read`'s sibling path), retried under
+    // the job's budget.
+    if let Some(path) = &spec.persist {
+        let artifact =
+            minoan_core::IndexArtifact::from_run(&spec.name, &pair, indexed, matcher.config());
+        artifact
+            .write_to(path)
+            .map_err(|e| JobEnd::transient(format!("cannot persist index: {e}")))?;
+    }
     let quality = truth
         .as_ref()
         .map(|t| MatchQuality::evaluate(&out.matching, t));
@@ -1546,6 +1570,7 @@ mod tests {
             purge_blocks: None,
             timeout_ms: None,
             max_retries: None,
+            persist: None,
         }
     }
 
@@ -1670,6 +1695,7 @@ mod tests {
             purge_blocks: None,
             timeout_ms: None,
             max_retries: None,
+            persist: None,
         });
         let report = run_batch(&manifest, &ServeOptions::default());
         assert_eq!(report.ok_count(), 3);
@@ -1926,6 +1952,7 @@ mod tests {
             purge_blocks: None,
             timeout_ms: None,
             max_retries: None,
+            persist: None,
         }
     }
 

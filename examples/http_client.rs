@@ -6,6 +6,11 @@
 //! cargo run --release --example http_client -- <host:port> [--token T] jobs
 //! cargo run --release --example http_client -- <host:port> [--token T] get <id> [--wait]
 //! cargo run --release --example http_client -- <host:port> [--token T] cancel <id>
+//! cargo run --release --example http_client -- <host:port> [--token T] index-build '<job json>' [--wait]
+//! cargo run --release --example http_client -- <host:port> [--token T] indexes
+//! cargo run --release --example http_client -- <host:port> [--token T] index-get <name>
+//! cargo run --release --example http_client -- <host:port> [--token T] index-delete <name>
+//! cargo run --release --example http_client -- <host:port> [--token T] index-match <name> <iri> [--k N]
 //! cargo run --release --example http_client -- <host:port> [--token T] metrics
 //! cargo run --release --example http_client -- <host:port> [--token T] shutdown [drain|cancel]
 //! cargo run --release --example http_client -- <host:port> [--token T] smoke
@@ -13,15 +18,24 @@
 //!
 //! Each mode performs one request and prints the response body; see
 //! `minoan_serve::http` for the endpoint table, auth and limits.
-//! `submit` takes the manifest job schema, e.g.
+//! `submit` and `index-build` take the manifest job schema, e.g.
 //! `'{"name":"r","dataset":"restaurant","scale":0.1}'`. With `--token`
-//! every request carries `Authorization: Bearer <token>`.
+//! every request carries `Authorization: Bearer <token>`. The
+//! `index-*` verbs drive the resource-oriented `/v1/indexes` API
+//! (needs a server started with `--index-dir`); `index-match` answers
+//! from the persisted artifact without re-running the pipeline.
+//!
+//! On any unexpected status the client prints the server's unified
+//! error object — `{"error":{"code","message","retryable"}}` — before
+//! exiting non-zero, so failures are self-describing.
 //!
 //! `smoke` is the end-to-end scenario CI runs against a live server:
 //! submit a small job, submit a heavy job and cancel it mid-run, assert
-//! the first resolves and the second reports `cancelled`, check the
-//! metrics endpoint parses, then shut the server down. Exits non-zero
-//! on any violated expectation.
+//! the first resolves and the second reports `cancelled`, exercise the
+//! index build → inspect → match → delete round trip (skipped politely
+//! when index serving is disabled), check the metrics endpoint parses,
+//! then shut the server down. Exits non-zero on any violated
+//! expectation.
 
 use std::io::{Read, Write};
 use std::process::exit;
@@ -104,9 +118,25 @@ impl Api {
     }
 
     /// Like [`Api::request`] but failing unless the status is expected.
+    /// Failures print the server's unified error object when present.
     fn expect(&self, method: &str, path: &str, body: Option<&Json>, expected: u16) -> Response {
         let response = self.request(method, path, body);
         if response.status != expected {
+            if let Some(err) = Json::parse(&response.body).ok().and_then(|b| {
+                b.get("error").map(|e| {
+                    format!(
+                        "[{}] {} (retryable: {})",
+                        e.get("code").and_then(Json::as_str).unwrap_or("?"),
+                        e.get("message").and_then(Json::as_str).unwrap_or("?"),
+                        e.get("retryable").and_then(Json::as_bool).unwrap_or(false),
+                    )
+                })
+            }) {
+                fail(&format!(
+                    "{method} {path}: expected {expected}, got {}: {err}",
+                    response.status
+                ));
+            }
             fail(&format!(
                 "{method} {path}: expected {expected}, got {} with body {:?}",
                 response.status, response.body
@@ -128,6 +158,21 @@ impl Api {
         self.expect("GET", &format!("/v1/jobs/{id}?wait=true"), None, 200)
             .json()
     }
+}
+
+/// Percent-encodes everything outside the URL-safe unreserved set, so
+/// entity IRIs survive the query string.
+fn percent_encode(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for byte in raw.bytes() {
+        match byte {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(byte as char)
+            }
+            _ => out.push_str(&format!("%{byte:02X}")),
+        }
+    }
+    out
 }
 
 /// A synthetic job spec in the manifest job schema.
@@ -194,6 +239,8 @@ fn smoke(api: &Api) {
         ));
     }
 
+    index_smoke(api);
+
     // The metrics endpoint must be parseable Prometheus text.
     let metrics = api.expect("GET", "/v1/metrics", None, 200);
     let mut seen = 0;
@@ -222,10 +269,97 @@ fn smoke(api: &Api) {
     eprintln!("smoke: shutdown acknowledged");
 }
 
+/// The index half of the smoke scenario: build an index through the
+/// job queue, inspect it, answer a match query from the persisted
+/// artifact, reject a duplicate build, delete it. Skipped (with a
+/// note) when the server runs without `--index-dir`.
+fn index_smoke(api: &Api) {
+    let listing = api.request("GET", "/v1/indexes", None);
+    if listing.status == 503 {
+        eprintln!("smoke: index serving disabled, skipping the index round-trip");
+        return;
+    }
+    if listing.status != 200 {
+        fail(&format!(
+            "GET /v1/indexes: {} {}",
+            listing.status, listing.body
+        ));
+    }
+    let job = synthetic_job("smoke-index", "restaurant", 0.1);
+    // ?wait=true blocks the 201 until the build job is terminal, so the
+    // artifact is on disk when the response arrives.
+    let built = api
+        .expect("POST", "/v1/indexes?wait=true", Some(&job), 201)
+        .json();
+    if built.get("index").and_then(Json::as_str) != Some("smoke-index") {
+        fail(&format!("unexpected build response {}", built.compact()));
+    }
+    // Rebuilding an existing index is a conflict, in the unified
+    // error schema.
+    let dup = api.request("POST", "/v1/indexes", Some(&job));
+    let dup_code = dup
+        .json()
+        .get("error")
+        .and_then(|e| e.get("code").and_then(Json::as_str).map(str::to_string));
+    if dup.status != 409 || dup_code.as_deref() != Some("conflict") {
+        fail(&format!("duplicate build: {} {}", dup.status, dup.body));
+    }
+    let meta = api
+        .expect("GET", "/v1/indexes/smoke-index", None, 200)
+        .json();
+    if meta.get("matched_pairs").and_then(Json::as_usize) == Some(0) {
+        fail(&format!(
+            "index metadata reports zero matches: {}",
+            meta.compact()
+        ));
+    }
+    // The entity IRI is percent-encoded (`:` → `%3A`), exercising the
+    // query decoder; `r1:e0` is the restaurant profile's first entity.
+    let answer = api
+        .expect(
+            "GET",
+            "/v1/indexes/smoke-index/match?entity=r1%3Ae0&k=3",
+            None,
+            200,
+        )
+        .json();
+    if answer.get("side").and_then(Json::as_str) != Some("first") {
+        fail(&format!("unexpected match answer {}", answer.compact()));
+    }
+    let ingest_ms = answer
+        .get("stage_timings_ms")
+        .and_then(|t| t.get("ingest"))
+        .and_then(Json::as_f64);
+    if ingest_ms != Some(0.0) {
+        fail(&format!(
+            "match query reported nonzero ingest time: {}",
+            answer.compact()
+        ));
+    }
+    eprintln!(
+        "smoke: index round-trip ok ({} candidates, zero ingest)",
+        answer
+            .get("candidates")
+            .map(|c| match c {
+                Json::Arr(items) => items.len(),
+                _ => 0,
+            })
+            .unwrap_or(0)
+    );
+    api.expect("DELETE", "/v1/indexes/smoke-index", None, 200);
+    let gone = api.request("GET", "/v1/indexes/smoke-index", None);
+    if gone.status != 404 {
+        fail(&format!("deleted index still answers: {}", gone.status));
+    }
+    eprintln!("smoke: index deleted");
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: http_client <host:port> [--token T] \
                  (submit <job-json> | jobs | get <id> [--wait] | cancel <id> | \
+                 index-build <job-json> [--wait] | indexes | index-get <name> | \
+                 index-delete <name> | index-match <name> <iri> [--k N] | \
                  metrics | shutdown [drain|cancel] | smoke)";
     let mut token = None;
     if let Some(i) = args.iter().position(|a| a == "--token") {
@@ -270,6 +404,53 @@ fn main() {
                 _ => ("GET", format!("/v1/jobs/{id}")),
             };
             println!("{}", api.expect(method, &path, None, 200).json().pretty());
+        }
+        "index-build" => {
+            let Some(job) = args.get(2) else { fail(usage) };
+            let job = Json::parse(job).unwrap_or_else(|e| fail(&format!("bad job JSON: {e}")));
+            let path = if wait {
+                "/v1/indexes?wait=true"
+            } else {
+                "/v1/indexes"
+            };
+            println!(
+                "{}",
+                api.expect("POST", path, Some(&job), 201).json().pretty()
+            );
+        }
+        "indexes" => println!(
+            "{}",
+            api.expect("GET", "/v1/indexes", None, 200).json().pretty()
+        ),
+        "index-get" | "index-delete" => {
+            let Some(name) = args.get(2) else { fail(usage) };
+            let method = if mode.as_str() == "index-delete" {
+                "DELETE"
+            } else {
+                "GET"
+            };
+            println!(
+                "{}",
+                api.expect(method, &format!("/v1/indexes/{name}"), None, 200)
+                    .json()
+                    .pretty()
+            );
+        }
+        "index-match" => {
+            let (Some(name), Some(iri)) = (args.get(2), args.get(3)) else {
+                fail(usage)
+            };
+            let k = args
+                .iter()
+                .position(|a| a == "--k")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(10);
+            let path = format!(
+                "/v1/indexes/{name}/match?entity={}&k={k}",
+                percent_encode(iri)
+            );
+            println!("{}", api.expect("GET", &path, None, 200).json().pretty());
         }
         "shutdown" => {
             let body = args

@@ -1,0 +1,310 @@
+//! Persistent index artifacts: a persisted-then-loaded index must be
+//! **bit-identical** to the fresh in-memory run that produced it (all
+//! four benchmark profiles), match queries served over HTTP must report
+//! literally zero ingest work, and corrupt artifacts — truncated, bad
+//! magic, wrong format version, flipped checksum, injected read faults —
+//! must be rejected with structured errors, never a panic.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+use minoaner::core::{IndexArtifact, MinoanEr};
+use minoaner::datagen::DatasetKind;
+use minoaner::exec::faults;
+use minoaner::kb::{ArtifactError, Json};
+use minoaner::serve::{fnv1a, run_http, CancelToken, HttpOptions, ServeOptions};
+
+/// A scratch directory that cleans up after itself.
+struct ScratchDir(std::path::PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        let dir =
+            std::env::temp_dir().join(format!("minoan-artifact-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        ScratchDir(dir)
+    }
+
+    fn path(&self, name: &str) -> std::path::PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Builds the index artifact for one synthetic profile through the
+/// pipeline's indexed run — the same code path the serving layer uses.
+fn build_artifact(kind: DatasetKind, scale: f64) -> IndexArtifact {
+    let d = kind.generate_scaled(20180416, scale);
+    let matcher = MinoanEr::with_defaults();
+    let exec = matcher.config().executor();
+    let indexed = matcher
+        .run_cancellable_indexed(&d.pair, &exec, &CancelToken::new())
+        .expect("nothing cancels this run");
+    IndexArtifact::from_run(kind.name(), &d.pair, indexed, matcher.config())
+}
+
+/// Canonical fingerprint of a match result set: FNV-1a over the
+/// newline-joined URI pairs, the same scheme job reports use.
+fn pairs_fingerprint(pairs: &[(String, String)]) -> u64 {
+    let mut canon = String::new();
+    for (a, b) in pairs {
+        canon.push_str(a);
+        canon.push('\t');
+        canon.push_str(b);
+        canon.push('\n');
+    }
+    fnv1a(canon.as_bytes())
+}
+
+#[test]
+fn persisted_artifacts_are_bit_identical_to_fresh_runs_on_all_profiles() {
+    let scratch = ScratchDir::new("roundtrip");
+    for kind in DatasetKind::ALL {
+        let fresh = build_artifact(kind, 0.08);
+        let fresh_pairs = fresh.matched_uri_pairs();
+        assert!(!fresh_pairs.is_empty(), "{kind:?} resolved zero matches");
+
+        let path = scratch.path(&format!("{}.idx", kind.name()));
+        fresh.write_to(&path).expect("persist artifact");
+        let loaded = IndexArtifact::read_from(&path).expect("load artifact");
+
+        // The match set is fingerprint-identical after the disk trip.
+        let loaded_pairs = loaded.matched_uri_pairs();
+        assert_eq!(
+            pairs_fingerprint(&fresh_pairs),
+            pairs_fingerprint(&loaded_pairs),
+            "{kind:?}: persisted-then-loaded matches diverge from the fresh run"
+        );
+
+        // So is every per-entity query answer, matches and ranked
+        // candidates alike, on both sides of the pair.
+        for (first, second) in fresh_pairs.iter().take(16) {
+            for uri in [first, second] {
+                let a = fresh.match_query(uri, 8).expect("fresh answer");
+                let b = loaded.match_query(uri, 8).expect("loaded answer");
+                assert_eq!(a.side, b.side, "{kind:?}/{uri}");
+                assert_eq!(a.matches, b.matches, "{kind:?}/{uri}");
+                assert_eq!(a.candidates, b.candidates, "{kind:?}/{uri}");
+            }
+        }
+
+        // Metadata survives, and reading it alone agrees with the
+        // loaded artifact.
+        let meta = IndexArtifact::read_meta(&path).expect("read meta");
+        assert_eq!(meta.matched_pairs as usize, loaded_pairs.len());
+        assert_eq!(meta.entity_counts, loaded.meta().entity_counts);
+        assert_eq!(meta.file_bytes, std::fs::metadata(&path).unwrap().len());
+    }
+}
+
+#[test]
+fn corrupted_artifacts_are_rejected_with_structured_errors_not_panics() {
+    let scratch = ScratchDir::new("corrupt");
+    let path = scratch.path("victim.idx");
+    build_artifact(DatasetKind::Restaurant, 0.05)
+        .write_to(&path)
+        .expect("persist artifact");
+    let pristine = std::fs::read(&path).expect("read back");
+
+    let reload = |bytes: &[u8]| {
+        let mangled = scratch.path("mangled.idx");
+        std::fs::write(&mangled, bytes).expect("write mangled copy");
+        IndexArtifact::read_from(&mangled)
+    };
+
+    // Truncated: the section table survives but a payload is cut off.
+    let err = reload(&pristine[..pristine.len() / 2]).unwrap_err();
+    assert!(
+        matches!(err, ArtifactError::Truncated { .. }),
+        "truncation reported as {err:?}"
+    );
+
+    // Bad magic: the first byte is not ours.
+    let mut bad_magic = pristine.clone();
+    bad_magic[0] ^= 0xFF;
+    let err = reload(&bad_magic).unwrap_err();
+    assert!(
+        matches!(err, ArtifactError::BadMagic),
+        "bad magic reported as {err:?}"
+    );
+
+    // Wrong format version: a future writer's file.
+    let mut future = pristine.clone();
+    future[8] = 0xFE;
+    let err = reload(&future).unwrap_err();
+    assert!(
+        matches!(err, ArtifactError::UnsupportedVersion { found } if found != 1),
+        "version mismatch reported as {err:?}"
+    );
+
+    // Flipped payload byte: the owning section's checksum must catch it.
+    let mut flipped = pristine.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x01;
+    let err = reload(&flipped).unwrap_err();
+    assert!(
+        matches!(err, ArtifactError::ChecksumMismatch { .. }),
+        "checksum flip reported as {err:?}"
+    );
+
+    // Every error Displays without panicking, and the pristine file
+    // still loads after all that.
+    assert!(!err.to_string().is_empty());
+    IndexArtifact::read_from(&path).expect("pristine artifact still loads");
+}
+
+#[test]
+fn injected_read_faults_surface_as_clean_io_errors() {
+    /// Disarms the process-global fault plan even if the test panics.
+    struct DisarmGuard;
+    impl Drop for DisarmGuard {
+        fn drop(&mut self) {
+            faults::disarm();
+        }
+    }
+    let _disarm = DisarmGuard;
+
+    let scratch = ScratchDir::new("faults");
+    let path = scratch.path("faulted.idx");
+    build_artifact(DatasetKind::Restaurant, 0.05)
+        .write_to(&path)
+        .expect("persist artifact");
+
+    // Arm the artifact-read fault site: first hit fails, then clean.
+    faults::arm(&format!(
+        "seed:42,{}:1:io:1",
+        minoaner::kb::artifact::READ_FAULT_SITE
+    ))
+    .expect("valid fault plan");
+    let err = IndexArtifact::read_from(&path).unwrap_err();
+    assert!(
+        matches!(err, ArtifactError::Io(_)),
+        "injected fault reported as {err:?}"
+    );
+    assert!(err.to_string().contains("injected fault"), "{err}");
+
+    // The fault budget is spent; the same path now loads fine.
+    IndexArtifact::read_from(&path).expect("post-fault read recovers");
+}
+
+// ---------------------------------------------------------------------
+// HTTP serving: zero-ingest telemetry through /v1/indexes
+// ---------------------------------------------------------------------
+
+/// Minimal HTTP client: one fresh connection per request.
+struct Http {
+    addr: SocketAddr,
+}
+
+impl Http {
+    fn request(&self, method: &str, path: &str, body: Option<&Json>) -> (u16, String) {
+        let payload = body.map(Json::compact).unwrap_or_default();
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n");
+        if !payload.is_empty() {
+            head += &format!("Content-Length: {}\r\n", payload.len());
+        }
+        head += "\r\n";
+        let mut stream = TcpStream::connect(self.addr).expect("connect");
+        stream
+            .write_all(format!("{head}{payload}").as_bytes())
+            .expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        let status = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        (status, body.to_string())
+    }
+
+    fn json(&self, method: &str, path: &str, body: Option<&Json>, expect: u16) -> Json {
+        let (status, body) = self.request(method, path, body);
+        assert_eq!(status, expect, "{method} {path}: {body}");
+        Json::parse(&body).expect("JSON body")
+    }
+}
+
+#[test]
+fn http_match_queries_answer_with_zero_ingest_telemetry() {
+    let scratch = ScratchDir::new("http");
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let opts = ServeOptions {
+        slots: Some(2),
+        threads: Some(2),
+        index_dir: Some(scratch.path("indexes")),
+        ..ServeOptions::default()
+    };
+    std::thread::scope(|scope| {
+        let server = scope.spawn(move || run_http(listener, &opts, HttpOptions::default(), |_| {}));
+        let http = Http { addr };
+
+        // Build-and-persist through the job queue; ?wait=true holds the
+        // 201 until the artifact is on disk.
+        let job = Json::obj([
+            ("name", Json::str("rt")),
+            ("dataset", Json::str("restaurant")),
+            ("seed", Json::num(20180416.0)),
+            ("scale", Json::Num(0.1)),
+        ]);
+        let built = http.json("POST", "/v1/indexes?wait=true", Some(&job), 201);
+        assert_eq!(built.get("index").and_then(Json::as_str), Some("rt"));
+
+        // The listing sees the artifact on disk.
+        let listing = http.json("GET", "/v1/indexes", None, 200);
+        let Some(Json::Arr(indexes)) = listing.get("indexes") else {
+            panic!("no indexes array in {}", listing.compact());
+        };
+        assert!(indexes
+            .iter()
+            .any(|e| e.get("id").and_then(Json::as_str) == Some("rt")));
+
+        // The hot path: a match query with a percent-encoded IRI. The
+        // stage-timing telemetry must show literally zero ingest,
+        // blocking and similarity work — the artifact answers alone.
+        let answer = http.json("GET", "/v1/indexes/rt/match?entity=r1%3Ae0&k=5", None, 200);
+        assert_eq!(answer.get("entity").and_then(Json::as_str), Some("r1:e0"));
+        assert_eq!(answer.get("side").and_then(Json::as_str), Some("first"));
+        let timings = answer.get("stage_timings_ms").expect("stage timings");
+        for stage in ["ingest", "blocking", "similarities"] {
+            assert_eq!(
+                timings.get(stage).and_then(Json::as_f64),
+                Some(0.0),
+                "{stage} must be zero in {}",
+                answer.compact()
+            );
+        }
+        assert!(timings.get("query").and_then(Json::as_f64).is_some());
+        let Some(Json::Arr(matches)) = answer.get("matches") else {
+            panic!("no matches array in {}", answer.compact());
+        };
+        assert!(!matches.is_empty(), "r1:e0 must have a match at scale 0.1");
+
+        // Unknown entities and unknown indexes map to structured 404s.
+        let (status, body) = http.request("GET", "/v1/indexes/rt/match?entity=nope%3A0", None);
+        assert_eq!(status, 404, "{body}");
+        let err = Json::parse(&body).unwrap();
+        assert_eq!(
+            err.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("not_found"),
+            "{body}"
+        );
+
+        // DELETE removes the artifact and the loaded copy.
+        http.json("DELETE", "/v1/indexes/rt", None, 200);
+        let (status, _) = http.request("GET", "/v1/indexes/rt", None);
+        assert_eq!(status, 404);
+
+        http.json("POST", "/v1/shutdown", None, 200);
+        server.join().unwrap().unwrap();
+    });
+}

@@ -31,6 +31,7 @@ fn four_profile_manifest() -> Manifest {
             purge_blocks: None,
             timeout_ms: None,
             max_retries: None,
+            persist: None,
         })
         .collect();
     Manifest {

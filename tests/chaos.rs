@@ -102,6 +102,7 @@ fn file_spec(name: &str, first: std::path::PathBuf, second: std::path::PathBuf) 
         purge_blocks: None,
         timeout_ms: None,
         max_retries: None,
+        persist: None,
     }
 }
 
@@ -119,6 +120,7 @@ fn synthetic_spec(name: &str, scale: f64) -> JobSpec {
         purge_blocks: None,
         timeout_ms: None,
         max_retries: None,
+        persist: None,
     }
 }
 

@@ -131,6 +131,7 @@ fn synthetic_spec(name: &str, kind: DatasetKind, scale: f64) -> JobSpec {
         purge_blocks: None,
         timeout_ms: None,
         max_retries: None,
+        persist: None,
     }
 }
 
@@ -265,7 +266,9 @@ fn malformed_frames_get_error_responses_and_never_wedge_the_daemon() {
             reader.read_line(&mut line).unwrap();
             let r = Json::parse(line.trim()).expect("error response parses");
             assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{frame:?}");
-            let e = r.get("error").unwrap().as_str().unwrap();
+            let err = r.get("error").unwrap();
+            assert_eq!(err.get("code").unwrap().as_str(), Some("bad_request"));
+            let e = err.get("message").unwrap().as_str().unwrap();
             assert!(e.contains(needle), "{frame:?} -> {e}");
         }
         // The abused connection still answers real requests…
@@ -288,7 +291,13 @@ fn malformed_frames_get_error_responses_and_never_wedge_the_daemon() {
         flood_reader.read_line(&mut line).unwrap();
         let r = Json::parse(line.trim()).expect("oversize response parses");
         assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
-        let e = r.get("error").unwrap().as_str().unwrap();
+        let e = r
+            .get("error")
+            .unwrap()
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap();
         assert!(e.contains("byte limit"), "{e}");
         line.clear();
         assert_eq!(

@@ -204,6 +204,7 @@ fn corrupt_job_fails_alone_in_a_fleet() {
             purge_blocks: None,
             timeout_ms: None,
             max_retries: None,
+            persist: None,
         });
     }
     // A truncated N-Triples file: the second line is cut mid-triple.
@@ -226,6 +227,7 @@ fn corrupt_job_fails_alone_in_a_fleet() {
             purge_blocks: None,
             timeout_ms: None,
             max_retries: None,
+            persist: None,
         },
     );
     let manifest = Manifest {
@@ -268,6 +270,7 @@ fn tiny_synthetic(name: &str) -> JobSpec {
         purge_blocks: None,
         timeout_ms: None,
         max_retries: None,
+        persist: None,
     }
 }
 

@@ -149,6 +149,7 @@ fn synthetic_spec(name: &str, kind: DatasetKind, scale: f64) -> JobSpec {
         purge_blocks: None,
         timeout_ms: None,
         max_retries: None,
+        persist: None,
     }
 }
 
