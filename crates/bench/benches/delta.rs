@@ -1,0 +1,118 @@
+//! Incremental-patch benchmark: patch latency vs from-scratch rebuild
+//! across a delta-size sweep, emitting `BENCH_delta.json` at the
+//! workspace root. For each delta size N the bench generates a seeded
+//! mutation stream (`minoan_datagen::mutate_stream` — the same
+//! generator the equivalence tests replay), applies it incrementally
+//! through [`IndexArtifact::apply_delta`], and times a full pipeline
+//! rebuild of the mutated pair next to it. The emitted speedup curve
+//! is the O(delta)-vs-O(corpus) claim in numbers: small patches must
+//! come in far under a rebuild, and the gap must close as the delta
+//! approaches corpus scale. `MINOAN_BENCH_SMOKE=1` shrinks scale and
+//! the sweep for CI, which validates the emitted JSON via
+//! [`minoan_bench::benchutil::check_bench_json`].
+
+use std::time::Instant;
+
+use minoan_bench::benchutil;
+use minoan_core::{IndexArtifact, MinoanEr};
+use minoan_datagen::{mutate_stream, DatasetKind};
+use minoan_exec::CancelToken;
+use minoan_kb::Json;
+
+const SEED: u64 = 20180416;
+const MUTATE_SEED: u64 = 7;
+
+fn ms(elapsed: std::time::Duration) -> f64 {
+    elapsed.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let scale = benchutil::smoke_scaled(0.4, 0.06);
+    let sweep_sizes: &[usize] = if benchutil::smoke() {
+        &[1, 10, 50]
+    } else {
+        &[1, 10, 50, 250, 1000]
+    };
+    let iters = benchutil::smoke_scaled(3, 1);
+
+    let kind = DatasetKind::Restaurant;
+    let d = kind.generate_scaled(SEED, scale);
+    let matcher = MinoanEr::with_defaults();
+    let exec = matcher.config().executor();
+
+    // Base build, persisted once: every sweep point starts from these
+    // bytes, exactly like a PATCH job re-reading the stored artifact.
+    let t = Instant::now();
+    let indexed = matcher
+        .run_cancellable_indexed(&d.pair, &exec, &CancelToken::new())
+        .expect("nothing cancels this run");
+    let build_ms = ms(t.elapsed());
+    let artifact = IndexArtifact::from_run(kind.name(), &d.pair, indexed, matcher.config());
+    let dir = std::env::temp_dir().join(format!("minoan-bench-delta-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    let path = dir.join("delta-bench.idx");
+    artifact.write_to(&path).expect("persist artifact");
+
+    let mut points = Vec::new();
+    for &n_ops in sweep_sizes {
+        let ops = mutate_stream(kind, SEED, scale, MUTATE_SEED, n_ops);
+
+        // Incremental: load the stored bytes, splice the delta in.
+        let mut patch_samples = Vec::with_capacity(iters);
+        let mut affected_rows = 0usize;
+        let mut patched_pairs = 0usize;
+        for _ in 0..iters {
+            let mut fresh = IndexArtifact::read_from(&path).expect("load artifact");
+            let t = Instant::now();
+            let report = fresh
+                .apply_delta(&ops, &exec, &CancelToken::new())
+                .expect("nothing cancels this run");
+            patch_samples.push(ms(t.elapsed()));
+            affected_rows = report.affected_rows;
+            patched_pairs = report.matched_pairs;
+            std::hint::black_box(&fresh);
+        }
+
+        // Reference: the same mutated corpus through the whole
+        // pipeline — what a patch saves.
+        let mut rebuild_samples = Vec::with_capacity(iters);
+        let mut rebuilt_pairs = 0usize;
+        for _ in 0..iters {
+            let mut mutated = d.pair.clone();
+            minoan_kb::delta::apply_to_pair(&mut mutated, &ops);
+            let t = Instant::now();
+            let out = matcher
+                .run_cancellable_indexed(&mutated, &exec, &CancelToken::new())
+                .expect("nothing cancels this run");
+            rebuild_samples.push(ms(t.elapsed()));
+            rebuilt_pairs = out.output.matching.len();
+        }
+        assert_eq!(
+            patched_pairs, rebuilt_pairs,
+            "delta-size {n_ops}: the patched index diverged from the rebuild"
+        );
+
+        let patch_ms = patch_samples.iter().copied().fold(f64::MAX, f64::min);
+        let rebuild_ms = rebuild_samples.iter().copied().fold(f64::MAX, f64::min);
+        points.push(Json::obj([
+            ("delta_ops", Json::num(n_ops as f64)),
+            ("affected_rows", Json::num(affected_rows as f64)),
+            ("patch_ms", Json::Num(patch_ms)),
+            ("rebuild_ms", Json::Num(rebuild_ms)),
+            ("speedup", Json::Num(rebuild_ms / patch_ms.max(1e-9))),
+        ]));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let sweep = benchutil::thread_sweep();
+    let mut fields = benchutil::trajectory_fields("index_delta", kind.name(), scale, &sweep);
+    fields.push(("build_ms".into(), Json::Num(build_ms)));
+    fields.push(("iterations".into(), Json::num(iters as f64)));
+    fields.push(("delta_sweep".into(), Json::Arr(points)));
+    benchutil::emit_checked(
+        env!("CARGO_MANIFEST_DIR"),
+        "BENCH_delta.json",
+        &Json::obj(fields),
+    );
+}

@@ -57,9 +57,8 @@ pub fn purging_threshold(collection: &BlockCollection, s: f64) -> u64 {
 /// gathered data-parallel over block ranges on `exec`. The statistics
 /// are integers, so the threshold is identical for any thread count.
 pub fn purging_threshold_with(collection: &BlockCollection, s: f64, exec: &Executor) -> u64 {
-    assert!(s >= 1.0, "smoothing factor must be >= 1");
     let blocks = collection.blocks();
-    let mut cards: Vec<(u64, u64)> = exec
+    let cards: Vec<(u64, u64)> = exec
         .map_parts(blocks.len(), |range| {
             blocks[range]
                 .iter()
@@ -67,6 +66,18 @@ pub fn purging_threshold_with(collection: &BlockCollection, s: f64, exec: &Execu
                 .collect::<Vec<_>>()
         })
         .concat();
+    threshold_from_cards(cards, s)
+}
+
+/// Computes the purging threshold directly from per-block
+/// `(comparisons, assignments)` cardinalities. The criterion only
+/// depends on the *multiset* of cardinalities (they are sorted here),
+/// so any layer that can enumerate block statistics — the delta engine
+/// does it from its mutable membership lists without materializing
+/// blocks — gets exactly the threshold [`purging_threshold_with`]
+/// would compute.
+pub fn threshold_from_cards(mut cards: Vec<(u64, u64)>, s: f64) -> u64 {
+    assert!(s >= 1.0, "smoothing factor must be >= 1");
     if cards.is_empty() {
         return 0;
     }

@@ -7,7 +7,7 @@
 //! heterogeneous KBs.
 
 use minoan_exec::Executor;
-use minoan_kb::{EntityId, FxHashMap, KbSide};
+use minoan_kb::{EntityId, FxHashMap, KbSide, TokenId};
 use minoan_text::TokenizedPair;
 
 use crate::block::{Block, BlockCollection, BlockKind};
@@ -24,14 +24,23 @@ pub fn token_blocking(tokens: &TokenizedPair) -> BlockCollection {
 /// partial `token -> entities` index; partials are merged in part order,
 /// so every block's entity list is in ascending entity order — exactly
 /// the sequential result — for any thread count.
+///
+/// Blocks are emitted in **lexicographic token-string order**. Token
+/// *ids* are first-seen ids and therefore differ between a from-scratch
+/// build and an incrementally grown dictionary; the string order is the
+/// canonical order both agree on, which is what makes incremental delta
+/// resolution bit-identical to a rebuild (floating-point similarity
+/// sums accumulate in block-scan order).
 pub fn token_blocking_with(tokens: &TokenizedPair, exec: &Executor) -> BlockCollection {
     let n_tokens = tokens.dict().len();
     let n1 = tokens.entity_count(KbSide::First);
     let n2 = tokens.entity_count(KbSide::Second);
     let firsts = invert_side(tokens, KbSide::First, n_tokens, exec);
     let seconds = invert_side(tokens, KbSide::Second, n_tokens, exec);
-    // Assemble blocks in ascending token order, in parallel over token
-    // ranges; concatenating the parts preserves that order.
+    // Assemble blocks in parallel over token ranges; concatenating the
+    // parts preserves ascending token order, then one sort establishes
+    // the canonical lexicographic order (keys are distinct, so the
+    // order is total and thread-count independent).
     let block_parts = exec.map_parts(n_tokens, |range| {
         let mut blocks = Vec::new();
         for t in range {
@@ -46,7 +55,9 @@ pub fn token_blocking_with(tokens: &TokenizedPair, exec: &Executor) -> BlockColl
         }
         blocks
     });
-    let blocks = block_parts.concat();
+    let mut blocks = block_parts.concat();
+    let dict = tokens.dict();
+    blocks.sort_unstable_by(|a, b| dict.token(TokenId(a.key)).cmp(dict.token(TokenId(b.key))));
     BlockCollection::new(BlockKind::Token, blocks, n1, n2)
 }
 

@@ -20,6 +20,10 @@
 //!                 [--executor sequential|rayon|pool] [--threads N]
 //! minoaner index inspect <artifact.idx>
 //! minoaner index query <artifact.idx> (--entity <iri> | --sample) [--k N]
+//! minoaner index patch <artifact.idx> --deltas <file.json|->
+//!                 [--executor sequential|rayon|pool] [--threads N]
+//! minoaner datagen <restaurant|rexa|bbc|yago> --mutate [--scale F] [--seed N]
+//!                 [--mutate-seed N] [--ops N]
 //! minoaner demo   [restaurant|rexa|bbc|yago] [--scale F] [--seed N]
 //!                 [--executor sequential|rayon|pool] [--threads N]
 //! minoaner stats  <kb.(tsv|nt)>
@@ -94,6 +98,13 @@
 //! `GET /v1/indexes/{id}/match?entity=<iri>` answers from the loaded
 //! artifact (an LRU cache capped at `--index-cache-mib`). Loaded-
 //! then-queried results are bit-identical to a fresh in-memory run.
+//!
+//! `index patch` applies an entity delta stream (upserts/deletes, see
+//! `minoan_kb::delta` for the wire JSON) to a persisted artifact
+//! *incrementally*: only the affected neighborhood is re-resolved, and
+//! the artifact is rewritten atomically with a bumped content version.
+//! `datagen --mutate` emits deterministic seeded delta streams drawn
+//! from a profile — pipe it straight into `index patch --deltas -`.
 
 use std::process::exit;
 
@@ -128,6 +139,10 @@ fn usage() -> ! {
          [--executor sequential|rayon|pool] [--threads N]\n  \
          minoaner index inspect <artifact.idx>\n  \
          minoaner index query <artifact.idx> (--entity iri | --sample) [--k N]\n  \
+         minoaner index patch <artifact.idx> --deltas <file.json|-> \
+         [--executor sequential|rayon|pool] [--threads N]\n  \
+         minoaner datagen <restaurant|rexa|bbc|yago> --mutate [--scale F] [--seed N] \
+         [--mutate-seed N] [--ops N]\n  \
          minoaner demo [restaurant|rexa|bbc|yago] [--scale F] [--seed N] \
          [--executor sequential|rayon|pool] [--threads N]\n  \
          minoaner stats <kb>"
@@ -528,6 +543,149 @@ fn index_query(args: &[String]) {
     println!("{}", body.pretty());
 }
 
+/// `minoaner index patch`: apply a delta stream to a persisted
+/// artifact incrementally — only the affected neighborhood re-runs —
+/// then rewrite the artifact atomically with a bumped content version.
+fn index_patch(args: &[String]) {
+    let mut path: Option<&str> = None;
+    let mut deltas: Option<&str> = None;
+    let mut config = MinoanConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deltas" => deltas = Some(it.next().map(String::as_str).unwrap_or_else(|| usage())),
+            "--executor" => parse_executor(it.next(), &mut config),
+            "--threads" => {
+                config.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            _ => usage(),
+        }
+    }
+    let (Some(path), Some(deltas)) = (path, deltas) else {
+        usage()
+    };
+    let raw = if deltas == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot read deltas from stdin: {e}");
+                exit(1);
+            });
+        buf
+    } else {
+        std::fs::read_to_string(deltas).unwrap_or_else(|e| {
+            eprintln!("cannot read {deltas}: {e}");
+            exit(1);
+        })
+    };
+    let body = Json::parse(&raw).unwrap_or_else(|e| {
+        eprintln!("bad delta stream: {e}");
+        exit(1);
+    });
+    let ops = minoan_kb::delta::ops_from_json(&body).unwrap_or_else(|e| {
+        eprintln!("bad delta stream: {e}");
+        exit(1);
+    });
+    let path = std::path::Path::new(path);
+    let t0 = std::time::Instant::now();
+    let mut artifact = IndexArtifact::read_from(path).unwrap_or_else(|e| {
+        eprintln!("cannot load {}: {e}", path.display());
+        exit(1);
+    });
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let exec = config.executor();
+    let t1 = std::time::Instant::now();
+    let delta = artifact
+        .apply_delta(&ops, &exec, &CancelToken::new())
+        .expect("no cancellation source in the CLI");
+    let apply_ms = t1.elapsed().as_secs_f64() * 1e3;
+    match artifact.persist_patch(path) {
+        Ok(bytes) => eprintln!("patched {} ({bytes} bytes)", path.display()),
+        Err(e) => {
+            eprintln!("cannot persist {}: {e}", path.display());
+            exit(1);
+        }
+    }
+    let body = Json::obj([
+        ("index", Json::str(&artifact.meta().name)),
+        ("content_version", Json::num(delta.content_version as f64)),
+        ("ops_applied", Json::num(delta.ops_applied as f64)),
+        ("ops_noop", Json::num(delta.ops_noop as f64)),
+        ("affected_rows", Json::num(delta.affected_rows as f64)),
+        ("touched_tokens", Json::num(delta.touched_tokens as f64)),
+        ("h1_matches", Json::num(delta.h1_matches as f64)),
+        ("h2_matches", Json::num(delta.h2_matches as f64)),
+        ("h3_matches", Json::num(delta.h3_matches as f64)),
+        ("h4_removed", Json::num(delta.h4_removed as f64)),
+        ("matched_pairs", Json::num(delta.matched_pairs as f64)),
+        (
+            "stage_timings_ms",
+            Json::obj([("load", Json::num(load_ms)), ("apply", Json::num(apply_ms))]),
+        ),
+    ]);
+    println!("{}", body.pretty());
+}
+
+/// `minoaner datagen --mutate`: emit a deterministic seeded delta
+/// stream drawn from a profile, as the wire JSON `index patch` and
+/// `PATCH /v1/indexes/{id}` accept.
+fn datagen_cmd(args: &[String]) {
+    let mut kind: Option<DatasetKind> = None;
+    let mut mutate = false;
+    let mut scale = 0.3;
+    let mut seed = 20180416u64;
+    let mut mutate_seed = 1u64;
+    let mut n_ops = 50usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "restaurant" => kind = Some(DatasetKind::Restaurant),
+            "rexa" => kind = Some(DatasetKind::RexaDblp),
+            "bbc" => kind = Some(DatasetKind::BbcDbpedia),
+            "yago" => kind = Some(DatasetKind::YagoImdb),
+            "--mutate" => mutate = true,
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--mutate-seed" => {
+                mutate_seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--ops" => {
+                n_ops = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(kind) = kind else { usage() };
+    if !mutate {
+        eprintln!("datagen currently only supports --mutate (delta stream generation)");
+        exit(2);
+    }
+    let ops = minoan_datagen::mutate_stream(kind, seed, scale, mutate_seed, n_ops);
+    println!("{}", minoan_kb::delta::ops_to_json(&ops).compact());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -661,8 +819,9 @@ fn main() {
             );
             // Stream one line per job as it completes; the final report
             // stays in manifest order.
-            let report =
-                run_batch_streaming(&manifest, &opts, &CancelToken::new(), print_job_completion);
+            let report = run_batch_streaming(&manifest, &opts, &CancelToken::new(), |_, job| {
+                print_job_completion(job)
+            });
             print_fleet_report(&report, json, pairs);
             if report.ok_count() < report.jobs.len() {
                 exit(1);
@@ -813,8 +972,10 @@ fn main() {
             Some("build") => index_build(&args[2..]),
             Some("inspect") => index_inspect(&args[2..]),
             Some("query") => index_query(&args[2..]),
+            Some("patch") => index_patch(&args[2..]),
             _ => usage(),
         },
+        Some("datagen") => datagen_cmd(&args[1..]),
         Some("demo") => {
             let mut kind = DatasetKind::Restaurant;
             let mut scale = 0.3;

@@ -26,7 +26,10 @@ use minoan_kb::artifact::{
     put_f64, put_str, put_u32, put_u32s, put_u64, ArtifactError, ArtifactFile, ArtifactWriter,
     Cursor,
 };
-use minoan_kb::{Csr, EntityId, Interner, Json, KbPair, KbSide, Matching, TokenId};
+use minoan_kb::{
+    AttrId, Csr, EntityId, Interner, Json, KbPair, KbSide, KnowledgeBase, Matching, Statement,
+    TokenId, Value,
+};
 use minoan_text::{TokenDictionary, TokenizedPair};
 
 use crate::config::MinoanConfig;
@@ -35,10 +38,6 @@ use crate::simindex::{Candidate, SimilarityIndex};
 
 /// Section tag: artifact metadata (name, counts, timings, config).
 pub const TAG_META: u32 = 0x01;
-/// Section tag: first-KB entity URI interner.
-pub const TAG_URIS_FIRST: u32 = 0x02;
-/// Section tag: second-KB entity URI interner.
-pub const TAG_URIS_SECOND: u32 = 0x03;
 /// Section tag: token dictionary and per-entity token sets.
 pub const TAG_TOKENS: u32 = 0x04;
 /// Section tag: name blocks (`BN`).
@@ -49,6 +48,14 @@ pub const TAG_TOKEN_BLOCKS: u32 = 0x06;
 pub const TAG_SIMINDEX: u32 = 0x07;
 /// Section tag: the final matching, as entity-id pairs.
 pub const TAG_MATCHING: u32 = 0x08;
+/// Section tag: the first knowledge base, embedded whole (name, URI and
+/// attribute interners, per-entity statements). Format version 2
+/// replaced the bare URI-interner sections (tags `0x02`/`0x03` of
+/// version 1) with these so a loaded artifact can be *patched*: delta
+/// resolution needs the statements, not just the URIs.
+pub const TAG_KB_FIRST: u32 = 0x09;
+/// Section tag: the second knowledge base, embedded whole.
+pub const TAG_KB_SECOND: u32 = 0x0A;
 
 /// Cheap-to-read metadata about a persisted index.
 #[derive(Debug, Clone)]
@@ -58,6 +65,10 @@ pub struct ArtifactMeta {
     /// Format version of the file this meta was read from (the current
     /// [`minoan_kb::artifact::FORMAT_VERSION`] for freshly built ones).
     pub format_version: u32,
+    /// Logical content version: 1 for a fresh build, bumped by one on
+    /// every persisted delta patch. Readers use it to tell "same file"
+    /// from "same index name, newer contents".
+    pub content_version: u64,
     /// Total artifact file size in bytes (0 until written or read).
     pub file_bytes: u64,
     /// Human-readable KB names, first and second side.
@@ -92,6 +103,7 @@ impl ArtifactMeta {
         Json::obj([
             ("name", Json::str(&self.name)),
             ("format_version", Json::num(self.format_version as f64)),
+            ("content_version", Json::num(self.content_version as f64)),
             ("file_bytes", Json::num(self.file_bytes as f64)),
             ("kb_names", Json::arr(self.kb_names.iter().map(Json::str))),
             (
@@ -140,21 +152,25 @@ pub struct MatchAnswer {
 }
 
 /// A loaded (or freshly built) persistent index.
+///
+/// Since format version 2 the artifact embeds both knowledge bases
+/// whole, which is what makes it *patchable*: [`crate::delta`] mutates
+/// the pair in place and re-resolves only the affected neighborhood.
 #[derive(Debug)]
 pub struct IndexArtifact {
-    meta: ArtifactMeta,
-    uris: [Interner; 2],
-    tokens: TokenizedPair,
-    name_blocks: BlockCollection,
-    token_blocks: BlockCollection,
-    index: SimilarityIndex,
-    matching: Matching,
+    pub(crate) meta: ArtifactMeta,
+    pub(crate) pair: KbPair,
+    pub(crate) tokens: TokenizedPair,
+    pub(crate) name_blocks: BlockCollection,
+    pub(crate) token_blocks: BlockCollection,
+    pub(crate) index: SimilarityIndex,
+    pub(crate) matching: Matching,
 }
 
 impl IndexArtifact {
     /// Captures an index from a finished pipeline run. `pair` must be
-    /// the pair `indexed` was produced from (its URI interners are the
-    /// artifact's query dictionary).
+    /// the pair `indexed` was produced from; the artifact keeps its own
+    /// copy so patches can mutate it.
     pub fn from_run(
         name: &str,
         pair: &KbPair,
@@ -166,10 +182,6 @@ impl IndexArtifact {
             artifacts,
             index,
         } = indexed;
-        let uris = [
-            pair.first.entity_uris().clone(),
-            pair.second.entity_uris().clone(),
-        ];
         let built_unix_ms = SystemTime::now()
             .duration_since(SystemTime::UNIX_EPOCH)
             .map(|d| d.as_millis() as u64)
@@ -177,12 +189,16 @@ impl IndexArtifact {
         let meta = ArtifactMeta {
             name: name.to_string(),
             format_version: minoan_kb::artifact::FORMAT_VERSION,
+            content_version: 1,
             file_bytes: 0,
             kb_names: [
                 pair.first.name().to_string(),
                 pair.second.name().to_string(),
             ],
-            entity_counts: [uris[0].len() as u64, uris[1].len() as u64],
+            entity_counts: [
+                pair.first.entity_count() as u64,
+                pair.second.entity_count() as u64,
+            ],
             token_count: artifacts.tokens.dict().len() as u64,
             name_block_count: artifacts.name_blocks.len() as u64,
             token_block_count: artifacts.token_blocks.len() as u64,
@@ -195,7 +211,7 @@ impl IndexArtifact {
         };
         Self {
             meta,
-            uris,
+            pair: pair.clone(),
             tokens: artifacts.tokens,
             name_blocks: artifacts.name_blocks,
             token_blocks: artifacts.token_blocks,
@@ -232,9 +248,14 @@ impl IndexArtifact {
         }
     }
 
+    /// The embedded knowledge-base pair.
+    pub fn pair(&self) -> &KbPair {
+        &self.pair
+    }
+
     /// The entity-URI dictionary of one side.
     pub fn uris(&self, side: KbSide) -> &Interner {
-        &self.uris[side.index()]
+        self.pair.kb(side).entity_uris()
     }
 
     /// The matching as URI pairs, in pipeline insertion order — the
@@ -245,8 +266,8 @@ impl IndexArtifact {
             .iter()
             .map(|(a, b)| {
                 (
-                    self.uris[0].resolve(a.0).to_string(),
-                    self.uris[1].resolve(b.0).to_string(),
+                    self.pair.first.entity_uri(a).to_string(),
+                    self.pair.second.entity_uri(b).to_string(),
                 )
             })
             .collect()
@@ -256,10 +277,10 @@ impl IndexArtifact {
     /// no ingest, no blocking, no pipeline. Returns `None` when the IRI
     /// is on neither side.
     pub fn match_query(&self, iri: &str, k: usize) -> Option<MatchAnswer> {
-        let (side, id) = if let Some(id) = self.uris[0].get(iri) {
-            (KbSide::First, EntityId(id))
-        } else if let Some(id) = self.uris[1].get(iri) {
-            (KbSide::Second, EntityId(id))
+        let (side, id) = if let Some(id) = self.pair.first.entity_by_uri(iri) {
+            (KbSide::First, id)
+        } else if let Some(id) = self.pair.second.entity_by_uri(iri) {
+            (KbSide::Second, id)
         } else {
             return None;
         };
@@ -268,8 +289,8 @@ impl IndexArtifact {
             .matching
             .iter()
             .filter_map(|(a, b)| match side {
-                KbSide::First => (a == id).then(|| self.uris[1].resolve(b.0).to_string()),
-                KbSide::Second => (b == id).then(|| self.uris[0].resolve(a.0).to_string()),
+                KbSide::First => (a == id).then(|| self.pair.second.entity_uri(b).to_string()),
+                KbSide::Second => (b == id).then(|| self.pair.first.entity_uri(a).to_string()),
             })
             .collect();
         let candidates: Vec<(String, f64)> = self
@@ -277,7 +298,7 @@ impl IndexArtifact {
             .value_candidates(side, id)
             .iter()
             .take(k)
-            .map(|&(e, v)| (self.uris[other.index()].resolve(e.0).to_string(), v))
+            .map(|&(e, v)| (self.pair.kb(other).entity_uri(e).to_string(), v))
             .collect();
         Some(MatchAnswer {
             side,
@@ -291,8 +312,8 @@ impl IndexArtifact {
     pub fn write_to(&self, path: &Path) -> io::Result<u64> {
         let mut w = ArtifactWriter::new();
         w.push_section(TAG_META, self.encode_meta());
-        w.push_section(TAG_URIS_FIRST, encode_interner(&self.uris[0]));
-        w.push_section(TAG_URIS_SECOND, encode_interner(&self.uris[1]));
+        w.push_section(TAG_KB_FIRST, encode_kb(&self.pair.first));
+        w.push_section(TAG_KB_SECOND, encode_kb(&self.pair.second));
         w.push_section(TAG_TOKENS, encode_tokens(&self.tokens));
         w.push_section(TAG_NAME_BLOCKS, encode_blocks(&self.name_blocks));
         w.push_section(TAG_TOKEN_BLOCKS, encode_blocks(&self.token_blocks));
@@ -307,11 +328,11 @@ impl IndexArtifact {
         let mut meta = decode_meta(file.section(TAG_META)?)?;
         meta.format_version = file.version();
         meta.file_bytes = file.file_bytes();
-        let uris = [
-            decode_interner(file.section(TAG_URIS_FIRST)?)?,
-            decode_interner(file.section(TAG_URIS_SECOND)?)?,
-        ];
-        let counts = [uris[0].len(), uris[1].len()];
+        let pair = KbPair::new(
+            decode_kb(file.section(TAG_KB_FIRST)?)?,
+            decode_kb(file.section(TAG_KB_SECOND)?)?,
+        );
+        let counts = [pair.first.entity_count(), pair.second.entity_count()];
         let tokens = decode_tokens(file.section(TAG_TOKENS)?, counts)?;
         let name_blocks = decode_blocks(file.section(TAG_NAME_BLOCKS)?, BlockKind::Name, counts)?;
         let token_blocks =
@@ -320,7 +341,7 @@ impl IndexArtifact {
         let matching = decode_matching(file.section(TAG_MATCHING)?, counts)?;
         Ok(Self {
             meta,
-            uris,
+            pair,
             tokens,
             name_blocks,
             token_blocks,
@@ -365,6 +386,7 @@ impl IndexArtifact {
         }
         put_u64(&mut out, m.built_unix_ms);
         put_str(&mut out, &m.config_json);
+        put_u64(&mut out, m.content_version);
         out
     }
 }
@@ -386,9 +408,11 @@ fn decode_meta(bytes: &[u8]) -> Result<ArtifactMeta, ArtifactError> {
     }
     let built_unix_ms = c.get_u64()?;
     let config_json = c.get_str()?;
+    let content_version = c.get_u64()?;
     Ok(ArtifactMeta {
         name,
         format_version: 0,
+        content_version,
         file_bytes: 0,
         kb_names,
         entity_counts,
@@ -408,6 +432,80 @@ fn decode_meta(bytes: &[u8]) -> Result<ArtifactMeta, ArtifactError> {
         built_unix_ms,
         config_json,
     })
+}
+
+/// Statement-value tag byte: a literal string follows.
+const VALUE_LITERAL: u8 = 0;
+/// Statement-value tag byte: an entity id follows.
+const VALUE_ENTITY: u8 = 1;
+
+fn encode_kb(kb: &KnowledgeBase) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_str(&mut out, kb.name());
+    let uris = encode_interner(kb.entity_uris());
+    put_u64(&mut out, uris.len() as u64);
+    out.extend_from_slice(&uris);
+    let attrs = encode_interner(kb.attr_interner());
+    put_u64(&mut out, attrs.len() as u64);
+    out.extend_from_slice(&attrs);
+    put_u64(&mut out, kb.entity_count() as u64);
+    for e in kb.entities() {
+        let stmts = kb.statements(e);
+        put_u64(&mut out, stmts.len() as u64);
+        for s in stmts {
+            put_u32(&mut out, s.attr.0);
+            match &s.value {
+                Value::Literal(lit) => {
+                    out.push(VALUE_LITERAL);
+                    put_str(&mut out, lit);
+                }
+                Value::Entity(e) => {
+                    out.push(VALUE_ENTITY);
+                    put_u32(&mut out, e.0);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn decode_kb(bytes: &[u8]) -> Result<KnowledgeBase, ArtifactError> {
+    let mut c = Cursor::new(bytes);
+    let name = c.get_str()?;
+    let sub_interner = |c: &mut Cursor<'_>| -> Result<Interner, ArtifactError> {
+        let len = c.get_len()?;
+        let sub = c.get_bytes(len)?;
+        decode_interner(sub)
+    };
+    let uris = sub_interner(&mut c)?;
+    let attrs = sub_interner(&mut c)?;
+    let n = c.get_len()?;
+    if n != uris.len() {
+        return Err(ArtifactError::Corrupt(format!(
+            "KB section covers {n} entities, URI interner has {}",
+            uris.len()
+        )));
+    }
+    let mut statements = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = c.get_len()?;
+        let mut stmts = Vec::with_capacity(len.min(bytes.len() / 5));
+        for _ in 0..len {
+            let attr = AttrId(c.get_u32()?);
+            let value = match c.get_u8()? {
+                VALUE_LITERAL => Value::Literal(c.get_str()?.into_boxed_str()),
+                VALUE_ENTITY => Value::Entity(EntityId(c.get_u32()?)),
+                tag => {
+                    return Err(ArtifactError::Corrupt(format!(
+                        "unknown statement value tag {tag}"
+                    )))
+                }
+            };
+            stmts.push(Statement { attr, value });
+        }
+        statements.push(stmts);
+    }
+    KnowledgeBase::from_parts(name, uris, attrs, statements).map_err(ArtifactError::Corrupt)
 }
 
 fn encode_interner(interner: &Interner) -> Vec<u8> {

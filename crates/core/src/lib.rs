@@ -33,6 +33,7 @@
 
 pub mod artifact;
 pub mod config;
+pub mod delta;
 pub mod heuristics;
 pub mod importance;
 pub mod pipeline;
@@ -40,6 +41,7 @@ pub mod simindex;
 
 pub use artifact::{ArtifactMeta, IndexArtifact, MatchAnswer};
 pub use config::MinoanConfig;
+pub use delta::{DeltaReport, PATCH_FAULT_SITE};
 pub use heuristics::{
     h1_name_matches, h2_value_matches, h2_value_matches_with, h3_rank_matches,
     h3_rank_matches_with, h3_top_candidate, h4_reciprocal, h4_reciprocal_batch,

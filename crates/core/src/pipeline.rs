@@ -10,7 +10,7 @@ use minoan_blocking::{
     name_blocking_with, purge_with_exec, token_blocking_with, BlockCollection, PurgeReport,
 };
 use minoan_exec::{CancelToken, Cancelled, Executor};
-use minoan_kb::{EntityId, FxHashSet, KbPair, Matching};
+use minoan_kb::{EntityId, FxHashSet, KbPair, KbSide, Matching};
 use minoan_text::{TokenizedPair, Tokenizer};
 
 use crate::config::MinoanConfig;
@@ -179,6 +179,97 @@ pub fn build_blocks_cancellable(
     })
 }
 
+/// Outcome of the shared H1–H4 matching phase.
+pub(crate) struct MatchingPhase {
+    /// The final matching (after H4).
+    pub matching: Matching,
+    /// Matches contributed by H1.
+    pub h1_matches: usize,
+    /// Matches contributed by H2.
+    pub h2_matches: usize,
+    /// Matches contributed by H3.
+    pub h3_matches: usize,
+    /// Pairs discarded by H4.
+    pub h4_removed: usize,
+    /// Wall-clock time of H1.
+    pub names_h1: Duration,
+    /// Wall-clock time of H2 + H3 + H4.
+    pub matching_time: Duration,
+}
+
+/// `(H1 ∨ H2 ∨ H3) ∧ H4` over a similarity index and name blocks —
+/// shared verbatim by the one-shot pipeline and the delta engine, so a
+/// patched index decides matches with exactly the code a from-scratch
+/// rebuild runs. Insertion order (H1, then H2, then H3; H4 retains in
+/// that order) is part of the contract: `Matching` iterates in
+/// insertion order and the persisted fingerprint hashes that order.
+pub(crate) fn matching_phase(
+    name_blocks: &BlockCollection,
+    idx: &SimilarityIndex,
+    smaller: KbSide,
+    n_smaller: usize,
+    config: &MinoanConfig,
+    exec: &Executor,
+    cancel: &CancelToken,
+) -> Result<MatchingPhase, Cancelled> {
+    // H1: unique-name matches.
+    let t0 = Instant::now();
+    let h1 = h1_name_matches(name_blocks);
+    let names_h1 = t0.elapsed();
+
+    let mut matched: [FxHashSet<EntityId>; 2] = [FxHashSet::default(), FxHashSet::default()];
+    let mut matching = Matching::new();
+    for &(e1, e2) in &h1 {
+        matching.insert(e1, e2);
+        matched[0].insert(e1);
+        matched[1].insert(e2);
+    }
+
+    // H2 on the smaller KB.
+    cancel.checkpoint()?;
+    let t0 = Instant::now();
+    let h2 = h2_value_matches_with(idx, smaller, n_smaller, [&matched[0], &matched[1]], exec);
+    for &(e1, e2) in &h2 {
+        matching.insert(e1, e2);
+        matched[0].insert(e1);
+        matched[1].insert(e2);
+    }
+
+    // H3 on what is left.
+    cancel.checkpoint()?;
+    let h3 = h3_rank_matches_with(
+        idx,
+        smaller,
+        n_smaller,
+        config.candidates_k,
+        config.theta,
+        [&matched[0], &matched[1]],
+        exec,
+    );
+    for &(e1, e2) in &h3 {
+        matching.insert(e1, e2);
+    }
+
+    // H4: reciprocity filter over everything — evaluated in parallel
+    // (pure reads over the index), applied in insertion order.
+    cancel.checkpoint()?;
+    let before = matching.len();
+    let pairs: Vec<(EntityId, EntityId)> = matching.iter().collect();
+    let keep = h4_reciprocal_batch(idx, config.candidates_k, &pairs, exec);
+    let mut keep_flags = keep.iter();
+    matching.retain(|_, _| *keep_flags.next().expect("one flag per pair"));
+    let h4_removed = before - matching.len();
+    Ok(MatchingPhase {
+        h1_matches: h1.len(),
+        h2_matches: h2.len(),
+        h3_matches: h3.len(),
+        h4_removed,
+        matching,
+        names_h1,
+        matching_time: t0.elapsed(),
+    })
+}
+
 /// The MinoanER matcher.
 #[derive(Debug, Clone, Default)]
 pub struct MinoanEr {
@@ -281,20 +372,6 @@ impl MinoanEr {
         report.token_comparisons = artifacts.token_blocks.total_comparisons();
         report.purge = artifacts.purge.clone();
 
-        // H1: unique-name matches.
-        let t0 = Instant::now();
-        let h1 = h1_name_matches(&artifacts.name_blocks);
-        report.h1_matches = h1.len();
-        report.timings.names_h1 = t0.elapsed();
-
-        let mut matched: [FxHashSet<EntityId>; 2] = [FxHashSet::default(), FxHashSet::default()];
-        let mut matching = Matching::new();
-        for &(e1, e2) in &h1 {
-            matching.insert(e1, e2);
-            matched[0].insert(e1);
-            matched[1].insert(e2);
-        }
-
         // Similarity index over the purged token blocks.
         cancel.checkpoint()?;
         let t0 = Instant::now();
@@ -320,48 +397,31 @@ impl MinoanEr {
         );
         report.timings.similarities = t0.elapsed();
 
-        // H2 on the smaller KB.
-        cancel.checkpoint()?;
-        let t0 = Instant::now();
+        // H1 ∨ H2 ∨ H3, then the H4 reciprocity filter — the phase the
+        // delta engine re-runs against a patched index.
         let smaller = pair.smaller_side();
         let n_smaller = pair.kb(smaller).entity_count();
-        let h2 = h2_value_matches_with(&idx, smaller, n_smaller, [&matched[0], &matched[1]], exec);
-        report.h2_matches = h2.len();
-        for &(e1, e2) in &h2 {
-            matching.insert(e1, e2);
-            matched[0].insert(e1);
-            matched[1].insert(e2);
-        }
-
-        // H3 on what is left.
-        cancel.checkpoint()?;
-        let h3 = h3_rank_matches_with(
+        let phase = matching_phase(
+            &artifacts.name_blocks,
             &idx,
             smaller,
             n_smaller,
-            self.config.candidates_k,
-            self.config.theta,
-            [&matched[0], &matched[1]],
+            &self.config,
             exec,
-        );
-        report.h3_matches = h3.len();
-        for &(e1, e2) in &h3 {
-            matching.insert(e1, e2);
-        }
-
-        // H4: reciprocity filter over everything — evaluated in parallel
-        // (pure reads over the index), applied in insertion order.
-        cancel.checkpoint()?;
-        let before = matching.len();
-        let pairs: Vec<(EntityId, EntityId)> = matching.iter().collect();
-        let keep = h4_reciprocal_batch(&idx, self.config.candidates_k, &pairs, exec);
-        let mut keep_flags = keep.iter();
-        matching.retain(|_, _| *keep_flags.next().expect("one flag per pair"));
-        report.h4_removed = before - matching.len();
-        report.timings.matching = t0.elapsed();
+            cancel,
+        )?;
+        report.h1_matches = phase.h1_matches;
+        report.h2_matches = phase.h2_matches;
+        report.h3_matches = phase.h3_matches;
+        report.h4_removed = phase.h4_removed;
+        report.timings.names_h1 = phase.names_h1;
+        report.timings.matching = phase.matching_time;
 
         Ok(IndexedOutput {
-            output: MatchOutput { matching, report },
+            output: MatchOutput {
+                matching: phase.matching,
+                report,
+            },
             artifacts,
             index: idx,
         })

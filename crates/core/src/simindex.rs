@@ -31,7 +31,7 @@ pub type Candidate = (EntityId, f64);
 /// Candidate ordering: similarity descending, ties by entity id
 /// ascending — a total order, so sorting is deterministic.
 #[inline]
-fn cand_cmp(a: &Candidate, b: &Candidate) -> std::cmp::Ordering {
+pub(crate) fn cand_cmp(a: &Candidate, b: &Candidate) -> std::cmp::Ordering {
     b.1.partial_cmp(&a.1)
         .unwrap_or(std::cmp::Ordering::Equal)
         .then(a.0.cmp(&b.0))
@@ -170,6 +170,24 @@ impl SimilarityIndex {
             firsts_rows.push(std::mem::take(&mut shard_rows[e1 % shards][e1 / shards]));
         }
         let value_firsts = Csr::from_rows(firsts_rows);
+        Self::derive_from_value_firsts(value_firsts, n2, top_neighbors, exec)
+    }
+
+    /// Completes an index from a finished `value_firsts` CSR: transposes
+    /// the reverse value direction and runs the `neighborNSim` pass in
+    /// both directions. Shared by [`SimilarityIndex::build_with`] and
+    /// the delta engine, which recomputes only the *affected* value rows
+    /// and re-derives everything downstream — the derivation is linear
+    /// in the pair count and a pure function of its inputs, so both
+    /// paths produce bit-identical indexes.
+    pub fn derive_from_value_firsts(
+        value_firsts: Csr<Candidate>,
+        n_second: usize,
+        top_neighbors: [&[Vec<EntityId>]; 2],
+        exec: &Executor,
+    ) -> Self {
+        let n1 = value_firsts.rows();
+        let n2 = n_second;
         let value_seconds = transpose(&value_firsts, n2, exec);
 
         // neighborNSim(e1, e2) = Σ_{n1 ∈ top(e1), n2 ∈ top(e2)} valueSim(n1, n2).

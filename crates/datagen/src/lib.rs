@@ -16,11 +16,13 @@
 #![warn(missing_docs)]
 
 pub mod datasets;
+pub mod mutate;
 pub mod render;
 pub mod words;
 pub mod world;
 
 pub use datasets::{Dataset, DatasetKind};
+pub use mutate::mutate_stream;
 pub use render::{render_pair, render_side, ClassRender, RenderSpec, RenderedSide};
 pub use words::{synth_word, WordPool};
 pub use world::{CanonicalEntity, ClassSpec, FieldSpec, Presence, World};

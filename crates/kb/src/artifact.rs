@@ -38,7 +38,10 @@ pub const MAGIC: [u8; 8] = *b"MINOANIX";
 
 /// Current artifact format version. Bump on any layout change; readers
 /// reject other versions with [`ArtifactError::UnsupportedVersion`].
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 replaced the bare URI-dictionary sections with whole
+/// embedded KBs (required for incremental delta resolution) and added
+/// a content version to the meta section.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Size of the fixed header preceding the section table.
 pub const HEADER_BYTES: usize = 16;
@@ -374,6 +377,16 @@ impl<'a> Cursor<'a> {
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
+    }
+
+    /// Reads a single tag byte.
+    pub fn get_u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads `n` raw bytes (a nested, length-prefixed payload).
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        self.take(n)
     }
 
     /// Reads a `u32` (LE).

@@ -18,12 +18,16 @@
 //!   ([`Interner`]), compressed sparse rows ([`Csr`]) and minimal JSON
 //!   ([`Json`]) used across the workspace;
 //! - a versioned, checksummed binary container for persisted index
-//!   artifacts ([`artifact`]).
+//!   artifacts ([`artifact`]);
+//! - the entity-level mutation vocabulary for incremental updates
+//!   ([`DeltaOp`], [`delta::apply_to_pair`]), shared by the delta
+//!   engine, the wire protocols, and the equivalence tests.
 
 #![warn(missing_docs)]
 
 pub mod artifact;
 pub mod csr;
+pub mod delta;
 pub mod hash;
 pub mod ids;
 pub mod interner;
@@ -35,6 +39,7 @@ pub mod stats;
 
 pub use artifact::{ArtifactError, ArtifactFile, ArtifactWriter};
 pub use csr::Csr;
+pub use delta::DeltaOp;
 pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{AttrId, BlockId, EntityId, KbSide, PairEntity, TokenId};
 pub use interner::Interner;

@@ -119,6 +119,12 @@ impl KnowledgeBase {
         &self.entity_uris
     }
 
+    /// The attribute-name interner (names in id order). Exposed so the
+    /// artifact layer can persist whole KBs.
+    pub fn attr_interner(&self) -> &Interner {
+        &self.attrs
+    }
+
     /// The name of an attribute.
     pub fn attr_name(&self, a: AttrId) -> &str {
         self.attrs.resolve(a.0)
@@ -193,6 +199,111 @@ impl KnowledgeBase {
     /// Number of distinct relation attributes.
     pub fn relation_count(&self) -> usize {
         self.relation_edge_counts().len()
+    }
+
+    /// Ensures `uri` names a described entity, appending an empty
+    /// description if it is new, and returns its id. Appended entities
+    /// extend the dense id space without disturbing existing ids —
+    /// the append semantics the delta layer relies on.
+    pub fn ensure_entity(&mut self, uri: &str) -> EntityId {
+        let id = self.entity_uris.intern(uri);
+        if id as usize == self.statements.len() {
+            self.statements.push(Vec::new());
+            self.in_edges.push(Vec::new());
+        }
+        EntityId(id)
+    }
+
+    /// Interns an attribute name, appending it if new.
+    pub fn ensure_attr(&mut self, name: &str) -> AttrId {
+        AttrId(self.attrs.intern(name))
+    }
+
+    /// Replaces the whole description of `e`, maintaining reverse edges
+    /// and the triple count. An upsert replaces the description; a
+    /// delete passes an empty vector (a *tombstone*: the id and URI
+    /// survive so entity ids stay dense and stable, and edges pointing
+    /// *at* the tombstone remain valid).
+    ///
+    /// Entity references in `stmts` must be in range (panics otherwise —
+    /// the delta layer resolves URIs before calling this).
+    pub fn replace_statements(&mut self, e: EntityId, stmts: Vec<Statement>) {
+        let old = std::mem::take(&mut self.statements[e.index()]);
+        self.triple_count -= old.len();
+        for s in &old {
+            if let Some(t) = s.value.as_entity() {
+                let edges = &mut self.in_edges[t.index()];
+                if let Some(pos) = edges
+                    .iter()
+                    .position(|d| d.relation == s.attr && d.neighbor == e)
+                {
+                    edges.remove(pos);
+                }
+            }
+        }
+        for s in &stmts {
+            if let Some(t) = s.value.as_entity() {
+                assert!(
+                    t.index() < self.statements.len(),
+                    "statement references entity {t} beyond {}",
+                    self.statements.len()
+                );
+                self.in_edges[t.index()].push(Edge {
+                    relation: s.attr,
+                    neighbor: e,
+                });
+            }
+        }
+        self.triple_count += stmts.len();
+        self.statements[e.index()] = stmts;
+    }
+
+    /// Reassembles a KB from its persisted parts. Reverse edges are
+    /// rebuilt by a subject-order scan (the same order [`KbBuilder`]
+    /// produces) and the triple count is recomputed. Rejects structural
+    /// mismatches instead of panicking — this is the artifact decode
+    /// path, which must survive corrupt inputs.
+    pub fn from_parts(
+        name: String,
+        entity_uris: Interner,
+        attrs: Interner,
+        statements: Vec<Vec<Statement>>,
+    ) -> Result<Self, String> {
+        if entity_uris.len() != statements.len() {
+            return Err(format!(
+                "{} entity URIs but {} statement lists",
+                entity_uris.len(),
+                statements.len()
+            ));
+        }
+        let n = statements.len();
+        let mut in_edges: Vec<Vec<Edge>> = vec![Vec::new(); n];
+        let mut triple_count = 0usize;
+        for (subj, stmts) in statements.iter().enumerate() {
+            triple_count += stmts.len();
+            for s in stmts {
+                if s.attr.index() >= attrs.len() {
+                    return Err(format!("statement attr {} out of range", s.attr));
+                }
+                if let Some(t) = s.value.as_entity() {
+                    if t.index() >= n {
+                        return Err(format!("statement references entity {t} beyond {n}"));
+                    }
+                    in_edges[t.index()].push(Edge {
+                        relation: s.attr,
+                        neighbor: EntityId(subj as u32),
+                    });
+                }
+            }
+        }
+        Ok(Self {
+            name,
+            entity_uris,
+            attrs,
+            statements,
+            in_edges,
+            triple_count,
+        })
     }
 
     /// Per-attribute aggregates needed by the importance metric:
@@ -627,6 +738,93 @@ mod tests {
             merged.absorb(chunk);
         }
         assert_eq!(sequential.finish(), merged.finish());
+    }
+
+    #[test]
+    fn replace_statements_maintains_edges_and_counts() {
+        let mut kb = sample();
+        let r1 = kb.entity_by_uri("e:r1").unwrap();
+        let a1 = kb.entity_by_uri("e:a1").unwrap();
+        let name = kb.ensure_attr("name");
+        // Tombstone r1: its address edge into a1 must disappear.
+        kb.replace_statements(r1, Vec::new());
+        assert_eq!(kb.triple_count(), 4);
+        assert!(kb.statements(r1).is_empty());
+        assert_eq!(kb.in_edges(a1).len(), 1);
+        // Re-describe r1 with a fresh literal and a fresh edge.
+        let addr = kb.ensure_attr("address");
+        kb.replace_statements(
+            r1,
+            vec![
+                Statement {
+                    attr: name,
+                    value: Value::Literal("Renamed".into()),
+                },
+                Statement {
+                    attr: addr,
+                    value: Value::Entity(a1),
+                },
+            ],
+        );
+        assert_eq!(kb.triple_count(), 6);
+        assert_eq!(kb.in_edges(a1).len(), 2);
+        assert!(kb.literals(r1).any(|l| l == "Renamed"));
+    }
+
+    #[test]
+    fn ensure_entity_appends_dense_ids() {
+        let mut kb = sample();
+        let before = kb.entity_count();
+        let e = kb.ensure_entity("e:new");
+        assert_eq!(e.index(), before);
+        assert_eq!(kb.entity_count(), before + 1);
+        assert!(kb.statements(e).is_empty());
+        // Existing URIs keep their ids.
+        assert_eq!(kb.ensure_entity("e:r1"), EntityId(0));
+        assert_eq!(kb.entity_count(), before + 1);
+    }
+
+    #[test]
+    fn from_parts_round_trips_builder_output() {
+        let kb = sample();
+        let statements: Vec<Vec<Statement>> =
+            kb.entities().map(|e| kb.statements(e).to_vec()).collect();
+        let back = KnowledgeBase::from_parts(
+            kb.name().to_string(),
+            kb.entity_uris().clone(),
+            kb.attr_interner().clone(),
+            statements,
+        )
+        .unwrap();
+        assert_eq!(back, kb);
+    }
+
+    #[test]
+    fn from_parts_rejects_structural_mismatches() {
+        let kb = sample();
+        let statements: Vec<Vec<Statement>> =
+            kb.entities().map(|e| kb.statements(e).to_vec()).collect();
+        // Too few statement lists for the URI dictionary.
+        assert!(KnowledgeBase::from_parts(
+            "x".into(),
+            kb.entity_uris().clone(),
+            kb.attr_interner().clone(),
+            statements[..2].to_vec(),
+        )
+        .is_err());
+        // Out-of-range entity reference.
+        let mut bad = statements.clone();
+        bad[0].push(Statement {
+            attr: AttrId(0),
+            value: Value::Entity(EntityId(99)),
+        });
+        assert!(KnowledgeBase::from_parts(
+            "x".into(),
+            kb.entity_uris().clone(),
+            kb.attr_interner().clone(),
+            bad,
+        )
+        .is_err());
     }
 
     #[test]

@@ -31,6 +31,15 @@ impl KbPair {
         }
     }
 
+    /// Mutable access to the KB on `side` (the delta layer's entry
+    /// point for upserts and deletes).
+    pub fn kb_mut(&mut self, side: KbSide) -> &mut KnowledgeBase {
+        match side {
+            KbSide::First => &mut self.first,
+            KbSide::Second => &mut self.second,
+        }
+    }
+
     /// The side with fewer entities (H2 iterates the smaller KB).
     pub fn smaller_side(&self) -> KbSide {
         if self.first.entity_count() <= self.second.entity_count() {

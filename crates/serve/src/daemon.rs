@@ -49,6 +49,7 @@
 //! | `index-list` | — | `{"ok":true,"indexes":[{"id":"…","file_bytes":N,"loaded":B}],"cache":{…}}` |
 //! | `index-inspect` | `index` | `{"ok":true,"id":"…",…}` — the artifact's metadata section, read without loading the full index |
 //! | `index-delete` | `index` | `{"ok":true,"index":"…","deleted":true}` — also evicts the loaded copy |
+//! | `index-patch` | `index`, `deltas`: an array of delta ops (the [`minoan_kb::delta`] wire schema) | `{"ok":true,"job":N,"index":"…"}` — admits an incremental delta-resolution job: only the delta's affected neighborhood is re-resolved, the artifact file is atomically rewritten, and the stale cached copy is dropped on completion; `wait` on the job id for the patched report. A second patch for the same index while one is in flight is a `conflict` |
 //! | `index-match` | `index`, `entity` (an entity IRI from either KB), optional `k` | `{"ok":true,"index":"…","entity":"…","side":"first\|second","matches":[…],"candidates":[{"uri":"…","score":F}],"stage_timings_ms":{…}}` — answered from the loaded artifact; `ingest`/`blocking`/`similarities` timings are literally `0` |
 //! | `shutdown` | optional `mode`: `"drain"` (default: queued jobs still run) or `"cancel"` (queued jobs flip to `Cancelled`, running jobs are cancelled) | `{"ok":true}`; the daemon then stops accepting, drains and exits |
 //!
@@ -80,6 +81,7 @@ use minoan_kb::Json;
 
 use crate::http::HttpOptions;
 use crate::intake::{self, ShutdownMode};
+use crate::manifest::{JobInput, JobSpec};
 use crate::registry::IndexRegistry;
 use crate::report::{peak_rss_bytes, JobReport, ServeReport};
 use crate::scheduler::{
@@ -186,12 +188,25 @@ pub fn run_server(
         None => None,
     };
     let registry = registry.as_ref();
+    // A successful patch job rewrote the artifact on disk; the loaded
+    // copy (if any) is stale and must be dropped *before* the caller's
+    // on_done observes the terminal report, so a client that waits for
+    // the patch and immediately queries sees the patched index.
+    let notify = |spec: &JobSpec, report: &JobReport| {
+        if report.status.is_ok() {
+            if let (JobInput::IndexPatch { id, .. }, Some(reg)) = (&spec.input, registry) {
+                reg.invalidate(id);
+            }
+        }
+        on_done(report);
+    };
 
     std::thread::scope(|scope| -> std::io::Result<()> {
         let queue = &queue;
         let shutdown = &shutdown;
+        let notify = &notify;
         for _ in 0..slots {
-            scope.spawn(|| queue.worker(opts, &never, &on_done));
+            scope.spawn(|| queue.worker(opts, &never, notify));
         }
         let mut accept_loops = Vec::new();
         if let Some(listener) = line {
@@ -506,6 +521,19 @@ fn handle_request(
             Err(e) => error(e),
             Ok(id) => match intake::index_delete(registry, id) {
                 Ok(body) => ok_with(body),
+                Err(rejection) => index_error(&rejection),
+            },
+        },
+        "index-patch" => match required_str(&request, "index") {
+            Err(e) => error(e),
+            // The whole request doubles as the delta body: ops_from_json
+            // only looks at its `deltas` field.
+            Ok(id) => match intake::index_patch(queue, registry, id, &request) {
+                Ok((job, index)) => Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("job", Json::num(job as f64)),
+                    ("index", Json::str(index)),
+                ]),
                 Err(rejection) => index_error(&rejection),
             },
         },

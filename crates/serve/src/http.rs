@@ -23,6 +23,7 @@
 //! | `GET /v1/indexes` | — | `200` `{"indexes":[{"id","file_bytes","loaded"}],"cache":{…}}` |
 //! | `GET /v1/indexes/{id}` | — | `200` artifact metadata: sizes, entity counts, build timings, format version; `404` unknown index |
 //! | `DELETE /v1/indexes/{id}` | — | `200` `{"index":"…","deleted":true}`; `404` unknown index |
+//! | `PATCH /v1/indexes/{id}` | `{"deltas":[{"op":"upsert"\|"delete","side":"first"\|"second","uri":"…","statements":[…]}]}` (see [`minoan_kb::delta`]) | `202` `{"job":N,"index":"…"}` + `Location: /v1/jobs/{N}` — admits an **incremental delta-resolution** job: the artifact is loaded, only the delta's affected neighborhood is re-resolved (bit-identical to a from-scratch rebuild of the final KB state), and the file is atomically rewritten; `?wait=true` blocks until the patch job is terminal; `404` unknown index; `409` another patch for this index is still in flight; `400` malformed delta stream |
 //! | `GET /v1/indexes/{id}/match?entity=<iri>&k=<n>` | — | `200` the hot match path: `matches`, top-`k` `candidates` with scores, and `stage_timings_ms` whose build-once stages (`ingest`, `blocking`, `similarities`) are always `0` — the answer comes from the loaded artifact, never from re-running the pipeline; `404` unknown index or entity |
 //! | `GET /v1/metrics` | — | `200` Prometheus text (`text/plain; version=0.0.4`), see [`prometheus_metrics`] |
 //! | `POST /v1/shutdown` | optional `{"mode":"drain"\|"cancel"}` | `200` `{"shutting_down":true,"mode":"…"}`; the server drains and exits |
@@ -629,7 +630,7 @@ fn route(
         ("GET", ["v1", "metrics"]) => Response {
             status: 200,
             content_type: "text/plain; version=0.0.4",
-            body: prometheus_metrics(queue).into_bytes(),
+            body: prometheus_metrics(queue, registry).into_bytes(),
             extra_headers: Vec::new(),
         },
         ("POST", ["v1", "shutdown"]) => {
@@ -698,6 +699,30 @@ fn route(
             Ok(body) => Response::json(200, &body),
             Err(rejection) => Response::index_error(&rejection),
         },
+        ("PATCH", ["v1", "indexes", id]) => {
+            let body = match Json::parse_bytes(&request.body) {
+                Ok(body) => body,
+                Err(e) => return Response::error(400, format!("bad patch body: {e}")),
+            };
+            match intake::index_patch(queue, registry, id, &body) {
+                Ok((job, index)) => {
+                    let mut response = Response::json(
+                        202,
+                        &Json::obj([("job", Json::num(job as f64)), ("index", Json::str(&index))]),
+                    );
+                    response
+                        .extra_headers
+                        .push(("Location", format!("/v1/jobs/{job}")));
+                    // `?wait=true` blocks the 202 until the patch job
+                    // ends, mirroring POST /v1/indexes?wait=true.
+                    if request.wants_wait() {
+                        let _ = intake::job_json(queue, job, true);
+                    }
+                    response
+                }
+                Err(rejection) => Response::index_error(&rejection),
+            }
+        }
         ("GET", ["v1", "indexes", id, "match"]) => {
             let entity = request.query_param("entity").unwrap_or("");
             let k = match request.query_param("k") {
@@ -720,7 +745,7 @@ fn route(
         (_, ["v1", "jobs"]) => method_not_allowed("GET, POST"),
         (_, ["v1", "jobs", _]) => method_not_allowed("GET, DELETE"),
         (_, ["v1", "indexes"]) => method_not_allowed("GET, POST"),
-        (_, ["v1", "indexes", _]) => method_not_allowed("GET, DELETE"),
+        (_, ["v1", "indexes", _]) => method_not_allowed("GET, DELETE, PATCH"),
         (_, ["v1", "indexes", _, "match"]) => method_not_allowed("GET"),
         (_, ["v1", "metrics"]) => method_not_allowed("GET"),
         (_, ["v1", "shutdown"]) => method_not_allowed("POST"),
@@ -856,6 +881,7 @@ fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
         201 => "Created",
+        202 => "Accepted",
         400 => "Bad Request",
         401 => "Unauthorized",
         404 => "Not Found",
@@ -928,8 +954,12 @@ pub(crate) fn reject_over_capacity(mut stream: TcpStream) {
 /// thread allotments, cumulative per-stage pipeline timings, admission
 /// estimate vs. measured RSS-delta totals, the process peak RSS, and —
 /// once the work-stealing pool is live — pool worker/steal/queue-depth
-/// counters including per-worker task counts.
-pub fn prometheus_metrics(queue: &JobQueue) -> String {
+/// counters including per-worker task counts. With an index registry
+/// live, the `minoan_index_*` family reports its cache: loaded entries,
+/// resident vs. budget bytes, and hit/miss/eviction/invalidation
+/// counters (invalidations are cache drops caused by `PATCH` rewrites,
+/// distinct from LRU budget evictions).
+pub fn prometheus_metrics(queue: &JobQueue, registry: Option<&IndexRegistry>) -> String {
     use std::fmt::Write as _;
     let stats = queue.stats();
     let mut out = String::new();
@@ -1108,6 +1138,55 @@ pub fn prometheus_metrics(queue: &JobQueue) -> String {
             );
         }
     }
+    if let Some(registry) = registry {
+        let (loaded, cached, budget, hits, misses, evictions, invalidations) =
+            registry.stats_counts();
+        let index_gauges = [
+            (
+                "minoan_index_loaded",
+                "Index artifacts currently loaded in the registry cache.",
+                loaded as f64,
+            ),
+            (
+                "minoan_index_cached_bytes",
+                "Resident bytes of loaded index artifacts (file size as the proxy).",
+                cached as f64,
+            ),
+            (
+                "minoan_index_cache_budget_bytes",
+                "Byte budget of the loaded-index LRU cache.",
+                budget as f64,
+            ),
+        ];
+        for (name, help, value) in index_gauges {
+            metric(&mut out, "gauge", name, help, value);
+        }
+        let index_counters = [
+            (
+                "minoan_index_cache_hits_total",
+                "Match queries answered from an already-loaded artifact.",
+                hits as f64,
+            ),
+            (
+                "minoan_index_cache_misses_total",
+                "Match queries that had to read the artifact from disk.",
+                misses as f64,
+            ),
+            (
+                "minoan_index_cache_evictions_total",
+                "Loaded artifacts dropped by LRU byte-budget pressure.",
+                evictions as f64,
+            ),
+            (
+                "minoan_index_cache_invalidations_total",
+                "Loaded artifacts dropped because a PATCH rewrote the file.",
+                invalidations as f64,
+            ),
+        ];
+        for (name, help, value) in index_counters {
+            metric(&mut out, "counter", name, help, value);
+        }
+    }
     out
 }
 
@@ -1151,7 +1230,11 @@ mod tests {
     #[test]
     fn metrics_render_all_families_for_an_empty_queue() {
         let queue = JobQueue::new(2, 3, 64 << 20);
-        let text = prometheus_metrics(&queue);
+        let text = prometheus_metrics(&queue, None);
+        assert!(
+            !text.contains("minoan_index_"),
+            "no index family without a registry"
+        );
         for family in [
             "minoan_jobs_queued 0",
             "minoan_jobs_running 0",

@@ -298,6 +298,12 @@ pub(crate) fn shutdown(queue: &JobQueue, flag: &CancelToken, mode: ShutdownMode)
 /// does not pass one.
 pub(crate) const DEFAULT_MATCH_K: usize = 10;
 
+/// Largest accepted `k` of a match query. The candidate lists an
+/// artifact stores are capped (`max_top_neighbors`) far below this, so
+/// a bigger `k` cannot produce more answers — it only lets clients ask
+/// the server to build pointlessly large response bodies.
+pub(crate) const MAX_MATCH_K: usize = 1000;
+
 /// Why an index operation failed, with enough structure for each
 /// front-end to pick its status code; the unified error body comes from
 /// [`IndexRejection::to_error_body`], so both protocols emit the same
@@ -412,6 +418,61 @@ pub(crate) fn index_build(
     Ok((id, name))
 }
 
+/// `PATCH /v1/indexes/{id}` / op `index-patch`: parse the delta stream
+/// (the [`minoan_kb::delta`] wire schema, `{"deltas":[…]}`) and admit
+/// an incremental re-resolution job through the supervised queue. The
+/// job loads the artifact, applies the ops with O(delta) re-resolution,
+/// and atomically rewrites the file; the daemon's completion hook then
+/// drops the stale cached copy. One patch per index at a time: a second
+/// PATCH while one is queued or running is a `409` — two writers would
+/// race on the same artifact file.
+pub(crate) fn index_patch(
+    queue: &JobQueue,
+    registry: Option<&IndexRegistry>,
+    id: &str,
+    body: &Json,
+) -> Result<(JobId, String), IndexRejection> {
+    let registry = need_registry(registry)?;
+    let path = registry.path_for(id).map_err(IndexRejection::from)?;
+    let ops = minoan_kb::delta::ops_from_json(body)
+        .map_err(|e| IndexRejection::BadRequest(format!("bad delta stream: {e}")))?;
+    if ops.is_empty() {
+        return Err(IndexRejection::BadRequest(
+            "the delta stream is empty; send at least one op".into(),
+        ));
+    }
+    if !path.exists() {
+        return Err(IndexRejection::NotFound(format!("no such index {id:?}")));
+    }
+    if queue.patch_in_flight(id) {
+        return Err(IndexRejection::Conflict(format!(
+            "a patch for index {id:?} is already queued or running; wait for it first"
+        )));
+    }
+    let spec = JobSpec {
+        name: format!("{id}:patch"),
+        input: crate::manifest::JobInput::IndexPatch {
+            id: id.to_string(),
+            path,
+            ops,
+        },
+        truth: None,
+        theta: None,
+        candidates_k: None,
+        purge_blocks: None,
+        timeout_ms: None,
+        max_retries: None,
+        persist: None,
+    };
+    let job = queue.submit(spec).map_err(|e| match e {
+        SubmitError::Closed => IndexRejection::Conflict(e.to_string()),
+        SubmitError::Overloaded(detail) => {
+            IndexRejection::Overloaded(format!("overloaded: {detail}"))
+        }
+    })?;
+    Ok((job, id.to_string()))
+}
+
 /// `GET /v1/indexes` / op `index-list`: every persisted index plus the
 /// loaded-cache telemetry.
 pub(crate) fn index_list(registry: Option<&IndexRegistry>) -> Result<Json, IndexRejection> {
@@ -484,6 +545,11 @@ pub(crate) fn index_match(
     }
     if k == 0 {
         return Err(IndexRejection::BadRequest("`k` must be at least 1".into()));
+    }
+    if k > MAX_MATCH_K {
+        return Err(IndexRejection::BadRequest(format!(
+            "`k` must be at most {MAX_MATCH_K}, got {k}"
+        )));
     }
     let t_load = Instant::now();
     let artifact = registry.load(id).map_err(IndexRejection::from)?;

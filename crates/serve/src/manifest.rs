@@ -71,6 +71,19 @@ pub enum JobInput {
         /// Second KB path.
         second: PathBuf,
     },
+    /// An incremental patch of a persisted index artifact
+    /// (`PATCH /v1/indexes/{id}`). Like [`JobSpec::persist`], this is an
+    /// *internal* input set by the serving layer — the manifest wire
+    /// schema never parses it, so clients cannot aim patches at
+    /// arbitrary filesystem paths.
+    IndexPatch {
+        /// The index id (registry key, also the artifact file stem).
+        id: String,
+        /// The artifact file to patch.
+        path: PathBuf,
+        /// The delta stream to apply, in order.
+        ops: Vec<minoan_kb::DeltaOp>,
+    },
 }
 
 /// One resolution job: a KB pair plus optional parameter overrides.
@@ -179,6 +192,12 @@ impl JobSpec {
                 let size = |p: &PathBuf| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
                 (size(first) + size(second)) * FILE_FOOTPRINT_FACTOR
             }
+            JobInput::IndexPatch { path, .. } => {
+                // The artifact is a flat serialization of the loaded
+                // structures, so resident ≈ file size; ×3 covers the
+                // loaded copy, the patch scratch and the re-encode.
+                std::fs::metadata(path).map(|m| m.len()).unwrap_or(0) * 3
+            }
         }
     }
 
@@ -191,6 +210,7 @@ impl JobSpec {
         match &self.input {
             JobInput::Synthetic { kind, .. } => kind.name(),
             JobInput::Files { .. } => "file",
+            JobInput::IndexPatch { .. } => "patch",
         }
     }
 }
@@ -442,6 +462,13 @@ fn job_to_json(job: &JobSpec) -> Json {
         JobInput::Files { first, second } => {
             fields.push(("first".into(), Json::str(first.display().to_string())));
             fields.push(("second".into(), Json::str(second.display().to_string())));
+        }
+        JobInput::IndexPatch { id, ops, .. } => {
+            // Internal input: reported for observability (job listings),
+            // never re-parsed — `job_from_json` treats these fields as
+            // unknown, exactly like `persist`.
+            fields.push(("index_patch".into(), Json::str(id)));
+            fields.push(("delta_ops".into(), Json::num(ops.len() as f64)));
         }
     }
     if let Some(truth) = &job.truth {

@@ -488,8 +488,12 @@ enum Claim {
     /// Run this job with the given thread allotment.
     Run { id: JobId, allot: usize },
     /// The job was flipped to `Cancelled` pre-dispatch (fleet-level
-    /// cancel); the stored report's clone still goes to `on_done`.
-    Flipped { report: Box<JobReport> },
+    /// cancel); the stored report's clone still goes to `on_done`,
+    /// which also wants the spec it belonged to.
+    Flipped {
+        spec: Box<JobSpec>,
+        report: Box<JobReport>,
+    },
     /// Queue closed and drained: the worker exits.
     Exit,
 }
@@ -881,6 +885,18 @@ impl JobQueue {
         self.stats_of(&self.lock())
     }
 
+    /// Whether a patch for index `index_id` is queued or running. The
+    /// daemon's 409-conflict check: two concurrent patches against the
+    /// same artifact would race on the file, so the second is refused
+    /// at intake until the first reaches a terminal phase.
+    pub fn patch_in_flight(&self, index_id: &str) -> bool {
+        let guard = self.lock();
+        guard.entries.iter().any(|e| {
+            !matches!(e.phase, Phase::Done(_))
+                && matches!(&e.spec.input, JobInput::IndexPatch { id, .. } if id == index_id)
+        })
+    }
+
     fn stats_of(&self, guard: &QueueInner) -> QueueStats {
         let mut stats = QueueStats {
             admitted_bytes: guard.in_flight_bytes,
@@ -928,17 +944,20 @@ impl JobQueue {
     /// [`JobQueue::slots`] of these concurrently. `fleet_cancel` is the
     /// coarse batch-mode token (stop dispatching); per-job cancellation
     /// goes through [`JobQueue::cancel`]. `on_done` fires once per
-    /// terminal report, in completion order, outside the queue lock.
+    /// terminal report, in completion order, outside the queue lock; it
+    /// receives the spec too, so callers with post-completion side
+    /// effects (the daemon invalidating a patched index's cache entry)
+    /// can see what kind of job finished.
     pub fn worker(
         &self,
         opts: &ServeOptions,
         fleet_cancel: &CancelToken,
-        on_done: &(impl Fn(&JobReport) + Sync),
+        on_done: &(impl Fn(&JobSpec, &JobReport) + Sync),
     ) {
         loop {
             match self.claim(fleet_cancel) {
                 Claim::Exit => return,
-                Claim::Flipped { report } => on_done(&report),
+                Claim::Flipped { spec, report } => on_done(&spec, &report),
                 Claim::Run { id, allot } => {
                     let (spec, estimate, raw_estimate, job_cancel, timeout) = {
                         let guard = self.lock();
@@ -1027,7 +1046,7 @@ impl JobQueue {
                     drop(guard);
                     self.admit.notify_all();
                     self.done.notify_all();
-                    on_done(&report);
+                    on_done(&spec, &report);
                 }
             }
         }
@@ -1050,10 +1069,12 @@ impl JobQueue {
                 continue;
             };
             if fleet_cancel.is_cancelled() {
+                let spec = guard.entries[id].spec.clone();
                 let report = guard.flip_queued_to_cancelled(id);
                 drop(guard);
                 self.done.notify_all();
                 return Claim::Flipped {
+                    spec: Box::new(spec),
                     report: Box::new(report),
                 };
             }
@@ -1170,7 +1191,7 @@ pub(crate) fn resolve_fleet_knobs(
 
 /// Runs every job of `manifest` and returns the fleet report.
 pub fn run_batch(manifest: &Manifest, opts: &ServeOptions) -> ServeReport {
-    run_batch_streaming(manifest, opts, &CancelToken::new(), |_| {})
+    run_batch_streaming(manifest, opts, &CancelToken::new(), |_, _| {})
 }
 
 /// Like [`run_batch`], but streaming: `on_done` is invoked once per job
@@ -1182,7 +1203,7 @@ pub fn run_batch_streaming(
     manifest: &Manifest,
     opts: &ServeOptions,
     cancel: &CancelToken,
-    on_done: impl Fn(&JobReport) + Sync,
+    on_done: impl Fn(&JobSpec, &JobReport) + Sync,
 ) -> ServeReport {
     let t0 = Instant::now();
     let (slots, threads, budget_bytes) = resolve_fleet_knobs(
@@ -1399,6 +1420,9 @@ fn execute(
     // transient infrastructure failure, retried under the job's budget.
     minoan_exec::faults::point("serve.job.execute")
         .map_err(|e| JobEnd::transient(format!("execute fault: {e}")))?;
+    if let JobInput::IndexPatch { path, ops, .. } = &spec.input {
+        return execute_patch(spec, path, ops, exec, cancel);
+    }
     let config = spec.config(&opts.base);
     let matcher =
         MinoanEr::new(config.clone()).map_err(|e| JobEnd::permanent(format!("bad config: {e}")))?;
@@ -1444,6 +1468,45 @@ fn execute(
     Ok(report)
 }
 
+/// Runs one incremental delta patch against a persisted index: load the
+/// artifact (`store.artifact.read` fault site), apply the ops through
+/// [`minoan_core::delta`]'s O(delta) re-resolution, persist the patched
+/// artifact atomically (`core.delta.apply` fault site fires *before*
+/// the temp-file/rename write, so a crash leaves the old artifact fully
+/// intact). The report's matches are the patched matching, so a patch
+/// job fingerprints exactly like a from-scratch rebuild of the same
+/// final KB state.
+fn execute_patch(
+    spec: &JobSpec,
+    path: &std::path::Path,
+    ops: &[minoan_kb::DeltaOp],
+    exec: &Executor,
+    cancel: &CancelToken,
+) -> Result<JobReport, JobEnd> {
+    use minoan_kb::ArtifactError;
+    let mut artifact = minoan_core::IndexArtifact::read_from(path).map_err(|e| match e {
+        // An I/O error (or injected fault) may clear up; a corrupt or
+        // wrong-version file fails identically on every attempt.
+        ArtifactError::Io(e) => {
+            JobEnd::transient(format!("cannot read index {}: {e}", path.display()))
+        }
+        other => JobEnd::permanent(format!("cannot read index {}: {other}", path.display())),
+    })?;
+    let delta = artifact
+        .apply_delta(ops, exec, cancel)
+        .map_err(|Cancelled| JobEnd::Cancelled)?;
+    artifact
+        .persist_patch(path)
+        .map_err(|e| JobEnd::transient(format!("cannot persist patched index: {e}")))?;
+    let mut report = JobReport::empty(&spec.name, JobStatus::Ok);
+    report.matches = artifact.matched_uri_pairs();
+    report.h1_matches = delta.h1_matches;
+    report.h2_matches = delta.h2_matches;
+    report.h3_matches = delta.h3_matches;
+    report.h4_removed = delta.h4_removed;
+    Ok(report)
+}
+
 /// Loads the KB pair (and ground truth, if any) for one job.
 fn load_input(
     spec: &JobSpec,
@@ -1467,6 +1530,9 @@ fn load_input(
                 None => None,
             };
             Ok((pair, truth))
+        }
+        JobInput::IndexPatch { .. } => {
+            unreachable!("patch jobs short-circuit to execute_patch before input loading")
         }
     }
 }
@@ -1613,7 +1679,7 @@ mod tests {
             &small_manifest(),
             &ServeOptions::default(),
             &CancelToken::new(),
-            |job| seen.lock().unwrap().push(job.name.clone()),
+            |_, job| seen.lock().unwrap().push(job.name.clone()),
         );
         let mut seen = seen.into_inner().unwrap();
         seen.sort();
@@ -1657,8 +1723,12 @@ mod tests {
     fn cancellation_skips_undispatched_jobs() {
         let cancel = CancelToken::new();
         cancel.cancel();
-        let report =
-            run_batch_streaming(&small_manifest(), &ServeOptions::default(), &cancel, |_| {});
+        let report = run_batch_streaming(
+            &small_manifest(),
+            &ServeOptions::default(),
+            &cancel,
+            |_, _| {},
+        );
         assert_eq!(report.ok_count(), 0);
         assert!(report.jobs.iter().all(|j| j.status == JobStatus::Cancelled));
     }
@@ -1834,7 +1904,7 @@ mod tests {
         let fleet = CancelToken::new();
         std::thread::scope(|scope| {
             for _ in 0..2 {
-                scope.spawn(|| queue.worker(&opts, &fleet, &|_| {}));
+                scope.spawn(|| queue.worker(&opts, &fleet, &|_, _| {}));
             }
             // wait() from outside the worker pool, while workers run.
             let ra = queue.wait(a).expect("known id");
@@ -1910,7 +1980,7 @@ mod tests {
         let opts = ServeOptions::default();
         let fleet = CancelToken::new();
         std::thread::scope(|scope| {
-            scope.spawn(|| queue.worker(&opts, &fleet, &|_| {}));
+            scope.spawn(|| queue.worker(&opts, &fleet, &|_, _| {}));
             let report = queue.wait(id).expect("known id");
             assert_eq!(report.status, JobStatus::Ok);
             queue.close();
@@ -1960,7 +2030,7 @@ mod tests {
         let fleet = CancelToken::new();
         queue.close();
         std::thread::scope(|scope| {
-            scope.spawn(|| queue.worker(opts, &fleet, &|_| {}));
+            scope.spawn(|| queue.worker(opts, &fleet, &|_, _| {}));
         });
     }
 

@@ -17,9 +17,10 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use minoaner::core::{IndexArtifact, MinoanEr};
 use minoaner::datagen::DatasetKind;
-use minoaner::exec::faults;
-use minoaner::kb::Json;
+use minoaner::exec::{faults, Executor};
+use minoaner::kb::{DeltaOp, Json, KbBuilder, KbPair, KbSide, Object};
 use minoaner::serve::{
     run_http, CancelToken, HttpOptions, JobInput, JobQueue, JobSpec, JobStatus, QueueStats,
     ServeOptions,
@@ -131,7 +132,7 @@ fn drain(queue: &JobQueue, opts: &ServeOptions) -> QueueStats {
     let fleet = CancelToken::new();
     std::thread::scope(|scope| {
         for _ in 0..queue.slots() {
-            scope.spawn(|| queue.worker(opts, &fleet, &|_| {}));
+            scope.spawn(|| queue.worker(opts, &fleet, &|_, _| {}));
         }
     });
     queue.stats()
@@ -538,6 +539,138 @@ fn connection_cap_rejects_excess_connections_with_503() {
         }
         http.shutdown();
     });
+}
+
+/// Builds a tiny two-sided pair, runs the pipeline, and persists the
+/// artifact into the scratch dir — the victim for patch-fault tests.
+fn persisted_artifact(scratch: &ScratchDir, id: &str) -> std::path::PathBuf {
+    let mut a = KbBuilder::new("E1");
+    let mut b = KbBuilder::new("E2");
+    for i in 0..6 {
+        a.add_literal(&format!("a:{i}"), "name", &format!("chaos specimen {i}"));
+        b.add_literal(&format!("b:{i}"), "label", &format!("chaos specimen {i}"));
+    }
+    let pair = KbPair::new(a.finish(), b.finish());
+    let matcher = MinoanEr::with_defaults();
+    let indexed = matcher
+        .run_cancellable_indexed(&pair, &Executor::sequential(), &CancelToken::new())
+        .unwrap();
+    let artifact = IndexArtifact::from_run(id, &pair, indexed, matcher.config());
+    let path = scratch.0.join(format!("{id}.idx"));
+    artifact.write_to(&path).unwrap();
+    path
+}
+
+/// A patch job aimed at a persisted artifact — the internal input the
+/// HTTP `PATCH /v1/indexes/{id}` route builds.
+fn patch_spec(id: &str, path: std::path::PathBuf, ops: Vec<DeltaOp>) -> JobSpec {
+    JobSpec {
+        name: format!("{id}:patch"),
+        input: JobInput::IndexPatch {
+            id: id.into(),
+            path,
+            ops,
+        },
+        truth: None,
+        theta: None,
+        candidates_k: None,
+        purge_blocks: None,
+        timeout_ms: None,
+        max_retries: None,
+        persist: None,
+    }
+}
+
+fn rename_op() -> DeltaOp {
+    DeltaOp::Upsert {
+        side: KbSide::First,
+        uri: "a:0".into(),
+        statements: vec![("name".into(), Object::Literal("renamed specimen 0".into()))],
+    }
+}
+
+/// An injected fault at `core.delta.apply` — the site guarding the
+/// patched artifact's persist — must leave the on-disk artifact
+/// **byte-identical** to the pre-patch file (fully old), and a retry
+/// of the same patch must land it completely (fully new). The patch
+/// never tears: persist goes through a temp file + atomic rename.
+#[test]
+fn mid_patch_fault_leaves_the_artifact_fully_old_then_a_retry_lands_it() {
+    let _lock = locked();
+    let _disarm = DisarmGuard;
+    let scratch = ScratchDir::new("patch-apply");
+    let path = persisted_artifact(&scratch, "victim");
+    let original = std::fs::read(&path).unwrap();
+    let opts = ServeOptions::default();
+
+    // No retry budget: the injected persist failure surfaces as a
+    // plain transient failure and the file must be fully old.
+    let plan = format!("seed:{},core.delta.apply:1:io:1", ci_seed());
+    faults::arm(&plan).unwrap();
+    let queue = JobQueue::new(1, 1, 0);
+    queue
+        .submit(patch_spec("victim", path.clone(), vec![rename_op()]))
+        .unwrap();
+    drain(&queue, &opts);
+    let failed = queue.into_reports().remove(0);
+    let JobStatus::Failed(err) = &failed.status else {
+        panic!("armed patch should fail, got {:?}", failed.status);
+    };
+    assert!(err.contains("injected fault"), "unexpected error: {err}");
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        original,
+        "a failed patch must leave the artifact byte-identical (fully old)"
+    );
+
+    // Re-arm and grant one retry: the first attempt eats the fault,
+    // the retry re-reads the (untouched) artifact and patches clean.
+    faults::arm(&plan).unwrap();
+    let queue = JobQueue::new(1, 1, 0);
+    let mut spec = patch_spec("victim", path.clone(), vec![rename_op()]);
+    spec.max_retries = Some(1);
+    queue.submit(spec).unwrap();
+    let stats = drain(&queue, &opts);
+    let retried = queue.into_reports().remove(0);
+    assert_eq!(retried.status, JobStatus::Ok, "retry must recover");
+    assert_eq!(stats.retries_scheduled, 1);
+    let patched = IndexArtifact::read_from(&path).unwrap();
+    assert_eq!(
+        patched.meta().content_version,
+        2,
+        "the landed patch must be fully new"
+    );
+}
+
+/// An injected fault at `store.artifact.read` — the artifact open path
+/// — fails the patch attempt *before* any mutation, so the file stays
+/// fully old; with retry budget the patch lands on the second attempt.
+#[test]
+fn artifact_read_fault_during_a_patch_is_transient_and_recovers() {
+    let _lock = locked();
+    let _disarm = DisarmGuard;
+    let scratch = ScratchDir::new("patch-read");
+    let path = persisted_artifact(&scratch, "victim");
+    let original = std::fs::read(&path).unwrap();
+    let opts = ServeOptions::default();
+
+    let plan = format!("seed:{},store.artifact.read:1:io:1", ci_seed());
+    faults::arm(&plan).unwrap();
+    let queue = JobQueue::new(1, 1, 0);
+    let mut spec = patch_spec("victim", path.clone(), vec![rename_op()]);
+    spec.max_retries = Some(1);
+    queue.submit(spec).unwrap();
+    let stats = drain(&queue, &opts);
+    let report = queue.into_reports().remove(0);
+    assert_eq!(report.status, JobStatus::Ok, "retry must recover");
+    assert_eq!(stats.retries_scheduled, 1);
+    let patched = IndexArtifact::read_from(&path).unwrap();
+    assert_eq!(patched.meta().content_version, 2);
+    assert_ne!(
+        std::fs::read(&path).unwrap(),
+        original,
+        "the landed patch must actually rewrite the artifact"
+    );
 }
 
 /// The fault plan itself is deterministic: same seed, site and hit
