@@ -26,8 +26,16 @@
 //!                 [--mutate-seed N] [--ops N]
 //! minoaner demo   [restaurant|rexa|bbc|yago] [--scale F] [--seed N]
 //!                 [--executor sequential|rayon|pool] [--threads N]
+//! minoaner trace  <job-id> --connect <addr>
 //! minoaner stats  <kb.(tsv|nt)>
 //! ```
+//!
+//! Every subcommand also accepts the global `--log-level
+//! error|warn|info|debug` flag, which sets the console threshold of the
+//! structured logging layer (`minoan_obs`; the `MINOAN_LOG` environment
+//! variable is the same knob, the flag wins). `trace` asks a running
+//! daemon (`--connect` its `--listen` address) for a job's span trees —
+//! one per attempt — over the line-JSON `trace` verb.
 //!
 //! `--truth` is a 2-column TSV of matching URIs (first-KB URI, second-KB
 //! URI); with it the tool reports precision/recall/F1. `--executor`
@@ -121,7 +129,8 @@ use minoan_serve::{
 use minoan_text::{TokenizedPair, Tokenizer};
 
 fn usage() -> ! {
-    eprintln!(
+    minoan_obs::error!(
+        "cli",
         "usage:\n  minoaner match <first> <second> [--method minoaner|bsl|sigma|paris] \
          [--truth pairs.tsv] [--json] [--theta F] [--k N] [--no-purge] \
          [--executor sequential|rayon|pool] [--threads N]\n  \
@@ -145,7 +154,9 @@ fn usage() -> ! {
          [--mutate-seed N] [--ops N]\n  \
          minoaner demo [restaurant|rexa|bbc|yago] [--scale F] [--seed N] \
          [--executor sequential|rayon|pool] [--threads N]\n  \
-         minoaner stats <kb>"
+         minoaner trace <job-id> --connect addr:port\n  \
+         minoaner stats <kb>\n\
+         global: [--log-level error|warn|info|debug]"
     );
     exit(2);
 }
@@ -163,7 +174,7 @@ fn parse_executor(value: Option<&String>, config: &mut MinoanConfig) {
 fn load_kb(path: &str, name: &str, config: &MinoanConfig) -> KnowledgeBase {
     minoan_serve::load_kb_file(std::path::Path::new(path), name, config, &config.executor())
         .unwrap_or_else(|e| {
-            eprintln!("{e}");
+            minoan_obs::error!("cli", "{e}");
             exit(1);
         })
 }
@@ -172,7 +183,7 @@ fn load_kb(path: &str, name: &str, config: &MinoanConfig) -> KnowledgeBase {
 /// naming URIs absent from the pair are skipped).
 fn load_truth(path: &str, pair: &KbPair) -> GroundTruth {
     minoan_serve::load_truth_file(std::path::Path::new(path), pair).unwrap_or_else(|e| {
-        eprintln!("{e}");
+        minoan_obs::error!("cli", "{e}");
         exit(1);
     })
 }
@@ -221,7 +232,8 @@ fn report(matching: &Matching, pair: &KbPair, truth: Option<&GroundTruth>, json:
         }
         if let Some(t) = truth {
             let q = MatchQuality::evaluate(matching, t);
-            eprintln!(
+            minoan_obs::info!(
+                "cli.match",
                 "precision {:.2}%  recall {:.2}%  F1 {:.2}%  ({} matches)",
                 q.precision() * 100.0,
                 q.recall() * 100.0,
@@ -229,7 +241,7 @@ fn report(matching: &Matching, pair: &KbPair, truth: Option<&GroundTruth>, json:
                 matching.len()
             );
         } else {
-            eprintln!("{} matches", matching.len());
+            minoan_obs::info!("cli.match", "{} matches", matching.len());
         }
     }
 }
@@ -244,7 +256,7 @@ fn run_method(
         "minoaner" => {
             MinoanEr::new(config.clone())
                 .unwrap_or_else(|e| {
-                    eprintln!("bad config: {e}");
+                    minoan_obs::error!("cli", "bad config: {e}");
                     exit(1);
                 })
                 .run(pair)
@@ -252,7 +264,10 @@ fn run_method(
         }
         "bsl" => {
             let Some(t) = truth else {
-                eprintln!("--method bsl needs --truth (BSL is oracle-tuned by definition)");
+                minoan_obs::error!(
+                    "cli",
+                    "--method bsl needs --truth (BSL is oracle-tuned by definition)"
+                );
                 exit(1);
             };
             let art = build_blocks(pair, config);
@@ -278,7 +293,7 @@ fn run_method(
         }
         "paris" => run_paris(pair, ParisConfig::default()),
         other => {
-            eprintln!("unknown method {other:?}");
+            minoan_obs::error!("cli", "unknown method {other:?}");
             exit(2);
         }
     }
@@ -288,29 +303,33 @@ fn run_method(
 /// `serve` so both front-ends narrate the fleet identically.
 fn print_job_completion(job: &JobReport) {
     match (&job.status.is_ok(), &job.quality) {
-        (true, Some(q)) => eprintln!(
-            "  {}: ok, {} matches, F1 {:.2}%, {:.0} ms on {} threads",
+        (true, Some(q)) => minoan_obs::info!(
+            "serve.job",
+            "{}: ok, {} matches, F1 {:.2}%, {:.0} ms on {} threads",
             job.name,
             job.matches.len(),
             q.f1() * 100.0,
             job.wall.as_secs_f64() * 1e3,
             job.threads
         ),
-        (true, None) => eprintln!(
-            "  {}: ok, {} matches, {:.0} ms on {} threads",
+        (true, None) => minoan_obs::info!(
+            "serve.job",
+            "{}: ok, {} matches, {:.0} ms on {} threads",
             job.name,
             job.matches.len(),
             job.wall.as_secs_f64() * 1e3,
             job.threads
         ),
-        _ => eprintln!("  {}: {}", job.name, job.status.label()),
+        _ => minoan_obs::info!("serve.job", "{}: {}", job.name, job.status.label()),
     }
     // The admission feedback signal: how far the static footprint
     // estimate was from the measured RSS growth (only meaningful when
     // this job actually raised the process high-water mark).
     if let (Some(ratio), Some(delta)) = (job.rss_estimate_ratio(), job.peak_rss_delta_bytes) {
-        eprintln!(
-            "    admission estimate {:.1} MiB vs measured RSS delta {:.1} MiB (x{ratio:.2})",
+        minoan_obs::info!(
+            "serve.job",
+            "{}: admission estimate {:.1} MiB vs measured RSS delta {:.1} MiB (x{ratio:.2})",
+            job.name,
             job.estimated_bytes as f64 / (1 << 20) as f64,
             delta as f64 / (1 << 20) as f64,
         );
@@ -337,7 +356,8 @@ fn print_fleet_report(report: &minoan_serve::ServeReport, json: bool, pairs: boo
                 );
             }
         }
-        eprintln!(
+        minoan_obs::info!(
+            "serve.fleet",
             "fleet done: {}/{} ok, peak {} concurrent, {:.0} ms",
             report.ok_count(),
             report.jobs.len(),
@@ -410,7 +430,10 @@ fn index_build(args: &[String]) {
         usage()
     };
     if !minoan_serve::registry::valid_id(name) {
-        eprintln!("invalid index name {name:?} (letters, digits, `.`/`_`/`-` only)");
+        minoan_obs::error!(
+            "cli.index",
+            "invalid index name {name:?} (letters, digits, `.`/`_`/`-` only)"
+        );
         exit(2);
     }
     let pair = match (dataset, files.as_slice()) {
@@ -422,7 +445,7 @@ fn index_build(args: &[String]) {
         _ => usage(),
     };
     let matcher = MinoanEr::new(config).unwrap_or_else(|e| {
-        eprintln!("bad config: {e}");
+        minoan_obs::error!("cli", "bad config: {e}");
         exit(1);
     });
     let exec = matcher.config().executor();
@@ -432,14 +455,14 @@ fn index_build(args: &[String]) {
     let artifact = IndexArtifact::from_run(name, &pair, indexed, matcher.config());
     let dir = std::path::Path::new(dir);
     if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("cannot create {}: {e}", dir.display());
+        minoan_obs::error!("cli.index", "cannot create {}: {e}", dir.display());
         exit(1);
     }
     let path = dir.join(format!("{name}.{}", minoan_serve::registry::ARTIFACT_EXT));
     match artifact.write_to(&path) {
-        Ok(bytes) => eprintln!("wrote {} ({bytes} bytes)", path.display()),
+        Ok(bytes) => minoan_obs::info!("cli.index", "wrote {} ({bytes} bytes)", path.display()),
         Err(e) => {
-            eprintln!("cannot write {}: {e}", path.display());
+            minoan_obs::error!("cli.index", "cannot write {}: {e}", path.display());
             exit(1);
         }
     }
@@ -451,7 +474,7 @@ fn index_build(args: &[String]) {
 fn index_inspect(args: &[String]) {
     let [path] = args else { usage() };
     let meta = IndexArtifact::read_meta(std::path::Path::new(path)).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
+        minoan_obs::error!("cli.index", "cannot read {path}: {e}");
         exit(1);
     });
     println!("{}", meta.to_json().pretty());
@@ -482,7 +505,7 @@ fn index_query(args: &[String]) {
     let Some(path) = path else { usage() };
     let t0 = std::time::Instant::now();
     let artifact = IndexArtifact::read_from(std::path::Path::new(path)).unwrap_or_else(|e| {
-        eprintln!("cannot load {path}: {e}");
+        minoan_obs::error!("cli.index", "cannot load {path}: {e}");
         exit(1);
     });
     let load_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -491,7 +514,7 @@ fn index_query(args: &[String]) {
         None if sample => match artifact.matched_uri_pairs().into_iter().next() {
             Some((first, _)) => first,
             None => {
-                eprintln!("index has no matched pairs to sample");
+                minoan_obs::error!("cli.index", "index has no matched pairs to sample");
                 exit(1);
             }
         },
@@ -499,7 +522,10 @@ fn index_query(args: &[String]) {
     };
     let t1 = std::time::Instant::now();
     let Some(answer) = artifact.match_query(&entity, k) else {
-        eprintln!("entity {entity:?} is in neither KB of this index");
+        minoan_obs::error!(
+            "cli.index",
+            "entity {entity:?} is in neither KB of this index"
+        );
         exit(1);
     };
     let query_ms = t1.elapsed().as_secs_f64() * 1e3;
@@ -574,28 +600,28 @@ fn index_patch(args: &[String]) {
         std::io::stdin()
             .read_to_string(&mut buf)
             .unwrap_or_else(|e| {
-                eprintln!("cannot read deltas from stdin: {e}");
+                minoan_obs::error!("cli.index", "cannot read deltas from stdin: {e}");
                 exit(1);
             });
         buf
     } else {
         std::fs::read_to_string(deltas).unwrap_or_else(|e| {
-            eprintln!("cannot read {deltas}: {e}");
+            minoan_obs::error!("cli.index", "cannot read {deltas}: {e}");
             exit(1);
         })
     };
     let body = Json::parse(&raw).unwrap_or_else(|e| {
-        eprintln!("bad delta stream: {e}");
+        minoan_obs::error!("cli.index", "bad delta stream: {e}");
         exit(1);
     });
     let ops = minoan_kb::delta::ops_from_json(&body).unwrap_or_else(|e| {
-        eprintln!("bad delta stream: {e}");
+        minoan_obs::error!("cli.index", "bad delta stream: {e}");
         exit(1);
     });
     let path = std::path::Path::new(path);
     let t0 = std::time::Instant::now();
     let mut artifact = IndexArtifact::read_from(path).unwrap_or_else(|e| {
-        eprintln!("cannot load {}: {e}", path.display());
+        minoan_obs::error!("cli.index", "cannot load {}: {e}", path.display());
         exit(1);
     });
     let load_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -606,9 +632,9 @@ fn index_patch(args: &[String]) {
         .expect("no cancellation source in the CLI");
     let apply_ms = t1.elapsed().as_secs_f64() * 1e3;
     match artifact.persist_patch(path) {
-        Ok(bytes) => eprintln!("patched {} ({bytes} bytes)", path.display()),
+        Ok(bytes) => minoan_obs::info!("cli.index", "patched {} ({bytes} bytes)", path.display()),
         Err(e) => {
-            eprintln!("cannot persist {}: {e}", path.display());
+            minoan_obs::error!("cli.index", "cannot persist {}: {e}", path.display());
             exit(1);
         }
     }
@@ -679,7 +705,10 @@ fn datagen_cmd(args: &[String]) {
     }
     let Some(kind) = kind else { usage() };
     if !mutate {
-        eprintln!("datagen currently only supports --mutate (delta stream generation)");
+        minoan_obs::error!(
+            "cli",
+            "datagen currently only supports --mutate (delta stream generation)"
+        );
         exit(2);
     }
     let ops = minoan_datagen::mutate_stream(kind, seed, scale, mutate_seed, n_ops);
@@ -687,7 +716,20 @@ fn datagen_cmd(args: &[String]) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--log-level` is global: strip it wherever it appears so every
+    // subcommand accepts it uniformly. The flag wins over `MINOAN_LOG`.
+    while let Some(i) = args.iter().position(|a| a == "--log-level") {
+        let Some(raw) = args.get(i + 1) else { usage() };
+        match raw.parse::<minoan_obs::Level>() {
+            Ok(level) => minoan_obs::set_console_level(level),
+            Err(e) => {
+                minoan_obs::error!("cli", "{e}");
+                exit(2);
+            }
+        }
+        args.drain(i..i + 2);
+    }
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("match") => {
@@ -810,10 +852,11 @@ fn main() {
             };
             let manifest =
                 Manifest::load(std::path::Path::new(&manifest_path)).unwrap_or_else(|e| {
-                    eprintln!("{e}");
+                    minoan_obs::error!("cli", "{e}");
                     exit(1);
                 });
-            eprintln!(
+            minoan_obs::info!(
+                "serve.fleet",
                 "fleet: {} jobs, manifest {manifest_path}",
                 manifest.jobs.len()
             );
@@ -923,12 +966,12 @@ fn main() {
                 }
             }
             if listen.is_none() && listen_http.is_none() {
-                eprintln!("serve needs --listen and/or --listen-http");
+                minoan_obs::error!("cli", "serve needs --listen and/or --listen-http");
                 usage();
             }
             let bind = |addr: &str| {
                 std::net::TcpListener::bind(addr).unwrap_or_else(|e| {
-                    eprintln!("cannot listen on {addr}: {e}");
+                    minoan_obs::error!("cli", "cannot listen on {addr}: {e}");
                     exit(1);
                 })
             };
@@ -944,13 +987,17 @@ fn main() {
                 let addr = listener
                     .local_addr()
                     .expect("bound listener has an address");
-                eprintln!("daemon listening on {addr} (send {{\"op\":\"shutdown\"}} to stop)");
+                minoan_obs::info!(
+                    "serve",
+                    "daemon listening on {addr} (send {{\"op\":\"shutdown\"}} to stop)"
+                );
             }
             if let Some(listener) = &frontends.http {
                 let addr = listener
                     .local_addr()
                     .expect("bound listener has an address");
-                eprintln!(
+                minoan_obs::info!(
+                    "serve",
                     "HTTP listening on http://{addr}/v1/jobs ({}; POST /v1/shutdown to stop)",
                     if frontends.http_options.auth_token.is_some() {
                         "bearer auth required"
@@ -963,7 +1010,7 @@ fn main() {
             // final report (submission order, exactly like a batch run)
             // prints after a clean shutdown.
             let report = run_server(frontends, &opts, print_job_completion).unwrap_or_else(|e| {
-                eprintln!("daemon error: {e}");
+                minoan_obs::error!("serve", "daemon error: {e}");
                 exit(1);
             });
             print_fleet_report(&report, json, pairs);
@@ -1011,7 +1058,8 @@ fn main() {
                 }
             }
             let d = kind.generate_scaled(seed, scale);
-            eprintln!(
+            minoan_obs::info!(
+                "cli.demo",
                 "{}: |E1|={} |E2|={} ground truth {}  (executor {}, {} threads)",
                 d.name,
                 d.pair.first.entity_count(),
@@ -1022,25 +1070,28 @@ fn main() {
             );
             let out = MinoanEr::new(config)
                 .unwrap_or_else(|e| {
-                    eprintln!("bad config: {e}");
+                    minoan_obs::error!("cli", "bad config: {e}");
                     exit(1);
                 })
                 .run(&d.pair);
             let q = MatchQuality::evaluate(&out.matching, &d.truth);
-            eprintln!(
+            minoan_obs::info!(
+                "cli.demo",
                 "MinoanER: H1={} H2={} H3={} H4-removed={}",
                 out.report.h1_matches,
                 out.report.h2_matches,
                 out.report.h3_matches,
                 out.report.h4_removed
             );
-            eprintln!(
+            minoan_obs::info!(
+                "cli.demo",
                 "precision {:.2}%  recall {:.2}%  F1 {:.2}%",
                 q.precision() * 100.0,
                 q.recall() * 100.0,
                 q.f1() * 100.0
             );
         }
+        Some("trace") => trace_cmd(&args[1..]),
         Some("stats") => {
             let Some(path) = it.next() else { usage() };
             let kb = load_kb(path, "KB", &MinoanConfig::default());
@@ -1049,4 +1100,49 @@ fn main() {
         }
         _ => usage(),
     }
+}
+
+/// `minoaner trace <job-id> --connect <addr>`: ask a running daemon for
+/// one job's span trees (one per attempt) over the line-JSON `trace`
+/// verb and pretty-print the response.
+fn trace_cmd(args: &[String]) {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let mut id: Option<usize> = None;
+    let mut connect: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => connect = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            other if !other.starts_with('-') && id.is_none() => {
+                id = other.parse().ok().or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let (Some(id), Some(addr)) = (id, connect) else {
+        usage()
+    };
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap_or_else(|e| {
+        minoan_obs::error!("cli.trace", "cannot connect to {addr}: {e}");
+        exit(1);
+    });
+    let request = Json::obj([("op", Json::str("trace")), ("id", Json::num(id as f64))]);
+    if let Err(e) = stream.write_all((request.compact() + "\n").as_bytes()) {
+        minoan_obs::error!("cli.trace", "cannot send to {addr}: {e}");
+        exit(1);
+    }
+    let mut line = String::new();
+    if let Err(e) = BufReader::new(stream).read_line(&mut line) {
+        minoan_obs::error!("cli.trace", "no response from {addr}: {e}");
+        exit(1);
+    }
+    let response = Json::parse(line.trim()).unwrap_or_else(|e| {
+        minoan_obs::error!("cli.trace", "bad response from {addr}: {e}");
+        exit(1);
+    });
+    if response.get("ok") != Some(&Json::Bool(true)) {
+        minoan_obs::error!("cli.trace", "trace failed: {}", response.compact());
+        exit(1);
+    }
+    println!("{}", response.pretty());
 }

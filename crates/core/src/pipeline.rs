@@ -110,6 +110,13 @@ pub struct BlockingArtifacts {
     pub tokenize_time: Duration,
 }
 
+/// A debug-level pipeline-stage span; stage timings for the report are
+/// measured by their own `Instant` clocks, so observation and
+/// measurement never share state.
+fn stage_span(name: &'static str) -> minoan_obs::trace::Span {
+    minoan_obs::trace::span(minoan_obs::Level::Debug, name, String::new)
+}
+
 /// Builds the schema-agnostic blocking input (`BN`, `BT`) for a pair,
 /// running the block construction and purging statistics on the
 /// executor selected by `config`.
@@ -151,18 +158,32 @@ pub fn build_blocks_cancellable(
         let tokenizer = Tokenizer::default();
         cancel.checkpoint()?;
         let t_tok = Instant::now();
-        let tokens = TokenizedPair::build_with(pair, &tokenizer, exec);
+        let tokens = {
+            let _s = stage_span("stage.tokenize");
+            TokenizedPair::build_with(pair, &tokenizer, exec)
+        };
         let tokenize_time = t_tok.elapsed();
         cancel.checkpoint()?;
-        let names1 = entity_names_with(&pair.first, config.name_attrs_k, exec);
+        let (names1, names2) = {
+            let _s = stage_span("stage.names");
+            let names1 = entity_names_with(&pair.first, config.name_attrs_k, exec);
+            cancel.checkpoint()?;
+            let names2 = entity_names_with(&pair.second, config.name_attrs_k, exec);
+            (names1, names2)
+        };
         cancel.checkpoint()?;
-        let names2 = entity_names_with(&pair.second, config.name_attrs_k, exec);
+        let (bn, _) = {
+            let _s = stage_span("stage.name_blocking");
+            name_blocking_with(&names1, &names2, exec)
+        };
         cancel.checkpoint()?;
-        let (bn, _) = name_blocking_with(&names1, &names2, exec);
-        cancel.checkpoint()?;
-        let bt_raw = token_blocking_with(&tokens, exec);
+        let bt_raw = {
+            let _s = stage_span("stage.token_blocking");
+            token_blocking_with(&tokens, exec)
+        };
         let (bt, purge) = if config.purge_blocks {
             cancel.checkpoint()?;
+            let _s = stage_span("stage.purge");
             let (purged, report) = purge_with_exec(&bt_raw, config.purge_smoothing, exec);
             (purged, Some(report))
         } else {
@@ -375,6 +396,7 @@ impl MinoanEr {
         // Similarity index over the purged token blocks.
         cancel.checkpoint()?;
         let t0 = Instant::now();
+        let sim_span = stage_span("stage.similarities");
         let tn1 = top_neighbors_with(
             &pair.first,
             self.config.top_relations_n,
@@ -396,11 +418,13 @@ impl MinoanEr {
             exec,
         );
         report.timings.similarities = t0.elapsed();
+        drop(sim_span);
 
         // H1 ∨ H2 ∨ H3, then the H4 reciprocity filter — the phase the
         // delta engine re-runs against a patched index.
         let smaller = pair.smaller_side();
         let n_smaller = pair.kb(smaller).entity_count();
+        let match_span = stage_span("stage.matching");
         let phase = matching_phase(
             &artifacts.name_blocks,
             &idx,
@@ -410,6 +434,7 @@ impl MinoanEr {
             exec,
             cancel,
         )?;
+        drop(match_span);
         report.h1_matches = phase.h1_matches;
         report.h2_matches = phase.h2_matches;
         report.h3_matches = phase.h3_matches;

@@ -124,7 +124,7 @@ fn init_from_env() {
     ENV_INIT.call_once(|| {
         if let Ok(spec) = std::env::var("MINOAN_FAULTS") {
             if let Err(e) = install(&spec) {
-                eprintln!("ignoring malformed MINOAN_FAULTS: {e}");
+                minoan_obs::warn!("exec.faults", "ignoring malformed MINOAN_FAULTS: {e}");
             }
         }
     });

@@ -325,12 +325,19 @@ impl Executor {
             .collect()
     }
 
-    /// Dispatches a wave of index ranges to the backend.
+    /// Dispatches a wave of index ranges to the backend. Each wave is
+    /// a debug-level span in the trace collector (a disabled collector
+    /// reduces this to one relaxed atomic load); observation never
+    /// influences partitioning or merge order.
     fn run_wave<R, F>(&self, ranges: Vec<Range<usize>>, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(Range<usize>) -> R + Sync,
     {
+        let tasks = ranges.len();
+        let _wave = minoan_obs::trace::span(minoan_obs::Level::Debug, "exec.wave", || {
+            format!("{tasks} tasks on {}", self.kind.name())
+        });
         match self.kind {
             ExecutorKind::Pool => self.run_tasks_pool(ranges, f),
             ExecutorKind::Sequential | ExecutorKind::Rayon => Self::run_ranges(ranges, f),

@@ -436,7 +436,14 @@ static GLOBAL: OnceLock<WorkPool> = OnceLock::new();
 /// The process-wide pool, started on first use with
 /// [`default_workers`] workers.
 pub fn global() -> &'static WorkPool {
-    GLOBAL.get_or_init(|| WorkPool::new(default_workers()))
+    GLOBAL.get_or_init(|| {
+        let workers = default_workers();
+        minoan_obs::debug!(
+            "exec.pool",
+            "work-stealing pool started with {workers} workers"
+        );
+        WorkPool::new(workers)
+    })
 }
 
 /// Telemetry of the process-wide pool, or `None` if no pool-backed wave

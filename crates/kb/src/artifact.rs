@@ -186,6 +186,9 @@ impl ArtifactWriter {
     /// The write goes through a temp file in the same directory plus an
     /// atomic rename, so readers never observe a half-written artifact.
     pub fn write_to(self, path: &Path) -> io::Result<u64> {
+        let _span = minoan_obs::trace::span(minoan_obs::Level::Debug, "artifact.write", || {
+            path.display().to_string()
+        });
         let bytes = self.into_bytes();
         let tmp = path.with_extension("tmp");
         {
@@ -213,6 +216,9 @@ pub struct ArtifactFile {
 impl ArtifactFile {
     /// Reads and validates the artifact at `path`.
     pub fn open(path: &Path) -> Result<Self, ArtifactError> {
+        let _span = minoan_obs::trace::span(minoan_obs::Level::Debug, "artifact.read", || {
+            path.display().to_string()
+        });
         faults::point(READ_FAULT_SITE)?;
         let mut buf = Vec::new();
         std::fs::File::open(path)?.read_to_end(&mut buf)?;

@@ -45,6 +45,8 @@
 //! | `status` | optional `id`, optional `status` (phase or terminal-status label), optional `limit` | `{"ok":true,"accepting":B,"queued":N,"running":N,"done":N,"telemetry":{…},"jobs":[{"id":N,"name":"…","phase":"queued\|running\|done","status":"ok\|failed\|cancelled"?,"error":"…"?}]}` (`jobs` narrowed by the filters; with an index registry live, an `"indexes"` cache-telemetry object rides along) — `telemetry` is the live [`QueueStats`](crate::scheduler::QueueStats) view: admitted footprint vs. memory budget, thread allotments, per-status done counts, cumulative stage timings |
 //! | `cancel` | `id` | `{"ok":true,"id":N,"outcome":"cancelled\|cancelling\|done\|unknown"}` — `cancelled`: flipped before dispatch; `cancelling`: token set, the running job unwinds at its next checkpoint; `done`: already terminal, report unchanged |
 //! | `wait` | `id` | blocks until the job is terminal, then `{"ok":true,"id":N,"fingerprint":"…","report":{…}}` — `report` is [`JobReport::to_json`] with pairs, `fingerprint` the raw deterministic [`JobReport::fingerprint`] |
+//! | `events` | optional `from` (ring cursor, default `0`: everything still buffered), optional `job`, optional `level` (`error\|warn\|info\|debug`, default `info`), optional `wait` (block up to ~1 s for at least one new record) | `{"ok":true,"events":[{"seq","micros","level","name","job","trace","detail"}],"next":N,"dropped":N}` — poll with `from` set to the previous `next`; `dropped` counts ring records evicted before this cursor read them |
+//! | `trace` | `id` | `{"ok":true,"id":N,"name":"…","phase":"…","attempts":[{"trace":N,"spans":[…],"events":[…]}]}` — one assembled span tree per attempt (each retry runs under a fresh trace id), from whatever the bounded ring still retains |
 //! | `index-build` | `job`: a manifest job object; its `name` becomes the index id | `{"ok":true,"job":N,"index":"…"}` — the build runs through the job queue and persists an artifact under the registry directory; rebuilding an existing id is a `conflict` |
 //! | `index-list` | — | `{"ok":true,"indexes":[{"id":"…","file_bytes":N,"loaded":B}],"cache":{…}}` |
 //! | `index-inspect` | `index` | `{"ok":true,"id":"…",…}` — the artifact's metadata section, read without loading the full index |
@@ -78,6 +80,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use minoan_kb::Json;
+use minoan_obs::{trace, Level};
 
 use crate::http::HttpOptions;
 use crate::intake::{self, ShutdownMode};
@@ -196,6 +199,13 @@ pub fn run_server(
         if report.status.is_ok() {
             if let (JobInput::IndexPatch { id, .. }, Some(reg)) = (&spec.input, registry) {
                 reg.invalidate(id);
+                trace::emit_job(
+                    Level::Info,
+                    "index.patched",
+                    -1,
+                    0,
+                    format!("index={id:?} (stale cached copy dropped)"),
+                );
             }
         }
         on_done(report);
@@ -489,6 +499,44 @@ fn handle_request(
         "wait" => match required_id(&request) {
             Err(e) => error(e),
             Ok(id) => match intake::wait_json(queue, id) {
+                None => error(format!("unknown job id {id}")),
+                Some(body) => ok_with(body),
+            },
+        },
+        "events" => {
+            let from = match request.get("from") {
+                None => 0u64,
+                Some(v) => match v.as_usize() {
+                    Some(n) => n as u64,
+                    None => return error("`from` must be a non-negative integer".to_string()),
+                },
+            };
+            let job = match request.get("job") {
+                None => None,
+                Some(v) => match v.as_usize() {
+                    Some(n) => Some(n as i64),
+                    None => return error("`job` must be a non-negative integer".to_string()),
+                },
+            };
+            let level = match request.get("level").and_then(Json::as_str) {
+                None => Level::Info,
+                Some(raw) => match raw.parse::<Level>() {
+                    Ok(level) => level,
+                    Err(e) => return error(e),
+                },
+            };
+            let wait = request.get("wait") == Some(&Json::Bool(true));
+            let filter = crate::events::EventFilter { job, level };
+            ok_with(crate::events::events_batch_json(
+                from,
+                &filter,
+                wait,
+                POLL_INTERVAL * 40,
+            ))
+        }
+        "trace" => match required_id(&request) {
+            Err(e) => error(e),
+            Ok(id) => match crate::events::job_trace_json(queue, id) {
                 None => error(format!("unknown job id {id}")),
                 Some(body) => ok_with(body),
             },

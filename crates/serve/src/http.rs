@@ -18,6 +18,8 @@
 //! | `POST /v1/jobs` | a manifest job object (see [`crate::manifest`]) | `201` `{"id":N,"name":"…"}` + `Location`; `400` bad job; `409` queue closed; `429` + `Retry-After` overload shed |
 //! | `GET /v1/jobs` | — | `200` the status body: `accepting`, phase counts, `telemetry` ([`QueueStats`](crate::scheduler::QueueStats)), `jobs` list; `?status=<s>` narrows by phase (`queued\|running\|done`) or terminal status (`ok\|failed\|cancelled\|timed_out\|poisoned\|killed_over_budget`), `?limit=<n>` caps the list (counts stay fleet-wide) |
 //! | `GET /v1/jobs/{id}` | — | `200` `{"id","name","phase",…}`, plus `"fingerprint"` and the full `"report"` once terminal; `?wait=true` blocks until terminal; `404` unknown id |
+//! | `GET /v1/jobs/{id}/trace` | — | `200` the job's span trees as JSON, one tree per attempt (each retry runs under a fresh trace id); spans carry name, level, start/duration µs, detail and nested events; `404` unknown id |
+//! | `GET /v1/events` | — | `200` a live [server-sent-events](https://html.spec.whatwg.org/multipage/server-sent-events.html) stream (`text/event-stream`) of job lifecycle and index events from now on; `?job=<id>` narrows to one job, `?level=error\|warn\|info\|debug` widens/narrows verbosity (default `info`); a subscriber lapped by the bounded ring gets an `event: dropped` frame with the gap size, and one stalled past the write timeout is disconnected without ever blocking the scheduler |
 //! | `DELETE /v1/jobs/{id}` | — | `200` `{"id":N,"outcome":"cancelled\|cancelling\|done"}`; `404` unknown id |
 //! | `POST /v1/indexes` | a manifest job object | `201` `{"job":N,"index":"…"}` + `Location: /v1/indexes/{name}` — builds through the supervised queue, then persists the index artifact (wait on `/v1/jobs/{N}?wait=true`); `409` the index already exists / queue closed; `503` index serving disabled |
 //! | `GET /v1/indexes` | — | `200` `{"indexes":[{"id","file_bytes","loaded"}],"cache":{…}}` |
@@ -109,12 +111,15 @@ use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
 use minoan_kb::Json;
+use minoan_obs::{trace, Level};
 
 use crate::daemon::{run_server, Frontends, POLL_INTERVAL};
+use crate::events::{record_json, EventFilter, MAX_EVENT_BATCH};
 use crate::intake::{self, ShutdownMode};
 use crate::registry::IndexRegistry;
 use crate::report::{peak_rss_bytes, JobReport, ServeReport};
 use crate::scheduler::{CancelOutcome, CancelToken, JobQueue, ServeOptions};
+use crate::telemetry;
 
 /// Maximum bytes in the request line (method + target + version).
 pub const MAX_REQUEST_LINE_BYTES: usize = 8 << 10;
@@ -304,7 +309,23 @@ pub(crate) fn handle_connection(
                 return;
             }
         };
+        // The SSE stream takes the connection over: it holds the socket
+        // until the subscriber disconnects (or stalls past the write
+        // timeout) or the daemon shuts down, so it never returns a
+        // single Response through the normal path.
+        if request.method == "GET" && request.path == "/v1/events" {
+            if let Some(denied) = auth_failure(&request, options) {
+                if write_response(&mut writer, &denied, true).is_ok() {
+                    lingering_close(&mut reader);
+                }
+                return;
+            }
+            serve_events_stream(writer, &request, shutdown);
+            return;
+        }
+        let t_request = Instant::now();
         let response = route(&request, queue, shutdown, options, registry);
+        telemetry::HTTP_REQUEST.observe(t_request.elapsed());
         // After a shutdown request the flag is set; close either way.
         let close = request.wants_close() || shutdown.is_cancelled() || response.status >= 400;
         if write_response(&mut writer, &response, close).is_err() {
@@ -350,6 +371,98 @@ pub(crate) fn lingering_close(reader: &mut BufReader<TcpStream>) {
                         | std::io::ErrorKind::Interrupted
                 ) => {}
             Err(_) => return,
+        }
+    }
+}
+
+/// A stalled SSE subscriber is dropped once a frame write blocks this
+/// long. Generous against transient TCP stalls, tight enough that a
+/// dead client cannot pin a handler thread while the ring laps it.
+const SSE_WRITE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// `GET /v1/events`: the live server-sent-events stream. Each
+/// subscriber holds a private cursor into the shared trace ring
+/// starting at "now" (history is the `/v1/jobs/{id}/trace` endpoint's
+/// job, not this one's) and forwards every matching event as an SSE
+/// frame. Fan-out is pull-based — emitters only push into the ring and
+/// never see subscribers — so a slow or stalled client can *only* hurt
+/// itself: when its cursor is lapped by the bounded ring it gets a
+/// `dropped` frame with the gap size, and when a write blocks past
+/// [`SSE_WRITE_TIMEOUT`] the connection is closed and a `warn`-level
+/// `http.events` record announces the drop to surviving subscribers.
+fn serve_events_stream(mut writer: TcpStream, request: &Request, shutdown: &CancelToken) {
+    use std::fmt::Write as _;
+    let job = match request.query_param("job") {
+        None => None,
+        Some(raw) => match raw.parse::<i64>() {
+            Ok(id) => Some(id),
+            Err(_) => {
+                let denied =
+                    Response::error(400, format!("job must be an integer job id, got {raw:?}"));
+                let _ = write_response(&mut writer, &denied, true);
+                return;
+            }
+        },
+    };
+    let level = match request.query_param("level") {
+        None => Level::Info,
+        Some(raw) => match raw.parse::<Level>() {
+            Ok(level) => level,
+            Err(e) => {
+                let denied = Response::error(400, e);
+                let _ = write_response(&mut writer, &denied, true);
+                return;
+            }
+        },
+    };
+    let filter = EventFilter { job, level };
+    let _ = writer.set_write_timeout(Some(SSE_WRITE_TIMEOUT));
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+                Cache-Control: no-cache\r\nConnection: close\r\n\r\n";
+    // An immediate comment frame confirms the subscription to clients
+    // that wait for the first byte before reporting "connected".
+    if writer.write_all(head.as_bytes()).is_err() || writer.write_all(b": subscribed\n\n").is_err()
+    {
+        return;
+    }
+    let collector = trace::collector();
+    let mut cursor = collector.next_seq();
+    let mut sent = 0u64;
+    while !shutdown.is_cancelled() {
+        let batch = collector.wait_since(cursor, MAX_EVENT_BATCH, POLL_INTERVAL * 4);
+        let mut frame = String::new();
+        if batch.dropped > 0 {
+            // The ring lapped this subscriber's cursor: say how many
+            // records are gone rather than silently skipping them.
+            let _ = write!(
+                frame,
+                "event: dropped\ndata: {{\"dropped\":{}}}\n\n",
+                batch.dropped
+            );
+        }
+        for record in &batch.records {
+            if filter.matches(record) {
+                let _ = write!(
+                    frame,
+                    "event: {}\ndata: {}\n\n",
+                    record.name,
+                    record_json(record).compact()
+                );
+                sent += 1;
+            }
+        }
+        cursor = batch.next;
+        if frame.is_empty() {
+            // Keep-alive comment so dead connections surface as write
+            // errors here instead of lingering forever.
+            frame.push_str(": keep-alive\n\n");
+        }
+        if writer.write_all(frame.as_bytes()).is_err() || writer.flush().is_err() {
+            minoan_obs::warn!(
+                "http.events",
+                "SSE subscriber dropped after {sent} events (stalled or disconnected)"
+            );
+            return;
         }
     }
 }
@@ -573,18 +686,8 @@ fn route(
     options: &HttpOptions,
     registry: Option<&IndexRegistry>,
 ) -> Response {
-    if let Some(expected) = &options.auth_token {
-        let supplied = request
-            .header("authorization")
-            .and_then(bearer_token)
-            .unwrap_or("");
-        if !constant_time_eq(expected, supplied) {
-            let mut response = Response::error(401, "missing or invalid bearer token");
-            response
-                .extra_headers
-                .push(("WWW-Authenticate", "Bearer".to_string()));
-            return response;
-        }
+    if let Some(denied) = auth_failure(request, options) {
+        return denied;
     }
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
@@ -610,6 +713,13 @@ fn route(
         ("GET", ["v1", "jobs", id]) => match parse_id(id) {
             Err(response) => response,
             Ok(id) => match intake::job_json(queue, id, request.wants_wait()) {
+                None => Response::error(404, format!("unknown job id {id}")),
+                Some(body) => Response::json(200, &body),
+            },
+        },
+        ("GET", ["v1", "jobs", id, "trace"]) => match parse_id(id) {
+            Err(response) => response,
+            Ok(id) => match crate::events::job_trace_json(queue, id) {
                 None => Response::error(404, format!("unknown job id {id}")),
                 Some(body) => Response::json(200, &body),
             },
@@ -744,6 +854,10 @@ fn route(
         }
         (_, ["v1", "jobs"]) => method_not_allowed("GET, POST"),
         (_, ["v1", "jobs", _]) => method_not_allowed("GET, DELETE"),
+        (_, ["v1", "jobs", _, "trace"]) => method_not_allowed("GET"),
+        // `GET /v1/events` is intercepted before routing (it takes the
+        // raw connection over); any other method lands here.
+        (_, ["v1", "events"]) => method_not_allowed("GET"),
         (_, ["v1", "indexes"]) => method_not_allowed("GET, POST"),
         (_, ["v1", "indexes", _]) => method_not_allowed("GET, DELETE, PATCH"),
         (_, ["v1", "indexes", _, "match"]) => method_not_allowed("GET"),
@@ -829,6 +943,26 @@ fn parse_id(segment: &str) -> Result<usize, Response> {
             format!("job id must be a non-negative integer, got {segment:?}"),
         )
     })
+}
+
+/// The `401` for a request that fails bearer-token auth, or `None` when
+/// the request is authorized (or no token is configured). Shared by the
+/// normal [`route`] path and the SSE takeover, which must authenticate
+/// *before* committing the connection to a stream.
+fn auth_failure(request: &Request, options: &HttpOptions) -> Option<Response> {
+    let expected = options.auth_token.as_ref()?;
+    let supplied = request
+        .header("authorization")
+        .and_then(bearer_token)
+        .unwrap_or("");
+    if constant_time_eq(expected, supplied) {
+        return None;
+    }
+    let mut response = Response::error(401, "missing or invalid bearer token");
+    response
+        .extra_headers
+        .push(("WWW-Authenticate", "Bearer".to_string()));
+    Some(response)
 }
 
 /// Extracts the token from an `Authorization: Bearer <token>` value
@@ -960,9 +1094,8 @@ pub(crate) fn reject_over_capacity(mut stream: TcpStream) {
 /// counters (invalidations are cache drops caused by `PATCH` rewrites,
 /// distinct from LRU budget evictions).
 pub fn prometheus_metrics(queue: &JobQueue, registry: Option<&IndexRegistry>) -> String {
-    use std::fmt::Write as _;
     let stats = queue.stats();
-    let mut out = String::new();
+    let mut text = PromText::new();
     let gauges = [
         (
             "minoan_jobs_queued",
@@ -1006,34 +1139,36 @@ pub fn prometheus_metrics(queue: &JobQueue, registry: Option<&IndexRegistry>) ->
         ),
     ];
     for (name, help, value) in gauges {
-        metric(&mut out, "gauge", name, help, value);
+        text.single("gauge", name, help, value);
     }
-    let _ = write!(
-        out,
-        "# HELP minoan_jobs_done_total Terminal jobs by status.\n\
-         # TYPE minoan_jobs_done_total counter\n\
-         minoan_jobs_done_total{{status=\"ok\"}} {}\n\
-         minoan_jobs_done_total{{status=\"failed\"}} {}\n\
-         minoan_jobs_done_total{{status=\"cancelled\"}} {}\n\
-         minoan_jobs_done_total{{status=\"timed_out\"}} {}\n\
-         minoan_jobs_done_total{{status=\"poisoned\"}} {}\n\
-         minoan_jobs_done_total{{status=\"killed_over_budget\"}} {}\n",
-        stats.done_ok,
-        stats.done_failed,
-        stats.done_cancelled,
-        stats.done_timed_out,
-        stats.done_poisoned,
-        stats.done_killed_over_budget
-    );
-    metric(
-        &mut out,
+    if text.family(
+        "minoan_jobs_done_total",
+        "counter",
+        "Terminal jobs by status.",
+    ) {
+        let by_status = [
+            ("ok", stats.done_ok),
+            ("failed", stats.done_failed),
+            ("cancelled", stats.done_cancelled),
+            ("timed_out", stats.done_timed_out),
+            ("poisoned", stats.done_poisoned),
+            ("killed_over_budget", stats.done_killed_over_budget),
+        ];
+        for (status, count) in by_status {
+            text.sample(
+                "minoan_jobs_done_total",
+                &format!("{{status=\"{status}\"}}"),
+                count as f64,
+            );
+        }
+    }
+    text.single(
         "counter",
         "minoan_jobs_retries_scheduled_total",
         "Retry attempts re-queued after transient failures.",
         stats.retries_scheduled as f64,
     );
-    metric(
-        &mut out,
+    text.single(
         "counter",
         "minoan_jobs_shed_total",
         "Submissions rejected by overload shedding.",
@@ -1046,17 +1181,18 @@ pub fn prometheus_metrics(queue: &JobQueue, registry: Option<&IndexRegistry>) ->
         ("similarities", stats.stage_totals.similarities),
         ("matching", stats.stage_totals.matching),
     ];
-    let _ = write!(
-        out,
-        "# HELP minoan_stage_seconds_total Cumulative pipeline stage time over finished jobs.\n\
-         # TYPE minoan_stage_seconds_total counter\n"
-    );
-    for (stage, duration) in stages {
-        let _ = writeln!(
-            out,
-            "minoan_stage_seconds_total{{stage=\"{stage}\"}} {}",
-            duration.as_secs_f64()
-        );
+    if text.family(
+        "minoan_stage_seconds_total",
+        "counter",
+        "Cumulative pipeline stage time over finished jobs.",
+    ) {
+        for (stage, duration) in stages {
+            text.sample(
+                "minoan_stage_seconds_total",
+                &format!("{{stage=\"{stage}\"}}"),
+                duration.as_secs_f64(),
+            );
+        }
     }
     let counters = [
         (
@@ -1076,11 +1212,10 @@ pub fn prometheus_metrics(queue: &JobQueue, registry: Option<&IndexRegistry>) ->
         ),
     ];
     for (name, help, value) in counters {
-        metric(&mut out, "counter", name, help, value);
+        text.single("counter", name, help, value);
     }
     if let Some(rss) = peak_rss_bytes() {
-        metric(
-            &mut out,
+        text.single(
             "gauge",
             "minoan_process_peak_rss_bytes",
             "Process peak resident set size (VmHWM).",
@@ -1091,51 +1226,48 @@ pub fn prometheus_metrics(queue: &JobQueue, registry: Option<&IndexRegistry>) ->
     // wave has started the process-wide pool (the snapshot never starts
     // it, so an all-rayon/sequential process simply omits the family).
     if let Some(pool) = &stats.pool {
-        metric(
-            &mut out,
+        text.single(
             "gauge",
             "minoan_pool_workers",
             "Worker threads of the process-wide work-stealing pool.",
             pool.workers as f64,
         );
-        metric(
-            &mut out,
+        text.single(
             "gauge",
             "minoan_pool_queued_tasks",
             "Tasks sitting in pool worker deques right now.",
             pool.queued as f64,
         );
-        metric(
-            &mut out,
+        text.single(
             "counter",
             "minoan_pool_steals_total",
             "Tasks taken from another worker's deque.",
             pool.steals as f64,
         );
-        metric(
-            &mut out,
+        text.single(
             "counter",
             "minoan_pool_injected_total",
             "Jobs injected into the pool over its lifetime.",
             pool.injected as f64,
         );
-        metric(
-            &mut out,
+        text.single(
             "counter",
             "minoan_pool_tasks_total",
             "Quantum-bounded wave tasks executed across all workers.",
             pool.tasks_total() as f64,
         );
-        let _ = write!(
-            out,
-            "# HELP minoan_pool_worker_tasks_total Wave tasks executed, per pool worker.\n\
-             # TYPE minoan_pool_worker_tasks_total counter\n"
-        );
-        for (worker, tasks) in pool.worker_tasks.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "minoan_pool_worker_tasks_total{{worker=\"{worker}\"}} {tasks}"
-            );
+        if text.family(
+            "minoan_pool_worker_tasks_total",
+            "counter",
+            "Wave tasks executed, per pool worker.",
+        ) {
+            for (worker, tasks) in pool.worker_tasks.iter().enumerate() {
+                text.sample(
+                    "minoan_pool_worker_tasks_total",
+                    &format!("{{worker=\"{worker}\"}}"),
+                    *tasks as f64,
+                );
+            }
         }
     }
     if let Some(registry) = registry {
@@ -1159,7 +1291,7 @@ pub fn prometheus_metrics(queue: &JobQueue, registry: Option<&IndexRegistry>) ->
             ),
         ];
         for (name, help, value) in index_gauges {
-            metric(&mut out, "gauge", name, help, value);
+            text.single("gauge", name, help, value);
         }
         let index_counters = [
             (
@@ -1184,19 +1316,130 @@ pub fn prometheus_metrics(queue: &JobQueue, registry: Option<&IndexRegistry>) ->
             ),
         ];
         for (name, help, value) in index_counters {
-            metric(&mut out, "counter", name, help, value);
+            text.single("counter", name, help, value);
         }
     }
-    out
+    // Latency histograms from the process-wide observability layer.
+    text.histogram(
+        "minoan_match_query_seconds",
+        "End-to-end /v1/indexes/{id}/match latency (artifact load + query).",
+        &[(None, telemetry::MATCH_QUERY.snapshot())],
+    );
+    text.histogram(
+        "minoan_http_request_seconds",
+        "HTTP request handling time (auth + routing + handler; SSE streams excluded).",
+        &[(None, telemetry::HTTP_REQUEST.snapshot())],
+    );
+    text.histogram(
+        "minoan_job_queue_wait_seconds",
+        "Time jobs spent queued before dispatch, including retry backoff.",
+        &[(None, telemetry::QUEUE_WAIT.snapshot())],
+    );
+    let stage_series: Vec<_> = telemetry::stage_histograms()
+        .iter()
+        .map(|(stage, histogram)| (Some(("stage", *stage)), histogram.snapshot()))
+        .collect();
+    text.histogram(
+        "minoan_job_stage_seconds",
+        "Per-job pipeline stage latency over finished jobs.",
+        &stage_series,
+    );
+    text.single(
+        "counter",
+        "minoan_trace_records_dropped_total",
+        "Trace-ring records overwritten before every reader consumed them.",
+        trace::collector().dropped_total() as f64,
+    );
+    text.out
 }
 
-/// One `HELP`/`TYPE`/sample triplet of the Prometheus text format.
-fn metric(out: &mut String, kind: &str, name: &str, help: &str, value: f64) {
-    use std::fmt::Write as _;
-    let _ = write!(
-        out,
-        "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
-    );
+/// Incremental Prometheus text-format (0.0.4) builder. The format
+/// allows each family's `# HELP`/`# TYPE` header at most once per
+/// exposition; the builder enforces that by remembering every family it
+/// has opened. A repeat is a bug — it panics under debug assertions and
+/// is skipped in release builds, rather than emitting an exposition
+/// scrapers reject wholesale.
+struct PromText {
+    out: String,
+    families: Vec<String>,
+}
+
+impl PromText {
+    fn new() -> PromText {
+        PromText {
+            out: String::new(),
+            families: Vec::new(),
+        }
+    }
+
+    /// Opens a family by writing its `HELP`/`TYPE` header. Returns
+    /// whether sample lines may follow (`false` only on the
+    /// duplicate-family bug path).
+    fn family(&mut self, name: &str, kind: &str, help: &str) -> bool {
+        use std::fmt::Write as _;
+        if self.families.iter().any(|family| family == name) {
+            debug_assert!(false, "duplicate metric family {name}");
+            return false;
+        }
+        self.families.push(name.to_string());
+        let _ = write!(self.out, "# HELP {name} {help}\n# TYPE {name} {kind}\n");
+        true
+    }
+
+    /// One sample line; `labels` is empty or a braced `{k="v",…}` set.
+    fn sample(&mut self, name: &str, labels: &str, value: f64) {
+        use std::fmt::Write as _;
+        let _ = writeln!(self.out, "{name}{labels} {value}");
+    }
+
+    /// A family with exactly one unlabeled sample.
+    fn single(&mut self, kind: &str, name: &str, help: &str, value: f64) {
+        if self.family(name, kind, help) {
+            self.sample(name, "", value);
+        }
+    }
+
+    /// One histogram family, one or more label series: cumulative
+    /// `_bucket` lines (monotone by construction, closed by the
+    /// mandatory `le="+Inf"`), then `_sum` and `_count` per series.
+    fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        series: &[(Option<(&str, &str)>, minoan_obs::hist::Snapshot)],
+    ) {
+        use std::fmt::Write as _;
+        if !self.family(name, "histogram", help) {
+            return;
+        }
+        for (label, snapshot) in series {
+            let bucket_prefix = match label {
+                Some((key, value)) => format!("{key}=\"{value}\","),
+                None => String::new(),
+            };
+            for (le, cumulative) in snapshot.cumulative_seconds() {
+                let _ = writeln!(
+                    self.out,
+                    "{name}_bucket{{{bucket_prefix}le=\"{le}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                self.out,
+                "{name}_bucket{{{bucket_prefix}le=\"+Inf\"}} {}",
+                snapshot.count
+            );
+            let labels = match label {
+                Some((key, value)) => format!("{{{key}=\"{value}\"}}"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                self.out,
+                "{name}_sum{labels} {}",
+                snapshot.sum_micros as f64 / 1e6
+            );
+            let _ = writeln!(self.out, "{name}_count{labels} {}", snapshot.count);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1259,6 +1502,137 @@ mod tests {
             let (name, value) = line.rsplit_once(' ').expect("metric line has a value");
             assert!(!name.is_empty());
             assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_follows_the_text_format_grammar() {
+        let queue = JobQueue::new(2, 3, 64 << 20);
+        // Feed two histograms so bucket lines carry non-zero counts
+        // (process-global statics: other tests may add more, which the
+        // grammar checks below are insensitive to).
+        telemetry::MATCH_QUERY.observe(Duration::from_micros(250));
+        telemetry::HTTP_REQUEST.observe(Duration::from_millis(3));
+        let text = prometheus_metrics(&queue, None);
+
+        // Pass 1: every family's HELP and TYPE appear exactly once, as
+        // a HELP-then-TYPE pair, before any of its samples; every
+        // sample line parses as `name[{labels}] value`.
+        let mut help_seen: Vec<String> = Vec::new();
+        let mut families: Vec<(String, String)> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap().to_string();
+                assert!(!help_seen.contains(&name), "duplicate HELP for {name}");
+                help_seen.push(name);
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap().to_string();
+                let kind = parts.next().expect("TYPE line has a kind").to_string();
+                assert!(
+                    ["gauge", "counter", "histogram"].contains(&kind.as_str()),
+                    "unknown metric type {kind:?}"
+                );
+                assert!(
+                    families.iter().all(|(seen, _)| seen != &name),
+                    "duplicate TYPE for {name}"
+                );
+                assert_eq!(help_seen.last(), Some(&name), "TYPE must follow its HELP");
+                families.push((name, kind));
+            } else {
+                let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+                let name = series.split('{').next().unwrap();
+                let owner = families.iter().find(|(family, kind)| {
+                    if kind == "histogram" {
+                        [
+                            format!("{family}_bucket"),
+                            format!("{family}_sum"),
+                            format!("{family}_count"),
+                        ]
+                        .iter()
+                        .any(|suffixed| suffixed == name)
+                    } else {
+                        family == name
+                    }
+                });
+                assert!(
+                    owner.is_some(),
+                    "sample {name} has no preceding TYPE header"
+                );
+                assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+            }
+        }
+        for expected in [
+            "minoan_match_query_seconds",
+            "minoan_http_request_seconds",
+            "minoan_job_queue_wait_seconds",
+            "minoan_job_stage_seconds",
+        ] {
+            assert!(
+                families
+                    .iter()
+                    .any(|(name, kind)| name == expected && kind == "histogram"),
+                "missing histogram family {expected}"
+            );
+        }
+        assert!(text.contains("minoan_trace_records_dropped_total"));
+
+        // Pass 2: per histogram series, buckets are cumulative
+        // (monotone non-decreasing), closed by a mandatory le="+Inf"
+        // whose value equals the series' _count sample.
+        for (family, _) in families.iter().filter(|(_, kind)| kind == "histogram") {
+            let bucket_prefix = format!("{family}_bucket{{");
+            // label-prefix-before-le -> (les, cumulative counts)
+            let mut series: Vec<(String, Vec<String>, Vec<f64>)> = Vec::new();
+            for line in text.lines().filter(|line| line.starts_with(&bucket_prefix)) {
+                let (labels, value) = line.rsplit_once(' ').unwrap();
+                let le_at = labels.find("le=\"").expect("bucket line has le");
+                let key = labels[..le_at].to_string();
+                let le = labels[le_at + 4..].trim_end_matches("\"}").to_string();
+                let count = value.parse::<f64>().unwrap();
+                match series.iter_mut().find(|(k, _, _)| *k == key) {
+                    Some((_, les, counts)) => {
+                        les.push(le);
+                        counts.push(count);
+                    }
+                    None => series.push((key, vec![le], vec![count])),
+                }
+            }
+            assert!(!series.is_empty(), "histogram {family} emitted no buckets");
+            for (key, les, counts) in &series {
+                assert_eq!(
+                    les.last().map(String::as_str),
+                    Some("+Inf"),
+                    "{family} series {key:?} must end with le=\"+Inf\""
+                );
+                assert!(
+                    counts.windows(2).all(|pair| pair[0] <= pair[1]),
+                    "{family} series {key:?} buckets are not cumulative: {counts:?}"
+                );
+                // The _count sample of the same series: the key is
+                // `{family}_bucket{` + `k="v",`* — rebuild the matching
+                // `_count` series name from the label prefix.
+                let inner = key
+                    .strip_prefix(&bucket_prefix)
+                    .unwrap()
+                    .trim_end_matches(',');
+                let count_series = if inner.is_empty() {
+                    format!("{family}_count")
+                } else {
+                    format!("{family}_count{{{inner}}}")
+                };
+                let total = text
+                    .lines()
+                    .filter_map(|line| line.rsplit_once(' '))
+                    .find(|(name, _)| *name == count_series)
+                    .map(|(_, value)| value.parse::<f64>().unwrap())
+                    .expect("every bucket series has a _count sample");
+                assert_eq!(
+                    *counts.last().unwrap(),
+                    total,
+                    "{family} series {key:?}: le=\"+Inf\" must equal _count"
+                );
+            }
         }
     }
 

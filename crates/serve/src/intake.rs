@@ -561,6 +561,9 @@ pub(crate) fn index_match(
         ))
     })?;
     let query_ms = t_query.elapsed().as_secs_f64() * 1e3;
+    // One end-to-end latency observation per answered query (load +
+    // query; rejected queries never reach here).
+    crate::telemetry::MATCH_QUERY.observe(t_load.elapsed());
     let candidates: Vec<Json> = answer
         .candidates
         .iter()

@@ -69,12 +69,14 @@
 #![warn(missing_docs)]
 
 pub mod daemon;
+mod events;
 pub mod http;
 mod intake;
 pub mod manifest;
 pub mod registry;
 pub mod report;
 pub mod scheduler;
+pub mod telemetry;
 pub mod toml;
 
 pub use daemon::{run_daemon, run_server, Frontends};

@@ -231,7 +231,11 @@ impl IndexRegistry {
         inner.misses += 1;
         inner.slots.insert(id.to_string(), Slot::Loading);
         drop(inner);
+        let load_span = minoan_obs::trace::span(minoan_obs::Level::Debug, "registry.load", || {
+            format!("index={id:?} path={}", path.display())
+        });
         let result = IndexArtifact::read_from(&path);
+        drop(load_span);
         let mut inner = self.inner.lock().unwrap();
         match result {
             Ok(artifact) => {

@@ -101,6 +101,7 @@ use minoan_datagen::Dataset;
 use minoan_eval::MatchQuality;
 use minoan_exec::{Executor, ExecutorKind, PoolStats, MAX_THREADS};
 use minoan_kb::{parse, GroundTruth, Json, KbPair, Matching};
+use minoan_obs::{trace, Level};
 
 use crate::manifest::{JobInput, JobSpec, Manifest};
 use crate::report::{current_rss_bytes, peak_rss_bytes, JobReport, JobStatus, ServeReport};
@@ -400,6 +401,14 @@ struct JobEntry {
     panics: u32,
     /// Backoff gate: a re-queued retry is not dispatched before this.
     not_before: Option<Instant>,
+    /// When the job (re-)entered the pending queue; dispatch observes
+    /// the queue-wait histogram against it (backoff delay included).
+    queued_at: Instant,
+    /// The process-unique trace ID of each dispatched attempt, in
+    /// attempt order — the key into the trace ring for
+    /// `GET /v1/jobs/{id}/trace`. Fresh per attempt, so a retried
+    /// job's span trees never interleave.
+    trace_ids: Vec<u64>,
 }
 
 /// Internal phase storage; `Done` owns the report (boxed: terminal
@@ -479,6 +488,13 @@ impl QueueInner {
         report.estimated_bytes = entry.estimate;
         self.pending.retain(|&p| p != id);
         self.transition(id, Phase::Done(Box::new(report.clone())));
+        trace::emit_job(
+            Level::Info,
+            "job.done",
+            id as i64,
+            0,
+            "status=cancelled (pre-dispatch)".to_string(),
+        );
         report
     }
 }
@@ -726,11 +742,14 @@ impl JobQueue {
         }
         if self.shed_max_queued > 0 && guard.pending.len() >= self.shed_max_queued {
             guard.shed_total += 1;
-            return Err(SubmitError::Overloaded(format!(
+            let detail = format!(
                 "{} jobs pending (high-water mark {})",
                 guard.pending.len(),
                 self.shed_max_queued
-            )));
+            );
+            drop(guard);
+            trace::emit_job(Level::Warn, "job.shed", -1, 0, detail.clone());
+            return Err(SubmitError::Overloaded(detail));
         }
         if self.shed_max_bytes > 0 {
             let pending_bytes: u64 = guard
@@ -744,14 +763,18 @@ impl JobQueue {
                 .saturating_add(estimate);
             if charged > self.shed_max_bytes {
                 guard.shed_total += 1;
-                return Err(SubmitError::Overloaded(format!(
+                let detail = format!(
                     "{charged} estimated bytes admitted or pending \
                      (high-water mark {})",
                     self.shed_max_bytes
-                )));
+                );
+                drop(guard);
+                trace::emit_job(Level::Warn, "job.shed", -1, 0, detail.clone());
+                return Err(SubmitError::Overloaded(detail));
             }
         }
         let id = guard.entries.len();
+        let name = spec.name.clone();
         guard.entries.push(JobEntry {
             spec,
             estimate,
@@ -763,9 +786,18 @@ impl JobQueue {
             attempt: 0,
             panics: 0,
             not_before: None,
+            queued_at: Instant::now(),
+            trace_ids: Vec::new(),
         });
         guard.pending.push_back(id);
         drop(guard);
+        trace::emit_job(
+            Level::Info,
+            "job.queued",
+            id as i64,
+            0,
+            format!("name={name:?} estimate_bytes={estimate}"),
+        );
         self.admit.notify_all();
         Ok(id)
     }
@@ -878,6 +910,14 @@ impl JobQueue {
         self.lock().peak_active
     }
 
+    /// The trace IDs of a job's dispatched attempts, in attempt order
+    /// (`None` for an unknown id; empty before the first dispatch).
+    /// Keys into the trace ring for the span-tree endpoints, and what
+    /// the chaos suite asserts are pairwise distinct across retries.
+    pub fn trace_ids(&self, id: JobId) -> Option<Vec<u64>> {
+        self.lock().entries.get(id).map(|e| e.trace_ids.clone())
+    }
+
     /// Live scheduling telemetry: phase counts, admitted footprint vs.
     /// budget, thread allotments and cumulative per-stage timings over
     /// finished jobs — one lock acquisition, one pass over the entries.
@@ -959,23 +999,37 @@ impl JobQueue {
                 Claim::Exit => return,
                 Claim::Flipped { spec, report } => on_done(&spec, &report),
                 Claim::Run { id, allot } => {
-                    let (spec, estimate, raw_estimate, job_cancel, timeout) = {
-                        let guard = self.lock();
-                        let e = &guard.entries[id];
+                    // Every attempt gets a fresh trace: its spans and
+                    // events never interleave with a previous attempt's.
+                    let job_trace = trace::new_trace_id();
+                    let (spec, estimate, raw_estimate, job_cancel, timeout, attempt) = {
+                        let mut guard = self.lock();
+                        let e = &mut guard.entries[id];
+                        e.trace_ids.push(job_trace);
                         (
                             e.spec.clone(),
                             e.estimate,
                             e.raw_estimate,
                             e.cancel.clone(),
                             e.timeout,
+                            e.attempt,
                         )
                     };
+                    trace::emit_job(
+                        Level::Info,
+                        "job.running",
+                        id as i64,
+                        job_trace,
+                        format!("name={:?} attempt={attempt} threads={allot}", spec.name),
+                    );
                     // The deadline clock starts at dispatch (queue wait
                     // does not count) and restarts on every attempt.
                     if let Some(timeout) = timeout {
                         job_cancel.set_deadline(timeout);
                     }
+                    let trace_binding = trace::trace_scope(job_trace, id as i64);
                     let (mut report, class) = run_job(&spec, opts, allot, estimate, &job_cancel);
+                    drop(trace_binding);
                     // Self-calibrating admission: successful jobs teach
                     // the profile's estimate-accuracy ratio, and a
                     // charged estimate off by more than 2× either way is
@@ -986,8 +1040,9 @@ impl JobQueue {
                         }
                         if let Some(ratio) = report.rss_estimate_ratio() {
                             if !(0.5..=2.0).contains(&ratio) {
-                                eprintln!(
-                                    "warning: job {:?}: admission estimate off by {ratio:.2}x \
+                                minoan_obs::warn!(
+                                    "serve.admission",
+                                    "job {:?}: admission estimate off by {ratio:.2}x \
                                      (charged {estimate} bytes, measured {} bytes); future \
                                      {:?} submissions will use the recalibrated ratio",
                                     spec.name,
@@ -1027,10 +1082,23 @@ impl JobQueue {
                             retry_seed(id, entry.attempt),
                         );
                         entry.not_before = Some(Instant::now() + delay);
+                        entry.queued_at = Instant::now();
+                        let next_attempt = entry.attempt;
                         guard.retries_scheduled += 1;
                         guard.transition(id, Phase::Queued);
                         guard.pending.push_back(id);
                         drop(guard);
+                        trace::emit_job(
+                            Level::Warn,
+                            "job.retry",
+                            id as i64,
+                            job_trace,
+                            format!(
+                                "attempt {attempt} ended {}; attempt {next_attempt} \
+                                 re-queued after {delay:?}",
+                                report.status.label()
+                            ),
+                        );
                         self.admit.notify_all();
                         // Not terminal: no on_done, no done notification.
                         continue;
@@ -1044,6 +1112,20 @@ impl JobQueue {
                     }
                     guard.transition(id, Phase::Done(Box::new(report.clone())));
                     drop(guard);
+                    if let Some(timings) = &report.timings {
+                        crate::telemetry::observe_stages(timings);
+                    }
+                    trace::emit_job(
+                        Level::Info,
+                        "job.done",
+                        id as i64,
+                        job_trace,
+                        format!(
+                            "status={} wall_ms={:.1}",
+                            report.status.label(),
+                            report.wall.as_secs_f64() * 1e3
+                        ),
+                    );
                     self.admit.notify_all();
                     self.done.notify_all();
                     on_done(&spec, &report);
@@ -1112,6 +1194,7 @@ impl JobQueue {
                 let fill = (self.width - guard.active).min(guard.pending.len()).max(1);
                 let free = self.threads.saturating_sub(guard.threads_in_use);
                 let allot = (free / fill).max(1);
+                crate::telemetry::QUEUE_WAIT.observe(guard.entries[id].queued_at.elapsed());
                 guard.pending.pop_front();
                 guard.transition(id, Phase::Running);
                 guard.active += 1;

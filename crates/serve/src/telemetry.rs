@@ -1,0 +1,56 @@
+//! Process-wide latency histograms of the serving layer.
+//!
+//! Each histogram is a static [`minoan_obs::hist::Histogram`]
+//! (registry-free: the owner holds it, `GET /v1/metrics` renders it).
+//! Buckets are power-of-two microseconds; recording is three relaxed
+//! atomic adds, so the hot paths (match queries, HTTP dispatch, the
+//! scheduler's claim loop) observe without contention.
+
+use minoan_core::Timings;
+use minoan_obs::hist::Histogram;
+
+/// End-to-end `GET /v1/indexes/{id}/match` latency (registry load +
+/// artifact query), observed by the shared intake layer for both
+/// front-ends.
+pub static MATCH_QUERY: Histogram = Histogram::new();
+
+/// HTTP request duration: read-complete to response-written, every
+/// endpoint (SSE streams excluded — they live until disconnect).
+pub static HTTP_REQUEST: Histogram = Histogram::new();
+
+/// Queue wait: submission (or retry re-queue, backoff included) to
+/// dispatch.
+pub static QUEUE_WAIT: Histogram = Histogram::new();
+
+/// Per-job pipeline stage timings, one histogram per stage; see
+/// [`stage_histograms`] for the labeled view.
+pub static STAGE_TOKENIZE: Histogram = Histogram::new();
+/// See [`STAGE_TOKENIZE`].
+pub static STAGE_NAMES_H1: Histogram = Histogram::new();
+/// See [`STAGE_TOKENIZE`].
+pub static STAGE_BLOCKING: Histogram = Histogram::new();
+/// See [`STAGE_TOKENIZE`].
+pub static STAGE_SIMILARITIES: Histogram = Histogram::new();
+/// See [`STAGE_TOKENIZE`].
+pub static STAGE_MATCHING: Histogram = Histogram::new();
+
+/// The stage histograms with their Prometheus `stage` label values, in
+/// pipeline order.
+pub fn stage_histograms() -> [(&'static str, &'static Histogram); 5] {
+    [
+        ("tokenize", &STAGE_TOKENIZE),
+        ("names_h1", &STAGE_NAMES_H1),
+        ("blocking", &STAGE_BLOCKING),
+        ("similarities", &STAGE_SIMILARITIES),
+        ("matching", &STAGE_MATCHING),
+    ]
+}
+
+/// Feeds one finished job's stage timings into the stage histograms.
+pub fn observe_stages(t: &Timings) {
+    STAGE_TOKENIZE.observe(t.tokenize);
+    STAGE_NAMES_H1.observe(t.names_h1);
+    STAGE_BLOCKING.observe(t.blocking);
+    STAGE_SIMILARITIES.observe(t.similarities);
+    STAGE_MATCHING.observe(t.matching);
+}

@@ -12,6 +12,8 @@
 //! cargo run --release --example http_client -- <host:port> [--token T] index-delete <name>
 //! cargo run --release --example http_client -- <host:port> [--token T] index-match <name> <iri> [--k N]
 //! cargo run --release --example http_client -- <host:port> [--token T] metrics
+//! cargo run --release --example http_client -- <host:port> [--token T] trace <id>
+//! cargo run --release --example http_client -- <host:port> [--token T] events [--level L] [--job N]
 //! cargo run --release --example http_client -- <host:port> [--token T] shutdown [drain|cancel]
 //! cargo run --release --example http_client -- <host:port> [--token T] smoke
 //! ```
@@ -33,9 +35,10 @@
 //! submit a small job, submit a heavy job and cancel it mid-run, assert
 //! the first resolves and the second reports `cancelled`, exercise the
 //! index build → inspect → match → delete round trip (skipped politely
-//! when index serving is disabled), check the metrics endpoint parses,
-//! then shut the server down. Exits non-zero on any violated
-//! expectation.
+//! when index serving is disabled), subscribe to `GET /v1/events` and
+//! assert a freshly submitted job streams its queued → running → done
+//! lifecycle over SSE, check the metrics endpoint parses, then shut the
+//! server down. Exits non-zero on any violated expectation.
 
 use std::io::{Read, Write};
 use std::process::exit;
@@ -160,6 +163,109 @@ impl Api {
     }
 }
 
+/// Opens a streaming subscription to `GET /v1/events` and returns the
+/// socket (read timeout armed, positioned past the response headers)
+/// plus whatever stream bytes arrived in the same read as the header
+/// block.
+fn open_events(api: &Api, query: &str) -> (std::net::TcpStream, String) {
+    let mut stream = connect_retry(&api.addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    let mut head = format!(
+        "GET /v1/events{query} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n",
+        api.addr
+    );
+    if let Some(token) = &api.token {
+        head += &format!("Authorization: Bearer {token}\r\n");
+    }
+    head += "\r\n";
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.flush())
+        .unwrap_or_else(|e| fail(&format!("send events request: {e}")));
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(500)))
+        .expect("arm events read timeout");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let mut raw = Vec::new();
+    loop {
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => fail("events stream closed before the headers arrived"),
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => fail(&format!("read events headers: {e}")),
+        }
+        if let Some(split) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&raw[..split]).into_owned();
+            if !head.starts_with("HTTP/1.1 200") {
+                fail(&format!("events subscription refused: {head:?}"));
+            }
+            if !head.to_ascii_lowercase().contains("text/event-stream") {
+                fail(&format!("events response is not an SSE stream: {head:?}"));
+            }
+            let leftover = String::from_utf8_lossy(&raw[split + 4..]).into_owned();
+            return (stream, leftover);
+        }
+        if std::time::Instant::now() >= deadline {
+            fail("timed out waiting for the events subscription headers");
+        }
+    }
+}
+
+/// Drains SSE frames off an events subscription, invoking `finished`
+/// on each named frame, until it returns true, the server closes the
+/// stream, or the deadline passes. Returns every named frame seen, in
+/// arrival order. Comment frames (keep-alives) are skipped.
+fn read_events(
+    mut stream: std::net::TcpStream,
+    leftover: String,
+    deadline: std::time::Instant,
+    mut finished: impl FnMut(&str, &Json) -> bool,
+) -> Vec<(String, Json)> {
+    let mut buffer = leftover.into_bytes();
+    let mut frames: Vec<(String, Json)> = Vec::new();
+    loop {
+        while let Some(end) = buffer.windows(2).position(|w| w == b"\n\n") {
+            let frame: Vec<u8> = buffer.drain(..end + 2).collect();
+            let frame = String::from_utf8_lossy(&frame);
+            let mut name = None;
+            let mut data = None;
+            for line in frame.lines() {
+                if let Some(rest) = line.strip_prefix("event: ") {
+                    name = Some(rest.to_string());
+                } else if let Some(rest) = line.strip_prefix("data: ") {
+                    data = Json::parse(rest).ok();
+                }
+            }
+            let (Some(name), Some(data)) = (name, data) else {
+                continue;
+            };
+            let hit = finished(&name, &data);
+            frames.push((name, data));
+            if hit {
+                return frames;
+            }
+        }
+        if std::time::Instant::now() >= deadline {
+            return frames;
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return frames,
+            Ok(n) => buffer.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => fail(&format!("read events stream: {e}")),
+        }
+    }
+}
+
 /// Percent-encodes everything outside the URL-safe unreserved set, so
 /// entity IRIs survive the query string.
 fn percent_encode(raw: &str) -> String {
@@ -240,6 +346,7 @@ fn smoke(api: &Api) {
     }
 
     index_smoke(api);
+    events_smoke(api);
 
     // The metrics endpoint must be parseable Prometheus text.
     let metrics = api.expect("GET", "/v1/metrics", None, 200);
@@ -354,13 +461,55 @@ fn index_smoke(api: &Api) {
     eprintln!("smoke: index deleted");
 }
 
+/// The live-stream half of the smoke scenario: subscribe to
+/// `GET /v1/events` first, then submit a job and assert its
+/// queued → running → done lifecycle arrives over SSE, in order. The
+/// subscription only carries events emitted after it opened, so the
+/// ordering check is over exactly this job's transitions.
+fn events_smoke(api: &Api) {
+    let (stream, leftover) = open_events(api, "?level=info");
+    let id = api.submit(&synthetic_job("smoke-events", "restaurant", 0.1));
+    let body = api.wait(id);
+    if report_status(&body) != "ok" {
+        fail(&format!("events job did not resolve: {:?}", body.compact()));
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let frames = read_events(stream, leftover, deadline, |name, data| {
+        name == "job.done" && data.get("job").and_then(Json::as_usize) == Some(id)
+    });
+    let lifecycle: Vec<&str> = frames
+        .iter()
+        .filter(|(_, data)| data.get("job").and_then(Json::as_usize) == Some(id))
+        .map(|(name, _)| name.as_str())
+        .collect();
+    let mut expected = ["job.queued", "job.running", "job.done"]
+        .into_iter()
+        .peekable();
+    for name in &lifecycle {
+        if expected.peek() == Some(name) {
+            expected.next();
+        }
+    }
+    if expected.peek().is_some() {
+        fail(&format!(
+            "SSE lifecycle incomplete for job {id}: saw {lifecycle:?}"
+        ));
+    }
+    eprintln!(
+        "smoke: SSE streamed the job lifecycle ({} frames, {} for job {id})",
+        frames.len(),
+        lifecycle.len()
+    );
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: http_client <host:port> [--token T] \
                  (submit <job-json> | jobs | get <id> [--wait] | cancel <id> | \
                  index-build <job-json> [--wait] | indexes | index-get <name> | \
                  index-delete <name> | index-match <name> <iri> [--k N] | \
-                 metrics | shutdown [drain|cancel] | smoke)";
+                 metrics | trace <id> | events [--level L] [--job N] | \
+                 shutdown [drain|cancel] | smoke)";
     let mut token = None;
     if let Some(i) = args.iter().position(|a| a == "--token") {
         if i + 1 >= args.len() {
@@ -389,6 +538,37 @@ fn main() {
             api.expect("GET", "/v1/jobs", None, 200).json().pretty()
         ),
         "metrics" => print!("{}", api.expect("GET", "/v1/metrics", None, 200).body),
+        "trace" => {
+            let Some(id) = args.get(2).and_then(|v| v.parse::<usize>().ok()) else {
+                fail(usage)
+            };
+            println!(
+                "{}",
+                api.expect("GET", &format!("/v1/jobs/{id}/trace"), None, 200)
+                    .json()
+                    .pretty()
+            );
+        }
+        "events" => {
+            let mut query = String::new();
+            for (flag, key) in [("--level", "level"), ("--job", "job")] {
+                if let Some(i) = args.iter().position(|a| a == flag) {
+                    let Some(value) = args.get(i + 1) else {
+                        fail(usage)
+                    };
+                    query += if query.is_empty() { "?" } else { "&" };
+                    query += &format!("{key}={value}");
+                }
+            }
+            let (stream, leftover) = open_events(&api, &query);
+            // Print frames as they arrive until the server closes the
+            // stream (e.g. at shutdown) or the process is interrupted.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(86_400);
+            read_events(stream, leftover, deadline, |name, data| {
+                println!("{name} {}", data.compact());
+                false
+            });
+        }
         "submit" => {
             let Some(job) = args.get(2) else { fail(usage) };
             let job = Json::parse(job).unwrap_or_else(|e| fail(&format!("bad job JSON: {e}")));

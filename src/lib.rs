@@ -13,6 +13,10 @@
 //! The workspace is layered bottom-up; this crate is a facade
 //! re-exporting every member:
 //!
+//! - [`obs`] — the **observability layer**: leveled structured tracing
+//!   into a bounded drop-oldest ring ([`obs::trace`]), log-bucketed
+//!   latency histograms ([`obs::hist`]), and the `MINOAN_LOG` console
+//!   sink — dependency-free, threaded through every layer above;
 //! - [`exec`] — the **executor layer**: an [`exec::Executor`] with
 //!   `Sequential` and `Rayon` backends that every hot stage fans out on,
 //!   providing ordered fan-out over index ranges (`map_parts`,
@@ -90,6 +94,7 @@ pub use minoan_datagen as datagen;
 pub use minoan_eval as eval;
 pub use minoan_exec as exec;
 pub use minoan_kb as kb;
+pub use minoan_obs as obs;
 pub use minoan_serve as serve;
 pub use minoan_sim as sim;
 pub use minoan_text as text;

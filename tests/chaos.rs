@@ -189,8 +189,13 @@ fn injected_io_fault_retries_to_a_bit_identical_fingerprint() {
     let queue = JobQueue::new(1, 1, 0);
     let mut spec = file_spec("pair", first, second);
     spec.max_retries = Some(1);
-    queue.submit(spec).unwrap();
+    let id = queue.submit(spec).unwrap();
     let stats = drain(&queue, &opts);
+    // Each attempt ran under its own trace ID, so the faulted attempt's
+    // spans and events can never interleave with the clean one's.
+    let traces = queue.trace_ids(id).expect("retried job is known");
+    assert_eq!(traces.len(), 2, "one trace per attempt: {traces:?}");
+    assert_ne!(traces[0], traces[1], "attempts must not share a trace ID");
     let retried = queue.into_reports().remove(0);
     assert_eq!(retried.status, JobStatus::Ok, "retry must recover");
     assert_eq!(stats.retries_scheduled, 1);
@@ -215,8 +220,13 @@ fn a_job_that_panics_twice_is_poisoned() {
     let queue = JobQueue::new(1, 1, 0);
     let mut spec = synthetic_spec("crasher", 0.03);
     spec.max_retries = Some(3);
-    queue.submit(spec).unwrap();
+    let id = queue.submit(spec).unwrap();
     let stats = drain(&queue, &opts);
+    // Both attempts (the retried panic and the terminal one) got
+    // pairwise-distinct trace IDs.
+    let traces = queue.trace_ids(id).expect("poisoned job is known");
+    assert_eq!(traces.len(), 2, "one trace per attempt: {traces:?}");
+    assert_ne!(traces[0], traces[1], "attempts must not share a trace ID");
     let report = queue.into_reports().remove(0);
     let JobStatus::Poisoned(detail) = &report.status else {
         panic!("two panics should poison the job, got {:?}", report.status);

@@ -7,6 +7,8 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use minoaner::datagen::DatasetKind;
@@ -480,6 +482,226 @@ fn oversized_and_malformed_requests_get_clean_errors() {
         // still resolves.
         let (_, status) = http.wait(id);
         assert_eq!(status, "ok", "malformed traffic disturbed a running job");
+        http.shutdown();
+    });
+    assert_eq!(report.jobs.len(), 1);
+    assert!(report.jobs[0].status.is_ok());
+}
+
+/// The SSE tests share the process-global trace collector with every
+/// other test in this binary, so the two of them must not run at the
+/// same time: the flood test deliberately saturates subscribers, and a
+/// concurrently-subscribed lifecycle test would be collateral damage.
+static SSE_SERIAL: Mutex<()> = Mutex::new(());
+
+/// A test-side `GET /v1/events` subscription: request sent, response
+/// headers checked and consumed, frames read on demand.
+struct Sse {
+    stream: TcpStream,
+    buffer: Vec<u8>,
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+impl Sse {
+    fn open(addr: SocketAddr, query: &str) -> Sse {
+        let mut stream = TcpStream::connect(addr).expect("connect events");
+        let head =
+            format!("GET /v1/events{query} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+        stream
+            .write_all(head.as_bytes())
+            .expect("send events request");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let mut sse = Sse {
+            stream,
+            buffer: Vec::new(),
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Some(at) = find(&sse.buffer, b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&sse.buffer[..at]).into_owned();
+                assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+                assert!(head.contains("text/event-stream"), "{head}");
+                sse.buffer.drain(..at + 4);
+                return sse;
+            }
+            assert!(sse.fill(), "events stream closed before headers");
+            assert!(Instant::now() < deadline, "no events headers in time");
+        }
+    }
+
+    /// Pulls more bytes off the socket; false on server close.
+    fn fill(&mut self) -> bool {
+        let mut chunk = [0u8; 65536];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => false,
+            Ok(n) => {
+                self.buffer.extend_from_slice(&chunk[..n]);
+                true
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                true
+            }
+            Err(e) => panic!("events read: {e}"),
+        }
+    }
+
+    /// Reads named frames (skipping keep-alive comments), feeding each
+    /// to `stop`, until it returns true, the deadline passes, or the
+    /// server closes the stream. Returns whether `stop` ever matched.
+    fn read_until(&mut self, deadline: Instant, mut stop: impl FnMut(&str, &Json) -> bool) -> bool {
+        loop {
+            while let Some(end) = find(&self.buffer, b"\n\n") {
+                let frame: Vec<u8> = self.buffer.drain(..end + 2).collect();
+                let frame = String::from_utf8_lossy(&frame);
+                let mut name = None;
+                let mut data = None;
+                for line in frame.lines() {
+                    if let Some(rest) = line.strip_prefix("event: ") {
+                        name = Some(rest.to_string());
+                    } else if let Some(rest) = line.strip_prefix("data: ") {
+                        data = Json::parse(rest).ok();
+                    }
+                }
+                if let (Some(name), Some(data)) = (name, data) {
+                    if stop(&name, &data) {
+                        return true;
+                    }
+                }
+            }
+            if Instant::now() >= deadline || !self.fill() {
+                return false;
+            }
+        }
+    }
+}
+
+/// Watches one subscription until the named job's full lifecycle has
+/// streamed past, and asserts the transitions arrive in order. The job
+/// is identified by its (test-unique) name in the `job.queued` /
+/// `job.running` details, and `job.done` by the running attempt's
+/// trace ID — job numbers alone would collide across the other tests
+/// in this binary, which share the process-global collector.
+fn assert_lifecycle(sse: &mut Sse, label: &str, job_name: &str, deadline: Instant) {
+    let tag = format!("name={job_name:?}");
+    let mut seen: Vec<&'static str> = Vec::new();
+    let mut trace = None;
+    let done = sse.read_until(deadline, |name, data| {
+        let detail = data.get("detail").and_then(Json::as_str).unwrap_or("");
+        match name {
+            "job.queued" if detail.contains(&tag) => seen.push("queued"),
+            "job.running" if detail.contains(&tag) => {
+                trace = data.get("trace").and_then(Json::as_usize);
+                seen.push("running");
+            }
+            "job.done"
+                if trace.is_some() && data.get("trace").and_then(Json::as_usize) == trace =>
+            {
+                seen.push("done");
+                return true;
+            }
+            _ => {}
+        }
+        false
+    });
+    assert!(done, "{label}: no job.done for {job_name:?}; saw {seen:?}");
+    assert_eq!(
+        seen,
+        ["queued", "running", "done"],
+        "{label}: out-of-order lifecycle for {job_name:?}"
+    );
+}
+
+/// Two concurrent subscribers both observe a job's full queued →
+/// running → done lifecycle, in order, over independent connections.
+#[test]
+fn concurrent_sse_subscribers_both_observe_the_job_lifecycle() {
+    let _serial = SSE_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let (report, ()) = with_server(HttpOptions::default(), |http| {
+        let mut first = Sse::open(http.addr, "?level=info");
+        let mut second = Sse::open(http.addr, "?level=info");
+        let id = http.submit("sse-both", "restaurant", 0.08);
+        let (_, status) = http.wait(id);
+        assert_eq!(status, "ok");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        assert_lifecycle(&mut first, "first subscriber", "sse-both", deadline);
+        assert_lifecycle(&mut second, "second subscriber", "sse-both", deadline);
+        http.shutdown();
+    });
+    assert_eq!(report.jobs.len(), 1);
+    assert!(report.jobs[0].status.is_ok());
+}
+
+/// A subscriber that stops reading is dropped by the server once its
+/// socket backs up — visible to the surviving subscriber as a warn
+/// event — while the scheduler and the healthy stream proceed
+/// untouched, and the stalled connection gets closed.
+#[test]
+fn a_stalled_sse_subscriber_is_dropped_while_others_stream_on() {
+    let _serial = SSE_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let (report, ()) = with_server(HttpOptions::default(), |http| {
+        let mut healthy = Sse::open(http.addr, "?level=info");
+        let mut stalled = Sse::open(http.addr, "?level=info");
+
+        // Flood the ring from a side thread; the stalled subscriber
+        // never reads, so its socket fills and the server's bounded
+        // write gives up on it. The healthy subscriber keeps draining.
+        let stop = Arc::new(AtomicBool::new(false));
+        let flooder = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let payload = "x".repeat(1024);
+                for _ in 0..100_000 {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    for _ in 0..64 {
+                        minoaner::obs::trace::event(
+                            minoaner::obs::Level::Info,
+                            "test.flood",
+                            payload.clone(),
+                        );
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+        };
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let dropped = healthy.read_until(deadline, |name, _| name == "http.events");
+        stop.store(true, Ordering::Relaxed);
+        flooder.join().unwrap();
+        assert!(dropped, "no drop warning reached the healthy subscriber");
+
+        // The server closed the stalled connection: draining whatever
+        // was buffered in its socket must end in EOF.
+        let drain_deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if !stalled.fill() {
+                break;
+            }
+            stalled.buffer.clear();
+            assert!(
+                Instant::now() < drain_deadline,
+                "stalled subscriber never saw EOF"
+            );
+        }
+
+        // The scheduler was never blocked, and the healthy stream still
+        // delivers a fresh job's lifecycle end to end.
+        let id = http.submit("post-stall", "restaurant", 0.05);
+        let (_, status) = http.wait(id);
+        assert_eq!(status, "ok");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        assert_lifecycle(&mut healthy, "healthy subscriber", "post-stall", deadline);
         http.shutdown();
     });
     assert_eq!(report.jobs.len(), 1);
